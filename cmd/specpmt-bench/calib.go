@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"specpmt/internal/harness"
+	"specpmt/internal/stamp"
+)
+
+// calibrate prints per-application, per-engine modeled per-transaction costs
+// and overheads over the raw baseline. The stamp profiles' ComputeNs values
+// were fitted against these numbers (see DESIGN.md §"Calibration"); rerun
+// with -calib after changing the latency model or engine cost structure.
+func calibrate(n int, seed uint64) {
+	for _, p := range stamp.Profiles() {
+		raw, _ := harness.RunSoftware("Raw", p, n, seed)
+		spec, _ := harness.RunSoftware("SpecSPMT", p, n, seed)
+		dp, _ := harness.RunSoftware("SpecSPMT-DP", p, n, seed)
+		pmdk, _ := harness.RunSoftware("PMDK", p, n, seed)
+		kam, _ := harness.RunSoftware("Kamino-Tx", p, n, seed)
+		spht, _ := harness.RunSoftware("SPHT", p, n, seed)
+		f := func(r harness.Result) float64 { return float64(r.ModeledNs) / float64(n) }
+		fmt.Printf("%-14s raw=%7.0f spec=%7.0f dp=%7.0f spht=%7.0f kam=%7.0f pmdk=%7.0f | specOH=%5.0f dpOH=%6.0f kamOH=%6.0f pmdkOH=%6.0f\n",
+			p.Name, f(raw), f(spec), f(dp), f(spht), f(kam), f(pmdk),
+			f(spec)-f(raw), f(dp)-f(raw), f(kam)-f(raw), f(pmdk)-f(raw))
+	}
+}
+
+func init() {
+	calibFlag = flag.Bool("calib", false, "print per-engine per-tx cost decomposition (calibration aid)")
+}
+
+var calibFlag *bool

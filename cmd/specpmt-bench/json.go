@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"specpmt/internal/harness"
+)
+
+// jsonReport is the machine-readable form of the full evaluation, for
+// downstream plotting.
+type jsonReport struct {
+	Txns    int                     `json:"txns_per_app"`
+	Seed    uint64                  `json:"seed"`
+	Table2  []harness.Table2Row     `json:"table2"`
+	Figures map[string]jsonFigure   `json:"figures"`
+	Fig15   []harness.Figure15Point `json:"figure15"`
+	Mem     []harness.MemRow        `json:"memory_overhead"`
+	SpecOv  map[string]float64      `json:"specspmt_overhead"`
+}
+
+type jsonFigure struct {
+	Title   string                        `json:"title"`
+	Rows    map[string]map[string]float64 `json:"rows"`
+	GeoMean map[string]float64            `json:"geomean"`
+}
+
+func toJSONFigure(f harness.Figure) jsonFigure {
+	out := jsonFigure{Title: f.Title, Rows: map[string]map[string]float64{}, GeoMean: f.GeoMean}
+	for _, r := range f.Rows {
+		out.Rows[r.Workload] = r.Values
+	}
+	return out
+}
+
+func init() {
+	jsonFlag = flag.Bool("json", false, "emit the full evaluation as JSON")
+}
+
+var jsonFlag *bool
+
+func printJSON(n int, seed uint64) {
+	rep := jsonReport{Txns: n, Seed: seed, Figures: map[string]jsonFigure{}}
+	rep.Table2 = harness.Table2(n, seed)
+	type figFn struct {
+		name string
+		fn   func(int, uint64) (harness.Figure, error)
+	}
+	for _, f := range []figFn{
+		{"figure1_software", harness.Figure1Software},
+		{"figure1_hardware", harness.Figure1Hardware},
+		{"figure12", harness.Figure12},
+		{"figure13", harness.Figure13},
+		{"figure14", harness.Figure14},
+	} {
+		fig, err := f.fn(n, seed)
+		check(err)
+		rep.Figures[f.name] = toJSONFigure(fig)
+	}
+	pts, err := harness.Figure15(n, seed)
+	check(err)
+	rep.Fig15 = pts
+	mem, err := harness.SoftwareMemoryOverhead(n, seed)
+	check(err)
+	rep.Mem = mem
+	per, geo, err := harness.SpecOverhead(n, seed)
+	check(err)
+	rep.SpecOv = per
+	rep.SpecOv["geomean"] = geo
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "specpmt-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,185 @@
+// Command specpmt-bench regenerates the tables and figures of the SpecPMT
+// paper's evaluation (§7) on the simulated persistent memory platform.
+//
+// Usage:
+//
+//	specpmt-bench [-n txns] [-seed s] [-fig 1|12|13|14|15] [-table 1|2] [-all]
+//
+// Without arguments it prints every experiment. Transaction counts are
+// scaled (default 300 per application); the paper's absolute numbers come
+// from full STAMP runs, so compare shapes, not nanoseconds (EXPERIMENTS.md
+// records paper-vs-measured for every experiment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specpmt/internal/harness"
+	"specpmt/internal/sim"
+	"specpmt/internal/stamp"
+)
+
+func main() {
+	n := flag.Int("n", 300, "transactions per application")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	fig := flag.Int("fig", 0, "print one figure (1, 12, 13, 14, 15)")
+	table := flag.Int("table", 0, "print one table (1, 2)")
+	all := flag.Bool("all", false, "print every experiment (default when no selection)")
+	mem := flag.Bool("mem", false, "print software SpecPMT's memory-space overhead (§4/§5 motivation)")
+	chartFlag = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+	flag.Parse()
+
+	if *calibFlag {
+		calibrate(*n, *seed)
+		return
+	}
+	if *jsonFlag {
+		printJSON(*n, *seed)
+		return
+	}
+	if *mem {
+		printMemOverhead(*n, *seed)
+		return
+	}
+	if *fig == 0 && *table == 0 {
+		*all = true
+	}
+	if *all || *table == 1 {
+		printTable1()
+	}
+	if *all || *table == 2 {
+		printTable2(*n, *seed)
+	}
+	if *all || *fig == 1 {
+		printFigure1(*n, *seed)
+	}
+	if *all || *fig == 12 {
+		printFigure12(*n, *seed)
+	}
+	if *all || *fig == 13 {
+		printFigure13(*n, *seed)
+	}
+	if *all || *fig == 14 {
+		printFigure14(*n, *seed)
+	}
+	if *all || *fig == 15 {
+		printFigure15(*n, *seed)
+	}
+}
+
+var chartFlag *bool
+
+// render prints a figure as a table or, with -chart, as bars.
+func render(fig harness.Figure, percent bool) {
+	if chartFlag != nil && *chartFlag {
+		fmt.Print(fig.Chart(percent))
+		return
+	}
+	fmt.Print(fig.Format(percent))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specpmt-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func printTable1() {
+	hw := sim.DefaultLatency()
+	sw := sim.OptaneLatency()
+	fmt.Println("Table 1: system configuration (modeled)")
+	fmt.Printf("%-28s %12s %12s\n", "parameter", "hardware", "software")
+	rows := []struct {
+		name   string
+		hw, sw int64
+	}{
+		{"PM read latency (ns)", hw.PMRead, sw.PMRead},
+		{"PM write, random line (ns)", hw.PMWriteRandom, sw.PMWriteRandom},
+		{"PM write, sequential (ns)", hw.PMWriteSeq, sw.PMWriteSeq},
+		{"WPQ capacity (lines)", int64(hw.WPQLines), int64(sw.WPQLines)},
+		{"WPQ acceptance RTT (ns)", hw.AcceptNs, sw.AcceptNs},
+		{"CLWB issue (ns)", hw.FlushIssue, sw.FlushIssue},
+		{"SFENCE issue (ns)", hw.FenceIssue, sw.FenceIssue},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-28s %12d %12d\n", r.name, r.hw, r.sw)
+	}
+	fmt.Println("L1 data cache: 32KB 8-way; L1/L2 TLB: 1536 entries; line 64B; page 4KB")
+	fmt.Println()
+}
+
+func printTable2(n int, seed uint64) {
+	fmt.Println("Table 2: size and number of transactions (paper-reported vs generated shape)")
+	fmt.Printf("%-14s %10s %12s %13s | %12s %10s\n",
+		"application", "avg size", "num of tx", "num updates", "gen avg size", "gen upd/tx")
+	for _, r := range harness.Table2(n, seed) {
+		fmt.Printf("%-14s %9.1fB %12d %13d | %11.1fB %10.1f\n",
+			r.App, r.PaperAvgSize, r.PaperTxns, r.PaperUpdates, r.GeneratedAvgSize, r.GeneratedUpdPerTx)
+	}
+	fmt.Println()
+}
+
+func printFigure1(n int, seed uint64) {
+	figSW, err := harness.Figure1Software(n, seed)
+	check(err)
+	render(figSW, true)
+	fmt.Println()
+	figHW, err := harness.Figure1Hardware(n, seed)
+	check(err)
+	render(figHW, true)
+	fmt.Println()
+}
+
+func printFigure12(n int, seed uint64) {
+	fig, err := harness.Figure12(n, seed)
+	check(err)
+	render(fig, false)
+	per, geo, err := harness.SpecOverhead(n, seed)
+	check(err)
+	fmt.Printf("SpecSPMT overhead over no-transaction runs: %.0f%% geomean (paper headline: 10%%)\n", geo*100)
+	for _, p := range stamp.Profiles() {
+		fmt.Printf("  %-14s %6.1f%%\n", p.Name, per[p.Name]*100)
+	}
+	fmt.Println()
+}
+
+func printFigure13(n int, seed uint64) {
+	fig, err := harness.Figure13(n, seed)
+	check(err)
+	render(fig, false)
+	fmt.Println()
+}
+
+func printFigure14(n int, seed uint64) {
+	fig, err := harness.Figure14(n, seed)
+	check(err)
+	render(fig, true)
+	fmt.Println()
+}
+
+func printFigure15(n int, seed uint64) {
+	pts, err := harness.Figure15(n, seed)
+	check(err)
+	fmt.Println("Figure 15: speedup and write-traffic reduction vs memory consumption (epoch sweep)")
+	fmt.Printf("%-12s %16s %10s %18s\n", "epoch size", "mem overhead", "speedup", "traffic reduction")
+	for _, p := range pts {
+		fmt.Printf("%9dKiB %15.1f%% %9.2fx %17.1f%%\n",
+			p.EpochBytes>>10, p.MemOverheadPct, p.AvgSpeedup, p.TrafficReduction*100)
+	}
+	fmt.Println()
+}
+
+func printMemOverhead(n int, seed uint64) {
+	rows, err := harness.SoftwareMemoryOverhead(n, seed)
+	check(err)
+	fmt.Println("Software SpecPMT memory-space overhead (peak live log vs touched data)")
+	fmt.Printf("%-14s %14s %14s %8s\n", "application", "data bytes", "peak log", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-14s %14d %14d %7.2fx\n", r.App, r.DataBytes, r.PeakLogBytes, r.Ratio)
+	}
+	fmt.Println("(the paper's motivation for hardware SpecPMT: \"it nearly triples the")
+	fmt.Println(" memory space overhead\" — §5; ratios depend on the reclamation threshold)")
+}

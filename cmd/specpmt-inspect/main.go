@@ -1,0 +1,134 @@
+// Command specpmt-inspect demonstrates the anatomy of the speculative log:
+// it runs a small scripted scenario on a SpecSPMT pool, dumps the log chain
+// (blocks, records, fresh/stale entries), crashes the pool mid-transaction,
+// recovers, and dumps the log again — making the paper's recovery story
+// (§3.1, Figure 4) visible record by record.
+//
+// Usage:
+//
+//	specpmt-inspect [-txns n] [-updates n] [-reclaim] [-seed s] [-hw]
+//
+// With -hw it instead walks hardware SpecPMT's epoch ring, page-image and
+// commit records, and TLB hotness through a hot/cold workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specpmt"
+	"specpmt/internal/hwsim"
+	"specpmt/internal/txn/spec"
+)
+
+func main() {
+	txns := flag.Int("txns", 6, "committed transactions before the crash")
+	updates := flag.Int("updates", 3, "updates per transaction")
+	reclaim := flag.Bool("reclaim", false, "run an explicit reclamation cycle before the crash")
+	seed := flag.Uint64("seed", 1, "crash eviction seed")
+	hw := flag.Bool("hw", false, "inspect hardware SpecPMT (epochs, page images, TLB) instead")
+	flag.Parse()
+
+	if *hw {
+		inspectHardware(*txns, *seed)
+		return
+	}
+
+	pool, err := specpmt.Open(specpmt.Config{
+		Engine:      "SpecSPMT",
+		SpecOptions: &spec.Options{BlockSize: 1024, DisableReclaim: true},
+	})
+	check(err)
+	defer pool.Close()
+	eng := pool.Engine().(*spec.Engine)
+
+	addrs := make([]specpmt.Addr, *updates)
+	for i := range addrs {
+		addrs[i], err = pool.Alloc(64)
+		check(err)
+	}
+
+	fmt.Printf("=== running %d transactions of %d updates each\n", *txns, *updates)
+	for r := 1; r <= *txns; r++ {
+		tx := pool.Begin()
+		for j, a := range addrs {
+			tx.StoreUint64(a, uint64(r*100+j))
+		}
+		check(tx.Commit())
+	}
+	if *reclaim {
+		fmt.Println("=== explicit reclamation cycle (stale records compacted)")
+		check(eng.ReclaimNow())
+	}
+	fmt.Println("=== log before crash")
+	eng.DumpLog(os.Stdout)
+
+	fmt.Println("=== opening a transaction and crashing mid-flight")
+	tx := pool.Begin()
+	for j, a := range addrs {
+		tx.StoreUint64(a, uint64(999000+j)) // never committed
+	}
+	check(pool.Crash(*seed))
+	check(pool.Recover())
+
+	fmt.Println("=== log after crash + recovery")
+	eng2 := pool.Engine().(*spec.Engine)
+	eng2.DumpLog(os.Stdout)
+
+	fmt.Println("=== recovered values (uncommitted transaction revoked)")
+	for j, a := range addrs {
+		want := uint64(*txns*100 + j)
+		got := pool.ReadUint64(a)
+		status := "ok"
+		if got != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("  addr %d = %d (last committed %d) %s\n", a, got, want, status)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specpmt-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+// inspectHardware drives hardware SpecPMT through a hot/cold mix and dumps
+// its epoch machinery before and after a crash.
+func inspectHardware(txns int, seed uint64) {
+	pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20, Engine: "SpecHPMT"})
+	check(err)
+	defer pool.Close()
+	eng := pool.Engine().(*hwsim.SpecHPMT)
+
+	hot, err := pool.Alloc(4096)
+	check(err)
+	cold := make([]specpmt.Addr, txns)
+	for i := range cold {
+		cold[i], err = pool.Alloc(4096)
+		check(err)
+	}
+	fmt.Printf("=== %d transactions: 8 hot stores (one page) + 1 cold store each\n", txns)
+	for r := 0; r < txns; r++ {
+		tx := pool.Begin()
+		for k := 0; k < 8; k++ {
+			tx.StoreUint64(hot+specpmt.Addr(k*64), uint64(r))
+		}
+		tx.StoreUint64(cold[r], uint64(r))
+		check(tx.Commit())
+	}
+	fmt.Println("=== hardware state before crash")
+	eng.DumpState(os.Stdout)
+
+	tx := pool.Begin()
+	tx.StoreUint64(hot, 999999) // speculative, uncommitted
+	check(pool.Crash(seed))
+	check(pool.Recover())
+	fmt.Println("=== after crash + three-step recovery (§5.1.1)")
+	eng2 := pool.Engine().(*hwsim.SpecHPMT)
+	eng2.DumpState(os.Stdout)
+	fmt.Printf("hot word recovered to %d (last committed %d)\n",
+		pool.ReadUint64(hot), txns-1)
+}

@@ -1,0 +1,107 @@
+// Multithread: per-thread speculative logs with merged recovery. Four
+// goroutines commit to their own regions and to one mutex-guarded shared
+// counter; a power failure interrupts them; the merged, timestamp-ordered
+// replay (§4.1) restores the committed history exactly — including the
+// right "last writer" for the shared counter across the private logs.
+//
+// Runs the scenario on both the software engine (SpecSPMT, spec.Pool) and
+// the hardware engine (SpecHPMT, hwsim.Cluster with the §5.2.2 epoch
+// reclamation protocol).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"specpmt"
+	"specpmt/internal/sim"
+)
+
+const threads = 4
+
+func main() {
+	for _, engine := range []string{"SpecSPMT", "SpecHPMT"} {
+		if err := run(engine); err != nil {
+			log.Fatalf("%s: %v", engine, err)
+		}
+	}
+}
+
+func run(engine string) error {
+	pool, err := specpmt.OpenThreaded(specpmt.Config{Engine: engine}, threads)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	private := make([]specpmt.Addr, threads)
+	for i := range private {
+		private[i], err = pool.Alloc(4096)
+		if err != nil {
+			return err
+		}
+	}
+	shared, err := pool.Alloc(64)
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex // caller-provided isolation (§4.3.3)
+	lastShared := uint64(0)
+	committed := make([]uint64, threads)
+
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := sim.NewRand(uint64(i) + 1)
+			for r := uint64(1); r <= 50; r++ {
+				// Private region: no locking needed.
+				tx := pool.Begin(i)
+				tx.StoreUint64(private[i], r)
+				if err := tx.Commit(); err != nil {
+					log.Println(err)
+					return
+				}
+				committed[i] = r
+				// Occasionally bump the shared counter under the lock.
+				if rng.Float64() < 0.3 {
+					mu.Lock()
+					v := lastShared + 1
+					tx := pool.Begin(i)
+					tx.StoreUint64(shared, v)
+					if err := tx.Commit(); err != nil {
+						log.Println(err)
+						mu.Unlock()
+						return
+					}
+					lastShared = v
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := pool.Crash(99); err != nil {
+		return err
+	}
+	if err := pool.Recover(); err != nil {
+		return err
+	}
+
+	for i := range private {
+		if got := pool.ReadUint64(private[i]); got != committed[i] {
+			return fmt.Errorf("thread %d region: got %d want %d", i, got, committed[i])
+		}
+	}
+	if got := pool.ReadUint64(shared); got != lastShared {
+		return fmt.Errorf("shared counter: got %d want %d (timestamp-ordered merge failed)", got, lastShared)
+	}
+	fmt.Printf("%-10s %d threads, %d shared increments: merged recovery exact\n",
+		engine, threads, lastShared)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Quickstart: open a pool, commit a transaction with a single fence, crash,
+// recover, and observe that committed data survived while an interrupted
+// transaction was revoked — speculative logging's whole contract in thirty
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specpmt"
+)
+
+func main() {
+	pool, err := specpmt.Open(specpmt.Config{}) // SpecSPMT engine
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	account, err := pool.Alloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A committed transaction: in-place update, speculative log of the new
+	// value, ONE fence at commit.
+	tx := pool.Begin()
+	tx.StoreUint64(account, 1000)
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed balance: %d\n", pool.ReadUint64(account))
+
+	// An interrupted transaction: in-place update with no commit.
+	tx = pool.Begin()
+	tx.StoreUint64(account, 9999999)
+	fmt.Println("power failure mid-transaction...")
+	if err := pool.Crash(42); err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery:    %d (uncommitted update revoked)\n", pool.ReadUint64(account))
+	fmt.Printf("modeled time: %dns\n%s", pool.ModeledTime(), pool.Stats())
+}

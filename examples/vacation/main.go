@@ -1,0 +1,188 @@
+// Vacation: a miniature of STAMP's travel reservation system — the kind of
+// workload the paper's evaluation runs (§7.1.1). Three resource tables
+// (flights, rooms, cars) and a reservation ledger live in persistent
+// memory; booking a trip reserves one unit from each table AND appends a
+// ledger entry in a single transaction. Power failures strike throughout;
+// after each recovery two invariants are audited:
+//
+//  1. conservation: for every resource, initial capacity = free + reserved
+//     units accounted by the ledger;
+//  2. atomicity: every ledger entry's trip is complete (a flight, a room,
+//     and a car) — no half-booked trips survive a crash.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specpmt"
+	"specpmt/internal/sim"
+)
+
+const (
+	resources  = 16  // rows per table
+	capacity   = 20  // units per row
+	maxLedger  = 512 // ledger slots
+	numRounds  = 5
+	tripsRound = 60
+)
+
+// Table layout: resources * [free u64].
+// Ledger layout: [count u64] + maxLedger * [flight u64][room u64][car u64]
+// (row indices +1; 0 means empty).
+type system struct {
+	pool    *specpmt.Pool
+	flights specpmt.Addr
+	rooms   specpmt.Addr
+	cars    specpmt.Addr
+	ledger  specpmt.Addr
+}
+
+func newSystem(pool *specpmt.Pool) (*system, error) {
+	s := &system{pool: pool}
+	var err error
+	alloc := func(n int) specpmt.Addr {
+		var a specpmt.Addr
+		if err == nil {
+			a, err = pool.Alloc(n)
+		}
+		return a
+	}
+	s.flights = alloc(resources * 8)
+	s.rooms = alloc(resources * 8)
+	s.cars = alloc(resources * 8)
+	s.ledger = alloc(8 + maxLedger*24)
+	if err != nil {
+		return nil, err
+	}
+	tx := pool.Begin()
+	for _, t := range []specpmt.Addr{s.flights, s.rooms, s.cars} {
+		for i := 0; i < resources; i++ {
+			tx.StoreUint64(t+specpmt.Addr(i*8), capacity)
+		}
+	}
+	tx.StoreUint64(s.ledger, 0)
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	for i, a := range []specpmt.Addr{s.flights, s.rooms, s.cars, s.ledger} {
+		if err := pool.SetRoot(i, uint64(a)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func reattach(pool *specpmt.Pool) *system {
+	return &system{
+		pool:    pool,
+		flights: specpmt.Addr(pool.Root(0)),
+		rooms:   specpmt.Addr(pool.Root(1)),
+		cars:    specpmt.Addr(pool.Root(2)),
+		ledger:  specpmt.Addr(pool.Root(3)),
+	}
+}
+
+// bookTrip reserves one flight, room, and car row atomically. Returns false
+// (aborting) when any leg is sold out or the ledger is full.
+func (s *system) bookTrip(f, r, c int) (bool, error) {
+	tx := s.pool.Begin()
+	fa := s.flights + specpmt.Addr(f*8)
+	ra := s.rooms + specpmt.Addr(r*8)
+	ca := s.cars + specpmt.Addr(c*8)
+	ff, rf, cf := tx.LoadUint64(fa), tx.LoadUint64(ra), tx.LoadUint64(ca)
+	n := tx.LoadUint64(s.ledger)
+	if ff == 0 || rf == 0 || cf == 0 || n >= maxLedger {
+		return false, tx.Abort()
+	}
+	tx.StoreUint64(fa, ff-1)
+	tx.StoreUint64(ra, rf-1)
+	tx.StoreUint64(ca, cf-1)
+	ent := s.ledger + 8 + specpmt.Addr(n*24)
+	tx.StoreUint64(ent, uint64(f+1))
+	tx.StoreUint64(ent+8, uint64(r+1))
+	tx.StoreUint64(ent+16, uint64(c+1))
+	tx.StoreUint64(s.ledger, n+1)
+	return true, tx.Commit()
+}
+
+// audit checks conservation and trip completeness.
+func (s *system) audit() error {
+	n := s.pool.ReadUint64(s.ledger)
+	reservedF := make([]uint64, resources)
+	reservedR := make([]uint64, resources)
+	reservedC := make([]uint64, resources)
+	for i := uint64(0); i < n; i++ {
+		ent := s.ledger + 8 + specpmt.Addr(i*24)
+		f := s.pool.ReadUint64(ent)
+		r := s.pool.ReadUint64(ent + 8)
+		c := s.pool.ReadUint64(ent + 16)
+		if f == 0 || r == 0 || c == 0 {
+			return fmt.Errorf("ledger entry %d incomplete: flight=%d room=%d car=%d", i, f, r, c)
+		}
+		reservedF[f-1]++
+		reservedR[r-1]++
+		reservedC[c-1]++
+	}
+	check := func(name string, table specpmt.Addr, reserved []uint64) error {
+		for i := 0; i < resources; i++ {
+			free := s.pool.ReadUint64(table + specpmt.Addr(i*8))
+			if free+reserved[i] != capacity {
+				return fmt.Errorf("%s %d: free %d + reserved %d != capacity %d",
+					name, i, free, reserved[i], capacity)
+			}
+		}
+		return nil
+	}
+	if err := check("flight", s.flights, reservedF); err != nil {
+		return err
+	}
+	if err := check("room", s.rooms, reservedR); err != nil {
+		return err
+	}
+	return check("car", s.cars, reservedC)
+}
+
+func main() {
+	pool, err := specpmt.Open(specpmt.Config{Size: 128 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	sys, err := newSystem(pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := sim.NewRand(11)
+	booked, rejected := 0, 0
+	for round := 0; round < numRounds; round++ {
+		for i := 0; i < tripsRound; i++ {
+			ok, err := sys.bookTrip(rng.Intn(resources), rng.Intn(resources), rng.Intn(resources))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				booked++
+			} else {
+				rejected++
+			}
+		}
+		// A booking is in flight when the power fails.
+		tx := pool.Begin()
+		tx.StoreUint64(sys.flights, 0) // would zero a flight row
+		_ = tx
+		if err := pool.Crash(rng.Uint64()); err != nil {
+			log.Fatal(err)
+		}
+		if err := pool.Recover(); err != nil {
+			log.Fatal(err)
+		}
+		sys = reattach(pool)
+		if err := sys.audit(); err != nil {
+			log.Fatalf("round %d: %v", round, err)
+		}
+		fmt.Printf("round %d: %3d trips booked, %2d sold out — ledger and tables consistent after crash\n",
+			round, booked, rejected)
+	}
+	fmt.Printf("modeled time: %.2fms\n", float64(pool.ModeledTime())/1e6)
+}

@@ -1,0 +1,3 @@
+module specpmt
+
+go 1.22

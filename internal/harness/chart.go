@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders the figure as horizontal ASCII bars, one group per
+// application, one bar per series — a terminal rendition of the paper's bar
+// charts. Values are multipliers unless percent is set. Negative values
+// (traffic increases in Figure 14) render leftward from the axis label.
+func (f Figure) Chart(percent bool) string {
+	const width = 46
+	series := append([]string{}, f.Series...)
+	sort.Strings(series)
+	maxAbs := 0.0
+	for _, row := range f.Rows {
+		for _, s := range series {
+			if v := math.Abs(row.Values[s]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	for _, s := range series {
+		if v := math.Abs(f.GeoMean[s]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, f.Title)
+	label := func(v float64) string {
+		if percent {
+			return fmt.Sprintf("%.0f%%", v*100)
+		}
+		return fmt.Sprintf("%.2fx", v)
+	}
+	drawRow := func(name string, values map[string]float64) {
+		fmt.Fprintf(&b, "%s\n", name)
+		for _, s := range series {
+			v := values[s]
+			n := int(math.Round(math.Abs(v) / maxAbs * width))
+			if n > width {
+				n = width
+			}
+			bar := strings.Repeat("#", n)
+			if v < 0 {
+				bar = strings.Repeat("-", n)
+			}
+			fmt.Fprintf(&b, "  %-13s|%-*s %s\n", s, width, bar, label(v))
+		}
+	}
+	for _, row := range f.Rows {
+		drawRow(row.Workload, row.Values)
+	}
+	if len(f.GeoMean) > 0 {
+		drawRow("geomean", f.GeoMean)
+	}
+	return b.String()
+}

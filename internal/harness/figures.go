@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specpmt/internal/stamp"
+)
+
+// FigureRow is one application's series values in a figure.
+type FigureRow struct {
+	Workload string
+	// Values maps series name (engine) to the plotted value (speedup,
+	// overhead fraction, or reduction fraction, depending on the figure).
+	Values map[string]float64
+}
+
+// Figure is a reproduced figure: named series over the nine applications
+// plus a geometric-mean row.
+type Figure struct {
+	Title   string
+	Series  []string
+	Rows    []FigureRow
+	GeoMean map[string]float64
+}
+
+// Figure12 reproduces "Speedup over PMDK. Evaluated on a real machine":
+// Kamino-Tx, SPHT, SpecSPMT-DP, and SpecSPMT, normalised to PMDK, per STAMP
+// application.
+func Figure12(nTx int, seed uint64) (Figure, error) {
+	series := []string{"Kamino-Tx", "SPHT", "SpecSPMT-DP", "SpecSPMT"}
+	fig := Figure{Title: "Figure 12: Speedup over PMDK (software, modeled)", Series: series, GeoMean: map[string]float64{}}
+	geo := map[string][]float64{}
+	for _, p := range stamp.Profiles() {
+		base, err := RunSoftware("PMDK", p, nTx, seed)
+		if err != nil {
+			return fig, err
+		}
+		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
+		for _, eng := range series {
+			r, err := RunSoftware(eng, p, nTx, seed)
+			if err != nil {
+				return fig, err
+			}
+			s := Speedup(base, r)
+			row.Values[eng] = s
+			geo[eng] = append(geo[eng], s)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	for eng, xs := range geo {
+		fig.GeoMean[eng] = GeoMean(xs)
+	}
+	return fig, nil
+}
+
+// Figure1Software reproduces the top half of Figure 1: execution time
+// overheads of PMDK and SPHT over transaction-free runs.
+func Figure1Software(nTx int, seed uint64) (Figure, error) {
+	series := []string{"PMDK", "SPHT"}
+	fig := Figure{Title: "Figure 1 (top): overhead over no-transaction runs (software, modeled)", Series: series, GeoMean: map[string]float64{}}
+	geo := map[string][]float64{}
+	for _, p := range stamp.Profiles() {
+		raw, err := RunSoftware(RawEngine, p, nTx, seed)
+		if err != nil {
+			return fig, err
+		}
+		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
+		for _, eng := range series {
+			r, err := RunSoftware(eng, p, nTx, seed)
+			if err != nil {
+				return fig, err
+			}
+			ov := Overhead(raw, r)
+			row.Values[eng] = ov
+			geo[eng] = append(geo[eng], 1+ov)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	for eng, xs := range geo {
+		fig.GeoMean[eng] = GeoMean(xs) - 1
+	}
+	return fig, nil
+}
+
+// SpecOverhead computes SpecSPMT's execution-time overhead over the
+// no-transaction baseline — the paper's headline "10%" claim (§1, §9).
+func SpecOverhead(nTx int, seed uint64) (perApp map[string]float64, geomean float64, err error) {
+	perApp = map[string]float64{}
+	var acc []float64
+	for _, p := range stamp.Profiles() {
+		raw, err := RunSoftware(RawEngine, p, nTx, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := RunSoftware("SpecSPMT", p, nTx, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		ov := Overhead(raw, r)
+		perApp[p.Name] = ov
+		acc = append(acc, 1+ov)
+	}
+	return perApp, GeoMean(acc) - 1, nil
+}
+
+// Table2 reproduces the workload characterisation: paper-reported counts and
+// the measured shape of the generated streams.
+type Table2Row struct {
+	App                string
+	PaperAvgSize       float64
+	PaperTxns          int64
+	PaperUpdates       int64
+	GeneratedAvgSize   float64
+	GeneratedUpdPerTx  float64
+	PaperUpdatesPerTxn float64
+}
+
+// Table2 measures nTx generated transactions per application.
+func Table2(nTx int, seed uint64) []Table2Row {
+	var rows []Table2Row
+	for _, p := range stamp.Profiles() {
+		ab, au := stamp.Stats(p, nTx, seed)
+		rows = append(rows, Table2Row{
+			App:                p.Name,
+			PaperAvgSize:       p.AvgTxSize,
+			PaperTxns:          p.PaperTxCount,
+			PaperUpdates:       p.PaperUpdates,
+			GeneratedAvgSize:   ab,
+			GeneratedUpdPerTx:  au,
+			PaperUpdatesPerTxn: p.UpdatesPerTx(),
+		})
+	}
+	return rows
+}
+
+// Format renders a Figure as an aligned text table. Values are printed as
+// multipliers ("3.42x") unless percent is true ("42%").
+func (f Figure) Format(percent bool) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, f.Title)
+	series := append([]string{}, f.Series...)
+	sort.Strings(series)
+	fmt.Fprintf(&b, "%-14s", "app")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%14s", s)
+	}
+	fmt.Fprintln(&b)
+	p := func(v float64) string {
+		if percent {
+			return fmt.Sprintf("%.0f%%", v*100)
+		}
+		return fmt.Sprintf("%.2fx", v)
+	}
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-14s", row.Workload)
+		for _, s := range series {
+			fmt.Fprintf(&b, "%14s", p(row.Values[s]))
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(f.GeoMean) > 0 {
+		fmt.Fprintf(&b, "%-14s", "geomean")
+		for _, s := range series {
+			fmt.Fprintf(&b, "%14s", p(f.GeoMean[s]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// MemRow reports software SpecPMT's persistent-memory space overhead for one
+// application — the §4/§5 motivation for hardware SpecPMT ("it nearly
+// triples the memory space overhead").
+type MemRow struct {
+	App string
+	// DataBytes is the durable working set actually touched.
+	DataBytes int64
+	// PeakLogBytes is the speculative log's high-water mark.
+	PeakLogBytes int64
+	// Ratio is PeakLogBytes over DataBytes.
+	Ratio float64
+}
+
+// SoftwareMemoryOverhead measures the peak live speculative log against the
+// touched data footprint for every application.
+func SoftwareMemoryOverhead(nTx int, seed uint64) ([]MemRow, error) {
+	var rows []MemRow
+	for _, p := range stamp.Profiles() {
+		r, err := RunSoftware("SpecSPMT", p, nTx, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Touched data: distinct cache lines the stream's stores cover,
+		// measured by replaying the generator (repeated updates of hot data
+		// do not enlarge the durable working set — that is exactly why the
+		// log outgrows it).
+		gen := stamp.NewGen(p, nTx, seed)
+		lines := map[uint64]bool{}
+		for {
+			wtx, ok := gen.Next()
+			if !ok {
+				break
+			}
+			for _, op := range wtx.Ops {
+				if op.Kind != stamp.OpStore || op.Size == 0 {
+					continue
+				}
+				first := op.Offset / 64
+				last := (op.Offset + uint64(op.Size) - 1) / 64
+				for l := first; l <= last; l++ {
+					lines[l] = true
+				}
+			}
+		}
+		touched := int64(len(lines) * 64)
+		row := MemRow{App: p.Name, DataBytes: touched, PeakLogBytes: r.PeakLogBytes}
+		if touched > 0 {
+			row.Ratio = float64(r.PeakLogBytes) / float64(touched)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"fmt"
+
+	"specpmt/internal/hwsim"
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/stamp"
+	"specpmt/internal/stats"
+	"specpmt/internal/txn"
+)
+
+// HardwareEngines lists the engines of the hardware evaluation in Figure
+// 13's legend order.
+func HardwareEngines() []string {
+	return []string{"EDE", "HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
+}
+
+// hwEngineStats extracts the CPU-core counters of a hardware engine.
+func hwEngineStats(e txn.Engine) *stats.Counters {
+	switch eng := e.(type) {
+	case *hwsim.EDE:
+		return eng.CoreStats()
+	case *hwsim.HOOP:
+		return eng.CoreStats()
+	case *hwsim.SpecHPMT:
+		return eng.CoreStats()
+	case *hwsim.NoLog:
+		return eng.CoreStats()
+	}
+	return nil
+}
+
+// RunHardware executes nTx transactions of profile p under the named
+// hardware engine with Table 1 latencies. The compute density uses the
+// profile's hardware multiplier (the paper evaluates the hardware designs on
+// the compute-denser simulator inputs, §7.1.1). opts, when non-nil,
+// overrides SpecHPMT's epoch configuration (Figure 15's sweep).
+func RunHardware(engine string, p stamp.Profile, nTx int, seed uint64, opts *hwsim.HWOptions) (Result, error) {
+	if p.HWComputeMul > 0 {
+		p.ComputeNs = int64(float64(p.ComputeNs) * p.HWComputeMul)
+	}
+	gen := stamp.NewGen(p, nTx, seed)
+	fp := gen.Footprint()
+	logSpace := 4*fp + (96 << 20)
+	devSize := pmem.PageSize + fp + logSpace
+	dev := pmem.NewDevice(pmem.Config{Size: devSize}) // Table 1 latencies
+	boot := dev.NewCore()
+	dataStart := pmem.Addr(pmem.PageSize)
+	dataEnd := dataStart + pmem.Addr(fp)
+	env := txn.Env{
+		Dev:     dev,
+		Core:    boot,
+		Heap:    pmalloc.NewHeap(dataStart, dataEnd),
+		LogHeap: pmalloc.NewHeap(dataEnd, pmem.Addr(devSize)),
+		Root:    0,
+		TS:      &txn.Timestamp{},
+	}
+	res := Result{Engine: engine, Workload: p.Name, Txns: nTx}
+	var e txn.Engine
+	var err error
+	if opts != nil && (engine == "SpecHPMT" || engine == "SpecHPMT-DP") {
+		o := *opts
+		o.DataPersist = engine == "SpecHPMT-DP"
+		e, err = hwsim.NewSpecHPMT(env, o)
+	} else {
+		e, err = txn.New(engine, env)
+	}
+	if err != nil {
+		return res, err
+	}
+	defer e.Close()
+	st := hwEngineStats(e)
+	if st == nil {
+		return res, fmt.Errorf("harness: %q is not a hardware engine", engine)
+	}
+	buf := make([]byte, 4096)
+	var clockStart int64
+	for {
+		wtx, ok := gen.Next()
+		if !ok {
+			break
+		}
+		tx := e.Begin()
+		for _, op := range wtx.Ops {
+			switch op.Kind {
+			case stamp.OpCompute:
+				tx.Compute(op.Dur)
+			case stamp.OpLoad:
+				tx.Load(dataStart+pmem.Addr(op.Offset), buf[:op.Size])
+			case stamp.OpStore:
+				fillValue(buf[:op.Size], op.Offset)
+				tx.Store(dataStart+pmem.Addr(op.Offset), buf[:op.Size])
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return res, fmt.Errorf("harness: %s/%s commit: %w", engine, p.Name, err)
+		}
+	}
+	res.ModeledNs = coreNow(e) - clockStart
+	res.Stats = engineSnapshot(e)
+	res.PeakLogBytes = st.LogBytesPeak
+	return res, nil
+}
+
+// engineSnapshot merges an engine's counters across its cores.
+func engineSnapshot(e txn.Engine) stats.Counters {
+	switch eng := e.(type) {
+	case *hwsim.EDE:
+		return eng.Snapshot()
+	case *hwsim.HOOP:
+		return eng.Snapshot()
+	case *hwsim.SpecHPMT:
+		return eng.Snapshot()
+	case *hwsim.NoLog:
+		return eng.Snapshot()
+	}
+	return stats.Counters{}
+}
+
+// coreNow reads the engine's CPU-core virtual clock.
+func coreNow(e txn.Engine) int64 {
+	switch eng := e.(type) {
+	case *hwsim.EDE:
+		return eng.CoreNow()
+	case *hwsim.HOOP:
+		return eng.CoreNow()
+	case *hwsim.SpecHPMT:
+		return eng.CoreNow()
+	case *hwsim.NoLog:
+		return eng.CoreNow()
+	}
+	return 0
+}
+
+// Figure13 reproduces "Speedup over EDE. Evaluated with simulator hardware".
+func Figure13(nTx int, seed uint64) (Figure, error) {
+	series := []string{"HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
+	fig := Figure{Title: "Figure 13: Speedup over EDE (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
+	geo := map[string][]float64{}
+	for _, p := range stamp.Profiles() {
+		base, err := RunHardware("EDE", p, nTx, seed, nil)
+		if err != nil {
+			return fig, err
+		}
+		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
+		for _, eng := range series {
+			r, err := RunHardware(eng, p, nTx, seed, nil)
+			if err != nil {
+				return fig, err
+			}
+			s := Speedup(base, r)
+			row.Values[eng] = s
+			geo[eng] = append(geo[eng], s)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	for eng, xs := range geo {
+		fig.GeoMean[eng] = GeoMean(xs)
+	}
+	return fig, nil
+}
+
+// Figure14 reproduces "Reduction of write traffic. Higher is better":
+// persistent-memory write bytes of each design relative to EDE.
+func Figure14(nTx int, seed uint64) (Figure, error) {
+	series := []string{"HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
+	fig := Figure{Title: "Figure 14: PM write-traffic reduction over EDE (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
+	geo := map[string][]float64{}
+	for _, p := range stamp.Profiles() {
+		base, err := RunHardware("EDE", p, nTx, seed, nil)
+		if err != nil {
+			return fig, err
+		}
+		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
+		for _, eng := range series {
+			r, err := RunHardware(eng, p, nTx, seed, nil)
+			if err != nil {
+				return fig, err
+			}
+			red := 1 - float64(totalTraffic(r))/float64(totalTraffic(base))
+			row.Values[eng] = red
+			geo[eng] = append(geo[eng], 1-red)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	for eng, xs := range geo {
+		fig.GeoMean[eng] = 1 - GeoMean(xs)
+	}
+	return fig, nil
+}
+
+// totalTraffic sums a run's persistent write bytes.
+func totalTraffic(r Result) uint64 { return r.Stats.PMWriteBytes }
+
+// Figure15Point is one epoch-size setting in the sensitivity sweep.
+type Figure15Point struct {
+	EpochBytes       int
+	MemOverheadPct   float64 // average peak live log over EDE's
+	AvgSpeedup       float64 // geomean speedup over EDE
+	TrafficReduction float64 // average traffic reduction over EDE
+}
+
+// Figure15 reproduces the epoch-size sensitivity study: average speedup and
+// write-traffic reduction against average memory-space increment (§7.3.1).
+func Figure15(nTx int, seed uint64) ([]Figure15Point, error) {
+	sweeps := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+	var out []Figure15Point
+	for _, eb := range sweeps {
+		opts := &hwsim.HWOptions{EpochBytes: eb, EpochPages: 200 * eb / (2 << 20), MaxEpochs: 8}
+		if opts.EpochPages < 2 {
+			opts.EpochPages = 2
+		}
+		var speeds, reds, mems []float64
+		for _, p := range stamp.Profiles() {
+			base, err := RunHardware("EDE", p, nTx, seed, nil)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunHardware("SpecHPMT", p, nTx, seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			speeds = append(speeds, Speedup(base, r))
+			reds = append(reds, 1-float64(totalTraffic(r))/float64(totalTraffic(base)))
+			denom := float64(base.PeakLogBytes)
+			if denom < 1 {
+				denom = 1
+			}
+			mems = append(mems, float64(r.PeakLogBytes)/float64(p.Footprint))
+		}
+		pt := Figure15Point{EpochBytes: eb, AvgSpeedup: GeoMean(speeds)}
+		for _, v := range reds {
+			pt.TrafficReduction += v / float64(len(reds))
+		}
+		for _, v := range mems {
+			pt.MemOverheadPct += 100 * v / float64(len(mems))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Figure1Hardware reproduces the bottom half of Figure 1: overheads of EDE
+// and HOOP over the no-log ideal.
+func Figure1Hardware(nTx int, seed uint64) (Figure, error) {
+	series := []string{"EDE", "HOOP"}
+	fig := Figure{Title: "Figure 1 (bottom): overhead over no-log (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
+	geo := map[string][]float64{}
+	for _, p := range stamp.Profiles() {
+		base, err := RunHardware("no-log", p, nTx, seed, nil)
+		if err != nil {
+			return fig, err
+		}
+		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
+		for _, eng := range series {
+			r, err := RunHardware(eng, p, nTx, seed, nil)
+			if err != nil {
+				return fig, err
+			}
+			ov := Overhead(base, r)
+			row.Values[eng] = ov
+			geo[eng] = append(geo[eng], 1+ov)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	for eng, xs := range geo {
+		fig.GeoMean[eng] = GeoMean(xs) - 1
+	}
+	return fig, nil
+}

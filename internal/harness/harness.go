@@ -1,0 +1,183 @@
+// Package harness runs (engine × workload) experiments and formats the
+// tables and figures of the SpecPMT paper's evaluation (§7). The software
+// experiments (Figure 1 top, Figure 12, Table 2) run the engines of
+// internal/txn over the stamp profiles on the pmem device model; the
+// hardware experiments (Figure 1 bottom, Figures 13–15) run the engines of
+// internal/hwsim.
+//
+// Reported times are modeled (virtual) nanoseconds on the application core;
+// background cores (reclaimer, replayer) are charged separately, mirroring
+// the paper's measurement of application execution time with dedicated
+// background threads.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"specpmt/internal/sim"
+
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/stamp"
+	"specpmt/internal/stats"
+	"specpmt/internal/txn"
+
+	// Engines register themselves with the txn registry.
+	_ "specpmt/internal/txn/kamino"
+	_ "specpmt/internal/txn/spec"
+	_ "specpmt/internal/txn/spht"
+	_ "specpmt/internal/txn/undo"
+)
+
+// RawEngine is the no-transaction baseline of Figure 1: plain loads and
+// stores with no crash consistency whatsoever.
+const RawEngine = "Raw"
+
+// SoftwareEngines lists the engines of the software evaluation in the order
+// of Figure 12's legend.
+func SoftwareEngines() []string {
+	return []string{"PMDK", "Kamino-Tx", "SPHT", "SpecSPMT-DP", "SpecSPMT"}
+}
+
+// Result is one (engine, workload) measurement.
+type Result struct {
+	Engine    string
+	Workload  string
+	Txns      int
+	ModeledNs int64
+	Stats     stats.Counters
+	// BackgroundNs is time spent on helper cores (reclaimer/replayer).
+	BackgroundNs int64
+	// PeakLogBytes is the live-log high-water mark.
+	PeakLogBytes int64
+}
+
+// DefaultScale is the per-application transaction count used by the benches.
+const DefaultScale = 2000
+
+// RunOpts tunes a software run beyond the defaults.
+type RunOpts struct {
+	// EADR runs the workload on an eADR platform (§5.3.1): caches inside
+	// the persistence domain, flushes degenerate to hints.
+	EADR bool
+}
+
+// RunSoftware executes nTx transactions of profile p under the named engine
+// (or RawEngine) and returns the measurement.
+func RunSoftware(engine string, p stamp.Profile, nTx int, seed uint64) (Result, error) {
+	return RunSoftwareOpt(engine, p, nTx, seed, RunOpts{})
+}
+
+// RunSoftwareOpt is RunSoftware with platform options.
+func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts RunOpts) (Result, error) {
+	gen := stamp.NewGen(p, nTx, seed)
+	fp := gen.Footprint()
+	logSpace := 6*fp + (64 << 20)
+	devSize := pmem.PageSize + fp + logSpace
+	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency(), EADR: opts.EADR})
+	core := dev.NewCore()
+	dataStart := pmem.Addr(pmem.PageSize)
+	dataEnd := dataStart + pmem.Addr(fp)
+	env := txn.Env{
+		Dev:     dev,
+		Core:    core,
+		Heap:    pmalloc.NewHeap(dataStart, dataEnd),
+		LogHeap: pmalloc.NewHeap(dataEnd, pmem.Addr(devSize)),
+		Root:    0,
+		TS:      &txn.Timestamp{},
+	}
+	res := Result{Engine: engine, Workload: p.Name, Txns: nTx}
+
+	if engine == RawEngine {
+		start := core.Now()
+		buf := make([]byte, 4096)
+		for {
+			wtx, ok := gen.Next()
+			if !ok {
+				break
+			}
+			for _, op := range wtx.Ops {
+				switch op.Kind {
+				case stamp.OpCompute:
+					core.Compute(op.Dur)
+				case stamp.OpLoad:
+					core.Load(dataStart+pmem.Addr(op.Offset), buf[:op.Size])
+				case stamp.OpStore:
+					fillValue(buf[:op.Size], op.Offset)
+					core.Store(dataStart+pmem.Addr(op.Offset), buf[:op.Size])
+				}
+			}
+		}
+		res.ModeledNs = core.Now() - start
+		res.Stats = core.Stats.Snapshot()
+		return res, nil
+	}
+
+	e, err := txn.New(engine, env)
+	if err != nil {
+		return res, err
+	}
+	defer e.Close()
+	start := core.Now()
+	buf := make([]byte, 4096)
+	for {
+		wtx, ok := gen.Next()
+		if !ok {
+			break
+		}
+		tx := e.Begin()
+		for _, op := range wtx.Ops {
+			switch op.Kind {
+			case stamp.OpCompute:
+				tx.Compute(op.Dur)
+			case stamp.OpLoad:
+				tx.Load(dataStart+pmem.Addr(op.Offset), buf[:op.Size])
+			case stamp.OpStore:
+				fillValue(buf[:op.Size], op.Offset)
+				tx.Store(dataStart+pmem.Addr(op.Offset), buf[:op.Size])
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return res, fmt.Errorf("harness: %s/%s commit: %w", engine, p.Name, err)
+		}
+	}
+	res.ModeledNs = core.Now() - start
+	res.Stats = core.Stats.Snapshot()
+	res.PeakLogBytes = core.Stats.LogBytesPeak
+	return res, nil
+}
+
+// fillValue writes a deterministic pattern derived from the offset.
+func fillValue(b []byte, off uint64) {
+	v := off*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		b[i] = byte(v >> (8 * (uint(i) % 8)))
+		if i%8 == 7 {
+			v = v*6364136223846793005 + 1442695040888963407
+		}
+	}
+}
+
+// Speedup returns base time over this result's time.
+func Speedup(base, r Result) float64 {
+	return float64(base.ModeledNs) / float64(r.ModeledNs)
+}
+
+// Overhead returns the fractional execution-time overhead of r over base
+// (e.g. 0.10 for 10%).
+func Overhead(base, r Result) float64 {
+	return float64(r.ModeledNs-base.ModeledNs) / float64(base.ModeledNs)
+}
+
+// GeoMean computes the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,50 @@
+package hwsim
+
+import "specpmt/internal/stats"
+
+// CoreStats and CoreNow expose each engine's CPU-core counters and virtual
+// clock to the experiment harness.
+
+// CoreStats returns the engine's CPU-core counters.
+func (e *EDE) CoreStats() *stats.Counters { return e.cpu.Core.Stats }
+
+// CoreNow returns the engine's CPU-core virtual time.
+func (e *EDE) CoreNow() int64 { return e.cpu.Core.Now() }
+
+// CoreStats returns the engine's CPU-core counters.
+func (e *HOOP) CoreStats() *stats.Counters { return e.cpu.Core.Stats }
+
+// CoreNow returns the engine's CPU-core virtual time.
+func (e *HOOP) CoreNow() int64 { return e.cpu.Core.Now() }
+
+// GCStats returns the garbage collector core's counters.
+func (e *HOOP) GCStats() *stats.Counters { return e.gcCore.Stats }
+
+// CoreStats returns the engine's CPU-core counters.
+func (e *SpecHPMT) CoreStats() *stats.Counters { return e.cpu.Core.Stats }
+
+// CoreNow returns the engine's CPU-core virtual time.
+func (e *SpecHPMT) CoreNow() int64 { return e.cpu.Core.Now() }
+
+// CoreStats returns the engine's CPU-core counters.
+func (e *NoLog) CoreStats() *stats.Counters { return e.cpu.Core.Stats }
+
+// CoreNow returns the engine's CPU-core virtual time.
+func (e *NoLog) CoreNow() int64 { return e.cpu.Core.Now() }
+
+// Snapshot returns the engine's merged counters across all of its cores.
+func (e *EDE) Snapshot() stats.Counters { return e.cpu.Core.Stats.Snapshot() }
+
+// Snapshot returns the engine's merged counters across all of its cores.
+func (e *NoLog) Snapshot() stats.Counters { return e.cpu.Core.Stats.Snapshot() }
+
+// Snapshot returns the engine's merged counters across all of its cores.
+func (e *SpecHPMT) Snapshot() stats.Counters { return e.cpu.Core.Stats.Snapshot() }
+
+// Snapshot merges the application core's counters with the GC core's, so
+// write-traffic comparisons include the garbage collector's data writes.
+func (e *HOOP) Snapshot() stats.Counters {
+	s := e.cpu.Core.Stats.Snapshot()
+	s.Merge(e.gcCore.Stats)
+	return s
+}

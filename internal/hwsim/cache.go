@@ -1,0 +1,124 @@
+// Package hwsim is the behavioural model of the paper's hardware proposals
+// (§5), standing in for the Gem5 + Ruby setup of §7.1.3. It models the
+// microarchitectural state hardware SpecPMT extends — an L1 data cache with
+// PBit/LogBit per line (Figure 9), private TLBs with an EpochBit and a
+// 3-bit saturating counter per entry, a transaction register, and an epoch
+// ID register (Figure 8) — plus the four evaluated designs (EDE, HOOP,
+// SpecHPMT-DP, SpecHPMT) and the no-log ideal, all on top of the shared
+// persistent memory device model of internal/pmem with Table 1 latencies.
+//
+// The hardware engines expose the same txn.Engine interface as the software
+// engines, so the same conformance battery, crash-injection harness, and
+// experiment runner drive them.
+package hwsim
+
+import (
+	"specpmt/internal/pmem"
+)
+
+// Cache geometry (Table 1: 32KB, 8-way, 64B lines -> 64 sets).
+const (
+	cacheWays = 8
+	cacheSets = 64
+)
+
+// cacheLine is one L1 entry with the two flag bits hardware SpecPMT adds
+// (Figure 9).
+type cacheLine struct {
+	tag    uint64 // line index (full address / 64)
+	valid  bool
+	dirty  bool
+	PBit   bool // line needs persistence on eviction (hot-page data)
+	LogBit bool // line must be speculatively logged at commit/eviction
+	lru    uint64
+}
+
+// Cache is the L1 data cache model: metadata only — the architectural data
+// lives in the pmem device.
+type Cache struct {
+	sets    [cacheSets][cacheWays]cacheLine
+	tick    uint64
+	Hits    uint64
+	Misses  uint64
+	Evicted uint64
+}
+
+// setOf maps a line index to its set.
+func setOf(line uint64) int { return int(line % cacheSets) }
+
+// Lookup finds the entry for a line without changing state. Returns nil on
+// miss.
+func (c *Cache) Lookup(line uint64) *cacheLine {
+	set := &c.sets[setOf(line)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access touches a line, allocating it on miss (LRU replacement). It returns
+// the entry, whether it was a hit, and the victim line evicted to make room
+// (valid only when evicted=true and the victim was dirty).
+func (c *Cache) Access(line uint64) (e *cacheLine, hit bool, victim cacheLine, evicted bool) {
+	c.tick++
+	set := &c.sets[setOf(line)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = c.tick
+			c.Hits++
+			return &set[i], true, cacheLine{}, false
+		}
+	}
+	c.Misses++
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	v := set[vi]
+	ev := v.valid && v.dirty
+	if v.valid {
+		c.Evicted++
+	}
+	set[vi] = cacheLine{tag: line, valid: true, lru: c.tick}
+	return &set[vi], false, v, ev
+}
+
+// DirtyLines calls fn for every valid dirty line, optionally filtered by a
+// predicate on the entry. Used by commit scans ("the hardware scans the L1
+// cache to find dirty cache lines updated by the transaction", §5.2) and by
+// epoch reclamation.
+func (c *Cache) DirtyLines(fn func(e *cacheLine)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			e := &c.sets[s][w]
+			if e.valid && e.dirty {
+				fn(e)
+			}
+		}
+	}
+}
+
+// Flush invalidates the whole cache, calling fn for each dirty line first
+// (wbnoinvd-style write-back used by mechanism switches, §4.3.1).
+func (c *Cache) Flush(fn func(e *cacheLine)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			e := &c.sets[s][w]
+			if e.valid && e.dirty && fn != nil {
+				fn(e)
+			}
+			*e = cacheLine{}
+		}
+	}
+}
+
+// LineAddr returns the byte address of a line index.
+func LineAddr(line uint64) pmem.Addr { return pmem.Addr(line * pmem.LineSize) }

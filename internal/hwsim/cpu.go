@@ -1,0 +1,103 @@
+package hwsim
+
+import (
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+)
+
+// CPU bundles the microarchitectural state of one simulated core: the pmem
+// core (clock, WPQ, architectural memory), the L1 model, and the TLB with
+// SpecPMT's extensions. Engines own a CPU and steer its eviction behaviour
+// through the hooks.
+type CPU struct {
+	Core *pmem.Core
+	L1   *Cache
+	TLB  *TLB
+	Lat  sim.Latency
+
+	// BeforeEvict runs before a dirty line is written back on eviction, so
+	// an engine can persist a log record first (SpecHPMT must speculatively
+	// log a LogBit line before it may leave the cache, §5.2: "hardware
+	// SpecPMT allows an L1 cache line updated in the transaction to
+	// overflow ... as long as the hardware speculatively logs the cache
+	// line prior to the eviction").
+	BeforeEvict func(victim cacheLine)
+	// SuppressWriteback, when set, stops dirty evictions from generating a
+	// persistent write-back (HOOP's out-of-place design: the data region is
+	// written only by the GC).
+	SuppressWriteback bool
+	// TrackMisses, when set, records the line index of every L1 miss in
+	// MissLines (HOOP creates a log record per cache miss in a transaction,
+	// §7.3).
+	TrackMisses bool
+	// MissLines accumulates missed lines while TrackMisses is set.
+	MissLines []uint64
+}
+
+// NewCPU builds a CPU over a fresh pmem core of the device.
+func NewCPU(dev *pmem.Device, lat sim.Latency) *CPU {
+	return &CPU{Core: dev.NewCore(), L1: &Cache{}, TLB: NewTLB(), Lat: lat}
+}
+
+// touch charges the L1 access cost for a line and handles replacement,
+// returning the entry. Dirty victims are (optionally) logged by the engine
+// hook and then written back to persistent memory asynchronously.
+func (c *CPU) touch(line uint64) *cacheLine {
+	e, hit, victim, evictedDirty := c.L1.Access(line)
+	if hit {
+		c.Core.Compute(c.Lat.CacheRead)
+		return e
+	}
+	if c.TrackMisses {
+		c.MissLines = append(c.MissLines, line)
+	}
+	c.Core.Compute(c.Lat.PMRead) // fill from memory
+	if evictedDirty {
+		if c.BeforeEvict != nil {
+			c.BeforeEvict(victim)
+		}
+		if !c.SuppressWriteback {
+			c.Core.Flush(LineAddr(victim.tag), pmem.LineSize, pmem.KindData)
+		}
+	}
+	return e
+}
+
+// WriteData performs an architectural store: L1 allocation, data write, and
+// dirty marking. The engine decides flag bits on the returned entries.
+func (c *CPU) WriteData(addr pmem.Addr, data []byte) []*cacheLine {
+	if len(data) == 0 {
+		return nil
+	}
+	first, last := pmem.LineOf(addr), pmem.LineOf(addr+pmem.Addr(len(data)-1))
+	var entries []*cacheLine
+	for l := first; l <= last; l++ {
+		e := c.touch(l)
+		e.dirty = true
+		entries = append(entries, e)
+	}
+	c.Core.StoreRaw(addr, data)
+	c.Core.Stats.Stores++
+	c.Core.Stats.StoreBytes += uint64(len(data))
+	return entries
+}
+
+// ReadData performs an architectural load through the L1 model.
+func (c *CPU) ReadData(addr pmem.Addr, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	first, last := pmem.LineOf(addr), pmem.LineOf(addr+pmem.Addr(len(buf)-1))
+	for l := first; l <= last; l++ {
+		c.touch(l)
+	}
+	c.Core.LoadRaw(addr, buf)
+	c.Core.Stats.Loads++
+	c.Core.Stats.LoadBytes += uint64(len(buf))
+}
+
+// ReadLine copies the architectural content of a line (log-record capture;
+// cache-resident, so no extra timing beyond the touch the caller did).
+func (c *CPU) ReadLine(line uint64, buf *[pmem.LineSize]byte) {
+	c.Core.LoadRaw(LineAddr(line), buf[:])
+}

@@ -1,0 +1,180 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+)
+
+func newCPUWorld() (*pmem.Device, *CPU) {
+	dev := pmem.NewDevice(pmem.Config{Size: 16 << 20})
+	return dev, NewCPU(dev, sim.DefaultLatency())
+}
+
+func TestCPUWriteReadRoundTrip(t *testing.T) {
+	f := func(off uint16, v uint64) bool {
+		_, cpu := newCPUWorld()
+		addr := pmem.Addr(off)
+		var b [8]byte
+		putU64t(b[:], v)
+		cpu.WriteData(addr, b[:])
+		var got [8]byte
+		cpu.ReadData(addr, got[:])
+		return got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func putU64t(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func TestCPUHitCheaperThanMiss(t *testing.T) {
+	_, cpu := newCPUWorld()
+	var b [8]byte
+	cpu.ReadData(0, b[:]) // miss
+	missCost := cpu.Core.Now()
+	cpu.ReadData(0, b[:]) // hit
+	hitCost := cpu.Core.Now() - missCost
+	if hitCost >= missCost {
+		t.Fatalf("hit (%dns) should be cheaper than miss (%dns)", hitCost, missCost)
+	}
+}
+
+func TestCPUDirtyEvictionWritesBack(t *testing.T) {
+	dev, cpu := newCPUWorld()
+	// Dirty a line, then thrash its set until it evicts.
+	var one [1]byte
+	one[0] = 0x5A
+	cpu.WriteData(0, one[:])
+	for i := 1; i <= cacheWays+2; i++ {
+		cpu.ReadData(pmem.Addr(i*cacheSets*pmem.LineSize), one[:])
+	}
+	// The victim's write-back landed in the WPQ; fence and check the
+	// persistence domain.
+	cpu.Core.Fence()
+	var p [1]byte
+	dev.ReadPersisted(0, p[:])
+	if p[0] != 0x5A {
+		t.Fatal("dirty eviction should write the line back to persistent memory")
+	}
+}
+
+func TestCPUSuppressWriteback(t *testing.T) {
+	dev, cpu := newCPUWorld()
+	cpu.SuppressWriteback = true
+	var one [1]byte
+	one[0] = 0x77
+	cpu.WriteData(0, one[:])
+	for i := 1; i <= cacheWays+2; i++ {
+		cpu.ReadData(pmem.Addr(i*cacheSets*pmem.LineSize), one[:])
+	}
+	cpu.Core.Fence()
+	var p [1]byte
+	dev.ReadPersisted(0, p[:])
+	if p[0] != 0 {
+		t.Fatal("SuppressWriteback must keep evictions out of persistent memory")
+	}
+}
+
+func TestCPUBeforeEvictHook(t *testing.T) {
+	_, cpu := newCPUWorld()
+	var evicted []uint64
+	cpu.BeforeEvict = func(v cacheLine) { evicted = append(evicted, v.tag) }
+	var one [1]byte
+	cpu.WriteData(0, one[:])
+	for i := 1; i <= cacheWays+2; i++ {
+		cpu.ReadData(pmem.Addr(i*cacheSets*pmem.LineSize), one[:])
+	}
+	found := false
+	for _, tag := range evicted {
+		if tag == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("BeforeEvict never saw the dirty line: %v", evicted)
+	}
+}
+
+func TestCPUMissTracking(t *testing.T) {
+	_, cpu := newCPUWorld()
+	var b [8]byte
+	cpu.ReadData(0, b[:]) // untracked miss
+	cpu.TrackMisses = true
+	cpu.ReadData(4096, b[:]) // tracked miss
+	cpu.ReadData(4096, b[:]) // hit: not tracked
+	cpu.TrackMisses = false
+	cpu.ReadData(8192, b[:]) // untracked
+	if len(cpu.MissLines) != 1 || cpu.MissLines[0] != 64 {
+		t.Fatalf("MissLines=%v, want exactly the line of 4096", cpu.MissLines)
+	}
+}
+
+func TestRingScanRecordGarbageNeverPanics(t *testing.T) {
+	f := func(garbage []byte, off uint8) bool {
+		dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+		core := dev.NewCore()
+		r := NewRing(core, 4096, 2048, 0)
+		n := len(garbage)
+		if n > 2048 {
+			n = 2048
+		}
+		if n > 0 {
+			core.Store(4096, garbage[:n])
+		}
+		defer func() {
+			if recover() != nil {
+				t.Error("ScanRecord panicked on garbage")
+			}
+		}()
+		r.Scan(core, func(o uint64, p []byte) bool { return true })
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingWrapRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+		core := dev.NewCore()
+		r := NewRing(core, 4096, 512, 0)
+		var want [][]byte
+		for _, pl := range payloads {
+			if len(pl) > 200 {
+				pl = pl[:200]
+			}
+			if _, err := r.Append(pl); err != nil {
+				// Make room: scan-verify what's there, then retire it.
+				r.AdvanceHead(r.Tail())
+				want = nil
+				if _, err := r.Append(pl); err != nil {
+					return true
+				}
+			}
+			want = append(want, pl)
+		}
+		r.FlushPending(pmem.KindLog)
+		core.Fence()
+		i := 0
+		r.Scan(core, func(off uint64, got []byte) bool {
+			if i >= len(want) || string(got) != string(want[i]) {
+				t.Errorf("record %d mismatch", i)
+			}
+			i++
+			return true
+		})
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

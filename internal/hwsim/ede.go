@@ -1,0 +1,246 @@
+package hwsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+)
+
+// EDE models the Execution Dependence Extension baseline (Shull et al.,
+// ISCA'21) as the paper configures it (§7.1.3): a state-of-the-art in-place
+// update hardware transaction with undo logging whose ISA support eliminates
+// fences BETWEEN logging and data updates — the hardware tracks the
+// dependence — but whose data persistence remains synchronous at commit.
+// Log records are coalesced as much as possible (per cache line, appended
+// sequentially).
+//
+// The dependence tracking is emulated by ordering log-record acceptance
+// ahead of data write-back with cheap acceptance waits rather than
+// full drains; the dominant commit cost is the synchronous persistence of
+// the updated data lines, exactly what Figures 13/14 measure.
+type EDE struct {
+	env  txn.Env
+	cpu  *CPU
+	ring *Ring
+	open bool
+}
+
+const (
+	edeMagic = 0x4544454c4f473131 // "EDELOG11"
+
+	offEDEMagic    = 0
+	offEDERingBase = 8
+	offEDERingCap  = 16
+	offEDEHead     = 24
+
+	edeRingCap = 4 << 20
+)
+
+func init() {
+	txn.Register("EDE", func(env txn.Env) (txn.Engine, error) { return NewEDE(env) })
+}
+
+// NewEDE attaches to (or initialises) an EDE engine at env.Root.
+func NewEDE(env txn.Env) (*EDE, error) {
+	e := &EDE{env: env, cpu: NewCPU(env.Dev, sim.DefaultLatency())}
+	c := e.cpu.Core
+	boot := env.Core
+	if boot.LoadUint64(env.Root+offEDEMagic) == edeMagic {
+		base := pmem.Addr(boot.LoadUint64(env.Root + offEDERingBase))
+		capB := int(boot.LoadUint64(env.Root + offEDERingCap))
+		head := boot.LoadUint64(env.Root + offEDEHead)
+		e.ring = NewRing(c, base, capB, head)
+		return e, nil
+	}
+	base, err := env.LogHeap.Alloc(edeRingCap)
+	if err != nil {
+		return nil, fmt.Errorf("hwsim: EDE log: %w", err)
+	}
+	e.ring = NewRing(c, base, edeRingCap, 0)
+	boot.StoreUint64(env.Root+offEDERingBase, uint64(base))
+	boot.StoreUint64(env.Root+offEDERingCap, edeRingCap)
+	boot.StoreUint64(env.Root+offEDEHead, 0)
+	boot.StoreUint64(env.Root+offEDEMagic, edeMagic)
+	boot.PersistBarrier(env.Root, txn.RootSize, pmem.KindLog)
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *EDE) Name() string { return "EDE" }
+
+// Close implements txn.Engine.
+func (e *EDE) Close() error { return nil }
+
+// Begin implements txn.Engine.
+func (e *EDE) Begin() txn.Tx {
+	if e.open {
+		panic("hwsim: one transaction per core")
+	}
+	e.open = true
+	e.cpu.Core.Stats.TxBegun++
+	return &edeTx{e: e, ws: txn.NewWriteSet(), logged: map[uint64]bool{}}
+}
+
+type edeTx struct {
+	e      *EDE
+	ws     *txn.WriteSet
+	logged map[uint64]bool
+	undo   []edeUndo // volatile copies for abort
+	done   bool
+	err    error
+}
+
+type edeUndo struct {
+	line uint64
+	old  [pmem.LineSize]byte
+}
+
+// Store implements txn.Tx: hardware-log the old line content (once per line
+// per transaction), then update in place. No fence between them.
+func (t *edeTx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("hwsim: use of finished transaction")
+	}
+	if len(data) == 0 {
+		return
+	}
+	e := t.e
+	first, last := pmem.LineOf(addr), pmem.LineOf(addr+pmem.Addr(len(data)-1))
+	for l := first; l <= last; l++ {
+		if t.logged[l] {
+			continue
+		}
+		var old [pmem.LineSize]byte
+		e.cpu.ReadLine(l, &old)
+		payload := make([]byte, 8+pmem.LineSize)
+		binary.LittleEndian.PutUint64(payload, l)
+		copy(payload[8:], old[:])
+		if _, err := e.ring.Append(payload); err != nil {
+			t.err = err
+			return
+		}
+		t.undo = append(t.undo, edeUndo{line: l, old: old})
+		t.logged[l] = true
+		e.cpu.Core.Stats.LogRecords++
+		e.cpu.Core.Stats.AddLiveLog(int64(len(payload) + ringFrame))
+	}
+	// The dependence tracker guarantees the records are ordered ahead of the
+	// data update without a pipeline stall (EDE's contribution).
+	e.ring.FlushPending(pmem.KindLog)
+	e.cpu.Core.OrderPoint()
+	t.ws.Add(addr, len(data))
+	e.cpu.WriteData(addr, data)
+}
+
+// StoreUint64 implements txn.Tx.
+func (t *edeTx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Store(addr, b[:])
+}
+
+// Load implements txn.Tx.
+func (t *edeTx) Load(addr pmem.Addr, buf []byte) { t.e.cpu.ReadData(addr, buf) }
+
+// LoadUint64 implements txn.Tx.
+func (t *edeTx) LoadUint64(addr pmem.Addr) uint64 {
+	var b [8]byte
+	t.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Compute implements txn.Tx.
+func (t *edeTx) Compute(ns int64) { t.e.cpu.Core.Compute(ns) }
+
+// Commit implements txn.Tx: persist log, then data (ordered), then retire
+// the log.
+func (t *edeTx) Commit() error {
+	if t.done {
+		return errors.New("hwsim: transaction already finished")
+	}
+	t.done = true
+	e := t.e
+	e.open = false
+	c := e.cpu.Core
+	if t.err != nil {
+		t.rollback()
+		return t.err
+	}
+	for _, l := range t.ws.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+		if ce := e.cpu.L1.Lookup(l); ce != nil {
+			ce.dirty = false
+		}
+	}
+	c.Fence() // synchronous data persistence (EDE's defining property)
+	t.retireLog()
+	c.Stats.TxCommitted++
+	return nil
+}
+
+// retireLog advances the durable head past this transaction's records.
+func (t *edeTx) retireLog() {
+	e := t.e
+	c := e.cpu.Core
+	live := int64(e.ring.Live())
+	e.ring.AdvanceHead(e.ring.Tail())
+	c.StoreUint64(e.env.Root+offEDEHead, e.ring.Head())
+	c.PersistBarrier(e.env.Root+offEDEHead, 8, pmem.KindLog)
+	c.Stats.AddLiveLog(-live)
+}
+
+// Abort implements txn.Tx.
+func (t *edeTx) Abort() error {
+	if t.done {
+		return errors.New("hwsim: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.rollback()
+	t.e.cpu.Core.Stats.TxAborted++
+	return nil
+}
+
+func (t *edeTx) rollback() {
+	e := t.e
+	c := e.cpu.Core
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		e.cpu.WriteData(LineAddr(u.line), u.old[:])
+		c.Flush(LineAddr(u.line), pmem.LineSize, pmem.KindData)
+	}
+	c.Fence()
+	t.retireLog()
+}
+
+// Recover implements txn.Engine: scan the undo ring from its durable head
+// and apply old line images in reverse.
+func (e *EDE) Recover() error {
+	c := e.cpu.Core
+	type rec struct {
+		line uint64
+		old  []byte
+	}
+	var recs []rec
+	tail := e.ring.Scan(c, func(off uint64, payload []byte) bool {
+		if len(payload) != 8+pmem.LineSize {
+			return false
+		}
+		recs = append(recs, rec{binary.LittleEndian.Uint64(payload), payload[8:]})
+		return true
+	})
+	for i := len(recs) - 1; i >= 0; i-- {
+		c.StoreRaw(LineAddr(recs[i].line), recs[i].old)
+		c.Flush(LineAddr(recs[i].line), pmem.LineSize, pmem.KindData)
+	}
+	c.Fence()
+	e.ring.ResumeAt(tail)
+	e.ring.AdvanceHead(tail)
+	c.StoreUint64(e.env.Root+offEDEHead, tail)
+	c.PersistBarrier(e.env.Root+offEDEHead, 8, pmem.KindLog)
+	return nil
+}

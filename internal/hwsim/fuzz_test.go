@@ -1,0 +1,30 @@
+package hwsim
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+)
+
+func FuzzRingScanGarbage(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint16(4))
+	f.Fuzz(func(t *testing.T, garbage []byte, off uint16) {
+		dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+		core := dev.NewCore()
+		r := NewRing(core, 4096, 2048, 0)
+		// Write one real record, then scribble.
+		if _, err := r.Append([]byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		n := len(garbage)
+		if n > 2048 {
+			n = 2048
+		}
+		at := pmem.Addr(4096 + int(off)%1024)
+		if n > 0 {
+			core.Store(at, garbage[:n])
+		}
+		r.Scan(core, func(o uint64, p []byte) bool { return true })
+	})
+}

@@ -1,0 +1,347 @@
+package hwsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+)
+
+// HOOP models the hardware-assisted out-of-place update design (Cai et al.,
+// ISCA'20) as the paper configures it (§7.1.3): fences eliminated,
+// asynchronous data persistence, indirect data access through an on-chip
+// mapping table (whose redirection latency is ignored, modeling HOOP
+// optimistically, as the paper does). Write intents are logged at commit;
+// a garbage collector coalesces log records and applies them to the data
+// region in 128 KiB batches. The GC's write bursts share the memory
+// controller with the application — the write contention §7.3 identifies as
+// HOOP's weakness. HOOP also creates a log record for every cache miss in a
+// transaction, which inflates its log traffic on large-footprint
+// applications (ssca2, vacation, yada).
+type HOOP struct {
+	env    txn.Env
+	cpu    *CPU
+	gcCore *pmem.Core
+	ring   *Ring
+	// pendingLines are committed-but-not-GCed distinct data lines.
+	pendingLines map[uint64]bool
+	gcWindow     int
+	open         bool
+}
+
+const (
+	hoopMagic = 0x484f4f504c4f4731 // "HOOPLOG1"
+
+	offHOOPMagic    = 0
+	offHOOPRingBase = 8
+	offHOOPRingCap  = 16
+	offHOOPHead     = 24
+
+	hoopRingCap  = 16 << 20
+	hoopGCWindow = 128 << 10 // "The GC reclaims 128KB log records at each GC cycle"
+	// hoopEvictionLines is the 16 KiB on-chip eviction buffer (256 lines)
+	// holding out-of-place committed data awaiting GC; when it fills, the
+	// application must wait for a GC cycle — the write contention of §7.3.
+	hoopEvictionLines = 256
+
+	hoopRecWrite  = 1
+	hoopRecMiss   = 2
+	hoopRecCommit = 3
+)
+
+func init() {
+	txn.Register("HOOP", func(env txn.Env) (txn.Engine, error) { return NewHOOP(env) })
+}
+
+// NewHOOP attaches to (or initialises) a HOOP engine at env.Root.
+func NewHOOP(env txn.Env) (*HOOP, error) {
+	e := &HOOP{
+		env:          env,
+		cpu:          NewCPU(env.Dev, sim.DefaultLatency()),
+		gcCore:       env.Dev.NewCore(),
+		pendingLines: map[uint64]bool{},
+		gcWindow:     hoopGCWindow,
+	}
+	e.cpu.SuppressWriteback = true // out-of-place: only the GC writes data
+	c := e.cpu.Core
+	boot := env.Core
+	if boot.LoadUint64(env.Root+offHOOPMagic) == hoopMagic {
+		base := pmem.Addr(boot.LoadUint64(env.Root + offHOOPRingBase))
+		capB := int(boot.LoadUint64(env.Root + offHOOPRingCap))
+		head := boot.LoadUint64(env.Root + offHOOPHead)
+		e.ring = NewRing(c, base, capB, head)
+		return e, nil
+	}
+	base, err := env.LogHeap.Alloc(hoopRingCap)
+	if err != nil {
+		return nil, fmt.Errorf("hwsim: HOOP log: %w", err)
+	}
+	e.ring = NewRing(c, base, hoopRingCap, 0)
+	boot.StoreUint64(env.Root+offHOOPRingBase, uint64(base))
+	boot.StoreUint64(env.Root+offHOOPRingCap, hoopRingCap)
+	boot.StoreUint64(env.Root+offHOOPHead, 0)
+	boot.StoreUint64(env.Root+offHOOPMagic, hoopMagic)
+	boot.PersistBarrier(env.Root, txn.RootSize, pmem.KindLog)
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *HOOP) Name() string { return "HOOP" }
+
+// Close implements txn.Engine: drain the GC.
+func (e *HOOP) Close() error {
+	e.runGC(e.ring.Tail(), false)
+	return nil
+}
+
+// Begin implements txn.Engine.
+func (e *HOOP) Begin() txn.Tx {
+	if e.open {
+		panic("hwsim: one transaction per core")
+	}
+	e.open = true
+	e.cpu.Core.Stats.TxBegun++
+	e.cpu.TrackMisses = true
+	e.cpu.MissLines = e.cpu.MissLines[:0]
+	return &hoopTx{e: e, ws: txn.NewWriteSet()}
+}
+
+type hoopTx struct {
+	e    *HOOP
+	ws   *txn.WriteSet
+	vals [][]byte
+	done bool
+}
+
+// Store buffers the write intent out of place (redirection table).
+func (t *hoopTx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("hwsim: use of finished transaction")
+	}
+	t.ws.Add(addr, len(data))
+	t.vals = append(t.vals, append([]byte(nil), data...))
+	t.e.cpu.Core.Compute(1) // buffer insert; redirection latency is ignored
+	t.e.cpu.Core.Stats.Stores++
+	t.e.cpu.Core.Stats.StoreBytes += uint64(len(data))
+}
+
+// StoreUint64 implements txn.Tx.
+func (t *hoopTx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Store(addr, b[:])
+}
+
+// Load reads through the cache with the transaction's own intents overlaid.
+func (t *hoopTx) Load(addr pmem.Addr, buf []byte) {
+	t.e.cpu.ReadData(addr, buf)
+	for i, r := range t.ws.Ranges() {
+		lo, hi := r.Addr, r.Addr+pmem.Addr(r.Size)
+		qlo, qhi := addr, addr+pmem.Addr(len(buf))
+		if lo >= qhi || qlo >= hi {
+			continue
+		}
+		start, end := lo, hi
+		if qlo > start {
+			start = qlo
+		}
+		if qhi < end {
+			end = qhi
+		}
+		copy(buf[start-qlo:end-qlo], t.vals[i][start-lo:end-lo])
+	}
+}
+
+// LoadUint64 implements txn.Tx.
+func (t *hoopTx) LoadUint64(addr pmem.Addr) uint64 {
+	var b [8]byte
+	t.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Compute implements txn.Tx.
+func (t *hoopTx) Compute(ns int64) { t.e.cpu.Core.Compute(ns) }
+
+// Commit persists one log record — write intents plus the transaction's
+// cache-miss lines — with hardware-ordered acceptance (no fence on the
+// critical path beyond the commit marker), then applies the intents to the
+// (volatile view of the) data and schedules GC.
+func (t *hoopTx) Commit() error {
+	if t.done {
+		return errors.New("hwsim: transaction already finished")
+	}
+	t.done = true
+	e := t.e
+	e.open = false
+	e.cpu.TrackMisses = false
+	c := e.cpu.Core
+	if t.ws.Len() == 0 {
+		c.Stats.TxCommitted++
+		return nil
+	}
+	// HOOP creates one log record per data update and per cache miss
+	// (§7.3), then a commit marker. The per-record framing is part of its
+	// log-traffic amplification on large-footprint applications.
+	appendRec := func(payload []byte) error {
+		if _, err := e.ring.Append(payload); err != nil {
+			e.runGC(e.ring.Tail(), true) // log pressure: synchronous GC
+			if _, err2 := e.ring.Append(payload); err2 != nil {
+				return err2
+			}
+		}
+		c.Stats.LogRecords++
+		c.Stats.AddLiveLog(int64(len(payload) + ringFrame))
+		return nil
+	}
+	var bytesLogged int
+	for i, r := range t.ws.Ranges() {
+		payload := make([]byte, 13+r.Size)
+		payload[0] = hoopRecWrite
+		binary.LittleEndian.PutUint64(payload[1:], uint64(r.Addr))
+		binary.LittleEndian.PutUint32(payload[9:], uint32(r.Size))
+		copy(payload[13:], t.vals[i])
+		if err := appendRec(payload); err != nil {
+			c.Stats.TxAborted++
+			return err
+		}
+		bytesLogged += len(payload)
+	}
+	for _, l := range e.cpu.MissLines {
+		payload := make([]byte, 9+pmem.LineSize)
+		payload[0] = hoopRecMiss
+		binary.LittleEndian.PutUint64(payload[1:], l)
+		e.cpu.Core.LoadRaw(LineAddr(l), payload[9:])
+		if err := appendRec(payload); err != nil {
+			c.Stats.TxAborted++
+			return err
+		}
+		bytesLogged += len(payload)
+	}
+	marker := make([]byte, 9)
+	marker[0] = hoopRecCommit
+	binary.LittleEndian.PutUint64(marker[1:], e.env.TS.Next())
+	if err := appendRec(marker); err != nil {
+		c.Stats.TxAborted++
+		return err
+	}
+	e.ring.FlushPending(pmem.KindLog)
+	c.Fence() // commit point: the marker is durable
+	// Apply intents to the architectural image (committed values become
+	// visible; persistence is the GC's job).
+	for i, r := range t.ws.Ranges() {
+		ents := e.cpu.WriteData(r.Addr, t.vals[i])
+		for _, ce := range ents {
+			e.pendingLines[ce.tag] = true
+		}
+	}
+	c.Stats.TxCommitted++
+	if len(e.pendingLines) >= hoopEvictionLines {
+		// Eviction buffer full: the application stalls behind the GC.
+		e.runGC(e.ring.Tail(), true)
+	} else if e.ring.Live() > e.gcWindow {
+		e.runGC(e.ring.Tail(), false)
+	}
+	return nil
+}
+
+// Abort discards the buffered intents.
+func (t *hoopTx) Abort() error {
+	if t.done {
+		return errors.New("hwsim: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.e.cpu.TrackMisses = false
+	t.e.cpu.Core.Stats.TxAborted++
+	return nil
+}
+
+// runGC coalesces the pending window and applies it to the data region: one
+// write-back per distinct line, issued through the shared memory controller
+// ("its occasional garbage collection exhausts the write buffers on the
+// memory controller, causing intensive write contention with application
+// working threads", §7.3). When sync is set — the on-chip eviction buffer
+// or the log ring is full — the application core performs the cycle itself
+// and stalls for it; otherwise the GC core runs it in the background.
+func (e *HOOP) runGC(upto uint64, sync bool) {
+	if len(e.pendingLines) == 0 && e.ring.Head() == upto {
+		return
+	}
+	gc := e.gcCore
+	if sync {
+		gc = e.cpu.Core
+	}
+	var lines []uint64
+	for l := range e.pendingLines {
+		lines = append(lines, l)
+	}
+	sortLines(lines)
+	for _, l := range lines {
+		gc.Flush(LineAddr(l), pmem.LineSize, pmem.KindGC)
+		if ce := e.cpu.L1.Lookup(l); ce != nil {
+			ce.dirty = false
+		}
+	}
+	gc.Fence()
+	live := int64(e.ring.Live())
+	e.ring.AdvanceHead(upto)
+	gc.StoreUint64(e.env.Root+offHOOPHead, upto)
+	gc.PersistBarrier(e.env.Root+offHOOPHead, 8, pmem.KindLog)
+	e.pendingLines = map[uint64]bool{}
+	e.cpu.Core.Stats.AddLiveLog(-live)
+	e.cpu.Core.Stats.ReclaimCycles++
+}
+
+// Recover implements txn.Engine: replay intent records from the durable
+// head, applying each group only when its commit marker is present (write
+// records of an interrupted transaction are discarded).
+func (e *HOOP) Recover() error {
+	c := e.cpu.Core
+	touched := txn.NewWriteSet()
+	type intent struct {
+		addr pmem.Addr
+		val  []byte
+	}
+	var group []intent
+	tail := e.ring.Scan(c, func(off uint64, payload []byte) bool {
+		if len(payload) < 9 {
+			return false
+		}
+		switch payload[0] {
+		case hoopRecWrite:
+			if len(payload) < 13 {
+				return false
+			}
+			addr := pmem.Addr(binary.LittleEndian.Uint64(payload[1:]))
+			sz := int(binary.LittleEndian.Uint32(payload[9:]))
+			if 13+sz != len(payload) {
+				return false
+			}
+			group = append(group, intent{addr, append([]byte(nil), payload[13:]...)})
+		case hoopRecMiss:
+			// Read-set image; no replay needed.
+		case hoopRecCommit:
+			for _, in := range group {
+				c.StoreRaw(in.addr, in.val)
+				touched.Add(in.addr, len(in.val))
+			}
+			group = group[:0]
+		default:
+			return false
+		}
+		return true
+	})
+	for _, l := range touched.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+	}
+	c.Fence()
+	e.ring.ResumeAt(tail)
+	e.ring.AdvanceHead(tail)
+	c.StoreUint64(e.env.Root+offHOOPHead, tail)
+	c.PersistBarrier(e.env.Root+offHOOPHead, 8, pmem.KindLog)
+	e.pendingLines = map[uint64]bool{}
+	return nil
+}

@@ -1,0 +1,432 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := &Cache{}
+	_, hit, _, _ := c.Access(5)
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	_, hit, _, _ = c.Access(5)
+	if !hit {
+		t.Fatal("second access should hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	c := &Cache{}
+	// Fill one set: lines congruent mod cacheSets.
+	base := uint64(3)
+	for i := 0; i < cacheWays; i++ {
+		e, _, _, _ := c.Access(base + uint64(i)*cacheSets)
+		e.dirty = true
+	}
+	// Touch the first line so it is MRU, then force an eviction.
+	c.Access(base)
+	_, _, victim, evicted := c.Access(base + uint64(cacheWays)*cacheSets)
+	if !evicted {
+		t.Fatal("conflict miss should evict a dirty victim")
+	}
+	if victim.tag == base {
+		t.Fatal("LRU evicted the most recently used line")
+	}
+}
+
+func TestCacheDirtyScan(t *testing.T) {
+	c := &Cache{}
+	for i := 0; i < 10; i++ {
+		e, _, _, _ := c.Access(uint64(i))
+		if i%2 == 0 {
+			e.dirty = true
+		}
+	}
+	n := 0
+	c.DirtyLines(func(e *cacheLine) { n++ })
+	if n != 5 {
+		t.Fatalf("dirty scan found %d, want 5", n)
+	}
+}
+
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := &Cache{}
+		for _, l := range lines {
+			c.Access(uint64(l))
+		}
+		// Valid entries never exceed capacity.
+		n := 0
+		for s := range c.sets {
+			for w := range c.sets[s] {
+				if c.sets[s][w].valid {
+					n++
+				}
+			}
+		}
+		return n <= cacheSets*cacheWays
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBHotnessAndClearEpoch(t *testing.T) {
+	tlb := NewTLB()
+	e := tlb.Lookup(7)
+	if e.EpochBit {
+		t.Fatal("fresh entry must be cold")
+	}
+	e.EpochBit = true
+	e.CntEID = 3
+	tlb.Lookup(8).EpochBit = true
+	tlb.entries[8].CntEID = 4
+	if n := tlb.ClearEpoch(3); n != 1 {
+		t.Fatalf("ClearEpoch(3) switched %d pages, want 1", n)
+	}
+	if tlb.entries[7].EpochBit || tlb.entries[7].CntEID != 0 {
+		t.Fatal("clearepoch must reset EpochBit and counter")
+	}
+	if !tlb.entries[8].EpochBit {
+		t.Fatal("clearepoch must not touch other epochs")
+	}
+}
+
+func TestTLBEvictionHook(t *testing.T) {
+	tlb := NewTLB()
+	evictions := 0
+	tlb.OnEvict = func(v *tlbEntry) { evictions++ }
+	for p := uint64(0); p < tlbEntries+10; p++ {
+		tlb.Lookup(p)
+	}
+	if tlb.Len() > tlbEntries {
+		t.Fatalf("TLB exceeded capacity: %d", tlb.Len())
+	}
+	if evictions != 10 {
+		t.Fatalf("evictions=%d want 10", evictions)
+	}
+}
+
+func newRingWorld(t *testing.T) (*pmem.Device, *Ring) {
+	t.Helper()
+	dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+	core := dev.NewCore()
+	return dev, NewRing(core, 4096, 64<<10, 0)
+}
+
+func TestRingAppendScan(t *testing.T) {
+	dev, r := newRingWorld(t)
+	core := dev.NewCore()
+	for i := byte(0); i < 10; i++ {
+		if _, err := r.Append([]byte{i, i, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.FlushPending(pmem.KindLog)
+	var got []byte
+	tail := r.Scan(core, func(off uint64, p []byte) bool {
+		got = append(got, p[0])
+		return true
+	})
+	if len(got) != 10 || got[9] != 9 {
+		t.Fatalf("scan returned %v", got)
+	}
+	if tail != r.Tail() {
+		t.Fatalf("scan tail %d != ring tail %d", tail, r.Tail())
+	}
+}
+
+func TestRingWrapAndSaltProtection(t *testing.T) {
+	dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+	core := dev.NewCore()
+	r := NewRing(core, 4096, 1024, 0)
+	payload := make([]byte, 100)
+	// Fill, reclaim, and lap the ring several times.
+	for lap := 0; lap < 30; lap++ {
+		payload[0] = byte(lap)
+		if _, err := r.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		if r.Free() < 200 {
+			r.AdvanceHead(r.Tail()) // retire everything
+		}
+	}
+	r.FlushPending(pmem.KindLog)
+	core.Fence()
+	// After retiring all, a scan from head finds nothing: residual bytes of
+	// earlier laps fail their salted checksums.
+	r.AdvanceHead(r.Tail())
+	n := 0
+	r.Scan(core, func(off uint64, p []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("scan resurrected %d stale records after full reclaim", n)
+	}
+}
+
+func TestRingFull(t *testing.T) {
+	dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+	core := dev.NewCore()
+	r := NewRing(core, 4096, 256, 0)
+	if _, err := r.Append(make([]byte, 300)); err != ErrRingFull {
+		t.Fatalf("err=%v want ErrRingFull", err)
+	}
+	if _, err := r.Append(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Append(make([]byte, 200)); err != ErrRingFull {
+		t.Fatalf("err=%v want ErrRingFull", err)
+	}
+}
+
+func TestRingScanStopsAtTorn(t *testing.T) {
+	dev, r := newRingWorld(t)
+	core := dev.NewCore()
+	r.Append([]byte{1, 2, 3})
+	off2, _ := r.Append([]byte{4, 5, 6})
+	r.FlushPending(pmem.KindLog)
+	core.Fence()
+	// Corrupt the second record's payload in place.
+	core.Store(r.pos(off2+4), []byte{0xFF})
+	core.PersistBarrier(r.pos(off2+4), 1, pmem.KindData)
+	n := 0
+	tail := r.Scan(core, func(off uint64, p []byte) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("scan applied %d records, want 1 (stop at torn)", n)
+	}
+	if tail != off2 {
+		t.Fatalf("durable tail %d, want %d", tail, off2)
+	}
+}
+
+// Conformance batteries: the hardware engines satisfy the same crash
+// contract as the software ones.
+
+func TestConformanceEDE(t *testing.T) {
+	txntest.Run(t, func(env txn.Env) (txn.Engine, error) { return NewEDE(env) })
+}
+
+func TestConformanceHOOP(t *testing.T) {
+	txntest.Run(t, func(env txn.Env) (txn.Engine, error) { return NewHOOP(env) })
+}
+
+// Conformance worlds are 32 MiB, so the batteries run with scaled-down
+// epochs (which also exercises reclamation far more often than the 2 MiB
+// production default would).
+func confOpts(dp bool) HWOptions {
+	return HWOptions{
+		EpochBytes:  64 << 10,
+		EpochPages:  16,
+		MaxEpochs:   4,
+		SpecRingCap: 4 << 20,
+		UndoRingCap: 1 << 20,
+		DataPersist: dp,
+	}
+}
+
+func TestConformanceSpecHPMT(t *testing.T) {
+	txntest.Run(t, func(env txn.Env) (txn.Engine, error) {
+		return NewSpecHPMT(env, confOpts(false))
+	})
+}
+
+func TestConformanceSpecHPMTDP(t *testing.T) {
+	txntest.Run(t, func(env txn.Env) (txn.Engine, error) {
+		return NewSpecHPMT(env, confOpts(true))
+	})
+}
+
+func TestConformanceSpecHPMTTinyEpochs(t *testing.T) {
+	// Small epochs force constant transitions and reclamations inside the
+	// standard battery.
+	txntest.Run(t, func(env txn.Env) (txn.Engine, error) {
+		return NewSpecHPMT(env, HWOptions{
+			EpochBytes: 8 << 10, EpochPages: 4, MaxEpochs: 3,
+			SpecRingCap: 2 << 20, UndoRingCap: 1 << 20,
+		})
+	})
+}
+
+func TestNoLogCommitDurable(t *testing.T) {
+	// no-log persists committed data (it only lacks uncommitted-revocation).
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e := NewNoLog(env)
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 77)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	w.Dev.CrashClean()
+	if got := w.Dev.NewCore().LoadUint64(a); got != 77 {
+		t.Fatalf("a=%d want 77", got)
+	}
+}
+
+func TestHotPageTransition(t *testing.T) {
+	w := txntest.NewWorld(128 << 20)
+	env := w.Env(false)
+	e, err := NewSpecHPMT(env, HWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(4096)
+	// Eight stores to one page saturate the 3-bit counter.
+	tx := e.Begin()
+	for i := 0; i < 8; i++ {
+		tx.StoreUint64(a+pmem.Addr(i*64), uint64(i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.cpu.Core.Stats.PageCopies != 1 {
+		t.Fatalf("page copies = %d, want 1", e.cpu.Core.Stats.PageCopies)
+	}
+	te := e.cpu.TLB.Lookup(pmem.PageOf(a))
+	if !te.EpochBit {
+		t.Fatal("page should be hot after counter saturation")
+	}
+	// Hot stores skip data persistence at commit.
+	before := e.cpu.Core.Stats.PMDataBytes
+	tx = e.Begin()
+	tx.StoreUint64(a, 99)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.cpu.Core.Stats.PMDataBytes - before; got != 0 {
+		t.Fatalf("hot commit flushed %d data bytes; want 0", got)
+	}
+}
+
+func TestColdPathPersistsData(t *testing.T) {
+	w := txntest.NewWorld(128 << 20)
+	env := w.Env(false)
+	e, _ := NewSpecHPMT(env, HWOptions{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	before := e.cpu.Core.Stats.PMDataBytes
+	tx := e.Begin()
+	tx.StoreUint64(a, 5) // single store: page stays cold
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.cpu.Core.Stats.PMDataBytes - before; got == 0 {
+		t.Fatal("cold commit must persist the data line")
+	}
+}
+
+func TestEpochReclamationBoundsLog(t *testing.T) {
+	w := txntest.NewWorld(128 << 20)
+	env := w.Env(false)
+	e, _ := NewSpecHPMT(env, HWOptions{EpochBytes: 16 << 10, EpochPages: 8, MaxEpochs: 4})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(4096)
+	for r := uint64(0); r < 2000; r++ {
+		tx := e.Begin()
+		for i := 0; i < 8; i++ {
+			tx.StoreUint64(a+pmem.Addr(i*64), r)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.cpu.Core.Stats.EpochsReclaimd == 0 {
+		t.Fatal("epoch reclamation never ran")
+	}
+	// Live log bounded by MaxEpochs * EpochBytes plus slack.
+	bound := 6 * (16 << 10) * 2
+	if e.LiveLogBytes() > bound {
+		t.Fatalf("live spec log %dB exceeds epoch bound %dB", e.LiveLogBytes(), bound)
+	}
+}
+
+func TestSpecHPMTWriteTrafficBelowEDE(t *testing.T) {
+	// The Figure 14 property on a hot workload: SpecHPMT writes less to PM
+	// than EDE because hot data persists only on eviction/reclamation.
+	run := func(mk func(env txn.Env) (txn.Engine, error)) uint64 {
+		w := txntest.NewWorld(128 << 20)
+		env := w.Env(false)
+		e, err := mk(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		a, _ := w.DataHeap.Alloc(4096)
+		for r := uint64(0); r < 300; r++ {
+			tx := e.Begin()
+			for i := 0; i < 8; i++ {
+				tx.StoreUint64(a+pmem.Addr(i*64), r)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := uint64(0)
+		switch eng := e.(type) {
+		case *EDE:
+			total = eng.cpu.Core.Stats.PMWriteBytes
+		case *SpecHPMT:
+			total = eng.cpu.Core.Stats.PMWriteBytes
+		}
+		return total
+	}
+	ede := run(func(env txn.Env) (txn.Engine, error) { return NewEDE(env) })
+	spec := run(func(env txn.Env) (txn.Engine, error) { return NewSpecHPMT(env, HWOptions{}) })
+	if spec >= ede {
+		t.Fatalf("SpecHPMT traffic (%d) should undercut EDE (%d) on hot data", spec, ede)
+	}
+}
+
+func TestHOOPLogsCacheMisses(t *testing.T) {
+	w := txntest.NewWorld(128 << 20)
+	env := w.Env(false)
+	e, _ := NewHOOP(env)
+	defer e.Close()
+	// Touch many distinct lines: each read miss adds a log record entry.
+	addrs := make([]pmem.Addr, 64)
+	for i := range addrs {
+		addrs[i], _ = w.DataHeap.Alloc(4096)
+	}
+	tx := e.Begin()
+	var b [8]byte
+	for _, a := range addrs {
+		tx.Load(a, b[:])
+	}
+	tx.StoreUint64(addrs[0], 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The record carries ~64 miss images (64B each) plus one small write.
+	if e.cpu.Core.Stats.PMLogBytes < 64*pmem.LineSize {
+		t.Fatalf("HOOP miss logging missing: log traffic %dB", e.cpu.Core.Stats.PMLogBytes)
+	}
+}
+
+func TestEDEUndoPerLinePerTx(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := NewEDE(env)
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	for i := 0; i < 10; i++ {
+		tx.StoreUint64(a, uint64(i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.cpu.Core.Stats.LogRecords != 1 {
+		t.Fatalf("log records = %d, want 1 (per-line coalescing)", e.cpu.Core.Stats.LogRecords)
+	}
+}

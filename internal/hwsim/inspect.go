@@ -1,0 +1,112 @@
+package hwsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DumpState writes a human-readable snapshot of the hardware engine's
+// speculative machinery: the epoch ring (live and inactive epochs with their
+// byte extents), the records in the speculative log, the cold undo log, and
+// the TLB's hot-page population. It is the inspection surface behind
+// cmd/specpmt-inspect -hw.
+func (e *SpecHPMT) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "speculative ring: head=%d tail=%d live=%dB of %dB\n",
+		e.spec.Head(), e.spec.Tail(), e.spec.Live(), e.opt.SpecRingCap)
+	for i, ep := range e.epochs {
+		state := "active"
+		if ep.inactive {
+			state = "inactive (EID reassigned)"
+		}
+		fmt.Fprintf(w, "  epoch[%d] eid=%d [%d,%d) %dB %d page(s) %s\n",
+			i, ep.eid, ep.start, ep.end, ep.bytes, ep.pages, state)
+	}
+	fmt.Fprintf(w, "  epoch[open] eid=%d starts@%d %dB %d page(s)\n",
+		e.cur.eid, e.cur.start, e.cur.bytes, e.cur.pages)
+	nPage, nCommit := 0, 0
+	e.spec.Scan(e.cpu.Core, func(off uint64, payload []byte) bool {
+		if len(payload) < 16 {
+			return false
+		}
+		switch payload[0] {
+		case recKindPage:
+			nPage++
+			fmt.Fprintf(w, "  @%d page-image eid=%d ts=%d page=%d (4KiB)\n",
+				off, payload[1], binary.LittleEndian.Uint64(payload[8:]),
+				binary.LittleEndian.Uint64(payload[16:]))
+		case recKindCommit:
+			nCommit++
+			n := int(binary.LittleEndian.Uint32(payload[2:]))
+			fmt.Fprintf(w, "  @%d commit eid=%d ts=%d lines=%d\n",
+				off, payload[1], binary.LittleEndian.Uint64(payload[8:]), n)
+		}
+		return true
+	})
+	fmt.Fprintf(w, "  %d page-image record(s), %d commit record(s)\n", nPage, nCommit)
+	fmt.Fprintf(w, "undo ring: live=%dB (retires every commit)\n", e.undo.Live())
+	hot := 0
+	for eidTry := 0; eidTry < 256; eidTry++ {
+		hot += len(e.cpu.TLB.HotPages(uint8(eidTry)))
+	}
+	fmt.Fprintf(w, "TLB: %d entries resident, %d hot page(s), %d eviction(s)\n",
+		e.cpu.TLB.Len(), hot, e.cpu.TLB.Evicted)
+	fmt.Fprintf(w, "counters: %d page copies, %d epochs reclaimed, L1 %d/%d hit/miss\n",
+		e.cpu.Core.Stats.PageCopies, e.cpu.Core.Stats.EpochsReclaimd,
+		e.cpu.L1.Hits, e.cpu.L1.Misses)
+}
+
+// HotPageCount returns the number of pages currently tracked hot.
+func (e *SpecHPMT) HotPageCount() int {
+	n := 0
+	for eid := 0; eid < 256; eid++ {
+		n += len(e.cpu.TLB.HotPages(uint8(eid)))
+	}
+	return n
+}
+
+// SetSpeculation toggles the control-status-register bit of §5.1.2: "the
+// hardware may provide an API to enable/disable speculative logging, which
+// sets/resets a control status register bit. This allows the programmer or
+// user to disable speculative logging (and rely solely on undo logging) if
+// it produces an adverse performance impact." While disabled, pages never
+// transition hot; already-hot pages are first persisted and switched cold,
+// as in a mechanism transition.
+func (e *SpecHPMT) SetSpeculation(enabled bool) {
+	if e.specDisabled == !enabled {
+		return
+	}
+	e.specDisabled = !enabled
+	if enabled {
+		return
+	}
+	// Demote every hot page: persist its dirty lines, then clear all epochs.
+	for eid := 0; eid < 256; eid++ {
+		for _, page := range e.cpu.TLB.HotPages(uint8(eid)) {
+			e.flushPageData(page)
+		}
+		e.cpu.TLB.ClearEpoch(uint8(eid))
+	}
+	e.cpu.Core.Fence()
+}
+
+// SpeculationEnabled reports the control bit.
+func (e *SpecHPMT) SpeculationEnabled() bool { return !e.specDisabled }
+
+// OnChipCost reports the additional on-chip storage hardware SpecPMT needs
+// (§5.4): two bits per L1- and L2-TLB entry, two bits per L1 data cache
+// line, plus the transaction-state and epoch-ID registers. For the paper's
+// Skylake-like configuration this is 0.91 KB, under 0.04% of a core's
+// on-chip storage.
+func OnChipCost() (bits int, kb float64) {
+	const (
+		l1TLBEntries = 64
+		l2TLBEntries = 1536
+		l1DataLines  = 512
+		perTLBEntry  = 4 // EpochBit + 3-bit cnt/EID (Figure 9)
+		perCacheLine = 2 // PBit + LogBit
+		registers    = 2 * 64
+	)
+	bits = (l1TLBEntries+l2TLBEntries)*perTLBEntry + l1DataLines*perCacheLine + registers
+	return bits, float64(bits) / 8 / 1024
+}

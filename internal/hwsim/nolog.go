@@ -1,0 +1,115 @@
+package hwsim
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+)
+
+// NoLog is the "no-log" ideal of §7.1.3: transactions without any logging
+// that persist their data at commit. Its performance is the upper bound for
+// in-place-update persistent transactions; it provides NO crash consistency
+// (Recover is a no-op and uncommitted updates may surface after a crash).
+type NoLog struct {
+	cpu  *CPU
+	env  txn.Env
+	open bool
+}
+
+func init() {
+	txn.Register("no-log", func(env txn.Env) (txn.Engine, error) { return NewNoLog(env), nil })
+}
+
+// NewNoLog builds the no-log engine. It needs no persistent root state.
+func NewNoLog(env txn.Env) *NoLog {
+	return &NoLog{cpu: NewCPU(env.Dev, sim.DefaultLatency()), env: env}
+}
+
+// Name implements txn.Engine.
+func (e *NoLog) Name() string { return "no-log" }
+
+// Close implements txn.Engine.
+func (e *NoLog) Close() error { return nil }
+
+// Recover implements txn.Engine: nothing to do — and nothing is guaranteed.
+func (e *NoLog) Recover() error { return nil }
+
+// Begin implements txn.Engine.
+func (e *NoLog) Begin() txn.Tx {
+	if e.open {
+		panic("hwsim: one transaction per core")
+	}
+	e.open = true
+	e.cpu.Core.Stats.TxBegun++
+	return &noLogTx{e: e, ws: txn.NewWriteSet()}
+}
+
+type noLogTx struct {
+	e    *NoLog
+	ws   *txn.WriteSet
+	done bool
+}
+
+// Store implements txn.Tx.
+func (t *noLogTx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("hwsim: use of finished transaction")
+	}
+	t.ws.Add(addr, len(data))
+	t.e.cpu.WriteData(addr, data)
+}
+
+// StoreUint64 implements txn.Tx.
+func (t *noLogTx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Store(addr, b[:])
+}
+
+// Load implements txn.Tx.
+func (t *noLogTx) Load(addr pmem.Addr, buf []byte) { t.e.cpu.ReadData(addr, buf) }
+
+// LoadUint64 implements txn.Tx.
+func (t *noLogTx) LoadUint64(addr pmem.Addr) uint64 {
+	var b [8]byte
+	t.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Compute implements txn.Tx.
+func (t *noLogTx) Compute(ns int64) { t.e.cpu.Core.Compute(ns) }
+
+// Commit implements txn.Tx: persist the write set, one fence.
+func (t *noLogTx) Commit() error {
+	if t.done {
+		return errors.New("hwsim: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	c := t.e.cpu.Core
+	for _, l := range t.ws.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+		if e := t.e.cpu.L1.Lookup(l); e != nil {
+			e.dirty = false
+		}
+	}
+	c.Fence()
+	c.Stats.TxCommitted++
+	return nil
+}
+
+// Abort is unsupported in hardware no-log (there is no rollback state); it
+// simply forgets the transaction, leaving its in-place updates — callers
+// use no-log only for performance baselines.
+func (t *noLogTx) Abort() error {
+	if t.done {
+		return errors.New("hwsim: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.e.cpu.Core.Stats.TxAborted++
+	return nil
+}

@@ -1,0 +1,200 @@
+package hwsim
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+// Ring is a persistent circular log. Hardware log areas are reclaimed
+// strictly from the oldest end — per transaction (EDE's undo log), per GC
+// window (HOOP), or per epoch (SpecHPMT, §5.2: "as long as the software
+// always clears the oldest epoch, it reclaims the log records at the
+// beginning of the log area") — which is exactly a ring buffer.
+//
+// Head and tail are monotonically increasing STREAM offsets; the ring
+// position is offset modulo capacity. Record checksums are salted with the
+// absolute stream offset, so residual bytes from earlier laps can never be
+// mistaken for live records: the same ring position has a different stream
+// offset on every lap.
+//
+// Record frame: [size u32 | payload | checksum u64]. The head offset lives
+// in a caller-provided root slot and is persisted by the caller's advance.
+type Ring struct {
+	core *pmem.Core
+	base pmem.Addr
+	cap  uint64
+	head uint64 // oldest live byte (stream offset)
+	tail uint64 // next append position (stream offset)
+
+	unflushed []ringSpan
+}
+
+type ringSpan struct {
+	addr pmem.Addr
+	n    int
+}
+
+const ringFrame = 4 + 8 // size + checksum
+
+// ErrRingFull reports that an append does not fit even after reclamation.
+var ErrRingFull = errors.New("hwsim: ring log full")
+
+// NewRing creates a ring over [base, base+capBytes) with both offsets at
+// head (pass 0 for a fresh ring, or the recovered persistent head).
+func NewRing(core *pmem.Core, base pmem.Addr, capBytes int, head uint64) *Ring {
+	return &Ring{core: core, base: base, cap: uint64(capBytes), head: head, tail: head}
+}
+
+// Head and Tail return the stream offsets.
+func (r *Ring) Head() uint64 { return r.head }
+
+// Tail returns the next append stream offset.
+func (r *Ring) Tail() uint64 { return r.tail }
+
+// Live returns the live byte count.
+func (r *Ring) Live() int { return int(r.tail - r.head) }
+
+// Free returns the bytes available for appending.
+func (r *Ring) Free() int { return int(r.cap) - r.Live() }
+
+// pos maps a stream offset to a device address.
+func (r *Ring) pos(off uint64) pmem.Addr { return r.base + pmem.Addr(off%r.cap) }
+
+// write copies data at stream offset off, splitting across the wrap point.
+func (r *Ring) write(off uint64, data []byte) {
+	for len(data) > 0 {
+		at := r.pos(off)
+		room := r.cap - off%r.cap
+		n := uint64(len(data))
+		if n > room {
+			n = room
+		}
+		r.core.Store(at, data[:n])
+		r.unflushed = append(r.unflushed, ringSpan{at, int(n)})
+		off += n
+		data = data[n:]
+	}
+}
+
+// read fills buf from stream offset off.
+func (r *Ring) read(off uint64, buf []byte) {
+	for len(buf) > 0 {
+		at := r.pos(off)
+		room := r.cap - off%r.cap
+		n := uint64(len(buf))
+		if n > room {
+			n = room
+		}
+		r.core.Load(at, buf[:n])
+		off += n
+		buf = buf[n:]
+	}
+}
+
+func (r *Ring) salt(off uint64) uint64 { return off*0x9e3779b97f4a7c15 + 0x7f4a7c159e3779b9 }
+
+// Append frames payload into the ring at the tail. The bytes are volatile
+// until FlushPending plus a fence.
+func (r *Ring) Append(payload []byte) (off uint64, err error) {
+	total := ringFrame + len(payload)
+	if total > r.Free() {
+		return 0, ErrRingFull
+	}
+	off = r.tail
+	frame := make([]byte, total)
+	binary.LittleEndian.PutUint32(frame, uint32(total))
+	copy(frame[4:], payload)
+	sum := txn.Checksum64(frame[:4+len(payload)]) ^ r.salt(off)
+	binary.LittleEndian.PutUint64(frame[4+len(payload):], sum)
+	r.write(off, frame)
+	r.tail += uint64(total)
+	return off, nil
+}
+
+// FlushPending issues CLWB for all bytes written since the last call, one
+// flush per distinct cache line: adjacent small records share lines, and
+// hardware logging units write back each line once.
+func (r *Ring) FlushPending(kind pmem.Kind) {
+	if len(r.unflushed) == 0 {
+		return
+	}
+	seen := map[uint64]bool{}
+	var lines []uint64
+	for _, sp := range r.unflushed {
+		first := pmem.LineOf(sp.addr)
+		last := pmem.LineOf(sp.addr + pmem.Addr(sp.n-1))
+		for l := first; l <= last; l++ {
+			if !seen[l] {
+				seen[l] = true
+				lines = append(lines, l)
+			}
+		}
+	}
+	sortLines(lines)
+	for _, l := range lines {
+		r.core.Flush(LineAddr(l), pmem.LineSize, kind)
+	}
+	r.unflushed = r.unflushed[:0]
+}
+
+// AdvanceHead reclaims everything below newHead. The caller persists the new
+// head in its root before reusing the space for more than one lap.
+func (r *Ring) AdvanceHead(newHead uint64) {
+	if newHead < r.head || newHead > r.tail {
+		panic("hwsim: AdvanceHead out of range")
+	}
+	r.head = newHead
+}
+
+// ScanRecord decodes the record at stream offset off using the given core
+// (recovery may scan with a fresh core). Returns the payload, the offset of
+// the next record, and whether the record is valid (committed).
+func (r *Ring) ScanRecord(core *pmem.Core, off uint64) (payload []byte, next uint64, ok bool) {
+	save := r.core
+	r.core = core
+	defer func() { r.core = save }()
+	if off < r.head || off+ringFrame > r.head+r.cap {
+		return nil, 0, false
+	}
+	var szb [4]byte
+	r.read(off, szb[:])
+	size := int(binary.LittleEndian.Uint32(szb[:]))
+	if size < ringFrame || uint64(size) > r.cap || off+uint64(size) > r.head+r.cap {
+		return nil, 0, false
+	}
+	frame := make([]byte, size)
+	r.read(off, frame)
+	want := binary.LittleEndian.Uint64(frame[size-8:])
+	if txn.Checksum64(frame[:size-8])^r.salt(off) != want {
+		return nil, 0, false
+	}
+	return frame[4 : size-8], off + uint64(size), true
+}
+
+// Scan walks valid records from the head, calling fn for each payload in
+// order, and returns the offset of the first invalid record — the durable
+// tail. Scanning stops early if fn returns false.
+func (r *Ring) Scan(core *pmem.Core, fn func(off uint64, payload []byte) bool) uint64 {
+	off := r.head
+	for {
+		payload, next, ok := r.ScanRecord(core, off)
+		if !ok {
+			return off
+		}
+		if fn != nil && !fn(off, payload) {
+			return off
+		}
+		off = next
+	}
+}
+
+// ResumeAt positions the volatile tail (after a recovery scan).
+func (r *Ring) ResumeAt(tail uint64) {
+	if tail < r.head {
+		panic("hwsim: ResumeAt below head")
+	}
+	r.tail = tail
+}

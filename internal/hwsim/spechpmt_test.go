@@ -1,0 +1,215 @@
+package hwsim
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func TestTLBEvictionPersistsHotPage(t *testing.T) {
+	// When a hot page's TLB entry is evicted, its tracking metadata is lost;
+	// the engine must persist the page's dirty lines first, or an epoch
+	// reclamation could never flush them and a crash would strand committed
+	// data. Force TLB pressure by touching more pages than TLB entries.
+	w := txntest.NewWorld(512 << 20)
+	env := w.Env(false)
+	e, err := NewSpecHPMT(env, HWOptions{
+		EpochBytes: 1 << 30, EpochPages: 1 << 20, MaxEpochs: 8,
+		SpecRingCap: 64 << 20, UndoRingCap: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Make one page hot and commit a value into it.
+	hot, _ := w.DataHeap.Alloc(4096)
+	tx := e.Begin()
+	for k := 0; k < 8; k++ {
+		tx.StoreUint64(hot+pmem.Addr(k*64), 42)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.cpu.TLB.Lookup(pmem.PageOf(hot)).EpochBit {
+		t.Fatal("page should be hot")
+	}
+	// The stores made AFTER the cold-to-hot transition (the 7th and 8th)
+	// skip commit-time persistence: their lines are exactly the deferred
+	// data the eviction hook must protect.
+	protected := hot + pmem.Addr(7*64)
+	if ce := e.cpu.L1.Lookup(pmem.LineOf(protected)); ce == nil || !ce.dirty {
+		t.Fatal("post-transition hot line should still be dirty after commit")
+	}
+	// Thrash the TLB with single stores to many other pages (TLB entries
+	// are allocated on stores).
+	for p := 0; p < tlbEntries+64; p++ {
+		a, err := w.DataHeap.Alloc(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := e.Begin()
+		tx.StoreUint64(a, uint64(p))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.cpu.TLB.Lookup(pmem.PageOf(hot)).EpochBit {
+		t.Fatal("hot page entry should have been evicted and re-allocated cold")
+	}
+	// The deferred hot value must now be in the persistence domain even
+	// without any further fence: the eviction hook flushed it before the
+	// tracking metadata was lost.
+	w.Dev.CrashClean()
+	if got := w.Dev.NewCore().LoadUint64(protected); got != 42 {
+		t.Fatalf("hot value lost after TLB eviction + crash: %d", got)
+	}
+}
+
+func TestEIDReassignmentInactivatesEpoch(t *testing.T) {
+	// Cycling past MaxEpochs+1 epoch IDs must clearepoch the colliding old
+	// epoch and mark it inactive (§5.2.2's activeness rule).
+	w := txntest.NewWorld(512 << 20)
+	env := w.Env(false)
+	opt := HWOptions{EpochBytes: 1 << 30, EpochPages: 1, MaxEpochs: 3,
+		SpecRingCap: 32 << 20, UndoRingCap: 4 << 20}
+	e, err := NewSpecHPMT(env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Attach a coordinator with another idle thread so reclamations defer
+	// and epochs accumulate.
+	env2 := w.Env(true)
+	idle, err := NewSpecHPMT(env2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	co := &Coordinator{}
+	co.register(e)
+	co.register(idle)
+	e.coord = co
+	idle.coord = co
+	// Give the idle thread an old open epoch (its cur.startTS is ancient by
+	// construction), then drive epochs on e.
+	for n := 0; n < 8; n++ {
+		p, _ := w.DataHeap.Alloc(4096)
+		tx := e.Begin()
+		for k := 0; k < 8; k++ {
+			tx.StoreUint64(p+pmem.Addr(k*64), uint64(n))
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inactive := 0
+	for _, ep := range e.epochs {
+		if ep.inactive {
+			inactive++
+		}
+	}
+	if inactive == 0 {
+		t.Fatalf("EID cycling never inactivated an epoch (epochs=%d deferred=%d)",
+			len(e.epochs), e.deferredCycles)
+	}
+}
+
+func TestDPTrafficMatchesEDE(t *testing.T) {
+	// §7.3: "EDE and SpecHPMT-DP incur the most write traffic among all
+	// designs... largely the same amount" — property-check on a mixed
+	// workload of hot and cold updates.
+	drive := func(e txn.Engine, w *txntest.World) {
+		hot, _ := w.DataHeap.Alloc(4096)
+		for r := 0; r < 150; r++ {
+			cold, _ := w.DataHeap.Alloc(4096)
+			tx := e.Begin()
+			for k := 0; k < 4; k++ {
+				tx.StoreUint64(hot+pmem.Addr(k*64), uint64(r))
+			}
+			tx.StoreUint64(cold, uint64(r))
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wa := txntest.NewWorld(128 << 20)
+	ede, _ := NewEDE(wa.Env(false))
+	drive(ede, wa)
+	edeTraffic := ede.Snapshot().PMWriteBytes
+	ede.Close()
+
+	wb := txntest.NewWorld(128 << 20)
+	dp, _ := NewSpecHPMT(wb.Env(false), HWOptions{DataPersist: true,
+		EpochBytes: 1 << 20, EpochPages: 64, MaxEpochs: 4,
+		SpecRingCap: 32 << 20, UndoRingCap: 4 << 20})
+	drive(dp, wb)
+	dpTraffic := dp.Snapshot().PMWriteBytes
+	dp.Close()
+
+	ratio := float64(dpTraffic) / float64(edeTraffic)
+	if ratio < 0.6 || ratio > 1.4 {
+		t.Fatalf("SpecHPMT-DP traffic should be largely the same as EDE's: ratio %.2f (%d vs %d)",
+			ratio, dpTraffic, edeTraffic)
+	}
+}
+
+func TestSpeculationToggle(t *testing.T) {
+	w := txntest.NewWorld(256 << 20)
+	env := w.Env(false)
+	e, _ := NewSpecHPMT(env, HWOptions{})
+	defer e.Close()
+	page, _ := w.DataHeap.Alloc(4096)
+	hotTx := func(v uint64) {
+		tx := e.Begin()
+		for k := 0; k < 8; k++ {
+			tx.StoreUint64(page+pmem.Addr(k*64), v)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hotTx(1)
+	if e.HotPageCount() != 1 {
+		t.Fatalf("hot pages = %d, want 1", e.HotPageCount())
+	}
+	// Disabling speculation demotes and persists the page.
+	e.SetSpeculation(false)
+	if e.HotPageCount() != 0 {
+		t.Fatal("disable must demote hot pages")
+	}
+	w.Dev.CrashClean()
+	if got := w.Dev.NewCore().LoadUint64(page); got != 1 {
+		t.Fatalf("demotion must persist hot data first: %d", got)
+	}
+	// While disabled, pages never go hot and data persists at commit.
+	hotTx(2)
+	if e.HotPageCount() != 0 {
+		t.Fatal("page went hot while speculation disabled")
+	}
+	w.Dev.CrashClean()
+	if got := w.Dev.NewCore().LoadUint64(page); got != 2 {
+		t.Fatalf("undo-only mode must persist at commit: %d", got)
+	}
+	// Re-enable: hotness returns.
+	e.SetSpeculation(true)
+	hotTx(3)
+	hotTx(4)
+	if e.HotPageCount() != 1 {
+		t.Fatalf("hot pages after re-enable = %d, want 1", e.HotPageCount())
+	}
+	if !e.SpeculationEnabled() {
+		t.Fatal("control bit readback wrong")
+	}
+}
+
+func TestOnChipCost(t *testing.T) {
+	bits, kb := OnChipCost()
+	if kb < 0.85 || kb > 1.0 {
+		t.Fatalf("on-chip cost %.2fKB; paper reports 0.91KB (§5.4)", kb)
+	}
+	if bits != (64+1536)*4+512*2+128 {
+		t.Fatalf("bits = %d", bits)
+	}
+}

@@ -1,0 +1,95 @@
+package hwsim
+
+// TLB geometry (Table 1: the private L2 TLB has 1536 entries; tracking
+// capacity is what bounds speculative logging's memory overhead, §5.1).
+const tlbEntries = 1536
+
+// hotThreshold is the 3-bit saturating counter's maximum: a page whose
+// counter saturates is considered hot and switches to speculative logging
+// (§5.1: "when the counter reaches a threshold (for simplicity, the maximum
+// value), the page is considered to have become hot").
+const hotThreshold = 7
+
+// tlbEntry carries the hotness metadata hardware SpecPMT adds to each TLB
+// entry (Figure 9): an EpochBit and a 3-bit field that is a saturating
+// store counter while cold and the epoch ID while hot.
+type tlbEntry struct {
+	page     uint64
+	EpochBit bool
+	CntEID   uint8
+	lru      uint64
+}
+
+// TLB models the private translation look-aside buffer with LRU
+// replacement. A page evicted from the TLB loses its metadata and is
+// treated as cold again ("if a TLB entry is evicted or invalidated, we can
+// no longer track the page, but such a page is likely no longer hot").
+type TLB struct {
+	entries map[uint64]*tlbEntry
+	tick    uint64
+	Evicted uint64
+	// OnEvict runs before an entry is dropped by LRU replacement, so the
+	// engine can persist a hot page's data before its tracking metadata is
+	// lost.
+	OnEvict func(victim *tlbEntry)
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB() *TLB {
+	return &TLB{entries: make(map[uint64]*tlbEntry, tlbEntries)}
+}
+
+// Lookup returns the entry for page, allocating one (cold, counter zero) on
+// miss and evicting the LRU entry if the TLB is full.
+func (t *TLB) Lookup(page uint64) *tlbEntry {
+	t.tick++
+	if e, ok := t.entries[page]; ok {
+		e.lru = t.tick
+		return e
+	}
+	if len(t.entries) >= tlbEntries {
+		var victim *tlbEntry
+		for _, e := range t.entries {
+			if victim == nil || e.lru < victim.lru {
+				victim = e
+			}
+		}
+		if t.OnEvict != nil {
+			t.OnEvict(victim)
+		}
+		delete(t.entries, victim.page)
+		t.Evicted++
+	}
+	e := &tlbEntry{page: page, lru: t.tick}
+	t.entries[page] = e
+	return e
+}
+
+// ClearEpoch implements the clearepoch EID instruction (§5.2): every entry
+// speculatively logged in the given epoch reverts to cold with a zeroed
+// counter. Returns how many pages were switched.
+func (t *TLB) ClearEpoch(eid uint8) int {
+	n := 0
+	for _, e := range t.entries {
+		if e.EpochBit && e.CntEID == eid {
+			e.EpochBit = false
+			e.CntEID = 0
+			n++
+		}
+	}
+	return n
+}
+
+// HotPages returns the pages currently marked hot in the given epoch.
+func (t *TLB) HotPages(eid uint8) []uint64 {
+	var pages []uint64
+	for _, e := range t.entries {
+		if e.EpochBit && e.CntEID == eid {
+			pages = append(pages, e.page)
+		}
+	}
+	return pages
+}
+
+// Len returns the resident entry count.
+func (t *TLB) Len() int { return len(t.entries) }

@@ -1,0 +1,142 @@
+// Package pmalloc is the persistent-memory allocator used by workloads and
+// log managers, standing in for libvmmalloc in the paper's methodology
+// (§7.1.1: "we port the transactional applications to persistent memory with
+// libvmmalloc, which overrides dynamic memory allocation to persistent
+// memory allocation").
+//
+// Like libvmmalloc, allocator metadata is volatile: crash-recoverable
+// allocation is out of the paper's scope. Structures that must be found
+// again after a crash (log block chains, data-region roots) embed persistent
+// next pointers of their own and are re-walked by each engine's recovery.
+package pmalloc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"specpmt/internal/pmem"
+)
+
+// ErrOutOfMemory is returned when the heap region is exhausted.
+var ErrOutOfMemory = errors.New("pmalloc: out of memory")
+
+// minClass is the smallest allocation size; everything is line-aligned so
+// that flushes of one object never drag a neighbour's bytes along.
+const minClass = pmem.LineSize
+
+// Heap hands out address ranges inside a fixed region of a Device. It never
+// touches memory contents; callers write through their own Core.
+type Heap struct {
+	mu    sync.Mutex
+	start pmem.Addr
+	end   pmem.Addr
+	bump  pmem.Addr
+	free  map[int][]pmem.Addr
+	live  int64
+	peak  int64
+}
+
+// NewHeap creates a heap over [start, end). Bounds are line-aligned inward.
+func NewHeap(start, end pmem.Addr) *Heap {
+	start = (start + minClass - 1) / minClass * minClass
+	end = end / minClass * minClass
+	if end <= start {
+		panic(fmt.Sprintf("pmalloc: empty heap region [%d,%d)", start, end))
+	}
+	return &Heap{start: start, end: end, bump: start, free: make(map[int][]pmem.Addr)}
+}
+
+// classOf rounds a request to its allocation class: next power of two up to
+// 4 KiB, then 4-KiB multiples.
+func classOf(n int) int {
+	if n <= minClass {
+		return minClass
+	}
+	if n <= pmem.PageSize {
+		c := minClass
+		for c < n {
+			c <<= 1
+		}
+		return c
+	}
+	return (n + pmem.PageSize - 1) / pmem.PageSize * pmem.PageSize
+}
+
+// Alloc returns the address of a line-aligned region of at least n bytes.
+func (h *Heap) Alloc(n int) (pmem.Addr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("pmalloc: bad size %d", n)
+	}
+	c := classOf(n)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if list := h.free[c]; len(list) > 0 {
+		a := list[len(list)-1]
+		h.free[c] = list[:len(list)-1]
+		h.account(int64(c))
+		return a, nil
+	}
+	if h.bump+pmem.Addr(c) > h.end {
+		return 0, ErrOutOfMemory
+	}
+	a := h.bump
+	h.bump += pmem.Addr(c)
+	h.account(int64(c))
+	return a, nil
+}
+
+func (h *Heap) account(delta int64) {
+	h.live += delta
+	if h.live > h.peak {
+		h.peak = h.live
+	}
+}
+
+// Free returns a region allocated with size n to the heap.
+func (h *Heap) Free(addr pmem.Addr, n int) {
+	c := classOf(n)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if addr < h.start || addr+pmem.Addr(c) > h.end {
+		panic(fmt.Sprintf("pmalloc: Free outside heap: addr=%d size=%d", addr, n))
+	}
+	h.free[c] = append(h.free[c], addr)
+	h.live -= int64(c)
+}
+
+// Live returns the currently allocated byte count (by class size).
+func (h *Heap) Live() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live
+}
+
+// Peak returns the high-water mark of Live.
+func (h *Heap) Peak() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peak
+}
+
+// Remaining returns the bytes still available from the bump region (free
+// lists excluded); a lower bound on what can still be allocated.
+func (h *Heap) Remaining() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(h.end - h.bump)
+}
+
+// Bounds returns the heap's region.
+func (h *Heap) Bounds() (start, end pmem.Addr) { return h.start, h.end }
+
+// Reset forgets all allocations. Used between experiment runs; never during
+// a run.
+func (h *Heap) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.bump = h.start
+	h.free = make(map[int][]pmem.Addr)
+	h.live = 0
+	h.peak = 0
+}

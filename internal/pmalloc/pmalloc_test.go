@@ -1,0 +1,164 @@
+package pmalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specpmt/internal/pmem"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 64}, {64, 64}, {65, 128}, {100, 128}, {4096, 4096},
+		{4097, 8192}, {10000, 12288},
+	}
+	for _, tc := range cases {
+		if got := classOf(tc.n); got != tc.want {
+			t.Errorf("classOf(%d)=%d want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	h := NewHeap(100, 1<<20) // deliberately unaligned start
+	for i := 0; i < 50; i++ {
+		a, err := h.Alloc(i*7 + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(a)%pmem.LineSize != 0 {
+			t.Fatalf("allocation %d not line aligned: %d", i, a)
+		}
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	h := NewHeap(0, 1<<16)
+	a, _ := h.Alloc(128)
+	h.Free(a, 128)
+	b, _ := h.Alloc(128)
+	if a != b {
+		t.Fatalf("freed block not reused: %d then %d", a, b)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := NewHeap(0, 1024)
+	var got []pmem.Addr
+	for {
+		a, err := h.Alloc(64)
+		if err == ErrOutOfMemory {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, a)
+	}
+	if len(got) != 16 {
+		t.Fatalf("1KiB heap should fit 16 lines, got %d", len(got))
+	}
+	// Freeing one makes one allocation possible again.
+	h.Free(got[3], 64)
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestLiveAndPeak(t *testing.T) {
+	h := NewHeap(0, 1<<16)
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	if h.Live() != 128 {
+		t.Fatalf("live=%d want 128", h.Live())
+	}
+	h.Free(a, 64)
+	h.Free(b, 64)
+	if h.Live() != 0 || h.Peak() != 128 {
+		t.Fatalf("live=%d peak=%d", h.Live(), h.Peak())
+	}
+}
+
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		h := NewHeap(0, 1<<22)
+		type region struct {
+			a pmem.Addr
+			n int
+		}
+		var regions []region
+		for _, s := range sizes {
+			n := int(s)%5000 + 1
+			a, err := h.Alloc(n)
+			if err != nil {
+				return true // heap exhausted is fine
+			}
+			regions = append(regions, region{a, n})
+		}
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				ai, ni := regions[i].a, pmem.Addr(regions[i].n)
+				aj, nj := regions[j].a, pmem.Addr(regions[j].n)
+				if ai < aj+nj && aj < ai+ni {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeOutsideHeapPanics(t *testing.T) {
+	h := NewHeap(4096, 8192)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free outside heap should panic")
+		}
+	}()
+	h.Free(0, 64)
+}
+
+func TestReset(t *testing.T) {
+	h := NewHeap(0, 1<<16)
+	a1, _ := h.Alloc(64)
+	h.Reset()
+	a2, _ := h.Alloc(64)
+	if a1 != a2 {
+		t.Fatalf("reset heap should restart allocation: %d vs %d", a1, a2)
+	}
+	if h.Live() != 64 || h.Peak() != 64 {
+		t.Fatalf("reset accounting wrong: live=%d peak=%d", h.Live(), h.Peak())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	h := NewHeap(130, 10007)
+	s, e := h.Bounds()
+	if uint64(s)%64 != 0 || uint64(e)%64 != 0 || s < 130 || e > 10007 {
+		t.Fatalf("bounds not aligned inward: [%d,%d)", s, e)
+	}
+}
+
+func TestClassOfProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		c := classOf(int(n))
+		// The class always fits the request, is line-aligned, and is
+		// monotone in the request size.
+		if c < int(n) || c%64 != 0 {
+			return false
+		}
+		if n > 1 && classOf(int(n-1)) > c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

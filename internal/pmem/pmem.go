@@ -1,0 +1,566 @@
+// Package pmem simulates a byte-addressable persistent memory device with an
+// explicit persistence domain, standing in for the Intel Optane platform the
+// SpecPMT paper evaluates on (Table 1).
+//
+// The model distinguishes two memory images:
+//
+//   - the architectural image ("mem"): what loads observe — main memory plus
+//     whatever is still sitting in volatile CPU caches;
+//   - the persisted image: the persistence domain — what survives a crash.
+//
+// A Store updates only the architectural image and marks its cache lines
+// dirty. A Flush (CLWB) captures the current line contents into the core's
+// write pending queue (WPQ); entries drain into the persisted image over
+// virtual time, with sequential lines draining faster than random ones, as
+// on real Optane. A Fence (SFENCE) advances the core's virtual clock to the
+// WPQ-empty time: this is where the paper's "thousands of cycles" persist
+// barrier cost comes from, and what speculative logging amortises.
+//
+// Crash() models power failure: the architectural image is discarded and
+// rebuilt from the persisted image, except that each dirty line may have
+// been evicted (and thus persisted) before the crash with a configurable
+// probability, and each un-drained WPQ entry survives with probability ½.
+// Recovery code therefore has to tolerate both "made it" and "didn't make
+// it" outcomes for every unfenced store — exactly the hazard persistent
+// memory transactions exist to control.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"specpmt/internal/sim"
+	"specpmt/internal/stats"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// PageSize is the virtual memory page size used by the hardware model.
+const PageSize = 4096
+
+// Addr is a byte offset into the simulated device.
+type Addr uint64
+
+// LineOf returns the cache line index containing addr.
+func LineOf(a Addr) uint64 { return uint64(a) / LineSize }
+
+// PageOf returns the page index containing addr.
+func PageOf(a Addr) uint64 { return uint64(a) / PageSize }
+
+// Kind tags the purpose of persistent-memory write traffic so the harness
+// can split Figure 14 style numbers into log/data/GC components.
+type Kind uint8
+
+// Traffic kinds.
+const (
+	KindData Kind = iota
+	KindLog
+	KindGC
+)
+
+// Config parameterises a Device.
+type Config struct {
+	// Size is the device capacity in bytes. Rounded up to a line multiple.
+	Size int
+	// Lat is the timing model; zero value is replaced by sim.DefaultLatency.
+	Lat sim.Latency
+	// CrashEvictProb is the probability that a dirty, unflushed line was
+	// evicted (and therefore persisted) before a crash. The default 0.5
+	// maximises adversarial coverage in crash tests.
+	CrashEvictProb float64
+	// EADR extends the persistence domain to the CPU caches (§5.3.1,
+	// extended asynchronous DRAM refresh): every store is immediately
+	// persistent, CLWB becomes a no-op, and SFENCE costs only its issue
+	// latency. The paper notes eADR adoption is limited by battery cost;
+	// the mode exists here for sensitivity experiments.
+	EADR bool
+}
+
+// Device is the simulated persistent memory module. All exported methods are
+// safe for concurrent use by multiple Cores.
+type Device struct {
+	mu        sync.Mutex
+	cfg       Config
+	mem       []byte
+	persisted []byte
+	dirty     map[uint64]struct{}
+	cores     []*Core
+	crashes   int
+	// The drain pipeline models a single memory controller shared by all
+	// cores: line drains are serialised device-wide, so one core's flush
+	// traffic (a background replayer, a garbage collector, asynchronous
+	// data write-back) delays every other core's persist barriers. This is
+	// the contention the paper describes for HOOP's GC (§7.3) and the
+	// advantage SpecPMT gets from never writing data on the critical path.
+	drainEnd  int64  // global time the last scheduled drain completes
+	drainLine uint64 // last line scheduled, for sequential detection
+}
+
+// NewDevice creates a device of cfg.Size bytes, fully zeroed and persisted.
+func NewDevice(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("pmem: device size must be positive")
+	}
+	if cfg.Lat == (sim.Latency{}) {
+		cfg.Lat = sim.DefaultLatency()
+	}
+	if cfg.CrashEvictProb == 0 {
+		cfg.CrashEvictProb = 0.5
+	}
+	size := (cfg.Size + LineSize - 1) / LineSize * LineSize
+	cfg.Size = size
+	return &Device{
+		cfg:       cfg,
+		mem:       make([]byte, size),
+		persisted: make([]byte, size),
+		dirty:     make(map[uint64]struct{}),
+		drainLine: ^uint64(0),
+	}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int { return d.cfg.Size }
+
+// Crashes returns how many times Crash has been invoked.
+func (d *Device) Crashes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashes
+}
+
+// NewCore attaches a new logical core (own virtual clock, own WPQ, own
+// counters) to the device.
+func (d *Device) NewCore() *Core {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := &Core{
+		dev:   d,
+		Stats: &stats.Counters{},
+	}
+	d.cores = append(d.cores, c)
+	return c
+}
+
+func (d *Device) checkRange(addr Addr, n int) {
+	if n < 0 || uint64(addr) > uint64(d.cfg.Size) || uint64(addr)+uint64(n) > uint64(d.cfg.Size) {
+		panic(fmt.Sprintf("pmem: access out of range: addr=%d n=%d size=%d", addr, n, d.cfg.Size))
+	}
+}
+
+// ReadPersisted copies n bytes of the persistence-domain image at addr into
+// buf. It is a verification hook for tests and the crash harness, not a
+// runtime primitive.
+func (d *Device) ReadPersisted(addr Addr, buf []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(addr, len(buf))
+	copy(buf, d.persisted[addr:int(addr)+len(buf)])
+}
+
+// IsDirty reports whether the line containing addr has unflushed stores.
+func (d *Device) IsDirty(addr Addr) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.dirty[LineOf(addr)]
+	return ok
+}
+
+// DirtyLines returns the number of lines with unflushed stores.
+func (d *Device) DirtyLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dirty)
+}
+
+// PokePersisted writes data directly into both the architectural and the
+// persisted image, bypassing caches, the WPQ, timing, and counters. It is a
+// modeling hook, not a runtime primitive: the Kamino-Tx engine uses it to
+// maintain its backup copy at zero cost, matching the paper's methodology
+// ("our implementation omits the data copying from the main copy to the
+// backup; therefore, our experiments correspond to Kamino-Tx's upper bound
+// in performance", §7.1.2).
+func (d *Device) PokePersisted(addr Addr, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(addr, len(data))
+	copy(d.mem[addr:int(addr)+len(data)], data)
+	copy(d.persisted[addr:int(addr)+len(data)], data)
+}
+
+// Crash simulates a power failure. Dirty lines are individually evicted
+// (persisted) with probability cfg.CrashEvictProb; WPQ entries already
+// drained by their owning core's clock persist, while still-pending entries
+// survive with probability ½ (they sit between cache and ADR domain at the
+// moment of failure). The architectural image is then reset to the persisted
+// image, all WPQs are cleared, and every core's clock restarts at zero.
+//
+// After Crash returns, loads observe exactly the post-crash memory contents
+// and recovery code can run on any core.
+func (d *Device) Crash(rng *sim.Rand) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashes++
+	// WPQ disposition first: drained entries are authoritative over the
+	// cache-eviction lottery because the flush captured their data.
+	for _, c := range d.cores {
+		for _, e := range c.wpq {
+			// Entries accepted into the ADR domain are persistent; a flush
+			// still in flight at the failure is a coin flip.
+			if e.acceptAt <= c.clock.Now() || rng.Float64() < 0.5 {
+				copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+			}
+		}
+		c.wpq = nil
+		c.nApplied = 0
+		c.wpqBytes = 0
+		c.clock.Reset()
+	}
+	d.drainEnd = 0
+	d.drainLine = ^uint64(0)
+	for line := range d.dirty {
+		if rng.Float64() < d.cfg.CrashEvictProb {
+			copy(d.persisted[line*LineSize:(line+1)*LineSize], d.mem[line*LineSize:(line+1)*LineSize])
+		}
+	}
+	d.dirty = make(map[uint64]struct{})
+	copy(d.mem, d.persisted)
+}
+
+// CrashClean is Crash with deterministic, fully pessimistic semantics: no
+// dirty line and no pending WPQ entry survives. Useful for targeted tests.
+func (d *Device) CrashClean() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashes++
+	for _, c := range d.cores {
+		for _, e := range c.wpq {
+			if e.acceptAt <= c.clock.Now() {
+				copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+			}
+		}
+		c.wpq = nil
+		c.nApplied = 0
+		c.wpqBytes = 0
+		c.clock.Reset()
+	}
+	d.drainEnd = 0
+	d.drainLine = ^uint64(0)
+	d.dirty = make(map[uint64]struct{})
+	copy(d.mem, d.persisted)
+}
+
+// wpqEntry is a flushed line waiting to drain into the persistence domain.
+type wpqEntry struct {
+	line     uint64
+	data     [LineSize]byte
+	acceptAt int64 // accepted into the ADR persistence domain (WPQ)
+	drainAt  int64 // written back to media (frees the WPQ slot)
+	kind     Kind
+}
+
+// Core is one logical CPU core attached to a Device: a virtual clock, a
+// private write pending queue, and private counters. A Core must be used by
+// a single goroutine at a time.
+type Core struct {
+	dev   *Device
+	clock sim.Clock
+	Stats *stats.Counters
+
+	wpq      []wpqEntry
+	nApplied int // prefix of wpq already applied to the persisted image
+	wpqBytes int
+}
+
+// Device returns the device this core is attached to.
+func (c *Core) Device() *Device { return c.dev }
+
+// Now returns the core's virtual time in nanoseconds.
+func (c *Core) Now() int64 { return c.clock.Now() }
+
+// Compute models ns nanoseconds of CPU work. The WPQ drains in the
+// background during compute time — this is why workloads with long
+// inter-transaction compute phases (kmeans-low) see small gains from
+// asynchronous persistence.
+func (c *Core) Compute(ns int64) {
+	c.clock.Advance(ns)
+	c.dev.mu.Lock()
+	c.drainUntilLocked(c.clock.Now())
+	c.dev.mu.Unlock()
+}
+
+// Load copies n=len(buf) bytes at addr into buf, charging cache-read cost.
+func (c *Core) Load(addr Addr, buf []byte) {
+	d := c.dev
+	d.mu.Lock()
+	d.checkRange(addr, len(buf))
+	copy(buf, d.mem[addr:int(addr)+len(buf)])
+	d.mu.Unlock()
+	lines := int64(linesSpanned(addr, len(buf)))
+	c.clock.Advance(lines * d.cfg.Lat.CacheRead)
+	c.Stats.Loads++
+	c.Stats.LoadBytes += uint64(len(buf))
+}
+
+// Store writes data at addr in the architectural image and marks the touched
+// lines dirty. The write is NOT persistent until flushed and fenced (or
+// until a lucky eviction at crash time) — unless the device runs in eADR
+// mode, where the caches are inside the persistence domain.
+func (c *Core) Store(addr Addr, data []byte) {
+	d := c.dev
+	d.mu.Lock()
+	d.checkRange(addr, len(data))
+	copy(d.mem[addr:int(addr)+len(data)], data)
+	if d.cfg.EADR {
+		copy(d.persisted[addr:int(addr)+len(data)], data)
+	} else {
+		first, last := LineOf(addr), LineOf(addr+Addr(len(data)-1))
+		if len(data) == 0 {
+			last = first
+		}
+		for l := first; l <= last; l++ {
+			d.dirty[l] = struct{}{}
+		}
+	}
+	d.mu.Unlock()
+	lines := int64(linesSpanned(addr, len(data)))
+	c.clock.Advance(lines * d.cfg.Lat.CacheWrite)
+	c.Stats.Stores++
+	c.Stats.StoreBytes += uint64(len(data))
+}
+
+// LoadRaw and StoreRaw are zero-latency variants for layers (the hardware
+// model) that account time themselves but still need correct dirty-line and
+// persistence bookkeeping.
+func (c *Core) LoadRaw(addr Addr, buf []byte) {
+	d := c.dev
+	d.mu.Lock()
+	d.checkRange(addr, len(buf))
+	copy(buf, d.mem[addr:int(addr)+len(buf)])
+	d.mu.Unlock()
+}
+
+// StoreRaw is the zero-latency counterpart of Store.
+func (c *Core) StoreRaw(addr Addr, data []byte) {
+	d := c.dev
+	d.mu.Lock()
+	d.checkRange(addr, len(data))
+	copy(d.mem[addr:int(addr)+len(data)], data)
+	if d.cfg.EADR {
+		copy(d.persisted[addr:int(addr)+len(data)], data)
+	} else {
+		first, last := LineOf(addr), LineOf(addr+Addr(len(data)-1))
+		if len(data) == 0 {
+			last = first
+		}
+		for l := first; l <= last; l++ {
+			d.dirty[l] = struct{}{}
+		}
+	}
+	d.mu.Unlock()
+}
+
+// LoadUint64 reads a little-endian uint64 at addr.
+func (c *Core) LoadUint64(addr Addr) uint64 {
+	var b [8]byte
+	c.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// StoreUint64 writes a little-endian uint64 at addr.
+func (c *Core) StoreUint64(addr Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.Store(addr, b[:])
+}
+
+// LoadUint32 reads a little-endian uint32 at addr.
+func (c *Core) LoadUint32(addr Addr) uint32 {
+	var b [4]byte
+	c.Load(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// StoreUint32 writes a little-endian uint32 at addr.
+func (c *Core) StoreUint32(addr Addr, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.Store(addr, b[:])
+}
+
+// Flush issues CLWB for every line overlapping [addr, addr+n): the current
+// contents of each line are captured into the WPQ and the lines become
+// clean. Flush does not wait for the drain; only Fence (or elapsed compute
+// time) does. Traffic is attributed to kind.
+func (c *Core) Flush(addr Addr, n int, kind Kind) {
+	if n <= 0 {
+		return
+	}
+	d := c.dev
+	if d.cfg.EADR {
+		// The line is already in the persistence domain; CLWB degenerates
+		// to a hint. Issue cost only.
+		c.clock.Advance(d.cfg.Lat.FlushIssue)
+		c.Stats.Flushes++
+		return
+	}
+	d.mu.Lock()
+	d.checkRange(addr, n)
+	first, last := LineOf(addr), LineOf(addr+Addr(n-1))
+	for l := first; l <= last; l++ {
+		c.clock.Advance(d.cfg.Lat.FlushIssue)
+		c.Stats.Flushes++
+		c.enqueueLocked(l, kind)
+		delete(d.dirty, l)
+	}
+	d.mu.Unlock()
+}
+
+// enqueueLocked places line l into the WPQ, blocking (advancing the clock)
+// if the queue is full. Caller holds d.mu.
+func (c *Core) enqueueLocked(l uint64, kind Kind) {
+	d := c.dev
+	c.drainUntilLocked(c.clock.Now())
+	if len(c.wpq) >= d.cfg.Lat.WPQLines {
+		// Queue full: stall until the oldest entry drains.
+		c.clock.AdvanceTo(c.wpq[0].drainAt)
+		c.drainUntilLocked(c.clock.Now())
+	}
+	var e wpqEntry
+	e.line = l
+	e.kind = kind
+	copy(e.data[:], d.mem[l*LineSize:(l+1)*LineSize])
+	cost := d.cfg.Lat.PMWriteRandom
+	if d.drainLine != ^uint64(0) && l == d.drainLine+1 {
+		cost = d.cfg.Lat.PMWriteSeq
+		c.Stats.SeqLines++
+	} else {
+		c.Stats.RandLines++
+	}
+	// Drains are scheduled on the device-wide pipeline: they start no
+	// earlier than the issuing core's present and no earlier than the end
+	// of the previously scheduled drain, whichever core issued it.
+	e.acceptAt = c.clock.Now() + d.cfg.Lat.AcceptNs
+	start := c.clock.Now()
+	if d.drainEnd > start {
+		start = d.drainEnd
+	}
+	e.drainAt = start + cost
+	if e.drainAt < e.acceptAt {
+		e.drainAt = e.acceptAt
+	}
+	d.drainEnd = e.drainAt
+	d.drainLine = l
+	c.wpq = append(c.wpq, e)
+	c.wpqBytes += LineSize
+}
+
+// drainUntilLocked advances WPQ bookkeeping to time now: entries whose
+// acceptance has completed become part of the persistence domain (applied to
+// the persisted image), and entries whose media write-back has completed
+// free their WPQ slot.
+func (c *Core) drainUntilLocked(now int64) {
+	d := c.dev
+	for ; c.nApplied < len(c.wpq); c.nApplied++ {
+		e := c.wpq[c.nApplied]
+		if e.acceptAt > now {
+			break
+		}
+		copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+		c.accountTraffic(e.kind)
+	}
+	i := 0
+	for ; i < len(c.wpq); i++ {
+		if c.wpq[i].drainAt > now {
+			break
+		}
+	}
+	if i > 0 {
+		c.wpq = append(c.wpq[:0], c.wpq[i:]...)
+		c.nApplied -= i
+		c.wpqBytes = len(c.wpq) * LineSize
+	}
+}
+
+func (c *Core) accountTraffic(kind Kind) {
+	c.Stats.PMWriteBytes += LineSize
+	switch kind {
+	case KindLog:
+		c.Stats.PMLogBytes += LineSize
+	case KindGC:
+		c.Stats.PMGCBytes += LineSize
+	default:
+		c.Stats.PMDataBytes += LineSize
+	}
+}
+
+// Fence issues SFENCE: the clock advances until every outstanding flush has
+// been ACCEPTED into the ADR persistence domain (the WPQ) — the persist
+// barrier whose per-update use SpecPMT eliminates. The media-level drain
+// continues asynchronously; it costs time only through WPQ backpressure on
+// later flushes.
+func (c *Core) Fence() {
+	d := c.dev
+	d.mu.Lock()
+	for _, e := range c.wpq {
+		c.clock.AdvanceTo(e.acceptAt)
+	}
+	c.drainUntilLocked(c.clock.Now())
+	d.mu.Unlock()
+	c.clock.Advance(d.cfg.Lat.FenceIssue)
+	c.Stats.Fences++
+}
+
+// OrderPoint marks every currently pending WPQ entry of this core as
+// accepted into the persistence domain immediately, without advancing the
+// clock or counting a fence. It is the modeling hook for ISA proposals that
+// enforce persist ordering in hardware without stalling the pipeline — the
+// dependence tracking of EDE and the ordered log path of HOOP ("non-fence
+// ordering", Table 3). Entries keep their media drain times, so WPQ
+// backpressure is unaffected; only the ordering/durability guarantee is
+// immediate.
+func (c *Core) OrderPoint() {
+	d := c.dev
+	d.mu.Lock()
+	now := c.clock.Now()
+	for i := range c.wpq {
+		if c.wpq[i].acceptAt > now {
+			c.wpq[i].acceptAt = now
+		}
+	}
+	c.drainUntilLocked(now)
+	d.mu.Unlock()
+}
+
+// PersistBarrier is the common CLWB-range + SFENCE sequence.
+func (c *Core) PersistBarrier(addr Addr, n int, kind Kind) {
+	c.Flush(addr, n, kind)
+	c.Fence()
+}
+
+// SyncTo advances this core's clock to time t (a barrier with other cores:
+// multi-core experiments synchronise clocks between rounds so the shared
+// drain pipeline sees a consistent notion of time).
+func (c *Core) SyncTo(t int64) {
+	c.clock.AdvanceTo(t)
+	c.dev.mu.Lock()
+	c.drainUntilLocked(c.clock.Now())
+	c.dev.mu.Unlock()
+}
+
+// WPQDepth returns the number of lines currently pending in this core's WPQ.
+func (c *Core) WPQDepth() int {
+	c.dev.mu.Lock()
+	defer c.dev.mu.Unlock()
+	c.drainUntilLocked(c.clock.Now())
+	return len(c.wpq)
+}
+
+// linesSpanned counts the cache lines overlapped by [addr, addr+n).
+func linesSpanned(addr Addr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(LineOf(addr+Addr(n-1)) - LineOf(addr) + 1)
+}

@@ -1,0 +1,438 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"specpmt/internal/sim"
+)
+
+func newTestDevice(size int) (*Device, *Core) {
+	d := NewDevice(Config{Size: size})
+	return d, d.NewCore()
+}
+
+func TestStoreNotPersistedWithoutFlush(t *testing.T) {
+	d, c := newTestDevice(4096)
+	c.Store(128, []byte{1, 2, 3, 4})
+	var got [4]byte
+	c.Load(128, got[:])
+	if got != [4]byte{1, 2, 3, 4} {
+		t.Fatalf("architectural image wrong: %v", got)
+	}
+	var p [4]byte
+	d.ReadPersisted(128, p[:])
+	if p != [4]byte{} {
+		t.Fatalf("unflushed store reached persistence domain: %v", p)
+	}
+	if !d.IsDirty(128) {
+		t.Fatal("line should be dirty after store")
+	}
+}
+
+func TestFlushFencePersists(t *testing.T) {
+	d, c := newTestDevice(4096)
+	c.Store(128, []byte{9, 8, 7})
+	c.Flush(128, 3, KindData)
+	if d.IsDirty(128) {
+		t.Fatal("line should be clean after flush")
+	}
+	c.Fence()
+	var p [3]byte
+	d.ReadPersisted(128, p[:])
+	if p != [3]byte{9, 8, 7} {
+		t.Fatalf("flush+fence did not persist: %v", p)
+	}
+}
+
+func TestFenceWaitsForDrain(t *testing.T) {
+	_, c := newTestDevice(64 * 1024)
+	// Flush 20 random lines; fence must wait roughly 20 * PMWriteRandom.
+	for i := 0; i < 20; i++ {
+		c.Store(Addr(i*1024), []byte{1})
+		c.Flush(Addr(i*1024), 1, KindData)
+	}
+	c.Fence()
+	lat := sim.DefaultLatency()
+	// The WPQ holds 8 lines; issuing 20 random-line flushes must stall on
+	// media write-back for at least the 12 overflow lines.
+	min := int64(20-lat.WPQLines) * lat.PMWriteRandom
+	if c.Now() < min {
+		t.Fatalf("persisting 20 random lines took %dns; want >= %dns (backpressure)", c.Now(), min)
+	}
+}
+
+func TestComputeDrainsWPQ(t *testing.T) {
+	_, c := newTestDevice(64 * 1024)
+	for i := 0; i < 8; i++ {
+		c.Store(Addr(i*1024), []byte{1})
+		c.Flush(Addr(i*1024), 1, KindData)
+	}
+	// Long compute lets the WPQ drain in the background.
+	c.Compute(1_000_000)
+	before := c.Now()
+	c.Fence()
+	wait := c.Now() - before
+	if wait > sim.DefaultLatency().FenceIssue {
+		t.Fatalf("fence after long compute should be free, waited %dns", wait)
+	}
+}
+
+func TestSequentialDrainCheaperThanRandom(t *testing.T) {
+	lat := sim.DefaultLatency()
+	seq := NewDevice(Config{Size: 1 << 20})
+	cs := seq.NewCore()
+	for i := 0; i < 64; i++ {
+		cs.Store(Addr(i*LineSize), []byte{1})
+		cs.Flush(Addr(i*LineSize), 1, KindLog)
+	}
+	cs.Fence()
+	rnd := NewDevice(Config{Size: 1 << 20})
+	cr := rnd.NewCore()
+	for i := 0; i < 64; i++ {
+		cr.Store(Addr((i*37%64)*257*LineSize%(1<<20-LineSize)), []byte{1})
+		cr.Flush(Addr((i*37%64)*257*LineSize%(1<<20-LineSize)), 1, KindData)
+	}
+	cr.Fence()
+	if cs.Now() >= cr.Now() {
+		t.Fatalf("sequential flushes (%dns) should be faster than random (%dns)", cs.Now(), cr.Now())
+	}
+	if cs.Stats.SeqLines < 60 {
+		t.Fatalf("sequential pattern not detected: seq=%d rand=%d", cs.Stats.SeqLines, cs.Stats.RandLines)
+	}
+	_ = lat
+}
+
+func TestWPQBackpressure(t *testing.T) {
+	_, c := newTestDevice(1 << 20)
+	lat := sim.DefaultLatency()
+	// Flushing far more lines than the WPQ capacity must stall the core.
+	n := 64
+	for i := 0; i < n; i++ {
+		a := Addr(i * 4096)
+		c.Store(a, []byte{1})
+		c.Flush(a, 1, KindData)
+	}
+	// Even before the fence, issuing flushes beyond capacity costs drain time.
+	if c.Now() < int64(n-lat.WPQLines)*lat.PMWriteRandom {
+		t.Fatalf("no WPQ backpressure observed: now=%dns", c.Now())
+	}
+}
+
+func TestCrashCleanDropsDirtyKeepsFenced(t *testing.T) {
+	d, c := newTestDevice(4096)
+	c.Store(0, []byte{0xAA})
+	c.Flush(0, 1, KindData)
+	c.Fence()
+	c.Store(64, []byte{0xBB}) // never flushed
+	d.CrashClean()
+	var b [1]byte
+	c.Load(0, b[:])
+	if b[0] != 0xAA {
+		t.Fatalf("fenced data lost at crash: %x", b[0])
+	}
+	c.Load(64, b[:])
+	if b[0] != 0 {
+		t.Fatalf("dirty line survived CrashClean: %x", b[0])
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatal("dirty set should be empty after crash")
+	}
+	if d.Crashes() != 1 {
+		t.Fatalf("crash count = %d", d.Crashes())
+	}
+}
+
+func TestCrashEvictionProbabilities(t *testing.T) {
+	// With eviction probability 1, every dirty line persists.
+	d := NewDevice(Config{Size: 4096, CrashEvictProb: 1.0})
+	c := d.NewCore()
+	c.Store(64, []byte{0xCC})
+	d.Crash(sim.NewRand(1))
+	var b [1]byte
+	c.Load(64, b[:])
+	if b[0] != 0xCC {
+		t.Fatalf("CrashEvictProb=1 should persist dirty lines, got %x", b[0])
+	}
+	// With a tiny probability, over many trials at least one line is lost.
+	lost := false
+	for trial := 0; trial < 20 && !lost; trial++ {
+		d2 := NewDevice(Config{Size: 4096, CrashEvictProb: 0.01})
+		c2 := d2.NewCore()
+		c2.Store(64, []byte{0xDD})
+		d2.Crash(sim.NewRand(uint64(trial)))
+		c2.Load(64, b[:])
+		lost = b[0] == 0
+	}
+	if !lost {
+		t.Fatal("CrashEvictProb=0.01 never dropped a dirty line in 20 trials")
+	}
+}
+
+func TestCrashResetsClocksAndWPQ(t *testing.T) {
+	d, c := newTestDevice(1 << 16)
+	c.Store(0, []byte{1})
+	c.Flush(0, 1, KindData)
+	c.Compute(500)
+	d.Crash(sim.NewRand(1))
+	if c.Now() != 0 {
+		t.Fatalf("clock not reset by crash: %d", c.Now())
+	}
+	if c.WPQDepth() != 0 {
+		t.Fatalf("WPQ not cleared by crash: %d", c.WPQDepth())
+	}
+}
+
+func TestDrainedWPQEntriesSurviveCrash(t *testing.T) {
+	d, c := newTestDevice(4096)
+	c.Store(0, []byte{0x77})
+	c.Flush(0, 1, KindData)
+	c.Compute(10_000) // entry drains during compute
+	d.CrashClean()
+	var b [1]byte
+	c.Load(0, b[:])
+	if b[0] != 0x77 {
+		t.Fatal("drained WPQ entry should persist even without a fence")
+	}
+}
+
+func TestTypedAccessorsRoundTrip(t *testing.T) {
+	f := func(v64 uint64, v32 uint32) bool {
+		_, c := newTestDevice(4096)
+		c.StoreUint64(8, v64)
+		c.StoreUint32(256, v32)
+		return c.LoadUint64(8) == v64 && c.LoadUint32(256) == v32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadStoreArbitraryBytes(t *testing.T) {
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 || len(data) > 512 {
+			return true
+		}
+		_, c := newTestDevice(1 << 16)
+		addr := Addr(off)
+		c.Store(addr, data)
+		got := make([]byte, len(data))
+		c.Load(addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	_, c := newTestDevice(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range store should panic")
+		}
+	}()
+	c.Store(120, make([]byte, 16))
+}
+
+func TestFlushCapturesStoreOrder(t *testing.T) {
+	// A line flushed, re-stored, and re-flushed must persist the final value.
+	d, c := newTestDevice(4096)
+	c.Store(0, []byte{1})
+	c.Flush(0, 1, KindData)
+	c.Store(0, []byte{2})
+	c.Flush(0, 1, KindData)
+	c.Fence()
+	var p [1]byte
+	d.ReadPersisted(0, p[:])
+	if p[0] != 2 {
+		t.Fatalf("persisted %d, want final value 2", p[0])
+	}
+}
+
+func TestFlushWithoutFenceIsAtRisk(t *testing.T) {
+	// An un-drained, un-fenced WPQ entry may be lost at crash. Find a seed
+	// losing it and a seed keeping it: both outcomes must be possible.
+	outcomes := map[byte]bool{}
+	for seed := uint64(0); seed < 40; seed++ {
+		d, c := newTestDevice(4096)
+		c.Store(0, []byte{0x55})
+		c.Flush(0, 1, KindData) // no fence, no compute: still pending
+		d.Crash(sim.NewRand(seed))
+		var b [1]byte
+		c.Load(0, b[:])
+		outcomes[b[0]] = true
+	}
+	if !outcomes[0x55] || !outcomes[0] {
+		t.Fatalf("pending WPQ entry should be a coin flip at crash; outcomes=%v", outcomes)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	_, c := newTestDevice(1 << 16)
+	c.Store(0, []byte{1})
+	c.Flush(0, 1, KindLog)
+	c.Store(4096, []byte{1})
+	c.Flush(4096, 1, KindData)
+	c.Fence()
+	if c.Stats.PMLogBytes != LineSize || c.Stats.PMDataBytes != LineSize {
+		t.Fatalf("traffic split wrong: log=%d data=%d", c.Stats.PMLogBytes, c.Stats.PMDataBytes)
+	}
+	if c.Stats.PMWriteBytes != 2*LineSize {
+		t.Fatalf("total traffic wrong: %d", c.Stats.PMWriteBytes)
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		n    int
+		want int
+	}{
+		{0, 1, 1}, {0, 64, 1}, {0, 65, 2}, {63, 2, 2}, {63, 1, 1}, {10, 0, 0}, {128, 128, 2},
+	}
+	for _, tc := range cases {
+		if got := linesSpanned(tc.addr, tc.n); got != tc.want {
+			t.Errorf("linesSpanned(%d,%d)=%d want %d", tc.addr, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLinesSpannedProperty(t *testing.T) {
+	f := func(addr uint16, n uint8) bool {
+		if n == 0 {
+			return linesSpanned(Addr(addr), 0) == 0
+		}
+		got := linesSpanned(Addr(addr), int(n))
+		// Count by brute force.
+		seen := map[uint64]bool{}
+		for i := 0; i < int(n); i++ {
+			seen[LineOf(Addr(addr)+Addr(i))] = true
+		}
+		return got == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleCoresIndependentClocks(t *testing.T) {
+	d := NewDevice(Config{Size: 1 << 16})
+	c1, c2 := d.NewCore(), d.NewCore()
+	c1.Store(0, []byte{1})
+	c1.Flush(0, 1, KindData)
+	c1.Fence()
+	if c2.Now() != 0 {
+		t.Fatalf("core 2 clock moved by core 1 activity: %d", c2.Now())
+	}
+	// Both cores see each other's architectural writes.
+	var b [1]byte
+	c2.Load(0, b[:])
+	if b[0] != 1 {
+		t.Fatal("cores must share the architectural image")
+	}
+}
+
+func TestPersistBarrier(t *testing.T) {
+	d, c := newTestDevice(4096)
+	c.Store(0, []byte{0x42})
+	c.PersistBarrier(0, 1, KindData)
+	var p [1]byte
+	d.ReadPersisted(0, p[:])
+	if p[0] != 0x42 {
+		t.Fatal("PersistBarrier did not persist")
+	}
+	if c.Stats.Fences != 1 || c.Stats.Flushes != 1 {
+		t.Fatalf("barrier counters wrong: %+v", c.Stats)
+	}
+}
+
+func TestEADRStoresArePersistent(t *testing.T) {
+	d := NewDevice(Config{Size: 4096, EADR: true})
+	c := d.NewCore()
+	c.Store(0, []byte{0xAB})
+	d.CrashClean()
+	var b [1]byte
+	c.Load(0, b[:])
+	if b[0] != 0xAB {
+		t.Fatal("eADR store lost at crash: the cache is in the persistence domain")
+	}
+}
+
+func TestEADRFenceIsCheap(t *testing.T) {
+	d := NewDevice(Config{Size: 1 << 20, EADR: true})
+	c := d.NewCore()
+	for i := 0; i < 64; i++ {
+		a := Addr(i * 4096)
+		c.Store(a, []byte{1})
+		c.Flush(a, 1, KindData)
+	}
+	c.Fence()
+	lat := sim.DefaultLatency()
+	budget := 64*lat.FlushIssue + lat.FenceIssue + 64*lat.CacheWrite + 64
+	if c.Now() > budget {
+		t.Fatalf("eADR flush+fence cost %dns; should be issue-only (<=%dns)", c.Now(), budget)
+	}
+}
+
+func TestEADREnginesStillAtomic(t *testing.T) {
+	// Even with persistent caches, uncommitted in-place updates persist and
+	// must still be revoked by recovery — eADR removes flushes, not the
+	// need for crash atomicity.
+	d := NewDevice(Config{Size: 4096, EADR: true})
+	c := d.NewCore()
+	c.Store(64, []byte{7})
+	d.Crash(sim.NewRand(1))
+	var b [1]byte
+	c.Load(64, b[:])
+	if b[0] != 7 {
+		t.Fatal("eADR uncommitted store should persist (that is the hazard)")
+	}
+}
+
+func TestConcurrentCoresStress(t *testing.T) {
+	// Many cores hammering the device concurrently: the device mutex must
+	// keep the shared images and the global drain pipeline consistent
+	// (validated under -race in CI-style runs).
+	d := NewDevice(Config{Size: 1 << 20})
+	const workers = 8
+	done := make(chan bool, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			c := d.NewCore()
+			base := Addr(w * 64 * 1024)
+			var b [8]byte
+			for i := 0; i < 2000; i++ {
+				v := uint64(w*1_000_000 + i)
+				for j := 0; j < 8; j++ {
+					b[j] = byte(v >> (8 * j))
+				}
+				c.Store(base+Addr((i%128)*64), b[:])
+				if i%16 == 0 {
+					c.Flush(base+Addr((i%128)*64), 8, KindData)
+					c.Fence()
+				}
+				if i%64 == 0 {
+					c.Compute(100)
+				}
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	// Each worker's last fenced line must hold its own value (regions are
+	// disjoint).
+	for w := 0; w < workers; w++ {
+		c := d.NewCore()
+		last := 1984 // last i%16==0 index below 2000
+		got := c.LoadUint64(Addr(w*64*1024) + Addr((last%128)*64))
+		want := uint64(w*1_000_000 + last)
+		if got != want {
+			t.Fatalf("worker %d: got %d want %d", w, got, want)
+		}
+	}
+}

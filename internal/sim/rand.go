@@ -1,0 +1,131 @@
+package sim
+
+// Rand is a small deterministic pseudo-random generator (SplitMix64 for
+// seeding, xorshift* for the stream). Experiments must not depend on the
+// standard library's global generator so that every run of a given seed
+// produces identical transaction streams and crash points.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func NewRand(seed uint64) *Rand {
+	// SplitMix64 scramble so that small consecutive seeds give uncorrelated
+	// streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	return &Rand{state: z}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent generator from this one, for handing to a
+// sub-component without coupling its consumption to the parent stream.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64())
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew s >= 0.
+// s == 0 degenerates to uniform. Higher s concentrates mass on low indices;
+// the stamp workload generators use it to model data hotness.
+type Zipf struct {
+	n   int
+	cdf []float64
+	rng *Rand
+}
+
+// NewZipf builds a sampler over [0, n) with exponent s.
+func NewZipf(rng *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	z := &Zipf{n: n, rng: rng}
+	if s <= 0 {
+		return z
+	}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / powFloat(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Next draws the next sample.
+func (z *Zipf) Next() int {
+	if z.cdf == nil {
+		return z.rng.Intn(z.n)
+	}
+	u := z.rng.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// powFloat is a minimal x**y for y >= 0 avoiding a math import dependency
+// spreading through hot paths; precision needs here are modest.
+func powFloat(x, y float64) float64 {
+	// Exponent values used by workloads are small (0..2 in steps of 0.1), so
+	// an exp/log-free approach is unnecessary; use the identity via repeated
+	// squaring on the integer part and a short series elsewhere would be
+	// overkill. Delegate to the obvious loop for integer exponents and
+	// linear interpolation between them otherwise.
+	yi := int(y)
+	p := 1.0
+	for i := 0; i < yi; i++ {
+		p *= x
+	}
+	frac := y - float64(yi)
+	if frac == 0 {
+		return p
+	}
+	// Linear interpolation between x**yi and x**(yi+1) is adequate for a
+	// hotness skew knob.
+	return p * (1 + frac*(x-1))
+}

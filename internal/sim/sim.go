@@ -1,0 +1,103 @@
+// Package sim provides the virtual-time primitives shared by the persistent
+// memory device model and the hardware model: a per-core virtual clock and
+// the latency configuration taken from Table 1 of the SpecPMT paper.
+//
+// All durations are virtual nanoseconds. Nothing in this package reads the
+// wall clock; experiments are fully deterministic given a seed.
+package sim
+
+// Clock is a virtual clock measured in nanoseconds. A Clock belongs to one
+// logical core; concurrent goroutines must each own their own Clock.
+type Clock struct {
+	now int64
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by ns nanoseconds. Negative values are
+// ignored so cost formulas may clamp freely.
+func (c *Clock) Advance(ns int64) {
+	if ns > 0 {
+		c.now += ns
+	}
+}
+
+// AdvanceTo moves the clock forward to time t if t is in the future.
+func (c *Clock) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Used between experiment runs.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Latency holds the timing model of the simulated machine. The defaults
+// mirror Table 1 of the paper: 150 ns persistent memory read latency, 500 ns
+// write latency, a 512-byte (8-line) write pending queue, and DRAM-class
+// costs for cache-resident accesses. Sequential PM writes are cheaper than
+// random ones, following the empirical Optane characterisation the paper
+// cites ([78], [11]).
+type Latency struct {
+	// CacheRead is the cost of reading a cache-resident line.
+	CacheRead int64
+	// CacheWrite is the cost of a store that hits the cache hierarchy.
+	CacheWrite int64
+	// PMRead is the cost of reading a line from persistent memory.
+	PMRead int64
+	// PMWriteRandom is the device-side drain cost of a random-address line.
+	PMWriteRandom int64
+	// PMWriteSeq is the drain cost of a line contiguous with the previous
+	// drained line (sequential pattern, e.g. log appends).
+	PMWriteSeq int64
+	// FlushIssue is the front-end cost of issuing one CLWB.
+	FlushIssue int64
+	// FenceIssue is the front-end cost of issuing one SFENCE, excluding the
+	// time spent waiting for outstanding flushes to be accepted.
+	FenceIssue int64
+	// AcceptNs is the round-trip for a flushed line to be accepted into the
+	// ADR persistence domain (the memory controller's write pending queue).
+	// An SFENCE waits for acceptance of all prior flushes — not for the
+	// media-level drain, which proceeds asynchronously and only surfaces as
+	// backpressure when the WPQ fills.
+	AcceptNs int64
+	// WPQLines is the write pending queue capacity in cache lines
+	// (512 bytes / 64-byte lines = 8 in the paper's configuration).
+	WPQLines int
+}
+
+// OptaneLatency approximates the software platform of §7.1.2: a real Intel
+// Optane DC persistent memory machine. Random-address persists are far more
+// expensive than the DDR-class parameters of the Gem5 configuration —
+// flush-plus-fence round trips on Optane take "thousands of CPU cycles"
+// (§2.2) — while sequential log appends benefit from on-DIMM write
+// combining.
+func OptaneLatency() Latency {
+	return Latency{
+		CacheRead:     1,
+		CacheWrite:    1,
+		PMRead:        300,
+		PMWriteRandom: 1500,
+		PMWriteSeq:    50,
+		FlushIssue:    20,
+		FenceIssue:    30,
+		AcceptNs:      300,
+		WPQLines:      8,
+	}
+}
+
+// DefaultLatency returns the paper's Table 1 configuration.
+func DefaultLatency() Latency {
+	return Latency{
+		CacheRead:     1,
+		CacheWrite:    1,
+		PMRead:        150,
+		PMWriteRandom: 500,
+		PMWriteSeq:    150,
+		FlushIssue:    10,
+		FenceIssue:    5,
+		AcceptNs:      100,
+		WPQLines:      8,
+	}
+}

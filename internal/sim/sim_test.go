@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("after Advance(100): %d", c.Now())
+	}
+	c.Advance(-50)
+	if c.Now() != 100 {
+		t.Fatalf("negative advance moved clock: %d", c.Now())
+	}
+	c.AdvanceTo(80)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo past time moved clock backward: %d", c.Now())
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("AdvanceTo(250): %d", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset: %d", c.Now())
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	f := func(steps []int16) bool {
+		var c Clock
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(int64(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultLatency(t *testing.T) {
+	l := DefaultLatency()
+	if l.PMRead != 150 || l.PMWriteRandom != 500 {
+		t.Fatalf("Table 1 latencies wrong: %+v", l)
+	}
+	if l.WPQLines != 8 {
+		t.Fatalf("WPQ should be 512B = 8 lines, got %d", l.WPQLines)
+	}
+	if l.PMWriteSeq >= l.PMWriteRandom {
+		t.Fatalf("sequential PM writes must be cheaper than random: %+v", l)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%100) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestZipfUniformWhenZeroSkew(t *testing.T) {
+	r := NewRand(1)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("bucket %d has %d draws; uniform expected ~10000", i, c)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	r := NewRand(1)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("skewed Zipf should favour low indices: c[0]=%d c[50]=%d", counts[0], counts[50])
+	}
+	head := counts[0] + counts[1] + counts[2]
+	if head < 20000 {
+		t.Fatalf("head mass too small for skew 1.2: %d/100000", head)
+	}
+}
+
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%50) + 1
+		z := NewZipf(NewRand(seed), m, 1.0)
+		for i := 0; i < 100; i++ {
+			v := z.Next()
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := NewRand(5)
+	b := a.Split()
+	// Consuming from b must not change a's future relative to a clone that
+	// split at the same point.
+	a2 := NewRand(5)
+	b2 := a2.Split()
+	_ = b2
+	for i := 0; i < 100; i++ {
+		b.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != a2.Uint64() {
+			t.Fatal("consuming a split stream perturbed the parent")
+		}
+	}
+}
+
+func TestZipfSingleBucket(t *testing.T) {
+	z := NewZipf(NewRand(1), 1, 1.5)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("n=1 Zipf must always return 0")
+		}
+	}
+}
+
+func TestOptaneLatencyShape(t *testing.T) {
+	o := OptaneLatency()
+	d := DefaultLatency()
+	if o.PMWriteRandom <= d.PMWriteRandom {
+		t.Fatal("Optane random persists should cost more than the DDR-class simulator profile")
+	}
+	if o.PMWriteSeq >= o.PMWriteRandom/10 {
+		t.Fatal("Optane sequential log appends should be an order of magnitude cheaper than random")
+	}
+	if o.AcceptNs <= 0 || d.AcceptNs <= 0 {
+		t.Fatal("acceptance RTT must be positive")
+	}
+}

@@ -1,0 +1,174 @@
+package stamp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNineProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 9 {
+		t.Fatalf("paper evaluates 9 STAMP applications, got %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"genome", "intruder", "kmeans-low", "kmeans-high",
+		"labyrinth", "ssca2", "vacation-low", "vacation-high", "yada"} {
+		if !names[want] {
+			t.Fatalf("missing profile %q", want)
+		}
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	// Spot-check against Table 2 of the paper.
+	p, _ := ByName("labyrinth")
+	if p.AvgTxSize != 1420 || p.PaperTxCount != 1026 || p.PaperUpdates != 184190 {
+		t.Fatalf("labyrinth row diverges from Table 2: %+v", p)
+	}
+	p, _ = ByName("kmeans-low")
+	if p.AvgTxSize != 101 || p.PaperTxCount != 9_874_166 {
+		t.Fatalf("kmeans-low row diverges from Table 2: %+v", p)
+	}
+}
+
+func TestWriteIntensiveClassification(t *testing.T) {
+	// §7.2: the five applications with the largest number of transactional
+	// updates are write-intensive.
+	want := map[string]bool{
+		"intruder": true, "kmeans-low": true, "kmeans-high": true,
+		"ssca2": true, "yada": true,
+	}
+	for _, p := range Profiles() {
+		if p.WriteIntensive != want[p.Name] {
+			t.Fatalf("%s: WriteIntensive=%v want %v", p.Name, p.WriteIntensive, want[p.Name])
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ByName("genome")
+	g1, g2 := NewGen(p, 100, 7), NewGen(p, 100, 7)
+	for {
+		t1, ok1 := g1.Next()
+		t2, ok2 := g2.Next()
+		if ok1 != ok2 {
+			t.Fatal("streams ended at different points")
+		}
+		if !ok1 {
+			break
+		}
+		if len(t1.Ops) != len(t2.Ops) {
+			t.Fatal("same-seed streams diverged")
+		}
+		for i := range t1.Ops {
+			if t1.Ops[i] != t2.Ops[i] {
+				t.Fatal("same-seed ops diverged")
+			}
+		}
+	}
+}
+
+func TestGeneratedShapeMatchesTable2(t *testing.T) {
+	// The generated stream's mean write-set size and updates per tx must be
+	// within 40% of the Table 2 characterisation for every application.
+	for _, p := range Profiles() {
+		avgBytes, avgUpdates := Stats(p, 400, 11)
+		if ratio := avgBytes / p.AvgTxSize; ratio < 0.6 || ratio > 1.4 {
+			t.Errorf("%s: generated avg tx size %.1fB vs Table 2 %.1fB (ratio %.2f)",
+				p.Name, avgBytes, p.AvgTxSize, ratio)
+		}
+		if ratio := avgUpdates / p.UpdatesPerTx(); ratio < 0.6 || ratio > 1.4 {
+			t.Errorf("%s: generated updates/tx %.1f vs Table 2 %.1f (ratio %.2f)",
+				p.Name, avgUpdates, p.UpdatesPerTx(), ratio)
+		}
+	}
+}
+
+func TestOffsetsWithinFootprint(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, _ := ByName("vacation-high")
+		g := NewGen(p, 50, seed)
+		fp := uint64(g.Footprint())
+		for {
+			tx, ok := g.Next()
+			if !ok {
+				return true
+			}
+			for _, op := range tx.Ops {
+				if op.Kind == OpCompute {
+					continue
+				}
+				if op.Offset+uint64(op.Size) > fp {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryTxHasAStore(t *testing.T) {
+	for _, p := range Profiles() {
+		g := NewGen(p, 50, 3)
+		for {
+			tx, ok := g.Next()
+			if !ok {
+				break
+			}
+			if tx.Updates() == 0 {
+				t.Fatalf("%s generated a transaction with no durable update", p.Name)
+			}
+		}
+	}
+}
+
+func TestKmeansHotterThanSSCA2(t *testing.T) {
+	// kmeans updates cluster centres (hot); ssca2 scatters over a large
+	// graph. Measure distinct objects touched per 1000 updates.
+	distinct := func(name string) int {
+		p, _ := ByName(name)
+		g := NewGen(p, 200, 5)
+		seen := map[uint64]bool{}
+		count := 0
+		for count < 1000 {
+			tx, ok := g.Next()
+			if !ok {
+				break
+			}
+			for _, op := range tx.Ops {
+				if op.Kind == OpStore {
+					seen[op.Offset/64] = true
+					count++
+				}
+			}
+		}
+		return len(seen)
+	}
+	k, s := distinct("kmeans-high"), distinct("ssca2")
+	if k >= s {
+		t.Fatalf("kmeans (%d distinct lines) should be hotter than ssca2 (%d)", k, s)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("bayes"); ok {
+		t.Fatal("bayes is excluded from the evaluation (unstable performance)")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	p, _ := ByName("genome")
+	g := NewGen(p, 5, 1)
+	if g.Remaining() != 5 {
+		t.Fatalf("remaining=%d", g.Remaining())
+	}
+	g.Next()
+	if g.Remaining() != 4 {
+		t.Fatalf("remaining=%d", g.Remaining())
+	}
+}

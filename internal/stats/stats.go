@@ -1,0 +1,105 @@
+// Package stats collects the event counters the SpecPMT evaluation reports:
+// fences, cache-line flushes, persistent-memory write traffic (split by
+// purpose), sequential versus random drain patterns, and transaction counts.
+//
+// Counters are plain integers guarded by the owner; the simulated device
+// serialises all memory operations, so no atomics are needed on the hot
+// path. Snapshot produces a copyable value for reporting.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters accumulates simulation events. The zero value is ready to use.
+type Counters struct {
+	// Ordering / persistence primitives.
+	Fences  uint64 // SFENCE count (persist barriers)
+	Flushes uint64 // CLWB count (one per line flushed)
+
+	// Persistent memory write traffic in bytes, by purpose.
+	PMWriteBytes uint64 // total bytes drained to the persistence domain
+	PMLogBytes   uint64 // portion attributed to log records
+	PMDataBytes  uint64 // portion attributed to in-place/out-of-place data
+	PMGCBytes    uint64 // portion attributed to background GC / reclamation
+
+	// Drain pattern: lines whose address followed the previously drained
+	// line (sequential) versus all others (random).
+	SeqLines  uint64
+	RandLines uint64
+
+	// Access counts.
+	Loads      uint64
+	Stores     uint64
+	LoadBytes  uint64
+	StoreBytes uint64
+
+	// Transactions.
+	TxBegun     uint64
+	TxCommitted uint64
+	TxAborted   uint64
+
+	// Log lifecycle.
+	LogRecords     uint64 // records appended
+	LogReclaimed   uint64 // records reclaimed as stale
+	ReclaimCycles  uint64 // background/foreground reclamation cycles
+	LogBytesLive   int64  // gauge: live log bytes right now
+	LogBytesPeak   int64  // high-water mark of LogBytesLive
+	PageCopies     uint64 // hardware bulk page copies (cold->hot transitions)
+	EpochsReclaimd uint64 // hardware epochs reclaimed
+}
+
+// AddLiveLog adjusts the live-log gauge and maintains its peak.
+func (c *Counters) AddLiveLog(delta int64) {
+	c.LogBytesLive += delta
+	if c.LogBytesLive > c.LogBytesPeak {
+		c.LogBytesPeak = c.LogBytesLive
+	}
+}
+
+// Merge adds other's counts into c. Gauges take the peak-wise combination.
+func (c *Counters) Merge(other *Counters) {
+	c.Fences += other.Fences
+	c.Flushes += other.Flushes
+	c.PMWriteBytes += other.PMWriteBytes
+	c.PMLogBytes += other.PMLogBytes
+	c.PMDataBytes += other.PMDataBytes
+	c.PMGCBytes += other.PMGCBytes
+	c.SeqLines += other.SeqLines
+	c.RandLines += other.RandLines
+	c.Loads += other.Loads
+	c.Stores += other.Stores
+	c.LoadBytes += other.LoadBytes
+	c.StoreBytes += other.StoreBytes
+	c.TxBegun += other.TxBegun
+	c.TxCommitted += other.TxCommitted
+	c.TxAborted += other.TxAborted
+	c.LogRecords += other.LogRecords
+	c.LogReclaimed += other.LogReclaimed
+	c.ReclaimCycles += other.ReclaimCycles
+	c.LogBytesLive += other.LogBytesLive
+	if other.LogBytesPeak > c.LogBytesPeak {
+		c.LogBytesPeak = other.LogBytesPeak
+	}
+	c.PageCopies += other.PageCopies
+	c.EpochsReclaimd += other.EpochsReclaimd
+}
+
+// Snapshot returns a copy of the counters.
+func (c *Counters) Snapshot() Counters { return *c }
+
+// Reset zeroes every counter and gauge.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// String renders a compact multi-line report.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fences=%d flushes=%d\n", c.Fences, c.Flushes)
+	fmt.Fprintf(&b, "pm-write=%dB (log=%d data=%d gc=%d) seq/rand lines=%d/%d\n",
+		c.PMWriteBytes, c.PMLogBytes, c.PMDataBytes, c.PMGCBytes, c.SeqLines, c.RandLines)
+	fmt.Fprintf(&b, "tx begun/committed/aborted=%d/%d/%d\n", c.TxBegun, c.TxCommitted, c.TxAborted)
+	fmt.Fprintf(&b, "log records=%d reclaimed=%d cycles=%d live=%dB peak=%dB\n",
+		c.LogRecords, c.LogReclaimed, c.ReclaimCycles, c.LogBytesLive, c.LogBytesPeak)
+	return b.String()
+}

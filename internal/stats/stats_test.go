@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddLiveLogPeak(t *testing.T) {
+	var c Counters
+	c.AddLiveLog(100)
+	c.AddLiveLog(200)
+	c.AddLiveLog(-250)
+	if c.LogBytesLive != 50 {
+		t.Fatalf("live = %d, want 50", c.LogBytesLive)
+	}
+	if c.LogBytesPeak != 300 {
+		t.Fatalf("peak = %d, want 300", c.LogBytesPeak)
+	}
+}
+
+func TestPeakNeverBelowLive(t *testing.T) {
+	f := func(deltas []int16) bool {
+		var c Counters
+		for _, d := range deltas {
+			c.AddLiveLog(int64(d))
+			if c.LogBytesPeak < c.LogBytesLive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Counters{Fences: 3, PMWriteBytes: 100, TxCommitted: 2, LogBytesPeak: 10}
+	b := Counters{Fences: 4, PMWriteBytes: 50, TxCommitted: 1, LogBytesPeak: 25}
+	a.Merge(&b)
+	if a.Fences != 7 || a.PMWriteBytes != 150 || a.TxCommitted != 3 {
+		t.Fatalf("merge sums wrong: %+v", a)
+	}
+	if a.LogBytesPeak != 25 {
+		t.Fatalf("merge peak = %d, want max 25", a.LogBytesPeak)
+	}
+}
+
+func TestResetAndSnapshot(t *testing.T) {
+	var c Counters
+	c.Fences = 9
+	c.AddLiveLog(64)
+	snap := c.Snapshot()
+	c.Reset()
+	if c.Fences != 0 || c.LogBytesLive != 0 || c.LogBytesPeak != 0 {
+		t.Fatalf("reset left state: %+v", c)
+	}
+	if snap.Fences != 9 || snap.LogBytesLive != 64 {
+		t.Fatalf("snapshot mutated by reset: %+v", snap)
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	var c Counters
+	c.Fences = 1
+	s := c.String()
+	for _, want := range []string{"fences=1", "pm-write", "tx begun"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}

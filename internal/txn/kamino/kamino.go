@@ -1,0 +1,290 @@
+// Package kamino implements the Kamino-Tx persistent transaction model
+// (Memaripour et al., EuroSys'17) as configured in the SpecPMT paper's
+// evaluation (§7.1.2): a state-of-the-art in-place update transaction that
+// keeps a backup copy of the data region and logs only the *addresses* of
+// write intents. Each address record must persist — flush plus fence —
+// before the corresponding main-copy data update; at commit the updated data
+// is flushed and fenced and the address log invalidated.
+//
+// Following the paper, the main-copy-to-backup copying is omitted from the
+// measured costs ("our experiments correspond to Kamino-Tx's upper bound in
+// performance"): the backup copy here is maintained through the device's
+// zero-cost PokePersisted modeling hook. Recovery restores every logged
+// address from the backup copy.
+package kamino
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+const (
+	magic = 0x4b414d494e4f5458 // "KAMINOTX"
+
+	offMagic     = 0
+	offLogArea   = 8
+	offLogCap    = 16
+	offActiveGen = 24
+	offBackup    = 32
+	offDataStart = 40
+	offDataEnd   = 48
+
+	recSize = 8 + 4 + 4 + 8 // addr, size, gen, checksum
+)
+
+// ErrLogFull is returned when a transaction exceeds the address log.
+var ErrLogFull = errors.New("kamino: address log full")
+
+// Options configures the engine.
+type Options struct {
+	// LogCap is the address-log capacity in bytes (default 1 MiB).
+	LogCap int
+}
+
+// Engine is the Kamino-Tx engine.
+type Engine struct {
+	env       txn.Env
+	logArea   pmem.Addr
+	logCap    int
+	backup    pmem.Addr
+	dataStart pmem.Addr
+	dataEnd   pmem.Addr
+	open      bool
+}
+
+func init() {
+	txn.Register("Kamino-Tx", func(env txn.Env) (txn.Engine, error) { return New(env, Options{}) })
+}
+
+// New attaches to (or initialises) a Kamino engine at env.Root. The backup
+// region mirrors the data heap's full range and is allocated from the log
+// heap on first initialisation.
+func New(env txn.Env, opt Options) (*Engine, error) {
+	if opt.LogCap == 0 {
+		opt.LogCap = 1 << 20
+	}
+	e := &Engine{env: env}
+	c := env.Core
+	if c.LoadUint64(env.Root+offMagic) == magic {
+		e.logArea = pmem.Addr(c.LoadUint64(env.Root + offLogArea))
+		e.logCap = int(c.LoadUint64(env.Root + offLogCap))
+		e.backup = pmem.Addr(c.LoadUint64(env.Root + offBackup))
+		e.dataStart = pmem.Addr(c.LoadUint64(env.Root + offDataStart))
+		e.dataEnd = pmem.Addr(c.LoadUint64(env.Root + offDataEnd))
+		return e, nil
+	}
+	area, err := env.LogHeap.Alloc(opt.LogCap)
+	if err != nil {
+		return nil, fmt.Errorf("kamino: allocating log area: %w", err)
+	}
+	ds, de := env.Heap.Bounds()
+	backup, err := env.LogHeap.Alloc(int(de - ds))
+	if err != nil {
+		return nil, fmt.Errorf("kamino: allocating backup copy: %w", err)
+	}
+	e.logArea, e.logCap = area, opt.LogCap
+	e.backup, e.dataStart, e.dataEnd = backup, ds, de
+	c.StoreUint64(env.Root+offLogArea, uint64(area))
+	c.StoreUint64(env.Root+offLogCap, uint64(opt.LogCap))
+	c.StoreUint64(env.Root+offActiveGen, 0)
+	c.StoreUint64(env.Root+offBackup, uint64(backup))
+	c.StoreUint64(env.Root+offDataStart, uint64(ds))
+	c.StoreUint64(env.Root+offDataEnd, uint64(de))
+	c.StoreUint64(env.Root+offMagic, magic)
+	c.PersistBarrier(env.Root, txn.RootSize, pmem.KindLog)
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string { return "Kamino-Tx" }
+
+// Close implements txn.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Begin implements txn.Engine.
+func (e *Engine) Begin() txn.Tx {
+	if e.open {
+		panic("kamino: engine supports one open transaction per core")
+	}
+	e.open = true
+	c := e.env.Core
+	gen := e.env.TS.Next()
+	c.Stats.TxBegun++
+	c.StoreUint64(e.env.Root+offActiveGen, gen)
+	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
+	return &tx{e: e, gen: gen, ws: txn.NewWriteSet()}
+}
+
+type tx struct {
+	e    *Engine
+	gen  uint64
+	ws   *txn.WriteSet
+	tail int
+	done bool
+	err  error
+}
+
+// Load implements txn.Tx.
+func (t *tx) Load(addr pmem.Addr, buf []byte) { t.e.env.Core.Load(addr, buf) }
+
+// LoadUint64 implements txn.Tx.
+func (t *tx) LoadUint64(addr pmem.Addr) uint64 { return t.e.env.Core.LoadUint64(addr) }
+
+// Compute implements txn.Tx.
+func (t *tx) Compute(ns int64) { t.e.env.Core.Compute(ns) }
+
+// StoreUint64 implements txn.Tx.
+func (t *tx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Store(addr, b[:])
+}
+
+// Store implements txn.Tx: persist the address record, then update in place.
+// Kamino-Tx "does not avoid the fences for ensuring address persistence
+// before a main-copy data update" (§8) — that fence is charged here.
+func (t *tx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("kamino: use of finished transaction")
+	}
+	c := t.e.env.Core
+	needLog := true
+	if i, seen := t.ws.Seen(addr); seen && t.ws.Ranges()[i].Size >= len(data) {
+		needLog = false
+	}
+	if needLog {
+		if err := t.appendRecord(addr, len(data)); err != nil {
+			t.err = err
+			return
+		}
+	}
+	t.ws.Add(addr, len(data))
+	c.Store(addr, data)
+}
+
+func (t *tx) appendRecord(addr pmem.Addr, size int) error {
+	e := t.e
+	c := e.env.Core
+	if t.tail+recSize > e.logCap {
+		return ErrLogFull
+	}
+	// Light write-intent bookkeeping (the paper's own lean implementation).
+	c.Compute(200)
+	var buf [recSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(addr))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(size))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.gen))
+	binary.LittleEndian.PutUint64(buf[16:], txn.Checksum64(buf[:16]))
+	at := e.logArea + pmem.Addr(t.tail)
+	c.Store(at, buf[:])
+	c.PersistBarrier(at, recSize, pmem.KindLog)
+	t.tail += recSize
+	c.Stats.LogRecords++
+	c.Stats.AddLiveLog(recSize)
+	return nil
+}
+
+// Commit implements txn.Tx. Kamino-Tx keeps data persistence asynchronous
+// (§8: "they do in-place data updates while keeping asynchronous data
+// persistence"): the updated lines are written back without a commit-path
+// fence — they drain through the shared memory controller in the background,
+// competing with the next transaction's log barriers — and only the log
+// invalidation is fenced.
+func (t *tx) Commit() error {
+	if t.done {
+		return errors.New("kamino: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	c := t.e.env.Core
+	if t.err != nil {
+		t.restoreFromBackup()
+		c.Stats.AddLiveLog(-int64(t.tail))
+		return t.err
+	}
+	for _, l := range t.ws.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+	}
+	c.StoreUint64(t.e.env.Root+offActiveGen, 0)
+	c.PersistBarrier(t.e.env.Root+offActiveGen, 8, pmem.KindLog)
+	// Background main-to-backup propagation, modeled at zero cost (upper
+	// bound per the paper).
+	t.e.syncBackup(t.ws)
+	c.Stats.TxCommitted++
+	c.Stats.AddLiveLog(-int64(t.tail))
+	return nil
+}
+
+// Abort implements txn.Tx: restore every logged range from the backup.
+func (t *tx) Abort() error {
+	if t.done {
+		return errors.New("kamino: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.restoreFromBackup()
+	t.e.env.Core.Stats.TxAborted++
+	t.e.env.Core.Stats.AddLiveLog(-int64(t.tail))
+	return nil
+}
+
+func (t *tx) restoreFromBackup() {
+	c := t.e.env.Core
+	for _, r := range t.ws.Ranges() {
+		buf := make([]byte, r.Size)
+		c.Load(t.e.backupAddr(r.Addr), buf)
+		c.Store(r.Addr, buf)
+		c.Flush(r.Addr, r.Size, pmem.KindData)
+	}
+	c.Fence()
+	c.StoreUint64(t.e.env.Root+offActiveGen, 0)
+	c.PersistBarrier(t.e.env.Root+offActiveGen, 8, pmem.KindLog)
+}
+
+func (e *Engine) backupAddr(a pmem.Addr) pmem.Addr {
+	if a < e.dataStart || a >= e.dataEnd {
+		panic(fmt.Sprintf("kamino: address %d outside data region [%d,%d)", a, e.dataStart, e.dataEnd))
+	}
+	return e.backup + (a - e.dataStart)
+}
+
+// syncBackup propagates committed values to the backup copy at zero modeled
+// cost.
+func (e *Engine) syncBackup(ws *txn.WriteSet) {
+	for _, r := range ws.Ranges() {
+		buf := make([]byte, r.Size)
+		e.env.Core.LoadRaw(r.Addr, buf)
+		e.env.Dev.PokePersisted(e.backupAddr(r.Addr), buf)
+	}
+}
+
+// Recover implements txn.Engine: restore the data region from the backup
+// copy, which always holds the last committed state — Kamino-Tx's recovery
+// story ("on a crash, Kamino-Tx recovers the corrupted data from the backup
+// copy", §8). The interrupted transaction's address log identifies the
+// minimal corrupted set in the real system; with a full backup available
+// the copy-back is performed wholesale here, which is strictly more
+// conservative.
+func (e *Engine) Recover() error {
+	c := e.env.Core
+	// Like the backup maintenance, the copy-back is modeled at zero cost
+	// (recovery latency is not part of any measured experiment; the paper's
+	// upper-bound treatment of Kamino-Tx extends to it).
+	const chunk = 1 << 16
+	buf := make([]byte, chunk)
+	for a := e.dataStart; a < e.dataEnd; a += chunk {
+		n := chunk
+		if rem := int(e.dataEnd - a); rem < n {
+			n = rem
+		}
+		c.LoadRaw(e.backupAddr(a), buf[:n])
+		e.env.Dev.PokePersisted(a, buf[:n])
+	}
+	c.StoreUint64(e.env.Root+offActiveGen, 0)
+	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
+	return nil
+}

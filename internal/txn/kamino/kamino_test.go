@@ -1,0 +1,178 @@
+package kamino
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func factory(env txn.Env) (txn.Engine, error) { return New(env, Options{}) }
+
+func TestConformance(t *testing.T) {
+	txntest.Run(t, factory)
+}
+
+func TestAddressOnlyLogIsSmall(t *testing.T) {
+	// Kamino logs addresses, not values: the log footprint per update is
+	// constant regardless of the write size.
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, err := New(env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(4096)
+	big := make([]byte, 1024)
+	before := env.Core.Stats.PMLogBytes
+	tx := e.Begin()
+	tx.Store(a, big)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Begin marker + one 24-byte address record + invalidate marker: three
+	// log lines. The 1 KiB value itself is data traffic, not log traffic.
+	if got := env.Core.Stats.PMLogBytes - before; got > 3*pmem.LineSize {
+		t.Fatalf("address log traffic too large: %d bytes", got)
+	}
+	if env.Core.Stats.PMDataBytes < 1024 {
+		t.Fatalf("data traffic should cover the 1KiB value: %d", env.Core.Stats.PMDataBytes)
+	}
+}
+
+func TestFencePerUpdateLikeUndo(t *testing.T) {
+	// Kamino does not avoid the per-update fence (§8): same fence count
+	// shape as undo logging.
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := New(env, Options{})
+	defer e.Close()
+	addrs := make([]pmem.Addr, 8)
+	for i := range addrs {
+		addrs[i], _ = w.DataHeap.Alloc(64)
+	}
+	before := env.Core.Stats.Fences
+	tx := e.Begin()
+	for _, a := range addrs {
+		tx.StoreUint64(a, 1)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// begin + 8 address barriers + log invalidate; data persistence is
+	// asynchronous (no commit-path data fence).
+	if got := env.Core.Stats.Fences - before; got != 10 {
+		t.Fatalf("fences = %d, want 10", got)
+	}
+}
+
+func TestBackupTracksCommits(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := New(env, Options{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	for v := uint64(1); v <= 3; v++ {
+		tx := e.Begin()
+		tx.StoreUint64(a, v)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf [8]byte
+	env.Core.Load(e.backupAddr(a), buf[:])
+	if got := env.Core.LoadUint64(e.backupAddr(a)); got != 3 {
+		t.Fatalf("backup = %d, want 3", got)
+	}
+}
+
+func TestOutsideDataRegionPanics(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := New(env, Options{})
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("store outside the mirrored data region should panic")
+		}
+	}()
+	tx := e.Begin()
+	tx.StoreUint64(10, 1) // inside the root page, not the data heap
+	tx.Commit()
+}
+
+func TestRegisteredName(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	e, err := txn.New("Kamino-Tx", w.Env(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Name() != "Kamino-Tx" {
+		t.Fatalf("name = %q", e.Name())
+	}
+}
+
+func TestRecoverOnGarbageLogNeverPanics(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		w := txntest.NewWorld(64 << 20)
+		env := w.Env(false)
+		e, err := New(env, Options{LogCap: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pretend a transaction is active, scribble the address log.
+		env.Core.StoreUint64(env.Root+offActiveGen, seed+1)
+		rng := sim.NewRand(seed)
+		garbage := make([]byte, 2048)
+		for i := range garbage {
+			garbage[i] = byte(rng.Uint64())
+		}
+		env.Core.Store(e.logArea, garbage)
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatalf("seed %d: kamino recovery panicked on garbage", seed)
+				}
+			}()
+			if err := e.Recover(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}()
+		e.Close()
+	}
+}
+
+func TestBackupRestoreIsWholesale(t *testing.T) {
+	// Kamino recovery restores the last committed state for the whole data
+	// region from the backup copy, even for addresses the interrupted
+	// transaction never logged.
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := New(env, Options{})
+	a, _ := w.DataHeap.Alloc(64)
+	b, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 5)
+	tx.StoreUint64(b, 6)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt b in the persistence domain directly (simulating a stray
+	// uncommitted eviction the address log missed).
+	w.Dev.PokePersisted(b, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	e.Close()
+	w.Dev.CrashClean()
+	e2, _ := New(w.SameEnv(env), Options{})
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	c := w.Dev.NewCore()
+	if got := c.LoadUint64(b); got != 6 {
+		t.Fatalf("b=%d want 6 (wholesale backup restore)", got)
+	}
+}

@@ -1,0 +1,66 @@
+package spec
+
+import (
+	"testing"
+
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func TestConformanceBackgroundReclaim(t *testing.T) {
+	// The full battery with the dedicated reclamation goroutine active and
+	// aggressive thresholds: commits race the reclaimer constantly.
+	txntest.Run(t, func(env txn.Env) (txn.Engine, error) {
+		return New(env, Options{BlockSize: 1024, ReclaimThreshold: 512, BackgroundReclaim: true})
+	})
+}
+
+func TestBackgroundReclaimBoundsLog(t *testing.T) {
+	w := txntest.NewWorld(128 << 20)
+	env := w.Env(false)
+	e, err := New(env, Options{BlockSize: 4096, ReclaimThreshold: 8 << 10, BackgroundReclaim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.DataHeap.Alloc(64)
+	for i := uint64(0); i < 5000; i++ {
+		tx := e.Begin()
+		tx.StoreUint64(a, i)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Core.Stats.ReclaimCycles == 0 {
+		t.Fatal("background reclaimer never ran")
+	}
+	// One hot word: the chain must have been kept near the threshold, far
+	// below the ~240KB of unreclaimed records.
+	if live := e.liveBytes; live > 64<<10 {
+		t.Fatalf("live log %dB despite background reclamation", live)
+	}
+	// Correctness after the daemon raced thousands of commits.
+	w.Dev.Crash(sim.NewRand(3))
+	e2, _ := New(w.SameEnv(env), Options{})
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := w.Dev.NewCore().LoadUint64(a); got != 4999 {
+		t.Fatalf("a=%d want 4999", got)
+	}
+}
+
+func TestBackgroundReclaimCloseIdempotent(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	e, _ := New(w.Env(false), Options{BackgroundReclaim: true})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package spec
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func TestHashLogCommitDurable(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, err := NewHash(env, HashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.DataHeap.Alloc(64)
+	b, _ := w.DataHeap.Alloc(64)
+	for v := uint64(1); v <= 10; v++ {
+		tx := e.Begin()
+		tx.StoreUint64(a, v)
+		tx.StoreUint64(b, v*2)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	w.Dev.CrashClean()
+	e2, _ := NewHash(w.SameEnv(env), HashOptions{})
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	c := w.Dev.NewCore()
+	if got := c.LoadUint64(a); got != 10 {
+		t.Fatalf("a=%d want 10", got)
+	}
+	if got := c.LoadUint64(b); got != 20 {
+		t.Fatalf("b=%d want 20", got)
+	}
+}
+
+func TestHashLogUncommittedIgnored(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := NewHash(env, HashOptions{})
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 42)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Open transaction at crash: its in-place write to a fresh address is
+	// not covered by any slot; a's slot must still replay 42.
+	tx = e.Begin()
+	tx.StoreUint64(a, 43)
+	e.Close()
+	w.Dev.CrashClean()
+	e2, _ := NewHash(w.SameEnv(env), HashOptions{})
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := w.Dev.NewCore().LoadUint64(a); got != 42 {
+		t.Fatalf("a=%d want 42", got)
+	}
+}
+
+func TestHashLogAbort(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := NewHash(env, HashOptions{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 1)
+	tx.Commit()
+	tx = e.Begin()
+	tx.StoreUint64(a, 2)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Core.LoadUint64(a); got != 1 {
+		t.Fatalf("a=%d after abort, want 1", got)
+	}
+}
+
+func TestHashLogValueTooLarge(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := NewHash(env, HashOptions{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(4096)
+	tx := e.Begin()
+	tx.Store(a, make([]byte, slotValCap+1))
+	if err := tx.Commit(); err != ErrValueTooLarge {
+		t.Fatalf("err=%v want ErrValueTooLarge", err)
+	}
+}
+
+func TestHashLogRandomTrafficVersusSequential(t *testing.T) {
+	// The §4 ablation: one slot per datum turns the commit-time log writes
+	// into scattered random lines; the chained sequential log coalesces.
+	// The modeled slowdown should be substantial (the paper reports 3.2x on
+	// its workload mix).
+	run := func(mk func(env txn.Env) (txn.Engine, error)) int64 {
+		w := txntest.NewWorld(128 << 20)
+		env := w.Env(false)
+		e, err := mk(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		addrs := make([]pmem.Addr, 256)
+		for i := range addrs {
+			addrs[i], _ = w.DataHeap.Alloc(64)
+		}
+		start := env.Core.Now()
+		for r := 0; r < 40; r++ {
+			tx := e.Begin()
+			for _, a := range addrs[:64] {
+				tx.StoreUint64(a, uint64(r))
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return env.Core.Now() - start
+	}
+	seq := run(func(env txn.Env) (txn.Engine, error) {
+		return New(env, Options{DisableReclaim: true})
+	})
+	hash := run(func(env txn.Env) (txn.Engine, error) {
+		return NewHash(env, HashOptions{})
+	})
+	ratio := float64(hash) / float64(seq)
+	if ratio < 1.5 {
+		t.Fatalf("hash-table log should be much slower than sequential: %.2fx (seq=%dns hash=%dns)",
+			ratio, seq, hash)
+	}
+	t.Logf("hash/seq modeled-time ratio: %.2fx", ratio)
+}
+
+func TestHashLogRegisteredName(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	e, err := txn.New("SpecSPMT-Hash", w.Env(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Name() != "SpecSPMT-Hash" {
+		t.Fatalf("name=%q", e.Name())
+	}
+}
+
+func TestHashLogCommitHorizon(t *testing.T) {
+	// Slots written after the durable commit timestamp must be ignored at
+	// recovery: they belong to a commit whose marker never persisted.
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := NewHash(env, HashOptions{})
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 10)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a newer slot for a (valid checksum, ts beyond the horizon).
+	i, err := e.slotIndex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := make([]byte, slotHeader+8+8)
+	putU64(forged, 0, uint64(a))
+	putU32(forged, 8, 8)
+	putU64(forged, 16, env.TS.Last()+100)
+	putU64(forged, slotHeader, 999)
+	putU64(forged, slotHeader+8, txn.Checksum64(forged[:slotHeader+8]))
+	env.Core.Store(e.slotAddr(i), forged)
+	env.Core.PersistBarrier(e.slotAddr(i), len(forged), pmem.KindLog)
+	e.Close()
+	w.Dev.CrashClean()
+	e2, _ := NewHash(w.SameEnv(env), HashOptions{})
+	if err := e2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	// The forged over-horizon slot must not replay; a's committed value was
+	// overwritten in the slot, so the datum reverts to its persisted state
+	// (the committed 10 was flushed... it was not: SpecSPMT-Hash does not
+	// flush data). The contract here is only that 999 never replays.
+	if got := w.Dev.NewCore().LoadUint64(a); got == 999 {
+		t.Fatal("over-horizon slot replayed")
+	}
+}

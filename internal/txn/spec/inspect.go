@@ -1,0 +1,51 @@
+package spec
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpLog writes a human-readable walk of the speculative log chain: every
+// block, every record with its commit timestamp and entries, and whether
+// each entry is fresh (still the newest committed value of its address,
+// per the volatile index) or stale (reclaimable). It is the inspection
+// surface behind cmd/specpmt-inspect and is also handy in tests.
+func (e *Engine) DumpLog(w io.Writer) {
+	e.bgmu.Lock()
+	defer e.bgmu.Unlock()
+	fmt.Fprintf(w, "speculative log: %d block(s), block size %dB, live %dB, ~%dB stale\n",
+		len(e.ch.blocks), e.opt.BlockSize, e.liveBytes, e.staleBytes)
+	for i, b := range e.ch.blocks {
+		fmt.Fprintf(w, "  block %d @%d incarnation=%d\n", i, b, e.ch.incarn[b])
+	}
+	records := 0
+	e.ch.scanAll(e.env.Core, func(loc recLoc, rec []byte) bool {
+		ts, ents := decodeEntries(rec)
+		records++
+		fmt.Fprintf(w, "  record @%d+%d ts=%d size=%dB entries=%d\n",
+			loc.block, loc.off, ts, len(rec), len(ents))
+		for _, en := range ents {
+			state := "stale"
+			if ie, ok := e.index[en.Addr]; ok && ie.rec == loc && ie.valOff == en.ValOff {
+				state = "fresh"
+			}
+			fmt.Fprintf(w, "    addr=%d size=%d %s\n", en.Addr, len(en.Val), state)
+		}
+		return true
+	})
+	fmt.Fprintf(w, "  %d committed record(s); index covers %d address(es)\n", records, len(e.index))
+}
+
+// IndexSize reports how many addresses the volatile record index covers.
+func (e *Engine) IndexSize() int {
+	e.bgmu.Lock()
+	defer e.bgmu.Unlock()
+	return len(e.index)
+}
+
+// Blocks reports the current chain length in blocks.
+func (e *Engine) Blocks() int {
+	e.bgmu.Lock()
+	defer e.bgmu.Unlock()
+	return len(e.ch.blocks)
+}

@@ -1,0 +1,336 @@
+package spec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+// The speculative log area is a chain of fixed-size log blocks (§4.1,
+// Figure 6): each thread-private area is a sequence of blocks connected by
+// forward block pointers, holding log records in chronological order. New
+// records are only appended; reclamation splices compacted blocks in at the
+// chain head and frees the stale prefix.
+//
+// Block layout:
+//
+//	[ next block address : 8 bytes ]
+//	[ incarnation        : 8 bytes ]
+//	[ payload: records ...         ]
+//
+// Records are contiguous within one block; when a record does not fit in the
+// remaining payload a pad marker closes the block and the record starts in a
+// freshly linked block. Record layout:
+//
+//	[ size u32 | nentries u32 | timestamp u64 | entries... | checksum u64 ]
+//	entry: [ addr u64 | size u32 | value bytes ]
+//
+// The checksum doubles as the commit marker (§4.1): a record is committed
+// iff its stored checksum matches its contents. It is salted with the
+// containing block's incarnation and the record's offset, so residual bytes
+// of recycled blocks can never masquerade as live records.
+const (
+	blockHeader = 16
+	recHeader   = 4 + 4 + 8 // size, nentries, timestamp
+	recFooter   = 8         // salted checksum
+	entHeader   = 8 + 4     // addr, size
+	padMarker   = 0xFFFFFFFF
+)
+
+// errRecordTooLarge reports a transaction whose record exceeds one block.
+var errRecordTooLarge = fmt.Errorf("spec: transaction record exceeds log block payload")
+
+// recLoc identifies a record (or an entry inside one) by block address and
+// byte offset within the block payload — stable across chain splices.
+type recLoc struct {
+	block pmem.Addr
+	off   int
+}
+
+// chain is a thread-private log block chain.
+type chain struct {
+	core  *pmem.Core
+	heap  *pmalloc.Heap
+	ts    *txn.Timestamp
+	bsize int
+
+	blocks []pmem.Addr
+	used   int // payload bytes used in the final block
+	incarn map[pmem.Addr]uint64
+	// unflushed tracks device ranges written since the last flushPending —
+	// record bytes, pad markers, block headers, and next pointers — so the
+	// single commit fence persists everything a record's validity needs.
+	unflushed []span
+}
+
+type span struct {
+	addr pmem.Addr
+	n    int
+}
+
+func (c *chain) payload() int { return c.bsize - blockHeader }
+
+// newChain allocates the first block of a fresh chain.
+func newChain(core *pmem.Core, heap *pmalloc.Heap, ts *txn.Timestamp, bsize int) (*chain, error) {
+	c := &chain{core: core, heap: heap, ts: ts, bsize: bsize, incarn: map[pmem.Addr]uint64{}}
+	if _, err := c.appendBlock(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// openChain rebuilds the volatile state of an existing chain by walking the
+// persistent next pointers from head. The used-offset of the final block is
+// unknown until a scan; callers that intend to append must scan first (the
+// engine's Recover does).
+func openChain(core *pmem.Core, heap *pmalloc.Heap, ts *txn.Timestamp, bsize int, head pmem.Addr) *chain {
+	c := &chain{core: core, heap: heap, ts: ts, bsize: bsize, incarn: map[pmem.Addr]uint64{}}
+	for b := head; b != 0; {
+		c.blocks = append(c.blocks, b)
+		c.incarn[b] = core.LoadUint64(b + 8)
+		b = pmem.Addr(core.LoadUint64(b))
+	}
+	return c
+}
+
+// head returns the first block of the chain.
+func (c *chain) head() pmem.Addr { return c.blocks[0] }
+
+// appendBlock allocates, initialises, and links a new tail block.
+func (c *chain) appendBlock() (pmem.Addr, error) {
+	b, err := c.heap.Alloc(c.bsize)
+	if err != nil {
+		return 0, fmt.Errorf("spec: allocating log block: %w", err)
+	}
+	inc := c.ts.Next()
+	c.core.StoreUint64(b, 0)
+	c.core.StoreUint64(b+8, inc)
+	c.incarn[b] = inc
+	c.track(span{b, blockHeader})
+	if n := len(c.blocks); n > 0 {
+		prev := c.blocks[n-1]
+		c.core.StoreUint64(prev, uint64(b))
+		c.track(span{prev, 8})
+	}
+	c.blocks = append(c.blocks, b)
+	c.used = 0
+	return b, nil
+}
+
+func (c *chain) track(sp span) { c.unflushed = append(c.unflushed, sp) }
+
+// salt computes the checksum salt for a record at loc.
+func (c *chain) salt(loc recLoc) uint64 {
+	return c.incarn[loc.block] ^ (uint64(loc.off) * 0x9e3779b97f4a7c15)
+}
+
+// appendRecord writes rec (a fully encoded record whose final 8 bytes will
+// be overwritten with the salted checksum) at the tail and returns its
+// location. The bytes are volatile until flushPending + fence.
+func (c *chain) appendRecord(rec []byte) (recLoc, error) {
+	if len(rec) > c.payload() {
+		return recLoc{}, errRecordTooLarge
+	}
+	if c.used+len(rec) > c.payload() {
+		if c.payload()-c.used >= 4 {
+			var pad [4]byte
+			binary.LittleEndian.PutUint32(pad[:], padMarker)
+			at := c.blocks[len(c.blocks)-1] + pmem.Addr(blockHeader+c.used)
+			c.core.Store(at, pad[:])
+			c.track(span{at, 4})
+		}
+		if _, err := c.appendBlock(); err != nil {
+			return recLoc{}, err
+		}
+	}
+	loc := recLoc{c.blocks[len(c.blocks)-1], c.used}
+	sum := txn.Checksum64(rec[:len(rec)-recFooter]) ^ c.salt(loc)
+	binary.LittleEndian.PutUint64(rec[len(rec)-recFooter:], sum)
+	at := loc.block + pmem.Addr(blockHeader+loc.off)
+	c.core.Store(at, rec)
+	c.track(span{at, len(rec)})
+	c.used += len(rec)
+	return loc, nil
+}
+
+// sealTail closes the current tail block with a pad marker so that a scan
+// continues into the next chain block instead of stopping at dead space.
+// Used when a chain is spliced ahead of other blocks (compaction): unlike an
+// active tail, a spliced block's free space must not read as "end of log".
+func (c *chain) sealTail() {
+	if c.payload()-c.used >= 4 {
+		var pad [4]byte
+		binary.LittleEndian.PutUint32(pad[:], padMarker)
+		at := c.blocks[len(c.blocks)-1] + pmem.Addr(blockHeader+c.used)
+		c.core.Store(at, pad[:])
+		c.track(span{at, 4})
+	}
+}
+
+// flushPending issues CLWB for everything written since the last call. The
+// caller follows with the (single) commit fence.
+func (c *chain) flushPending(kind pmem.Kind) {
+	for _, sp := range c.unflushed {
+		c.core.Flush(sp.addr, sp.n, kind)
+	}
+	c.unflushed = c.unflushed[:0]
+}
+
+// scanRecord decodes the record at loc using core (which may differ from the
+// chain's owner, e.g. the reclaimer core). It returns the raw record bytes
+// (header through checksum) and whether the record is committed.
+func (c *chain) scanRecord(core *pmem.Core, loc recLoc) (rec []byte, committed bool) {
+	limit := c.payload() - loc.off
+	if limit < recHeader+recFooter {
+		return nil, false
+	}
+	var hdr [recHeader]byte
+	core.Load(loc.block+pmem.Addr(blockHeader+loc.off), hdr[:])
+	size := int(binary.LittleEndian.Uint32(hdr[:]))
+	if size == int(uint32(padMarker)) || size < recHeader+recFooter || size > limit {
+		return nil, false
+	}
+	rec = make([]byte, size)
+	core.Load(loc.block+pmem.Addr(blockHeader+loc.off), rec)
+	want := binary.LittleEndian.Uint64(rec[size-recFooter:])
+	got := txn.Checksum64(rec[:size-recFooter]) ^ c.salt(loc)
+	return rec, got == want
+}
+
+// scanEntry is one decoded log entry.
+type scanEntry struct {
+	Addr pmem.Addr
+	Val  []byte
+	// ValOff is the offset of the value bytes within the record.
+	ValOff int
+}
+
+// decodeEntries parses a committed record's entries. Returns nil if the
+// entry structure is malformed (cannot happen for checksum-valid records
+// written by this code, but recovery is defensive).
+func decodeEntries(rec []byte) (ts uint64, ents []scanEntry) {
+	if len(rec) < recHeader+recFooter {
+		return 0, nil
+	}
+	n := int(binary.LittleEndian.Uint32(rec[4:]))
+	ts = binary.LittleEndian.Uint64(rec[8:])
+	p := recHeader
+	end := len(rec) - recFooter
+	for i := 0; i < n; i++ {
+		if p+entHeader > end {
+			return ts, nil
+		}
+		a := pmem.Addr(binary.LittleEndian.Uint64(rec[p:]))
+		sz := int(binary.LittleEndian.Uint32(rec[p+8:]))
+		if sz < 0 || p+entHeader+sz > end {
+			return ts, nil
+		}
+		ents = append(ents, scanEntry{Addr: a, Val: rec[p+entHeader : p+entHeader+sz], ValOff: p + entHeader})
+		p += entHeader + sz
+	}
+	return ts, ents
+}
+
+// scanAll walks the chain from its head and calls fn for each committed
+// record in chain order, stopping at the first uncommitted/torn record
+// (§4.1: "the recovery stops once a corrupted log record is encountered
+// because there should not be fresh records afterward"). It returns the
+// location one past the final committed record, which is where appending may
+// resume.
+func (c *chain) scanAll(core *pmem.Core, fn func(loc recLoc, rec []byte) bool) (tailBlock int, tailOff int) {
+	for bi, b := range c.blocks {
+		off := 0
+		for {
+			limit := c.payload() - off
+			if limit < recHeader+recFooter {
+				break // block exhausted; continue with next
+			}
+			var szb [4]byte
+			core.Load(b+pmem.Addr(blockHeader+off), szb[:])
+			if binary.LittleEndian.Uint32(szb[:]) == padMarker {
+				break // explicit pad: rest of block is dead space
+			}
+			rec, committed := c.scanRecord(core, recLoc{b, off})
+			if !committed {
+				return bi, off
+			}
+			if fn != nil && !fn(recLoc{b, off}, rec) {
+				return bi, off
+			}
+			off += len(rec)
+		}
+		if bi == len(c.blocks)-1 {
+			return bi, off
+		}
+	}
+	return 0, 0
+}
+
+// resumeAt positions the append cursor. Blocks after tailBlock are discarded
+// from the volatile view (they contain nothing committed) and freed.
+func (c *chain) resumeAt(tailBlock, tailOff int) {
+	for _, b := range c.blocks[tailBlock+1:] {
+		delete(c.incarn, b)
+		c.heap.Free(b, c.bsize)
+	}
+	c.blocks = c.blocks[:tailBlock+1]
+	c.used = tailOff
+	// The discarded blocks are unreachable after the next pointer of the
+	// tail block is cleared; clear it so a later crash cannot resurrect
+	// them.
+	tb := c.blocks[tailBlock]
+	c.core.StoreUint64(tb, 0)
+	c.track(span{tb, 8})
+}
+
+// replacePrefix splices compacted blocks in place of the chain prefix
+// [0, keepFrom). newBlocks must already hold their records; this routine
+// links them ahead of blocks[keepFrom], persists the links (fence one), and
+// returns the new head for the caller to persist in its root (fence two) —
+// matching the two-fence reclamation cycle of §4.2.
+//
+// The displaced prefix blocks are returned, NOT freed: until the new head
+// pointer is durable, a crash recovers through the old head, so the old
+// blocks must stay intact. The caller frees them after its head-pointer
+// persist barrier.
+func (c *chain) replacePrefix(core *pmem.Core, newBlocks []pmem.Addr, newIncarn map[pmem.Addr]uint64, newUsed int, keepFrom int) (newHead pmem.Addr, displaced []pmem.Addr) {
+	keep := c.blocks[keepFrom:]
+	if len(newBlocks) > 0 {
+		last := newBlocks[len(newBlocks)-1]
+		if len(keep) > 0 {
+			core.StoreUint64(last, uint64(keep[0]))
+		} else {
+			core.StoreUint64(last, 0)
+		}
+		core.Flush(last, 8, pmem.KindGC)
+	}
+	core.Fence() // fence one: new blocks and their links are durable
+	displaced = append(displaced, c.blocks[:keepFrom]...)
+	for _, b := range displaced {
+		delete(c.incarn, b)
+	}
+	for b, inc := range newIncarn {
+		c.incarn[b] = inc
+	}
+	c.blocks = append(append([]pmem.Addr{}, newBlocks...), keep...)
+	if len(keep) == 0 {
+		c.used = newUsed
+	}
+	return c.blocks[0], displaced
+}
+
+// Little-endian scratch helpers shared across the package.
+func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+func putU32(b []byte, off int, v uint32) { binary.LittleEndian.PutUint32(b[off:], v) }
+func getU64(b []byte, off int) uint64    { return binary.LittleEndian.Uint64(b[off:]) }
+func getU32(b []byte, off int) uint32    { return binary.LittleEndian.Uint32(b[off:]) }
+
+// freeBlocks returns displaced blocks to the heap once they are unreachable.
+func (c *chain) freeBlocks(blocks []pmem.Addr) {
+	for _, b := range blocks {
+		c.heap.Free(b, c.bsize)
+	}
+}

@@ -1,0 +1,111 @@
+package spec
+
+import (
+	"fmt"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+// Pool manages one SpecPMT engine per thread. Each thread owns a private log
+// chain and core ("each thread manages its own log without consulting with
+// other threads", §3.1); commit timestamps from the shared Timestamp source
+// order records across threads.
+//
+// Like all persistent memory transactions the paper compares against,
+// SpecPMT provides atomic durability and leaves isolation to the caller
+// (§4.3.3): threads must coordinate access to shared locations with their
+// own concurrency control; the pool only guarantees that the merged,
+// timestamp-ordered replay at recovery reproduces the committed history.
+type Pool struct {
+	engines []*Engine
+}
+
+// NewPool constructs n thread engines. envs must have length n, each with a
+// distinct Root and Core but a shared Dev, heaps, and TS.
+func NewPool(envs []txn.Env, opt Options) (*Pool, error) {
+	p := &Pool{}
+	for i, env := range envs {
+		e, err := New(env, opt)
+		if err != nil {
+			return nil, fmt.Errorf("spec: pool thread %d: %w", i, err)
+		}
+		p.engines = append(p.engines, e)
+	}
+	return p, nil
+}
+
+// Threads returns the number of thread engines.
+func (p *Pool) Threads() int { return len(p.engines) }
+
+// Engine returns thread i's engine. Each engine must only be driven by its
+// own goroutine.
+func (p *Pool) Engine(i int) *Engine { return p.engines[i] }
+
+// Close closes every thread engine.
+func (p *Pool) Close() error {
+	for _, e := range p.engines {
+		if err := e.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover performs merged multi-thread recovery (§4.1, §5.2.2): every
+// thread's committed records are collected, globally sorted by commit
+// timestamp, and replayed in that order; the restored data is persisted.
+// Afterwards all chains are truncated — with the data durable, the log
+// records have served their purpose (the same argument as the §4.3.1
+// mechanism switch) — and every engine is ready for new transactions.
+func (p *Pool) Recover() error {
+	if len(p.engines) == 0 {
+		return nil
+	}
+	c := p.engines[0].env.Core
+	var recs []replayRec
+	for _, e := range p.engines {
+		e.ch.scanAll(c, func(loc recLoc, rec []byte) bool {
+			ts, ents := decodeEntries(rec)
+			recs = append(recs, replayRec{ts: ts, ents: ents})
+			return true
+		})
+	}
+	sortRecordsByTS(recs)
+	touched := txn.NewWriteSet()
+	for _, r := range recs {
+		for _, en := range r.ents {
+			c.Store(en.Addr, en.Val)
+			touched.Add(en.Addr, len(en.Val))
+		}
+	}
+	for _, l := range touched.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+	}
+	c.Fence()
+	// Retire every chain: the data is durable, so no record is needed. Each
+	// engine gets a fresh chain (fresh block incarnations — reusing the old
+	// head block would let its residual records alias new ones at equal
+	// offsets), the head pointer is switched durably, and only then are the
+	// old blocks freed.
+	for _, e := range p.engines {
+		ec := e.env.Core
+		nc, err := newChain(ec, e.env.LogHeap, e.env.TS, e.opt.BlockSize)
+		if err != nil {
+			return fmt.Errorf("spec: pool recovery: %w", err)
+		}
+		nc.flushPending(pmem.KindLog)
+		ec.Fence()
+		ec.StoreUint64(e.env.Root+offHead, uint64(nc.head()))
+		ec.PersistBarrier(e.env.Root+offHead, 8, pmem.KindLog)
+		old := e.ch
+		e.ch = nc
+		for _, b := range old.blocks {
+			old.heap.Free(b, old.bsize)
+		}
+		e.index = map[pmem.Addr]indexEnt{}
+		e.liveBytes, e.staleBytes = 0, 0
+		e.needsScan = false
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package spec
+
+import (
+	"sync"
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func poolEnvs(w *txntest.World, n int) []txn.Env {
+	envs := make([]txn.Env, n)
+	for i := range envs {
+		envs[i] = w.Env(true)
+	}
+	return envs
+}
+
+func TestPoolDisjointThreads(t *testing.T) {
+	const threads, perThread = 4, 50
+	w := txntest.NewWorld(64 << 20)
+	envs := poolEnvs(w, threads)
+	p, err := NewPool(envs, Options{BlockSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([][]pmem.Addr, threads)
+	for i := range addrs {
+		addrs[i] = make([]pmem.Addr, 4)
+		for j := range addrs[i] {
+			addrs[i][j], _ = w.DataHeap.Alloc(64)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := p.Engine(i)
+			for r := uint64(1); r <= perThread; r++ {
+				tx := e.Begin()
+				for j, a := range addrs[i] {
+					tx.StoreUint64(a, uint64(i*1000)+r*10+uint64(j))
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	w.Dev.Crash(sim.NewRand(3))
+	// Reattach each thread engine and run merged recovery.
+	var envs2 []txn.Env
+	for _, env := range envs {
+		envs2 = append(envs2, w.SameEnv(env))
+	}
+	p2, err := NewPool(envs2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	c := w.Dev.NewCore()
+	for i := range addrs {
+		for j, a := range addrs[i] {
+			want := uint64(i*1000) + perThread*10 + uint64(j)
+			if got := c.LoadUint64(a); got != want {
+				t.Fatalf("thread %d addr %d: got %d want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPoolSharedAddressTimestampOrder(t *testing.T) {
+	// Two threads update the same location under a lock (caller-provided
+	// isolation, §4.3.3). After a crash, merged recovery must restore the
+	// globally last committed value, which requires timestamp-ordered
+	// replay across the two private logs.
+	const threads, rounds = 2, 100
+	w := txntest.NewWorld(64 << 20)
+	envs := poolEnvs(w, threads)
+	p, err := NewPool(envs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, _ := w.DataHeap.Alloc(64)
+	var mu sync.Mutex
+	last := uint64(0)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := p.Engine(i)
+			for r := 0; r < rounds; r++ {
+				mu.Lock()
+				v := uint64(i+1)*1_000_000 + uint64(r)
+				tx := e.Begin()
+				tx.StoreUint64(shared, v)
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					mu.Unlock()
+					return
+				}
+				last = v
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	w.Dev.CrashClean()
+	var envs2 []txn.Env
+	for _, env := range envs {
+		envs2 = append(envs2, w.SameEnv(env))
+	}
+	p2, err := NewPool(envs2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := w.Dev.NewCore().LoadUint64(shared); got != last {
+		t.Fatalf("shared=%d want last committed %d", got, last)
+	}
+}
+
+func TestPoolUncommittedTailRevoked(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	envs := poolEnvs(w, 2)
+	p, err := NewPool(envs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.DataHeap.Alloc(64)
+	e0 := p.Engine(0)
+	tx := e0.Begin()
+	tx.StoreUint64(a, 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 starts but never commits an update of a.
+	e1 := p.Engine(1)
+	tx = e1.Begin()
+	tx.StoreUint64(a, 2)
+	p.Close()
+	w.Dev.Crash(sim.NewRand(17))
+	var envs2 []txn.Env
+	for _, env := range envs {
+		envs2 = append(envs2, w.SameEnv(env))
+	}
+	p2, _ := NewPool(envs2, Options{})
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := w.Dev.NewCore().LoadUint64(a); got != 1 {
+		t.Fatalf("a=%d want 1 (thread 1's open tx revoked)", got)
+	}
+}
+
+func TestPoolUsableAfterRecovery(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	envs := poolEnvs(w, 2)
+	p, _ := NewPool(envs, Options{})
+	a, _ := w.DataHeap.Alloc(64)
+	tx := p.Engine(0).Begin()
+	tx.StoreUint64(a, 5)
+	tx.Commit()
+	p.Close()
+	w.Dev.CrashClean()
+	var envs2 []txn.Env
+	for _, env := range envs {
+		envs2 = append(envs2, w.SameEnv(env))
+	}
+	p2, _ := NewPool(envs2, Options{})
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-recovery transactions must work and survive another crash.
+	tx = p2.Engine(1).Begin()
+	tx.StoreUint64(a, 6)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p2.Close()
+	w.Dev.CrashClean()
+	var envs3 []txn.Env
+	for _, env := range envs {
+		envs3 = append(envs3, w.SameEnv(env))
+	}
+	p3, _ := NewPool(envs3, Options{})
+	if err := p3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	if got := w.Dev.NewCore().LoadUint64(a); got != 6 {
+		t.Fatalf("a=%d want 6", got)
+	}
+}
+
+func TestPoolConcurrentReclamation(t *testing.T) {
+	// Reclamation is thread-local in the software design (each thread owns
+	// its chain and index); threads reclaiming aggressively while others
+	// commit must neither race nor lose committed data.
+	const threads, rounds = 4, 150
+	w := txntest.NewWorld(256 << 20)
+	envs := poolEnvs(w, threads)
+	p, err := NewPool(envs, Options{BlockSize: 2048, ReclaimThreshold: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]pmem.Addr, threads)
+	for i := range addrs {
+		addrs[i], _ = w.DataHeap.Alloc(64)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := p.Engine(i)
+			for r := uint64(1); r <= rounds; r++ {
+				tx := e.Begin()
+				tx.StoreUint64(addrs[i], r)
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	reclaims := uint64(0)
+	for i := 0; i < threads; i++ {
+		reclaims += p.Engine(i).env.Core.Stats.ReclaimCycles
+	}
+	if reclaims == 0 {
+		t.Fatal("no reclamation cycles ran despite the tiny threshold")
+	}
+	p.Close()
+	w.Dev.Crash(sim.NewRand(21))
+	var envs2 []txn.Env
+	for _, env := range envs {
+		envs2 = append(envs2, w.SameEnv(env))
+	}
+	p2, _ := NewPool(envs2, Options{BlockSize: 2048})
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	c := w.Dev.NewCore()
+	for i := range addrs {
+		if got := c.LoadUint64(addrs[i]); got != rounds {
+			t.Fatalf("thread %d: got %d want %d", i, got, rounds)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package spec
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+	"specpmt/internal/txn/undo"
+)
+
+func TestSealSwitchesToUndoEngine(t *testing.T) {
+	// §4.3.1: run under SpecPMT, seal, continue under PMDK-style undo
+	// logging at the same root, crash, and verify both eras' data.
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, err := New(env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.DataHeap.Alloc(64)
+	b, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 100)
+	tx.StoreUint64(b, 200)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Sealed data must already be durable without any log replay.
+	var buf [8]byte
+	w.Dev.ReadPersisted(a, buf[:])
+	if got := le64(buf[:]); got != 100 {
+		t.Fatalf("sealed data not durable: %d", got)
+	}
+	// A fresh undo engine initialises at the same root (magic was cleared).
+	ue, err := undo.New(env, undo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx = ue.Begin()
+	tx.StoreUint64(a, 101)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = ue.Begin()
+	tx.StoreUint64(b, 999) // interrupted
+	ue.Close()
+	w.Dev.Crash(sim.NewRand(4))
+	ue2, err := undo.New(w.SameEnv(env), undo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ue2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer ue2.Close()
+	c := w.Dev.NewCore()
+	if got := c.LoadUint64(a); got != 101 {
+		t.Fatalf("a=%d want 101 (committed under undo era)", got)
+	}
+	if got := c.LoadUint64(b); got != 200 {
+		t.Fatalf("b=%d want 200 (sealed SpecPMT value, undo-era tx revoked)", got)
+	}
+}
+
+func TestSealRejectsOpenTransaction(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	e, _ := New(w.Env(false), Options{})
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 1)
+	if err := e.Seal(); err == nil {
+		t.Fatal("Seal must refuse while a transaction is open")
+	}
+	tx.Commit()
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointCoversExternalData(t *testing.T) {
+	// §4.3.2: data written outside any SpecPMT transaction ("external")
+	// has no log coverage. Without a checkpoint, an interrupted transaction
+	// over it cannot be revoked; with one, it can.
+	for seed := uint64(0); seed < 8; seed++ {
+		w := txntest.NewWorld(64 << 20)
+		env := w.Env(false)
+		e, _ := New(env, Options{})
+		ext, _ := w.DataHeap.Alloc(256)
+		// External producer writes and persists the region directly.
+		for i := 0; i < 4; i++ {
+			env.Core.StoreUint64(ext+pmem.Addr(i*8), uint64(1000+i))
+		}
+		env.Core.PersistBarrier(ext, 32, pmem.KindData)
+		if e.Covered(ext, 32) {
+			t.Fatal("external data must not be covered before checkpoint")
+		}
+		if err := e.Checkpoint(ext, 32); err != nil {
+			t.Fatal(err)
+		}
+		if !e.Covered(ext, 32) {
+			t.Fatal("checkpointed data must be covered")
+		}
+		// Interrupted transaction over the adopted region.
+		tx := e.Begin()
+		for i := 0; i < 4; i++ {
+			tx.StoreUint64(ext+pmem.Addr(i*8), 7777)
+		}
+		e.Close()
+		w.Dev.Crash(sim.NewRand(seed))
+		e2, _ := New(w.SameEnv(env), Options{})
+		if err := e2.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		e2.Close()
+		c := w.Dev.NewCore()
+		for i := 0; i < 4; i++ {
+			if got := c.LoadUint64(ext + pmem.Addr(i*8)); got != uint64(1000+i) {
+				t.Fatalf("seed %d: external word %d = %d, want %d", seed, i, got, 1000+i)
+			}
+		}
+	}
+}
+
+func TestCheckpointLargeRegionChunks(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	env := w.Env(false)
+	e, _ := New(env, Options{BlockSize: 2048})
+	defer e.Close()
+	ext, _ := w.DataHeap.Alloc(16 << 10)
+	env.Core.StoreUint64(ext+8000, 42)
+	env.Core.PersistBarrier(ext+8000, 8, pmem.KindData)
+	if err := e.Checkpoint(ext, 16<<10); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Covered(ext, 16<<10) {
+		t.Fatal("large region should be fully covered after chunked checkpoint")
+	}
+}
+
+func TestCoveredPartialGap(t *testing.T) {
+	w := txntest.NewWorld(64 << 20)
+	e, _ := New(w.Env(false), Options{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(128)
+	tx := e.Begin()
+	tx.StoreUint64(a, 1)
+	tx.StoreUint64(a+16, 2) // gap at a+8
+	tx.Commit()
+	if e.Covered(a, 24) {
+		t.Fatal("region with an uncovered gap reported covered")
+	}
+	if !e.Covered(a, 8) {
+		t.Fatal("exactly-logged prefix should be covered")
+	}
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+var _ txn.Engine = (*Engine)(nil)
+
+func TestCheckpointRejectsOpenTransaction(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	e, _ := New(w.Env(false), Options{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 1)
+	if err := e.Checkpoint(a, 8); err == nil {
+		t.Fatal("Checkpoint must refuse while a transaction is open")
+	}
+	tx.Commit()
+	if err := e.Checkpoint(a, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(a, 0); err != nil {
+		t.Fatal("zero-size checkpoint should be a no-op")
+	}
+}
+
+func TestSealedEngineRefusesOperations(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	e, _ := New(w.Env(false), Options{})
+	if err := e.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Seal(); err == nil {
+		t.Fatal("double Seal should fail (engine already retired)")
+	}
+	if err := e.Checkpoint(4096, 8); err == nil {
+		t.Fatal("Checkpoint after Seal should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin after Seal should panic")
+		}
+	}()
+	e.Begin()
+}

@@ -1,0 +1,555 @@
+// Package spec implements software SpecPMT — speculatively persistent memory
+// transactions, the central contribution of the paper (§3–§4).
+//
+// A transaction updates data in place and records the NEW value of each
+// updated location in a per-thread speculative log (splog). Nothing is
+// flushed during the transaction; at commit the log record — and only the
+// log record — is flushed and a SINGLE fence issued (Figure 2, right). The
+// record's salted checksum doubles as the commit marker. Because the log
+// persists the most recent committed value of every datum, in-place data
+// writes never need to be flushed (SpecSPMT); the log functions as a redo
+// log for committed transactions and, because the freshest committed record
+// of each datum outlives later transactions, as an undo log for interrupted
+// ones.
+//
+// The engine maintains the paper's software structure (Figure 5): per-thread
+// chained log blocks in persistent memory, a volatile hash index giving the
+// freshest committed record of every address, and a reclaimer that compacts
+// stale records on a dedicated core with exactly two fences per cycle.
+//
+// Two registered variants:
+//
+//	SpecSPMT    — no data persistence at commit (the full design)
+//	SpecSPMT-DP — data flushed under the same commit fence (the paper's
+//	              sub-optimal variant isolating the gain of fence removal
+//	              from the gain of data-persistence removal)
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+const (
+	magic = 0x53504543504d5431 // "SPECPMT1"
+
+	offMagic      = 0
+	offHead       = 8
+	offBlockSize  = 16
+	offCommitFlag = 24
+)
+
+// ErrTxTooLarge reports a transaction whose log record exceeds one block.
+var ErrTxTooLarge = errors.New("spec: transaction write set exceeds log block size")
+
+// Options configures the engine.
+type Options struct {
+	// BlockSize is the log block size in bytes (default 32 KiB).
+	BlockSize int
+	// DataPersist forces data flushes at commit (the SpecSPMT-DP variant).
+	DataPersist bool
+	// ReclaimThreshold triggers background reclamation once the estimated
+	// stale log bytes exceed it (default 256 KiB). The paper: reclamation is
+	// triggered "explicitly through an API or implicitly when a transaction
+	// execution finds the memory space overhead reaching a tunable
+	// threshold".
+	ReclaimThreshold int64
+	// DisableReclaim turns implicit reclamation off (ReclaimNow still works).
+	DisableReclaim bool
+	// BackgroundReclaim runs reclamation cycles on a dedicated goroutine —
+	// the paper's software design (§4.2) — instead of synchronously at the
+	// trigger point. Timing is identical (the cycle is charged to the
+	// dedicated background core either way); the goroutine overlaps the
+	// Go-level work with the application.
+	BackgroundReclaim bool
+	// DedicatedCommitFlag is an ablation knob: instead of relying on the
+	// record checksum as the commit marker (§4.1's design, which saves "a
+	// dedicated flag and a fence recording the commit status"), commit also
+	// persists an explicit flag with its own barrier. Used to measure what
+	// the checksum trick saves.
+	DedicatedCommitFlag bool
+}
+
+func (o *Options) setDefaults() {
+	if o.BlockSize == 0 {
+		o.BlockSize = 32 << 10
+	}
+	if o.ReclaimThreshold == 0 {
+		o.ReclaimThreshold = 256 << 10
+	}
+}
+
+// Engine is the software SpecPMT engine for one thread.
+type Engine struct {
+	env txn.Env
+	opt Options
+	ch  *chain
+	bg  *pmem.Core // reclaimer core (the paper's dedicated background thread)
+
+	// index maps each address to its freshest committed log entry — the
+	// volatile "record index hash table" of Figure 5. It is rebuilt from the
+	// log on recovery (rebuild-on-crash policy, §4.2).
+	index map[pmem.Addr]indexEnt
+
+	liveBytes  int64 // committed record bytes currently in the chain
+	staleBytes int64 // estimated reclaimable bytes among them
+	open       bool
+	needsScan  bool // attached post-crash: Recover must run before Begin
+
+	// bgmu serialises chain/index access between the transaction path and
+	// the background reclaimer; uncontended (and effectively free) when
+	// BackgroundReclaim is off.
+	bgmu   sync.Mutex
+	daemon *reclaimDaemon
+}
+
+type indexEnt struct {
+	ts     uint64
+	rec    recLoc
+	valOff int
+	size   int
+}
+
+func init() {
+	txn.Register("SpecSPMT", func(env txn.Env) (txn.Engine, error) {
+		return New(env, Options{})
+	})
+	txn.Register("SpecSPMT-DP", func(env txn.Env) (txn.Engine, error) {
+		return New(env, Options{DataPersist: true})
+	})
+}
+
+// New attaches to (or initialises) a SpecPMT engine at env.Root.
+func New(env txn.Env, opt Options) (*Engine, error) {
+	opt.setDefaults()
+	e := &Engine{env: env, opt: opt, bg: env.Dev.NewCore(), index: map[pmem.Addr]indexEnt{}}
+	c := env.Core
+	if c.LoadUint64(env.Root+offMagic) == magic {
+		bs := int(c.LoadUint64(env.Root + offBlockSize))
+		head := pmem.Addr(c.LoadUint64(env.Root + offHead))
+		e.opt.BlockSize = bs
+		e.ch = openChain(c, env.LogHeap, env.TS, bs, head)
+		e.needsScan = true
+		if opt.BackgroundReclaim && !opt.DisableReclaim {
+			e.daemon = newReclaimDaemon(e)
+		}
+		return e, nil
+	}
+	ch, err := newChain(c, env.LogHeap, env.TS, opt.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	e.ch = ch
+	// The head block must be durable before the root points at it, or a
+	// crash in between would leave the root referencing garbage.
+	ch.flushPending(pmem.KindLog)
+	c.Fence()
+	c.StoreUint64(env.Root+offHead, uint64(ch.head()))
+	c.StoreUint64(env.Root+offBlockSize, uint64(opt.BlockSize))
+	c.StoreUint64(env.Root+offMagic, magic)
+	c.PersistBarrier(env.Root, txn.RootSize, pmem.KindLog)
+	if opt.BackgroundReclaim && !opt.DisableReclaim {
+		e.daemon = newReclaimDaemon(e)
+	}
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string {
+	if e.opt.DataPersist {
+		return "SpecSPMT-DP"
+	}
+	return "SpecSPMT"
+}
+
+// Close implements txn.Engine, stopping the background reclaimer if one is
+// running and surfacing any failure it hit.
+func (e *Engine) Close() error {
+	if e.daemon != nil {
+		err := e.daemon.stop()
+		e.daemon = nil
+		return err
+	}
+	return nil
+}
+
+// Begin implements txn.Engine.
+func (e *Engine) Begin() txn.Tx {
+	if e.open {
+		panic("spec: engine supports one open transaction per core")
+	}
+	if e.needsScan {
+		panic("spec: Recover must run before transactions on an attached engine")
+	}
+	e.open = true
+	e.env.Core.Stats.TxBegun++
+	return &tx{e: e, ws: txn.NewWriteSet(), byAddr: map[pmem.Addr]int{}, old: map[pmem.Addr][]byte{}}
+}
+
+type tx struct {
+	e      *Engine
+	ws     *txn.WriteSet
+	ents   []pendingEnt
+	byAddr map[pmem.Addr]int
+	// old holds pre-transaction values for fast aborts during normal
+	// execution (§5.3.2 discusses fast aborts; the slow path would be the
+	// crash-recovery routine).
+	old  map[pmem.Addr][]byte
+	done bool
+}
+
+type pendingEnt struct {
+	addr pmem.Addr
+	val  []byte
+}
+
+// Load implements txn.Tx: speculative logging keeps direct memory loads and
+// in-place data, so a load is just a load.
+func (t *tx) Load(addr pmem.Addr, buf []byte) { t.e.env.Core.Load(addr, buf) }
+
+// LoadUint64 implements txn.Tx.
+func (t *tx) LoadUint64(addr pmem.Addr) uint64 { return t.e.env.Core.LoadUint64(addr) }
+
+// Compute implements txn.Tx.
+func (t *tx) Compute(ns int64) { t.e.env.Core.Compute(ns) }
+
+// StoreUint64 implements txn.Tx.
+func (t *tx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	putU64(b[:], 0, v)
+	t.Store(addr, b[:])
+}
+
+// Store implements txn.Tx: update in place and splog the NEW value. No
+// flush, no fence (Figure 2, right: "log new a" with no barrier).
+func (t *tx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("spec: use of finished transaction")
+	}
+	c := t.e.env.Core
+	if _, seen := t.old[addr]; !seen {
+		prev := make([]byte, len(data))
+		c.Load(addr, prev)
+		t.old[addr] = prev
+	}
+	c.Store(addr, data)
+	t.ws.Add(addr, len(data))
+	// Write-set indexing (§4): only the last update of a datum in the
+	// transaction needs a log entry; earlier ones would be stale on arrival.
+	if i, ok := t.byAddr[addr]; ok && len(t.ents[i].val) == len(data) {
+		copy(t.ents[i].val, data)
+		return
+	}
+	t.byAddr[addr] = len(t.ents)
+	t.ents = append(t.ents, pendingEnt{addr, append([]byte(nil), data...)})
+}
+
+// Commit implements txn.Tx: encode one log record, flush it (plus data, for
+// the DP variant), and issue the single commit fence.
+func (t *tx) Commit() error {
+	if t.done {
+		return errors.New("spec: transaction already finished")
+	}
+	t.done = true
+	e := t.e
+	e.open = false
+	c := e.env.Core
+	if len(t.ents) == 0 {
+		c.Stats.TxCommitted++
+		return nil
+	}
+	size := recHeader + recFooter
+	for _, en := range t.ents {
+		size += entHeader + len(en.val)
+	}
+	rec := make([]byte, size)
+	ts := e.env.TS.Next()
+	putU32(rec, 0, uint32(size))
+	putU32(rec, 4, uint32(len(t.ents)))
+	putU64(rec, 8, ts)
+	p := recHeader
+	valOffs := make([]int, len(t.ents))
+	for i, en := range t.ents {
+		putU64(rec, p, uint64(en.addr))
+		putU32(rec, p+8, uint32(len(en.val)))
+		copy(rec[p+entHeader:], en.val)
+		valOffs[i] = p + entHeader
+		p += entHeader + len(en.val)
+	}
+	e.bgmu.Lock()
+	loc, err := e.ch.appendRecord(rec)
+	if err != nil {
+		e.bgmu.Unlock()
+		t.restoreOld()
+		if errors.Is(err, errRecordTooLarge) {
+			err = ErrTxTooLarge
+		}
+		c.Stats.TxAborted++
+		return err
+	}
+	if e.opt.DataPersist {
+		for _, l := range t.ws.Lines() {
+			c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+		}
+	}
+	e.ch.flushPending(pmem.KindLog)
+	c.Fence() // the one and only commit fence
+	if e.opt.DedicatedCommitFlag {
+		// Ablation: the commit-status flag plus barrier the checksum-as-
+		// commit-marker design eliminates.
+		c.StoreUint64(e.env.Root+offCommitFlag, ts)
+		c.PersistBarrier(e.env.Root+offCommitFlag, 8, pmem.KindLog)
+	}
+	// Publish committed entries in the volatile index; what they displace
+	// becomes reclaimable.
+	for i, en := range t.ents {
+		if prev, ok := e.index[en.addr]; ok {
+			e.staleBytes += int64(entHeader + prev.size)
+		}
+		e.index[en.addr] = indexEnt{ts: ts, rec: loc, valOff: valOffs[i], size: len(en.val)}
+	}
+	e.liveBytes += int64(size)
+	c.Stats.TxCommitted++
+	c.Stats.LogRecords++
+	c.Stats.AddLiveLog(int64(size))
+	trigger := !e.opt.DisableReclaim && e.staleBytes > e.opt.ReclaimThreshold
+	e.bgmu.Unlock()
+	if trigger {
+		if e.daemon != nil {
+			e.daemon.signal()
+		} else if err := e.ReclaimNow(); err != nil {
+			return fmt.Errorf("spec: commit succeeded but reclamation failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Abort implements txn.Tx: restore the pre-transaction values in place.
+// Nothing was flushed, so no persistence work is needed.
+func (t *tx) Abort() error {
+	if t.done {
+		return errors.New("spec: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.restoreOld()
+	t.e.env.Core.Stats.TxAborted++
+	return nil
+}
+
+func (t *tx) restoreOld() {
+	c := t.e.env.Core
+	for addr, val := range t.old {
+		c.Store(addr, val)
+	}
+}
+
+// Recover implements txn.Engine (§3.1): scan the chain from its head,
+// replay every committed record's entries in chronological order — redoing
+// completed transactions and thereby undoing interrupted ones — persist the
+// restored data, and rebuild the volatile index.
+func (e *Engine) Recover() error {
+	e.bgmu.Lock()
+	defer e.bgmu.Unlock()
+	c := e.env.Core
+	e.index = map[pmem.Addr]indexEnt{}
+	e.liveBytes, e.staleBytes = 0, 0
+	touched := txn.NewWriteSet()
+	tb, to := e.ch.scanAll(c, func(loc recLoc, rec []byte) bool {
+		ts, ents := decodeEntries(rec)
+		for _, en := range ents {
+			c.Store(en.Addr, en.Val)
+			touched.Add(en.Addr, len(en.Val))
+			if prev, ok := e.index[en.Addr]; ok {
+				e.staleBytes += int64(entHeader + prev.size)
+			}
+			e.index[en.Addr] = indexEnt{ts: ts, rec: loc, valOff: en.ValOff, size: len(en.Val)}
+		}
+		e.liveBytes += int64(len(rec))
+		return true
+	})
+	for _, l := range touched.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+	}
+	c.Fence()
+	e.ch.resumeAt(tb, to)
+	e.ch.flushPending(pmem.KindLog)
+	c.Fence()
+	e.needsScan = false
+	return nil
+}
+
+// ReclaimNow runs one reclamation cycle on the background core (§4.2): scan
+// every full block, copy fresh entries into compact records in new blocks,
+// splice the new blocks into the chain with two fences, and free the stale
+// prefix. Freshness comes from the volatile index; a log entry is fresh iff
+// the index still points at it.
+func (e *Engine) ReclaimNow() error {
+	e.bgmu.Lock()
+	defer e.bgmu.Unlock()
+	return e.reclaimLocked()
+}
+
+// reclaimLocked performs the cycle; callers hold e.bgmu.
+func (e *Engine) reclaimLocked() error {
+	ch := e.ch
+	if len(ch.blocks) <= 1 {
+		return nil // only the active tail block: nothing reclaimable
+	}
+	bg := e.bg
+	keepFrom := len(ch.blocks) - 1 // the active tail block is never touched
+	// Gather fresh entries from the prefix, in chain (chronological) order.
+	type freshEnt struct {
+		addr pmem.Addr
+		val  []byte
+		ts   uint64 // source record timestamp (ordering only)
+		// src pins the entry's current location so the index hand-over
+		// after the splice is exact.
+		src       recLoc
+		srcValOff int
+	}
+	var fresh []freshEnt
+	var prefixBytes int64
+	var staleEnts uint64
+	prefix := map[pmem.Addr]bool{}
+	for _, b := range ch.blocks[:keepFrom] {
+		prefix[b] = true
+	}
+	ch.scanAll(bg, func(loc recLoc, rec []byte) bool {
+		if !prefix[loc.block] {
+			return false // reached the kept tail: stop scanning
+		}
+		prefixBytes += int64(len(rec))
+		ts, ents := decodeEntries(rec)
+		for _, en := range ents {
+			ie, ok := e.index[en.Addr]
+			if ok && ie.rec == loc && ie.valOff == en.ValOff {
+				fresh = append(fresh, freshEnt{en.Addr, append([]byte(nil), en.Val...), ts, loc, en.ValOff})
+			} else {
+				staleEnts++
+			}
+		}
+		return true
+	})
+	// Build compact records on new blocks (written by the reclaimer core).
+	type movedEnt struct {
+		src       recLoc
+		srcValOff int
+		dst       indexEnt
+	}
+	var compact *chain
+	moved := map[pmem.Addr]movedEnt{}
+	var compactBytes int64
+	if len(fresh) > 0 {
+		var err error
+		compact, err = newChain(bg, e.env.LogHeap, e.env.TS, e.opt.BlockSize)
+		if err != nil {
+			return err
+		}
+		// Pack entries into records, respecting the block payload.
+		for start := 0; start < len(fresh); {
+			size := recHeader + recFooter
+			end := start
+			for end < len(fresh) {
+				s := size + entHeader + len(fresh[end].val)
+				if s > compact.payload() {
+					break
+				}
+				size = s
+				end++
+			}
+			if end == start {
+				return fmt.Errorf("spec: entry larger than log block payload")
+			}
+			rec := make([]byte, size)
+			putU32(rec, 0, uint32(size))
+			putU32(rec, 4, uint32(end-start))
+			// The compact record carries the timestamp of its newest member
+			// (§4.2: "forming new compact log records in which the
+			// timestamp is set to the newest log entry").
+			maxTS := uint64(0)
+			p := recHeader
+			for i := start; i < end; i++ {
+				f := fresh[i]
+				if f.ts > maxTS {
+					maxTS = f.ts
+				}
+				putU64(rec, p, uint64(f.addr))
+				putU32(rec, p+8, uint32(len(f.val)))
+				copy(rec[p+entHeader:], f.val)
+				p += entHeader + len(f.val)
+			}
+			putU64(rec, 8, maxTS)
+			loc, err := compact.appendRecord(rec)
+			if err != nil {
+				return err
+			}
+			p = recHeader
+			for i := start; i < end; i++ {
+				f := fresh[i]
+				moved[f.addr] = movedEnt{
+					src:       f.src,
+					srcValOff: f.srcValOff,
+					dst:       indexEnt{ts: f.ts, rec: loc, valOff: p + entHeader, size: len(f.val)},
+				}
+				p += entHeader + len(f.val)
+			}
+			compactBytes += int64(size)
+			start = end
+		}
+		compact.sealTail()
+		compact.flushPending(pmem.KindGC)
+	}
+	var newBlocks []pmem.Addr
+	var newIncarn map[pmem.Addr]uint64
+	newUsed := 0
+	if compact != nil {
+		newBlocks, newIncarn, newUsed = compact.blocks, compact.incarn, compact.used
+	}
+	newHead, displaced := ch.replacePrefix(bg, newBlocks, newIncarn, newUsed, keepFrom)
+	// Fence two: the new head pointer.
+	bg.StoreUint64(e.env.Root+offHead, uint64(newHead))
+	bg.PersistBarrier(e.env.Root+offHead, 8, pmem.KindGC)
+	ch.freeBlocks(displaced)
+	// Index entries for moved values now point at the compact records; the
+	// tail block's entries are untouched. The hand-over matches on the
+	// entry's source location (a compacted entry's record timestamp is its
+	// group's max, so timestamps cannot identify entries across repeated
+	// compactions).
+	for a, m := range moved {
+		if cur, ok := e.index[a]; ok && cur.rec == m.src && cur.valOff == m.srcValOff {
+			e.index[a] = indexEnt{ts: cur.ts, rec: m.dst.rec, valOff: m.dst.valOff, size: m.dst.size}
+		}
+	}
+	delta := prefixBytes - compactBytes
+	e.liveBytes -= delta
+	e.staleBytes = 0
+	st := e.env.Core.Stats
+	st.ReclaimCycles++
+	st.LogReclaimed += staleEnts
+	st.AddLiveLog(-delta)
+	return nil
+}
+
+// LiveLogBytes reports the committed record bytes currently in the chain —
+// the memory-space overhead the paper's §4.2/§5 discussion is about.
+func (e *Engine) LiveLogBytes() int64 {
+	e.bgmu.Lock()
+	defer e.bgmu.Unlock()
+	return e.liveBytes
+}
+
+// sortEntriesByTS is used by multi-thread recovery (pool.go).
+func sortRecordsByTS(recs []replayRec) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ts < recs[j].ts })
+}
+
+type replayRec struct {
+	ts   uint64
+	ents []scanEntry
+}

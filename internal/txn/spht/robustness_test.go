@@ -1,0 +1,80 @@
+package spht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn/txntest"
+)
+
+func TestRecoverOnGarbageLogNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		w := txntest.NewWorld(32 << 20)
+		env := w.Env(false)
+		e, err := New(env, Options{LogCap: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		n := len(garbage)
+		if n > 4096 {
+			n = 4096
+		}
+		if n > 0 {
+			env.Core.Store(e.logArea, garbage[:n])
+		}
+		defer func() {
+			if recover() != nil {
+				t.Error("spht recovery panicked on garbage log")
+			}
+		}()
+		if err := e.Recover(); err != nil {
+			t.Errorf("recover errored: %v", err)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlayReadProperty(t *testing.T) {
+	// A transactional read over any mix of committed data and buffered
+	// writes must equal a reference overlay.
+	f := func(baseVal, newVal uint64, writeOff, readOff uint8) bool {
+		w := txntest.NewWorld(32 << 20)
+		env := w.Env(false)
+		e, err := New(env, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		a, _ := w.DataHeap.Alloc(256)
+		tx := e.Begin()
+		tx.StoreUint64(a+8, baseVal)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// Reference image of the region.
+		ref := make([]byte, 64)
+		env.Core.Load(a, ref)
+		tx = e.Begin()
+		wo := int(writeOff) % 56
+		var nb [8]byte
+		for i := 0; i < 8; i++ {
+			nb[i] = byte(newVal >> (8 * i))
+		}
+		tx.Store(a+pmem.Addr(wo), nb[:])
+		copy(ref[wo:wo+8], nb[:])
+		ro := int(readOff) % 48
+		got := make([]byte, 16)
+		tx.Load(a+pmem.Addr(ro), got)
+		ok := string(got) == string(ref[ro:ro+16])
+		tx.Abort()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package spht implements an SPHT-style redo-logging persistent transaction
+// (Castro et al., FAST'21) as configured in the SpecPMT paper's evaluation:
+// transactions buffer write intents in a volatile write set, persist a single
+// redo log record — flush plus one fence — at commit, and leave data
+// persistence to a background replayer thread that applies the log to the
+// persistent data off the critical path (the paper uses SPHT's forward
+// linking version with one background replayer).
+//
+// Costs charged on the application core: per-access redirection overhead
+// (reads must consult the write set, writes are buffered then applied),
+// the commit-time log persist, and the occasional log-area reset. The
+// replayer's data flushes run on a separate core whose time does not extend
+// the application's critical path, matching the paper's setup of a dedicated
+// replayer thread.
+package spht
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+const (
+	magic = 0x5350485452454430 // "SPHTRED0"
+
+	offMagic      = 0
+	offLogArea    = 8
+	offLogCap     = 16
+	offReplayHead = 24
+	offLogGen     = 32
+
+	recHeader = 8 + 4 + 4 + 4 // timestamp, total size, nentries, log generation
+	entHeader = 8 + 4         // addr, size
+	recFooter = 8             // checksum
+)
+
+// ErrLogFull is returned when a single transaction cannot fit in the log.
+var ErrLogFull = errors.New("spht: redo log full")
+
+// Options configures the engine.
+type Options struct {
+	// LogCap is the redo log capacity in bytes (default 4 MiB).
+	LogCap int
+	// ReplayLag is how many committed records may await background replay
+	// before the replayer catches up (default 4).
+	ReplayLag int
+	// RedirectLoadNs and RedirectStoreNs model the address-redirection cost
+	// of out-of-place designs (§8: "they require additional address
+	// translation for every memory access").
+	RedirectLoadNs  int64
+	RedirectStoreNs int64
+}
+
+func (o *Options) setDefaults() {
+	if o.LogCap == 0 {
+		o.LogCap = 4 << 20
+	}
+	if o.ReplayLag == 0 {
+		o.ReplayLag = 16
+	}
+	if o.RedirectLoadNs == 0 {
+		o.RedirectLoadNs = 3
+	}
+	if o.RedirectStoreNs == 0 {
+		o.RedirectStoreNs = 6
+	}
+}
+
+// Engine is the SPHT-style redo engine.
+type Engine struct {
+	env         txn.Env
+	opt         Options
+	bg          *pmem.Core // replayer core
+	logArea     pmem.Addr
+	logCap      int
+	tail        int // volatile append offset
+	gen         uint32
+	replayedOff int
+	pending     []pendingRec
+	open        bool
+}
+
+type pendingRec struct {
+	endOff int
+	ranges []txn.WriteRange
+}
+
+func init() {
+	txn.Register("SPHT", func(env txn.Env) (txn.Engine, error) { return New(env, Options{}) })
+}
+
+// New attaches to (or initialises) an SPHT engine at env.Root.
+func New(env txn.Env, opt Options) (*Engine, error) {
+	opt.setDefaults()
+	e := &Engine{env: env, opt: opt, bg: env.Dev.NewCore()}
+	c := env.Core
+	if c.LoadUint64(env.Root+offMagic) == magic {
+		e.logArea = pmem.Addr(c.LoadUint64(env.Root + offLogArea))
+		e.logCap = int(c.LoadUint64(env.Root + offLogCap))
+		// tail is volatile; recovery rediscovers the durable tail by scan.
+		e.tail = int(c.LoadUint64(env.Root + offReplayHead))
+		e.replayedOff = e.tail
+		e.gen = c.LoadUint32(env.Root + offLogGen)
+		return e, nil
+	}
+	area, err := env.LogHeap.Alloc(opt.LogCap)
+	if err != nil {
+		return nil, fmt.Errorf("spht: allocating log area: %w", err)
+	}
+	e.logArea, e.logCap = area, opt.LogCap
+	c.StoreUint64(env.Root+offLogArea, uint64(area))
+	c.StoreUint64(env.Root+offLogCap, uint64(opt.LogCap))
+	c.StoreUint64(env.Root+offReplayHead, 0)
+	c.StoreUint32(env.Root+offLogGen, 1)
+	e.gen = 1
+	c.StoreUint64(env.Root+offMagic, magic)
+	c.PersistBarrier(env.Root, txn.RootSize, pmem.KindLog)
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string { return "SPHT" }
+
+// Close drains the background replayer.
+func (e *Engine) Close() error {
+	e.replay(len(e.pending))
+	return nil
+}
+
+// Begin implements txn.Engine.
+func (e *Engine) Begin() txn.Tx {
+	if e.open {
+		panic("spht: engine supports one open transaction per core")
+	}
+	e.open = true
+	e.env.Core.Stats.TxBegun++
+	return &tx{e: e, ws: txn.NewWriteSet()}
+}
+
+type tx struct {
+	e    *Engine
+	ws   *txn.WriteSet
+	vals [][]byte
+	done bool
+}
+
+// Store buffers the write intent; nothing touches persistent data yet.
+func (t *tx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("spht: use of finished transaction")
+	}
+	c := t.e.env.Core
+	t.ws.Add(addr, len(data))
+	t.vals = append(t.vals, append([]byte(nil), data...))
+	lines := int64((len(data) + pmem.LineSize - 1) / pmem.LineSize)
+	c.Compute(t.e.opt.RedirectStoreNs + lines) // buffer insert + copy
+	c.Stats.Stores++
+	c.Stats.StoreBytes += uint64(len(data))
+}
+
+// StoreUint64 implements txn.Tx.
+func (t *tx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Store(addr, b[:])
+}
+
+// Load reads memory and overlays the transaction's own write intents.
+func (t *tx) Load(addr pmem.Addr, buf []byte) {
+	c := t.e.env.Core
+	c.Compute(t.e.opt.RedirectLoadNs)
+	c.Load(addr, buf)
+	// Overlay buffered writes, newest-first wins by applying in order.
+	for i, r := range t.ws.Ranges() {
+		lo, hi := r.Addr, r.Addr+pmem.Addr(r.Size)
+		qlo, qhi := addr, addr+pmem.Addr(len(buf))
+		if lo >= qhi || qlo >= hi {
+			continue
+		}
+		start := max64(lo, qlo)
+		end := min64(hi, qhi)
+		copy(buf[start-qlo:end-qlo], t.vals[i][start-lo:end-lo])
+	}
+}
+
+// LoadUint64 implements txn.Tx.
+func (t *tx) LoadUint64(addr pmem.Addr) uint64 {
+	var b [8]byte
+	t.Load(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Compute implements txn.Tx.
+func (t *tx) Compute(ns int64) { t.e.env.Core.Compute(ns) }
+
+// Commit persists one redo record with a single fence, applies the write set
+// to the (volatile view of the) data, and hands data persistence to the
+// background replayer.
+func (t *tx) Commit() error {
+	if t.done {
+		return errors.New("spht: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	e := t.e
+	c := e.env.Core
+	if t.ws.Len() == 0 {
+		c.Stats.TxCommitted++
+		return nil
+	}
+	// Encode the record.
+	size := recHeader + recFooter
+	for _, r := range t.ws.Ranges() {
+		size += entHeader + r.Size
+	}
+	if size > e.logCap {
+		e.open = false
+		c.Stats.TxAborted++
+		return ErrLogFull
+	}
+	if e.tail+size > e.logCap {
+		if err := e.resetLog(); err != nil {
+			c.Stats.TxAborted++
+			return err
+		}
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint64(buf[0:], e.env.TS.Next())
+	binary.LittleEndian.PutUint32(buf[8:], uint32(size))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.ws.Len()))
+	binary.LittleEndian.PutUint32(buf[16:], e.gen)
+	off := recHeader
+	for i, r := range t.ws.Ranges() {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(r.Addr))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(r.Size))
+		copy(buf[off+entHeader:], t.vals[i])
+		off += entHeader + r.Size
+	}
+	binary.LittleEndian.PutUint64(buf[off:], txn.Checksum64(buf[:off]))
+	at := e.logArea + pmem.Addr(e.tail)
+	c.Store(at, buf)
+	// Critical path: persist the record, one fence (SPHT's removal of
+	// per-update fences is what lets it beat Kamino-Tx).
+	c.PersistBarrier(at, size, pmem.KindLog)
+	e.tail += size
+	c.Stats.LogRecords++
+	c.Stats.AddLiveLog(int64(size))
+	// Make the committed values visible in the data image (the volatile
+	// snapshot); persistence of these lines is the replayer's job.
+	for i, r := range t.ws.Ranges() {
+		c.Store(r.Addr, t.vals[i])
+	}
+	e.pending = append(e.pending, pendingRec{endOff: e.tail, ranges: t.ws.Ranges()})
+	if len(e.pending) > e.opt.ReplayLag {
+		e.replay(len(e.pending) - e.opt.ReplayLag)
+	}
+	c.Stats.TxCommitted++
+	return nil
+}
+
+// Abort discards the volatile write set; nothing persistent happened.
+func (t *tx) Abort() error {
+	if t.done {
+		return errors.New("spht: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.e.env.Core.Stats.TxAborted++
+	return nil
+}
+
+// replay flushes the data lines of the n oldest pending records on the
+// background core and advances the durable replay head.
+func (e *Engine) replay(n int) {
+	if n <= 0 || len(e.pending) == 0 {
+		return
+	}
+	if n > len(e.pending) {
+		n = len(e.pending)
+	}
+	// Replay coalesces: transactions in the batch that touched the same
+	// cache lines produce a single write-back per distinct line — the
+	// bandwidth advantage of deferring data persistence to a replayer.
+	lines := txn.NewWriteSet()
+	var endOff int
+	for i := 0; i < n; i++ {
+		rec := e.pending[i]
+		for _, r := range rec.ranges {
+			lines.Add(r.Addr, r.Size)
+		}
+		endOff = rec.endOff
+	}
+	for _, l := range lines.Lines() {
+		e.bg.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+	}
+	e.bg.Fence()
+	e.bg.StoreUint64(e.env.Root+offReplayHead, uint64(endOff))
+	e.bg.PersistBarrier(e.env.Root+offReplayHead, 8, pmem.KindLog)
+	e.pending = append(e.pending[:0], e.pending[n:]...)
+	e.env.Core.Stats.AddLiveLog(-int64(endOff - e.replayedOff))
+	e.replayedOff = endOff
+}
+
+// resetLog drains the replayer and rewinds the log area. The persistent log
+// generation is bumped so that recovery never mistakes residue of the
+// previous pass — whose checksums are still valid — for live records.
+func (e *Engine) resetLog() error {
+	e.replay(len(e.pending))
+	c := e.env.Core
+	e.gen++
+	c.StoreUint64(e.env.Root+offReplayHead, 0)
+	c.StoreUint32(e.env.Root+offLogGen, e.gen)
+	c.PersistBarrier(e.env.Root+offReplayHead, 16, pmem.KindLog)
+	e.tail = 0
+	e.replayedOff = 0
+	return nil
+}
+
+// Recover applies every committed-but-unreplayed redo record from the
+// durable replay head forward, stopping at the first torn record.
+func (e *Engine) Recover() error {
+	c := e.env.Core
+	head := int(c.LoadUint64(e.env.Root + offReplayHead))
+	off := head
+	for off+recHeader+recFooter <= e.logCap {
+		hdr := make([]byte, recHeader)
+		c.Load(e.logArea+pmem.Addr(off), hdr)
+		size := int(binary.LittleEndian.Uint32(hdr[8:]))
+		n := int(binary.LittleEndian.Uint32(hdr[12:]))
+		if size < recHeader+recFooter || off+size > e.logCap || n == 0 {
+			break
+		}
+		rec := make([]byte, size)
+		c.Load(e.logArea+pmem.Addr(off), rec)
+		if binary.LittleEndian.Uint32(rec[16:]) != e.gen {
+			break // record from a previous log generation
+		}
+		sum := binary.LittleEndian.Uint64(rec[size-recFooter:])
+		if txn.Checksum64(rec[:size-recFooter]) != sum {
+			break // torn or stale: this commit never became durable
+		}
+		p := recHeader
+		ok := true
+		for i := 0; i < n; i++ {
+			if p+entHeader > size-recFooter {
+				ok = false
+				break
+			}
+			addr := pmem.Addr(binary.LittleEndian.Uint64(rec[p:]))
+			sz := int(binary.LittleEndian.Uint32(rec[p+8:]))
+			if p+entHeader+sz > size-recFooter {
+				ok = false
+				break
+			}
+			c.Store(addr, rec[p+entHeader:p+entHeader+sz])
+			c.Flush(addr, sz, pmem.KindData)
+			p += entHeader + sz
+		}
+		if !ok {
+			break
+		}
+		off += size
+	}
+	c.Fence()
+	c.StoreUint64(e.env.Root+offReplayHead, uint64(off))
+	c.PersistBarrier(e.env.Root+offReplayHead, 8, pmem.KindLog)
+	e.tail = off
+	e.replayedOff = off
+	e.pending = nil
+	return nil
+}
+
+func max64(a, b pmem.Addr) pmem.Addr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b pmem.Addr) pmem.Addr {
+	if a < b {
+		return a
+	}
+	return b
+}

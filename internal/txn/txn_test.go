@@ -1,0 +1,149 @@
+package txn
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"specpmt/internal/pmem"
+)
+
+func TestTimestampMonotonicConcurrent(t *testing.T) {
+	var ts Timestamp
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	seen := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[w] = append(seen[w], ts.Next())
+			}
+		}()
+	}
+	wg.Wait()
+	all := map[uint64]bool{}
+	for _, s := range seen {
+		prev := uint64(0)
+		for _, v := range s {
+			if v <= prev {
+				t.Fatal("per-goroutine timestamps not increasing")
+			}
+			prev = v
+			if all[v] {
+				t.Fatalf("duplicate timestamp %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if ts.Last() != workers*per {
+		t.Fatalf("Last=%d want %d", ts.Last(), workers*per)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	f := func(data []byte, flip uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		sum := Checksum64(data)
+		mut := bytes.Clone(data)
+		mut[int(flip)%len(mut)] ^= 0x01
+		return Checksum64(mut) != sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumNeverZero(t *testing.T) {
+	if Checksum64(nil) == 0 || Checksum64([]byte{0, 0, 0}) == 0 {
+		t.Fatal("checksum must never be zero (zero marks unwritten records)")
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	a := Checksum64([]byte("hello"))
+	b := Checksum64([]byte("hello"))
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+}
+
+func TestWriteSetLines(t *testing.T) {
+	w := NewWriteSet()
+	w.Add(0, 8)
+	w.Add(60, 8) // spans lines 0 and 1
+	w.Add(200, 4)
+	lines := w.Lines()
+	want := []uint64{0, 1, 3}
+	if len(lines) != len(want) {
+		t.Fatalf("lines=%v want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines=%v want %v", lines, want)
+		}
+	}
+}
+
+func TestWriteSetSeen(t *testing.T) {
+	w := NewWriteSet()
+	w.Add(100, 8)
+	w.Add(200, 8)
+	w.Add(100, 8)
+	if i, ok := w.Seen(100); !ok || i != 2 {
+		t.Fatalf("Seen(100)=%d,%v want 2,true", i, ok)
+	}
+	if _, ok := w.Seen(300); ok {
+		t.Fatal("Seen(300) should be false")
+	}
+	if w.Len() != 3 || w.Bytes() != 24 {
+		t.Fatalf("Len=%d Bytes=%d", w.Len(), w.Bytes())
+	}
+}
+
+func TestWriteSetReset(t *testing.T) {
+	w := NewWriteSet()
+	w.Add(0, 64)
+	w.Reset()
+	if w.Len() != 0 || len(w.Lines()) != 0 {
+		t.Fatal("reset did not clear write set")
+	}
+	if _, ok := w.Seen(0); ok {
+		t.Fatal("reset did not clear byAddr index")
+	}
+}
+
+func TestWriteSetLinesMatchBruteForce(t *testing.T) {
+	f := func(addrs []uint16, size uint8) bool {
+		w := NewWriteSet()
+		n := int(size)%100 + 1
+		brute := map[uint64]bool{}
+		for _, a := range addrs {
+			w.Add(pmem.Addr(a), n)
+			for i := 0; i < n; i++ {
+				brute[pmem.LineOf(pmem.Addr(a)+pmem.Addr(i))] = true
+			}
+		}
+		return len(w.Lines()) == len(brute)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Engines()
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty engine name registered")
+		}
+	}
+	if _, err := New("no-such-engine", Env{}); err == nil {
+		t.Fatal("unknown engine should error")
+	}
+}

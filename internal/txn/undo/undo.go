@@ -1,0 +1,300 @@
+// Package undo implements the classical undo-logging persistent memory
+// transaction, the PMDK-style baseline of the paper's software evaluation
+// (§7.1.2). For every location a transaction updates, the old value is
+// logged and the log record persisted — flush plus fence — *before* the
+// in-place data write, exactly the left-hand timeline of Figure 2. At commit
+// the updated data is flushed and fenced, and the log is invalidated with
+// one more persist barrier.
+//
+// The per-update persist barrier is the cost SpecPMT eliminates; this engine
+// exists so the evaluation can measure that cost.
+package undo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+)
+
+const (
+	magic = 0x554e444f4c4f4731 // "UNDOLOG1"
+
+	// Root layout: [magic 8][logArea 8][logCap 8][activeGen 8]
+	offMagic     = 0
+	offLogArea   = 8
+	offLogCap    = 16
+	offActiveGen = 24
+
+	recHeader = 8 + 4 + 4 // addr, size, genLo
+	recFooter = 8         // checksum
+)
+
+// ErrLogFull is returned by Store when the transaction exceeds the log area.
+var ErrLogFull = errors.New("undo: log area full")
+
+// Options configures the engine.
+type Options struct {
+	// LogCap is the log area capacity in bytes (default 4 MiB).
+	LogCap int
+	// TxAddNs models PMDK's software bookkeeping per logged range (range
+	// tracking, log slot management) on top of the memory operations — a
+	// well-documented cost of the real library (default 1200 ns; set
+	// negative to disable).
+	TxAddNs int64
+}
+
+// Engine is the undo-logging engine.
+type Engine struct {
+	env     txn.Env
+	logArea pmem.Addr
+	logCap  int
+	txAddNs int64
+	open    bool
+}
+
+func init() {
+	txn.Register("PMDK", func(env txn.Env) (txn.Engine, error) { return New(env, Options{}) })
+}
+
+// New attaches to (or initialises) an undo engine at env.Root.
+func New(env txn.Env, opt Options) (*Engine, error) {
+	if opt.LogCap == 0 {
+		opt.LogCap = 4 << 20
+	}
+	if opt.TxAddNs == 0 {
+		opt.TxAddNs = 1200
+	}
+	if opt.TxAddNs < 0 {
+		opt.TxAddNs = 0
+	}
+	e := &Engine{env: env, txAddNs: opt.TxAddNs}
+	c := env.Core
+	if c.LoadUint64(env.Root+offMagic) == magic {
+		e.logArea = pmem.Addr(c.LoadUint64(env.Root + offLogArea))
+		e.logCap = int(c.LoadUint64(env.Root + offLogCap))
+		return e, nil
+	}
+	area, err := env.LogHeap.Alloc(opt.LogCap)
+	if err != nil {
+		return nil, fmt.Errorf("undo: allocating log area: %w", err)
+	}
+	e.logArea = area
+	e.logCap = opt.LogCap
+	c.StoreUint64(env.Root+offLogArea, uint64(area))
+	c.StoreUint64(env.Root+offLogCap, uint64(opt.LogCap))
+	c.StoreUint64(env.Root+offActiveGen, 0)
+	c.StoreUint64(env.Root+offMagic, magic)
+	c.PersistBarrier(env.Root, txn.RootSize, pmem.KindLog)
+	return e, nil
+}
+
+// Name implements txn.Engine.
+func (e *Engine) Name() string { return "PMDK" }
+
+// Close implements txn.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Begin implements txn.Engine.
+func (e *Engine) Begin() txn.Tx {
+	if e.open {
+		panic("undo: engine supports one open transaction per core")
+	}
+	e.open = true
+	c := e.env.Core
+	gen := e.env.TS.Next()
+	c.Stats.TxBegun++
+	// Publish the active generation before any logging so that recovery can
+	// tell live records from residue of earlier transactions.
+	c.StoreUint64(e.env.Root+offActiveGen, gen)
+	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
+	return &tx{e: e, gen: gen, ws: txn.NewWriteSet()}
+}
+
+type tx struct {
+	e    *Engine
+	gen  uint64
+	ws   *txn.WriteSet
+	tail int // bytes used in log area
+	done bool
+	err  error
+	// undo keeps a volatile copy of (addr, old bytes) for Abort.
+	undo []undoEnt
+}
+
+type undoEnt struct {
+	addr pmem.Addr
+	old  []byte
+}
+
+// Load implements txn.Tx; undo logging reads in place.
+func (t *tx) Load(addr pmem.Addr, buf []byte) { t.e.env.Core.Load(addr, buf) }
+
+// LoadUint64 implements txn.Tx.
+func (t *tx) LoadUint64(addr pmem.Addr) uint64 { return t.e.env.Core.LoadUint64(addr) }
+
+// Compute implements txn.Tx.
+func (t *tx) Compute(ns int64) { t.e.env.Core.Compute(ns) }
+
+// StoreUint64 implements txn.Tx.
+func (t *tx) StoreUint64(addr pmem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Store(addr, b[:])
+}
+
+// Store implements txn.Tx: log old value, persist the record, then update in
+// place.
+func (t *tx) Store(addr pmem.Addr, data []byte) {
+	if t.done {
+		panic("undo: use of finished transaction")
+	}
+	c := t.e.env.Core
+	logged := false
+	if i, seen := t.ws.Seen(addr); seen && t.ws.Ranges()[i].Size >= len(data) {
+		logged = true // old value of the full range is already on the log
+	}
+	if !logged {
+		if err := t.appendRecord(addr, len(data)); err != nil {
+			t.err = err
+			return
+		}
+	}
+	t.ws.Add(addr, len(data))
+	c.Store(addr, data)
+}
+
+// appendRecord writes and persists one undo record covering the cache lines
+// of [addr, addr+size). PMDK snapshots at coarse granularity (TX_ADD takes
+// object ranges, and flushing works in 64-byte lines), so the logged old
+// value is the full spanned lines — the write-amplification that is part of
+// the undo-logging cost the paper measures.
+func (t *tx) appendRecord(addr pmem.Addr, size int) error {
+	e := t.e
+	c := e.env.Core
+	first := pmem.LineOf(addr)
+	last := pmem.LineOf(addr + pmem.Addr(size-1))
+	addr = pmem.Addr(first * pmem.LineSize)
+	size = int(last-first+1) * pmem.LineSize
+	recLen := recHeader + size + recFooter
+	if t.tail+recLen > e.logCap {
+		return ErrLogFull
+	}
+	c.Compute(e.txAddNs)
+	buf := make([]byte, recLen)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(addr))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(size))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.gen))
+	// Old value read from the data area before the in-place update.
+	c.Load(addr, buf[recHeader:recHeader+size])
+	t.undo = append(t.undo, undoEnt{addr, append([]byte(nil), buf[recHeader:recHeader+size]...)})
+	sum := txn.Checksum64(buf[:recHeader+size])
+	binary.LittleEndian.PutUint64(buf[recHeader+size:], sum)
+	at := e.logArea + pmem.Addr(t.tail)
+	c.Store(at, buf)
+	// The persist barrier after each log append is the defining cost of
+	// undo logging (Figure 2, left).
+	c.PersistBarrier(at, recLen, pmem.KindLog)
+	t.tail += recLen
+	c.Stats.LogRecords++
+	c.Stats.AddLiveLog(int64(recLen))
+	return nil
+}
+
+// Commit implements txn.Tx.
+func (t *tx) Commit() error {
+	if t.done {
+		return errors.New("undo: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	if t.err != nil {
+		t.rollback()
+		return t.err
+	}
+	c := t.e.env.Core
+	// Persist all updated data.
+	for _, l := range t.ws.Lines() {
+		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
+	}
+	c.Fence()
+	// Invalidate the log.
+	c.StoreUint64(t.e.env.Root+offActiveGen, 0)
+	c.PersistBarrier(t.e.env.Root+offActiveGen, 8, pmem.KindLog)
+	c.Stats.TxCommitted++
+	c.Stats.AddLiveLog(-int64(t.tail))
+	return nil
+}
+
+// Abort implements txn.Tx: roll back in-place updates from the volatile undo
+// copies, persist the restored values, then invalidate the log.
+func (t *tx) Abort() error {
+	if t.done {
+		return errors.New("undo: transaction already finished")
+	}
+	t.done = true
+	t.e.open = false
+	t.rollback()
+	t.e.env.Core.Stats.TxAborted++
+	return nil
+}
+
+// rollback restores the old values recorded so far, persists them, and
+// invalidates the log.
+func (t *tx) rollback() {
+	c := t.e.env.Core
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		c.Store(u.addr, u.old)
+		c.Flush(u.addr, len(u.old), pmem.KindData)
+	}
+	c.Fence()
+	c.StoreUint64(t.e.env.Root+offActiveGen, 0)
+	c.PersistBarrier(t.e.env.Root+offActiveGen, 8, pmem.KindLog)
+	c.Stats.AddLiveLog(-int64(t.tail))
+}
+
+// Recover implements txn.Engine: if a transaction was active at the crash,
+// apply its undo records in reverse order and invalidate the log.
+func (e *Engine) Recover() error {
+	c := e.env.Core
+	gen := c.LoadUint64(e.env.Root + offActiveGen)
+	if gen == 0 {
+		return nil // no transaction in flight
+	}
+	type rec struct {
+		addr pmem.Addr
+		old  []byte
+	}
+	var recs []rec
+	off := 0
+	for off+recHeader+recFooter <= e.logCap {
+		hdr := make([]byte, recHeader)
+		c.Load(e.logArea+pmem.Addr(off), hdr)
+		addr := pmem.Addr(binary.LittleEndian.Uint64(hdr[0:]))
+		size := int(binary.LittleEndian.Uint32(hdr[8:]))
+		rgen := binary.LittleEndian.Uint32(hdr[12:])
+		if size == 0 || rgen != uint32(gen) || off+recHeader+size+recFooter > e.logCap {
+			break
+		}
+		body := make([]byte, recHeader+size+recFooter)
+		c.Load(e.logArea+pmem.Addr(off), body)
+		sum := binary.LittleEndian.Uint64(body[recHeader+size:])
+		if txn.Checksum64(body[:recHeader+size]) != sum {
+			break // torn record: it never persisted fully, so its data write
+			// never happened either (the barrier orders them)
+		}
+		recs = append(recs, rec{addr, body[recHeader : recHeader+size]})
+		off += recHeader + size + recFooter
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		c.Store(recs[i].addr, recs[i].old)
+		c.Flush(recs[i].addr, len(recs[i].old), pmem.KindData)
+	}
+	c.Fence()
+	c.StoreUint64(e.env.Root+offActiveGen, 0)
+	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
+	return nil
+}

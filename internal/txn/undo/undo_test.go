@@ -1,0 +1,119 @@
+package undo
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/txntest"
+)
+
+func factory(env txn.Env) (txn.Engine, error) { return New(env, Options{}) }
+
+func TestConformance(t *testing.T) {
+	txntest.Run(t, factory)
+}
+
+func TestFencePerUpdate(t *testing.T) {
+	// Undo logging's defining cost: one persist barrier per first update of
+	// a location, plus begin, data, and invalidate barriers.
+	w := txntest.NewWorld(32 << 20)
+	env := w.Env(false)
+	e, err := New(env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	addrs := make([]pmem.Addr, 10)
+	for i := range addrs {
+		addrs[i], _ = w.DataHeap.Alloc(64)
+	}
+	before := env.Core.Stats.Fences
+	tx := e.Begin()
+	for _, a := range addrs {
+		tx.StoreUint64(a, 1)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	fences := env.Core.Stats.Fences - before
+	// begin(1) + 10 updates(10) + data(1) + invalidate(1) = 13
+	if fences != 13 {
+		t.Fatalf("fences per tx = %d, want 13", fences)
+	}
+}
+
+func TestRepeatedUpdateLogsOnce(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	env := w.Env(false)
+	e, _ := New(env, Options{})
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	for i := 0; i < 5; i++ {
+		tx.StoreUint64(a, uint64(i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Core.Stats.LogRecords != 1 {
+		t.Fatalf("log records = %d, want 1 (write-set indexing)", env.Core.Stats.LogRecords)
+	}
+}
+
+func TestLogFullRollsBack(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	env := w.Env(false)
+	e, err := New(env, Options{LogCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := w.DataHeap.Alloc(64)
+	tx := e.Begin()
+	tx.StoreUint64(a, 7)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the tiny log.
+	addrs := make([]pmem.Addr, 32)
+	for i := range addrs {
+		addrs[i], _ = w.DataHeap.Alloc(64)
+	}
+	tx = e.Begin()
+	tx.StoreUint64(a, 8)
+	for _, x := range addrs {
+		tx.StoreUint64(x, 1)
+	}
+	if err := tx.Commit(); err != ErrLogFull {
+		t.Fatalf("commit err = %v, want ErrLogFull", err)
+	}
+	if got := env.Core.LoadUint64(a); got != 7 {
+		t.Fatalf("a=%d after failed commit, want rollback to 7", got)
+	}
+}
+
+func TestReattachReusesLogArea(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	env := w.Env(false)
+	e1, _ := New(env, Options{})
+	area1 := e1.logArea
+	e1.Close()
+	e2, _ := New(env, Options{})
+	defer e2.Close()
+	if e2.logArea != area1 {
+		t.Fatalf("reattach allocated a new log area: %d vs %d", e2.logArea, area1)
+	}
+}
+
+func TestRegisteredName(t *testing.T) {
+	w := txntest.NewWorld(32 << 20)
+	e, err := txn.New("PMDK", w.Env(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Name() != "PMDK" {
+		t.Fatalf("name = %q", e.Name())
+	}
+}

@@ -1,0 +1,79 @@
+package btree
+
+import (
+	"testing"
+
+	"specpmt"
+	"specpmt/internal/sim"
+)
+
+// BenchmarkInsert measures the wall-clock insert path (library efficiency)
+// on the SpecSPMT engine.
+func BenchmarkInsert(b *testing.B) {
+	pool, err := specpmt.Open(specpmt.Config{Size: 512 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	tr, err := New(pool, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(rng.Uint64(), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGet measures point lookups on a 10k-key tree.
+func BenchmarkGet(b *testing.B) {
+	pool, err := specpmt.Open(specpmt.Config{Size: 512 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	tr, _ := New(pool, 0)
+	rng := sim.NewRand(1)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(rng.Uint64()%100000, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) % 100000)
+	}
+}
+
+// BenchmarkModeledEngines reports the modeled per-insert cost under PMDK and
+// SpecSPMT — the data-structure-level rendition of Figure 12.
+func BenchmarkModeledEngines(b *testing.B) {
+	run := func(engine string) int64 {
+		pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20, Engine: engine, Optane: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		tr, err := New(pool, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := sim.NewRand(1)
+		for i := 0; i < 2000; i++ {
+			if err := tr.Insert(rng.Uint64()%100000, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return pool.ModeledTime()
+	}
+	for i := 0; i < b.N; i++ {
+		pm := run("PMDK")
+		sp := run("SpecSPMT")
+		if i == b.N-1 {
+			b.ReportMetric(float64(pm)/2000, "pmdk-ns/insert")
+			b.ReportMetric(float64(sp)/2000, "spec-ns/insert")
+			b.ReportMetric(float64(pm)/float64(sp), "speedup-x")
+		}
+	}
+}

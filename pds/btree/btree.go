@@ -1,0 +1,393 @@
+// Package btree is a persistent B+tree built on specpmt transactions — the
+// kind of durable index structure the paper's motivating applications
+// (key-value stores, databases; §1, §6) keep in persistent memory.
+//
+// Every mutation, including multi-node splits all the way up the tree, runs
+// in ONE crash-atomic transaction: after a power failure the tree is either
+// entirely pre-operation or entirely post-operation, never a torn split.
+// Under SpecPMT that costs a single commit fence regardless of how many
+// nodes the split touched; under PMDK-style undo logging the same operation
+// pays a persist barrier per touched node region.
+//
+// Keys and values are uint64; zero keys are allowed. The tree is rebuilt
+// from a pool root slot after a crash (Open).
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"specpmt"
+)
+
+// Degree configuration: maxKeys must be odd so splits are symmetric.
+const (
+	maxKeys   = 15
+	minDegree = (maxKeys + 1) / 2
+
+	kindLeaf     = 0
+	kindInternal = 1
+
+	// Node layout offsets. Key and pointer arrays carry one overflow slot
+	// each, so a node may transiently hold maxKeys+1 keys (and an internal
+	// node maxKeys+2 children) inside the transaction that splits it.
+	offKind  = 0
+	offN     = 8
+	offNext  = 16 // leaf right-sibling link (scan chain)
+	offKeys  = 24
+	offPtrs  = offKeys + 8*(maxKeys+1)
+	nodeSize = offPtrs + 8*(maxKeys+2)
+)
+
+// Tree is a persistent B+tree handle. Not safe for concurrent use (wrap in
+// your own lock, §4.3.3).
+type Tree struct {
+	pool *specpmt.Pool
+	slot int // pool root slot holding the meta address
+	meta specpmt.Addr
+}
+
+// Meta layout: [root u64][height u64][count u64].
+const (
+	metaRoot   = 0
+	metaHeight = 8
+	metaCount  = 16
+	metaSize   = 24
+)
+
+// ErrFull is returned when the pool cannot allocate another node.
+var ErrFull = errors.New("btree: allocation failed")
+
+// New creates an empty tree whose meta block is registered in the given
+// pool root slot.
+func New(pool *specpmt.Pool, slot int) (*Tree, error) {
+	meta, err := pool.Alloc(metaSize)
+	if err != nil {
+		return nil, err
+	}
+	root, err := pool.Alloc(nodeSize)
+	if err != nil {
+		return nil, err
+	}
+	tx := pool.Begin()
+	tx.StoreUint64(root+offKind, kindLeaf)
+	tx.StoreUint64(root+offN, 0)
+	tx.StoreUint64(root+offNext, 0)
+	tx.StoreUint64(meta+metaRoot, uint64(root))
+	tx.StoreUint64(meta+metaHeight, 0)
+	tx.StoreUint64(meta+metaCount, 0)
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if err := pool.SetRoot(slot, uint64(meta)); err != nil {
+		return nil, err
+	}
+	return &Tree{pool: pool, slot: slot, meta: meta}, nil
+}
+
+// Open reattaches to the tree registered in the pool root slot (post-crash).
+func Open(pool *specpmt.Pool, slot int) (*Tree, error) {
+	meta := specpmt.Addr(pool.Root(slot))
+	if meta == 0 {
+		return nil, fmt.Errorf("btree: root slot %d is empty", slot)
+	}
+	return &Tree{pool: pool, slot: slot, meta: meta}, nil
+}
+
+// Len returns the committed key count.
+func (t *Tree) Len() uint64 { return t.pool.ReadUint64(t.meta + metaCount) }
+
+// Height returns the committed tree height (0 = root is a leaf).
+func (t *Tree) Height() uint64 { return t.pool.ReadUint64(t.meta + metaHeight) }
+
+// node accessors over a transaction (so searches observe in-flight writes
+// of the same transaction during mutations).
+
+type txview struct{ tx specpmt.Tx }
+
+func (v txview) kind(n specpmt.Addr) uint64 { return v.tx.LoadUint64(n + offKind) }
+func (v txview) n(n specpmt.Addr) int       { return int(v.tx.LoadUint64(n + offN)) }
+func (v txview) key(n specpmt.Addr, i int) uint64 {
+	return v.tx.LoadUint64(n + offKeys + specpmt.Addr(i*8))
+}
+func (v txview) ptr(n specpmt.Addr, i int) uint64 {
+	return v.tx.LoadUint64(n + offPtrs + specpmt.Addr(i*8))
+}
+func (v txview) setN(n specpmt.Addr, c int) { v.tx.StoreUint64(n+offN, uint64(c)) }
+func (v txview) setKey(n specpmt.Addr, i int, k uint64) {
+	v.tx.StoreUint64(n+offKeys+specpmt.Addr(i*8), k)
+}
+func (v txview) setPtr(n specpmt.Addr, i int, p uint64) {
+	v.tx.StoreUint64(n+offPtrs+specpmt.Addr(i*8), p)
+}
+
+// Get returns the value for key and whether it exists, reading committed
+// state.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	n := specpmt.Addr(t.pool.ReadUint64(t.meta + metaRoot))
+	for {
+		kind := t.pool.ReadUint64(n + offKind)
+		cnt := int(t.pool.ReadUint64(n + offN))
+		i := 0
+		for i < cnt && t.pool.ReadUint64(n+offKeys+specpmt.Addr(i*8)) < key {
+			i++
+		}
+		if kind == kindLeaf {
+			if i < cnt && t.pool.ReadUint64(n+offKeys+specpmt.Addr(i*8)) == key {
+				return t.pool.ReadUint64(n + offPtrs + specpmt.Addr(i*8)), true
+			}
+			return 0, false
+		}
+		// Internal: keys[i] is the first key >= key; child i covers keys
+		// < keys[i]; equal keys descend right.
+		if i < cnt && t.pool.ReadUint64(n+offKeys+specpmt.Addr(i*8)) == key {
+			i++
+		}
+		n = specpmt.Addr(t.pool.ReadUint64(n + offPtrs + specpmt.Addr(i*8)))
+	}
+}
+
+// Insert stores key=val crash-atomically (update if present).
+func (t *Tree) Insert(key, val uint64) error {
+	tx := t.pool.Begin()
+	v := txview{tx}
+	root := specpmt.Addr(tx.LoadUint64(t.meta + metaRoot))
+	// Walk down, remembering the path.
+	type step struct {
+		node specpmt.Addr
+		idx  int
+	}
+	var path []step
+	n := root
+	for v.kind(n) == kindInternal {
+		cnt := v.n(n)
+		i := 0
+		for i < cnt && v.key(n, i) <= key {
+			i++
+		}
+		path = append(path, step{n, i})
+		n = specpmt.Addr(v.ptr(n, i))
+	}
+	// Leaf insert/update.
+	cnt := v.n(n)
+	i := 0
+	for i < cnt && v.key(n, i) < key {
+		i++
+	}
+	if i < cnt && v.key(n, i) == key {
+		v.setPtr(n, i, val)
+		return tx.Commit()
+	}
+	for j := cnt; j > i; j-- {
+		v.setKey(n, j, v.key(n, j-1))
+		v.setPtr(n, j, v.ptr(n, j-1))
+	}
+	v.setKey(n, i, key)
+	v.setPtr(n, i, val)
+	v.setN(n, cnt+1)
+	tx.StoreUint64(t.meta+metaCount, tx.LoadUint64(t.meta+metaCount)+1)
+
+	// Split upward while nodes overflow. All node allocations and pointer
+	// rewires happen inside this same transaction.
+	child := n
+	for v.n(child) > maxKeys {
+		sep, right, err := t.split(v, child)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if len(path) == 0 {
+			// New root.
+			nr, err := t.pool.Alloc(nodeSize)
+			if err != nil {
+				tx.Abort()
+				return ErrFull
+			}
+			tx.StoreUint64(nr+offKind, kindInternal)
+			tx.StoreUint64(nr+offN, 1)
+			v.setKey(nr, 0, sep)
+			v.setPtr(nr, 0, uint64(child))
+			v.setPtr(nr, 1, uint64(right))
+			tx.StoreUint64(t.meta+metaRoot, uint64(nr))
+			tx.StoreUint64(t.meta+metaHeight, tx.LoadUint64(t.meta+metaHeight)+1)
+			break
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		pcnt := v.n(parent.node)
+		for j := pcnt; j > parent.idx; j-- {
+			v.setKey(parent.node, j, v.key(parent.node, j-1))
+			v.setPtr(parent.node, j+1, v.ptr(parent.node, j))
+		}
+		v.setKey(parent.node, parent.idx, sep)
+		v.setPtr(parent.node, parent.idx+1, uint64(right))
+		v.setN(parent.node, pcnt+1)
+		child = parent.node
+	}
+	return tx.Commit()
+}
+
+// split divides an overflowing node (n == maxKeys+1 entries), returning the
+// separator key and the new right sibling.
+func (t *Tree) split(v txview, n specpmt.Addr) (sep uint64, right specpmt.Addr, err error) {
+	right, err = t.pool.Alloc(nodeSize)
+	if err != nil {
+		return 0, 0, ErrFull
+	}
+	kind := v.kind(n)
+	v.tx.StoreUint64(right+offKind, kind)
+	total := v.n(n)
+	if kind == kindLeaf {
+		left := total / 2
+		moved := total - left
+		for j := 0; j < moved; j++ {
+			v.setKey(right, j, v.key(n, left+j))
+			v.setPtr(right, j, v.ptr(n, left+j))
+		}
+		v.setN(right, moved)
+		v.setN(n, left)
+		// Sibling chain for scans.
+		v.tx.StoreUint64(right+offNext, v.tx.LoadUint64(n+offNext))
+		v.tx.StoreUint64(n+offNext, uint64(right))
+		return v.key(right, 0), right, nil
+	}
+	// Internal: middle key moves up.
+	mid := total / 2
+	sep = v.key(n, mid)
+	moved := total - mid - 1
+	for j := 0; j < moved; j++ {
+		v.setKey(right, j, v.key(n, mid+1+j))
+		v.setPtr(right, j, v.ptr(n, mid+1+j))
+	}
+	v.setPtr(right, moved, v.ptr(n, total))
+	v.setN(right, moved)
+	v.setN(n, mid)
+	return sep, right, nil
+}
+
+// Delete removes key crash-atomically, returning whether it was present.
+// Underflowed nodes are left in place (lazy deletion — standard for PM
+// B+trees, where rebalancing writes cost more than the slack space).
+func (t *Tree) Delete(key uint64) (bool, error) {
+	tx := t.pool.Begin()
+	v := txview{tx}
+	n := specpmt.Addr(tx.LoadUint64(t.meta + metaRoot))
+	for v.kind(n) == kindInternal {
+		cnt := v.n(n)
+		i := 0
+		for i < cnt && v.key(n, i) <= key {
+			i++
+		}
+		n = specpmt.Addr(v.ptr(n, i))
+	}
+	cnt := v.n(n)
+	i := 0
+	for i < cnt && v.key(n, i) < key {
+		i++
+	}
+	if i >= cnt || v.key(n, i) != key {
+		return false, tx.Abort()
+	}
+	for j := i; j < cnt-1; j++ {
+		v.setKey(n, j, v.key(n, j+1))
+		v.setPtr(n, j, v.ptr(n, j+1))
+	}
+	v.setN(n, cnt-1)
+	tx.StoreUint64(t.meta+metaCount, tx.LoadUint64(t.meta+metaCount)-1)
+	return true, tx.Commit()
+}
+
+// Scan calls fn for every key in [lo, hi] in ascending order, reading
+// committed state; fn returning false stops the scan.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool) {
+	n := specpmt.Addr(t.pool.ReadUint64(t.meta + metaRoot))
+	for t.pool.ReadUint64(n+offKind) == kindInternal {
+		cnt := int(t.pool.ReadUint64(n + offN))
+		i := 0
+		for i < cnt && t.pool.ReadUint64(n+offKeys+specpmt.Addr(i*8)) <= lo {
+			i++
+		}
+		n = specpmt.Addr(t.pool.ReadUint64(n + offPtrs + specpmt.Addr(i*8)))
+	}
+	for n != 0 {
+		cnt := int(t.pool.ReadUint64(n + offN))
+		for i := 0; i < cnt; i++ {
+			k := t.pool.ReadUint64(n + offKeys + specpmt.Addr(i*8))
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, t.pool.ReadUint64(n+offPtrs+specpmt.Addr(i*8))) {
+				return
+			}
+		}
+		n = specpmt.Addr(t.pool.ReadUint64(n + offNext))
+	}
+}
+
+// Validate walks the committed tree checking structural invariants: key
+// ordering within and across nodes, child counts, uniform leaf depth, and
+// that Len matches the leaf population. Used by crash tests.
+func (t *Tree) Validate() error {
+	root := specpmt.Addr(t.pool.ReadUint64(t.meta + metaRoot))
+	leafDepth := -1
+	var count uint64
+	var walk func(n specpmt.Addr, depth int, lo, hi uint64, loSet, hiSet bool) error
+	walk = func(n specpmt.Addr, depth int, lo, hi uint64, loSet, hiSet bool) error {
+		kind := t.pool.ReadUint64(n + offKind)
+		cnt := int(t.pool.ReadUint64(n + offN))
+		if cnt > maxKeys {
+			return fmt.Errorf("btree: node %d overflowed (%d keys)", n, cnt)
+		}
+		var prev uint64
+		for i := 0; i < cnt; i++ {
+			k := t.pool.ReadUint64(n + offKeys + specpmt.Addr(i*8))
+			if i > 0 && k <= prev {
+				return fmt.Errorf("btree: node %d keys out of order at %d", n, i)
+			}
+			if loSet && k < lo {
+				return fmt.Errorf("btree: node %d key %d below bound %d", n, k, lo)
+			}
+			if hiSet && k >= hi {
+				return fmt.Errorf("btree: node %d key %d above bound %d", n, k, hi)
+			}
+			prev = k
+		}
+		if kind == kindLeaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: ragged leaves (%d vs %d)", leafDepth, depth)
+			}
+			count += uint64(cnt)
+			return nil
+		}
+		for i := 0; i <= cnt; i++ {
+			child := specpmt.Addr(t.pool.ReadUint64(n + offPtrs + specpmt.Addr(i*8)))
+			clo, chi := lo, hi
+			cloSet, chiSet := loSet, hiSet
+			if i > 0 {
+				clo, cloSet = t.pool.ReadUint64(n+offKeys+specpmt.Addr((i-1)*8)), true
+			}
+			if i < cnt {
+				chi, chiSet = t.pool.ReadUint64(n+offKeys+specpmt.Addr(i*8)), true
+			}
+			if err := walk(child, depth+1, clo, chi, cloSet, chiSet); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0, 0, 0, false, false); err != nil {
+		return err
+	}
+	if got := t.Len(); got != count {
+		return fmt.Errorf("btree: Len()=%d but leaves hold %d keys", got, count)
+	}
+	if h := t.Height(); uint64(leafDepth) != h {
+		return fmt.Errorf("btree: height %d but leaves at depth %d", h, leafDepth)
+	}
+	return nil
+}

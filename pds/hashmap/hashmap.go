@@ -1,0 +1,376 @@
+// Package hashmap is a growable persistent hash map built on specpmt
+// transactions. Unlike the fixed-capacity map in examples/kvstore, this one
+// resizes: growth swaps in a double-sized table with one transaction and
+// then migrates a few old buckets inside every subsequent mutation — an
+// incremental, crash-atomic rehash. A power failure at any point leaves the
+// map either before or after each step; lookups work mid-migration by
+// consulting both tables.
+//
+// Keys and values are uint64 (key 0 is allowed). Not safe for concurrent
+// use; wrap in your own lock (§4.3.3 of the SpecPMT paper).
+package hashmap
+
+import (
+	"errors"
+	"fmt"
+
+	"specpmt"
+)
+
+const (
+	slotEmpty = 0
+	slotUsed  = 1
+	slotDead  = 2 // tombstone (deleted, probe chain continues)
+
+	slotSize = 24 // [state u64][key u64][val u64]
+
+	// migrateBatch old buckets are rehashed per mutation during growth.
+	migrateBatch = 8
+	// initialCap is the starting table capacity (power of two).
+	initialCap = 64
+)
+
+// Meta layout.
+const (
+	metaTable   = 0  // current table address
+	metaCap     = 8  // current capacity
+	metaLen     = 16 // live keys (both tables)
+	metaOld     = 24 // old table address (0 when no migration)
+	metaOldCap  = 32
+	metaMigrate = 40 // next old bucket to migrate
+	metaSize    = 48
+)
+
+// ErrFull means allocation of a grown table failed.
+var ErrFull = errors.New("hashmap: allocation failed")
+
+// Map is a persistent hash map handle.
+type Map struct {
+	pool *specpmt.Pool
+	meta specpmt.Addr
+}
+
+// New creates an empty map registered in the given pool root slot.
+func New(pool *specpmt.Pool, slot int) (*Map, error) {
+	meta, err := pool.Alloc(metaSize)
+	if err != nil {
+		return nil, err
+	}
+	table, err := allocZeroedTable(pool, initialCap)
+	if err != nil {
+		return nil, err
+	}
+	tx := pool.Begin()
+	tx.StoreUint64(meta+metaTable, uint64(table))
+	tx.StoreUint64(meta+metaCap, initialCap)
+	tx.StoreUint64(meta+metaLen, 0)
+	tx.StoreUint64(meta+metaOld, 0)
+	tx.StoreUint64(meta+metaOldCap, 0)
+	tx.StoreUint64(meta+metaMigrate, 0)
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if err := pool.SetRoot(slot, uint64(meta)); err != nil {
+		return nil, err
+	}
+	return &Map{pool: pool, meta: meta}, nil
+}
+
+// Open reattaches to the map in the pool root slot (post-crash).
+func Open(pool *specpmt.Pool, slot int) (*Map, error) {
+	meta := specpmt.Addr(pool.Root(slot))
+	if meta == 0 {
+		return nil, fmt.Errorf("hashmap: root slot %d is empty", slot)
+	}
+	return &Map{pool: pool, meta: meta}, nil
+}
+
+// allocZeroedTable allocates a table and zeroes its slot states in chunked
+// transactions. The table is unpublished until the caller links it, so a
+// crash mid-zeroing leaks nothing.
+func allocZeroedTable(pool *specpmt.Pool, capacity uint64) (specpmt.Addr, error) {
+	t, err := pool.Alloc(int(capacity * slotSize))
+	if err != nil {
+		return 0, ErrFull
+	}
+	const chunk = 256
+	for i := uint64(0); i < capacity; i += chunk {
+		tx := pool.Begin()
+		for j := i; j < i+chunk && j < capacity; j++ {
+			tx.StoreUint64(t+specpmt.Addr(j*slotSize), slotEmpty)
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return t, nil
+}
+
+func hash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+func slotAddr(table specpmt.Addr, capacity, i uint64) specpmt.Addr {
+	return table + specpmt.Addr((i%capacity)*slotSize)
+}
+
+// Len returns the committed key count.
+func (m *Map) Len() uint64 { return m.pool.ReadUint64(m.meta + metaLen) }
+
+// Cap returns the current table capacity.
+func (m *Map) Cap() uint64 { return m.pool.ReadUint64(m.meta + metaCap) }
+
+// Migrating reports whether an incremental rehash is in progress.
+func (m *Map) Migrating() bool { return m.pool.ReadUint64(m.meta+metaOld) != 0 }
+
+// lookup finds key in one table (committed reads). Returns the value and
+// whether it was found.
+func (m *Map) lookupIn(table specpmt.Addr, capacity, key uint64) (uint64, bool) {
+	if table == 0 || capacity == 0 {
+		return 0, false
+	}
+	h := hash(key)
+	for probe := uint64(0); probe < capacity; probe++ {
+		at := slotAddr(table, capacity, h+probe)
+		switch m.pool.ReadUint64(at) {
+		case slotEmpty:
+			return 0, false
+		case slotUsed:
+			if m.pool.ReadUint64(at+8) == key {
+				return m.pool.ReadUint64(at + 16), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Get returns the value for key and whether it exists.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	cur := specpmt.Addr(m.pool.ReadUint64(m.meta + metaTable))
+	if v, ok := m.lookupIn(cur, m.pool.ReadUint64(m.meta+metaCap), key); ok {
+		return v, true
+	}
+	old := specpmt.Addr(m.pool.ReadUint64(m.meta + metaOld))
+	if old != 0 {
+		return m.lookupIn(old, m.pool.ReadUint64(m.meta+metaOldCap), key)
+	}
+	return 0, false
+}
+
+// txPutIn inserts/updates key in the table inside tx. Returns +1 if a new
+// key was added, 0 on update, and false if the probe chain is exhausted.
+func txPutIn(tx specpmt.Tx, table specpmt.Addr, capacity, key, val uint64) (delta int, ok bool) {
+	h := hash(key)
+	var tomb specpmt.Addr
+	for probe := uint64(0); probe < capacity; probe++ {
+		at := slotAddr(table, capacity, h+probe)
+		switch tx.LoadUint64(at) {
+		case slotEmpty:
+			if tomb != 0 {
+				at = tomb
+			}
+			tx.StoreUint64(at, slotUsed)
+			tx.StoreUint64(at+8, key)
+			tx.StoreUint64(at+16, val)
+			return 1, true
+		case slotDead:
+			if tomb == 0 {
+				tomb = at
+			}
+		case slotUsed:
+			if tx.LoadUint64(at+8) == key {
+				tx.StoreUint64(at+16, val)
+				return 0, true
+			}
+		}
+	}
+	if tomb != 0 {
+		tx.StoreUint64(tomb, slotUsed)
+		tx.StoreUint64(tomb+8, key)
+		tx.StoreUint64(tomb+16, val)
+		return 1, true
+	}
+	return 0, false
+}
+
+// txDeleteIn tombstones key in the table inside tx.
+func txDeleteIn(tx specpmt.Tx, table specpmt.Addr, capacity, key uint64) bool {
+	if table == 0 || capacity == 0 {
+		return false
+	}
+	h := hash(key)
+	for probe := uint64(0); probe < capacity; probe++ {
+		at := slotAddr(table, capacity, h+probe)
+		switch tx.LoadUint64(at) {
+		case slotEmpty:
+			return false
+		case slotUsed:
+			if tx.LoadUint64(at+8) == key {
+				tx.StoreUint64(at, slotDead)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// migrateStep rehashes up to migrateBatch old buckets into the current
+// table within tx, retiring the old table when done.
+func (m *Map) migrateStep(tx specpmt.Tx) bool {
+	old := specpmt.Addr(tx.LoadUint64(m.meta + metaOld))
+	if old == 0 {
+		return true
+	}
+	oldCap := tx.LoadUint64(m.meta + metaOldCap)
+	idx := tx.LoadUint64(m.meta + metaMigrate)
+	cur := specpmt.Addr(tx.LoadUint64(m.meta + metaTable))
+	capacity := tx.LoadUint64(m.meta + metaCap)
+	moved := uint64(0)
+	for ; idx < oldCap && moved < migrateBatch; idx++ {
+		at := slotAddr(old, oldCap, idx)
+		if tx.LoadUint64(at) == slotUsed {
+			k, v := tx.LoadUint64(at+8), tx.LoadUint64(at+16)
+			if _, ok := txPutIn(tx, cur, capacity, k, v); !ok {
+				return false // new table full mid-migration: caller grows again
+			}
+			tx.StoreUint64(at, slotDead)
+			moved++
+		}
+	}
+	tx.StoreUint64(m.meta+metaMigrate, idx)
+	if idx >= oldCap {
+		tx.StoreUint64(m.meta+metaOld, 0)
+		tx.StoreUint64(m.meta+metaOldCap, 0)
+		tx.StoreUint64(m.meta+metaMigrate, 0)
+	}
+	return true
+}
+
+// grow swaps in a table of twice the current capacity (one transaction) and
+// begins incremental migration. Any previous migration must have finished.
+func (m *Map) grow() error {
+	capacity := m.pool.ReadUint64(m.meta + metaCap)
+	newTable, err := allocZeroedTable(m.pool, capacity*2)
+	if err != nil {
+		return err
+	}
+	tx := m.pool.Begin()
+	tx.StoreUint64(m.meta+metaOld, tx.LoadUint64(m.meta+metaTable))
+	tx.StoreUint64(m.meta+metaOldCap, capacity)
+	tx.StoreUint64(m.meta+metaMigrate, 0)
+	tx.StoreUint64(m.meta+metaTable, uint64(newTable))
+	tx.StoreUint64(m.meta+metaCap, capacity*2)
+	return tx.Commit()
+}
+
+// Put stores key=val crash-atomically, growing and migrating as needed.
+func (m *Map) Put(key, val uint64) error {
+	// Growth policy: start a resize at 3/4 load once no migration runs.
+	if !m.Migrating() && m.Len()*4 >= m.Cap()*3 {
+		if err := m.grow(); err != nil {
+			return err
+		}
+	}
+	tx := m.pool.Begin()
+	if !m.migrateStep(tx) {
+		tx.Abort()
+		return ErrFull
+	}
+	cur := specpmt.Addr(tx.LoadUint64(m.meta + metaTable))
+	capacity := tx.LoadUint64(m.meta + metaCap)
+	// The key may still live in the old table: delete it there so the pair
+	// of writes stays atomic with the insert.
+	oldDelta := 0
+	if old := specpmt.Addr(tx.LoadUint64(m.meta + metaOld)); old != 0 {
+		if txDeleteIn(tx, old, tx.LoadUint64(m.meta+metaOldCap), key) {
+			oldDelta = -1
+		}
+	}
+	delta, ok := txPutIn(tx, cur, capacity, key, val)
+	if !ok {
+		tx.Abort()
+		return ErrFull
+	}
+	if d := delta + oldDelta; d != 0 {
+		tx.StoreUint64(m.meta+metaLen, tx.LoadUint64(m.meta+metaLen)+uint64(int64(d)))
+	}
+	return tx.Commit()
+}
+
+// Delete removes key crash-atomically, reporting whether it was present.
+func (m *Map) Delete(key uint64) (bool, error) {
+	tx := m.pool.Begin()
+	if !m.migrateStep(tx) {
+		tx.Abort()
+		return false, ErrFull
+	}
+	cur := specpmt.Addr(tx.LoadUint64(m.meta + metaTable))
+	found := txDeleteIn(tx, cur, tx.LoadUint64(m.meta+metaCap), key)
+	if !found {
+		if old := specpmt.Addr(tx.LoadUint64(m.meta + metaOld)); old != 0 {
+			found = txDeleteIn(tx, old, tx.LoadUint64(m.meta+metaOldCap), key)
+		}
+	}
+	if !found {
+		return false, tx.Abort()
+	}
+	tx.StoreUint64(m.meta+metaLen, tx.LoadUint64(m.meta+metaLen)-1)
+	return true, tx.Commit()
+}
+
+// Range calls fn for every committed key/value (order unspecified); fn
+// returning false stops the walk.
+func (m *Map) Range(fn func(k, v uint64) bool) {
+	walk := func(table specpmt.Addr, capacity uint64) bool {
+		for i := uint64(0); i < capacity; i++ {
+			at := slotAddr(table, capacity, i)
+			if m.pool.ReadUint64(at) == slotUsed {
+				if !fn(m.pool.ReadUint64(at+8), m.pool.ReadUint64(at+16)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cur := specpmt.Addr(m.pool.ReadUint64(m.meta + metaTable))
+	if !walk(cur, m.pool.ReadUint64(m.meta+metaCap)) {
+		return
+	}
+	if old := specpmt.Addr(m.pool.ReadUint64(m.meta + metaOld)); old != 0 {
+		walk(old, m.pool.ReadUint64(m.meta+metaOldCap))
+	}
+}
+
+// Validate checks invariants: Len matches the live population, no key
+// appears twice (across both tables), and used slots are reachable by their
+// probe chains.
+func (m *Map) Validate() error {
+	seen := map[uint64]bool{}
+	count := uint64(0)
+	var dup uint64
+	dupFound := false
+	m.Range(func(k, v uint64) bool {
+		if seen[k] {
+			dup, dupFound = k, true
+			return false
+		}
+		seen[k] = true
+		count++
+		return true
+	})
+	if dupFound {
+		return fmt.Errorf("hashmap: key %d present twice", dup)
+	}
+	if got := m.Len(); got != count {
+		return fmt.Errorf("hashmap: Len()=%d but %d live slots", got, count)
+	}
+	for k := range seen {
+		if _, ok := m.Get(k); !ok {
+			return fmt.Errorf("hashmap: key %d unreachable by probing", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package hashmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specpmt"
+	"specpmt/internal/sim"
+)
+
+func newMap(t *testing.T) (*specpmt.Pool, *Map) {
+	t.Helper()
+	pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, m
+}
+
+func TestPutGetDelete(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	for k := uint64(0); k < 30; k++ {
+		if err := m.Put(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 30; k++ {
+		v, ok := m.Get(k)
+		if !ok || v != k*3 {
+			t.Fatalf("Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+	ok, err := m.Delete(7)
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("deleted key still present")
+	}
+	if ok, _ := m.Delete(7); ok {
+		t.Fatal("double delete")
+	}
+	if m.Len() != 29 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthMigration(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	// Push far past the initial capacity: multiple growth generations.
+	const n = 2000
+	for k := uint64(0); k < n; k++ {
+		if err := m.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Cap() <= initialCap {
+		t.Fatalf("map never grew: cap=%d", m.Cap())
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := m.Get(k)
+		if !ok || v != k+1 {
+			t.Fatalf("Get(%d)=%d,%v after growth", k, v, ok)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashMidMigration(t *testing.T) {
+	// Crash repeatedly while migrations are in flight; every committed pair
+	// must survive, lookups must work with the map split across tables.
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRand(seed)
+		pool, m := newMap(t)
+		oracle := map[uint64]uint64{}
+		for round := 0; round < 4; round++ {
+			n := rng.Intn(200) + 50
+			for i := 0; i < n; i++ {
+				k := rng.Uint64() % 3000
+				if rng.Float64() < 0.8 {
+					v := rng.Uint64()
+					if err := m.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+					oracle[k] = v
+				} else {
+					ok, err := m.Delete(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, exists := oracle[k]; exists != ok {
+						t.Fatalf("Delete(%d)=%v oracle=%v", k, ok, exists)
+					}
+					delete(oracle, k)
+				}
+			}
+			if err := pool.Crash(rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			m, err = Open(pool, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			if m.Len() != uint64(len(oracle)) {
+				t.Fatalf("seed %d round %d: Len=%d oracle=%d (migrating=%v)",
+					seed, round, m.Len(), len(oracle), m.Migrating())
+			}
+			for k, want := range oracle {
+				got, ok := m.Get(k)
+				if !ok || got != want {
+					t.Fatalf("seed %d round %d: Get(%d)=%d,%v want %d",
+						seed, round, k, got, ok, want)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestRangeVisitsEverything(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	want := map[uint64]uint64{}
+	for k := uint64(100); k < 400; k += 3 {
+		m.Put(k, k^0xABCD)
+		want[k] = k ^ 0xABCD
+	}
+	got := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("range[%d]=%d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestTombstoneReuseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		m, err := New(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint64]uint64{}
+		// Heavy insert/delete churn on a small key space exercises
+		// tombstone reuse and probe chains.
+		for i := 0; i < 600; i++ {
+			k := rng.Uint64() % 40
+			if rng.Float64() < 0.5 {
+				v := rng.Uint64()
+				if err := m.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				oracle[k] = v
+			} else {
+				m.Delete(k)
+				delete(oracle, k)
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for k, want := range oracle {
+			if got, ok := m.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return m.Len() == uint64(len(oracle))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptySlot(t *testing.T) {
+	pool, _ := specpmt.Open(specpmt.Config{})
+	defer pool.Close()
+	if _, err := Open(pool, 9); err == nil {
+		t.Fatal("Open on empty slot should fail")
+	}
+}

@@ -1,0 +1,261 @@
+// Package specpmt is a Go reproduction of "SpecPMT: Speculative Logging for
+// Resolving Crash Consistency Overhead of Persistent Memory" (Ye et al.,
+// ASPLOS 2023).
+//
+// It provides speculatively persistent memory transactions — crash-atomic
+// updates that log the NEW value of each datum during the transaction and
+// persist the whole log record with a single fence at commit, eliminating
+// both the per-update persist barriers of undo logging and the commit-path
+// data persistence — together with the baselines the paper compares against
+// (PMDK-style undo logging, Kamino-Tx, SPHT) and the hardware designs of §5
+// (EDE, HOOP, SpecHPMT) on a simulated persistent memory device.
+//
+// # Quick start
+//
+//	pool, err := specpmt.Open(specpmt.Config{})   // SpecSPMT engine
+//	defer pool.Close()
+//	addr, _ := pool.Alloc(64)
+//	tx := pool.Begin()
+//	tx.StoreUint64(addr, 42)
+//	tx.Commit()                                   // one fence, durable
+//
+//	pool.Crash(1)                                 // simulated power failure
+//	pool.Recover()
+//	v := pool.ReadUint64(addr)                    // 42
+//
+// The device is a simulation (this repository targets reproducibility, not
+// production storage): it models CLWB/SFENCE semantics, an ADR persistence
+// domain with a write pending queue, Optane-like latencies, and power
+// failures with partial cache eviction. Every engine passes the same
+// crash-consistency conformance battery under randomized crash points.
+package specpmt
+
+import (
+	"errors"
+	"fmt"
+
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/stats"
+	"specpmt/internal/txn"
+
+	// Register all engines.
+	_ "specpmt/internal/hwsim"
+	_ "specpmt/internal/txn/kamino"
+	"specpmt/internal/txn/spec"
+	_ "specpmt/internal/txn/spht"
+	_ "specpmt/internal/txn/undo"
+)
+
+// Tx is one open transaction: transactional loads and stores followed by
+// Commit (crash-atomic, durable) or Abort.
+type Tx = txn.Tx
+
+// Addr is a byte offset in the persistent pool.
+type Addr = pmem.Addr
+
+// Engines lists every registered crash-consistency engine.
+func Engines() []string { return txn.Engines() }
+
+// Config parameterises Open.
+type Config struct {
+	// Size is the pool size in bytes (default 64 MiB). A quarter holds
+	// application data; the rest holds engine logs.
+	Size int
+	// Engine picks the crash-consistency scheme (default "SpecSPMT"). See
+	// Engines for choices.
+	Engine string
+	// Optane selects the software-platform latency profile instead of the
+	// paper's Table 1 simulator profile.
+	Optane bool
+	// SpecOptions overrides the SpecSPMT engine configuration; ignored for
+	// other engines.
+	SpecOptions *spec.Options
+}
+
+// RootSlots is the number of uint64 application root slots in a pool.
+const RootSlots = 16
+
+// Pool is an open persistent memory pool with one transaction engine.
+type Pool struct {
+	dev    *pmem.Device
+	core   *pmem.Core
+	heap   *pmalloc.Heap
+	logs   *pmalloc.Heap
+	engine txn.Engine
+	cfg    Config
+	env    txn.Env
+	ts     *txn.Timestamp
+	// accumulated across crashes (each crash resets cores)
+	accumNs    int64
+	accumStats stats.Counters
+}
+
+const (
+	engineRootOff = 0 // engine root: txn.RootSize bytes
+	appRootsOff   = pmem.Addr(txn.RootSize)
+)
+
+// Open creates a pool over a fresh simulated device.
+func Open(cfg Config) (*Pool, error) {
+	if cfg.Size == 0 {
+		cfg.Size = 64 << 20
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "SpecSPMT"
+	}
+	lat := sim.DefaultLatency()
+	if cfg.Optane {
+		lat = sim.OptaneLatency()
+	}
+	dev := pmem.NewDevice(pmem.Config{Size: cfg.Size, Lat: lat})
+	p := &Pool{dev: dev, cfg: cfg, ts: &txn.Timestamp{}}
+	return p, p.attach()
+}
+
+// attach builds the volatile state over the device (initial open and after
+// Crash).
+func (p *Pool) attach() error {
+	p.core = p.dev.NewCore()
+	dataStart := pmem.Addr(pmem.PageSize)
+	dataEnd := pmem.Addr(p.cfg.Size / 4)
+	if p.heap == nil {
+		p.heap = pmalloc.NewHeap(dataStart, dataEnd)
+		p.logs = pmalloc.NewHeap(dataEnd, pmem.Addr(p.cfg.Size))
+	}
+	p.env = txn.Env{
+		Dev:     p.dev,
+		Core:    p.core,
+		Heap:    p.heap,
+		LogHeap: p.logs,
+		Root:    engineRootOff,
+		TS:      p.ts,
+	}
+	var err error
+	if p.cfg.SpecOptions != nil && (p.cfg.Engine == "SpecSPMT" || p.cfg.Engine == "SpecSPMT-DP") {
+		o := *p.cfg.SpecOptions
+		o.DataPersist = p.cfg.Engine == "SpecSPMT-DP"
+		p.engine, err = spec.New(p.env, o)
+	} else {
+		p.engine, err = txn.New(p.cfg.Engine, p.env)
+	}
+	if err != nil {
+		return fmt.Errorf("specpmt: opening engine %q: %w", p.cfg.Engine, err)
+	}
+	return nil
+}
+
+// Engine returns the underlying engine (for engine-specific APIs such as
+// spec.Engine.ReclaimNow).
+func (p *Pool) Engine() txn.Engine { return p.engine }
+
+// Begin opens a transaction.
+func (p *Pool) Begin() Tx { return p.engine.Begin() }
+
+// Alloc returns a line-aligned persistent region of n bytes. Allocator
+// metadata is volatile (libvmmalloc-style); persistent structures must be
+// reachable from a root slot.
+func (p *Pool) Alloc(n int) (Addr, error) { return p.heap.Alloc(n) }
+
+// Free returns a region of n bytes to the allocator.
+func (p *Pool) Free(a Addr, n int) { p.heap.Free(a, n) }
+
+// SetRoot durably stores a pool root pointer in slot i — the well-known
+// location from which applications rediscover their data after a crash.
+// Call it inside no transaction; the write is persisted immediately.
+func (p *Pool) SetRoot(i int, v uint64) error {
+	if i < 0 || i >= RootSlots {
+		return errors.New("specpmt: root slot out of range")
+	}
+	at := appRootsOff + pmem.Addr(i*8)
+	p.core.StoreUint64(at, v)
+	p.core.PersistBarrier(at, 8, pmem.KindData)
+	return nil
+}
+
+// Root reads pool root slot i.
+func (p *Pool) Root(i int) uint64 {
+	if i < 0 || i >= RootSlots {
+		return 0
+	}
+	return p.core.LoadUint64(appRootsOff + pmem.Addr(i*8))
+}
+
+// ReadUint64 performs a non-transactional read (committed data only has a
+// defined value after Recover or between transactions).
+func (p *Pool) ReadUint64(a Addr) uint64 { return p.core.LoadUint64(a) }
+
+// Read copies len(buf) bytes at a into buf, non-transactionally.
+func (p *Pool) Read(a Addr, buf []byte) { p.core.Load(a, buf) }
+
+// Crash simulates a power failure: volatile caches are lost, each dirty
+// line survives with the device's eviction probability (seeded by seed),
+// and all engine state must be rebuilt. Call Recover before the next
+// transaction.
+func (p *Pool) Crash(seed uint64) error {
+	if err := p.engine.Close(); err != nil {
+		return err
+	}
+	p.accumNs += p.engineNow()
+	p.accumStats.Merge(p.core.Stats)
+	p.dev.Crash(sim.NewRand(seed))
+	return p.attach()
+}
+
+// engineNow reads the clock of whichever core the engine runs on: the pool
+// core for software engines, the engine's own CPU core for the hardware
+// models.
+func (p *Pool) engineNow() int64 {
+	if mt, ok := p.engine.(interface{ CoreNow() int64 }); ok {
+		return mt.CoreNow()
+	}
+	return p.core.Now()
+}
+
+// Recover runs the engine's post-crash recovery, restoring exactly the
+// committed transaction history.
+func (p *Pool) Recover() error { return p.engine.Recover() }
+
+// ModeledTime returns the pool's cumulative virtual time in nanoseconds —
+// the simulation's performance metric — including time before crashes.
+func (p *Pool) ModeledTime() int64 { return p.accumNs + p.engineNow() }
+
+// Stats returns a formatted snapshot of the pool's cumulative counters.
+func (p *Pool) Stats() string {
+	s := p.accumStats
+	s.Merge(p.core.Stats)
+	return s.String()
+}
+
+// Close shuts the engine down.
+func (p *Pool) Close() error { return p.engine.Close() }
+
+// SwitchEngine migrates the pool from the SpecPMT engine to another crash
+// consistency mechanism (§4.3.1): the speculative engine is sealed — its
+// covered data flushed with one barrier and its log retired — and the new
+// engine initialises at the same root. Only pools currently running
+// "SpecSPMT" or "SpecSPMT-DP" can switch (other engines have no documented
+// transition protocol in the paper).
+func (p *Pool) SwitchEngine(engine string) error {
+	se, ok := p.engine.(*spec.Engine)
+	if !ok {
+		return fmt.Errorf("specpmt: SwitchEngine from %q is not supported", p.cfg.Engine)
+	}
+	if err := se.Seal(); err != nil {
+		return err
+	}
+	p.cfg.Engine = engine
+	var err error
+	if p.cfg.SpecOptions != nil && (engine == "SpecSPMT" || engine == "SpecSPMT-DP") {
+		o := *p.cfg.SpecOptions
+		o.DataPersist = engine == "SpecSPMT-DP"
+		p.engine, err = spec.New(p.env, o)
+	} else {
+		p.engine, err = txn.New(engine, p.env)
+	}
+	if err != nil {
+		return fmt.Errorf("specpmt: switching to %q: %w", engine, err)
+	}
+	return nil
+}

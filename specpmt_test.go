@@ -1,0 +1,209 @@
+package specpmt
+
+import (
+	"testing"
+
+	"specpmt/internal/txn/spec"
+)
+
+func TestPoolQuickstartFlow(t *testing.T) {
+	pool, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	a, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := pool.Begin()
+	tx.StoreUint64(a, 42)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.ReadUint64(a); got != 42 {
+		t.Fatalf("after crash+recover: %d, want 42", got)
+	}
+}
+
+func TestPoolAllEnginesRoundTrip(t *testing.T) {
+	for _, name := range Engines() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pool, err := Open(Config{Engine: name, Size: 128 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+			a, _ := pool.Alloc(64)
+			for v := uint64(1); v <= 5; v++ {
+				tx := pool.Begin()
+				tx.StoreUint64(a, v)
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if name == "no-log" {
+				return // not crash consistent by design
+			}
+			if err := pool.Crash(7); err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if got := pool.ReadUint64(a); got != 5 {
+				t.Fatalf("%s: after crash+recover: %d, want 5", name, got)
+			}
+		})
+	}
+}
+
+func TestPoolRoots(t *testing.T) {
+	pool, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.SetRoot(3, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Root(3); got != 0xDEAD {
+		t.Fatalf("root slot = %#x, want 0xDEAD", got)
+	}
+	if err := pool.SetRoot(RootSlots, 1); err == nil {
+		t.Fatal("out-of-range root slot should error")
+	}
+}
+
+func TestPoolUnknownEngine(t *testing.T) {
+	if _, err := Open(Config{Engine: "nonsense"}); err == nil {
+		t.Fatal("unknown engine should fail Open")
+	}
+}
+
+func TestPoolModeledTimeAdvances(t *testing.T) {
+	pool, _ := Open(Config{})
+	defer pool.Close()
+	a, _ := pool.Alloc(64)
+	before := pool.ModeledTime()
+	tx := pool.Begin()
+	tx.StoreUint64(a, 1)
+	tx.Commit()
+	if pool.ModeledTime() <= before {
+		t.Fatal("commit should consume modeled time")
+	}
+}
+
+func TestPoolAbort(t *testing.T) {
+	pool, _ := Open(Config{})
+	defer pool.Close()
+	a, _ := pool.Alloc(64)
+	tx := pool.Begin()
+	tx.StoreUint64(a, 9)
+	tx.Commit()
+	tx = pool.Begin()
+	tx.StoreUint64(a, 10)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.ReadUint64(a); got != 9 {
+		t.Fatalf("abort leaked: %d", got)
+	}
+}
+
+func TestSwitchEngineMidLifetime(t *testing.T) {
+	// §4.3.1 end to end through the facade: run under SpecSPMT, switch to
+	// PMDK, keep going, crash, recover under PMDK, and see both eras.
+	pool, err := Open(Config{Size: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := pool.Alloc(64)
+	b, _ := pool.Alloc(64)
+	tx := pool.Begin()
+	tx.StoreUint64(a, 1)
+	tx.StoreUint64(b, 2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.SwitchEngine("PMDK"); err != nil {
+		t.Fatal(err)
+	}
+	tx = pool.Begin()
+	tx.StoreUint64(a, 10)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = pool.Begin()
+	tx.StoreUint64(b, 999) // interrupted under the new mechanism
+	if err := pool.Crash(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if got := pool.ReadUint64(a); got != 10 {
+		t.Fatalf("a=%d want 10", got)
+	}
+	if got := pool.ReadUint64(b); got != 2 {
+		t.Fatalf("b=%d want 2 (sealed value; PMDK-era tx revoked)", got)
+	}
+	if pool.Engine().Name() != "PMDK" {
+		t.Fatalf("engine=%q", pool.Engine().Name())
+	}
+}
+
+func TestSwitchEngineRejectsNonSpec(t *testing.T) {
+	pool, _ := Open(Config{Engine: "PMDK"})
+	defer pool.Close()
+	if err := pool.SwitchEngine("SPHT"); err == nil {
+		t.Fatal("switch from PMDK should be rejected")
+	}
+}
+
+// specOptionsForTest exercises the SpecOptions pass-through with an
+// aggressive reclamation configuration.
+var specOptionsForTest = spec.Options{BlockSize: 2048, ReclaimThreshold: 1024}
+
+func TestPoolSpecOptionsPassThrough(t *testing.T) {
+	pool, err := Open(Config{SpecOptions: &specOptionsForTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	a, _ := pool.Alloc(64)
+	for r := uint64(1); r <= 500; r++ {
+		tx := pool.Begin()
+		tx.StoreUint64(a, r)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := pool.Engine().(*spec.Engine)
+	if eng.LiveLogBytes() > 16<<10 {
+		t.Fatalf("custom reclaim threshold ignored: live log %dB", eng.LiveLogBytes())
+	}
+	if err := pool.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.ReadUint64(a); got != 500 {
+		t.Fatalf("a=%d", got)
+	}
+}

@@ -1,0 +1,143 @@
+package specpmt
+
+import (
+	"fmt"
+
+	"specpmt/internal/hwsim"
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/spec"
+)
+
+// ThreadedPool is a pool with one SpecPMT engine per thread: per-thread log
+// areas, a shared timestamp source ordering commits across threads, and
+// merged timestamp-ordered recovery (§3.1, §4.1). Supported engines:
+// "SpecSPMT" (software, spec.Pool underneath) and "SpecHPMT" (hardware,
+// hwsim.Cluster underneath, including the §5.2.2 multi-thread epoch
+// reclamation protocol).
+//
+// Like every persistent transaction in the paper, isolation is the caller's
+// job (§4.3.3): coordinate access to shared locations with your own locks;
+// each Thread must be driven by a single goroutine.
+type ThreadedPool struct {
+	dev     *pmem.Device
+	heap    *pmalloc.Heap
+	logs    *pmalloc.Heap
+	ts      *txn.Timestamp
+	cfg     Config
+	threads int
+
+	swPool  *spec.Pool
+	hwClust *hwsim.Cluster
+}
+
+// OpenThreaded creates a pool with n thread engines.
+func OpenThreaded(cfg Config, n int) (*ThreadedPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("specpmt: thread count must be positive")
+	}
+	if cfg.Size == 0 {
+		cfg.Size = 256 << 20
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "SpecSPMT"
+	}
+	if cfg.Engine != "SpecSPMT" && cfg.Engine != "SpecHPMT" {
+		return nil, fmt.Errorf("specpmt: threaded pools support SpecSPMT and SpecHPMT, not %q", cfg.Engine)
+	}
+	lat := sim.DefaultLatency()
+	if cfg.Optane {
+		lat = sim.OptaneLatency()
+	}
+	p := &ThreadedPool{
+		dev:     pmem.NewDevice(pmem.Config{Size: cfg.Size, Lat: lat}),
+		ts:      &txn.Timestamp{},
+		cfg:     cfg,
+		threads: n,
+	}
+	dataStart := pmem.Addr(pmem.PageSize)
+	dataEnd := pmem.Addr(cfg.Size / 4)
+	p.heap = pmalloc.NewHeap(dataStart, dataEnd)
+	p.logs = pmalloc.NewHeap(dataEnd, pmem.Addr(cfg.Size))
+	return p, p.attach()
+}
+
+// envs hands out one Env per thread: root slots follow the app root area.
+func (p *ThreadedPool) envs() []txn.Env {
+	base := appRootsOff + pmem.Addr(RootSlots*8)
+	out := make([]txn.Env, p.threads)
+	for i := range out {
+		out[i] = txn.Env{
+			Dev:     p.dev,
+			Core:    p.dev.NewCore(),
+			Heap:    p.heap,
+			LogHeap: p.logs,
+			Root:    base + pmem.Addr(i*txn.RootSize),
+			TS:      p.ts,
+		}
+	}
+	return out
+}
+
+func (p *ThreadedPool) attach() error {
+	var err error
+	switch p.cfg.Engine {
+	case "SpecSPMT":
+		opt := spec.Options{}
+		if p.cfg.SpecOptions != nil {
+			opt = *p.cfg.SpecOptions
+		}
+		p.swPool, err = spec.NewPool(p.envs(), opt)
+	case "SpecHPMT":
+		p.hwClust, err = hwsim.NewCluster(p.envs(), hwsim.HWOptions{})
+	}
+	return err
+}
+
+// Threads returns the thread count.
+func (p *ThreadedPool) Threads() int { return p.threads }
+
+// Begin opens a transaction on thread i's engine. Each thread engine must
+// be used by one goroutine at a time.
+func (p *ThreadedPool) Begin(i int) Tx {
+	if p.swPool != nil {
+		return p.swPool.Engine(i).Begin()
+	}
+	return p.hwClust.Engine(i).Begin()
+}
+
+// Alloc returns a line-aligned persistent region (safe for concurrent use).
+func (p *ThreadedPool) Alloc(n int) (Addr, error) { return p.heap.Alloc(n) }
+
+// ReadUint64 reads non-transactionally.
+func (p *ThreadedPool) ReadUint64(a Addr) uint64 {
+	core := p.dev.NewCore()
+	return core.LoadUint64(a)
+}
+
+// Crash simulates a power failure across every thread.
+func (p *ThreadedPool) Crash(seed uint64) error {
+	if err := p.Close(); err != nil {
+		return err
+	}
+	p.dev.Crash(sim.NewRand(seed))
+	return p.attach()
+}
+
+// Recover performs the merged, timestamp-ordered multi-thread recovery.
+func (p *ThreadedPool) Recover() error {
+	if p.swPool != nil {
+		return p.swPool.Recover()
+	}
+	return p.hwClust.Recover()
+}
+
+// Close shuts every thread engine down.
+func (p *ThreadedPool) Close() error {
+	if p.swPool != nil {
+		return p.swPool.Close()
+	}
+	return p.hwClust.Close()
+}

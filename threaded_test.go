@@ -1,0 +1,118 @@
+package specpmt
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestThreadedPoolBothEngines(t *testing.T) {
+	for _, engine := range []string{"SpecSPMT", "SpecHPMT"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			const threads, rounds = 3, 30
+			p, err := OpenThreaded(Config{Engine: engine}, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs := make([]Addr, threads)
+			for i := range addrs {
+				addrs[i], _ = p.Alloc(4096)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := uint64(1); r <= rounds; r++ {
+						tx := p.Begin(i)
+						tx.StoreUint64(addrs[i], uint64(i*1000)+r)
+						if err := tx.Commit(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if err := p.Crash(5); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			for i := range addrs {
+				want := uint64(i*1000) + rounds
+				if got := p.ReadUint64(addrs[i]); got != want {
+					t.Fatalf("thread %d: got %d want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestThreadedPoolRejectsOtherEngines(t *testing.T) {
+	if _, err := OpenThreaded(Config{Engine: "PMDK"}, 2); err == nil {
+		t.Fatal("threaded pools only support the SpecPMT engines")
+	}
+	if _, err := OpenThreaded(Config{}, 0); err == nil {
+		t.Fatal("zero threads must be rejected")
+	}
+}
+
+func TestThreadedPoolUsableAfterRecovery(t *testing.T) {
+	p, err := OpenThreaded(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Alloc(64)
+	tx := p.Begin(0)
+	tx.StoreUint64(a, 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tx = p.Begin(1)
+	tx.StoreUint64(a, 2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := p.ReadUint64(a); got != 2 {
+		t.Fatalf("a=%d want 2", got)
+	}
+}
+
+func TestThreadedPoolWithSpecOptions(t *testing.T) {
+	p, err := OpenThreaded(Config{
+		Engine:      "SpecSPMT",
+		SpecOptions: &specOptionsForTest,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, _ := p.Alloc(64)
+	for r := uint64(1); r <= 200; r++ {
+		tx := p.Begin(0)
+		tx.StoreUint64(a, r)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.ReadUint64(a); got != 200 {
+		t.Fatalf("a=%d", got)
+	}
+}
