@@ -7,6 +7,8 @@ import (
 	"os"
 
 	"specpmt/internal/harness"
+	"specpmt/internal/stamp"
+	"specpmt/internal/stats"
 )
 
 // jsonReport is the machine-readable form of the full evaluation, for
@@ -19,6 +21,10 @@ type jsonReport struct {
 	Fig15   []harness.Figure15Point `json:"figure15"`
 	Mem     []harness.MemRow        `json:"memory_overhead"`
 	SpecOv  map[string]float64      `json:"specspmt_overhead"`
+	// Counters is a per-engine, per-application snapshot of the simulation
+	// counters (fences, flushes, PM write bytes by kind, seq/rand drain
+	// lines, transactions, log lifecycle).
+	Counters map[string]map[string]stats.Counters `json:"counters"`
 }
 
 type jsonFigure struct {
@@ -69,10 +75,38 @@ func printJSON(n int, seed uint64) {
 	check(err)
 	rep.SpecOv = per
 	rep.SpecOv["geomean"] = geo
+	rep.Counters = collectCounters(n, seed)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "specpmt-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// collectCounters runs every engine over every application once and snapshots
+// its structured counters — the raw material behind Figure 14's traffic bars
+// and Table 2's update counts.
+func collectCounters(n int, seed uint64) map[string]map[string]stats.Counters {
+	out := map[string]map[string]stats.Counters{}
+	engines := append([]string{harness.RawEngine}, harness.SoftwareEngines()...)
+	for _, eng := range engines {
+		m := map[string]stats.Counters{}
+		for _, p := range stamp.Profiles() {
+			r, err := harness.RunSoftware(eng, p, n, seed)
+			check(err)
+			m[p.Name] = r.Stats
+		}
+		out[eng] = m
+	}
+	for _, eng := range harness.HardwareEngines() {
+		m := map[string]stats.Counters{}
+		for _, p := range stamp.Profiles() {
+			r, err := harness.RunHardware(eng, p, n, seed, nil)
+			check(err)
+			m[p.Name] = r.Stats
+		}
+		out[eng] = m
+	}
+	return out
 }

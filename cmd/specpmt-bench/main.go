@@ -4,6 +4,9 @@
 // Usage:
 //
 //	specpmt-bench [-n txns] [-seed s] [-fig 1|12|13|14|15] [-table 1|2] [-all]
+//	specpmt-bench -json                                   # machine-readable report
+//	specpmt-bench -trace out.json [-trace-app vacation] [-trace-engine SpecSPMT]
+//	specpmt-bench -metrics [-trace-app ...] [-trace-engine ...]
 //
 // Without arguments it prints every experiment. Transaction counts are
 // scaled (default 300 per application); the paper's absolute numbers come
@@ -37,6 +40,10 @@ func main() {
 	}
 	if *jsonFlag {
 		printJSON(*n, *seed)
+		return
+	}
+	if *traceFlag != "" || *metricsFlag {
+		printTraced(*n, *seed)
 		return
 	}
 	if *mem {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specpmt/internal/harness"
+	"specpmt/internal/stamp"
+	"specpmt/internal/trace"
+)
+
+func init() {
+	traceFlag = flag.String("trace", "", "trace one (engine, app) run and write a Chrome trace-event JSON (open in Perfetto or chrome://tracing) to this file")
+	metricsFlag = flag.Bool("metrics", false, "trace one (engine, app) run and print its histograms and time-series summary")
+	traceApp = flag.String("trace-app", "vacation-low", "application profile for -trace/-metrics")
+	traceEngine = flag.String("trace-engine", "SpecSPMT", "engine for -trace/-metrics (software or hardware)")
+}
+
+var (
+	traceFlag   *string
+	metricsFlag *bool
+	traceApp    *string
+	traceEngine *string
+)
+
+func profileByName(name string) (stamp.Profile, bool) {
+	for _, p := range stamp.Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return stamp.Profile{}, false
+}
+
+func isHardwareEngine(name string) bool {
+	for _, e := range harness.HardwareEngines() {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runTraced executes one (engine, app) run with an attached tracer and
+// returns it together with the run result.
+func runTraced(engine, app string, n int, seed uint64) (*trace.Tracer, harness.Result, error) {
+	p, ok := profileByName(app)
+	if !ok {
+		return nil, harness.Result{}, fmt.Errorf("unknown application %q (see Table 2 for names)", app)
+	}
+	tr := trace.New()
+	var res harness.Result
+	var err error
+	if isHardwareEngine(engine) {
+		res, err = harness.RunHardwareOpt(engine, p, n, seed, nil, harness.RunOpts{Tracer: tr})
+	} else {
+		res, err = harness.RunSoftwareOpt(engine, p, n, seed, harness.RunOpts{Tracer: tr})
+	}
+	return tr, res, err
+}
+
+func printTraced(n int, seed uint64) {
+	tr, res, err := runTraced(*traceEngine, *traceApp, n, seed)
+	check(err)
+	fmt.Printf("traced %s/%s: %d txns, modeled %.3f ms, %d events (%d dropped)\n",
+		res.Engine, res.Workload, res.Txns, float64(res.ModeledNs)/1e6,
+		len(tr.Events()), tr.Dropped())
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		check(err)
+		check(tr.WriteChrome(f))
+		check(f.Close())
+		fmt.Printf("wrote Chrome trace to %s (load it in Perfetto or chrome://tracing)\n", *traceFlag)
+	}
+	if *metricsFlag {
+		fmt.Print(tr.Summary())
+	}
+}

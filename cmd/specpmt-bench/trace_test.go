@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// chromeFile mirrors the subset of the Chrome trace-event format the
+// exporter emits, as a consumer (Perfetto, plotting scripts) would read it.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestTraceFlagRoundTrip exercises the -trace path end to end: run a traced
+// benchmark, write the Chrome JSON to a file, and parse it back the way a
+// trace viewer would.
+func TestTraceFlagRoundTrip(t *testing.T) {
+	for _, engine := range []string{"SpecSPMT", "EDE"} {
+		tr, res, err := runTraced(engine, "vacation-low", 50, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if res.ModeledNs <= 0 {
+			t.Fatalf("%s: no modeled time", engine)
+		}
+		path := filepath.Join(t.TempDir(), "out.json")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			t.Fatalf("%s: write: %v", engine, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out chromeFile
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("%s: trace file is not valid Chrome JSON: %v", engine, err)
+		}
+		var commits, fences, threadNames int
+		for _, e := range out.TraceEvents {
+			switch {
+			case e.Name == "commit" && e.Ph == "X":
+				commits++
+			case e.Name == "fence" && e.Ph == "X":
+				fences++
+			case e.Name == "thread_name" && e.Ph == "M":
+				threadNames++
+			}
+			if e.Ph != "M" && e.TS < 0 {
+				t.Fatalf("%s: negative timestamp in %q", engine, e.Name)
+			}
+		}
+		if commits != 50 {
+			t.Errorf("%s: trace holds %d commit spans, want 50", engine, commits)
+		}
+		if fences == 0 {
+			t.Errorf("%s: no fence spans in trace", engine)
+		}
+		if threadNames == 0 {
+			t.Errorf("%s: no thread_name metadata", engine)
+		}
+	}
+}
+
+// TestTraceUnknownInputs covers the error paths of the -trace dispatcher.
+func TestTraceUnknownInputs(t *testing.T) {
+	if _, _, err := runTraced("SpecSPMT", "no-such-app", 10, 1); err == nil {
+		t.Error("unknown application accepted")
+	}
+	if _, _, err := runTraced("no-such-engine", "vacation-low", 10, 1); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	specpmt-inspect [-txns n] [-updates n] [-reclaim] [-seed s] [-hw]
+//	specpmt-inspect [-txns n] [-updates n] [-reclaim] [-seed s] [-hw] [-trace out.json]
 //
 // With -hw it instead walks hardware SpecPMT's epoch ring, page-image and
-// commit records, and TLB hotness through a hot/cold workload.
+// commit records, and TLB hotness through a hot/cold workload. With -trace
+// the whole scenario — including the crash and recovery — is recorded as a
+// Chrome trace-event JSON (open in Perfetto or chrome://tracing), and the
+// trace's aggregate metrics are printed at the end.
 package main
 
 import (
@@ -28,16 +31,24 @@ func main() {
 	reclaim := flag.Bool("reclaim", false, "run an explicit reclamation cycle before the crash")
 	seed := flag.Uint64("seed", 1, "crash eviction seed")
 	hw := flag.Bool("hw", false, "inspect hardware SpecPMT (epochs, page images, TLB) instead")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the scenario to this file")
 	flag.Parse()
 
+	var tracer *specpmt.Tracer
+	if *traceOut != "" {
+		tracer = specpmt.NewTracer()
+		defer writeTrace(tracer, *traceOut)
+	}
+
 	if *hw {
-		inspectHardware(*txns, *seed)
+		inspectHardware(*txns, *seed, tracer)
 		return
 	}
 
 	pool, err := specpmt.Open(specpmt.Config{
 		Engine:      "SpecSPMT",
 		SpecOptions: &spec.Options{BlockSize: 1024, DisableReclaim: true},
+		Tracer:      tracer,
 	})
 	check(err)
 	defer pool.Close()
@@ -95,10 +106,22 @@ func check(err error) {
 	}
 }
 
+// writeTrace dumps the recorded events as Chrome trace JSON and prints the
+// aggregate metrics.
+func writeTrace(tr *specpmt.Tracer, path string) {
+	f, err := os.Create(path)
+	check(err)
+	check(tr.WriteChrome(f))
+	check(f.Close())
+	fmt.Printf("=== wrote %d trace events to %s (Perfetto / chrome://tracing)\n",
+		len(tr.Events()), path)
+	fmt.Print(tr.Summary())
+}
+
 // inspectHardware drives hardware SpecPMT through a hot/cold mix and dumps
 // its epoch machinery before and after a crash.
-func inspectHardware(txns int, seed uint64) {
-	pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20, Engine: "SpecHPMT"})
+func inspectHardware(txns int, seed uint64, tracer *specpmt.Tracer) {
+	pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20, Engine: "SpecHPMT", Tracer: tracer})
 	check(err)
 	defer pool.Close()
 	eng := pool.Engine().(*hwsim.SpecHPMT)

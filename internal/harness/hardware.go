@@ -38,6 +38,12 @@ func hwEngineStats(e txn.Engine) *stats.Counters {
 // the compute-denser simulator inputs, §7.1.1). opts, when non-nil,
 // overrides SpecHPMT's epoch configuration (Figure 15's sweep).
 func RunHardware(engine string, p stamp.Profile, nTx int, seed uint64, opts *hwsim.HWOptions) (Result, error) {
+	return RunHardwareOpt(engine, p, nTx, seed, opts, RunOpts{})
+}
+
+// RunHardwareOpt is RunHardware with platform options (tracing; EADR is
+// ignored — the hardware designs assume an ADR platform).
+func RunHardwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts *hwsim.HWOptions, ro RunOpts) (Result, error) {
 	if p.HWComputeMul > 0 {
 		p.ComputeNs = int64(float64(p.ComputeNs) * p.HWComputeMul)
 	}
@@ -46,7 +52,11 @@ func RunHardware(engine string, p stamp.Profile, nTx int, seed uint64, opts *hws
 	logSpace := 4*fp + (96 << 20)
 	devSize := pmem.PageSize + fp + logSpace
 	dev := pmem.NewDevice(pmem.Config{Size: devSize}) // Table 1 latencies
+	if ro.Tracer != nil {
+		dev.SetTracer(ro.Tracer)
+	}
 	boot := dev.NewCore()
+	boot.SetTrackName("boot")
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := dataStart + pmem.Addr(fp)
 	env := txn.Env{

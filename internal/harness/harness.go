@@ -21,6 +21,7 @@ import (
 	"specpmt/internal/pmem"
 	"specpmt/internal/stamp"
 	"specpmt/internal/stats"
+	"specpmt/internal/trace"
 	"specpmt/internal/txn"
 
 	// Engines register themselves with the txn registry.
@@ -61,6 +62,9 @@ type RunOpts struct {
 	// EADR runs the workload on an eADR platform (§5.3.1): caches inside
 	// the persistence domain, flushes degenerate to hints.
 	EADR bool
+	// Tracer, when non-nil, receives every simulation event of the run.
+	// Modeled times are bit-identical with and without a tracer.
+	Tracer *trace.Tracer
 }
 
 // RunSoftware executes nTx transactions of profile p under the named engine
@@ -76,7 +80,11 @@ func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts R
 	logSpace := 6*fp + (64 << 20)
 	devSize := pmem.PageSize + fp + logSpace
 	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency(), EADR: opts.EADR})
+	if opts.Tracer != nil {
+		dev.SetTracer(opts.Tracer)
+	}
 	core := dev.NewCore()
+	core.SetTrackName("app")
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := dataStart + pmem.Addr(fp)
 	env := txn.Env{

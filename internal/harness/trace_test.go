@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"testing"
+
+	"specpmt/internal/stamp"
+	"specpmt/internal/trace"
+)
+
+// TestTracingIsFree verifies the tentpole invariant of the tracing layer: a
+// run with a Tracer attached produces bit-identical modeled times and
+// counters to an untraced run. Tracing observes the simulation; it must
+// never perturb it.
+func TestTracingIsFree(t *testing.T) {
+	profile := stamp.Profiles()[0]
+	const n = 200
+
+	for _, engine := range append([]string{RawEngine}, SoftwareEngines()...) {
+		plain, err := RunSoftware(engine, profile, n, 42)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", engine, err)
+		}
+		tr := trace.New()
+		traced, err := RunSoftwareOpt(engine, profile, n, 42, RunOpts{Tracer: tr})
+		if err != nil {
+			t.Fatalf("%s traced: %v", engine, err)
+		}
+		if traced.ModeledNs != plain.ModeledNs {
+			t.Errorf("%s: traced ModeledNs %d != untraced %d", engine, traced.ModeledNs, plain.ModeledNs)
+		}
+		if traced.Stats != plain.Stats {
+			t.Errorf("%s: traced counters differ from untraced:\n%v\nvs\n%v", engine, traced.Stats, plain.Stats)
+		}
+		if engine != RawEngine && len(tr.Events()) == 0 {
+			t.Errorf("%s: tracer attached but saw no events", engine)
+		}
+	}
+
+	for _, engine := range HardwareEngines() {
+		plain, err := RunHardware(engine, profile, n, 42, nil)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", engine, err)
+		}
+		tr := trace.New()
+		traced, err := RunHardwareOpt(engine, profile, n, 42, nil, RunOpts{Tracer: tr})
+		if err != nil {
+			t.Fatalf("%s traced: %v", engine, err)
+		}
+		if traced.ModeledNs != plain.ModeledNs {
+			t.Errorf("%s: traced ModeledNs %d != untraced %d", engine, traced.ModeledNs, plain.ModeledNs)
+		}
+		if traced.Stats != plain.Stats {
+			t.Errorf("%s: traced counters differ from untraced", engine)
+		}
+		if len(tr.Events()) == 0 {
+			t.Errorf("%s: tracer attached but saw no events", engine)
+		}
+	}
+}
+
+// TestTracedRunCollectsMetrics spot-checks that a traced software run feeds
+// the histograms and samplers the summary reports.
+func TestTracedRunCollectsMetrics(t *testing.T) {
+	tr := trace.New()
+	if _, err := RunSoftwareOpt("SpecSPMT", stamp.Profiles()[0], 100, 7, RunOpts{Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Metrics()
+	if m.CommitNs.N == 0 {
+		t.Error("no commit latencies observed")
+	}
+	if m.FenceStallNs.N == 0 {
+		t.Error("no fence stalls observed")
+	}
+	if m.TxStores.N == 0 {
+		t.Error("no store counts observed")
+	}
+	if m.LogRecBytes.N == 0 {
+		t.Error("no log-record sizes observed")
+	}
+	if m.WPQDepth.N == 0 {
+		t.Error("no WPQ depth samples")
+	}
+	if m.LogBytesLive.N == 0 {
+		t.Error("no live-log samples")
+	}
+	if m.LogBytesLive.Peak <= 0 {
+		t.Error("live-log peak not positive")
+	}
+}

@@ -274,7 +274,7 @@ func TestClusterDeferredReclamationEventuallyRuns(t *testing.T) {
 	if t2.deferredCycles > 2 {
 		t.Fatalf("deferred reclamations did not drain: %d pending", t2.deferredCycles)
 	}
-	if t2.cpu.Core.Stats.EpochsReclaimd == 0 {
+	if t2.cpu.Core.Stats.EpochsReclaimed == 0 {
 		t.Fatal("thread 2 never reclaimed")
 	}
 }

@@ -36,7 +36,9 @@ type CPU struct {
 
 // NewCPU builds a CPU over a fresh pmem core of the device.
 func NewCPU(dev *pmem.Device, lat sim.Latency) *CPU {
-	return &CPU{Core: dev.NewCore(), L1: &Cache{}, TLB: NewTLB(), Lat: lat}
+	core := dev.NewCore()
+	core.SetTrackName("cpu")
+	return &CPU{Core: core, L1: &Cache{}, TLB: NewTLB(), Lat: lat}
 }
 
 // touch charges the L1 access cost for a line and handles replacement,

@@ -82,6 +82,7 @@ func (e *EDE) Begin() txn.Tx {
 	}
 	e.open = true
 	e.cpu.Core.Stats.TxBegun++
+	e.cpu.Core.TraceTxBegin()
 	return &edeTx{e: e, ws: txn.NewWriteSet(), logged: map[uint64]bool{}}
 }
 
@@ -127,6 +128,7 @@ func (t *edeTx) Store(addr pmem.Addr, data []byte) {
 		t.logged[l] = true
 		e.cpu.Core.Stats.LogRecords++
 		e.cpu.Core.Stats.AddLiveLog(int64(len(payload) + ringFrame))
+		e.cpu.Core.TraceLogAppend(len(payload) + ringFrame)
 	}
 	// The dependence tracker guarantees the records are ordered ahead of the
 	// data update without a pipeline stall (EDE's contribution).
@@ -168,8 +170,10 @@ func (t *edeTx) Commit() error {
 	c := e.cpu.Core
 	if t.err != nil {
 		t.rollback()
+		c.TraceTxAbort()
 		return t.err
 	}
+	commitStart := c.Now()
 	for _, l := range t.ws.Lines() {
 		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
 		if ce := e.cpu.L1.Lookup(l); ce != nil {
@@ -179,6 +183,7 @@ func (t *edeTx) Commit() error {
 	c.Fence() // synchronous data persistence (EDE's defining property)
 	t.retireLog()
 	c.Stats.TxCommitted++
+	c.TraceTxCommit(commitStart, t.ws.Len(), 0)
 	return nil
 }
 
@@ -191,6 +196,7 @@ func (t *edeTx) retireLog() {
 	c.StoreUint64(e.env.Root+offEDEHead, e.ring.Head())
 	c.PersistBarrier(e.env.Root+offEDEHead, 8, pmem.KindLog)
 	c.Stats.AddLiveLog(-live)
+	c.TraceLiveLog()
 }
 
 // Abort implements txn.Tx.
@@ -202,6 +208,7 @@ func (t *edeTx) Abort() error {
 	t.e.open = false
 	t.rollback()
 	t.e.cpu.Core.Stats.TxAborted++
+	t.e.cpu.Core.TraceTxAbort()
 	return nil
 }
 
@@ -221,6 +228,8 @@ func (t *edeTx) rollback() {
 // and apply old line images in reverse.
 func (e *EDE) Recover() error {
 	c := e.cpu.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	type rec struct {
 		line uint64
 		old  []byte

@@ -66,6 +66,7 @@ func NewHOOP(env txn.Env) (*HOOP, error) {
 		gcWindow:     hoopGCWindow,
 	}
 	e.cpu.SuppressWriteback = true // out-of-place: only the GC writes data
+	e.gcCore.SetTrackName("hoop.gc")
 	c := e.cpu.Core
 	boot := env.Core
 	if boot.LoadUint64(env.Root+offHOOPMagic) == hoopMagic {
@@ -104,6 +105,7 @@ func (e *HOOP) Begin() txn.Tx {
 	}
 	e.open = true
 	e.cpu.Core.Stats.TxBegun++
+	e.cpu.Core.TraceTxBegin()
 	e.cpu.TrackMisses = true
 	e.cpu.MissLines = e.cpu.MissLines[:0]
 	return &hoopTx{e: e, ws: txn.NewWriteSet()}
@@ -178,8 +180,10 @@ func (t *hoopTx) Commit() error {
 	e.open = false
 	e.cpu.TrackMisses = false
 	c := e.cpu.Core
+	commitStart := c.Now()
 	if t.ws.Len() == 0 {
 		c.Stats.TxCommitted++
+		c.TraceTxCommit(commitStart, 0, 0)
 		return nil
 	}
 	// HOOP creates one log record per data update and per cache miss
@@ -194,6 +198,7 @@ func (t *hoopTx) Commit() error {
 		}
 		c.Stats.LogRecords++
 		c.Stats.AddLiveLog(int64(len(payload) + ringFrame))
+		c.TraceLogAppend(len(payload) + ringFrame)
 		return nil
 	}
 	var bytesLogged int
@@ -205,6 +210,7 @@ func (t *hoopTx) Commit() error {
 		copy(payload[13:], t.vals[i])
 		if err := appendRec(payload); err != nil {
 			c.Stats.TxAborted++
+			c.TraceTxAbort()
 			return err
 		}
 		bytesLogged += len(payload)
@@ -216,6 +222,7 @@ func (t *hoopTx) Commit() error {
 		e.cpu.Core.LoadRaw(LineAddr(l), payload[9:])
 		if err := appendRec(payload); err != nil {
 			c.Stats.TxAborted++
+			c.TraceTxAbort()
 			return err
 		}
 		bytesLogged += len(payload)
@@ -225,6 +232,7 @@ func (t *hoopTx) Commit() error {
 	binary.LittleEndian.PutUint64(marker[1:], e.env.TS.Next())
 	if err := appendRec(marker); err != nil {
 		c.Stats.TxAborted++
+		c.TraceTxAbort()
 		return err
 	}
 	e.ring.FlushPending(pmem.KindLog)
@@ -238,6 +246,7 @@ func (t *hoopTx) Commit() error {
 		}
 	}
 	c.Stats.TxCommitted++
+	c.TraceTxCommit(commitStart, t.ws.Len(), bytesLogged)
 	if len(e.pendingLines) >= hoopEvictionLines {
 		// Eviction buffer full: the application stalls behind the GC.
 		e.runGC(e.ring.Tail(), true)
@@ -256,6 +265,7 @@ func (t *hoopTx) Abort() error {
 	t.e.open = false
 	t.e.cpu.TrackMisses = false
 	t.e.cpu.Core.Stats.TxAborted++
+	t.e.cpu.Core.TraceTxAbort()
 	return nil
 }
 
@@ -274,6 +284,7 @@ func (e *HOOP) runGC(upto uint64, sync bool) {
 	if sync {
 		gc = e.cpu.Core
 	}
+	gcStart := gc.Now()
 	var lines []uint64
 	for l := range e.pendingLines {
 		lines = append(lines, l)
@@ -293,6 +304,8 @@ func (e *HOOP) runGC(upto uint64, sync bool) {
 	e.pendingLines = map[uint64]bool{}
 	e.cpu.Core.Stats.AddLiveLog(-live)
 	e.cpu.Core.Stats.ReclaimCycles++
+	gc.TraceReclaim(gcStart, uint64(len(lines)), live)
+	e.cpu.Core.TraceLiveLog()
 }
 
 // Recover implements txn.Engine: replay intent records from the durable
@@ -300,6 +313,8 @@ func (e *HOOP) runGC(upto uint64, sync bool) {
 // records of an interrupted transaction are discarded).
 func (e *HOOP) Recover() error {
 	c := e.cpu.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	touched := txn.NewWriteSet()
 	type intent struct {
 		addr pmem.Addr

@@ -341,7 +341,7 @@ func TestEpochReclamationBoundsLog(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if e.cpu.Core.Stats.EpochsReclaimd == 0 {
+	if e.cpu.Core.Stats.EpochsReclaimed == 0 {
 		t.Fatal("epoch reclamation never ran")
 	}
 	// Live log bounded by MaxEpochs * EpochBytes plus slack.

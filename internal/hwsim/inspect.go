@@ -52,7 +52,7 @@ func (e *SpecHPMT) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "TLB: %d entries resident, %d hot page(s), %d eviction(s)\n",
 		e.cpu.TLB.Len(), hot, e.cpu.TLB.Evicted)
 	fmt.Fprintf(w, "counters: %d page copies, %d epochs reclaimed, L1 %d/%d hit/miss\n",
-		e.cpu.Core.Stats.PageCopies, e.cpu.Core.Stats.EpochsReclaimd,
+		e.cpu.Core.Stats.PageCopies, e.cpu.Core.Stats.EpochsReclaimed,
 		e.cpu.L1.Hits, e.cpu.L1.Misses)
 }
 

@@ -44,6 +44,7 @@ func (e *NoLog) Begin() txn.Tx {
 	}
 	e.open = true
 	e.cpu.Core.Stats.TxBegun++
+	e.cpu.Core.TraceTxBegin()
 	return &noLogTx{e: e, ws: txn.NewWriteSet()}
 }
 
@@ -90,6 +91,7 @@ func (t *noLogTx) Commit() error {
 	t.done = true
 	t.e.open = false
 	c := t.e.cpu.Core
+	commitStart := c.Now()
 	for _, l := range t.ws.Lines() {
 		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
 		if e := t.e.cpu.L1.Lookup(l); e != nil {
@@ -98,6 +100,7 @@ func (t *noLogTx) Commit() error {
 	}
 	c.Fence()
 	c.Stats.TxCommitted++
+	c.TraceTxCommit(commitStart, t.ws.Len(), 0)
 	return nil
 }
 
@@ -111,5 +114,6 @@ func (t *noLogTx) Abort() error {
 	t.done = true
 	t.e.open = false
 	t.e.cpu.Core.Stats.TxAborted++
+	t.e.cpu.Core.TraceTxAbort()
 	return nil
 }

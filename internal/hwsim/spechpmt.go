@@ -226,6 +226,7 @@ func (e *SpecHPMT) Begin() txn.Tx {
 	}
 	e.open = true
 	e.cpu.Core.Stats.TxBegun++
+	e.cpu.Core.TraceTxBegin()
 	e.retryDeferredReclaims()
 	// In-transaction hot lines may overflow the cache freely: the write-back
 	// persists an uncommitted value, but chronological replay of the
@@ -290,6 +291,7 @@ func (t *hpmtTx) Store(addr pmem.Addr, data []byte) {
 			}
 			t.logged[l] = true
 			e.cpu.Core.Stats.LogRecords++
+			e.cpu.Core.TraceLogAppend(len(payload) + ringFrame)
 		}
 		e.undo.FlushPending(pmem.KindLog)
 		e.cpu.Core.OrderPoint()
@@ -346,6 +348,7 @@ func (e *SpecHPMT) specAppend(payload []byte) error {
 		if err == nil {
 			e.cur.bytes += len(payload) + ringFrame
 			e.cpu.Core.Stats.AddLiveLog(int64(len(payload) + ringFrame))
+			e.cpu.Core.TraceLogAppend(len(payload) + ringFrame)
 			_ = off
 			return nil
 		}
@@ -420,8 +423,10 @@ func (t *hpmtTx) Commit() error {
 	c := e.cpu.Core
 	if t.err != nil {
 		t.rollback()
+		c.TraceTxAbort()
 		return t.err
 	}
+	commitStart := c.Now()
 	var hot []uint64
 	for l := range t.hotLines {
 		hot = append(hot, l)
@@ -430,6 +435,7 @@ func (t *hpmtTx) Commit() error {
 	t.specLogLines(hot)
 	if t.err != nil {
 		t.rollback()
+		c.TraceTxAbort()
 		return t.err
 	}
 	e.spec.FlushPending(pmem.KindLog)
@@ -455,6 +461,7 @@ func (t *hpmtTx) Commit() error {
 		}
 	}
 	c.Stats.TxCommitted++
+	c.TraceTxCommit(commitStart, t.ws.Len(), 0)
 	e.maybeCloseEpoch()
 	return nil
 }
@@ -476,6 +483,7 @@ func (t *hpmtTx) Abort() error {
 	t.e.open = false
 	t.rollback()
 	t.e.cpu.Core.Stats.TxAborted++
+	t.e.cpu.Core.TraceTxAbort()
 	return nil
 }
 
@@ -564,6 +572,7 @@ func (e *SpecHPMT) reclaimOldestEpoch() bool {
 	}
 	e.epochs = e.epochs[1:]
 	c := e.cpu.Core
+	reclaimStart := c.Now()
 	// Step 1: persist the speculatively logged data of the epoch, found by
 	// scanning its log records ("scanning the log record and selectively
 	// flushing data addresses indicated in the log records via clwb",
@@ -589,9 +598,11 @@ func (e *SpecHPMT) reclaimOldestEpoch() bool {
 	e.spec.AdvanceHead(ep.end)
 	c.StoreUint64(e.env.Root+offHPMTSpecHead, e.spec.Head())
 	c.PersistBarrier(e.env.Root+offHPMTSpecHead, 8, pmem.KindLog)
-	c.Stats.EpochsReclaimd++
+	c.Stats.EpochsReclaimed++
 	c.Stats.ReclaimCycles++
 	c.Stats.AddLiveLog(-freed)
+	c.TraceReclaim(reclaimStart, uint64(len(flushed)), freed)
+	c.TraceLiveLog()
 	return true
 }
 
@@ -643,6 +654,8 @@ func (e *SpecHPMT) flushRecordData(payload []byte, flushed map[uint64]bool) {
 // undo log in reverse, then persist everything touched and retire both logs.
 func (e *SpecHPMT) Recover() error {
 	c := e.cpu.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	touched := txn.NewWriteSet()
 	specTail := e.spec.Scan(c, func(off uint64, payload []byte) bool {
 		if len(payload) < 16 {

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"specpmt/internal/pmem"
+	"specpmt/internal/trace"
 )
 
 // ErrOutOfMemory is returned when the heap region is exhausted.
@@ -35,6 +36,10 @@ type Heap struct {
 	free  map[int][]pmem.Addr
 	live  int64
 	peak  int64
+
+	trc   *trace.Tracer // nil = tracing off
+	track int
+	now   func() int64 // virtual-clock source for heap samples
 }
 
 // NewHeap creates a heap over [start, end). Bounds are line-aligned inward.
@@ -91,6 +96,26 @@ func (h *Heap) account(delta int64) {
 	if h.live > h.peak {
 		h.peak = h.live
 	}
+	h.sampleLocked()
+}
+
+// SetTracer attaches an event tracer: every Alloc and Free samples the live
+// byte count on a heap-named counter track. now supplies the virtual
+// timestamp, typically the owning core's clock; the heap itself costs no
+// modeled time, so samples only mark when the owning thread allocated.
+func (h *Heap) SetTracer(tr *trace.Tracer, name string, now func() int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.trc, h.now = tr, now
+	if tr != nil {
+		h.track = tr.RegisterTrack(name)
+	}
+}
+
+func (h *Heap) sampleLocked() {
+	if h.trc != nil && h.now != nil {
+		h.trc.HeapSample(h.track, h.now(), h.live)
+	}
 }
 
 // Free returns a region allocated with size n to the heap.
@@ -103,6 +128,7 @@ func (h *Heap) Free(addr pmem.Addr, n int) {
 	}
 	h.free[c] = append(h.free[c], addr)
 	h.live -= int64(c)
+	h.sampleLocked()
 }
 
 // Live returns the currently allocated byte count (by class size).

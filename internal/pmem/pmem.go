@@ -32,6 +32,7 @@ import (
 
 	"specpmt/internal/sim"
 	"specpmt/internal/stats"
+	"specpmt/internal/trace"
 )
 
 // LineSize is the cache line size in bytes.
@@ -96,6 +97,7 @@ type Device struct {
 	// advantage SpecPMT gets from never writing data on the critical path.
 	drainEnd  int64  // global time the last scheduled drain completes
 	drainLine uint64 // last line scheduled, for sequential detection
+	tracer    *trace.Tracer
 }
 
 // NewDevice creates a device of cfg.Size bytes, fully zeroed and persisted.
@@ -140,7 +142,30 @@ func (d *Device) NewCore() *Core {
 		Stats: &stats.Counters{},
 	}
 	d.cores = append(d.cores, c)
+	if d.tracer != nil {
+		c.attachTracer(d.tracer, len(d.cores)-1)
+	}
 	return c
+}
+
+// SetTracer attaches an event tracer to the device: every existing and
+// future core gets its own pair of trace tracks (execution + WPQ). A nil
+// tracer — the default — disables tracing; every hook site guards with a
+// nil check, so modeled times are bit-identical either way.
+func (d *Device) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = tr
+	for i, c := range d.cores {
+		c.attachTracer(tr, i)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (d *Device) Tracer() *trace.Tracer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tracer
 }
 
 func (d *Device) checkRange(addr Addr, n int) {
@@ -202,6 +227,7 @@ func (d *Device) Crash(rng *sim.Rand) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.crashes++
+	d.traceCrashLocked()
 	// WPQ disposition first: drained entries are authoritative over the
 	// cache-eviction lottery because the flush captured their data.
 	for _, c := range d.cores {
@@ -234,6 +260,7 @@ func (d *Device) CrashClean() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.crashes++
+	d.traceCrashLocked()
 	for _, c := range d.cores {
 		for _, e := range c.wpq {
 			if e.acceptAt <= c.clock.Now() {
@@ -251,6 +278,22 @@ func (d *Device) CrashClean() {
 	copy(d.mem, d.persisted)
 }
 
+// traceCrashLocked reports a power failure to the tracer at the latest core
+// clock, closing open transaction spans and re-basing the trace timeline
+// for the post-crash epoch. Caller holds d.mu.
+func (d *Device) traceCrashLocked() {
+	if d.tracer == nil {
+		return
+	}
+	maxNow := int64(0)
+	for _, c := range d.cores {
+		if now := c.clock.Now(); now > maxNow {
+			maxNow = now
+		}
+	}
+	d.tracer.Crash(maxNow)
+}
+
 // wpqEntry is a flushed line waiting to drain into the persistence domain.
 type wpqEntry struct {
 	line     uint64
@@ -258,6 +301,7 @@ type wpqEntry struct {
 	acceptAt int64 // accepted into the ADR persistence domain (WPQ)
 	drainAt  int64 // written back to media (frees the WPQ slot)
 	kind     Kind
+	seq      bool // drained at the sequential (contiguous-line) rate
 }
 
 // Core is one logical CPU core attached to a Device: a virtual clock, a
@@ -271,10 +315,93 @@ type Core struct {
 	wpq      []wpqEntry
 	nApplied int // prefix of wpq already applied to the persisted image
 	wpqBytes int
+
+	trc        *trace.Tracer // nil = tracing off (the hot-path default)
+	track      int           // execution track (tx/flush/fence events)
+	drainTrack int           // WPQ track (drain events, depth counter)
+}
+
+// attachTracer registers this core's trace tracks. Caller holds d.mu.
+func (c *Core) attachTracer(tr *trace.Tracer, i int) {
+	c.trc = tr
+	c.track = tr.RegisterTrack(fmt.Sprintf("core%d", i))
+	c.drainTrack = tr.RegisterTrack(fmt.Sprintf("core%d.wpq", i))
 }
 
 // Device returns the device this core is attached to.
 func (c *Core) Device() *Device { return c.dev }
+
+// Tracer returns the tracer attached to this core's device (nil when
+// tracing is off). Engines use it via the Trace* helpers below.
+func (c *Core) Tracer() *trace.Tracer { return c.trc }
+
+// Track returns this core's execution track id in the tracer.
+func (c *Core) Track() int { return c.track }
+
+// SetTrackName labels this core's tracks in trace exports; engines call it
+// once they know the core's role ("app", "reclaimer", "replayer").
+func (c *Core) SetTrackName(name string) {
+	if c.trc != nil {
+		c.trc.NameTrack(c.track, name)
+		c.trc.NameTrack(c.drainTrack, name+".wpq")
+	}
+}
+
+// TraceTxBegin reports a transaction begin on this core.
+func (c *Core) TraceTxBegin() {
+	if c.trc != nil {
+		c.trc.TxBegin(c.track, c.clock.Now())
+	}
+}
+
+// TraceTxCommit reports a commit whose critical path started at startNs
+// (this core's clock), with the transaction's store count and encoded log
+// record size (0 when no record was written).
+func (c *Core) TraceTxCommit(startNs int64, stores, logBytes int) {
+	if c.trc != nil {
+		c.trc.TxCommit(c.track, startNs, c.clock.Now(), stores, logBytes)
+	}
+}
+
+// TraceTxAbort reports a transaction abort on this core.
+func (c *Core) TraceTxAbort() {
+	if c.trc != nil {
+		c.trc.TxAbort(c.track, c.clock.Now())
+	}
+}
+
+// TraceLogAppend reports a log-record append of the given encoded size;
+// call it after the Stats live-log gauge has been adjusted so the sampled
+// gauge is current.
+func (c *Core) TraceLogAppend(bytes int) {
+	if c.trc != nil {
+		c.trc.LogAppend(c.track, c.clock.Now(), bytes, c.Stats.LogBytesLive)
+	}
+}
+
+// TraceLiveLog samples the live-log gauge outside an append (invalidation,
+// reclamation).
+func (c *Core) TraceLiveLog() {
+	if c.trc != nil {
+		c.trc.LiveLog(c.track, c.clock.Now(), c.Stats.LogBytesLive)
+	}
+}
+
+// TraceReclaim reports a reclamation cycle that started at startNs on this
+// core, dropped entries stale entries, and released bytes live-log bytes.
+func (c *Core) TraceReclaim(startNs int64, entries uint64, bytes int64) {
+	if c.trc != nil {
+		c.trc.Reclaim(c.track, startNs, c.clock.Now(), entries, bytes)
+	}
+}
+
+// TraceRecoverSpan reports a post-crash recovery that started at startNs on
+// this core.
+func (c *Core) TraceRecoverSpan(startNs int64) {
+	if c.trc != nil {
+		c.trc.RecoverSpan(c.track, startNs, c.clock.Now())
+	}
+}
 
 // Now returns the core's virtual time in nanoseconds.
 func (c *Core) Now() int64 { return c.clock.Now() }
@@ -398,11 +525,15 @@ func (c *Core) Flush(addr Addr, n int, kind Kind) {
 		return
 	}
 	d := c.dev
+	start := c.clock.Now()
 	if d.cfg.EADR {
 		// The line is already in the persistence domain; CLWB degenerates
 		// to a hint. Issue cost only.
 		c.clock.Advance(d.cfg.Lat.FlushIssue)
 		c.Stats.Flushes++
+		if c.trc != nil {
+			c.trc.Flush(c.track, start, c.clock.Now(), linesSpanned(addr, n), uint8(kind), 0)
+		}
 		return
 	}
 	d.mu.Lock()
@@ -414,7 +545,11 @@ func (c *Core) Flush(addr Addr, n int, kind Kind) {
 		c.enqueueLocked(l, kind)
 		delete(d.dirty, l)
 	}
+	depth := len(c.wpq)
 	d.mu.Unlock()
+	if c.trc != nil {
+		c.trc.Flush(c.track, start, c.clock.Now(), int(last-first+1), uint8(kind), depth)
+	}
 }
 
 // enqueueLocked places line l into the WPQ, blocking (advancing the clock)
@@ -434,6 +569,7 @@ func (c *Core) enqueueLocked(l uint64, kind Kind) {
 	cost := d.cfg.Lat.PMWriteRandom
 	if d.drainLine != ^uint64(0) && l == d.drainLine+1 {
 		cost = d.cfg.Lat.PMWriteSeq
+		e.seq = true
 		c.Stats.SeqLines++
 	} else {
 		c.Stats.RandLines++
@@ -454,6 +590,9 @@ func (c *Core) enqueueLocked(l uint64, kind Kind) {
 	d.drainLine = l
 	c.wpq = append(c.wpq, e)
 	c.wpqBytes += LineSize
+	if c.trc != nil {
+		c.trc.WPQSample(c.drainTrack, c.clock.Now(), len(c.wpq))
+	}
 }
 
 // drainUntilLocked advances WPQ bookkeeping to time now: entries whose
@@ -469,6 +608,9 @@ func (c *Core) drainUntilLocked(now int64) {
 		}
 		copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
 		c.accountTraffic(e.kind)
+		if c.trc != nil {
+			c.trc.Drain(c.drainTrack, e.acceptAt, e.drainAt, e.line, e.seq, uint8(e.kind))
+		}
 	}
 	i := 0
 	for ; i < len(c.wpq); i++ {
@@ -480,6 +622,9 @@ func (c *Core) drainUntilLocked(now int64) {
 		c.wpq = append(c.wpq[:0], c.wpq[i:]...)
 		c.nApplied -= i
 		c.wpqBytes = len(c.wpq) * LineSize
+		if c.trc != nil {
+			c.trc.WPQSample(c.drainTrack, now, len(c.wpq))
+		}
 	}
 }
 
@@ -502,7 +647,9 @@ func (c *Core) accountTraffic(kind Kind) {
 // later flushes.
 func (c *Core) Fence() {
 	d := c.dev
+	start := c.clock.Now()
 	d.mu.Lock()
+	depth := len(c.wpq)
 	for _, e := range c.wpq {
 		c.clock.AdvanceTo(e.acceptAt)
 	}
@@ -510,6 +657,9 @@ func (c *Core) Fence() {
 	d.mu.Unlock()
 	c.clock.Advance(d.cfg.Lat.FenceIssue)
 	c.Stats.Fences++
+	if c.trc != nil {
+		c.trc.Fence(c.track, start, c.clock.Now(), depth)
+	}
 }
 
 // OrderPoint marks every currently pending WPQ entry of this core as

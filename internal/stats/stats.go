@@ -13,41 +13,42 @@ import (
 )
 
 // Counters accumulates simulation events. The zero value is ready to use.
+// The JSON field names are part of the bench-report format.
 type Counters struct {
 	// Ordering / persistence primitives.
-	Fences  uint64 // SFENCE count (persist barriers)
-	Flushes uint64 // CLWB count (one per line flushed)
+	Fences  uint64 `json:"fences"`  // SFENCE count (persist barriers)
+	Flushes uint64 `json:"flushes"` // CLWB count (one per line flushed)
 
 	// Persistent memory write traffic in bytes, by purpose.
-	PMWriteBytes uint64 // total bytes drained to the persistence domain
-	PMLogBytes   uint64 // portion attributed to log records
-	PMDataBytes  uint64 // portion attributed to in-place/out-of-place data
-	PMGCBytes    uint64 // portion attributed to background GC / reclamation
+	PMWriteBytes uint64 `json:"pm_write_bytes"` // total bytes drained to the persistence domain
+	PMLogBytes   uint64 `json:"pm_log_bytes"`   // portion attributed to log records
+	PMDataBytes  uint64 `json:"pm_data_bytes"`  // portion attributed to in-place/out-of-place data
+	PMGCBytes    uint64 `json:"pm_gc_bytes"`    // portion attributed to background GC / reclamation
 
 	// Drain pattern: lines whose address followed the previously drained
 	// line (sequential) versus all others (random).
-	SeqLines  uint64
-	RandLines uint64
+	SeqLines  uint64 `json:"seq_lines"`
+	RandLines uint64 `json:"rand_lines"`
 
 	// Access counts.
-	Loads      uint64
-	Stores     uint64
-	LoadBytes  uint64
-	StoreBytes uint64
+	Loads      uint64 `json:"loads"`
+	Stores     uint64 `json:"stores"`
+	LoadBytes  uint64 `json:"load_bytes"`
+	StoreBytes uint64 `json:"store_bytes"`
 
 	// Transactions.
-	TxBegun     uint64
-	TxCommitted uint64
-	TxAborted   uint64
+	TxBegun     uint64 `json:"tx_begun"`
+	TxCommitted uint64 `json:"tx_committed"`
+	TxAborted   uint64 `json:"tx_aborted"`
 
 	// Log lifecycle.
-	LogRecords     uint64 // records appended
-	LogReclaimed   uint64 // records reclaimed as stale
-	ReclaimCycles  uint64 // background/foreground reclamation cycles
-	LogBytesLive   int64  // gauge: live log bytes right now
-	LogBytesPeak   int64  // high-water mark of LogBytesLive
-	PageCopies     uint64 // hardware bulk page copies (cold->hot transitions)
-	EpochsReclaimd uint64 // hardware epochs reclaimed
+	LogRecords      uint64 `json:"log_records"`      // records appended
+	LogReclaimed    uint64 `json:"log_reclaimed"`    // records reclaimed as stale
+	ReclaimCycles   uint64 `json:"reclaim_cycles"`   // background/foreground reclamation cycles
+	LogBytesLive    int64  `json:"log_bytes_live"`   // gauge: live log bytes right now
+	LogBytesPeak    int64  `json:"log_bytes_peak"`   // high-water mark of LogBytesLive
+	PageCopies      uint64 `json:"page_copies"`      // hardware bulk page copies (cold->hot transitions)
+	EpochsReclaimed uint64 `json:"epochs_reclaimed"` // hardware epochs reclaimed
 }
 
 // AddLiveLog adjusts the live-log gauge and maintains its peak.
@@ -83,7 +84,7 @@ func (c *Counters) Merge(other *Counters) {
 		c.LogBytesPeak = other.LogBytesPeak
 	}
 	c.PageCopies += other.PageCopies
-	c.EpochsReclaimd += other.EpochsReclaimd
+	c.EpochsReclaimed += other.EpochsReclaimed
 }
 
 // Snapshot returns a copy of the counters.

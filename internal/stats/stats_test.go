@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -44,6 +45,54 @@ func TestMerge(t *testing.T) {
 	}
 	if a.LogBytesPeak != 25 {
 		t.Fatalf("merge peak = %d, want max 25", a.LogBytesPeak)
+	}
+}
+
+func TestMergeGaugeSemantics(t *testing.T) {
+	// Live gauges sum (total live bytes across cores) while the peak takes
+	// the maximum — merging never inflates a high-water mark that no single
+	// core actually reached, and never lowers one.
+	a := Counters{LogBytesLive: 30, LogBytesPeak: 100}
+	b := Counters{LogBytesLive: 20, LogBytesPeak: 40}
+	a.Merge(&b)
+	if a.LogBytesLive != 50 {
+		t.Fatalf("live after merge = %d, want sum 50", a.LogBytesLive)
+	}
+	if a.LogBytesPeak != 100 {
+		t.Fatalf("peak after merge = %d, want max 100 kept", a.LogBytesPeak)
+	}
+	// Merging into a zero value preserves the source peak.
+	var c Counters
+	c.Merge(&a)
+	if c.LogBytesPeak != 100 || c.LogBytesLive != 50 {
+		t.Fatalf("merge into zero: live=%d peak=%d", c.LogBytesLive, c.LogBytesPeak)
+	}
+}
+
+func TestJSONFieldNamesStable(t *testing.T) {
+	// The snake_case field names are part of the bench-report format;
+	// renaming one silently breaks downstream plotting.
+	c := Counters{Fences: 1, EpochsReclaimed: 2, LogBytesPeak: 3}
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fences", "flushes", "pm_write_bytes", "pm_log_bytes", "pm_data_bytes",
+		"pm_gc_bytes", "seq_lines", "rand_lines", "tx_begun", "tx_committed",
+		"tx_aborted", "log_records", "log_reclaimed", "reclaim_cycles",
+		"log_bytes_live", "log_bytes_peak", "epochs_reclaimed",
+	} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("JSON output missing field %q", want)
+		}
+	}
+	if got := m["epochs_reclaimed"].(float64); got != 2 {
+		t.Errorf("epochs_reclaimed = %v, want 2", got)
 	}
 }
 

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON shape
+// Perfetto and chrome://tracing ingest). Timestamps and durations are
+// microseconds; the simulator's nanosecond clock maps to fractional µs.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level export object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+func us(ns int64) float64 { return float64(ns) / 1000.0 }
+
+func durPtr(ns int64) *float64 {
+	d := us(ns)
+	return &d
+}
+
+// chromeOf translates one internal event. ok is false for kinds that do not
+// export (none currently).
+func chromeOf(e Event, trackName func(int) string) (chromeEvent, bool) {
+	ce := chromeEvent{PID: chromePID, TID: e.Track, TS: us(e.TS)}
+	switch e.Kind {
+	case EvTxBegin:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "tx-begin", "tx", "i", "t"
+	case EvTx:
+		ce.Name, ce.Cat, ce.Ph = "tx", "tx", "X"
+		ce.Dur = durPtr(e.Dur)
+		ce.Args = map[string]any{"stores": e.A, "log_bytes": e.B}
+	case EvCommit:
+		ce.Name, ce.Cat, ce.Ph = "commit", "tx", "X"
+		ce.Dur = durPtr(e.Dur)
+		ce.Args = map[string]any{"stores": e.A, "log_bytes": e.B}
+	case EvTxAbort:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "tx-abort", "tx", "i", "t"
+	case EvLogAppend:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "log-append", "log", "i", "t"
+		ce.Args = map[string]any{"bytes": e.A}
+	case EvFlush:
+		ce.Name, ce.Cat, ce.Ph = "flush", "pmem", "X"
+		ce.Dur = durPtr(e.Dur)
+		ce.Args = map[string]any{"lines": e.A, "kind": kindName(e.B), "wpq_depth": e.C}
+	case EvFence:
+		ce.Name, ce.Cat, ce.Ph = "fence", "pmem", "X"
+		ce.Dur = durPtr(e.Dur)
+		ce.Args = map[string]any{"stall_ns": e.Dur, "wpq_depth": e.A}
+	case EvDrain:
+		ce.Name, ce.Cat, ce.Ph = "drain", "wpq", "X"
+		ce.Dur = durPtr(e.Dur)
+		pattern := "rand"
+		if e.C != 0 {
+			pattern = "seq"
+		}
+		ce.Args = map[string]any{"line": e.A, "kind": kindName(e.B), "pattern": pattern}
+	case EvReclaim:
+		ce.Name, ce.Cat, ce.Ph = "reclaim", "log", "X"
+		ce.Dur = durPtr(e.Dur)
+		ce.Args = map[string]any{"stale_entries": e.A, "released_bytes": e.B}
+	case EvCrash:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "crash", "device", "i", "g"
+	case EvRecover:
+		ce.Name, ce.Cat, ce.Ph = "recover", "device", "X"
+		ce.Dur = durPtr(e.Dur)
+	case EvWPQDepth:
+		ce.Name, ce.Ph = "wpq-depth:"+trackName(e.Track), "C"
+		ce.Args = map[string]any{"lines": e.A}
+	case EvLogLive:
+		ce.Name, ce.Ph = "log-live:"+trackName(e.Track), "C"
+		ce.Args = map[string]any{"bytes": e.A}
+	case EvHeapLive:
+		ce.Name, ce.Ph = "heap-live:"+trackName(e.Track), "C"
+		ce.Args = map[string]any{"bytes": e.A}
+	default:
+		return ce, false
+	}
+	return ce, true
+}
+
+// WriteChrome exports the buffered events as Chrome trace-event JSON. The
+// output opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one named thread per simulated core plus counter tracks for WPQ depth and
+// live bytes.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	tracks := append([]string(nil), t.tracks...)
+	t.mu.Unlock()
+
+	name := func(id int) string {
+		if id >= 0 && id < len(tracks) {
+			return tracks[id]
+		}
+		return "?"
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "specpmt-sim"},
+	})
+	for id, tn := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: id,
+			Args: map[string]any{"name": tn},
+		})
+	}
+	// Stable order: by timestamp, then track, then original order.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Track < events[j].Track
+	})
+	for _, e := range events {
+		if ce, ok := chromeOf(e, name); ok {
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

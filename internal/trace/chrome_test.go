@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a small, fully deterministic event stream covering
+// every event kind the Chrome exporter translates.
+func goldenTracer() *Tracer {
+	tr := New()
+	app := tr.RegisterTrack("core0")
+	wpq := tr.RegisterTrack("core0.wpq")
+	bg := tr.RegisterTrack("core1")
+	tr.NameTrack(app, "app")
+	tr.NameTrack(wpq, "app.wpq")
+	tr.NameTrack(bg, "reclaimer")
+
+	tr.TxBegin(app, 100)
+	tr.LogAppend(app, 150, 96, 96)
+	tr.Flush(app, 160, 190, 2, 1, 2)
+	tr.WPQSample(wpq, 190, 2)
+	tr.Fence(app, 200, 450, 2)
+	tr.Drain(wpq, 210, 380, 7, true, 1)
+	tr.Drain(wpq, 215, 440, 42, false, 0)
+	tr.TxCommit(app, 140, 460, 3, 96)
+	tr.Reclaim(bg, 300, 900, 5, 480)
+	tr.LiveLog(app, 910, 64)
+	tr.HeapSample(app, 920, 4096)
+
+	tr.TxBegin(app, 1000)
+	tr.Crash(1100)
+	tr.RecoverSpan(app, 10, 250)
+	tr.TxBegin(app, 300)
+	tr.TxAbort(app, 320)
+	return tr
+}
+
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from golden file (run with -update to regenerate)\ngot:\n%s", buf.String())
+	}
+}
+
+// TestChromeParsesBack validates the export as Chrome trace-event JSON: a
+// traceEvents array whose entries carry the required ph/ts/pid/tid fields,
+// with metadata naming every track and monotone-sane timestamps.
+func TestChromeParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	tr := goldenTracer()
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	names := map[string]bool{}
+	for i, e := range out.TraceEvents {
+		ph, ok := e["ph"].(string)
+		if !ok || ph == "" {
+			t.Fatalf("event %d lacks a phase: %v", i, e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event %d lacks pid: %v", i, e)
+		}
+		if ph == "M" {
+			if args, ok := e["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+			continue
+		}
+		if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+			t.Fatalf("event %d has bad ts: %v", i, e)
+		}
+		if ph == "X" {
+			if dur, ok := e["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("duration event %d has bad dur: %v", i, e)
+			}
+		}
+	}
+	for _, want := range []string{"specpmt-sim", "app", "app.wpq", "reclaimer"} {
+		if !names[want] {
+			t.Errorf("metadata does not name %q", want)
+		}
+	}
+}

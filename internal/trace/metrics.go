@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HistBuckets is the number of power-of-two histogram buckets. Bucket 0
+// holds values <= 0; bucket i (i >= 1) holds values in [2^(i-1), 2^i). The
+// last bucket absorbs everything at or above 2^(HistBuckets-2), covering the
+// full int64 range the virtual clock can express.
+const HistBuckets = 44
+
+// Histogram is a fixed-bucket power-of-two histogram of int64 observations.
+// The zero value is ready to use.
+type Histogram struct {
+	Counts   [HistBuckets]uint64
+	N        uint64
+	Sum      int64
+	Min, Max int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for v > 1 && b < HistBuckets-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketBounds returns bucket i's half-open value range [lo, hi).
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	lo = int64(1) << (i - 1)
+	if i >= HistBuckets-1 {
+		return lo, int64(1)<<62 + (int64(1)<<62 - 1) // effectively MaxInt64
+	}
+	return lo, int64(1) << i
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v int64) {
+	h.Counts[bucketOf(v)]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using the
+// geometric midpoint of the bucket holding the target rank; exact Min/Max
+// are returned for q at the extremes.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := uint64(q * float64(h.N))
+	if rank >= h.N {
+		rank = h.N - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			lo, hi := BucketBounds(i)
+			// Clamp the estimate to the observed range so single-bucket
+			// histograms report sensible numbers.
+			mid := lo + (hi-lo)/2
+			if mid < h.Min {
+				mid = h.Min
+			}
+			if mid > h.Max {
+				mid = h.Max
+			}
+			return mid
+		}
+	}
+	return h.Max
+}
+
+// row renders one summary line.
+func (h *Histogram) row(name, unit string) string {
+	if h.N == 0 {
+		return fmt.Sprintf("  %-16s (no samples)\n", name)
+	}
+	return fmt.Sprintf("  %-16s n=%-8d min=%-8d p50=%-8d p90=%-8d p99=%-8d max=%-8d mean=%.1f %s\n",
+		name, h.N, h.Min, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max, h.Mean(), unit)
+}
+
+// SamplerCap bounds a Sampler's stored points; beyond it the sampler halves
+// its resolution (keeps every 2nd point, doubles its stride) so long runs
+// stay bounded while preserving the shape of the series.
+const SamplerCap = 1 << 15
+
+// Sampler records an (virtual time, value) series with adaptive decimation
+// plus exact peak and last-value tracking. The zero value is ready to use.
+type Sampler struct {
+	TS     []int64
+	V      []int64
+	Peak   int64
+	Last   int64
+	N      uint64 // total offered samples, pre-decimation
+	stride uint64
+}
+
+// Add offers one sample.
+func (s *Sampler) Add(t, v int64) {
+	if v > s.Peak {
+		s.Peak = v
+	}
+	s.Last = v
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	if s.N%s.stride == 0 {
+		if len(s.TS) >= SamplerCap {
+			// Halve resolution in place.
+			keep := 0
+			for i := 0; i < len(s.TS); i += 2 {
+				s.TS[keep], s.V[keep] = s.TS[i], s.V[i]
+				keep++
+			}
+			s.TS, s.V = s.TS[:keep], s.V[:keep]
+			s.stride *= 2
+		}
+		if s.N%s.stride == 0 {
+			s.TS = append(s.TS, t)
+			s.V = append(s.V, v)
+		}
+	}
+	s.N++
+}
+
+// Len returns the number of retained points.
+func (s *Sampler) Len() int { return len(s.TS) }
+
+func (s *Sampler) snapshot() Sampler {
+	c := *s
+	c.TS = append([]int64(nil), s.TS...)
+	c.V = append([]int64(nil), s.V...)
+	return c
+}
+
+// Metrics aggregates the distributions the paper's cost model cares about.
+type Metrics struct {
+	// FenceStallNs is the distribution of persist-barrier stalls (SFENCE
+	// entry to completion) — the per-update cost undo logging pays and
+	// SpecPMT's single commit fence amortises.
+	FenceStallNs Histogram
+	// CommitNs is the distribution of commit critical-path latencies.
+	CommitNs Histogram
+	// TxStores is the distribution of transactional store counts per commit.
+	TxStores Histogram
+	// LogRecBytes is the distribution of encoded log-record sizes.
+	LogRecBytes Histogram
+	// WPQDepth samples write-pending-queue depth over virtual time.
+	WPQDepth Sampler
+	// LogBytesLive samples the live-log gauge over virtual time.
+	LogBytesLive Sampler
+}
+
+func (m *Metrics) snapshot() Metrics {
+	c := *m
+	c.WPQDepth = m.WPQDepth.snapshot()
+	c.LogBytesLive = m.LogBytesLive.snapshot()
+	return c
+}
+
+// Summary renders the metrics as a compact multi-line report.
+func (m *Metrics) Summary() string {
+	var b strings.Builder
+	b.WriteString("trace metrics (virtual ns):\n")
+	b.WriteString(m.FenceStallNs.row("fence-stall", "ns"))
+	b.WriteString(m.CommitNs.row("commit-latency", "ns"))
+	b.WriteString(m.TxStores.row("tx-stores", "stores"))
+	b.WriteString(m.LogRecBytes.row("log-record", "B"))
+	fmt.Fprintf(&b, "  %-16s peak=%d last=%d samples=%d\n", "wpq-depth", m.WPQDepth.Peak, m.WPQDepth.Last, m.WPQDepth.N)
+	fmt.Fprintf(&b, "  %-16s peak=%dB last=%dB samples=%d\n", "log-live", m.LogBytesLive.Peak, m.LogBytesLive.Last, m.LogBytesLive.N)
+	return b.String()
+}

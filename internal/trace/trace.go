@@ -1,0 +1,339 @@
+// Package trace is the observability layer of the simulator: an event
+// tracer and metrics collector keyed to the simulation's virtual clock.
+//
+// The paper's whole argument is about where virtual time goes — persist
+// barrier stalls, WPQ drains, log-append traffic, reclamation cycles
+// (SpecPMT §4, Figs. 12–15) — and end-of-run aggregate counters cannot show
+// it. A Tracer receives typed events from hooks in the device model
+// (internal/pmem), every transaction engine (internal/txn/*,
+// internal/hwsim), and the allocator (internal/pmalloc):
+//
+//   - transaction begin / commit / abort, with commit critical-path latency,
+//     store count, and log-record size;
+//   - Flush and Fence, with stall duration and WPQ depth;
+//   - the drain of each cache line into the persistence domain (sequential
+//     or random, and which traffic kind it carries);
+//   - reclamation cycles, crash and recovery.
+//
+// On top of the raw event stream the Tracer maintains Metrics — fixed-bucket
+// histograms (fence stall, commit latency, stores per transaction, log
+// record size) and virtual-time samplers (WPQ depth, live log bytes) — and
+// can export the whole run as a Chrome trace-event JSON file that opens
+// directly in Perfetto or chrome://tracing, one track per simulated core.
+//
+// A nil *Tracer disables everything: every hook site guards with a nil
+// check, so the hot path pays one predictable branch and the modeled times
+// are bit-identical to an untraced run.
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventKind discriminates Event payloads.
+type EventKind uint8
+
+// Event kinds. The A/B/C payload meaning is per kind; see the emitting
+// method.
+const (
+	// EvTxBegin marks a transaction begin (instant).
+	EvTxBegin EventKind = iota
+	// EvTx spans a whole transaction, begin to commit end.
+	// A=stores, B=log record bytes.
+	EvTx
+	// EvCommit spans the commit critical path. A=stores, B=log record bytes.
+	EvCommit
+	// EvTxAbort marks an abort (instant).
+	EvTxAbort
+	// EvLogAppend marks a log-record append (instant). A=bytes.
+	EvLogAppend
+	// EvFlush spans a CLWB issue (including any WPQ-full stall).
+	// A=lines, B=traffic kind, C=WPQ depth after.
+	EvFlush
+	// EvFence spans an SFENCE: Dur is the persist-barrier stall.
+	// A=WPQ depth at entry.
+	EvFence
+	// EvDrain spans one line's WPQ residency, acceptance to media
+	// write-back. A=line, B=traffic kind, C=1 if sequential.
+	EvDrain
+	// EvReclaim spans a log reclamation cycle. A=stale entries dropped,
+	// B=net live-log bytes released.
+	EvReclaim
+	// EvCrash marks a simulated power failure (instant, device-wide).
+	EvCrash
+	// EvRecover spans post-crash recovery.
+	EvRecover
+	// EvWPQDepth is a counter sample of a core's WPQ depth. A=depth.
+	EvWPQDepth
+	// EvLogLive is a counter sample of live log bytes. A=bytes.
+	EvLogLive
+	// EvHeapLive is a counter sample of allocator live bytes. A=bytes.
+	EvHeapLive
+)
+
+// Event is one trace record. TS and Dur are virtual nanoseconds, already
+// adjusted onto the monotonic trace timeline (crashes reset core clocks to
+// zero; the tracer re-bases so the exported trace stays monotonic).
+type Event struct {
+	Kind    EventKind
+	Track   int
+	TS, Dur int64
+	A, B, C int64
+}
+
+// DefaultEventLimit bounds the in-memory event buffer; one-figure trace runs
+// stay far below it, and runaway runs degrade to dropped-event counting
+// instead of unbounded growth. Metrics keep aggregating past the limit.
+const DefaultEventLimit = 1 << 21
+
+// Tracer collects events and aggregates Metrics. All methods are safe for
+// concurrent use by multiple simulated cores. The zero value is not usable;
+// call New.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	tracks  []string
+	open    map[int]int64 // track -> open transaction begin TS
+	base    int64         // re-basing offset across crashes
+	limit   int
+	dropped uint64
+	m       Metrics
+}
+
+// New returns an empty Tracer with the default event limit.
+func New() *Tracer {
+	return &Tracer{open: map[int]int64{}, limit: DefaultEventLimit}
+}
+
+// RegisterTrack adds a named track (one per simulated core or engine) and
+// returns its id, used as the thread id of the Chrome export.
+func (t *Tracer) RegisterTrack(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracks = append(t.tracks, name)
+	return len(t.tracks) - 1
+}
+
+// NameTrack renames a registered track (engines label their cores once they
+// know their role: "app", "reclaimer", "replayer").
+func (t *Tracer) NameTrack(id int, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id >= 0 && id < len(t.tracks) {
+		t.tracks[id] = name
+	}
+}
+
+// Tracks returns a copy of the registered track names.
+func (t *Tracer) Tracks() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.tracks...)
+}
+
+// Events returns a copy of the buffered events.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Dropped reports how many events were discarded after the buffer limit.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Metrics returns a snapshot of the aggregated metrics.
+func (t *Tracer) Metrics() Metrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m.snapshot()
+}
+
+// emitLocked appends an event; the caller holds t.mu and has already
+// re-based timestamps.
+func (t *Tracer) emitLocked(e Event) {
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// TxBegin records a transaction begin at core-local time now.
+func (t *Tracer) TxBegin(track int, now int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now += t.base
+	t.open[track] = now
+	t.emitLocked(Event{Kind: EvTxBegin, Track: track, TS: now})
+}
+
+// TxCommit records a commit whose critical path ran from commitStart to now
+// (core-local times), with the transaction's store count and encoded log
+// record size (0 when the engine wrote no record). It closes the matching
+// TxBegin into a whole-transaction span and feeds the commit-latency,
+// store-count, and record-size histograms.
+func (t *Tracer) TxCommit(track int, commitStart, now int64, stores, logBytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	commitStart += t.base
+	now += t.base
+	if begin, ok := t.open[track]; ok {
+		delete(t.open, track)
+		t.emitLocked(Event{Kind: EvTx, Track: track, TS: begin, Dur: now - begin,
+			A: int64(stores), B: int64(logBytes)})
+	}
+	t.emitLocked(Event{Kind: EvCommit, Track: track, TS: commitStart, Dur: now - commitStart,
+		A: int64(stores), B: int64(logBytes)})
+	t.m.CommitNs.Observe(now - commitStart)
+	t.m.TxStores.Observe(int64(stores))
+	if logBytes > 0 {
+		t.m.LogRecBytes.Observe(int64(logBytes))
+	}
+}
+
+// TxAbort records a transaction abort at core-local time now.
+func (t *Tracer) TxAbort(track int, now int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now += t.base
+	if begin, ok := t.open[track]; ok {
+		delete(t.open, track)
+		t.emitLocked(Event{Kind: EvTx, Track: track, TS: begin, Dur: now - begin})
+	}
+	t.emitLocked(Event{Kind: EvTxAbort, Track: track, TS: now})
+}
+
+// LogAppend records a log-record append of the given encoded size, plus a
+// live-log counter sample, and feeds the record-size histogram.
+func (t *Tracer) LogAppend(track int, now int64, bytes int, liveBytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now += t.base
+	t.emitLocked(Event{Kind: EvLogAppend, Track: track, TS: now, A: int64(bytes)})
+	t.emitLocked(Event{Kind: EvLogLive, Track: track, TS: now, A: liveBytes})
+	t.m.LogBytesLive.Add(now, liveBytes)
+}
+
+// LiveLog records a live-log gauge change outside an append (commit-time
+// invalidation, reclamation).
+func (t *Tracer) LiveLog(track int, now int64, liveBytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now += t.base
+	t.emitLocked(Event{Kind: EvLogLive, Track: track, TS: now, A: liveBytes})
+	t.m.LogBytesLive.Add(now, liveBytes)
+}
+
+// Flush records a CLWB issue spanning [start, end) core-local time covering
+// lines cache lines of the given traffic kind, with the issuing core's WPQ
+// depth after the enqueue.
+func (t *Tracer) Flush(track int, start, end int64, lines int, kind uint8, depth int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Event{Kind: EvFlush, Track: track, TS: start + t.base, Dur: end - start,
+		A: int64(lines), B: int64(kind), C: int64(depth)})
+}
+
+// Fence records an SFENCE spanning [start, end) core-local time — the
+// persist-barrier stall the paper's Figure 2 is about — with the WPQ depth
+// the barrier had to wait out. Feeds the fence-stall histogram.
+func (t *Tracer) Fence(track int, start, end int64, depth int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Event{Kind: EvFence, Track: track, TS: start + t.base, Dur: end - start,
+		A: int64(depth)})
+	t.m.FenceStallNs.Observe(end - start)
+}
+
+// Drain records one line's journey through the WPQ: accepted into the ADR
+// domain at acceptAt, written back to media at drainAt (core-local times).
+func (t *Tracer) Drain(track int, acceptAt, drainAt int64, line uint64, seq bool, kind uint8) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s int64
+	if seq {
+		s = 1
+	}
+	t.emitLocked(Event{Kind: EvDrain, Track: track, TS: acceptAt + t.base, Dur: drainAt - acceptAt,
+		A: int64(line), B: int64(kind), C: s})
+}
+
+// WPQSample records a counter sample of a core's WPQ depth and feeds the
+// depth sampler.
+func (t *Tracer) WPQSample(track int, now int64, depth int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now += t.base
+	t.emitLocked(Event{Kind: EvWPQDepth, Track: track, TS: now, A: int64(depth)})
+	t.m.WPQDepth.Add(now, int64(depth))
+}
+
+// HeapSample records a counter sample of allocator live bytes.
+func (t *Tracer) HeapSample(track int, now int64, live int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Event{Kind: EvHeapLive, Track: track, TS: now + t.base, A: live})
+}
+
+// Reclaim records a reclamation cycle spanning [start, end) core-local time
+// that dropped entries stale entries and released bytes net live-log bytes.
+func (t *Tracer) Reclaim(track int, start, end int64, entries uint64, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Event{Kind: EvReclaim, Track: track, TS: start + t.base, Dur: end - start,
+		A: int64(entries), B: bytes})
+}
+
+// RecoverSpan records a post-crash recovery spanning [start, end) core-local
+// time.
+func (t *Tracer) RecoverSpan(track int, start, end int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Event{Kind: EvRecover, Track: track, TS: start + t.base, Dur: end - start})
+}
+
+// Crash records a simulated power failure at device time maxNow — the
+// latest core clock at the moment of failure — and re-bases the trace
+// timeline so that the post-crash epoch (core clocks restart at zero)
+// continues monotonically. Open transactions are closed as crash-interrupted
+// spans.
+func (t *Tracer) Crash(maxNow int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at := maxNow + t.base
+	for track, begin := range t.open {
+		t.emitLocked(Event{Kind: EvTx, Track: track, TS: begin, Dur: at - begin})
+		t.emitLocked(Event{Kind: EvTxAbort, Track: track, TS: at})
+		delete(t.open, track)
+	}
+	t.emitLocked(Event{Kind: EvCrash, Track: 0, TS: at})
+	t.base = at
+}
+
+// kindName renders a pmem traffic kind without importing pmem (the device
+// model imports this package).
+func kindName(k int64) string {
+	switch k {
+	case 1:
+		return "log"
+	case 2:
+		return "gc"
+	default:
+		return "data"
+	}
+}
+
+// Summary renders the aggregated metrics as a compact report.
+func (t *Tracer) Summary() string {
+	m := t.Metrics()
+	s := m.Summary()
+	if d := t.Dropped(); d > 0 {
+		s += fmt.Sprintf("(%d events dropped after buffer limit; metrics kept aggregating)\n", d)
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, // bucket 0: everything <= 0
+		{1, 1},         // [1, 2)
+		{2, 2}, {3, 2}, // [2, 4)
+		{4, 3}, {7, 3}, // [4, 8)
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {1<<11 - 1, 11},
+		{1 << 41, 42}, {1<<42 - 1, 42},
+		{1 << 42, HistBuckets - 1}, // last bucket absorbs the rest
+		{1 << 62, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's bounds must round-trip through bucketOf.
+	for i := 0; i < HistBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if got := bucketOf(lo); got != i {
+			t.Errorf("bucketOf(lo=%d) = %d, want bucket %d", lo, got, i)
+		}
+		if i < HistBuckets-1 {
+			if got := bucketOf(hi - 1); got != i {
+				t.Errorf("bucketOf(hi-1=%d) = %d, want bucket %d", hi-1, got, i)
+			}
+			if got := bucketOf(hi); got != i+1 {
+				t.Errorf("bucketOf(hi=%d) = %d, want bucket %d", hi, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{10, 20, 30, 5, 1000} {
+		h.Observe(v)
+	}
+	if h.N != 5 {
+		t.Fatalf("N = %d, want 5", h.N)
+	}
+	if h.Min != 5 || h.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 5/1000", h.Min, h.Max)
+	}
+	if h.Sum != 1065 {
+		t.Fatalf("sum = %d, want 1065", h.Sum)
+	}
+	if got := h.Mean(); got != 213.0 {
+		t.Fatalf("mean = %v, want 213", got)
+	}
+	if q := h.Quantile(0); q != 5 {
+		t.Fatalf("q0 = %d, want min 5", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("q1 = %d, want max 1000", q)
+	}
+	// The median must land inside the observed range.
+	if q := h.Quantile(0.5); q < 5 || q > 1000 {
+		t.Fatalf("p50 = %d outside observed range", q)
+	}
+}
+
+func TestSamplerDecimation(t *testing.T) {
+	var s Sampler
+	n := int64(SamplerCap*4 + 123)
+	for i := int64(0); i < n; i++ {
+		s.Add(i, i%1000)
+	}
+	if s.N != uint64(n) {
+		t.Fatalf("N = %d, want %d", s.N, n)
+	}
+	if s.Len() > SamplerCap {
+		t.Fatalf("retained %d points, cap is %d", s.Len(), SamplerCap)
+	}
+	if s.Len() == 0 {
+		t.Fatal("decimation dropped everything")
+	}
+	// Peak and Last are exact regardless of decimation.
+	if s.Peak != 999 {
+		t.Fatalf("peak = %d, want 999", s.Peak)
+	}
+	if s.Last != (n-1)%1000 {
+		t.Fatalf("last = %d, want %d", s.Last, (n-1)%1000)
+	}
+	// Retained timestamps stay monotonic.
+	for i := 1; i < s.Len(); i++ {
+		if s.TS[i] <= s.TS[i-1] {
+			t.Fatalf("timestamps not monotonic at %d: %d then %d", i, s.TS[i-1], s.TS[i])
+		}
+	}
+}
+
+func TestCrashRebasesTimeline(t *testing.T) {
+	tr := New()
+	app := tr.RegisterTrack("app")
+
+	tr.TxBegin(app, 100)
+	tr.TxCommit(app, 150, 200, 3, 64)
+	tr.TxBegin(app, 300) // interrupted by the crash below
+	tr.Crash(500)        // device time of the failure; clocks restart at 0
+	tr.TxBegin(app, 50)  // post-crash epoch, core-local t=50
+	tr.TxCommit(app, 60, 80, 1, 32)
+
+	evs := tr.Events()
+	// The interrupted transaction must be closed at the crash point.
+	var sawInterrupted, sawCrash bool
+	for _, e := range evs {
+		if e.Kind == EvTx && e.TS == 300 && e.Dur == 200 {
+			sawInterrupted = true
+		}
+		if e.Kind == EvCrash && e.TS == 500 {
+			sawCrash = true
+		}
+	}
+	if !sawInterrupted {
+		t.Error("crash did not close the open transaction span at the crash point")
+	}
+	if !sawCrash {
+		t.Error("no crash marker at device time 500")
+	}
+	// Post-crash events are re-based: core-local 50 appears at 550.
+	var sawRebased bool
+	for _, e := range evs {
+		if e.Kind == EvTxBegin && e.TS == 550 {
+			sawRebased = true
+		}
+	}
+	if !sawRebased {
+		t.Error("post-crash event not re-based onto the monotonic timeline")
+	}
+	// The whole stream stays monotonically plausible: no event before 0.
+	for _, e := range evs {
+		if e.TS < 0 {
+			t.Fatalf("negative timestamp %d", e.TS)
+		}
+	}
+}
+
+func TestEventLimitDropsButMetricsAggregate(t *testing.T) {
+	tr := New()
+	tr.limit = 8
+	track := tr.RegisterTrack("app")
+	for i := 0; i < 20; i++ {
+		tr.Fence(track, int64(i*10), int64(i*10+5), 1)
+	}
+	if got := len(tr.Events()); got != 8 {
+		t.Fatalf("buffered %d events, want limit 8", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	m := tr.Metrics()
+	if m.FenceStallNs.N != 20 {
+		t.Fatalf("metrics stopped aggregating: n=%d, want 20", m.FenceStallNs.N)
+	}
+}
+
+func TestMetricsSnapshotIsolation(t *testing.T) {
+	tr := New()
+	track := tr.RegisterTrack("app")
+	tr.WPQSample(track, 10, 3)
+	snap := tr.Metrics()
+	tr.WPQSample(track, 20, 7)
+	if snap.WPQDepth.N != 1 || snap.WPQDepth.Peak != 3 {
+		t.Fatalf("snapshot mutated by later samples: n=%d peak=%d", snap.WPQDepth.N, snap.WPQDepth.Peak)
+	}
+}

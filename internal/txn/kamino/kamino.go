@@ -114,6 +114,7 @@ func (e *Engine) Begin() txn.Tx {
 	c := e.env.Core
 	gen := e.env.TS.Next()
 	c.Stats.TxBegun++
+	c.TraceTxBegin()
 	c.StoreUint64(e.env.Root+offActiveGen, gen)
 	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
 	return &tx{e: e, gen: gen, ws: txn.NewWriteSet()}
@@ -185,6 +186,7 @@ func (t *tx) appendRecord(addr pmem.Addr, size int) error {
 	t.tail += recSize
 	c.Stats.LogRecords++
 	c.Stats.AddLiveLog(recSize)
+	c.TraceLogAppend(recSize)
 	return nil
 }
 
@@ -204,8 +206,10 @@ func (t *tx) Commit() error {
 	if t.err != nil {
 		t.restoreFromBackup()
 		c.Stats.AddLiveLog(-int64(t.tail))
+		c.TraceTxAbort()
 		return t.err
 	}
+	commitStart := c.Now()
 	for _, l := range t.ws.Lines() {
 		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
 	}
@@ -216,6 +220,8 @@ func (t *tx) Commit() error {
 	t.e.syncBackup(t.ws)
 	c.Stats.TxCommitted++
 	c.Stats.AddLiveLog(-int64(t.tail))
+	c.TraceLiveLog()
+	c.TraceTxCommit(commitStart, t.ws.Len(), 0)
 	return nil
 }
 
@@ -229,6 +235,7 @@ func (t *tx) Abort() error {
 	t.restoreFromBackup()
 	t.e.env.Core.Stats.TxAborted++
 	t.e.env.Core.Stats.AddLiveLog(-int64(t.tail))
+	t.e.env.Core.TraceTxAbort()
 	return nil
 }
 
@@ -271,6 +278,8 @@ func (e *Engine) syncBackup(ws *txn.WriteSet) {
 // conservative.
 func (e *Engine) Recover() error {
 	c := e.env.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	// Like the backup maintenance, the copy-back is modeled at zero cost
 	// (recovery latency is not part of any measured experiment; the paper's
 	// upper-bound treatment of Kamino-Tx extends to it).

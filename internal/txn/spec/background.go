@@ -43,19 +43,32 @@ func (d *reclaimDaemon) loop() {
 	for {
 		select {
 		case <-d.quit:
+			// Drain a coalesced trigger before exiting so stop() never
+			// drops requested work: on a single-CPU machine the daemon
+			// may only be scheduled for the first time at shutdown.
+			select {
+			case <-d.wake:
+				d.runCycle()
+			default:
+			}
 			return
 		case <-d.wake:
-			d.e.bgmu.Lock()
-			err := d.e.reclaimLocked()
-			d.e.bgmu.Unlock()
-			if err != nil {
-				d.failMu.Lock()
-				if d.failed == nil {
-					d.failed = err
-				}
-				d.failMu.Unlock()
-			}
+			d.runCycle()
 		}
+	}
+}
+
+// runCycle executes one reclamation cycle, recording the first failure.
+func (d *reclaimDaemon) runCycle() {
+	d.e.bgmu.Lock()
+	err := d.e.reclaimLocked()
+	d.e.bgmu.Unlock()
+	if err != nil {
+		d.failMu.Lock()
+		if d.failed == nil {
+			d.failed = err
+		}
+		d.failMu.Unlock()
 	}
 }
 

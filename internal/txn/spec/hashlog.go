@@ -101,6 +101,7 @@ func (e *HashEngine) Begin() txn.Tx {
 	}
 	e.open = true
 	e.env.Core.Stats.TxBegun++
+	e.env.Core.TraceTxBegin()
 	return &hashTx{e: e, byAddr: map[pmem.Addr]int{}, old: map[pmem.Addr][]byte{}}
 }
 
@@ -185,18 +186,23 @@ func (t *hashTx) Commit() error {
 	if t.err != nil {
 		t.restoreOld()
 		c.Stats.TxAborted++
+		c.TraceTxAbort()
 		return t.err
 	}
+	commitStart := c.Now()
 	if len(t.ents) == 0 {
 		c.Stats.TxCommitted++
+		c.TraceTxCommit(commitStart, 0, 0)
 		return nil
 	}
 	ts := e.env.TS.Next()
+	logBytes := 0
 	for _, en := range t.ents {
 		i, err := e.slotIndex(en.addr)
 		if err != nil {
 			t.restoreOld()
 			c.Stats.TxAborted++
+			c.TraceTxAbort()
 			return err
 		}
 		slot := make([]byte, slotHeader+len(en.val)+8)
@@ -209,11 +215,14 @@ func (t *hashTx) Commit() error {
 		c.Store(at, slot)
 		c.Flush(at, len(slot), pmem.KindLog)
 		c.Stats.LogRecords++
+		c.TraceLogAppend(len(slot))
+		logBytes += len(slot)
 	}
 	c.Fence()
 	c.StoreUint64(e.env.Root+offCommitTS, ts)
 	c.PersistBarrier(e.env.Root+offCommitTS, 8, pmem.KindLog)
 	c.Stats.TxCommitted++
+	c.TraceTxCommit(commitStart, len(t.ents), logBytes)
 	return nil
 }
 
@@ -226,6 +235,7 @@ func (t *hashTx) Abort() error {
 	t.e.open = false
 	t.restoreOld()
 	t.e.env.Core.Stats.TxAborted++
+	t.e.env.Core.TraceTxAbort()
 	return nil
 }
 
@@ -240,6 +250,8 @@ func (t *hashTx) restoreOld() {
 // within the durable commit horizon.
 func (e *HashEngine) Recover() error {
 	c := e.env.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	horizon := c.LoadUint64(e.env.Root + offCommitTS)
 	e.slotOf = map[pmem.Addr]int{}
 	e.used = map[int]pmem.Addr{}

@@ -62,6 +62,7 @@ func (e *Engine) Seal() error {
 		e.env.LogHeap.Free(b, e.ch.bsize)
 	}
 	c.Stats.AddLiveLog(-e.liveBytes)
+	c.TraceLiveLog()
 	e.ch = nil
 	e.index = nil
 	e.liveBytes, e.staleBytes = 0, 0
@@ -126,6 +127,7 @@ func (e *Engine) Checkpoint(addr pmem.Addr, size int) error {
 		e.liveBytes += int64(recSize)
 		c.Stats.LogRecords++
 		c.Stats.AddLiveLog(int64(recSize))
+		c.TraceLogAppend(recSize)
 	}
 	return nil
 }

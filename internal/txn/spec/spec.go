@@ -128,6 +128,7 @@ func init() {
 func New(env txn.Env, opt Options) (*Engine, error) {
 	opt.setDefaults()
 	e := &Engine{env: env, opt: opt, bg: env.Dev.NewCore(), index: map[pmem.Addr]indexEnt{}}
+	e.bg.SetTrackName("reclaimer")
 	c := env.Core
 	if c.LoadUint64(env.Root+offMagic) == magic {
 		bs := int(c.LoadUint64(env.Root + offBlockSize))
@@ -188,6 +189,7 @@ func (e *Engine) Begin() txn.Tx {
 	}
 	e.open = true
 	e.env.Core.Stats.TxBegun++
+	e.env.Core.TraceTxBegin()
 	return &tx{e: e, ws: txn.NewWriteSet(), byAddr: map[pmem.Addr]int{}, old: map[pmem.Addr][]byte{}}
 }
 
@@ -259,8 +261,10 @@ func (t *tx) Commit() error {
 	e := t.e
 	e.open = false
 	c := e.env.Core
+	commitStart := c.Now()
 	if len(t.ents) == 0 {
 		c.Stats.TxCommitted++
+		c.TraceTxCommit(commitStart, 0, 0)
 		return nil
 	}
 	size := recHeader + recFooter
@@ -290,6 +294,7 @@ func (t *tx) Commit() error {
 			err = ErrTxTooLarge
 		}
 		c.Stats.TxAborted++
+		c.TraceTxAbort()
 		return err
 	}
 	if e.opt.DataPersist {
@@ -317,6 +322,8 @@ func (t *tx) Commit() error {
 	c.Stats.TxCommitted++
 	c.Stats.LogRecords++
 	c.Stats.AddLiveLog(int64(size))
+	c.TraceLogAppend(size)
+	c.TraceTxCommit(commitStart, len(t.ents), size)
 	trigger := !e.opt.DisableReclaim && e.staleBytes > e.opt.ReclaimThreshold
 	e.bgmu.Unlock()
 	if trigger {
@@ -339,6 +346,7 @@ func (t *tx) Abort() error {
 	t.e.open = false
 	t.restoreOld()
 	t.e.env.Core.Stats.TxAborted++
+	t.e.env.Core.TraceTxAbort()
 	return nil
 }
 
@@ -357,6 +365,7 @@ func (e *Engine) Recover() error {
 	e.bgmu.Lock()
 	defer e.bgmu.Unlock()
 	c := e.env.Core
+	recoverStart := c.Now()
 	e.index = map[pmem.Addr]indexEnt{}
 	e.liveBytes, e.staleBytes = 0, 0
 	touched := txn.NewWriteSet()
@@ -381,6 +390,7 @@ func (e *Engine) Recover() error {
 	e.ch.flushPending(pmem.KindLog)
 	c.Fence()
 	e.needsScan = false
+	c.TraceRecoverSpan(recoverStart)
 	return nil
 }
 
@@ -402,6 +412,7 @@ func (e *Engine) reclaimLocked() error {
 		return nil // only the active tail block: nothing reclaimable
 	}
 	bg := e.bg
+	reclaimStart := bg.Now()
 	keepFrom := len(ch.blocks) - 1 // the active tail block is never touched
 	// Gather fresh entries from the prefix, in chain (chronological) order.
 	type freshEnt struct {
@@ -533,6 +544,8 @@ func (e *Engine) reclaimLocked() error {
 	st.ReclaimCycles++
 	st.LogReclaimed += staleEnts
 	st.AddLiveLog(-delta)
+	bg.TraceReclaim(reclaimStart, staleEnts, delta)
+	e.env.Core.TraceLiveLog()
 	return nil
 }
 

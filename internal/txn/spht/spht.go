@@ -96,6 +96,7 @@ func init() {
 func New(env txn.Env, opt Options) (*Engine, error) {
 	opt.setDefaults()
 	e := &Engine{env: env, opt: opt, bg: env.Dev.NewCore()}
+	e.bg.SetTrackName("replayer")
 	c := env.Core
 	if c.LoadUint64(env.Root+offMagic) == magic {
 		e.logArea = pmem.Addr(c.LoadUint64(env.Root + offLogArea))
@@ -137,6 +138,7 @@ func (e *Engine) Begin() txn.Tx {
 	}
 	e.open = true
 	e.env.Core.Stats.TxBegun++
+	e.env.Core.TraceTxBegin()
 	return &tx{e: e, ws: txn.NewWriteSet()}
 }
 
@@ -207,8 +209,10 @@ func (t *tx) Commit() error {
 	t.e.open = false
 	e := t.e
 	c := e.env.Core
+	commitStart := c.Now()
 	if t.ws.Len() == 0 {
 		c.Stats.TxCommitted++
+		c.TraceTxCommit(commitStart, 0, 0)
 		return nil
 	}
 	// Encode the record.
@@ -219,11 +223,13 @@ func (t *tx) Commit() error {
 	if size > e.logCap {
 		e.open = false
 		c.Stats.TxAborted++
+		c.TraceTxAbort()
 		return ErrLogFull
 	}
 	if e.tail+size > e.logCap {
 		if err := e.resetLog(); err != nil {
 			c.Stats.TxAborted++
+			c.TraceTxAbort()
 			return err
 		}
 	}
@@ -248,6 +254,7 @@ func (t *tx) Commit() error {
 	e.tail += size
 	c.Stats.LogRecords++
 	c.Stats.AddLiveLog(int64(size))
+	c.TraceLogAppend(size)
 	// Make the committed values visible in the data image (the volatile
 	// snapshot); persistence of these lines is the replayer's job.
 	for i, r := range t.ws.Ranges() {
@@ -258,6 +265,7 @@ func (t *tx) Commit() error {
 		e.replay(len(e.pending) - e.opt.ReplayLag)
 	}
 	c.Stats.TxCommitted++
+	c.TraceTxCommit(commitStart, t.ws.Len(), size)
 	return nil
 }
 
@@ -269,6 +277,7 @@ func (t *tx) Abort() error {
 	t.done = true
 	t.e.open = false
 	t.e.env.Core.Stats.TxAborted++
+	t.e.env.Core.TraceTxAbort()
 	return nil
 }
 
@@ -323,6 +332,8 @@ func (e *Engine) resetLog() error {
 // durable replay head forward, stopping at the first torn record.
 func (e *Engine) Recover() error {
 	c := e.env.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	head := int(c.LoadUint64(e.env.Root + offReplayHead))
 	off := head
 	for off+recHeader+recFooter <= e.logCap {

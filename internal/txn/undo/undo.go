@@ -106,6 +106,7 @@ func (e *Engine) Begin() txn.Tx {
 	c := e.env.Core
 	gen := e.env.TS.Next()
 	c.Stats.TxBegun++
+	c.TraceTxBegin()
 	// Publish the active generation before any logging so that recovery can
 	// tell live records from residue of earlier transactions.
 	c.StoreUint64(e.env.Root+offActiveGen, gen)
@@ -200,6 +201,7 @@ func (t *tx) appendRecord(addr pmem.Addr, size int) error {
 	t.tail += recLen
 	c.Stats.LogRecords++
 	c.Stats.AddLiveLog(int64(recLen))
+	c.TraceLogAppend(recLen)
 	return nil
 }
 
@@ -212,9 +214,11 @@ func (t *tx) Commit() error {
 	t.e.open = false
 	if t.err != nil {
 		t.rollback()
+		t.e.env.Core.TraceTxAbort()
 		return t.err
 	}
 	c := t.e.env.Core
+	commitStart := c.Now()
 	// Persist all updated data.
 	for _, l := range t.ws.Lines() {
 		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
@@ -225,6 +229,8 @@ func (t *tx) Commit() error {
 	c.PersistBarrier(t.e.env.Root+offActiveGen, 8, pmem.KindLog)
 	c.Stats.TxCommitted++
 	c.Stats.AddLiveLog(-int64(t.tail))
+	c.TraceLiveLog()
+	c.TraceTxCommit(commitStart, t.ws.Len(), 0)
 	return nil
 }
 
@@ -238,6 +244,7 @@ func (t *tx) Abort() error {
 	t.e.open = false
 	t.rollback()
 	t.e.env.Core.Stats.TxAborted++
+	t.e.env.Core.TraceTxAbort()
 	return nil
 }
 
@@ -260,6 +267,8 @@ func (t *tx) rollback() {
 // apply its undo records in reverse order and invalidate the log.
 func (e *Engine) Recover() error {
 	c := e.env.Core
+	recoverStart := c.Now()
+	defer func() { c.TraceRecoverSpan(recoverStart) }()
 	gen := c.LoadUint64(e.env.Root + offActiveGen)
 	if gen == 0 {
 		return nil // no transaction in flight

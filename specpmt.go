@@ -38,6 +38,7 @@ import (
 	"specpmt/internal/pmem"
 	"specpmt/internal/sim"
 	"specpmt/internal/stats"
+	"specpmt/internal/trace"
 	"specpmt/internal/txn"
 
 	// Register all engines.
@@ -58,6 +59,24 @@ type Addr = pmem.Addr
 // Engines lists every registered crash-consistency engine.
 func Engines() []string { return txn.Engines() }
 
+// Tracer records typed simulation events (transactions, log appends, flush
+// and fence stalls, WPQ drains, reclamation, crash/recovery) keyed to the
+// virtual clock, and aggregates them into histograms and time series. A nil
+// Tracer disables tracing at zero modeled-time cost.
+type Tracer = trace.Tracer
+
+// Metrics is the aggregate view a Tracer maintains alongside its event
+// buffer: fence-stall / commit-latency / record-size histograms plus WPQ
+// depth and live-log-bytes time series.
+type Metrics = trace.Metrics
+
+// NewTracer creates an enabled event tracer for Config.Tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// Counters is the structured counter snapshot type returned by
+// Pool.Counters.
+type Counters = stats.Counters
+
 // Config parameterises Open.
 type Config struct {
 	// Size is the pool size in bytes (default 64 MiB). A quarter holds
@@ -72,6 +91,10 @@ type Config struct {
 	// SpecOptions overrides the SpecSPMT engine configuration; ignored for
 	// other engines.
 	SpecOptions *spec.Options
+	// Tracer, when non-nil, receives every simulation event the pool's
+	// device and engine emit (see NewTracer). Leave nil to run untraced;
+	// modeled time is bit-identical either way.
+	Tracer *Tracer
 }
 
 // RootSlots is the number of uint64 application root slots in a pool.
@@ -110,6 +133,9 @@ func Open(cfg Config) (*Pool, error) {
 		lat = sim.OptaneLatency()
 	}
 	dev := pmem.NewDevice(pmem.Config{Size: cfg.Size, Lat: lat})
+	if cfg.Tracer != nil {
+		dev.SetTracer(cfg.Tracer)
+	}
 	p := &Pool{dev: dev, cfg: cfg, ts: &txn.Timestamp{}}
 	return p, p.attach()
 }
@@ -118,11 +144,18 @@ func Open(cfg Config) (*Pool, error) {
 // Crash).
 func (p *Pool) attach() error {
 	p.core = p.dev.NewCore()
+	p.core.SetTrackName("app")
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := pmem.Addr(p.cfg.Size / 4)
 	if p.heap == nil {
 		p.heap = pmalloc.NewHeap(dataStart, dataEnd)
 		p.logs = pmalloc.NewHeap(dataEnd, pmem.Addr(p.cfg.Size))
+		if p.cfg.Tracer != nil {
+			// Closure, not a bound method value: p.core is replaced on Crash.
+			now := func() int64 { return p.core.Now() }
+			p.heap.SetTracer(p.cfg.Tracer, "heap.data", now)
+			p.logs.SetTracer(p.cfg.Tracer, "heap.log", now)
+		}
 	}
 	p.env = txn.Env{
 		Dev:     p.dev,
@@ -221,12 +254,31 @@ func (p *Pool) Recover() error { return p.engine.Recover() }
 // the simulation's performance metric — including time before crashes.
 func (p *Pool) ModeledTime() int64 { return p.accumNs + p.engineNow() }
 
-// Stats returns a formatted snapshot of the pool's cumulative counters.
-func (p *Pool) Stats() string {
+// Counters returns a structured snapshot of the pool's cumulative counters,
+// including those accumulated before crashes.
+func (p *Pool) Counters() Counters {
 	s := p.accumStats
 	s.Merge(p.core.Stats)
+	return s
+}
+
+// Stats returns a formatted snapshot of the pool's cumulative counters.
+func (p *Pool) Stats() string {
+	s := p.Counters()
 	return s.String()
 }
+
+// Metrics returns a snapshot of the aggregate trace metrics (histograms and
+// time series). The zero Metrics is returned when no Tracer is configured.
+func (p *Pool) Metrics() Metrics {
+	if p.cfg.Tracer == nil {
+		return Metrics{}
+	}
+	return p.cfg.Tracer.Metrics()
+}
+
+// Tracer returns the tracer the pool was opened with (nil when untraced).
+func (p *Pool) Tracer() *Tracer { return p.cfg.Tracer }
 
 // Close shuts the engine down.
 func (p *Pool) Close() error { return p.engine.Close() }

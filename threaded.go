@@ -57,10 +57,20 @@ func OpenThreaded(cfg Config, n int) (*ThreadedPool, error) {
 		cfg:     cfg,
 		threads: n,
 	}
+	if cfg.Tracer != nil {
+		p.dev.SetTracer(cfg.Tracer)
+	}
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := pmem.Addr(cfg.Size / 4)
 	p.heap = pmalloc.NewHeap(dataStart, dataEnd)
 	p.logs = pmalloc.NewHeap(dataEnd, pmem.Addr(cfg.Size))
+	if cfg.Tracer != nil {
+		clock := p.dev.NewCore()
+		clock.SetTrackName("clock")
+		now := func() int64 { return clock.Now() }
+		p.heap.SetTracer(cfg.Tracer, "heap.data", now)
+		p.logs.SetTracer(cfg.Tracer, "heap.log", now)
+	}
 	return p, p.attach()
 }
 
