@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"specpmt/internal/harness"
 	"specpmt/internal/stamp"
@@ -25,6 +26,18 @@ type jsonReport struct {
 	// counters (fences, flushes, PM write bytes by kind, seq/rand drain
 	// lines, transactions, log lifecycle).
 	Counters map[string]map[string]stats.Counters `json:"counters"`
+	// Wall reports host execution time — the only section that varies
+	// between runs (and across -parallel settings); every other field is a
+	// deterministic function of (txns, seed).
+	Wall jsonWall `json:"wall"`
+}
+
+// jsonWall is the host-side wall-clock summary of a bench invocation.
+type jsonWall struct {
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	Runs        int64   `json:"runs"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	Parallelism int     `json:"parallelism"`
 }
 
 type jsonFigure struct {
@@ -47,7 +60,7 @@ func init() {
 
 var jsonFlag *bool
 
-func printJSON(n int, seed uint64) {
+func printJSON(n int, seed uint64, start time.Time) {
 	rep := jsonReport{Txns: n, Seed: seed, Figures: map[string]jsonFigure{}}
 	rep.Table2 = harness.Table2(n, seed)
 	type figFn struct {
@@ -76,6 +89,13 @@ func printJSON(n int, seed uint64) {
 	rep.SpecOv = per
 	rep.SpecOv["geomean"] = geo
 	rep.Counters = collectCounters(n, seed)
+	elapsed := time.Since(start)
+	rep.Wall = jsonWall{
+		ElapsedSec:  elapsed.Seconds(),
+		Runs:        harness.RunCount(),
+		RunsPerSec:  float64(harness.RunCount()) / elapsed.Seconds(),
+		Parallelism: harness.Parallelism(),
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -88,25 +108,43 @@ func printJSON(n int, seed uint64) {
 // its structured counters — the raw material behind Figure 14's traffic bars
 // and Table 2's update counts.
 func collectCounters(n int, seed uint64) map[string]map[string]stats.Counters {
-	out := map[string]map[string]stats.Counters{}
-	engines := append([]string{harness.RawEngine}, harness.SoftwareEngines()...)
-	for _, eng := range engines {
-		m := map[string]stats.Counters{}
+	type job struct {
+		engine string
+		prof   stamp.Profile
+		hw     bool
+	}
+	var jobs []job
+	for _, eng := range append([]string{harness.RawEngine}, harness.SoftwareEngines()...) {
 		for _, p := range stamp.Profiles() {
-			r, err := harness.RunSoftware(eng, p, n, seed)
-			check(err)
-			m[p.Name] = r.Stats
+			jobs = append(jobs, job{engine: eng, prof: p})
 		}
-		out[eng] = m
 	}
 	for _, eng := range harness.HardwareEngines() {
-		m := map[string]stats.Counters{}
 		for _, p := range stamp.Profiles() {
-			r, err := harness.RunHardware(eng, p, n, seed, nil)
-			check(err)
-			m[p.Name] = r.Stats
+			jobs = append(jobs, job{engine: eng, prof: p, hw: true})
 		}
-		out[eng] = m
+	}
+	results := make([]stats.Counters, len(jobs))
+	check(harness.ForEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		var r harness.Result
+		var err error
+		if j.hw {
+			r, err = harness.RunHardware(j.engine, j.prof, n, seed, nil)
+		} else {
+			r, err = harness.RunSoftware(j.engine, j.prof, n, seed)
+		}
+		results[i] = r.Stats
+		return err
+	}))
+	out := map[string]map[string]stats.Counters{}
+	for i, j := range jobs {
+		m := out[j.engine]
+		if m == nil {
+			m = map[string]stats.Counters{}
+			out[j.engine] = m
+		}
+		m[j.prof.Name] = results[i]
 	}
 	return out
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"specpmt/internal/harness"
 	"specpmt/internal/sim"
@@ -31,15 +32,18 @@ func main() {
 	table := flag.Int("table", 0, "print one table (1, 2)")
 	all := flag.Bool("all", false, "print every experiment (default when no selection)")
 	mem := flag.Bool("mem", false, "print software SpecPMT's memory-space overhead (§4/§5 motivation)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = NumCPU, 1 = serial); results are identical at any setting")
 	chartFlag = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
 	flag.Parse()
+	harness.SetParallelism(*parallel)
+	start := time.Now()
 
 	if *calibFlag {
 		calibrate(*n, *seed)
 		return
 	}
 	if *jsonFlag {
-		printJSON(*n, *seed)
+		printJSON(*n, *seed, start)
 		return
 	}
 	if *traceFlag != "" || *metricsFlag {
@@ -74,6 +78,20 @@ func main() {
 	if *all || *fig == 15 {
 		printFigure15(*n, *seed)
 	}
+	// Wall-clock summary goes to stderr so stdout stays byte-identical
+	// across -parallel settings.
+	reportWall(os.Stderr, start)
+}
+
+// reportWall prints host wall-clock elapsed time and run throughput.
+func reportWall(w *os.File, start time.Time) {
+	elapsed := time.Since(start)
+	runs := harness.RunCount()
+	if runs == 0 {
+		return
+	}
+	fmt.Fprintf(w, "wall-clock: %.2fs, %d runs (%.1f runs/sec, -parallel %d)\n",
+		elapsed.Seconds(), runs, float64(runs)/elapsed.Seconds(), harness.Parallelism())
 }
 
 var chartFlag *bool

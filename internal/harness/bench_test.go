@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+	"specpmt/internal/txn"
+)
+
+// newBenchEngine builds a private device and one engine instance, the same
+// shape RunSoftware gives every run.
+func newBenchEngine(tb testing.TB, engine string) (txn.Engine, pmem.Addr) {
+	tb.Helper()
+	const dataBytes = 1 << 20
+	devSize := pmem.PageSize + dataBytes + (32 << 20)
+	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency()})
+	dev.SetExclusive(true)
+	core := dev.NewCore()
+	dataStart := pmem.Addr(pmem.PageSize)
+	dataEnd := dataStart + pmem.Addr(dataBytes)
+	env := txn.Env{
+		Dev:     dev,
+		Core:    core,
+		Heap:    pmalloc.NewHeap(dataStart, dataEnd),
+		LogHeap: pmalloc.NewHeap(dataEnd, pmem.Addr(devSize)),
+		Root:    0,
+		TS:      &txn.Timestamp{},
+	}
+	e, err := txn.New(engine, env)
+	if err != nil {
+		tb.Fatalf("new %s engine: %v", engine, err)
+	}
+	tb.Cleanup(func() { e.Close() })
+	return e, dataStart
+}
+
+// commitRound runs one representative transaction: four 64-byte updates.
+func commitRound(tb testing.TB, e txn.Engine, dataStart pmem.Addr, i int) {
+	var buf [64]byte
+	t := e.Begin()
+	for u := 0; u < 4; u++ {
+		addr := dataStart + pmem.Addr(((i*4+u)%2048)*64)
+		t.Store(addr, buf[:])
+	}
+	if err := t.Commit(); err != nil {
+		tb.Fatalf("commit: %v", err)
+	}
+}
+
+// BenchmarkEngineCommit measures the host-side Begin→Store→Commit cost of
+// every software engine (Marathe et al.'s per-engine microbenchmark
+// methodology).
+func BenchmarkEngineCommit(b *testing.B) {
+	for _, engine := range SoftwareEngines() {
+		b.Run(engine, func(b *testing.B) {
+			e, dataStart := newBenchEngine(b, engine)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitRound(b, e, dataStart, i)
+			}
+		})
+	}
+}
+
+// TestHotPathAllocs enforces the alloc budget on the spec engine's
+// transaction path: with the reusable tx object, value arenas, and record
+// staging buffer, a warm Begin→4×Store→Commit round must stay within a small
+// fixed budget (block-chain growth and occasional reclamation amortise to
+// well under one allocation per transaction; the budget leaves room for
+// those plus map-internal churn).
+func TestHotPathAllocs(t *testing.T) {
+	e, dataStart := newBenchEngine(t, "SpecSPMT")
+	i := 0
+	round := func() {
+		commitRound(t, e, dataStart, i)
+		i++
+	}
+	for w := 0; w < 300; w++ {
+		round() // warm maps, arenas, staging buffers, log blocks
+	}
+	const budget = 4.0
+	if allocs := testing.AllocsPerRun(500, round); allocs > budget {
+		t.Fatalf("spec Begin→Commit allocates %.2f times per tx; budget %.1f", allocs, budget)
+	}
+}

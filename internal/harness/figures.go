@@ -32,18 +32,15 @@ func Figure12(nTx int, seed uint64) (Figure, error) {
 	series := []string{"Kamino-Tx", "SPHT", "SpecSPMT-DP", "SpecSPMT"}
 	fig := Figure{Title: "Figure 12: Speedup over PMDK (software, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	for _, p := range stamp.Profiles() {
-		base, err := RunSoftware("PMDK", p, nTx, seed)
-		if err != nil {
-			return fig, err
-		}
+	grouped, err := softwareMatrix("PMDK", series, nTx, seed)
+	if err != nil {
+		return fig, err
+	}
+	for pi, p := range stamp.Profiles() {
+		base := grouped[pi][0]
 		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
-		for _, eng := range series {
-			r, err := RunSoftware(eng, p, nTx, seed)
-			if err != nil {
-				return fig, err
-			}
-			s := Speedup(base, r)
+		for ei, eng := range series {
+			s := Speedup(base, grouped[pi][1+ei])
 			row.Values[eng] = s
 			geo[eng] = append(geo[eng], s)
 		}
@@ -61,18 +58,15 @@ func Figure1Software(nTx int, seed uint64) (Figure, error) {
 	series := []string{"PMDK", "SPHT"}
 	fig := Figure{Title: "Figure 1 (top): overhead over no-transaction runs (software, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	for _, p := range stamp.Profiles() {
-		raw, err := RunSoftware(RawEngine, p, nTx, seed)
-		if err != nil {
-			return fig, err
-		}
+	grouped, err := softwareMatrix(RawEngine, series, nTx, seed)
+	if err != nil {
+		return fig, err
+	}
+	for pi, p := range stamp.Profiles() {
+		raw := grouped[pi][0]
 		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
-		for _, eng := range series {
-			r, err := RunSoftware(eng, p, nTx, seed)
-			if err != nil {
-				return fig, err
-			}
-			ov := Overhead(raw, r)
+		for ei, eng := range series {
+			ov := Overhead(raw, grouped[pi][1+ei])
 			row.Values[eng] = ov
 			geo[eng] = append(geo[eng], 1+ov)
 		}
@@ -89,16 +83,12 @@ func Figure1Software(nTx int, seed uint64) (Figure, error) {
 func SpecOverhead(nTx int, seed uint64) (perApp map[string]float64, geomean float64, err error) {
 	perApp = map[string]float64{}
 	var acc []float64
-	for _, p := range stamp.Profiles() {
-		raw, err := RunSoftware(RawEngine, p, nTx, seed)
-		if err != nil {
-			return nil, 0, err
-		}
-		r, err := RunSoftware("SpecSPMT", p, nTx, seed)
-		if err != nil {
-			return nil, 0, err
-		}
-		ov := Overhead(raw, r)
+	grouped, err := softwareMatrix(RawEngine, []string{"SpecSPMT"}, nTx, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	for pi, p := range stamp.Profiles() {
+		ov := Overhead(grouped[pi][0], grouped[pi][1])
 		perApp[p.Name] = ov
 		acc = append(acc, 1+ov)
 	}
@@ -186,11 +176,13 @@ type MemRow struct {
 // SoftwareMemoryOverhead measures the peak live speculative log against the
 // touched data footprint for every application.
 func SoftwareMemoryOverhead(nTx int, seed uint64) ([]MemRow, error) {
-	var rows []MemRow
-	for _, p := range stamp.Profiles() {
+	profiles := stamp.Profiles()
+	rows := make([]MemRow, len(profiles))
+	err := ForEach(len(profiles), func(pi int) error {
+		p := profiles[pi]
 		r, err := RunSoftware("SpecSPMT", p, nTx, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Touched data: distinct cache lines the stream's stores cover,
 		// measured by replaying the generator (repeated updates of hot data
@@ -219,7 +211,11 @@ func SoftwareMemoryOverhead(nTx int, seed uint64) ([]MemRow, error) {
 		if touched > 0 {
 			row.Ratio = float64(r.PeakLogBytes) / float64(touched)
 		}
-		rows = append(rows, row)
+		rows[pi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -52,6 +52,8 @@ func RunHardwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts *
 	logSpace := 4*fp + (96 << 20)
 	devSize := pmem.PageSize + fp + logSpace
 	dev := pmem.NewDevice(pmem.Config{Size: devSize}) // Table 1 latencies
+	// Private, single-goroutine device: skip the per-access mutex.
+	dev.SetExclusive(true)
 	if ro.Tracer != nil {
 		dev.SetTracer(ro.Tracer)
 	}
@@ -111,6 +113,7 @@ func RunHardwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts *
 	res.ModeledNs = coreNow(e) - clockStart
 	res.Stats = engineSnapshot(e)
 	res.PeakLogBytes = st.LogBytesPeak
+	runCount.Add(1)
 	return res, nil
 }
 
@@ -149,18 +152,15 @@ func Figure13(nTx int, seed uint64) (Figure, error) {
 	series := []string{"HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
 	fig := Figure{Title: "Figure 13: Speedup over EDE (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	for _, p := range stamp.Profiles() {
-		base, err := RunHardware("EDE", p, nTx, seed, nil)
-		if err != nil {
-			return fig, err
-		}
+	grouped, err := hardwareMatrix("EDE", series, nTx, seed, nil)
+	if err != nil {
+		return fig, err
+	}
+	for pi, p := range stamp.Profiles() {
+		base := grouped[pi][0]
 		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
-		for _, eng := range series {
-			r, err := RunHardware(eng, p, nTx, seed, nil)
-			if err != nil {
-				return fig, err
-			}
-			s := Speedup(base, r)
+		for ei, eng := range series {
+			s := Speedup(base, grouped[pi][1+ei])
 			row.Values[eng] = s
 			geo[eng] = append(geo[eng], s)
 		}
@@ -178,18 +178,15 @@ func Figure14(nTx int, seed uint64) (Figure, error) {
 	series := []string{"HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
 	fig := Figure{Title: "Figure 14: PM write-traffic reduction over EDE (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	for _, p := range stamp.Profiles() {
-		base, err := RunHardware("EDE", p, nTx, seed, nil)
-		if err != nil {
-			return fig, err
-		}
+	grouped, err := hardwareMatrix("EDE", series, nTx, seed, nil)
+	if err != nil {
+		return fig, err
+	}
+	for pi, p := range stamp.Profiles() {
+		base := grouped[pi][0]
 		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
-		for _, eng := range series {
-			r, err := RunHardware(eng, p, nTx, seed, nil)
-			if err != nil {
-				return fig, err
-			}
-			red := 1 - float64(totalTraffic(r))/float64(totalTraffic(base))
+		for ei, eng := range series {
+			red := 1 - float64(totalTraffic(grouped[pi][1+ei]))/float64(totalTraffic(base))
 			row.Values[eng] = red
 			geo[eng] = append(geo[eng], 1-red)
 		}
@@ -216,29 +213,46 @@ type Figure15Point struct {
 // write-traffic reduction against average memory-space increment (§7.3.1).
 func Figure15(nTx int, seed uint64) ([]Figure15Point, error) {
 	sweeps := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
-	var out []Figure15Point
-	for _, eb := range sweeps {
+	profiles := stamp.Profiles()
+	// One flat job list covering the whole sweep: for each epoch size, an
+	// EDE base and a SpecHPMT run per profile, all independent.
+	type cell struct {
+		base Result
+		r    Result
+	}
+	cells := make([]cell, len(sweeps)*len(profiles))
+	optsFor := func(eb int) *hwsim.HWOptions {
 		opts := &hwsim.HWOptions{EpochBytes: eb, EpochPages: 200 * eb / (2 << 20), MaxEpochs: 8}
 		if opts.EpochPages < 2 {
 			opts.EpochPages = 2
 		}
+		return opts
+	}
+	err := ForEach(len(cells), func(i int) error {
+		eb := sweeps[i/len(profiles)]
+		p := profiles[i%len(profiles)]
+		base, err := RunHardware("EDE", p, nTx, seed, nil)
+		if err != nil {
+			return err
+		}
+		r, err := RunHardware("SpecHPMT", p, nTx, seed, optsFor(eb))
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{base: base, r: r}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure15Point
+	for si, eb := range sweeps {
 		var speeds, reds, mems []float64
-		for _, p := range stamp.Profiles() {
-			base, err := RunHardware("EDE", p, nTx, seed, nil)
-			if err != nil {
-				return nil, err
-			}
-			r, err := RunHardware("SpecHPMT", p, nTx, seed, opts)
-			if err != nil {
-				return nil, err
-			}
-			speeds = append(speeds, Speedup(base, r))
-			reds = append(reds, 1-float64(totalTraffic(r))/float64(totalTraffic(base)))
-			denom := float64(base.PeakLogBytes)
-			if denom < 1 {
-				denom = 1
-			}
-			mems = append(mems, float64(r.PeakLogBytes)/float64(p.Footprint))
+		for pi, p := range profiles {
+			c := cells[si*len(profiles)+pi]
+			speeds = append(speeds, Speedup(c.base, c.r))
+			reds = append(reds, 1-float64(totalTraffic(c.r))/float64(totalTraffic(c.base)))
+			mems = append(mems, float64(c.r.PeakLogBytes)/float64(p.Footprint))
 		}
 		pt := Figure15Point{EpochBytes: eb, AvgSpeedup: GeoMean(speeds)}
 		for _, v := range reds {
@@ -258,18 +272,15 @@ func Figure1Hardware(nTx int, seed uint64) (Figure, error) {
 	series := []string{"EDE", "HOOP"}
 	fig := Figure{Title: "Figure 1 (bottom): overhead over no-log (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	for _, p := range stamp.Profiles() {
-		base, err := RunHardware("no-log", p, nTx, seed, nil)
-		if err != nil {
-			return fig, err
-		}
+	grouped, err := hardwareMatrix("no-log", series, nTx, seed, nil)
+	if err != nil {
+		return fig, err
+	}
+	for pi, p := range stamp.Profiles() {
+		base := grouped[pi][0]
 		row := FigureRow{Workload: p.Name, Values: map[string]float64{}}
-		for _, eng := range series {
-			r, err := RunHardware(eng, p, nTx, seed, nil)
-			if err != nil {
-				return fig, err
-			}
-			ov := Overhead(base, r)
+		for ei, eng := range series {
+			ov := Overhead(base, grouped[pi][1+ei])
 			row.Values[eng] = ov
 			geo[eng] = append(geo[eng], 1+ov)
 		}

@@ -80,6 +80,10 @@ func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts R
 	logSpace := 6*fp + (64 << 20)
 	devSize := pmem.PageSize + fp + logSpace
 	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency(), EADR: opts.EADR})
+	// The device is private to this run and driven by this goroutine alone,
+	// so it may skip its per-access mutex. Engines that spawn goroutines
+	// (background reclaim) pin locking back on themselves.
+	dev.SetExclusive(true)
 	if opts.Tracer != nil {
 		dev.SetTracer(opts.Tracer)
 	}
@@ -119,6 +123,7 @@ func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts R
 		}
 		res.ModeledNs = core.Now() - start
 		res.Stats = core.Stats.Snapshot()
+		runCount.Add(1)
 		return res, nil
 	}
 
@@ -153,6 +158,7 @@ func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts R
 	res.ModeledNs = core.Now() - start
 	res.Stats = core.Stats.Snapshot()
 	res.PeakLogBytes = core.Stats.LogBytesPeak
+	runCount.Add(1)
 	return res, nil
 }
 

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specpmt/internal/hwsim"
+	"specpmt/internal/stamp"
+)
+
+// The figure and bench matrices are embarrassingly parallel: every
+// RunSoftware/RunHardware invocation builds a private pmem.Device, private
+// cores, and a seed-keyed deterministic op stream, so runs share no mutable
+// state. The pool below fans independent runs out across goroutines while
+// results are always assembled in input order — serial and parallel
+// executions of the same matrix produce byte-identical output.
+
+// parallelism is the configured worker count; 0 means "use NumCPU".
+var parallelism atomic.Int64
+
+// runCount tallies completed Run* invocations process-wide, so the bench CLI
+// can report runs/sec alongside wall-clock time.
+var runCount atomic.Int64
+
+// RunCount reports how many software/hardware runs have completed in this
+// process.
+func RunCount() int64 { return runCount.Load() }
+
+// SetParallelism sets the number of worker goroutines used for independent
+// runs in figure/bench matrices. n <= 0 restores the default,
+// runtime.NumCPU(). 1 forces fully serial execution.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the effective worker count.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ForEach invokes fn(0..n-1), fanning the calls across Parallelism() worker
+// goroutines. Every index is attempted regardless of other indices' errors;
+// the returned error is the lowest-index failure, which makes the error a
+// deterministic function of the inputs rather than of goroutine scheduling.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runJob names one cell of a run matrix.
+type runJob struct {
+	engine string
+	prof   stamp.Profile
+	hw     bool
+	opts   *hwsim.HWOptions // hardware-only epoch override (Figure 15)
+}
+
+// runMatrix executes every job — across the worker pool — and returns the
+// results in input order.
+func runMatrix(jobs []runJob, nTx int, seed uint64) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	err := ForEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		var r Result
+		var err error
+		if j.hw {
+			r, err = RunHardware(j.engine, j.prof, nTx, seed, j.opts)
+		} else {
+			r, err = RunSoftware(j.engine, j.prof, nTx, seed)
+		}
+		results[i] = r
+		return err
+	})
+	return results, err
+}
+
+// softwareMatrix runs base plus each series engine over every profile and
+// returns, per profile, the base result and the series results in order.
+func softwareMatrix(base string, series []string, nTx int, seed uint64) ([][]Result, error) {
+	return groupedMatrix(base, series, nTx, seed, false, nil)
+}
+
+// hardwareMatrix is softwareMatrix for the hardware engines.
+func hardwareMatrix(base string, series []string, nTx int, seed uint64, opts *hwsim.HWOptions) ([][]Result, error) {
+	return groupedMatrix(base, series, nTx, seed, true, opts)
+}
+
+// groupedMatrix flattens (profile × [base, series...]) into one job list,
+// runs it through the pool, and regroups results per profile: out[p][0] is
+// the base run, out[p][1+i] is series[i]. opts applies only to SpecHPMT
+// variants (RunHardware ignores it otherwise).
+func groupedMatrix(base string, series []string, nTx int, seed uint64, hw bool, opts *hwsim.HWOptions) ([][]Result, error) {
+	profiles := stamp.Profiles()
+	width := 1 + len(series)
+	jobs := make([]runJob, 0, len(profiles)*width)
+	for _, p := range profiles {
+		jobs = append(jobs, runJob{engine: base, prof: p, hw: hw, opts: opts})
+		for _, eng := range series {
+			jobs = append(jobs, runJob{engine: eng, prof: p, hw: hw, opts: opts})
+		}
+	}
+	flat, err := runMatrix(jobs, nTx, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(profiles))
+	for i := range profiles {
+		out[i] = flat[i*width : (i+1)*width]
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"specpmt/internal/stamp"
+	"specpmt/internal/stats"
+)
+
+// matrixSnapshot runs a representative figure matrix (software Figure 12)
+// plus software and hardware counter sweeps filled through the same worker
+// pool the bench tool uses, and returns it all as canonical JSON.
+func matrixSnapshot(t *testing.T, nTx int, seed uint64) []byte {
+	t.Helper()
+	f12, err := Figure12(nTx, seed)
+	if err != nil {
+		t.Fatalf("Figure12: %v", err)
+	}
+	type job struct {
+		engine string
+		hw     bool
+	}
+	jobs := []job{{"PMDK", false}, {"SpecSPMT", false}, {"EDE", true}, {"SpecHPMT", true}}
+	profiles := stamp.Profiles()
+	counters := make([]stats.Counters, len(jobs)*len(profiles))
+	err = ForEach(len(counters), func(i int) error {
+		j := jobs[i/len(profiles)]
+		p := profiles[i%len(profiles)]
+		var r Result
+		var err error
+		if j.hw {
+			r, err = RunHardware(j.engine, p, nTx, seed, nil)
+		} else {
+			r, err = RunSoftware(j.engine, p, nTx, seed)
+		}
+		if err != nil {
+			return err
+		}
+		counters[i] = r.Stats
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("counter matrix: %v", err)
+	}
+	blob, err := json.Marshal(struct {
+		F12      Figure
+		Counters []stats.Counters
+	}{f12, counters})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return blob
+}
+
+// TestParallelDeterminism asserts the tentpole property of the parallel
+// harness: the same figure matrix run serially (-parallel 1) and with a
+// worker pool (-parallel 4) produces bit-identical results — every run owns
+// a private device and a seed-keyed workload generator, and results are
+// assembled in input order, so scheduling cannot leak into the output.
+func TestParallelDeterminism(t *testing.T) {
+	const nTx = 20
+	const seed = uint64(1)
+	defer SetParallelism(0)
+
+	SetParallelism(1)
+	serial := matrixSnapshot(t, nTx, seed)
+	SetParallelism(4)
+	parallel := matrixSnapshot(t, nTx, seed)
+
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serial and parallel runs diverge:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}

@@ -80,6 +80,9 @@ type Cluster struct {
 func NewCluster(envs []txn.Env, opt HWOptions) (*Cluster, error) {
 	cl := &Cluster{coord: &Coordinator{}}
 	for i, env := range envs {
+		// Cluster engines run one-goroutine-each against a shared device:
+		// pin device-level locking on (overrides exclusive mode).
+		env.Dev.ForceShared()
 		e, err := NewSpecHPMT(env, opt)
 		if err != nil {
 			return nil, fmt.Errorf("hwsim: cluster thread %d: %w", i, err)

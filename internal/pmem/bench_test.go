@@ -1,0 +1,145 @@
+package pmem
+
+import (
+	"testing"
+
+	"specpmt/internal/sim"
+)
+
+// newBenchDevice builds a 1 MiB device with one core, warmed so that lazily
+// allocated structures (dirty-bitmap pages) exist before measurement.
+func newBenchDevice(exclusive bool) (*Device, *Core) {
+	d := NewDevice(Config{Size: 1 << 20, Lat: sim.OptaneLatency()})
+	d.SetExclusive(exclusive)
+	c := d.NewCore()
+	var buf [64]byte
+	for a := Addr(0); a < 1<<20; a += 4096 {
+		c.Store(a, buf[:])
+		c.Flush(a, len(buf), KindData)
+	}
+	c.Fence()
+	return d, c
+}
+
+// BenchmarkDeviceStoreFlushFence measures the simulator's inner loop: a
+// 64-byte store, its CLWB, and an SFENCE.
+func BenchmarkDeviceStoreFlushFence(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		excl bool
+	}{{"exclusive", true}, {"locked", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, c := newBenchDevice(mode.excl)
+			var buf [64]byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := Addr((i % 1024) * 64)
+				c.Store(a, buf[:])
+				c.Flush(a, len(buf), KindData)
+				c.Fence()
+			}
+		})
+	}
+}
+
+// BenchmarkDeviceStore isolates the store path (dirty-bitmap set).
+func BenchmarkDeviceStore(b *testing.B) {
+	_, c := newBenchDevice(true)
+	var buf [64]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Store(Addr((i%1024)*64), buf[:])
+	}
+}
+
+// TestHotPathAllocs enforces the zero-allocation property of the device hot
+// paths: once warm, Store, Flush, and Fence must not touch the Go heap. The
+// dirty-line bitmap and the WPQ ring make this hold by construction; this
+// test keeps it true.
+func TestHotPathAllocs(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		excl bool
+	}{{"exclusive", true}, {"locked", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, c := newBenchDevice(mode.excl)
+			var buf [64]byte
+			i := 0
+			op := func() {
+				a := Addr((i % 1024) * 64)
+				i++
+				c.Store(a, buf[:])
+				c.Flush(a, len(buf), KindData)
+				c.Fence()
+			}
+			op() // warm any first-touch lazy state
+			if allocs := testing.AllocsPerRun(200, op); allocs != 0 {
+				t.Fatalf("Store+Flush+Fence allocates %.1f times per op; want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCrashReusesBitmap verifies Crash/CrashClean clear the dirty set in
+// place: after a crash the same (already allocated) bitmap keeps tracking
+// dirty lines, and repeated crash rounds do not reallocate it.
+func TestCrashReusesBitmap(t *testing.T) {
+	d := NewDevice(Config{Size: 1 << 20, Lat: sim.OptaneLatency()})
+	c := d.NewCore()
+	rng := sim.NewRand(7)
+	var buf [64]byte
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 64; i++ {
+			c.Store(Addr(i*64), buf[:])
+		}
+		if got := d.DirtyLines(); got != 64 {
+			t.Fatalf("round %d: DirtyLines = %d, want 64", round, got)
+		}
+		if round%2 == 0 {
+			d.Crash(rng)
+		} else {
+			d.CrashClean()
+		}
+		if got := d.DirtyLines(); got != 0 {
+			t.Fatalf("round %d: DirtyLines after crash = %d, want 0", round, got)
+		}
+	}
+	// Crash with a warm bitmap must not allocate a replacement dirty set.
+	for i := 0; i < 64; i++ {
+		c.Store(Addr(i*64), buf[:])
+	}
+	d.CrashClean()
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 64; i++ {
+			c.Store(Addr(i*64), buf[:])
+		}
+		d.CrashClean()
+	})
+	if allocs != 0 {
+		t.Fatalf("store+crash loop allocates %.1f times per round; want 0", allocs)
+	}
+}
+
+// TestExclusiveModePinning verifies ForceShared permanently wins over
+// SetExclusive: once a component declares multi-goroutine use, the fast
+// path cannot be re-enabled.
+func TestExclusiveModePinning(t *testing.T) {
+	d := NewDevice(Config{Size: 4096})
+	if !d.locking.Load() {
+		t.Fatal("new device must default to locked")
+	}
+	d.SetExclusive(true)
+	if d.locking.Load() {
+		t.Fatal("SetExclusive(true) should disable locking")
+	}
+	d.ForceShared()
+	if !d.locking.Load() {
+		t.Fatal("ForceShared must re-enable locking")
+	}
+	d.SetExclusive(true)
+	if !d.locking.Load() {
+		t.Fatal("SetExclusive(true) after ForceShared must be ignored")
+	}
+}

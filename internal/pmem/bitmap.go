@@ -1,0 +1,114 @@
+package pmem
+
+import "math/bits"
+
+// dirtyBitmap tracks which cache lines hold unflushed stores. It replaces the
+// map[uint64]struct{} the device used to allocate on every store: setting and
+// clearing bits is allocation-free once a page exists, and a crash clears the
+// bitmap in place instead of reallocating it — the device's hottest paths
+// (Store, Flush, Crash) never touch the Go heap in steady state.
+//
+// The bitmap is paged: line space is split into fixed-size pages of
+// dirtyPageLines lines each, and a page's word array is allocated lazily the
+// first time a line inside it is dirtied. Devices are sized for worst-case
+// log growth (hundreds of megabytes) but workloads touch a tiny, dense
+// subset, so paging keeps the resident bitmap proportional to the touched
+// footprint rather than the device capacity.
+const (
+	// dirtyPageShift gives 32768 lines (2 MiB of device space) per page; a
+	// page's word array is 4 KiB.
+	dirtyPageShift = 15
+	dirtyPageLines = 1 << dirtyPageShift
+	dirtyPageWords = dirtyPageLines / 64
+)
+
+type dirtyBitmap struct {
+	pages [][]uint64
+	n     int // set bits
+}
+
+// newDirtyBitmap sizes the page table for a device of size bytes.
+func newDirtyBitmap(size int) *dirtyBitmap {
+	lines := (size + LineSize - 1) / LineSize
+	npages := (lines + dirtyPageLines - 1) / dirtyPageLines
+	if npages == 0 {
+		npages = 1
+	}
+	return &dirtyBitmap{pages: make([][]uint64, npages)}
+}
+
+// set marks line dirty.
+func (b *dirtyBitmap) set(line uint64) {
+	pi := line >> dirtyPageShift
+	p := b.pages[pi]
+	if p == nil {
+		p = make([]uint64, dirtyPageWords)
+		b.pages[pi] = p
+	}
+	w, bit := (line%dirtyPageLines)/64, uint(line%64)
+	if p[w]&(1<<bit) == 0 {
+		p[w] |= 1 << bit
+		b.n++
+	}
+}
+
+// clear marks line clean.
+func (b *dirtyBitmap) clear(line uint64) {
+	pi := line >> dirtyPageShift
+	p := b.pages[pi]
+	if p == nil {
+		return
+	}
+	w, bit := (line%dirtyPageLines)/64, uint(line%64)
+	if p[w]&(1<<bit) != 0 {
+		p[w] &^= 1 << bit
+		b.n--
+	}
+}
+
+// test reports whether line is dirty.
+func (b *dirtyBitmap) test(line uint64) bool {
+	pi := line >> dirtyPageShift
+	p := b.pages[pi]
+	if p == nil {
+		return false
+	}
+	return p[(line%dirtyPageLines)/64]&(1<<uint(line%64)) != 0
+}
+
+// count returns the number of dirty lines.
+func (b *dirtyBitmap) count() int { return b.n }
+
+// clearAll resets every bit but keeps the page allocations, so crash loops
+// (internal/crashtest runs many rounds on one device) reuse the memory
+// instead of rebuilding the structure each round.
+func (b *dirtyBitmap) clearAll() {
+	for _, p := range b.pages {
+		if p == nil {
+			continue
+		}
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	b.n = 0
+}
+
+// forEach calls fn for every dirty line in ascending line order. Ordered
+// iteration makes crash outcomes a deterministic function of the seed — the
+// old map-based implementation consumed the crash RNG in random map order.
+func (b *dirtyBitmap) forEach(fn func(line uint64)) {
+	for pi, p := range b.pages {
+		if p == nil {
+			continue
+		}
+		base := uint64(pi) << dirtyPageShift
+		for w, word := range p {
+			for word != 0 {
+				bit := uint(bits.TrailingZeros64(word))
+				fn(base + uint64(w)*64 + uint64(bit))
+				word &^= 1 << bit
+			}
+		}
+	}
+}

@@ -23,12 +23,20 @@
 // Recovery code therefore has to tolerate both "made it" and "didn't make
 // it" outcomes for every unfenced store — exactly the hazard persistent
 // memory transactions exist to control.
+//
+// Hot-path discipline: Store/Load/Flush/Fence are the simulator's inner
+// loop, executed millions of times per experiment. They are allocation-free
+// in steady state (dirty lines live in a paged bitmap, the WPQ is a
+// fixed-capacity ring) and take no mutex when the device is in exclusive
+// mode (SetExclusive) — the default for harness runs, where each run owns a
+// private device driven by one goroutine.
 package pmem
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"specpmt/internal/sim"
 	"specpmt/internal/stats"
@@ -80,13 +88,21 @@ type Config struct {
 }
 
 // Device is the simulated persistent memory module. All exported methods are
-// safe for concurrent use by multiple Cores.
+// safe for concurrent use by multiple Cores unless SetExclusive has claimed
+// single-goroutine use.
 type Device struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	// locking selects between the mutex (true, the safe default) and the
+	// exclusive-mode fast path (false): a single atomic load per access
+	// instead of a lock/unlock pair. Components that hand cores to other
+	// goroutines pin locking on via ForceShared.
+	locking      atomic.Bool
+	pinnedShared atomic.Bool
+
 	cfg       Config
 	mem       []byte
 	persisted []byte
-	dirty     map[uint64]struct{}
+	dirty     *dirtyBitmap
 	cores     []*Core
 	crashes   int
 	// The drain pipeline models a single memory controller shared by all
@@ -108,18 +124,64 @@ func NewDevice(cfg Config) *Device {
 	if cfg.Lat == (sim.Latency{}) {
 		cfg.Lat = sim.DefaultLatency()
 	}
+	if cfg.Lat.WPQLines <= 0 {
+		cfg.Lat.WPQLines = sim.DefaultLatency().WPQLines
+	}
 	if cfg.CrashEvictProb == 0 {
 		cfg.CrashEvictProb = 0.5
 	}
 	size := (cfg.Size + LineSize - 1) / LineSize * LineSize
 	cfg.Size = size
-	return &Device{
+	d := &Device{
 		cfg:       cfg,
 		mem:       make([]byte, size),
 		persisted: make([]byte, size),
-		dirty:     make(map[uint64]struct{}),
+		dirty:     newDirtyBitmap(size),
 		drainLine: ^uint64(0),
 	}
+	d.locking.Store(true)
+	return d
+}
+
+// lock acquires the device mutex unless the device runs in exclusive mode.
+// It returns whether the mutex was taken, so the paired unlock stays
+// balanced even if the mode is reconfigured between operations. Hot paths
+// use lock/unlock directly (no defer) to keep the per-access cost at a
+// single atomic load.
+func (d *Device) lock() bool {
+	if d.locking.Load() {
+		d.mu.Lock()
+		return true
+	}
+	return false
+}
+
+func (d *Device) unlock(locked bool) {
+	if locked {
+		d.mu.Unlock()
+	}
+}
+
+// SetExclusive declares (excl=true) that this device and every attached core
+// are driven by a single goroutine, replacing the per-access mutex with one
+// atomic flag check — the single-core fast path for harness runs, where each
+// run owns a private device. SetExclusive(false) restores locking. The call
+// is ignored once a component has pinned the device shared (ForceShared):
+// multi-goroutine machinery outranks the fast-path request.
+func (d *Device) SetExclusive(excl bool) {
+	if excl && d.pinnedShared.Load() {
+		return
+	}
+	d.locking.Store(!excl)
+}
+
+// ForceShared permanently re-enables device-level locking. Components that
+// hand cores to other goroutines (thread pools, background reclaim daemons)
+// call it before spawning, so a prior or later SetExclusive(true) can never
+// strip the synchronisation they rely on.
+func (d *Device) ForceShared() {
+	d.pinnedShared.Store(true)
+	d.locking.Store(true)
 }
 
 // Size returns the device capacity in bytes.
@@ -127,24 +189,26 @@ func (d *Device) Size() int { return d.cfg.Size }
 
 // Crashes returns how many times Crash has been invoked.
 func (d *Device) Crashes() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.crashes
+	locked := d.lock()
+	n := d.crashes
+	d.unlock(locked)
+	return n
 }
 
 // NewCore attaches a new logical core (own virtual clock, own WPQ, own
 // counters) to the device.
 func (d *Device) NewCore() *Core {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	locked := d.lock()
 	c := &Core{
 		dev:   d,
 		Stats: &stats.Counters{},
+		wpq:   make([]wpqEntry, d.cfg.Lat.WPQLines),
 	}
 	d.cores = append(d.cores, c)
 	if d.tracer != nil {
 		c.attachTracer(d.tracer, len(d.cores)-1)
 	}
+	d.unlock(locked)
 	return c
 }
 
@@ -153,19 +217,20 @@ func (d *Device) NewCore() *Core {
 // tracer — the default — disables tracing; every hook site guards with a
 // nil check, so modeled times are bit-identical either way.
 func (d *Device) SetTracer(tr *trace.Tracer) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	locked := d.lock()
 	d.tracer = tr
 	for i, c := range d.cores {
 		c.attachTracer(tr, i)
 	}
+	d.unlock(locked)
 }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (d *Device) Tracer() *trace.Tracer {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.tracer
+	locked := d.lock()
+	tr := d.tracer
+	d.unlock(locked)
+	return tr
 }
 
 func (d *Device) checkRange(addr Addr, n int) {
@@ -178,25 +243,26 @@ func (d *Device) checkRange(addr Addr, n int) {
 // buf. It is a verification hook for tests and the crash harness, not a
 // runtime primitive.
 func (d *Device) ReadPersisted(addr Addr, buf []byte) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	locked := d.lock()
 	d.checkRange(addr, len(buf))
 	copy(buf, d.persisted[addr:int(addr)+len(buf)])
+	d.unlock(locked)
 }
 
 // IsDirty reports whether the line containing addr has unflushed stores.
 func (d *Device) IsDirty(addr Addr) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	_, ok := d.dirty[LineOf(addr)]
+	locked := d.lock()
+	ok := d.dirty.test(LineOf(addr))
+	d.unlock(locked)
 	return ok
 }
 
 // DirtyLines returns the number of lines with unflushed stores.
 func (d *Device) DirtyLines() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.dirty)
+	locked := d.lock()
+	n := d.dirty.count()
+	d.unlock(locked)
+	return n
 }
 
 // PokePersisted writes data directly into both the architectural and the
@@ -207,11 +273,11 @@ func (d *Device) DirtyLines() int {
 // backup; therefore, our experiments correspond to Kamino-Tx's upper bound
 // in performance", §7.1.2).
 func (d *Device) PokePersisted(addr Addr, data []byte) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	locked := d.lock()
 	d.checkRange(addr, len(data))
 	copy(d.mem[addr:int(addr)+len(data)], data)
 	copy(d.persisted[addr:int(addr)+len(data)], data)
+	d.unlock(locked)
 }
 
 // Crash simulates a power failure. Dirty lines are individually evicted
@@ -221,61 +287,65 @@ func (d *Device) PokePersisted(addr Addr, data []byte) {
 // moment of failure). The architectural image is then reset to the persisted
 // image, all WPQs are cleared, and every core's clock restarts at zero.
 //
+// Dirty lines take their eviction lottery draws in ascending line order, so
+// a crash outcome is a deterministic function of the RNG seed (the former
+// map-based dirty set consumed the RNG in random iteration order). The dirty
+// bitmap and each core's WPQ ring are cleared in place, not reallocated —
+// crash-loop harnesses reuse the same device for many rounds.
+//
 // After Crash returns, loads observe exactly the post-crash memory contents
 // and recovery code can run on any core.
 func (d *Device) Crash(rng *sim.Rand) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	locked := d.lock()
 	d.crashes++
 	d.traceCrashLocked()
 	// WPQ disposition first: drained entries are authoritative over the
 	// cache-eviction lottery because the flush captured their data.
 	for _, c := range d.cores {
-		for _, e := range c.wpq {
+		for i := 0; i < c.wpqLen; i++ {
+			e := c.wpqAt(i)
 			// Entries accepted into the ADR domain are persistent; a flush
 			// still in flight at the failure is a coin flip.
 			if e.acceptAt <= c.clock.Now() || rng.Float64() < 0.5 {
 				copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
 			}
 		}
-		c.wpq = nil
-		c.nApplied = 0
-		c.wpqBytes = 0
+		c.resetWPQ()
 		c.clock.Reset()
 	}
 	d.drainEnd = 0
 	d.drainLine = ^uint64(0)
-	for line := range d.dirty {
+	d.dirty.forEach(func(line uint64) {
 		if rng.Float64() < d.cfg.CrashEvictProb {
 			copy(d.persisted[line*LineSize:(line+1)*LineSize], d.mem[line*LineSize:(line+1)*LineSize])
 		}
-	}
-	d.dirty = make(map[uint64]struct{})
+	})
+	d.dirty.clearAll()
 	copy(d.mem, d.persisted)
+	d.unlock(locked)
 }
 
 // CrashClean is Crash with deterministic, fully pessimistic semantics: no
 // dirty line and no pending WPQ entry survives. Useful for targeted tests.
 func (d *Device) CrashClean() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	locked := d.lock()
 	d.crashes++
 	d.traceCrashLocked()
 	for _, c := range d.cores {
-		for _, e := range c.wpq {
+		for i := 0; i < c.wpqLen; i++ {
+			e := c.wpqAt(i)
 			if e.acceptAt <= c.clock.Now() {
 				copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
 			}
 		}
-		c.wpq = nil
-		c.nApplied = 0
-		c.wpqBytes = 0
+		c.resetWPQ()
 		c.clock.Reset()
 	}
 	d.drainEnd = 0
 	d.drainLine = ^uint64(0)
-	d.dirty = make(map[uint64]struct{})
+	d.dirty.clearAll()
 	copy(d.mem, d.persisted)
+	d.unlock(locked)
 }
 
 // traceCrashLocked reports a power failure to the tracer at the latest core
@@ -312,13 +382,26 @@ type Core struct {
 	clock sim.Clock
 	Stats *stats.Counters
 
+	// The WPQ is a fixed-capacity ring of cfg.Lat.WPQLines entries —
+	// enqueueLocked stalls when it is full, so it can never grow, and the
+	// ring is allocated once per core instead of append/compact churn on
+	// every flush and drain.
 	wpq      []wpqEntry
-	nApplied int // prefix of wpq already applied to the persisted image
-	wpqBytes int
+	wpqHead  int // index of the oldest pending entry
+	wpqLen   int // live entries
+	nApplied int // prefix (from head) already applied to the persisted image
 
 	trc        *trace.Tracer // nil = tracing off (the hot-path default)
 	track      int           // execution track (tx/flush/fence events)
 	drainTrack int           // WPQ track (drain events, depth counter)
+}
+
+// wpqAt returns the i-th oldest pending entry (0 = front of the queue).
+func (c *Core) wpqAt(i int) *wpqEntry { return &c.wpq[(c.wpqHead+i)%len(c.wpq)] }
+
+// resetWPQ empties the ring in place.
+func (c *Core) resetWPQ() {
+	c.wpqHead, c.wpqLen, c.nApplied = 0, 0, 0
 }
 
 // attachTracer registers this core's trace tracks. Caller holds d.mu.
@@ -412,18 +495,18 @@ func (c *Core) Now() int64 { return c.clock.Now() }
 // asynchronous persistence.
 func (c *Core) Compute(ns int64) {
 	c.clock.Advance(ns)
-	c.dev.mu.Lock()
+	locked := c.dev.lock()
 	c.drainUntilLocked(c.clock.Now())
-	c.dev.mu.Unlock()
+	c.dev.unlock(locked)
 }
 
 // Load copies n=len(buf) bytes at addr into buf, charging cache-read cost.
 func (c *Core) Load(addr Addr, buf []byte) {
 	d := c.dev
-	d.mu.Lock()
+	locked := d.lock()
 	d.checkRange(addr, len(buf))
 	copy(buf, d.mem[addr:int(addr)+len(buf)])
-	d.mu.Unlock()
+	d.unlock(locked)
 	lines := int64(linesSpanned(addr, len(buf)))
 	c.clock.Advance(lines * d.cfg.Lat.CacheRead)
 	c.Stats.Loads++
@@ -436,21 +519,18 @@ func (c *Core) Load(addr Addr, buf []byte) {
 // mode, where the caches are inside the persistence domain.
 func (c *Core) Store(addr Addr, data []byte) {
 	d := c.dev
-	d.mu.Lock()
+	locked := d.lock()
 	d.checkRange(addr, len(data))
 	copy(d.mem[addr:int(addr)+len(data)], data)
 	if d.cfg.EADR {
 		copy(d.persisted[addr:int(addr)+len(data)], data)
-	} else {
+	} else if len(data) > 0 {
 		first, last := LineOf(addr), LineOf(addr+Addr(len(data)-1))
-		if len(data) == 0 {
-			last = first
-		}
 		for l := first; l <= last; l++ {
-			d.dirty[l] = struct{}{}
+			d.dirty.set(l)
 		}
 	}
-	d.mu.Unlock()
+	d.unlock(locked)
 	lines := int64(linesSpanned(addr, len(data)))
 	c.clock.Advance(lines * d.cfg.Lat.CacheWrite)
 	c.Stats.Stores++
@@ -462,30 +542,27 @@ func (c *Core) Store(addr Addr, data []byte) {
 // persistence bookkeeping.
 func (c *Core) LoadRaw(addr Addr, buf []byte) {
 	d := c.dev
-	d.mu.Lock()
+	locked := d.lock()
 	d.checkRange(addr, len(buf))
 	copy(buf, d.mem[addr:int(addr)+len(buf)])
-	d.mu.Unlock()
+	d.unlock(locked)
 }
 
 // StoreRaw is the zero-latency counterpart of Store.
 func (c *Core) StoreRaw(addr Addr, data []byte) {
 	d := c.dev
-	d.mu.Lock()
+	locked := d.lock()
 	d.checkRange(addr, len(data))
 	copy(d.mem[addr:int(addr)+len(data)], data)
 	if d.cfg.EADR {
 		copy(d.persisted[addr:int(addr)+len(data)], data)
-	} else {
+	} else if len(data) > 0 {
 		first, last := LineOf(addr), LineOf(addr+Addr(len(data)-1))
-		if len(data) == 0 {
-			last = first
-		}
 		for l := first; l <= last; l++ {
-			d.dirty[l] = struct{}{}
+			d.dirty.set(l)
 		}
 	}
-	d.mu.Unlock()
+	d.unlock(locked)
 }
 
 // LoadUint64 reads a little-endian uint64 at addr.
@@ -536,35 +613,36 @@ func (c *Core) Flush(addr Addr, n int, kind Kind) {
 		}
 		return
 	}
-	d.mu.Lock()
+	locked := d.lock()
 	d.checkRange(addr, n)
 	first, last := LineOf(addr), LineOf(addr+Addr(n-1))
 	for l := first; l <= last; l++ {
 		c.clock.Advance(d.cfg.Lat.FlushIssue)
 		c.Stats.Flushes++
 		c.enqueueLocked(l, kind)
-		delete(d.dirty, l)
+		d.dirty.clear(l)
 	}
-	depth := len(c.wpq)
-	d.mu.Unlock()
+	depth := c.wpqLen
+	d.unlock(locked)
 	if c.trc != nil {
 		c.trc.Flush(c.track, start, c.clock.Now(), int(last-first+1), uint8(kind), depth)
 	}
 }
 
-// enqueueLocked places line l into the WPQ, blocking (advancing the clock)
-// if the queue is full. Caller holds d.mu.
+// enqueueLocked places line l into the WPQ ring, blocking (advancing the
+// clock) if the queue is full. Caller holds d.mu.
 func (c *Core) enqueueLocked(l uint64, kind Kind) {
 	d := c.dev
 	c.drainUntilLocked(c.clock.Now())
-	if len(c.wpq) >= d.cfg.Lat.WPQLines {
+	if c.wpqLen >= len(c.wpq) {
 		// Queue full: stall until the oldest entry drains.
-		c.clock.AdvanceTo(c.wpq[0].drainAt)
+		c.clock.AdvanceTo(c.wpqAt(0).drainAt)
 		c.drainUntilLocked(c.clock.Now())
 	}
-	var e wpqEntry
+	e := c.wpqAt(c.wpqLen)
 	e.line = l
 	e.kind = kind
+	e.seq = false
 	copy(e.data[:], d.mem[l*LineSize:(l+1)*LineSize])
 	cost := d.cfg.Lat.PMWriteRandom
 	if d.drainLine != ^uint64(0) && l == d.drainLine+1 {
@@ -588,21 +666,20 @@ func (c *Core) enqueueLocked(l uint64, kind Kind) {
 	}
 	d.drainEnd = e.drainAt
 	d.drainLine = l
-	c.wpq = append(c.wpq, e)
-	c.wpqBytes += LineSize
+	c.wpqLen++
 	if c.trc != nil {
-		c.trc.WPQSample(c.drainTrack, c.clock.Now(), len(c.wpq))
+		c.trc.WPQSample(c.drainTrack, c.clock.Now(), c.wpqLen)
 	}
 }
 
 // drainUntilLocked advances WPQ bookkeeping to time now: entries whose
 // acceptance has completed become part of the persistence domain (applied to
 // the persisted image), and entries whose media write-back has completed
-// free their WPQ slot.
+// free their ring slot.
 func (c *Core) drainUntilLocked(now int64) {
 	d := c.dev
-	for ; c.nApplied < len(c.wpq); c.nApplied++ {
-		e := c.wpq[c.nApplied]
+	for ; c.nApplied < c.wpqLen; c.nApplied++ {
+		e := c.wpqAt(c.nApplied)
 		if e.acceptAt > now {
 			break
 		}
@@ -612,18 +689,16 @@ func (c *Core) drainUntilLocked(now int64) {
 			c.trc.Drain(c.drainTrack, e.acceptAt, e.drainAt, e.line, e.seq, uint8(e.kind))
 		}
 	}
-	i := 0
-	for ; i < len(c.wpq); i++ {
-		if c.wpq[i].drainAt > now {
-			break
-		}
+	popped := 0
+	for popped < c.wpqLen && c.wpqAt(popped).drainAt <= now {
+		popped++
 	}
-	if i > 0 {
-		c.wpq = append(c.wpq[:0], c.wpq[i:]...)
-		c.nApplied -= i
-		c.wpqBytes = len(c.wpq) * LineSize
+	if popped > 0 {
+		c.wpqHead = (c.wpqHead + popped) % len(c.wpq)
+		c.wpqLen -= popped
+		c.nApplied -= popped
 		if c.trc != nil {
-			c.trc.WPQSample(c.drainTrack, now, len(c.wpq))
+			c.trc.WPQSample(c.drainTrack, now, c.wpqLen)
 		}
 	}
 }
@@ -648,13 +723,13 @@ func (c *Core) accountTraffic(kind Kind) {
 func (c *Core) Fence() {
 	d := c.dev
 	start := c.clock.Now()
-	d.mu.Lock()
-	depth := len(c.wpq)
-	for _, e := range c.wpq {
-		c.clock.AdvanceTo(e.acceptAt)
+	locked := d.lock()
+	depth := c.wpqLen
+	for i := 0; i < c.wpqLen; i++ {
+		c.clock.AdvanceTo(c.wpqAt(i).acceptAt)
 	}
 	c.drainUntilLocked(c.clock.Now())
-	d.mu.Unlock()
+	d.unlock(locked)
 	c.clock.Advance(d.cfg.Lat.FenceIssue)
 	c.Stats.Fences++
 	if c.trc != nil {
@@ -672,15 +747,15 @@ func (c *Core) Fence() {
 // immediate.
 func (c *Core) OrderPoint() {
 	d := c.dev
-	d.mu.Lock()
+	locked := d.lock()
 	now := c.clock.Now()
-	for i := range c.wpq {
-		if c.wpq[i].acceptAt > now {
-			c.wpq[i].acceptAt = now
+	for i := 0; i < c.wpqLen; i++ {
+		if e := c.wpqAt(i); e.acceptAt > now {
+			e.acceptAt = now
 		}
 	}
 	c.drainUntilLocked(now)
-	d.mu.Unlock()
+	d.unlock(locked)
 }
 
 // PersistBarrier is the common CLWB-range + SFENCE sequence.
@@ -694,17 +769,18 @@ func (c *Core) PersistBarrier(addr Addr, n int, kind Kind) {
 // drain pipeline sees a consistent notion of time).
 func (c *Core) SyncTo(t int64) {
 	c.clock.AdvanceTo(t)
-	c.dev.mu.Lock()
+	locked := c.dev.lock()
 	c.drainUntilLocked(c.clock.Now())
-	c.dev.mu.Unlock()
+	c.dev.unlock(locked)
 }
 
 // WPQDepth returns the number of lines currently pending in this core's WPQ.
 func (c *Core) WPQDepth() int {
-	c.dev.mu.Lock()
-	defer c.dev.mu.Unlock()
+	locked := c.dev.lock()
 	c.drainUntilLocked(c.clock.Now())
-	return len(c.wpq)
+	n := c.wpqLen
+	c.dev.unlock(locked)
+	return n
 }
 
 // linesSpanned counts the cache lines overlapped by [addr, addr+n).

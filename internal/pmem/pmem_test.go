@@ -215,7 +215,9 @@ func TestLoadStoreArbitraryBytes(t *testing.T) {
 			return true
 		}
 		_, c := newTestDevice(1 << 16)
-		addr := Addr(off)
+		// Keep the whole store inside the device; an overrun is checked
+		// separately by TestOutOfRangePanics.
+		addr := Addr(int(off) % (1<<16 - len(data) + 1))
 		c.Store(addr, data)
 		got := make([]byte, len(data))
 		c.Load(addr, got)

@@ -1,0 +1,34 @@
+package txn
+
+// Arena is a bump allocator for the short-lived byte copies a transaction
+// makes (logged values, old values for fast abort). It hands out sub-slices
+// of one chunk and is truncated wholesale between transactions; when a chunk
+// fills, a larger one replaces it — slices handed out earlier keep the old
+// backing array alive until the next Reset, after which steady state is
+// allocation-free. Engines embed one per reusable transaction object so
+// their Store hot paths stop touching the Go heap once the arena reaches
+// its high-water capacity.
+type Arena struct{ buf []byte }
+
+// Reset truncates the arena, invalidating (for reuse) every slice handed
+// out since the previous Reset.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// Grab returns a length-n slice carved from the arena. The slice is full —
+// its capacity is clipped to n — so appends by the caller cannot clobber a
+// neighbouring grab.
+func (a *Arena) Grab(n int) []byte {
+	if cap(a.buf)-len(a.buf) < n {
+		c := 2 * cap(a.buf)
+		if c < 4096 {
+			c = 4096
+		}
+		if c < n {
+			c = n
+		}
+		a.buf = make([]byte, 0, c)
+	}
+	s := a.buf[len(a.buf) : len(a.buf)+n : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return s
+}

@@ -54,6 +54,20 @@ type Engine struct {
 	dataStart pmem.Addr
 	dataEnd   pmem.Addr
 	open      bool
+
+	// cur is the reusable transaction object (one open tx per engine) and
+	// scratch the range staging buffer shared by backup sync and restore.
+	cur     tx
+	scratch []byte
+}
+
+// scratchBuf returns an n-byte staging buffer, growing the shared scratch
+// allocation only when a larger range appears.
+func (e *Engine) scratchBuf(n int) []byte {
+	if cap(e.scratch) < n {
+		e.scratch = make([]byte, n)
+	}
+	return e.scratch[:n]
 }
 
 func init() {
@@ -117,7 +131,13 @@ func (e *Engine) Begin() txn.Tx {
 	c.TraceTxBegin()
 	c.StoreUint64(e.env.Root+offActiveGen, gen)
 	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
-	return &tx{e: e, gen: gen, ws: txn.NewWriteSet()}
+	t := &e.cur
+	if t.e == nil {
+		t.e = e
+		t.ws = txn.NewWriteSet()
+	}
+	t.reset(gen)
+	return t
 }
 
 type tx struct {
@@ -127,6 +147,15 @@ type tx struct {
 	tail int
 	done bool
 	err  error
+}
+
+// reset readies the reusable tx for a new transaction generation.
+func (t *tx) reset(gen uint64) {
+	t.gen = gen
+	t.ws.Reset()
+	t.tail = 0
+	t.done = false
+	t.err = nil
 }
 
 // Load implements txn.Tx.
@@ -242,7 +271,7 @@ func (t *tx) Abort() error {
 func (t *tx) restoreFromBackup() {
 	c := t.e.env.Core
 	for _, r := range t.ws.Ranges() {
-		buf := make([]byte, r.Size)
+		buf := t.e.scratchBuf(r.Size)
 		c.Load(t.e.backupAddr(r.Addr), buf)
 		c.Store(r.Addr, buf)
 		c.Flush(r.Addr, r.Size, pmem.KindData)
@@ -263,7 +292,7 @@ func (e *Engine) backupAddr(a pmem.Addr) pmem.Addr {
 // cost.
 func (e *Engine) syncBackup(ws *txn.WriteSet) {
 	for _, r := range ws.Ranges() {
-		buf := make([]byte, r.Size)
+		buf := e.scratchBuf(r.Size)
 		e.env.Core.LoadRaw(r.Addr, buf)
 		e.env.Dev.PokePersisted(e.backupAddr(r.Addr), buf)
 	}

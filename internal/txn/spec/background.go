@@ -34,6 +34,9 @@ type reclaimDaemon struct {
 func newReclaimDaemon(e *Engine) *reclaimDaemon {
 	d := &reclaimDaemon{e: e, wake: make(chan struct{}, 1), quit: make(chan struct{})}
 	d.done.Add(1)
+	// The daemon goroutine drives its own core against the shared device;
+	// device-level locking must stay on for its lifetime.
+	e.env.Dev.ForceShared()
 	go d.loop()
 	return d
 }

@@ -30,6 +30,11 @@ type HashEngine struct {
 	slotOf map[pmem.Addr]int
 	used   map[int]pmem.Addr
 	open   bool
+
+	// cur is the reusable transaction object (one open tx per engine) and
+	// slotBuf the slot staging buffer, recycled across commits.
+	cur     hashTx
+	slotBuf []byte
 }
 
 // HashOptions configures HashEngine.
@@ -102,7 +107,14 @@ func (e *HashEngine) Begin() txn.Tx {
 	e.open = true
 	e.env.Core.Stats.TxBegun++
 	e.env.Core.TraceTxBegin()
-	return &hashTx{e: e, byAddr: map[pmem.Addr]int{}, old: map[pmem.Addr][]byte{}}
+	t := &e.cur
+	if t.e == nil {
+		t.e = e
+		t.byAddr = map[pmem.Addr]int{}
+		t.old = map[pmem.Addr][]byte{}
+	}
+	t.reset()
+	return t
 }
 
 type hashTx struct {
@@ -112,6 +124,17 @@ type hashTx struct {
 	old    map[pmem.Addr][]byte
 	done   bool
 	err    error
+	arena  txn.Arena
+}
+
+// reset readies the reusable tx, keeping maps, slices, and arena capacity.
+func (t *hashTx) reset() {
+	t.ents = t.ents[:0]
+	clear(t.byAddr)
+	clear(t.old)
+	t.done = false
+	t.err = nil
+	t.arena.Reset()
 }
 
 // Load implements txn.Tx.
@@ -141,7 +164,7 @@ func (t *hashTx) Store(addr pmem.Addr, data []byte) {
 	}
 	c := t.e.env.Core
 	if _, seen := t.old[addr]; !seen {
-		prev := make([]byte, len(data))
+		prev := t.arena.Grab(len(data))
 		c.Load(addr, prev)
 		t.old[addr] = prev
 	}
@@ -151,7 +174,9 @@ func (t *hashTx) Store(addr pmem.Addr, data []byte) {
 		return
 	}
 	t.byAddr[addr] = len(t.ents)
-	t.ents = append(t.ents, pendingEnt{addr, append([]byte(nil), data...)})
+	val := t.arena.Grab(len(data))
+	copy(val, data)
+	t.ents = append(t.ents, pendingEnt{addr: addr, val: val})
 }
 
 func (e *HashEngine) slotIndex(addr pmem.Addr) (int, error) {
@@ -205,7 +230,11 @@ func (t *hashTx) Commit() error {
 			c.TraceTxAbort()
 			return err
 		}
-		slot := make([]byte, slotHeader+len(en.val)+8)
+		n := slotHeader + len(en.val) + 8
+		if cap(e.slotBuf) < n {
+			e.slotBuf = make([]byte, n)
+		}
+		slot := e.slotBuf[:n]
 		putU64(slot, 0, uint64(en.addr))
 		putU32(slot, 8, uint32(len(en.val)))
 		putU64(slot, 16, ts)

@@ -26,6 +26,10 @@ type Pool struct {
 func NewPool(envs []txn.Env, opt Options) (*Pool, error) {
 	p := &Pool{}
 	for i, env := range envs {
+		// Pool engines are driven one-goroutine-each against a shared
+		// device: pin device-level locking on, overriding any exclusive-mode
+		// fast path a single-threaded harness may have requested.
+		env.Dev.ForceShared()
 		e, err := New(env, opt)
 		if err != nil {
 			return nil, fmt.Errorf("spec: pool thread %d: %w", i, err)

@@ -106,6 +106,15 @@ type Engine struct {
 	// BackgroundReclaim is off.
 	bgmu   sync.Mutex
 	daemon *reclaimDaemon
+
+	// cur is the engine's single reusable transaction object (the engine
+	// enforces one open transaction per core, so one is all it needs):
+	// write-set, dedup map, old-value map, and value arena are reset and
+	// reused across Begin calls instead of reallocated. recBuf is the
+	// log-record staging buffer — appendRecord copies it into the device,
+	// so the next commit may overwrite it.
+	cur    tx
+	recBuf []byte
 }
 
 type indexEnt struct {
@@ -190,7 +199,15 @@ func (e *Engine) Begin() txn.Tx {
 	e.open = true
 	e.env.Core.Stats.TxBegun++
 	e.env.Core.TraceTxBegin()
-	return &tx{e: e, ws: txn.NewWriteSet(), byAddr: map[pmem.Addr]int{}, old: map[pmem.Addr][]byte{}}
+	t := &e.cur
+	if t.e == nil {
+		t.e = e
+		t.ws = txn.NewWriteSet()
+		t.byAddr = map[pmem.Addr]int{}
+		t.old = map[pmem.Addr][]byte{}
+	}
+	t.reset()
+	return t
 }
 
 type tx struct {
@@ -203,11 +220,27 @@ type tx struct {
 	// crash-recovery routine).
 	old  map[pmem.Addr][]byte
 	done bool
+	// arena backs the per-entry value copies (pending log values and old
+	// values), so the store path stops allocating once it reaches its
+	// high-water capacity.
+	arena txn.Arena
 }
 
 type pendingEnt struct {
-	addr pmem.Addr
-	val  []byte
+	addr   pmem.Addr
+	val    []byte
+	valOff int // value offset inside the encoded record, set by Commit
+}
+
+// reset readies the reusable tx for a new transaction, keeping the maps,
+// slices, and arena capacity warm.
+func (t *tx) reset() {
+	t.ws.Reset()
+	t.ents = t.ents[:0]
+	clear(t.byAddr)
+	clear(t.old)
+	t.done = false
+	t.arena.Reset()
 }
 
 // Load implements txn.Tx: speculative logging keeps direct memory loads and
@@ -235,7 +268,7 @@ func (t *tx) Store(addr pmem.Addr, data []byte) {
 	}
 	c := t.e.env.Core
 	if _, seen := t.old[addr]; !seen {
-		prev := make([]byte, len(data))
+		prev := t.arena.Grab(len(data))
 		c.Load(addr, prev)
 		t.old[addr] = prev
 	}
@@ -248,7 +281,9 @@ func (t *tx) Store(addr pmem.Addr, data []byte) {
 		return
 	}
 	t.byAddr[addr] = len(t.ents)
-	t.ents = append(t.ents, pendingEnt{addr, append([]byte(nil), data...)})
+	val := t.arena.Grab(len(data))
+	copy(val, data)
+	t.ents = append(t.ents, pendingEnt{addr: addr, val: val})
 }
 
 // Commit implements txn.Tx: encode one log record, flush it (plus data, for
@@ -271,18 +306,21 @@ func (t *tx) Commit() error {
 	for _, en := range t.ents {
 		size += entHeader + len(en.val)
 	}
-	rec := make([]byte, size)
+	if cap(e.recBuf) < size {
+		e.recBuf = make([]byte, size)
+	}
+	rec := e.recBuf[:size]
 	ts := e.env.TS.Next()
 	putU32(rec, 0, uint32(size))
 	putU32(rec, 4, uint32(len(t.ents)))
 	putU64(rec, 8, ts)
 	p := recHeader
-	valOffs := make([]int, len(t.ents))
-	for i, en := range t.ents {
+	for i := range t.ents {
+		en := &t.ents[i]
 		putU64(rec, p, uint64(en.addr))
 		putU32(rec, p+8, uint32(len(en.val)))
 		copy(rec[p+entHeader:], en.val)
-		valOffs[i] = p + entHeader
+		en.valOff = p + entHeader
 		p += entHeader + len(en.val)
 	}
 	e.bgmu.Lock()
@@ -312,11 +350,12 @@ func (t *tx) Commit() error {
 	}
 	// Publish committed entries in the volatile index; what they displace
 	// becomes reclaimable.
-	for i, en := range t.ents {
+	for i := range t.ents {
+		en := &t.ents[i]
 		if prev, ok := e.index[en.addr]; ok {
 			e.staleBytes += int64(entHeader + prev.size)
 		}
-		e.index[en.addr] = indexEnt{ts: ts, rec: loc, valOff: valOffs[i], size: len(en.val)}
+		e.index[en.addr] = indexEnt{ts: ts, rec: loc, valOff: en.valOff, size: len(en.val)}
 	}
 	e.liveBytes += int64(size)
 	c.Stats.TxCommitted++

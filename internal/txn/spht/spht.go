@@ -81,11 +81,33 @@ type Engine struct {
 	replayedOff int
 	pending     []pendingRec
 	open        bool
+
+	// cur is the reusable transaction object (one open tx per engine) and
+	// recBuf the redo-record staging buffer, recycled across commits.
+	// rangePool recycles the range slices handed to pending records once the
+	// replayer retires them.
+	cur       tx
+	recBuf    []byte
+	rangePool [][]txn.WriteRange
 }
 
 type pendingRec struct {
 	endOff int
+	// ranges is the commit's own copy of the write-set ranges: the write
+	// set itself is reset and reused by the next transaction while the
+	// record is still awaiting replay.
 	ranges []txn.WriteRange
+}
+
+// grabRanges returns an empty range slice, reusing capacity retired by the
+// replayer when available.
+func (e *Engine) grabRanges() []txn.WriteRange {
+	if n := len(e.rangePool); n > 0 {
+		rs := e.rangePool[n-1]
+		e.rangePool = e.rangePool[:n-1]
+		return rs
+	}
+	return nil
 }
 
 func init() {
@@ -139,7 +161,13 @@ func (e *Engine) Begin() txn.Tx {
 	e.open = true
 	e.env.Core.Stats.TxBegun++
 	e.env.Core.TraceTxBegin()
-	return &tx{e: e, ws: txn.NewWriteSet()}
+	t := &e.cur
+	if t.e == nil {
+		t.e = e
+		t.ws = txn.NewWriteSet()
+	}
+	t.reset()
+	return t
 }
 
 type tx struct {
@@ -147,6 +175,17 @@ type tx struct {
 	ws   *txn.WriteSet
 	vals [][]byte
 	done bool
+	// arena backs the buffered value copies in vals.
+	arena txn.Arena
+}
+
+// reset readies the reusable tx, keeping the write-set, vals slice, and
+// arena capacity warm.
+func (t *tx) reset() {
+	t.ws.Reset()
+	t.vals = t.vals[:0]
+	t.done = false
+	t.arena.Reset()
 }
 
 // Store buffers the write intent; nothing touches persistent data yet.
@@ -156,7 +195,9 @@ func (t *tx) Store(addr pmem.Addr, data []byte) {
 	}
 	c := t.e.env.Core
 	t.ws.Add(addr, len(data))
-	t.vals = append(t.vals, append([]byte(nil), data...))
+	val := t.arena.Grab(len(data))
+	copy(val, data)
+	t.vals = append(t.vals, val)
 	lines := int64((len(data) + pmem.LineSize - 1) / pmem.LineSize)
 	c.Compute(t.e.opt.RedirectStoreNs + lines) // buffer insert + copy
 	c.Stats.Stores++
@@ -233,7 +274,10 @@ func (t *tx) Commit() error {
 			return err
 		}
 	}
-	buf := make([]byte, size)
+	if cap(e.recBuf) < size {
+		e.recBuf = make([]byte, size)
+	}
+	buf := e.recBuf[:size]
 	binary.LittleEndian.PutUint64(buf[0:], e.env.TS.Next())
 	binary.LittleEndian.PutUint32(buf[8:], uint32(size))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(t.ws.Len()))
@@ -260,7 +304,7 @@ func (t *tx) Commit() error {
 	for i, r := range t.ws.Ranges() {
 		c.Store(r.Addr, t.vals[i])
 	}
-	e.pending = append(e.pending, pendingRec{endOff: e.tail, ranges: t.ws.Ranges()})
+	e.pending = append(e.pending, pendingRec{endOff: e.tail, ranges: append(e.grabRanges(), t.ws.Ranges()...)})
 	if len(e.pending) > e.opt.ReplayLag {
 		e.replay(len(e.pending) - e.opt.ReplayLag)
 	}
@@ -301,6 +345,7 @@ func (e *Engine) replay(n int) {
 			lines.Add(r.Addr, r.Size)
 		}
 		endOff = rec.endOff
+		e.rangePool = append(e.rangePool, rec.ranges[:0])
 	}
 	for _, l := range lines.Lines() {
 		e.bg.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)

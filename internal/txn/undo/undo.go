@@ -53,6 +53,11 @@ type Engine struct {
 	logCap  int
 	txAddNs int64
 	open    bool
+
+	// cur is the reusable transaction object (one open tx per engine) and
+	// recBuf the log-record staging buffer, recycled across transactions.
+	cur    tx
+	recBuf []byte
 }
 
 func init() {
@@ -111,7 +116,13 @@ func (e *Engine) Begin() txn.Tx {
 	// tell live records from residue of earlier transactions.
 	c.StoreUint64(e.env.Root+offActiveGen, gen)
 	c.PersistBarrier(e.env.Root+offActiveGen, 8, pmem.KindLog)
-	return &tx{e: e, gen: gen, ws: txn.NewWriteSet()}
+	t := &e.cur
+	if t.e == nil {
+		t.e = e
+		t.ws = txn.NewWriteSet()
+	}
+	t.reset(gen)
+	return t
 }
 
 type tx struct {
@@ -121,13 +132,27 @@ type tx struct {
 	tail int // bytes used in log area
 	done bool
 	err  error
-	// undo keeps a volatile copy of (addr, old bytes) for Abort.
-	undo []undoEnt
+	// undo keeps a volatile copy of (addr, old bytes) for Abort; the copies
+	// live in the tx arena.
+	undo  []undoEnt
+	arena txn.Arena
 }
 
 type undoEnt struct {
 	addr pmem.Addr
 	old  []byte
+}
+
+// reset readies the reusable tx for a new transaction generation, keeping
+// the write-set, undo slice, and arena capacity warm.
+func (t *tx) reset(gen uint64) {
+	t.gen = gen
+	t.ws.Reset()
+	t.tail = 0
+	t.done = false
+	t.err = nil
+	t.undo = t.undo[:0]
+	t.arena.Reset()
 }
 
 // Load implements txn.Tx; undo logging reads in place.
@@ -184,13 +209,18 @@ func (t *tx) appendRecord(addr pmem.Addr, size int) error {
 		return ErrLogFull
 	}
 	c.Compute(e.txAddNs)
-	buf := make([]byte, recLen)
+	if cap(e.recBuf) < recLen {
+		e.recBuf = make([]byte, recLen)
+	}
+	buf := e.recBuf[:recLen]
 	binary.LittleEndian.PutUint64(buf[0:], uint64(addr))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(size))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(t.gen))
 	// Old value read from the data area before the in-place update.
 	c.Load(addr, buf[recHeader:recHeader+size])
-	t.undo = append(t.undo, undoEnt{addr, append([]byte(nil), buf[recHeader:recHeader+size]...)})
+	old := t.arena.Grab(size)
+	copy(old, buf[recHeader:recHeader+size])
+	t.undo = append(t.undo, undoEnt{addr, old})
 	sum := txn.Checksum64(buf[:recHeader+size])
 	binary.LittleEndian.PutUint64(buf[recHeader+size:], sum)
 	at := e.logArea + pmem.Addr(t.tail)
