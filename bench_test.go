@@ -23,6 +23,7 @@ import (
 
 	"specpmt/internal/harness"
 	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
 	"specpmt/internal/stamp"
 	"specpmt/internal/txn"
 	"specpmt/internal/txn/spec"
@@ -51,7 +52,7 @@ func reportFigure(b *testing.B, fig harness.Figure, percent bool) {
 // time overheads of PMDK and SPHT over transaction-free runs.
 func BenchmarkFigure1Software(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure1Software(benchTx, 1)
+		fig, err := harness.Figure1Software(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func BenchmarkFigure1Software(b *testing.B) {
 // overheads of EDE and HOOP over the no-log ideal.
 func BenchmarkFigure1Hardware(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure1Hardware(benchTx, 1)
+		fig, err := harness.Figure1Hardware(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkTable2(b *testing.B) {
 // SPHT, SpecSPMT-DP, and SpecSPMT over PMDK on the nine STAMP profiles.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure12(benchTx, 1)
+		fig, err := harness.Figure12(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func BenchmarkFigure12(b *testing.B) {
 // time overhead over transaction-free runs (the paper's "just 10%").
 func BenchmarkSpecOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		per, geo, err := harness.SpecOverhead(benchTx, 1)
+		per, geo, err := harness.SpecOverhead(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkSpecOverhead(b *testing.B) {
 // SpecHPMT-DP, SpecHPMT, and no-log over EDE.
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure13(benchTx, 1)
+		fig, err := harness.Figure13(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkFigure13(b *testing.B) {
 // reduction figure.
 func BenchmarkFigure14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure14(benchTx, 1)
+		fig, err := harness.Figure14(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFigure14(b *testing.B) {
 // and traffic reduction against memory consumption.
 func BenchmarkFigure15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := harness.Figure15(benchTx, 1)
+		pts, err := harness.Figure15(benchTx, 1, harness.ScenarioConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -340,7 +341,7 @@ func BenchmarkCrashRecovery(b *testing.B) {
 func BenchmarkEADRSensitivity(b *testing.B) {
 	p, _ := stamp.ByName("kmeans-high")
 	for i := 0; i < b.N; i++ {
-		base, err := harness.RunSoftwareOpt(harness.RawEngine, p, benchTx, 1, harness.RunOpts{EADR: true})
+		base, err := harness.RunSoftwareOpt(harness.RawEngine, p, benchTx, 1, harness.ScenarioConfig{Profile: sim.MustProfile("optane-eadr")})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -349,7 +350,7 @@ func BenchmarkEADRSensitivity(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			eadr, err := harness.RunSoftwareOpt(eng, p, benchTx, 1, harness.RunOpts{EADR: true})
+			eadr, err := harness.RunSoftwareOpt(eng, p, benchTx, 1, harness.ScenarioConfig{Profile: sim.MustProfile("optane-eadr")})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specpmt/internal/harness"
+	"specpmt/internal/sim"
+)
+
+// TestAllOutputByteIdenticalOnDefaultProfile pins the profile refactor's
+// invariant: under the default optane-adr profile, the full `-all` print
+// sequence (n=60, seed=1) must reproduce the pre-profile output captured in
+// testdata byte for byte. Any timing, formatting, or semantics drift in the
+// default path fails this test.
+func TestAllOutputByteIdenticalOnDefaultProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -all regeneration is slow")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "all_optane-adr_n60_seed1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureStdout(t, func() {
+		const n, seed = 60, 1
+		sc := harness.ScenarioConfig{Profile: sim.DefaultProfile()}
+		printTable1(sc.Profile)
+		printTable2(n, seed)
+		printFigure1(n, seed, sc)
+		printFigure12(n, seed, sc)
+		printFigure13(n, seed, sc)
+		printFigure14(n, seed, sc)
+		printFigure15(n, seed, sc)
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-all output diverged from pre-refactor golden\ngot %d bytes, want %d bytes\n--- got ---\n%s", len(got), len(want), got)
+	}
+}
+
+// TestTable1NonDefaultProfileHeader checks that a non-default profile
+// announces itself (the default deliberately prints no extra line, keeping
+// the golden output unchanged).
+func TestTable1NonDefaultProfileHeader(t *testing.T) {
+	out := captureStdout(t, func() { printTable1(sim.MustProfile("cxl-pm")) })
+	if !bytes.Contains(out, []byte("media profile: cxl-pm")) {
+		t.Fatalf("Table 1 under cxl-pm lacks the profile header:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("domain far")) {
+		t.Fatalf("Table 1 under cxl-pm does not name the persistence domain:\n%s", out)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	defer func() { os.Stdout = orig }()
+	fn()
+	os.Stdout = orig
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}

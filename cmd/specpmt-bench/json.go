@@ -17,6 +17,7 @@ import (
 type jsonReport struct {
 	Txns    int                     `json:"txns_per_app"`
 	Seed    uint64                  `json:"seed"`
+	Profile string                  `json:"profile"`
 	Table2  []harness.Table2Row     `json:"table2"`
 	Figures map[string]jsonFigure   `json:"figures"`
 	Fig15   []harness.Figure15Point `json:"figure15"`
@@ -60,12 +61,12 @@ func init() {
 
 var jsonFlag *bool
 
-func printJSON(n int, seed uint64, start time.Time) {
-	rep := jsonReport{Txns: n, Seed: seed, Figures: map[string]jsonFigure{}}
+func printJSON(n int, seed uint64, start time.Time, sc harness.ScenarioConfig) {
+	rep := jsonReport{Txns: n, Seed: seed, Profile: sc.Profile.Name, Figures: map[string]jsonFigure{}}
 	rep.Table2 = harness.Table2(n, seed)
 	type figFn struct {
 		name string
-		fn   func(int, uint64) (harness.Figure, error)
+		fn   func(int, uint64, harness.ScenarioConfig) (harness.Figure, error)
 	}
 	for _, f := range []figFn{
 		{"figure1_software", harness.Figure1Software},
@@ -74,21 +75,21 @@ func printJSON(n int, seed uint64, start time.Time) {
 		{"figure13", harness.Figure13},
 		{"figure14", harness.Figure14},
 	} {
-		fig, err := f.fn(n, seed)
+		fig, err := f.fn(n, seed, sc)
 		check(err)
 		rep.Figures[f.name] = toJSONFigure(fig)
 	}
-	pts, err := harness.Figure15(n, seed)
+	pts, err := harness.Figure15(n, seed, sc)
 	check(err)
 	rep.Fig15 = pts
-	mem, err := harness.SoftwareMemoryOverhead(n, seed)
+	mem, err := harness.SoftwareMemoryOverhead(n, seed, sc)
 	check(err)
 	rep.Mem = mem
-	per, geo, err := harness.SpecOverhead(n, seed)
+	per, geo, err := harness.SpecOverhead(n, seed, sc)
 	check(err)
 	rep.SpecOv = per
 	rep.SpecOv["geomean"] = geo
-	rep.Counters = collectCounters(n, seed)
+	rep.Counters = collectCounters(n, seed, sc)
 	elapsed := time.Since(start)
 	rep.Wall = jsonWall{
 		ElapsedSec:  elapsed.Seconds(),
@@ -107,7 +108,7 @@ func printJSON(n int, seed uint64, start time.Time) {
 // collectCounters runs every engine over every application once and snapshots
 // its structured counters — the raw material behind Figure 14's traffic bars
 // and Table 2's update counts.
-func collectCounters(n int, seed uint64) map[string]map[string]stats.Counters {
+func collectCounters(n int, seed uint64, sc harness.ScenarioConfig) map[string]map[string]stats.Counters {
 	type job struct {
 		engine string
 		prof   stamp.Profile
@@ -130,9 +131,9 @@ func collectCounters(n int, seed uint64) map[string]map[string]stats.Counters {
 		var r harness.Result
 		var err error
 		if j.hw {
-			r, err = harness.RunHardware(j.engine, j.prof, n, seed, nil)
+			r, err = harness.RunHardwareOpt(j.engine, j.prof, n, seed, nil, sc)
 		} else {
-			r, err = harness.RunSoftware(j.engine, j.prof, n, seed)
+			r, err = harness.RunSoftwareOpt(j.engine, j.prof, n, seed, sc)
 		}
 		results[i] = r.Stats
 		return err

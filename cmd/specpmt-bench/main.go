@@ -4,6 +4,9 @@
 // Usage:
 //
 //	specpmt-bench [-n txns] [-seed s] [-fig 1|12|13|14|15] [-table 1|2] [-all]
+//	specpmt-bench -profile cxl-pm -fig 13                 # another media profile
+//	specpmt-bench -profile list                           # enumerate media profiles
+//	specpmt-bench -sweep                                  # engine x profile sensitivity
 //	specpmt-bench -json                                   # machine-readable report
 //	specpmt-bench -trace out.json [-trace-app vacation] [-trace-engine SpecSPMT]
 //	specpmt-bench -metrics [-trace-app ...] [-trace-engine ...]
@@ -34,49 +37,69 @@ func main() {
 	mem := flag.Bool("mem", false, "print software SpecPMT's memory-space overhead (§4/§5 motivation)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = NumCPU, 1 = serial); results are identical at any setting")
 	chartFlag = flag.Bool("chart", false, "render figures as ASCII bar charts instead of tables")
+	profileName := flag.String("profile", "", "media profile the experiments run on (default optane-adr; \"list\" enumerates the built-ins)")
+	sweep := flag.Bool("sweep", false, "print the software-engine x media-profile sensitivity sweep")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
 	start := time.Now()
+
+	if *profileName == "list" {
+		fmt.Print(sim.ProfileTable())
+		return
+	}
+	sc := harness.ScenarioConfig{Profile: sim.DefaultProfile()}
+	if *profileName != "" {
+		p, ok := sim.ProfileByName(*profileName)
+		if !ok {
+			check(fmt.Errorf("unknown media profile %q (try -profile list)", *profileName))
+		}
+		sc.Profile = p
+	}
 
 	if *calibFlag {
 		calibrate(*n, *seed)
 		return
 	}
 	if *jsonFlag {
-		printJSON(*n, *seed, start)
+		printJSON(*n, *seed, start, sc)
 		return
 	}
 	if *traceFlag != "" || *metricsFlag {
-		printTraced(*n, *seed)
+		printTraced(*n, *seed, sc)
 		return
 	}
 	if *mem {
-		printMemOverhead(*n, *seed)
+		printMemOverhead(*n, *seed, sc)
+		return
+	}
+	if *sweep {
+		printSweep(*n, *seed)
+		reportWall(os.Stderr, start)
 		return
 	}
 	if *fig == 0 && *table == 0 {
 		*all = true
 	}
 	if *all || *table == 1 {
-		printTable1()
+		printTable1(sc.Profile)
 	}
 	if *all || *table == 2 {
 		printTable2(*n, *seed)
 	}
 	if *all || *fig == 1 {
-		printFigure1(*n, *seed)
+		printFigure1(*n, *seed, sc)
 	}
 	if *all || *fig == 12 {
-		printFigure12(*n, *seed)
+		printFigure12(*n, *seed, sc)
 	}
 	if *all || *fig == 13 {
-		printFigure13(*n, *seed)
+		printFigure13(*n, *seed, sc)
 	}
 	if *all || *fig == 14 {
-		printFigure14(*n, *seed)
+		printFigure14(*n, *seed, sc)
 	}
 	if *all || *fig == 15 {
-		printFigure15(*n, *seed)
+		printFigure15(*n, *seed, sc)
 	}
 	// Wall-clock summary goes to stderr so stdout stays byte-identical
 	// across -parallel settings.
@@ -112,10 +135,13 @@ func check(err error) {
 	}
 }
 
-func printTable1() {
-	hw := sim.DefaultLatency()
-	sw := sim.OptaneLatency()
+func printTable1(prof sim.Profile) {
+	hw := prof.HW
+	sw := prof.SW
 	fmt.Println("Table 1: system configuration (modeled)")
+	if prof.Name != sim.DefaultProfileName {
+		fmt.Printf("media profile: %s — %s (domain %s)\n", prof.Name, prof.Desc, prof.Domain)
+	}
 	fmt.Printf("%-28s %12s %12s\n", "parameter", "hardware", "software")
 	rows := []struct {
 		name   string
@@ -147,22 +173,22 @@ func printTable2(n int, seed uint64) {
 	fmt.Println()
 }
 
-func printFigure1(n int, seed uint64) {
-	figSW, err := harness.Figure1Software(n, seed)
+func printFigure1(n int, seed uint64, sc harness.ScenarioConfig) {
+	figSW, err := harness.Figure1Software(n, seed, sc)
 	check(err)
 	render(figSW, true)
 	fmt.Println()
-	figHW, err := harness.Figure1Hardware(n, seed)
+	figHW, err := harness.Figure1Hardware(n, seed, sc)
 	check(err)
 	render(figHW, true)
 	fmt.Println()
 }
 
-func printFigure12(n int, seed uint64) {
-	fig, err := harness.Figure12(n, seed)
+func printFigure12(n int, seed uint64, sc harness.ScenarioConfig) {
+	fig, err := harness.Figure12(n, seed, sc)
 	check(err)
 	render(fig, false)
-	per, geo, err := harness.SpecOverhead(n, seed)
+	per, geo, err := harness.SpecOverhead(n, seed, sc)
 	check(err)
 	fmt.Printf("SpecSPMT overhead over no-transaction runs: %.0f%% geomean (paper headline: 10%%)\n", geo*100)
 	for _, p := range stamp.Profiles() {
@@ -171,22 +197,22 @@ func printFigure12(n int, seed uint64) {
 	fmt.Println()
 }
 
-func printFigure13(n int, seed uint64) {
-	fig, err := harness.Figure13(n, seed)
+func printFigure13(n int, seed uint64, sc harness.ScenarioConfig) {
+	fig, err := harness.Figure13(n, seed, sc)
 	check(err)
 	render(fig, false)
 	fmt.Println()
 }
 
-func printFigure14(n int, seed uint64) {
-	fig, err := harness.Figure14(n, seed)
+func printFigure14(n int, seed uint64, sc harness.ScenarioConfig) {
+	fig, err := harness.Figure14(n, seed, sc)
 	check(err)
 	render(fig, true)
 	fmt.Println()
 }
 
-func printFigure15(n int, seed uint64) {
-	pts, err := harness.Figure15(n, seed)
+func printFigure15(n int, seed uint64, sc harness.ScenarioConfig) {
+	pts, err := harness.Figure15(n, seed, sc)
 	check(err)
 	fmt.Println("Figure 15: speedup and write-traffic reduction vs memory consumption (epoch sweep)")
 	fmt.Printf("%-12s %16s %10s %18s\n", "epoch size", "mem overhead", "speedup", "traffic reduction")
@@ -197,8 +223,8 @@ func printFigure15(n int, seed uint64) {
 	fmt.Println()
 }
 
-func printMemOverhead(n int, seed uint64) {
-	rows, err := harness.SoftwareMemoryOverhead(n, seed)
+func printMemOverhead(n int, seed uint64, sc harness.ScenarioConfig) {
+	rows, err := harness.SoftwareMemoryOverhead(n, seed, sc)
 	check(err)
 	fmt.Println("Software SpecPMT memory-space overhead (peak live log vs touched data)")
 	fmt.Printf("%-14s %14s %14s %8s\n", "application", "data bytes", "peak log", "ratio")
@@ -207,4 +233,12 @@ func printMemOverhead(n int, seed uint64) {
 	}
 	fmt.Println("(the paper's motivation for hardware SpecPMT: \"it nearly triples the")
 	fmt.Println(" memory space overhead\" — §5; ratios depend on the reclamation threshold)")
+}
+
+// printSweep renders the engine × media-profile sensitivity study over every
+// built-in profile.
+func printSweep(n int, seed uint64) {
+	fig, err := harness.ProfileSweep(n, seed, nil)
+	check(err)
+	fmt.Print(fig.Format())
 }

@@ -42,9 +42,16 @@ func isHardwareEngine(name string) bool {
 	return false
 }
 
+// scWithTracer attaches a tracer to a scenario without mutating the caller's
+// copy.
+func scWithTracer(sc harness.ScenarioConfig, tr *trace.Tracer) harness.ScenarioConfig {
+	sc.Tracer = tr
+	return sc
+}
+
 // runTraced executes one (engine, app) run with an attached tracer and
 // returns it together with the run result.
-func runTraced(engine, app string, n int, seed uint64) (*trace.Tracer, harness.Result, error) {
+func runTraced(engine, app string, n int, seed uint64, sc harness.ScenarioConfig) (*trace.Tracer, harness.Result, error) {
 	p, ok := profileByName(app)
 	if !ok {
 		return nil, harness.Result{}, fmt.Errorf("unknown application %q (see Table 2 for names)", app)
@@ -53,15 +60,15 @@ func runTraced(engine, app string, n int, seed uint64) (*trace.Tracer, harness.R
 	var res harness.Result
 	var err error
 	if isHardwareEngine(engine) {
-		res, err = harness.RunHardwareOpt(engine, p, n, seed, nil, harness.RunOpts{Tracer: tr})
+		res, err = harness.RunHardwareOpt(engine, p, n, seed, nil, scWithTracer(sc, tr))
 	} else {
-		res, err = harness.RunSoftwareOpt(engine, p, n, seed, harness.RunOpts{Tracer: tr})
+		res, err = harness.RunSoftwareOpt(engine, p, n, seed, scWithTracer(sc, tr))
 	}
 	return tr, res, err
 }
 
-func printTraced(n int, seed uint64) {
-	tr, res, err := runTraced(*traceEngine, *traceApp, n, seed)
+func printTraced(n int, seed uint64, sc harness.ScenarioConfig) {
+	tr, res, err := runTraced(*traceEngine, *traceApp, n, seed, sc)
 	check(err)
 	fmt.Printf("traced %s/%s: %d txns, modeled %.3f ms, %d events (%d dropped)\n",
 		res.Engine, res.Workload, res.Txns, float64(res.ModeledNs)/1e6,

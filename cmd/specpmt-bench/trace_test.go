@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"specpmt/internal/harness"
 )
 
 // chromeFile mirrors the subset of the Chrome trace-event format the
@@ -27,7 +29,7 @@ type chromeFile struct {
 // trace viewer would.
 func TestTraceFlagRoundTrip(t *testing.T) {
 	for _, engine := range []string{"SpecSPMT", "EDE"} {
-		tr, res, err := runTraced(engine, "vacation-low", 50, 1)
+		tr, res, err := runTraced(engine, "vacation-low", 50, 1, harness.ScenarioConfig{})
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
@@ -82,10 +84,10 @@ func TestTraceFlagRoundTrip(t *testing.T) {
 
 // TestTraceUnknownInputs covers the error paths of the -trace dispatcher.
 func TestTraceUnknownInputs(t *testing.T) {
-	if _, _, err := runTraced("SpecSPMT", "no-such-app", 10, 1); err == nil {
+	if _, _, err := runTraced("SpecSPMT", "no-such-app", 10, 1, harness.ScenarioConfig{}); err == nil {
 		t.Error("unknown application accepted")
 	}
-	if _, _, err := runTraced("no-such-engine", "vacation-low", 10, 1); err == nil {
+	if _, _, err := runTraced("no-such-engine", "vacation-low", 10, 1, harness.ScenarioConfig{}); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	specpmt-crashtest [-engine name|all] [-seeds n] [-rounds n] [-v]
+//	specpmt-crashtest [-engine name|all] [-seeds n] [-rounds n] [-profile name] [-v]
 //
 // Exit status is non-zero if any run observes a consistency violation.
 package main
@@ -16,15 +16,21 @@ import (
 	"os"
 
 	"specpmt/internal/crashtest"
+	"specpmt/internal/sim"
 )
 
 func main() {
 	engine := flag.String("engine", "all", "engine to torture, or \"all\"")
 	seeds := flag.Int("seeds", 10, "number of random seeds per engine")
 	rounds := flag.Int("rounds", 5, "crash/recover rounds per run")
+	profile := flag.String("profile", "", "media profile to torture on (default optane-adr; \"list\" enumerates the built-ins)")
 	verbose := flag.Bool("v", false, "print every run")
 	flag.Parse()
 
+	if *profile == "list" {
+		fmt.Print(sim.ProfileTable())
+		return
+	}
 	engines := crashtest.Engines()
 	if *engine != "all" {
 		engines = []string{*engine}
@@ -32,7 +38,7 @@ func main() {
 	failed := 0
 	for _, eng := range engines {
 		for seed := uint64(1); seed <= uint64(*seeds); seed++ {
-			rep, err := crashtest.Run(crashtest.Config{Engine: eng, Seed: seed, Rounds: *rounds})
+			rep, err := crashtest.Run(crashtest.Config{Engine: eng, Seed: seed, Rounds: *rounds, Profile: *profile})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "specpmt-crashtest: %s seed %d: %v\n", eng, seed, err)
 				failed++

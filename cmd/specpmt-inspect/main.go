@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	specpmt-inspect [-txns n] [-updates n] [-reclaim] [-seed s] [-hw] [-trace out.json]
+//	specpmt-inspect [-txns n] [-updates n] [-reclaim] [-seed s] [-hw] [-profile name] [-trace out.json]
 //
 // With -hw it instead walks hardware SpecPMT's epoch ring, page-image and
 // commit records, and TLB hotness through a hot/cold workload. With -trace
@@ -22,6 +22,7 @@ import (
 
 	"specpmt"
 	"specpmt/internal/hwsim"
+	"specpmt/internal/sim"
 	"specpmt/internal/txn/spec"
 )
 
@@ -31,9 +32,14 @@ func main() {
 	reclaim := flag.Bool("reclaim", false, "run an explicit reclamation cycle before the crash")
 	seed := flag.Uint64("seed", 1, "crash eviction seed")
 	hw := flag.Bool("hw", false, "inspect hardware SpecPMT (epochs, page images, TLB) instead")
+	profile := flag.String("profile", "", "media profile the pool runs on (default optane-adr; \"list\" enumerates the built-ins)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the scenario to this file")
 	flag.Parse()
 
+	if *profile == "list" {
+		fmt.Print(sim.ProfileTable())
+		return
+	}
 	var tracer *specpmt.Tracer
 	if *traceOut != "" {
 		tracer = specpmt.NewTracer()
@@ -41,12 +47,13 @@ func main() {
 	}
 
 	if *hw {
-		inspectHardware(*txns, *seed, tracer)
+		inspectHardware(*txns, *seed, *profile, tracer)
 		return
 	}
 
 	pool, err := specpmt.Open(specpmt.Config{
 		Engine:      "SpecSPMT",
+		Profile:     *profile,
 		SpecOptions: &spec.Options{BlockSize: 1024, DisableReclaim: true},
 		Tracer:      tracer,
 	})
@@ -120,8 +127,8 @@ func writeTrace(tr *specpmt.Tracer, path string) {
 
 // inspectHardware drives hardware SpecPMT through a hot/cold mix and dumps
 // its epoch machinery before and after a crash.
-func inspectHardware(txns int, seed uint64, tracer *specpmt.Tracer) {
-	pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20, Engine: "SpecHPMT", Tracer: tracer})
+func inspectHardware(txns int, seed uint64, profile string, tracer *specpmt.Tracer) {
+	pool, err := specpmt.Open(specpmt.Config{Size: 256 << 20, Engine: "SpecHPMT", Profile: profile, Tracer: tracer})
 	check(err)
 	defer pool.Close()
 	eng := pool.Engine().(*hwsim.SpecHPMT)

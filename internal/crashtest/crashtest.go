@@ -32,6 +32,10 @@ type Config struct {
 	PoolSize int
 	// WritesPerTx is the maximum writes per transaction (default 8).
 	WritesPerTx int
+	// Profile names the media profile the pool runs on (empty = the
+	// default, optane-adr). Crash consistency must hold on every profile;
+	// eADR and far-memory domains change what a power failure can lose.
+	Profile string
 }
 
 func (c *Config) setDefaults() {
@@ -84,7 +88,7 @@ func Run(cfg Config) (Report, error) {
 	cfg.setDefaults()
 	rep := Report{Engine: cfg.Engine, Seed: cfg.Seed, Rounds: cfg.Rounds}
 	rng := sim.NewRand(cfg.Seed)
-	pool, err := specpmt.Open(specpmt.Config{Engine: cfg.Engine, Size: cfg.PoolSize})
+	pool, err := specpmt.Open(specpmt.Config{Engine: cfg.Engine, Size: cfg.PoolSize, Profile: cfg.Profile})
 	if err != nil {
 		return rep, err
 	}

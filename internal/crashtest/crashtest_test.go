@@ -59,3 +59,32 @@ func TestReportString(t *testing.T) {
 		t.Fatal("empty report string")
 	}
 }
+
+// TestSoftwareEnginesRecoverUnderEADR is the recovery matrix of the software
+// engines on the optane-eadr profile: with an eADR persistence domain every
+// accepted store is instantly persistent, which changes what a crash can
+// lose — the engines must stay crash consistent anyway.
+func TestSoftwareEnginesRecoverUnderEADR(t *testing.T) {
+	for _, engine := range []string{"PMDK", "Kamino-Tx", "SPHT", "SpecSPMT-DP", "SpecSPMT"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				rep, err := Run(Config{Engine: engine, Seed: seed, Rounds: 3, Profile: "optane-eadr"})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !rep.Ok() {
+					t.Fatalf("seed %d: %s\n%v", seed, rep, rep.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownProfileRejected pins the error path: a bad profile name must
+// surface, not silently fall back to the default media.
+func TestUnknownProfileRejected(t *testing.T) {
+	if _, err := Run(Config{Engine: "SpecSPMT", Profile: "no-such-media"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

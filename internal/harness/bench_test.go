@@ -15,7 +15,7 @@ func newBenchEngine(tb testing.TB, engine string) (txn.Engine, pmem.Addr) {
 	tb.Helper()
 	const dataBytes = 1 << 20
 	devSize := pmem.PageSize + dataBytes + (32 << 20)
-	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency()})
+	dev := pmem.NewDevice(pmem.Config{Size: devSize, Platform: sim.PlatformSW})
 	dev.SetExclusive(true)
 	core := dev.NewCore()
 	dataStart := pmem.Addr(pmem.PageSize)

@@ -28,11 +28,11 @@ type Figure struct {
 // Figure12 reproduces "Speedup over PMDK. Evaluated on a real machine":
 // Kamino-Tx, SPHT, SpecSPMT-DP, and SpecSPMT, normalised to PMDK, per STAMP
 // application.
-func Figure12(nTx int, seed uint64) (Figure, error) {
+func Figure12(nTx int, seed uint64, sc ScenarioConfig) (Figure, error) {
 	series := []string{"Kamino-Tx", "SPHT", "SpecSPMT-DP", "SpecSPMT"}
 	fig := Figure{Title: "Figure 12: Speedup over PMDK (software, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	grouped, err := softwareMatrix("PMDK", series, nTx, seed)
+	grouped, err := softwareMatrix("PMDK", series, nTx, seed, sc)
 	if err != nil {
 		return fig, err
 	}
@@ -54,11 +54,11 @@ func Figure12(nTx int, seed uint64) (Figure, error) {
 
 // Figure1Software reproduces the top half of Figure 1: execution time
 // overheads of PMDK and SPHT over transaction-free runs.
-func Figure1Software(nTx int, seed uint64) (Figure, error) {
+func Figure1Software(nTx int, seed uint64, sc ScenarioConfig) (Figure, error) {
 	series := []string{"PMDK", "SPHT"}
 	fig := Figure{Title: "Figure 1 (top): overhead over no-transaction runs (software, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	grouped, err := softwareMatrix(RawEngine, series, nTx, seed)
+	grouped, err := softwareMatrix(RawEngine, series, nTx, seed, sc)
 	if err != nil {
 		return fig, err
 	}
@@ -80,10 +80,10 @@ func Figure1Software(nTx int, seed uint64) (Figure, error) {
 
 // SpecOverhead computes SpecSPMT's execution-time overhead over the
 // no-transaction baseline — the paper's headline "10%" claim (§1, §9).
-func SpecOverhead(nTx int, seed uint64) (perApp map[string]float64, geomean float64, err error) {
+func SpecOverhead(nTx int, seed uint64, sc ScenarioConfig) (perApp map[string]float64, geomean float64, err error) {
 	perApp = map[string]float64{}
 	var acc []float64
-	grouped, err := softwareMatrix(RawEngine, []string{"SpecSPMT"}, nTx, seed)
+	grouped, err := softwareMatrix(RawEngine, []string{"SpecSPMT"}, nTx, seed, sc)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -175,12 +175,12 @@ type MemRow struct {
 
 // SoftwareMemoryOverhead measures the peak live speculative log against the
 // touched data footprint for every application.
-func SoftwareMemoryOverhead(nTx int, seed uint64) ([]MemRow, error) {
+func SoftwareMemoryOverhead(nTx int, seed uint64, sc ScenarioConfig) ([]MemRow, error) {
 	profiles := stamp.Profiles()
 	rows := make([]MemRow, len(profiles))
 	err := ForEach(len(profiles), func(pi int) error {
 		p := profiles[pi]
-		r, err := RunSoftware("SpecSPMT", p, nTx, seed)
+		r, err := RunSoftwareOpt("SpecSPMT", p, nTx, seed, sc)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"specpmt/internal/hwsim"
 	"specpmt/internal/pmalloc"
 	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
 	"specpmt/internal/stamp"
 	"specpmt/internal/stats"
 	"specpmt/internal/txn"
@@ -33,17 +34,18 @@ func hwEngineStats(e txn.Engine) *stats.Counters {
 }
 
 // RunHardware executes nTx transactions of profile p under the named
-// hardware engine with Table 1 latencies. The compute density uses the
-// profile's hardware multiplier (the paper evaluates the hardware designs on
-// the compute-denser simulator inputs, §7.1.1). opts, when non-nil,
-// overrides SpecHPMT's epoch configuration (Figure 15's sweep).
+// hardware engine on the default media profile. The compute density uses
+// the profile's hardware multiplier (the paper evaluates the hardware
+// designs on the compute-denser simulator inputs, §7.1.1). opts, when
+// non-nil, overrides SpecHPMT's epoch configuration (Figure 15's sweep).
 func RunHardware(engine string, p stamp.Profile, nTx int, seed uint64, opts *hwsim.HWOptions) (Result, error) {
-	return RunHardwareOpt(engine, p, nTx, seed, opts, RunOpts{})
+	return RunHardwareOpt(engine, p, nTx, seed, opts, ScenarioConfig{})
 }
 
-// RunHardwareOpt is RunHardware with platform options (tracing; EADR is
-// ignored — the hardware designs assume an ADR platform).
-func RunHardwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts *hwsim.HWOptions, ro RunOpts) (Result, error) {
+// RunHardwareOpt is RunHardware under a ScenarioConfig. Hardware runs use
+// the profile's hardware-platform latency column (the Table 1 simulator
+// configuration); the hwsim CPUs pick the same table up from the device.
+func RunHardwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts *hwsim.HWOptions, ro ScenarioConfig) (Result, error) {
 	if p.HWComputeMul > 0 {
 		p.ComputeNs = int64(float64(p.ComputeNs) * p.HWComputeMul)
 	}
@@ -51,7 +53,7 @@ func RunHardwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts *
 	fp := gen.Footprint()
 	logSpace := 4*fp + (96 << 20)
 	devSize := pmem.PageSize + fp + logSpace
-	dev := pmem.NewDevice(pmem.Config{Size: devSize}) // Table 1 latencies
+	dev := pmem.NewDevice(pmem.Config{Size: devSize, Profile: ro.profile(), Platform: sim.PlatformHW})
 	// Private, single-goroutine device: skip the per-access mutex.
 	dev.SetExclusive(true)
 	if ro.Tracer != nil {
@@ -148,11 +150,11 @@ func coreNow(e txn.Engine) int64 {
 }
 
 // Figure13 reproduces "Speedup over EDE. Evaluated with simulator hardware".
-func Figure13(nTx int, seed uint64) (Figure, error) {
+func Figure13(nTx int, seed uint64, sc ScenarioConfig) (Figure, error) {
 	series := []string{"HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
 	fig := Figure{Title: "Figure 13: Speedup over EDE (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	grouped, err := hardwareMatrix("EDE", series, nTx, seed, nil)
+	grouped, err := hardwareMatrix("EDE", series, nTx, seed, nil, sc)
 	if err != nil {
 		return fig, err
 	}
@@ -174,11 +176,11 @@ func Figure13(nTx int, seed uint64) (Figure, error) {
 
 // Figure14 reproduces "Reduction of write traffic. Higher is better":
 // persistent-memory write bytes of each design relative to EDE.
-func Figure14(nTx int, seed uint64) (Figure, error) {
+func Figure14(nTx int, seed uint64, sc ScenarioConfig) (Figure, error) {
 	series := []string{"HOOP", "SpecHPMT-DP", "SpecHPMT", "no-log"}
 	fig := Figure{Title: "Figure 14: PM write-traffic reduction over EDE (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	grouped, err := hardwareMatrix("EDE", series, nTx, seed, nil)
+	grouped, err := hardwareMatrix("EDE", series, nTx, seed, nil, sc)
 	if err != nil {
 		return fig, err
 	}
@@ -211,7 +213,7 @@ type Figure15Point struct {
 
 // Figure15 reproduces the epoch-size sensitivity study: average speedup and
 // write-traffic reduction against average memory-space increment (§7.3.1).
-func Figure15(nTx int, seed uint64) ([]Figure15Point, error) {
+func Figure15(nTx int, seed uint64, sc ScenarioConfig) ([]Figure15Point, error) {
 	sweeps := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
 	profiles := stamp.Profiles()
 	// One flat job list covering the whole sweep: for each epoch size, an
@@ -231,11 +233,11 @@ func Figure15(nTx int, seed uint64) ([]Figure15Point, error) {
 	err := ForEach(len(cells), func(i int) error {
 		eb := sweeps[i/len(profiles)]
 		p := profiles[i%len(profiles)]
-		base, err := RunHardware("EDE", p, nTx, seed, nil)
+		base, err := RunHardwareOpt("EDE", p, nTx, seed, nil, sc)
 		if err != nil {
 			return err
 		}
-		r, err := RunHardware("SpecHPMT", p, nTx, seed, optsFor(eb))
+		r, err := RunHardwareOpt("SpecHPMT", p, nTx, seed, optsFor(eb), sc)
 		if err != nil {
 			return err
 		}
@@ -268,11 +270,11 @@ func Figure15(nTx int, seed uint64) ([]Figure15Point, error) {
 
 // Figure1Hardware reproduces the bottom half of Figure 1: overheads of EDE
 // and HOOP over the no-log ideal.
-func Figure1Hardware(nTx int, seed uint64) (Figure, error) {
+func Figure1Hardware(nTx int, seed uint64, sc ScenarioConfig) (Figure, error) {
 	series := []string{"EDE", "HOOP"}
 	fig := Figure{Title: "Figure 1 (bottom): overhead over no-log (hardware, modeled)", Series: series, GeoMean: map[string]float64{}}
 	geo := map[string][]float64{}
-	grouped, err := hardwareMatrix("no-log", series, nTx, seed, nil)
+	grouped, err := hardwareMatrix("no-log", series, nTx, seed, nil, sc)
 	if err != nil {
 		return fig, err
 	}

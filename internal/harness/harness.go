@@ -57,29 +57,41 @@ type Result struct {
 // DefaultScale is the per-application transaction count used by the benches.
 const DefaultScale = 2000
 
-// RunOpts tunes a software run beyond the defaults.
-type RunOpts struct {
-	// EADR runs the workload on an eADR platform (§5.3.1): caches inside
-	// the persistence domain, flushes degenerate to hints.
-	EADR bool
+// ScenarioConfig tunes a run beyond the defaults: the media profile the
+// simulated machine is built from, and tracing.
+type ScenarioConfig struct {
+	// Profile is the media model (latencies, persistence domain, WPQ
+	// geometry) the run's device is built with. The zero value resolves to
+	// sim.DefaultProfile() (optane-adr), reproducing the paper's platform.
+	Profile sim.Profile
 	// Tracer, when non-nil, receives every simulation event of the run.
 	// Modeled times are bit-identical with and without a tracer.
 	Tracer *trace.Tracer
 }
 
-// RunSoftware executes nTx transactions of profile p under the named engine
-// (or RawEngine) and returns the measurement.
-func RunSoftware(engine string, p stamp.Profile, nTx int, seed uint64) (Result, error) {
-	return RunSoftwareOpt(engine, p, nTx, seed, RunOpts{})
+// profile resolves the media profile, defaulting to optane-adr.
+func (sc ScenarioConfig) profile() sim.Profile {
+	if sc.Profile.Name == "" {
+		return sim.DefaultProfile()
+	}
+	return sc.Profile
 }
 
-// RunSoftwareOpt is RunSoftware with platform options.
-func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts RunOpts) (Result, error) {
+// RunSoftware executes nTx transactions of profile p under the named engine
+// (or RawEngine) on the default media profile and returns the measurement.
+func RunSoftware(engine string, p stamp.Profile, nTx int, seed uint64) (Result, error) {
+	return RunSoftwareOpt(engine, p, nTx, seed, ScenarioConfig{})
+}
+
+// RunSoftwareOpt is RunSoftware under a ScenarioConfig. Software runs use
+// the profile's software-platform latency column (§7.1.2: the engines are
+// measured on a real Optane-class machine).
+func RunSoftwareOpt(engine string, p stamp.Profile, nTx int, seed uint64, opts ScenarioConfig) (Result, error) {
 	gen := stamp.NewGen(p, nTx, seed)
 	fp := gen.Footprint()
 	logSpace := 6*fp + (64 << 20)
 	devSize := pmem.PageSize + fp + logSpace
-	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency(), EADR: opts.EADR})
+	dev := pmem.NewDevice(pmem.Config{Size: devSize, Profile: opts.profile(), Platform: sim.PlatformSW})
 	// The device is private to this run and driven by this goroutine alone,
 	// so it may skip its per-access mutex. Engines that spawn goroutines
 	// (background reclaim) pin locking back on themselves.

@@ -51,7 +51,7 @@ func TestFigure12Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure reproduction is slow")
 	}
-	fig, err := Figure12(testTx, 1)
+	fig, err := Figure12(testTx, 1, ScenarioConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestFigure13Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure reproduction is slow")
 	}
-	fig, err := Figure13(testTx, 1)
+	fig, err := Figure13(testTx, 1, ScenarioConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestFigure14Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure reproduction is slow")
 	}
-	fig, err := Figure14(testTx, 1)
+	fig, err := Figure14(testTx, 1, ScenarioConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestFigure15Monotonicity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure reproduction is slow")
 	}
-	pts, err := Figure15(testTx, 1)
+	pts, err := Figure15(testTx, 1, ScenarioConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestSpecOverheadHeadline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	per, geo, err := SpecOverhead(testTx, 1)
+	per, geo, err := SpecOverhead(testTx, 1, ScenarioConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestSoftwareMemoryOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	rows, err := SoftwareMemoryOverhead(100, 1)
+	rows, err := SoftwareMemoryOverhead(100, 1, ScenarioConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

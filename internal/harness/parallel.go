@@ -97,6 +97,7 @@ type runJob struct {
 	prof   stamp.Profile
 	hw     bool
 	opts   *hwsim.HWOptions // hardware-only epoch override (Figure 15)
+	sc     ScenarioConfig   // media profile (and tracing) for the run
 }
 
 // runMatrix executes every job — across the worker pool — and returns the
@@ -108,9 +109,9 @@ func runMatrix(jobs []runJob, nTx int, seed uint64) ([]Result, error) {
 		var r Result
 		var err error
 		if j.hw {
-			r, err = RunHardware(j.engine, j.prof, nTx, seed, j.opts)
+			r, err = RunHardwareOpt(j.engine, j.prof, nTx, seed, j.opts, j.sc)
 		} else {
-			r, err = RunSoftware(j.engine, j.prof, nTx, seed)
+			r, err = RunSoftwareOpt(j.engine, j.prof, nTx, seed, j.sc)
 		}
 		results[i] = r
 		return err
@@ -120,27 +121,27 @@ func runMatrix(jobs []runJob, nTx int, seed uint64) ([]Result, error) {
 
 // softwareMatrix runs base plus each series engine over every profile and
 // returns, per profile, the base result and the series results in order.
-func softwareMatrix(base string, series []string, nTx int, seed uint64) ([][]Result, error) {
-	return groupedMatrix(base, series, nTx, seed, false, nil)
+func softwareMatrix(base string, series []string, nTx int, seed uint64, sc ScenarioConfig) ([][]Result, error) {
+	return groupedMatrix(base, series, nTx, seed, false, nil, sc)
 }
 
 // hardwareMatrix is softwareMatrix for the hardware engines.
-func hardwareMatrix(base string, series []string, nTx int, seed uint64, opts *hwsim.HWOptions) ([][]Result, error) {
-	return groupedMatrix(base, series, nTx, seed, true, opts)
+func hardwareMatrix(base string, series []string, nTx int, seed uint64, opts *hwsim.HWOptions, sc ScenarioConfig) ([][]Result, error) {
+	return groupedMatrix(base, series, nTx, seed, true, opts, sc)
 }
 
 // groupedMatrix flattens (profile × [base, series...]) into one job list,
 // runs it through the pool, and regroups results per profile: out[p][0] is
 // the base run, out[p][1+i] is series[i]. opts applies only to SpecHPMT
 // variants (RunHardware ignores it otherwise).
-func groupedMatrix(base string, series []string, nTx int, seed uint64, hw bool, opts *hwsim.HWOptions) ([][]Result, error) {
+func groupedMatrix(base string, series []string, nTx int, seed uint64, hw bool, opts *hwsim.HWOptions, sc ScenarioConfig) ([][]Result, error) {
 	profiles := stamp.Profiles()
 	width := 1 + len(series)
 	jobs := make([]runJob, 0, len(profiles)*width)
 	for _, p := range profiles {
-		jobs = append(jobs, runJob{engine: base, prof: p, hw: hw, opts: opts})
+		jobs = append(jobs, runJob{engine: base, prof: p, hw: hw, opts: opts, sc: sc})
 		for _, eng := range series {
-			jobs = append(jobs, runJob{engine: eng, prof: p, hw: hw, opts: opts})
+			jobs = append(jobs, runJob{engine: eng, prof: p, hw: hw, opts: opts, sc: sc})
 		}
 	}
 	flat, err := runMatrix(jobs, nTx, seed)

@@ -14,7 +14,7 @@ import (
 // pool the bench tool uses, and returns it all as canonical JSON.
 func matrixSnapshot(t *testing.T, nTx int, seed uint64) []byte {
 	t.Helper()
-	f12, err := Figure12(nTx, seed)
+	f12, err := Figure12(nTx, seed, ScenarioConfig{})
 	if err != nil {
 		t.Fatalf("Figure12: %v", err)
 	}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"specpmt/internal/sim"
+	"specpmt/internal/stamp"
+)
+
+// SweepCell aggregates one (media profile × engine) point of the sensitivity
+// sweep across every STAMP application.
+type SweepCell struct {
+	Engine  string
+	Profile string
+	// GeoOverhead is the geometric-mean execution-time overhead over the
+	// Raw (no-transaction) baseline on the same media profile.
+	GeoOverhead float64
+	// ModeledNs sums the application-core virtual time across applications.
+	ModeledNs int64
+	// FenceNs sums the time the application core spent stalled in SFENCE
+	// across applications — the counter that separates the persistence
+	// domains: eADR fences are issue-only, ADR fences wait for WPQ
+	// acceptance, and far-memory fences wait for the media drain itself.
+	FenceNs uint64
+}
+
+// SweepFigure is the engine × media-profile sensitivity study: every
+// software engine run on every requested media profile, normalised to the
+// Raw baseline of that same profile.
+type SweepFigure struct {
+	Profiles []string
+	Engines  []string
+	// Cells is indexed [profile][engine], matching Profiles and Engines.
+	Cells [][]SweepCell
+}
+
+// ProfileSweep runs the Raw baseline plus every software engine over all
+// STAMP applications on each named media profile. The default set is every
+// built-in profile. All cells fan out across the worker pool.
+func ProfileSweep(nTx int, seed uint64, profileNames []string) (SweepFigure, error) {
+	if len(profileNames) == 0 {
+		profileNames = sim.ProfileNames()
+	}
+	profs := make([]sim.Profile, len(profileNames))
+	for i, n := range profileNames {
+		p, ok := sim.ProfileByName(n)
+		if !ok {
+			return SweepFigure{}, fmt.Errorf("harness: unknown media profile %q (have %v)", n, sim.ProfileNames())
+		}
+		profs[i] = p
+	}
+	engines := SoftwareEngines()
+	apps := stamp.Profiles()
+	width := 1 + len(engines) // Raw first, then the engines
+	flat := make([]Result, len(profs)*width*len(apps))
+	err := ForEach(len(flat), func(i int) error {
+		pi := i / (width * len(apps))
+		ei := (i / len(apps)) % width
+		ai := i % len(apps)
+		eng := RawEngine
+		if ei > 0 {
+			eng = engines[ei-1]
+		}
+		r, err := RunSoftwareOpt(eng, apps[ai], nTx, seed, ScenarioConfig{Profile: profs[pi]})
+		flat[i] = r
+		return err
+	})
+	if err != nil {
+		return SweepFigure{}, err
+	}
+	fig := SweepFigure{Profiles: profileNames, Engines: engines}
+	at := func(pi, ei, ai int) Result { return flat[(pi*width+ei)*len(apps)+ai] }
+	for pi := range profs {
+		row := make([]SweepCell, len(engines))
+		for ei, eng := range engines {
+			cell := SweepCell{Engine: eng, Profile: profileNames[pi]}
+			var ratios []float64
+			for ai := range apps {
+				r := at(pi, 1+ei, ai)
+				ratios = append(ratios, 1+Overhead(at(pi, 0, ai), r))
+				cell.ModeledNs += r.ModeledNs
+				cell.FenceNs += r.Stats.FenceNs
+			}
+			cell.GeoOverhead = GeoMean(ratios) - 1
+			row[ei] = cell
+		}
+		fig.Cells = append(fig.Cells, row)
+	}
+	return fig, nil
+}
+
+// Cell returns the sweep cell for a profile and engine name.
+func (f SweepFigure) Cell(profile, engine string) (SweepCell, bool) {
+	for pi, p := range f.Profiles {
+		if p != profile {
+			continue
+		}
+		for ei, e := range f.Engines {
+			if e == engine {
+				return f.Cells[pi][ei], true
+			}
+		}
+	}
+	return SweepCell{}, false
+}
+
+// Format renders the sweep as two aligned tables: geomean overhead over Raw,
+// and total fence-stall time, each engine × profile.
+func (f SweepFigure) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Sensitivity: software engines x media profiles (geomean overhead over Raw)")
+	fmt.Fprintf(&b, "%-14s", "engine")
+	for _, p := range f.Profiles {
+		fmt.Fprintf(&b, "%14s", p)
+	}
+	fmt.Fprintln(&b)
+	for ei, eng := range f.Engines {
+		fmt.Fprintf(&b, "%-14s", eng)
+		for pi := range f.Profiles {
+			fmt.Fprintf(&b, "%13.0f%%", f.Cells[pi][ei].GeoOverhead*100)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "Fence stall time, all apps (modeled ms)")
+	fmt.Fprintf(&b, "%-14s", "engine")
+	for _, p := range f.Profiles {
+		fmt.Fprintf(&b, "%14s", p)
+	}
+	fmt.Fprintln(&b)
+	for ei, eng := range f.Engines {
+		fmt.Fprintf(&b, "%-14s", eng)
+		for pi := range f.Profiles {
+			fmt.Fprintf(&b, "%14.2f", float64(f.Cells[pi][ei].FenceNs)/1e6)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"testing"
+
+	"specpmt/internal/stamp"
+)
+
+// TestProfileSweepMonotonicity runs the engine × profile sensitivity sweep
+// over four built-in profiles and checks the physical orderings the domains
+// imply: eADR makes fences issue-only, so every engine must stall no longer
+// on optane-eadr than on optane-adr; and every engine must run no slower on
+// dram-adr media than on slow-nvm media.
+func TestProfileSweepMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep matrix is slow")
+	}
+	profiles := []string{"optane-adr", "optane-eadr", "dram-adr", "slow-nvm"}
+	fig, err := ProfileSweep(40, 1, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Cells) != len(profiles) {
+		t.Fatalf("sweep has %d profile rows, want %d", len(fig.Cells), len(profiles))
+	}
+	for _, eng := range fig.Engines {
+		adr, ok := fig.Cell("optane-adr", eng)
+		if !ok {
+			t.Fatalf("missing cell optane-adr/%s", eng)
+		}
+		eadr, _ := fig.Cell("optane-eadr", eng)
+		if eadr.FenceNs > adr.FenceNs {
+			t.Errorf("%s: eADR fence stalls (%d ns) exceed ADR fence stalls (%d ns)", eng, eadr.FenceNs, adr.FenceNs)
+		}
+		if eadr.ModeledNs > adr.ModeledNs {
+			t.Errorf("%s: eADR run (%d ns) slower than ADR run (%d ns)", eng, eadr.ModeledNs, adr.ModeledNs)
+		}
+		dram, _ := fig.Cell("dram-adr", eng)
+		slow, _ := fig.Cell("slow-nvm", eng)
+		if dram.ModeledNs > slow.ModeledNs {
+			t.Errorf("%s: dram-adr run (%d ns) slower than slow-nvm run (%d ns)", eng, dram.ModeledNs, slow.ModeledNs)
+		}
+		if adr.GeoOverhead < 0 {
+			t.Errorf("%s: negative overhead %.2f over Raw on optane-adr", eng, adr.GeoOverhead)
+		}
+	}
+}
+
+// TestScenarioConfigDefaultByteIdentity pins the refactor invariant at the
+// harness layer: an explicit default-profile ScenarioConfig reproduces the
+// legacy RunSoftware/RunHardware results exactly.
+func TestScenarioConfigDefaultByteIdentity(t *testing.T) {
+	p, ok := stamp.ByName("vacation-high")
+	if !ok {
+		t.Fatal("vacation-high profile missing")
+	}
+	legacySW, err := RunSoftware("SpecSPMT", p, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSW, err := RunSoftwareOpt("SpecSPMT", p, 30, 7, ScenarioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacySW != optSW {
+		t.Errorf("RunSoftwareOpt default diverged:\nlegacy %+v\nopt    %+v", legacySW, optSW)
+	}
+	legacyHW, err := RunHardware("SpecHPMT", p, 30, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optHW, err := RunHardwareOpt("SpecHPMT", p, 30, 7, nil, ScenarioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyHW != optHW {
+		t.Errorf("RunHardwareOpt default diverged:\nlegacy %+v\nopt    %+v", legacyHW, optHW)
+	}
+}

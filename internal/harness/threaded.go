@@ -44,7 +44,7 @@ func RunThreadedSpec(p stamp.Profile, n, nTxPerThread int, seed uint64, dataPers
 		fp = gens[i].Footprint()
 	}
 	devSize := pmem.PageSize + n*fp + 8*n*fp + (128 << 20)
-	dev := pmem.NewDevice(pmem.Config{Size: devSize, Lat: sim.OptaneLatency()})
+	dev := pmem.NewDevice(pmem.Config{Size: devSize, Platform: sim.PlatformSW})
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := dataStart + pmem.Addr(n*fp)
 	heap := pmalloc.NewHeap(dataStart, dataEnd)

@@ -21,7 +21,7 @@ func TestTracingIsFree(t *testing.T) {
 			t.Fatalf("%s untraced: %v", engine, err)
 		}
 		tr := trace.New()
-		traced, err := RunSoftwareOpt(engine, profile, n, 42, RunOpts{Tracer: tr})
+		traced, err := RunSoftwareOpt(engine, profile, n, 42, ScenarioConfig{Tracer: tr})
 		if err != nil {
 			t.Fatalf("%s traced: %v", engine, err)
 		}
@@ -42,7 +42,7 @@ func TestTracingIsFree(t *testing.T) {
 			t.Fatalf("%s untraced: %v", engine, err)
 		}
 		tr := trace.New()
-		traced, err := RunHardwareOpt(engine, profile, n, 42, nil, RunOpts{Tracer: tr})
+		traced, err := RunHardwareOpt(engine, profile, n, 42, nil, ScenarioConfig{Tracer: tr})
 		if err != nil {
 			t.Fatalf("%s traced: %v", engine, err)
 		}
@@ -62,7 +62,7 @@ func TestTracingIsFree(t *testing.T) {
 // the histograms and samplers the summary reports.
 func TestTracedRunCollectsMetrics(t *testing.T) {
 	tr := trace.New()
-	if _, err := RunSoftwareOpt("SpecSPMT", stamp.Profiles()[0], 100, 7, RunOpts{Tracer: tr}); err != nil {
+	if _, err := RunSoftwareOpt("SpecSPMT", stamp.Profiles()[0], 100, 7, ScenarioConfig{Tracer: tr}); err != nil {
 		t.Fatal(err)
 	}
 	m := tr.Metrics()

@@ -34,11 +34,14 @@ type CPU struct {
 	MissLines []uint64
 }
 
-// NewCPU builds a CPU over a fresh pmem core of the device.
-func NewCPU(dev *pmem.Device, lat sim.Latency) *CPU {
+// NewCPU builds a CPU over a fresh pmem core of the device. The timing
+// table comes from the device's media profile (Config.Profile/Platform), so
+// every hardware engine automatically runs under whatever profile the
+// experiment selected.
+func NewCPU(dev *pmem.Device) *CPU {
 	core := dev.NewCore()
 	core.SetTrackName("cpu")
-	return &CPU{Core: core, L1: &Cache{}, TLB: NewTLB(), Lat: lat}
+	return &CPU{Core: core, L1: &Cache{}, TLB: NewTLB(), Lat: dev.Latency()}
 }
 
 // touch charges the L1 access cost for a line and handles replacement,

@@ -5,12 +5,11 @@ import (
 	"testing/quick"
 
 	"specpmt/internal/pmem"
-	"specpmt/internal/sim"
 )
 
 func newCPUWorld() (*pmem.Device, *CPU) {
 	dev := pmem.NewDevice(pmem.Config{Size: 16 << 20})
-	return dev, NewCPU(dev, sim.DefaultLatency())
+	return dev, NewCPU(dev)
 }
 
 func TestCPUWriteReadRoundTrip(t *testing.T) {

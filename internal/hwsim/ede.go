@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"specpmt/internal/pmem"
-	"specpmt/internal/sim"
 	"specpmt/internal/txn"
 )
 
@@ -46,7 +45,7 @@ func init() {
 
 // NewEDE attaches to (or initialises) an EDE engine at env.Root.
 func NewEDE(env txn.Env) (*EDE, error) {
-	e := &EDE{env: env, cpu: NewCPU(env.Dev, sim.DefaultLatency())}
+	e := &EDE{env: env, cpu: NewCPU(env.Dev)}
 	c := e.cpu.Core
 	boot := env.Core
 	if boot.LoadUint64(env.Root+offEDEMagic) == edeMagic {

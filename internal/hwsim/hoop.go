@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"specpmt/internal/pmem"
-	"specpmt/internal/sim"
 	"specpmt/internal/txn"
 )
 
@@ -60,7 +59,7 @@ func init() {
 func NewHOOP(env txn.Env) (*HOOP, error) {
 	e := &HOOP{
 		env:          env,
-		cpu:          NewCPU(env.Dev, sim.DefaultLatency()),
+		cpu:          NewCPU(env.Dev),
 		gcCore:       env.Dev.NewCore(),
 		pendingLines: map[uint64]bool{},
 		gcWindow:     hoopGCWindow,

@@ -5,7 +5,6 @@ import (
 	"errors"
 
 	"specpmt/internal/pmem"
-	"specpmt/internal/sim"
 	"specpmt/internal/txn"
 )
 
@@ -25,7 +24,7 @@ func init() {
 
 // NewNoLog builds the no-log engine. It needs no persistent root state.
 func NewNoLog(env txn.Env) *NoLog {
-	return &NoLog{cpu: NewCPU(env.Dev, sim.DefaultLatency()), env: env}
+	return &NoLog{cpu: NewCPU(env.Dev), env: env}
 }
 
 // Name implements txn.Engine.

@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"specpmt/internal/pmem"
-	"specpmt/internal/sim"
 	"specpmt/internal/txn"
 )
 
@@ -134,7 +133,7 @@ func init() {
 // NewSpecHPMT attaches to (or initialises) a hardware SpecPMT engine.
 func NewSpecHPMT(env txn.Env, opt HWOptions) (*SpecHPMT, error) {
 	opt.setDefaults()
-	e := &SpecHPMT{env: env, cpu: NewCPU(env.Dev, sim.DefaultLatency()), opt: opt, nextEID: 1}
+	e := &SpecHPMT{env: env, cpu: NewCPU(env.Dev), opt: opt, nextEID: 1}
 	c := e.cpu.Core
 	boot := env.Core
 	if boot.LoadUint64(env.Root+offHPMTMagic) == hpmtMagic {

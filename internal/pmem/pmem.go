@@ -73,19 +73,29 @@ const (
 type Config struct {
 	// Size is the device capacity in bytes. Rounded up to a line multiple.
 	Size int
-	// Lat is the timing model; zero value is replaced by sim.DefaultLatency.
+	// Profile is the media model: latency columns, persistence-domain
+	// boundary (ADR / eADR / no-WPQ far memory), and WPQ geometry. The zero
+	// value resolves to sim.DefaultProfile() (optane-adr, the paper's
+	// Table 1 machine).
+	Profile sim.Profile
+	// Platform selects which of the profile's latency columns drives the
+	// timing: PlatformHW (Table 1 simulator column, the default) or
+	// PlatformSW (the measured-machine column).
+	Platform sim.Platform
+	// Lat, when non-zero, overrides the profile's latency table — a test
+	// hook; experiments should go through Profile.
 	Lat sim.Latency
 	// CrashEvictProb is the probability that a dirty, unflushed line was
-	// evicted (and therefore persisted) before a crash. The default 0.5
-	// maximises adversarial coverage in crash tests.
-	CrashEvictProb float64
-	// EADR extends the persistence domain to the CPU caches (§5.3.1,
-	// extended asynchronous DRAM refresh): every store is immediately
-	// persistent, CLWB becomes a no-op, and SFENCE costs only its issue
-	// latency. The paper notes eADR adoption is limited by battery cost;
-	// the mode exists here for sensitivity experiments.
-	EADR bool
+	// evicted (and therefore persisted) before a crash. nil means unset and
+	// defaults to 0.5, which maximises adversarial coverage in crash tests;
+	// EvictProb(0) requests a crash where no dirty line ever survives and
+	// EvictProb(1) one where every dirty line does.
+	CrashEvictProb *float64
 }
+
+// EvictProb is a convenience for Config.CrashEvictProb: it distinguishes an
+// explicit probability — including 0 — from the unset (nil) default.
+func EvictProb(p float64) *float64 { return &p }
 
 // Device is the simulated persistent memory module. All exported methods are
 // safe for concurrent use by multiple Cores unless SetExclusive has claimed
@@ -100,6 +110,8 @@ type Device struct {
 	pinnedShared atomic.Bool
 
 	cfg       Config
+	domain    sim.Domain // persistence-domain boundary from cfg.Profile
+	evictProb float64    // resolved Config.CrashEvictProb
 	mem       []byte
 	persisted []byte
 	dirty     *dirtyBitmap
@@ -121,19 +133,25 @@ func NewDevice(cfg Config) *Device {
 	if cfg.Size <= 0 {
 		panic("pmem: device size must be positive")
 	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = sim.DefaultProfile()
+	}
 	if cfg.Lat == (sim.Latency{}) {
-		cfg.Lat = sim.DefaultLatency()
+		cfg.Lat = cfg.Profile.Latency(cfg.Platform)
 	}
 	if cfg.Lat.WPQLines <= 0 {
 		cfg.Lat.WPQLines = sim.DefaultLatency().WPQLines
 	}
-	if cfg.CrashEvictProb == 0 {
-		cfg.CrashEvictProb = 0.5
+	evict := 0.5
+	if cfg.CrashEvictProb != nil {
+		evict = *cfg.CrashEvictProb
 	}
 	size := (cfg.Size + LineSize - 1) / LineSize * LineSize
 	cfg.Size = size
 	d := &Device{
 		cfg:       cfg,
+		domain:    cfg.Profile.Domain,
+		evictProb: evict,
 		mem:       make([]byte, size),
 		persisted: make([]byte, size),
 		dirty:     newDirtyBitmap(size),
@@ -186,6 +204,19 @@ func (d *Device) ForceShared() {
 
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int { return d.cfg.Size }
+
+// Profile returns the media profile the device was built with. Immutable
+// after NewDevice, so no lock is needed.
+func (d *Device) Profile() sim.Profile { return d.cfg.Profile }
+
+// Latency returns the operative latency table (the profile column selected
+// by Config.Platform, or the explicit Config.Lat override). Layers that
+// charge their own time — the hwsim CPU model — read it instead of
+// hard-coding a table.
+func (d *Device) Latency() sim.Latency { return d.cfg.Lat }
+
+// Domain returns the persistence-domain boundary in force.
+func (d *Device) Domain() sim.Domain { return d.domain }
 
 // Crashes returns how many times Crash has been invoked.
 func (d *Device) Crashes() int {
@@ -281,7 +312,7 @@ func (d *Device) PokePersisted(addr Addr, data []byte) {
 }
 
 // Crash simulates a power failure. Dirty lines are individually evicted
-// (persisted) with probability cfg.CrashEvictProb; WPQ entries already
+// (persisted) with the configured eviction probability; WPQ entries already
 // drained by their owning core's clock persist, while still-pending entries
 // survive with probability ½ (they sit between cache and ADR domain at the
 // moment of failure). The architectural image is then reset to the persisted
@@ -316,7 +347,7 @@ func (d *Device) Crash(rng *sim.Rand) {
 	d.drainEnd = 0
 	d.drainLine = ^uint64(0)
 	d.dirty.forEach(func(line uint64) {
-		if rng.Float64() < d.cfg.CrashEvictProb {
+		if rng.Float64() < d.evictProb {
 			copy(d.persisted[line*LineSize:(line+1)*LineSize], d.mem[line*LineSize:(line+1)*LineSize])
 		}
 	})
@@ -522,7 +553,7 @@ func (c *Core) Store(addr Addr, data []byte) {
 	locked := d.lock()
 	d.checkRange(addr, len(data))
 	copy(d.mem[addr:int(addr)+len(data)], data)
-	if d.cfg.EADR {
+	if d.domain == sim.DomainEADR {
 		copy(d.persisted[addr:int(addr)+len(data)], data)
 	} else if len(data) > 0 {
 		first, last := LineOf(addr), LineOf(addr+Addr(len(data)-1))
@@ -554,7 +585,7 @@ func (c *Core) StoreRaw(addr Addr, data []byte) {
 	locked := d.lock()
 	d.checkRange(addr, len(data))
 	copy(d.mem[addr:int(addr)+len(data)], data)
-	if d.cfg.EADR {
+	if d.domain == sim.DomainEADR {
 		copy(d.persisted[addr:int(addr)+len(data)], data)
 	} else if len(data) > 0 {
 		first, last := LineOf(addr), LineOf(addr+Addr(len(data)-1))
@@ -603,7 +634,7 @@ func (c *Core) Flush(addr Addr, n int, kind Kind) {
 	}
 	d := c.dev
 	start := c.clock.Now()
-	if d.cfg.EADR {
+	if d.domain == sim.DomainEADR {
 		// The line is already in the persistence domain; CLWB degenerates
 		// to a hint. Issue cost only.
 		c.clock.Advance(d.cfg.Lat.FlushIssue)
@@ -664,6 +695,12 @@ func (c *Core) enqueueLocked(l uint64, kind Kind) {
 	if e.drainAt < e.acceptAt {
 		e.drainAt = e.acceptAt
 	}
+	if d.domain == sim.DomainFar {
+		// No power-fail-safe write queue: a line is durable only once the
+		// media-level drain completes, so acceptance and drain coincide.
+		// Fence (which waits on acceptAt) therefore stalls until write-back.
+		e.acceptAt = e.drainAt
+	}
 	d.drainEnd = e.drainAt
 	d.drainLine = l
 	c.wpqLen++
@@ -716,10 +753,12 @@ func (c *Core) accountTraffic(kind Kind) {
 }
 
 // Fence issues SFENCE: the clock advances until every outstanding flush has
-// been ACCEPTED into the ADR persistence domain (the WPQ) — the persist
-// barrier whose per-update use SpecPMT eliminates. The media-level drain
-// continues asynchronously; it costs time only through WPQ backpressure on
-// later flushes.
+// been ACCEPTED into the persistence domain — the persist barrier whose
+// per-update use SpecPMT eliminates. Under ADR acceptance is the WPQ's and
+// the media-level drain continues asynchronously, costing time only through
+// WPQ backpressure on later flushes; under a far-memory domain (no
+// power-fail-safe queue) acceptance IS the media drain, so fences stall
+// deeper; under eADR there is never anything to wait for.
 func (c *Core) Fence() {
 	d := c.dev
 	start := c.clock.Now()
@@ -732,6 +771,7 @@ func (c *Core) Fence() {
 	d.unlock(locked)
 	c.clock.Advance(d.cfg.Lat.FenceIssue)
 	c.Stats.Fences++
+	c.Stats.FenceNs += uint64(c.clock.Now() - start)
 	if c.trc != nil {
 		c.trc.Fence(c.track, start, c.clock.Now(), depth)
 	}

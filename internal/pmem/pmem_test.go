@@ -146,7 +146,7 @@ func TestCrashCleanDropsDirtyKeepsFenced(t *testing.T) {
 
 func TestCrashEvictionProbabilities(t *testing.T) {
 	// With eviction probability 1, every dirty line persists.
-	d := NewDevice(Config{Size: 4096, CrashEvictProb: 1.0})
+	d := NewDevice(Config{Size: 4096, CrashEvictProb: EvictProb(1.0)})
 	c := d.NewCore()
 	c.Store(64, []byte{0xCC})
 	d.Crash(sim.NewRand(1))
@@ -158,7 +158,7 @@ func TestCrashEvictionProbabilities(t *testing.T) {
 	// With a tiny probability, over many trials at least one line is lost.
 	lost := false
 	for trial := 0; trial < 20 && !lost; trial++ {
-		d2 := NewDevice(Config{Size: 4096, CrashEvictProb: 0.01})
+		d2 := NewDevice(Config{Size: 4096, CrashEvictProb: EvictProb(0.01)})
 		c2 := d2.NewCore()
 		c2.Store(64, []byte{0xDD})
 		d2.Crash(sim.NewRand(uint64(trial)))
@@ -351,7 +351,7 @@ func TestPersistBarrier(t *testing.T) {
 }
 
 func TestEADRStoresArePersistent(t *testing.T) {
-	d := NewDevice(Config{Size: 4096, EADR: true})
+	d := NewDevice(Config{Size: 4096, Profile: sim.MustProfile("optane-eadr")})
 	c := d.NewCore()
 	c.Store(0, []byte{0xAB})
 	d.CrashClean()
@@ -363,7 +363,7 @@ func TestEADRStoresArePersistent(t *testing.T) {
 }
 
 func TestEADRFenceIsCheap(t *testing.T) {
-	d := NewDevice(Config{Size: 1 << 20, EADR: true})
+	d := NewDevice(Config{Size: 1 << 20, Profile: sim.MustProfile("optane-eadr")})
 	c := d.NewCore()
 	for i := 0; i < 64; i++ {
 		a := Addr(i * 4096)
@@ -382,7 +382,7 @@ func TestEADREnginesStillAtomic(t *testing.T) {
 	// Even with persistent caches, uncommitted in-place updates persist and
 	// must still be revoked by recovery — eADR removes flushes, not the
 	// need for crash atomicity.
-	d := NewDevice(Config{Size: 4096, EADR: true})
+	d := NewDevice(Config{Size: 4096, Profile: sim.MustProfile("optane-eadr")})
 	c := d.NewCore()
 	c.Store(64, []byte{7})
 	d.Crash(sim.NewRand(1))
@@ -436,5 +436,133 @@ func TestConcurrentCoresStress(t *testing.T) {
 		if got != want {
 			t.Fatalf("worker %d: got %d want %d", w, got, want)
 		}
+	}
+}
+
+func TestCrashEvictProbZeroNeverEvicts(t *testing.T) {
+	// Regression: an explicit probability of 0 used to be indistinguishable
+	// from "unset" and was silently rewritten to the 0.5 default, making a
+	// "never evict dirty lines" crash impossible to request.
+	for seed := uint64(1); seed <= 50; seed++ {
+		d := NewDevice(Config{Size: 1 << 16, CrashEvictProb: EvictProb(0)})
+		c := d.NewCore()
+		for i := 0; i < 32; i++ {
+			c.Store(Addr(i*LineSize), []byte{0xEE})
+		}
+		d.Crash(sim.NewRand(seed))
+		var b [1]byte
+		for i := 0; i < 32; i++ {
+			c.Load(Addr(i*LineSize), b[:])
+			if b[0] != 0 {
+				t.Fatalf("seed %d: dirty line %d survived a prob-0 crash", seed, i)
+			}
+		}
+	}
+}
+
+func TestCrashEvictProbOneAlwaysEvicts(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		d := NewDevice(Config{Size: 1 << 16, CrashEvictProb: EvictProb(1)})
+		c := d.NewCore()
+		for i := 0; i < 32; i++ {
+			c.Store(Addr(i*LineSize), []byte{0xEE})
+		}
+		d.Crash(sim.NewRand(seed))
+		var b [1]byte
+		for i := 0; i < 32; i++ {
+			c.Load(Addr(i*LineSize), b[:])
+			if b[0] != 0xEE {
+				t.Fatalf("seed %d: dirty line %d lost under a prob-1 crash", seed, i)
+			}
+		}
+	}
+}
+
+func TestCrashEvictProbUnsetDefaults(t *testing.T) {
+	// nil still means the adversarial 0.5 default: over enough lines a crash
+	// both keeps and drops some.
+	d := NewDevice(Config{Size: 1 << 16})
+	if d.evictProb != 0.5 {
+		t.Fatalf("unset CrashEvictProb resolved to %v, want 0.5", d.evictProb)
+	}
+	c := d.NewCore()
+	for i := 0; i < 256; i++ {
+		c.Store(Addr(i*LineSize), []byte{0xEE})
+	}
+	d.Crash(sim.NewRand(3))
+	kept, lost := 0, 0
+	var b [1]byte
+	for i := 0; i < 256; i++ {
+		c.Load(Addr(i*LineSize), b[:])
+		if b[0] == 0xEE {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	if kept == 0 || lost == 0 {
+		t.Fatalf("0.5 eviction lottery degenerate: kept=%d lost=%d", kept, lost)
+	}
+}
+
+func TestProfileDrivesDeviceTiming(t *testing.T) {
+	// The device resolves its latency table through (Profile, Platform)
+	// instead of a hand-passed sim.Latency.
+	d := NewDevice(Config{Size: 4096, Profile: sim.MustProfile("optane-adr"), Platform: sim.PlatformSW})
+	if got, want := d.Latency(), sim.OptaneLatency(); got != want {
+		t.Fatalf("SW column = %+v, want OptaneLatency %+v", got, want)
+	}
+	d = NewDevice(Config{Size: 4096})
+	if got, want := d.Latency(), sim.DefaultLatency(); got != want {
+		t.Fatalf("default device latency = %+v, want Table 1 %+v", got, want)
+	}
+	if d.Profile().Name != sim.DefaultProfileName {
+		t.Fatalf("default device profile = %q", d.Profile().Name)
+	}
+	if d.Domain() != sim.DomainADR {
+		t.Fatalf("default domain = %v, want ADR", d.Domain())
+	}
+}
+
+func TestFarDomainFenceWaitsForMediaDrain(t *testing.T) {
+	// Under a no-WPQ far-memory domain a fence must wait for the media
+	// drain, not just WPQ acceptance — strictly deeper stalls than ADR for
+	// the same latency table.
+	lat := sim.DefaultLatency()
+	adr := NewDevice(Config{Size: 1 << 20})
+	far := NewDevice(Config{Size: 1 << 20, Profile: sim.MustProfile("cxl-pm"), Lat: lat})
+	run := func(d *Device) int64 {
+		c := d.NewCore()
+		// Random-address lines: drain cost PMWriteRandom >> AcceptNs.
+		for i := 0; i < 4; i++ {
+			a := Addr(i * 3 * PageSize)
+			c.Store(a, []byte{1})
+			c.Flush(a, 1, KindData)
+		}
+		start := c.Now()
+		c.Fence()
+		return c.Now() - start
+	}
+	adrNs, farNs := run(adr), run(far)
+	if farNs <= adrNs {
+		t.Fatalf("far-memory fence (%dns) should stall deeper than ADR (%dns)", farNs, adrNs)
+	}
+	if adrNs > int64(4)*lat.AcceptNs+lat.FenceIssue {
+		t.Fatalf("ADR fence waited past acceptance: %dns", adrNs)
+	}
+}
+
+func TestFenceNsCounter(t *testing.T) {
+	d := NewDevice(Config{Size: 1 << 20})
+	c := d.NewCore()
+	c.Store(0, []byte{1})
+	c.Flush(0, 1, KindData)
+	before := c.Now()
+	c.Fence()
+	if got, want := c.Stats.FenceNs, uint64(c.Now()-before); got != want {
+		t.Fatalf("FenceNs = %d, want fence duration %d", got, want)
+	}
+	if c.Stats.FenceNs < uint64(sim.DefaultLatency().FenceIssue) {
+		t.Fatalf("FenceNs %d below issue cost", c.Stats.FenceNs)
 	}
 }

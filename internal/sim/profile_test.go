@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptaneADRGoldenTable1 pins the default profile's hardware column to
+// the paper's Table 1 so no future profile refactor can drift the numbers:
+// 150 ns PM read, 500 ns random write, 150 ns sequential write, 512 B WPQ.
+func TestOptaneADRGoldenTable1(t *testing.T) {
+	p := MustProfile("optane-adr")
+	if p.HW.PMRead != 150 {
+		t.Errorf("PM read = %d ns, Table 1 says 150", p.HW.PMRead)
+	}
+	if p.HW.PMWriteRandom != 500 {
+		t.Errorf("PM random write = %d ns, Table 1 says 500", p.HW.PMWriteRandom)
+	}
+	if p.HW.PMWriteSeq != 150 {
+		t.Errorf("PM sequential write = %d ns, Table 1 says 150", p.HW.PMWriteSeq)
+	}
+	if got := p.WPQBytes(PlatformHW); got != 512 {
+		t.Errorf("WPQ = %d B, Table 1 says 512", got)
+	}
+	if p.Domain != DomainADR {
+		t.Errorf("default domain = %v, want ADR", p.Domain)
+	}
+	// The two columns must be exactly the historical latency tables, so
+	// every pre-profile experiment reproduces byte-for-byte.
+	if p.HW != DefaultLatency() {
+		t.Errorf("HW column diverged from DefaultLatency: %+v", p.HW)
+	}
+	if p.SW != OptaneLatency() {
+		t.Errorf("SW column diverged from OptaneLatency: %+v", p.SW)
+	}
+	if DefaultProfile().Name != DefaultProfileName {
+		t.Errorf("DefaultProfile is %q", DefaultProfile().Name)
+	}
+}
+
+func TestBuiltinProfileRegistry(t *testing.T) {
+	want := []string{"optane-adr", "optane-eadr", "cxl-pm", "dram-adr", "slow-nvm"}
+	names := ProfileNames()
+	if len(names) < len(want) {
+		t.Fatalf("registry holds %v, want at least %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("built-in order %v, want prefix %v", names, want)
+		}
+		p, ok := ProfileByName(n)
+		if !ok {
+			t.Fatalf("built-in %q missing", n)
+		}
+		if p.Name != n || p.Desc == "" {
+			t.Fatalf("built-in %q malformed: %+v", n, p)
+		}
+		for _, pl := range []Platform{PlatformHW, PlatformSW} {
+			l := p.Latency(pl)
+			if l.PMRead <= 0 || l.PMWriteRandom <= 0 || l.PMWriteSeq <= 0 || l.WPQLines <= 0 || l.AcceptNs <= 0 {
+				t.Fatalf("%q/%d latency column has non-positive entries: %+v", n, pl, l)
+			}
+			if l.PMWriteSeq > l.PMWriteRandom {
+				t.Fatalf("%q/%d: sequential drains must not cost more than random: %+v", n, pl, l)
+			}
+		}
+	}
+	if MustProfile("optane-eadr").Domain != DomainEADR {
+		t.Error("optane-eadr must have the eADR domain")
+	}
+	if MustProfile("cxl-pm").Domain != DomainFar {
+		t.Error("cxl-pm must have the far-memory (no-WPQ) domain")
+	}
+}
+
+func TestRegisterProfileValidation(t *testing.T) {
+	if err := RegisterProfile(Profile{}); err == nil {
+		t.Error("empty-name profile accepted")
+	}
+	if err := RegisterProfile(Profile{Name: "optane-adr"}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	ext := Profile{Name: "test-external", Desc: "registry test", HW: DefaultLatency(), SW: OptaneLatency()}
+	if err := RegisterProfile(ext); err != nil {
+		t.Fatalf("external registration failed: %v", err)
+	}
+	got, ok := ProfileByName("test-external")
+	if !ok || got.Name != "test-external" {
+		t.Fatal("external profile not retrievable")
+	}
+	names := ProfileNames()
+	if names[len(names)-1] != "test-external" {
+		t.Fatalf("external profile not last in %v", names)
+	}
+}
+
+func TestProfileTableListsEveryBuiltin(t *testing.T) {
+	table := ProfileTable()
+	for _, n := range []string{"optane-adr", "optane-eadr", "cxl-pm", "dram-adr", "slow-nvm"} {
+		if !strings.Contains(table, n) {
+			t.Errorf("ProfileTable missing %q:\n%s", n, table)
+		}
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	for d, want := range map[Domain]string{DomainADR: "ADR", DomainEADR: "eADR", DomainFar: "far", Domain(9): "Domain(9)"} {
+		if got := d.String(); got != want {
+			t.Errorf("Domain(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}

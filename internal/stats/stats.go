@@ -16,8 +16,9 @@ import (
 // The JSON field names are part of the bench-report format.
 type Counters struct {
 	// Ordering / persistence primitives.
-	Fences  uint64 `json:"fences"`  // SFENCE count (persist barriers)
-	Flushes uint64 `json:"flushes"` // CLWB count (one per line flushed)
+	Fences  uint64 `json:"fences"`   // SFENCE count (persist barriers)
+	Flushes uint64 `json:"flushes"`  // CLWB count (one per line flushed)
+	FenceNs uint64 `json:"fence_ns"` // virtual ns spent inside SFENCE (stall + issue)
 
 	// Persistent memory write traffic in bytes, by purpose.
 	PMWriteBytes uint64 `json:"pm_write_bytes"` // total bytes drained to the persistence domain
@@ -63,6 +64,7 @@ func (c *Counters) AddLiveLog(delta int64) {
 func (c *Counters) Merge(other *Counters) {
 	c.Fences += other.Fences
 	c.Flushes += other.Flushes
+	c.FenceNs += other.FenceNs
 	c.PMWriteBytes += other.PMWriteBytes
 	c.PMLogBytes += other.PMLogBytes
 	c.PMDataBytes += other.PMDataBytes

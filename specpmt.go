@@ -85,8 +85,14 @@ type Config struct {
 	// Engine picks the crash-consistency scheme (default "SpecSPMT"). See
 	// Engines for choices.
 	Engine string
-	// Optane selects the software-platform latency profile instead of the
-	// paper's Table 1 simulator profile.
+	// Profile names the media profile (latency tables, persistence domain,
+	// WPQ geometry) the simulated device is built from — see
+	// sim.ProfileNames for the built-ins ("optane-adr", "optane-eadr",
+	// "cxl-pm", "dram-adr", "slow-nvm"). Empty selects the default,
+	// optane-adr, which reproduces the paper's platform.
+	Profile string
+	// Optane selects the profile's software-platform latency column instead
+	// of the paper's Table 1 simulator column.
 	Optane bool
 	// SpecOptions overrides the SpecSPMT engine configuration; ignored for
 	// other engines.
@@ -95,6 +101,25 @@ type Config struct {
 	// device and engine emit (see NewTracer). Leave nil to run untraced;
 	// modeled time is bit-identical either way.
 	Tracer *Tracer
+}
+
+// resolveProfile maps Config's media-profile knobs to a sim.Profile plus the
+// latency column (platform) to run it on. Unknown names are an error rather
+// than a silent fallback.
+func resolveProfile(cfg Config) (sim.Profile, sim.Platform, error) {
+	prof := sim.DefaultProfile()
+	if cfg.Profile != "" {
+		p, ok := sim.ProfileByName(cfg.Profile)
+		if !ok {
+			return sim.Profile{}, 0, fmt.Errorf("specpmt: unknown media profile %q (have %v)", cfg.Profile, sim.ProfileNames())
+		}
+		prof = p
+	}
+	pl := sim.PlatformHW
+	if cfg.Optane {
+		pl = sim.PlatformSW
+	}
+	return prof, pl, nil
 }
 
 // RootSlots is the number of uint64 application root slots in a pool.
@@ -128,11 +153,11 @@ func Open(cfg Config) (*Pool, error) {
 	if cfg.Engine == "" {
 		cfg.Engine = "SpecSPMT"
 	}
-	lat := sim.DefaultLatency()
-	if cfg.Optane {
-		lat = sim.OptaneLatency()
+	prof, pl, err := resolveProfile(cfg)
+	if err != nil {
+		return nil, err
 	}
-	dev := pmem.NewDevice(pmem.Config{Size: cfg.Size, Lat: lat})
+	dev := pmem.NewDevice(pmem.Config{Size: cfg.Size, Profile: prof, Platform: pl})
 	if cfg.Tracer != nil {
 		dev.SetTracer(cfg.Tracer)
 	}

@@ -47,12 +47,12 @@ func OpenThreaded(cfg Config, n int) (*ThreadedPool, error) {
 	if cfg.Engine != "SpecSPMT" && cfg.Engine != "SpecHPMT" {
 		return nil, fmt.Errorf("specpmt: threaded pools support SpecSPMT and SpecHPMT, not %q", cfg.Engine)
 	}
-	lat := sim.DefaultLatency()
-	if cfg.Optane {
-		lat = sim.OptaneLatency()
+	prof, pl, err := resolveProfile(cfg)
+	if err != nil {
+		return nil, err
 	}
 	p := &ThreadedPool{
-		dev:     pmem.NewDevice(pmem.Config{Size: cfg.Size, Lat: lat}),
+		dev:     pmem.NewDevice(pmem.Config{Size: cfg.Size, Profile: prof, Platform: pl}),
 		ts:      &txn.Timestamp{},
 		cfg:     cfg,
 		threads: n,
