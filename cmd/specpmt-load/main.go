@@ -1,0 +1,307 @@
+// Command specpmt-load is a closed-loop load generator for specpmt-server.
+// Each connection runs one goroutine issuing a mixed GET/SET/CAS/MULTI
+// workload and records two latencies per request: wall time (host clock,
+// includes network and queueing) and the server-reported modeled PM time
+// (t=<ns> trailers). The run summary — per-op-type percentiles, throughput,
+// and the server's own STATS counters — prints as JSON on stdout.
+//
+// Usage:
+//
+//	specpmt-load [-addr host:port] [-conns n] [-duration d] [-keys n]
+//	             [-dist uniform|zipf] [-reads pct] [-cas pct] [-multi pct]
+//	             [-multi-ops n] [-preload n] [-seed s]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"flag"
+
+	"specpmt/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "server address")
+	conns := flag.Int("conns", 64, "concurrent connections (one goroutine each)")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	keys := flag.Uint64("keys", 100_000, "key-space size")
+	dist := flag.String("dist", "uniform", "key distribution: uniform or zipf")
+	reads := flag.Int("reads", 50, "percent of single ops that are GET")
+	cas := flag.Int("cas", 10, "percent of single ops that are CAS (rest are SET)")
+	multi := flag.Int("multi", 5, "percent of requests that are MULTI...EXEC transactions")
+	multiOps := flag.Int("multi-ops", 4, "operations per MULTI transaction")
+	preload := flag.Uint64("preload", 10_000, "keys to SET before the timed run")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *reads+*cas > 100 {
+		fatalf("-reads + -cas must be <= 100")
+	}
+	if *dist != "uniform" && *dist != "zipf" {
+		fatalf("-dist must be uniform or zipf")
+	}
+	if *conns <= 0 || *keys == 0 || *multiOps <= 0 {
+		fatalf("-conns, -keys, and -multi-ops must be positive")
+	}
+
+	// Preload a prefix of the key space so GETs hit and CAS has a base.
+	pre, err := server.Dial(*addr, 10*time.Second)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	n := *preload
+	if n > *keys {
+		n = *keys
+	}
+	for k := uint64(0); k < n; k++ {
+		if _, err := pre.Set(k, k); err != nil {
+			fatalf("preload: %v", err)
+		}
+	}
+	banner := pre.Banner
+	pre.Close()
+
+	var wg sync.WaitGroup
+	workers := make([]*worker, *conns)
+	stop := make(chan struct{})
+	for i := range workers {
+		w := &worker{
+			cfg:  cfg{keys: *keys, dist: *dist, reads: *reads, cas: *cas, multi: *multi, multiOps: *multiOps},
+			rng:  rand.New(rand.NewSource(int64(*seed) + int64(i)*1_000_003)),
+			stop: stop,
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(*addr)
+		}()
+	}
+	start := time.Now()
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Addr:     *addr,
+		Banner:   banner,
+		Conns:    *conns,
+		Duration: elapsed.Seconds(),
+		Keys:     *keys,
+		Dist:     *dist,
+		Seed:     *seed,
+		OpTypes:  map[string]opReport{},
+	}
+	var all lats
+	for _, kind := range []string{"get", "set", "cas", "multi"} {
+		merged := lats{}
+		for _, w := range workers {
+			merged.wall = append(merged.wall, w.lat[kind].wall...)
+			merged.model = append(merged.model, w.lat[kind].model...)
+		}
+		if len(merged.wall) == 0 {
+			continue
+		}
+		rep.OpTypes[kind] = opReport{
+			Ops:     len(merged.wall),
+			WallUs:  percentiles(merged.wall, 1e-3),
+			ModelNs: percentiles(merged.model, 1),
+		}
+		all.wall = append(all.wall, merged.wall...)
+		all.model = append(all.model, merged.model...)
+	}
+	for _, w := range workers {
+		rep.Errors += w.errors
+		rep.Conflicts += w.conflicts
+	}
+	rep.TotalOps = len(all.wall)
+	rep.Throughput = float64(rep.TotalOps) / elapsed.Seconds()
+
+	// The server's own view of the run.
+	if c, err := server.Dial(*addr, 5*time.Second); err == nil {
+		if nums, _, err := c.Stats(); err == nil {
+			rep.ServerStats = nums
+		}
+		c.Close()
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatalf("%v", err)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "specpmt-load: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type cfg struct {
+	keys                        uint64
+	dist                        string
+	reads, cas, multi, multiOps int
+}
+
+// lats collects per-request latencies: wall nanoseconds (host clock) and
+// modeled PM nanoseconds (server t= trailers).
+type lats struct {
+	wall  []int64
+	model []int64
+}
+
+type worker struct {
+	cfg       cfg
+	rng       *rand.Rand
+	stop      chan struct{}
+	lat       map[string]*lats
+	errors    int
+	conflicts int
+}
+
+func (w *worker) key() uint64 {
+	if w.cfg.dist == "zipf" {
+		// s=1.1, v=1 — a conventional skewed point; hottest keys are small.
+		z := rand.NewZipf(w.rng, 1.1, 1, w.cfg.keys-1)
+		return z.Uint64()
+	}
+	return w.rng.Uint64() % w.cfg.keys
+}
+
+func (w *worker) run(addr string) {
+	w.lat = map[string]*lats{"get": {}, "set": {}, "cas": {}, "multi": {}}
+	c, err := server.Dial(addr, 10*time.Second)
+	if err != nil {
+		w.errors++
+		return
+	}
+	defer c.Close()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		kind, wallNs, modelNs, err := w.request(c)
+		if err != nil {
+			w.errors++
+			return
+		}
+		l := w.lat[kind]
+		l.wall = append(l.wall, wallNs)
+		l.model = append(l.model, modelNs)
+	}
+}
+
+// request issues one operation and returns its type and latencies.
+func (w *worker) request(c *server.Client) (kind string, wallNs, modelNs int64, err error) {
+	roll := w.rng.Intn(100)
+	start := time.Now()
+	switch {
+	case roll < w.cfg.multi:
+		ops := make([]server.Op, w.cfg.multiOps)
+		for i := range ops {
+			if i%2 == 0 {
+				ops[i] = server.Op{Kind: server.OpSet, Key: w.key(), Arg1: w.rng.Uint64()}
+			} else {
+				ops[i] = server.Op{Kind: server.OpGet, Key: w.key()}
+			}
+		}
+		_, ns, e := c.Exec(ops)
+		return "multi", time.Since(start).Nanoseconds(), ns, e
+	case roll < w.cfg.multi+w.cfg.reads:
+		r, e := c.Get(w.key())
+		return "get", time.Since(start).Nanoseconds(), r.ModelNs, e
+	case roll < w.cfg.multi+w.cfg.reads+w.cfg.cas:
+		k := w.key()
+		cur, e := c.Get(k)
+		if e != nil {
+			return "cas", 0, 0, e
+		}
+		old := cur.Val // NOTFOUND leaves 0; CAS then reports NOTFOUND or races
+		start = time.Now()
+		r, e := c.CAS(k, old, old+1)
+		if e == nil && r.Status == server.StatusConflict {
+			w.conflicts++
+		}
+		return "cas", time.Since(start).Nanoseconds(), r.ModelNs, e
+	default:
+		r, e := c.Set(w.key(), w.rng.Uint64())
+		return "set", time.Since(start).Nanoseconds(), r.ModelNs, e
+	}
+}
+
+// pctl summarizes a latency population.
+type pctl struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// percentiles sorts samples (nanoseconds) and reports them scaled by
+// `scale` (1e-3 turns ns into µs).
+func percentiles(samples []int64, scale float64) pctl {
+	if len(samples) == 0 {
+		return pctl{}
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return float64(s[i]) * scale
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return pctl{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		P999: at(0.999),
+		Max:  float64(s[len(s)-1]) * scale,
+		Mean: sum / float64(len(s)) * scale,
+	}
+}
+
+type opReport struct {
+	Ops int `json:"ops"`
+	// WallUs is host wall-clock latency in microseconds.
+	WallUs pctl `json:"wall_us"`
+	// ModelNs is the server-reported modeled PM time in nanoseconds.
+	ModelNs pctl `json:"model_ns"`
+}
+
+type report struct {
+	Addr        string              `json:"addr"`
+	Banner      string              `json:"banner"`
+	Conns       int                 `json:"conns"`
+	Duration    float64             `json:"duration_sec"`
+	Keys        uint64              `json:"keys"`
+	Dist        string              `json:"dist"`
+	Seed        uint64              `json:"seed"`
+	TotalOps    int                 `json:"total_ops"`
+	Throughput  float64             `json:"throughput_ops_sec"`
+	Errors      int                 `json:"errors"`
+	Conflicts   int                 `json:"cas_conflicts"`
+	OpTypes     map[string]opReport `json:"op_types"`
+	ServerStats map[string]uint64   `json:"server_stats,omitempty"`
+}

@@ -1,0 +1,77 @@
+// Command specpmt-server serves the SpecPMT transactional key-value store
+// over TCP (see internal/server for the wire protocol).
+//
+// Usage:
+//
+//	specpmt-server [-addr host:port] [-engine spec|undo|hashlog|...]
+//	               [-profile optane-adr|...] [-shards n] [-pool-size bytes]
+//	               [-max-batch n] [-batch-window d] [-max-conns n]
+//	               [-max-inflight n]
+//
+// Engine names accept both registry names ("SpecSPMT", "PMDK") and short
+// aliases ("spec", "undo"). SIGINT/SIGTERM drain in-flight requests and
+// exit 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specpmt/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "TCP listen address")
+	engine := flag.String("engine", "spec", "crash-consistency engine (name or alias: spec, spec-dp, hashlog, undo, kamino, spht, spec-hw, nolog)")
+	profile := flag.String("profile", "", "simulated media profile (default optane-adr)")
+	shards := flag.Int("shards", 4, "worker shards (1..16); each owns one engine thread")
+	poolSize := flag.Int("pool-size", 256<<20, "persistent pool size in bytes")
+	maxBatch := flag.Int("max-batch", 32, "max requests per group commit (<=1 disables batching)")
+	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "how long a worker waits to fill a batch")
+	maxConns := flag.Int("max-conns", 256, "max concurrent connections")
+	maxInFlight := flag.Int("max-inflight", 1024, "max requests admitted to worker queues")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "specpmt-server: ", log.LstdFlags)
+	s, err := server.New(server.Config{
+		Addr:        *addr,
+		Engine:      server.ResolveEngine(*engine),
+		Profile:     *profile,
+		Shards:      *shards,
+		PoolSize:    *poolSize,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		MaxConns:    *maxConns,
+		MaxInFlight: *maxInFlight,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe() }()
+
+	select {
+	case got := <-sig:
+		logger.Printf("caught %v, draining", got)
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		<-done // Serve returns nil once Close finishes draining
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

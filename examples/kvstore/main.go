@@ -1,206 +1,128 @@
-// KVStore: a persistent fixed-capacity hash map built on the public API —
-// the "persistent data structure on transactions" usage the paper's
-// programming model (§4.3) targets. Every mutation is one crash-atomic
-// transaction; the store is rediscovered from a pool root slot after a
-// crash. The demo loads a dataset, overwrites part of it, crashes in the
-// middle of a multi-key update, and verifies the map recovered to exactly
-// the committed state.
+// KVStore over the wire: the persistent hash map served by internal/server,
+// driven through the real TCP path. The demo starts an in-process
+// specpmt-server on a loopback port, dials it with the client codec, and
+// runs a mixed workload: single SET/GET/DEL/CAS requests, a multi-key
+// MULTI...EXEC transaction (atomic even across shards), a CAS race between
+// two connections, and a STATS read showing the group-commit batcher
+// amortizing commit fences across clients.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
+	"sync"
+	"time"
 
-	"specpmt"
-	"specpmt/internal/sim"
+	"specpmt/internal/server"
 )
-
-// Store layout in persistent memory:
-//
-//	header: [capacity u64][len u64]
-//	slots:  capacity * [state u64][key u64][value u64]  (state: 0 empty, 1 used)
-//
-// Open addressing with linear probing. Capacity is fixed at creation — a
-// resize would simply be another transaction copying into a new table.
-type Store struct {
-	pool *specpmt.Pool
-	base specpmt.Addr
-	cap  uint64
-}
-
-const (
-	hdrSize  = 16
-	slotSize = 24
-)
-
-// NewStore allocates a store of the given capacity and registers it in pool
-// root slot 0.
-func NewStore(pool *specpmt.Pool, capacity uint64) (*Store, error) {
-	base, err := pool.Alloc(int(hdrSize + capacity*slotSize))
-	if err != nil {
-		return nil, err
-	}
-	// Initialise in chunks (each transaction's log record must fit one log
-	// block). The table is unreachable until the root slot is published, so
-	// a crash mid-initialisation leaks nothing.
-	tx := pool.Begin()
-	tx.StoreUint64(base, capacity)
-	tx.StoreUint64(base+8, 0)
-	if err := tx.Commit(); err != nil {
-		return nil, err
-	}
-	const chunk = 512
-	for i := uint64(0); i < capacity; i += chunk {
-		tx := pool.Begin()
-		for j := i; j < i+chunk && j < capacity; j++ {
-			tx.StoreUint64(base+hdrSize+specpmt.Addr(j*slotSize), 0)
-		}
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
-	}
-	if err := pool.SetRoot(0, uint64(base)); err != nil {
-		return nil, err
-	}
-	return &Store{pool: pool, base: base, cap: capacity}, nil
-}
-
-// OpenStore reattaches to the store registered in root slot 0 (post-crash).
-func OpenStore(pool *specpmt.Pool) *Store {
-	base := specpmt.Addr(pool.Root(0))
-	return &Store{pool: pool, base: base, cap: pool.ReadUint64(base)}
-}
-
-func (s *Store) slot(i uint64) specpmt.Addr {
-	return s.base + hdrSize + specpmt.Addr((i%s.cap)*slotSize)
-}
-
-func hash(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }
-
-// put inserts or updates a key inside an open transaction, returning false
-// if the table is full.
-func (s *Store) put(tx specpmt.Tx, key, val uint64) bool {
-	for probe := uint64(0); probe < s.cap; probe++ {
-		at := s.slot(hash(key) + probe)
-		switch tx.LoadUint64(at) {
-		case 0: // empty
-			tx.StoreUint64(at, 1)
-			tx.StoreUint64(at+8, key)
-			tx.StoreUint64(at+16, val)
-			tx.StoreUint64(s.base+8, tx.LoadUint64(s.base+8)+1)
-			return true
-		case 1:
-			if tx.LoadUint64(at+8) == key {
-				tx.StoreUint64(at+16, val)
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// Put writes one key crash-atomically.
-func (s *Store) Put(key, val uint64) error {
-	tx := s.pool.Begin()
-	if !s.put(tx, key, val) {
-		tx.Abort()
-		return fmt.Errorf("kvstore: table full")
-	}
-	return tx.Commit()
-}
-
-// PutAll writes a batch of keys in ONE transaction: after a crash, either
-// every key in the batch has its new value or none does.
-func (s *Store) PutAll(kvs map[uint64]uint64) error {
-	tx := s.pool.Begin()
-	for k, v := range kvs {
-		if !s.put(tx, k, v) {
-			tx.Abort()
-			return fmt.Errorf("kvstore: table full")
-		}
-	}
-	return tx.Commit()
-}
-
-// Get reads a key outside any transaction.
-func (s *Store) Get(key uint64) (uint64, bool) {
-	for probe := uint64(0); probe < s.cap; probe++ {
-		at := s.slot(hash(key) + probe)
-		switch s.pool.ReadUint64(at) {
-		case 0:
-			return 0, false
-		case 1:
-			if s.pool.ReadUint64(at+8) == key {
-				return s.pool.ReadUint64(at + 16), true
-			}
-		}
-	}
-	return 0, false
-}
-
-// Len returns the committed entry count.
-func (s *Store) Len() uint64 { return s.pool.ReadUint64(s.base + 8) }
 
 func main() {
-	pool, err := specpmt.Open(specpmt.Config{Size: 128 << 20})
+	// An in-process server: 4 shard workers, each owning one SpecSPMT
+	// engine thread, group-committing requests that arrive together.
+	srv, err := server.New(server.Config{
+		Engine:   "SpecSPMT",
+		Shards:   4,
+		PoolSize: 64 << 20,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer pool.Close()
-
-	store, err := NewStore(pool, 4096)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := sim.NewRand(3)
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
 
-	// Load a dataset.
-	oracle := map[uint64]uint64{}
-	for i := 0; i < 1000; i++ {
-		k, v := rng.Uint64()%100000, rng.Uint64()
-		if err := store.Put(k, v); err != nil {
-			log.Fatal(err)
-		}
-		oracle[k] = v
-	}
-	// One committed batch update.
-	batch := map[uint64]uint64{11: 1, 22: 2, 33: 3, 44: 4}
-	if err := store.PutAll(batch); err != nil {
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
 		log.Fatal(err)
 	}
-	for k, v := range batch {
-		oracle[k] = v
-	}
-	fmt.Printf("loaded %d keys (%d committed entries)\n", len(oracle), store.Len())
+	fmt.Println("connected:", c.Banner)
 
-	// A second batch is interrupted by a power failure: it must vanish
-	// entirely.
-	tx := pool.Begin()
-	store.put(tx, 11, 999)
-	store.put(tx, 22, 999)
-	fmt.Println("crash mid-batch...")
-	if err := pool.Crash(9); err != nil {
+	// Single-key requests. Every reply carries t=<ns>, the request's
+	// modeled PM time on the simulated device.
+	if _, err := c.Set(1, 100); err != nil {
 		log.Fatal(err)
 	}
-	if err := pool.Recover(); err != nil {
+	r, err := c.Get(1)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("GET 1 -> %d (modeled %dns)\n", r.Val, r.ModelNs)
 
-	store = OpenStore(pool)
-	bad := 0
-	for k, want := range oracle {
-		got, ok := store.Get(k)
-		if !ok || got != want {
-			bad++
-		}
+	// A multi-key transaction: the three SETs commit atomically in ONE
+	// engine transaction even though keys 2, 3, 4 hash to different shards.
+	results, modelNs, err := c.Exec([]server.Op{
+		{Kind: server.OpSet, Key: 2, Arg1: 200},
+		{Kind: server.OpSet, Key: 3, Arg1: 300},
+		{Kind: server.OpSet, Key: 4, Arg1: 400},
+		{Kind: server.OpGet, Key: 2}, // observes the SET in the same txn
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("verified %d keys after recovery: %d mismatches\n", len(oracle), bad)
-	if bad > 0 {
-		log.Fatal("kvstore: atomicity violated")
+	fmt.Printf("EXEC: %d ops committed atomically (modeled %dns), GET 2 -> %d\n",
+		len(results), modelNs, results[3].Val)
+
+	// Two clients race a CAS increment on key 1: exactly one wins per
+	// round, so the final value counts the successes.
+	var wins [2]int
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc, err := server.Dial(addr, 5*time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cc.Close()
+			for wins[id] < 50 {
+				g, err := cc.Get(1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				r, err := cc.CAS(1, g.Val, g.Val+1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if r.Status == server.StatusOK {
+					wins[id]++
+				}
+			}
+		}()
 	}
-	fmt.Printf("interrupted batch revoked: key 11 = %v (want %d)\n",
-		first(store.Get(11)), oracle[11])
-	fmt.Printf("modeled time: %.2fms\n", float64(pool.ModeledTime())/1e6)
+	wg.Wait()
+	final, _ := c.Get(1)
+	fmt.Printf("CAS race: %d + %d wins, value %d -> %d (linearizable: %v)\n",
+		wins[0], wins[1], 100, final.Val, final.Val == 100+uint64(wins[0]+wins[1]))
+
+	// DEL, and a miss.
+	if r, _ := c.Del(4); r.Status != server.StatusOK {
+		log.Fatal("DEL 4 failed")
+	}
+	if r, _ := c.Get(4); r.Status != server.StatusNotFound {
+		log.Fatal("GET 4 should miss after DEL")
+	}
+	fmt.Println("DEL 4: ok, subsequent GET misses")
+
+	// The server's own counters: fences per committed transaction stays
+	// near one (the paper's single-fence commit), and group commit packs
+	// multiple SETs into one transaction when clients overlap.
+	nums, strs, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STATS: engine=%s keys=%d txns=%d fences=%d batched_ops=%d batches=%d\n",
+		strs["engine"], nums["keys"], nums["tx_committed"], nums["fences"],
+		nums["batched_ops"], nums["batches"])
+
+	c.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained cleanly")
 }
-
-func first(v uint64, _ bool) uint64 { return v }

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the reference codec for the server's wire protocol — used by
+// the load generator, the examples, and tests. Not safe for concurrent
+// use: one goroutine per client, like one connection per client.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+	// Banner is the server's greeting line (engine, profile, shards).
+	Banner string
+}
+
+// OpResult is one data operation's parsed reply.
+type OpResult struct {
+	Status Status
+	Val    uint64
+	// ModelNs is the request's modeled PM time reported by the server
+	// (t=<ns>); -1 when the reply carried none.
+	ModelNs int64
+}
+
+// Dial connects to a server, retrying for up to timeout (covers the race
+// against a server still binding its socket), and reads the banner.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return NewClient(conn)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// NewClient wraps an established connection (e.g. one end of a net.Pipe)
+// and reads the banner.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	line, err := c.readLine()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: reading banner: %w", err)
+	}
+	c.Banner = string(line)
+	if !strings.HasPrefix(c.Banner, "SPECPMT ") {
+		conn.Close()
+		return nil, fmt.Errorf("server: unexpected banner %q", c.Banner)
+	}
+	return c, nil
+}
+
+// Close sends QUIT (best effort) and closes the connection.
+func (c *Client) Close() error {
+	c.bw.WriteString("QUIT\n")
+	c.bw.Flush()
+	c.conn.SetReadDeadline(time.Now().Add(time.Second))
+	c.readLine() // BYE
+	return c.conn.Close()
+}
+
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+func (c *Client) do(op Op) (OpResult, error) {
+	c.buf = AppendCommand(c.buf[:0], op)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return OpResult{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return OpResult{}, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return OpResult{}, err
+	}
+	return parseOpResult(line)
+}
+
+// Get fetches key. Status is StatusValue or StatusNotFound.
+func (c *Client) Get(key uint64) (OpResult, error) {
+	return c.do(Op{Kind: OpGet, Key: key})
+}
+
+// Set stores key=val.
+func (c *Client) Set(key, val uint64) (OpResult, error) {
+	return c.do(Op{Kind: OpSet, Key: key, Arg1: val})
+}
+
+// Del removes key. Status is StatusOK or StatusNotFound.
+func (c *Client) Del(key uint64) (OpResult, error) {
+	return c.do(Op{Kind: OpDel, Key: key})
+}
+
+// CAS atomically replaces key's value with new if it currently equals old.
+// Status is StatusOK, StatusConflict (Val holds the current value), or
+// StatusNotFound.
+func (c *Client) CAS(key, old, new uint64) (OpResult, error) {
+	return c.do(Op{Kind: OpCAS, Key: key, Arg1: old, Arg2: new})
+}
+
+// Exec runs ops as ONE transaction via MULTI...EXEC, returning one result
+// per op and the transaction's modeled time.
+func (c *Client) Exec(ops []Op) ([]OpResult, int64, error) {
+	c.bw.WriteString("MULTI\n")
+	for _, op := range ops {
+		c.buf = AppendCommand(c.buf[:0], op)
+		c.bw.Write(c.buf)
+	}
+	c.bw.WriteString("EXEC\n")
+	if err := c.bw.Flush(); err != nil {
+		return nil, 0, err
+	}
+	if err := c.expect("OK"); err != nil {
+		return nil, 0, fmt.Errorf("MULTI: %w", err)
+	}
+	for range ops {
+		if err := c.expect("QUEUED"); err != nil {
+			return nil, 0, fmt.Errorf("queueing: %w", err)
+		}
+	}
+	head, err := c.readLine()
+	if err != nil {
+		return nil, 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(string(head), "RESULTS %d", &n); err != nil {
+		return nil, 0, fmt.Errorf("server: unexpected EXEC reply %q", head)
+	}
+	results := make([]OpResult, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := parseOpResult(line)
+		if err != nil {
+			return nil, 0, err
+		}
+		results = append(results, r)
+	}
+	end, err := c.readLine()
+	if err != nil {
+		return nil, 0, err
+	}
+	var modelNs int64
+	if _, err := fmt.Sscanf(string(end), "END t=%d", &modelNs); err != nil {
+		return nil, 0, fmt.Errorf("server: unexpected EXEC trailer %q", end)
+	}
+	return results, modelNs, nil
+}
+
+// Stats fetches the server's STATS block as a name -> value map (numeric
+// values; engine and profile come back in the "engine"/"profile" keys of
+// the second map).
+func (c *Client) Stats() (map[string]uint64, map[string]string, error) {
+	c.bw.WriteString("STATS\n")
+	if err := c.bw.Flush(); err != nil {
+		return nil, nil, err
+	}
+	nums := map[string]uint64{}
+	strs := map[string]string{}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		if string(line) == "END" {
+			return nums, strs, nil
+		}
+		fields := strings.Fields(string(line))
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, nil, fmt.Errorf("server: unexpected STATS line %q", line)
+		}
+		if n, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+			nums[fields[1]] = n
+		} else {
+			strs[fields[1]] = fields[2]
+		}
+	}
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	c.bw.WriteString("PING\n")
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.expect("PONG")
+}
+
+func (c *Client) expect(want string) error {
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if string(line) != want {
+		return fmt.Errorf("server: got %q, want %q", line, want)
+	}
+	return nil
+}
+
+// parseOpResult decodes a single-op reply line: OK / VALUE v / NOTFOUND /
+// CONFLICT cur, each optionally followed by t=<ns>.
+func parseOpResult(line []byte) (OpResult, error) {
+	r := OpResult{ModelNs: -1}
+	rest := line
+	if i := bytes.LastIndex(line, []byte(" t=")); i >= 0 {
+		ns, err := strconv.ParseInt(string(line[i+3:]), 10, 64)
+		if err == nil {
+			r.ModelNs = ns
+			rest = line[:i]
+		}
+	}
+	fields := bytes.Fields(rest)
+	if len(fields) == 0 {
+		return r, fmt.Errorf("server: empty reply")
+	}
+	switch string(fields[0]) {
+	case "OK":
+		r.Status = StatusOK
+		return r, nil
+	case "NOTFOUND":
+		r.Status = StatusNotFound
+		return r, nil
+	case "VALUE":
+		if len(fields) != 2 {
+			return r, fmt.Errorf("server: malformed VALUE reply %q", line)
+		}
+		v, err := strconv.ParseUint(string(fields[1]), 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("server: malformed VALUE reply %q", line)
+		}
+		r.Status, r.Val = StatusValue, v
+		return r, nil
+	case "CONFLICT":
+		if len(fields) != 2 {
+			return r, fmt.Errorf("server: malformed CONFLICT reply %q", line)
+		}
+		v, err := strconv.ParseUint(string(fields[1]), 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("server: malformed CONFLICT reply %q", line)
+		}
+		r.Status, r.Val = StatusConflict, v
+		return r, nil
+	case "ERR":
+		return r, fmt.Errorf("server error: %s", bytes.TrimSpace(rest))
+	}
+	return r, fmt.Errorf("server: unexpected reply %q", line)
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseCommand asserts the protocol parser never panics, never accepts
+// an over-long line's worth of garbage as a valid command with mangled
+// numbers, and — for every line it does accept as a data operation —
+// round-trips through the client-side encoder to the identical command.
+func FuzzParseCommand(f *testing.F) {
+	for _, seed := range []string{
+		"GET 7", "SET 1 2", "DEL 3", "CAS 4 5 6",
+		"MULTI", "EXEC", "DISCARD", "STATS", "PING", "QUIT",
+		"get 18446744073709551615", "  SET\t9 10  ",
+		"", " ", "SET 1", "CAS 1 2", "SET 1 99999999999999999999999",
+		"BLORP", "GET -1", "GET 0x10", "SET 1 2 3 4", "\x00\xff\xfe",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		if cmd.Verb != VerbOp {
+			if (cmd.Op != Op{}) {
+				t.Fatalf("bare verb %v carried op payload %+v", cmd.Verb, cmd.Op)
+			}
+			return
+		}
+		// Encoder -> parser must be the identity on accepted operations.
+		wire := AppendCommand(nil, cmd.Op)
+		if !bytes.HasSuffix(wire, []byte("\n")) {
+			t.Fatalf("AppendCommand(%+v) not newline-terminated: %q", cmd.Op, wire)
+		}
+		again, err := ParseCommand(wire[:len(wire)-1])
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", wire, line, err)
+		}
+		if again != cmd {
+			t.Fatalf("round trip changed command: %+v -> %+v (line %q)", cmd, again, line)
+		}
+	})
+}

@@ -1,0 +1,626 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specpmt"
+)
+
+// Config parameterises New. The zero value serves SpecSPMT over optane-adr
+// on 4 shards with group commit enabled.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe (default
+	// "127.0.0.1:7077").
+	Addr string
+	// Engine picks the crash-consistency scheme backing the store — any
+	// per-thread software engine ("SpecSPMT", "PMDK", "SpecSPMT-Hash",
+	// "SPHT", ...) or "SpecHPMT". Default "SpecSPMT".
+	Engine string
+	// Profile names the simulated media profile (see sim.ProfileNames).
+	Profile string
+	// Shards is the worker count: each worker owns one engine thread and
+	// one hash-map shard. 1..16 (root-slot bound). Default 4.
+	Shards int
+	// PoolSize is the persistent pool size in bytes (default 256 MiB).
+	PoolSize int
+	// MaxBatch caps the requests one group commit coalesces. <= 1 disables
+	// batching (every request commits its own transaction). Default 32.
+	MaxBatch int
+	// BatchWindow is how long a worker waits for more requests once its
+	// queue runs dry before committing a non-full batch. 0 commits whatever
+	// is already queued without waiting. Default 200µs.
+	BatchWindow time.Duration
+	// MaxConns bounds concurrent connections; over-limit dials are refused
+	// with an ERR line. Default 256.
+	MaxConns int
+	// MaxInFlight bounds requests admitted to worker queues across all
+	// connections — the backpressure valve. Default 1024.
+	MaxInFlight int
+	// IdleTimeout closes connections idle for this long (default 60s).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write (default 10s).
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives server lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) fillDefaults() error {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:7077"
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "SpecSPMT"
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = "optane-adr"
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 || cfg.Shards > specpmt.RootSlots {
+		return fmt.Errorf("server: shards must be 1..%d", specpmt.RootSlots)
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 256 << 20
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 200 * time.Microsecond
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 256
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 1024
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	return nil
+}
+
+// ResolveEngine maps the short engine aliases the CLIs accept (spec,
+// spec-dp, hashlog, undo, kamino, spht, spec-hw, nolog) to registered
+// engine names; unknown aliases pass through for the registry to validate.
+func ResolveEngine(name string) string {
+	switch name {
+	case "spec":
+		return "SpecSPMT"
+	case "spec-dp":
+		return "SpecSPMT-DP"
+	case "hashlog":
+		return "SpecSPMT-Hash"
+	case "undo", "pmdk":
+		return "PMDK"
+	case "kamino":
+		return "Kamino-Tx"
+	case "spht":
+		return "SPHT"
+	case "spec-hw":
+		return "SpecHPMT"
+	case "nolog":
+		return "no-log"
+	}
+	return name
+}
+
+// Server is a network-facing transactional KV store over one ThreadedPool.
+type Server struct {
+	cfg    Config
+	pool   *specpmt.ThreadedPool
+	shards []*shard
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	workersUp sync.Once
+	connWG    sync.WaitGroup
+	workerWG  sync.WaitGroup
+	inflight  chan struct{}
+	multiMu   sync.Mutex
+
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	start       time.Time
+	activeConns atomic.Int64
+	totalConns  atomic.Uint64
+	refused     atomic.Uint64
+	opCounts    [4]atomic.Uint64 // by OpKind
+	multis      atomic.Uint64
+	batches     atomic.Uint64
+	batchedOps  atomic.Uint64
+	protoErrs   atomic.Uint64
+}
+
+// ErrClosed is returned by serve loops after Close.
+var ErrClosed = errors.New("server: closed")
+
+// New builds a server: it opens the threaded pool and one hash-map shard
+// per worker, but does not listen or start workers — call ListenAndServe
+// or Serve.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	pool, err := specpmt.OpenThreaded(specpmt.Config{
+		Size:    cfg.PoolSize,
+		Engine:  cfg.Engine,
+		Profile: cfg.Profile,
+	}, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     pool,
+		quit:     make(chan struct{}),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		conns:    map[net.Conn]struct{}{},
+		start:    time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(pool, i, cfg.MaxBatch)
+		if err != nil {
+			pool.Close()
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Engine returns the resolved engine name the store runs on.
+func (s *Server) Engine() string { return s.cfg.Engine }
+
+// Profile returns the resolved media profile name.
+func (s *Server) Profile() string { return s.cfg.Profile }
+
+// Addr returns the bound listen address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Close. A clean Close
+// returns nil.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve starts the shard workers and accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.startWorkers()
+	s.logf("specpmt-server: serving engine=%s profile=%s shards=%d on %s",
+		s.cfg.Engine, s.cfg.Profile, s.cfg.Shards, ln.Addr())
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return err
+			}
+		}
+		if s.activeConns.Load() >= int64(s.cfg.MaxConns) {
+			s.refused.Add(1)
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			fmt.Fprintf(c, "ERR max connections (%d) reached\n", s.cfg.MaxConns)
+			c.Close()
+			continue
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// ServeConn serves one pre-established connection (e.g. one end of a
+// net.Pipe) in the calling goroutine, returning when it closes. Workers are
+// started on demand.
+func (s *Server) ServeConn(c net.Conn) {
+	s.startWorkers()
+	s.connWG.Add(1)
+	defer s.connWG.Done()
+	s.handleConn(c)
+}
+
+func (s *Server) startWorkers() {
+	s.workersUp.Do(func() {
+		for _, sh := range s.shards {
+			sh.publish()
+			s.workerWG.Add(1)
+			go func(sh *shard) {
+				defer s.workerWG.Done()
+				s.runWorker(sh)
+			}(sh)
+		}
+	})
+}
+
+// Close drains the server: stop accepting, let every in-flight request
+// finish and its connection wind down, stop the workers, then close the
+// pool. Safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.lnMu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.lnMu.Unlock()
+		// Wake connections parked in idle reads; handlers notice quit and
+		// exit after finishing their current request.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		// No submitters remain: drain the workers.
+		s.startWorkers() // ensure worker goroutines exist before closing queues
+		for _, sh := range s.shards {
+			close(sh.jobs)
+		}
+		s.workerWG.Wait()
+		err = s.pool.Close()
+		s.logf("specpmt-server: closed (%d connections served)", s.totalConns.Load())
+	})
+	return err
+}
+
+// Counters returns the pool's counters. Call it on a quiesced server (all
+// in-flight requests done) — e.g. after Close, or from tests that know the
+// workers are idle.
+func (s *Server) Counters() specpmt.Counters { return s.pool.Counters() }
+
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer c.Close()
+	s.trackConn(c, true)
+	defer s.trackConn(c, false)
+	s.activeConns.Add(1)
+	defer s.activeConns.Add(-1)
+	s.totalConns.Add(1)
+
+	bw := bufio.NewWriter(c)
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	fmt.Fprintf(bw, "SPECPMT 1 engine=%s profile=%s shards=%d\n",
+		s.cfg.Engine, s.cfg.Profile, s.cfg.Shards)
+	if bw.Flush() != nil {
+		return
+	}
+
+	br := bufio.NewReaderSize(c, MaxLineLen+2)
+	var (
+		multiOps []Op
+		inMulti  bool
+		replyBuf []byte
+		j        = newJob()
+	)
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		line, err := readLine(br)
+		if err != nil {
+			if err == errLineTooLong {
+				s.protoErrs.Add(1)
+				s.writeLine(c, bw, "ERR line too long")
+			}
+			return
+		}
+		cmd, perr := ParseCommand(line)
+		if perr != nil {
+			s.protoErrs.Add(1)
+			if !s.writeLine(c, bw, "ERR "+perr.Error()) {
+				return
+			}
+			continue
+		}
+		switch cmd.Verb {
+		case VerbPing:
+			if !s.writeLine(c, bw, "PONG") {
+				return
+			}
+		case VerbQuit:
+			s.writeLine(c, bw, "BYE")
+			return
+		case VerbStats:
+			if !s.writeStats(c, bw) {
+				return
+			}
+		case VerbMulti:
+			if inMulti {
+				s.protoErrs.Add(1)
+				if !s.writeLine(c, bw, "ERR MULTI inside MULTI") {
+					return
+				}
+				continue
+			}
+			inMulti, multiOps = true, multiOps[:0]
+			if !s.writeLine(c, bw, "OK") {
+				return
+			}
+		case VerbDiscard:
+			inMulti, multiOps = false, multiOps[:0]
+			if !s.writeLine(c, bw, "OK") {
+				return
+			}
+		case VerbExec:
+			if !inMulti {
+				s.protoErrs.Add(1)
+				if !s.writeLine(c, bw, "ERR EXEC without MULTI") {
+					return
+				}
+				continue
+			}
+			inMulti = false
+			ok := s.execMulti(c, bw, j, multiOps, &replyBuf)
+			multiOps = multiOps[:0]
+			if !ok {
+				return
+			}
+		case VerbOp:
+			if inMulti {
+				if len(multiOps) >= MaxMultiOps {
+					s.protoErrs.Add(1)
+					inMulti, multiOps = false, multiOps[:0]
+					if !s.writeLine(c, bw, "ERR MULTI too large (discarded)") {
+						return
+					}
+					continue
+				}
+				multiOps = append(multiOps, cmd.Op)
+				if !s.writeLine(c, bw, "QUEUED") {
+					return
+				}
+				continue
+			}
+			if !s.execSingle(c, bw, j, cmd.Op, &replyBuf) {
+				return
+			}
+		}
+	}
+}
+
+// acquire takes one in-flight slot, or reports shutdown.
+func (s *Server) acquire() bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.inflight }
+
+func (s *Server) execSingle(c net.Conn, bw *bufio.Writer, j *job, op Op, replyBuf *[]byte) bool {
+	if !s.acquire() {
+		return false
+	}
+	s.opCounts[op.Kind].Add(1)
+	j.reset()
+	j.ops = append(j.ops, op)
+	s.dispatch(j, []int{s.shardOf(op.Key)})
+	<-j.done
+	s.release()
+	*replyBuf = AppendResult((*replyBuf)[:0], j.results[0], j.modelNs)
+	return s.writeBytes(c, bw, *replyBuf)
+}
+
+func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, j *job, ops []Op, replyBuf *[]byte) bool {
+	if len(ops) == 0 {
+		return s.writeLine(c, bw, "RESULTS 0") && s.writeLine(c, bw, "END t=0")
+	}
+	if !s.acquire() {
+		return false
+	}
+	s.multis.Add(1)
+	for _, op := range ops {
+		s.opCounts[op.Kind].Add(1)
+	}
+	j.reset()
+	j.ops = append(j.ops, ops...)
+	s.dispatch(j, s.shardSet(ops))
+	<-j.done
+	s.release()
+	buf := (*replyBuf)[:0]
+	buf = append(buf, "RESULTS "...)
+	buf = strconv.AppendInt(buf, int64(len(j.results)), 10)
+	buf = append(buf, '\n')
+	for _, r := range j.results {
+		buf = AppendResult(buf, r, -1)
+	}
+	buf = append(buf, "END t="...)
+	buf = strconv.AppendInt(buf, j.modelNs, 10)
+	buf = append(buf, '\n')
+	*replyBuf = buf
+	return s.writeBytes(c, bw, buf)
+}
+
+// dispatch routes a job to its shard worker — or, when the operations span
+// several shards, enqueues it to every involved worker under the multi
+// mutex, which totally orders cross-shard transactions and rules out
+// circular waits between their barriers.
+func (s *Server) dispatch(j *job, shardIDs []int) {
+	if len(shardIDs) == 1 {
+		j.multi = nil
+		s.shards[shardIDs[0]].jobs <- j
+		return
+	}
+	j.multi = &multiJob{shards: shardIDs, released: make(chan struct{})}
+	j.multi.parked.Add(len(shardIDs) - 1)
+	s.multiMu.Lock()
+	for _, id := range shardIDs {
+		s.shards[id].jobs <- j
+	}
+	s.multiMu.Unlock()
+}
+
+func (s *Server) shardOf(key uint64) int {
+	key ^= key >> 33
+	key *= 0x9e3779b97f4a7c15
+	key ^= key >> 29
+	return int(key % uint64(len(s.shards)))
+}
+
+// shardSet returns the sorted distinct shards ops touch.
+func (s *Server) shardSet(ops []Op) []int {
+	var mask uint32
+	for _, op := range ops {
+		mask |= 1 << uint(s.shardOf(op.Key))
+	}
+	var out []int
+	for i := 0; i < len(s.shards); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (s *Server) writeLine(c net.Conn, bw *bufio.Writer, line string) bool {
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	bw.WriteString(line)
+	bw.WriteByte('\n')
+	return bw.Flush() == nil
+}
+
+func (s *Server) writeBytes(c net.Conn, bw *bufio.Writer, b []byte) bool {
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	bw.Write(b)
+	return bw.Flush() == nil
+}
+
+// writeStats renders the STATS block from the workers' published snapshots
+// — no worker-owned state is touched from this goroutine.
+func (s *Server) writeStats(c net.Conn, bw *bufio.Writer) bool {
+	agg, keys, modelNs := s.snapshot()
+	stats := []struct {
+		name string
+		val  uint64
+	}{
+		{"engine_ok", 1},
+		{"shards", uint64(s.cfg.Shards)},
+		{"uptime_ms", uint64(time.Since(s.start).Milliseconds())},
+		{"conns_active", uint64(s.activeConns.Load())},
+		{"conns_total", s.totalConns.Load()},
+		{"conns_refused", s.refused.Load()},
+		{"keys", keys},
+		{"ops_get", s.opCounts[OpGet].Load()},
+		{"ops_set", s.opCounts[OpSet].Load()},
+		{"ops_del", s.opCounts[OpDel].Load()},
+		{"ops_cas", s.opCounts[OpCAS].Load()},
+		{"multis", s.multis.Load()},
+		{"batches", s.batches.Load()},
+		{"batched_ops", s.batchedOps.Load()},
+		{"protocol_errors", s.protoErrs.Load()},
+		{"model_ns", uint64(modelNs)},
+		{"fences", agg.Fences},
+		{"flushes", agg.Flushes},
+		{"fence_ns", agg.FenceNs},
+		{"tx_begun", agg.TxBegun},
+		{"tx_committed", agg.TxCommitted},
+		{"tx_aborted", agg.TxAborted},
+		{"pm_write_bytes", agg.PMWriteBytes},
+		{"pm_log_bytes", agg.PMLogBytes},
+		{"pm_data_bytes", agg.PMDataBytes},
+		{"log_records", agg.LogRecords},
+	}
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	fmt.Fprintf(bw, "STAT engine %s\nSTAT profile %s\n", s.cfg.Engine, s.cfg.Profile)
+	for _, st := range stats {
+		fmt.Fprintf(bw, "STAT %s %d\n", st.name, st.val)
+	}
+	bw.WriteString("END\n")
+	return bw.Flush() == nil
+}
+
+// snapshot aggregates the per-shard published counter snapshots: summed
+// counters, total keys, and the makespan modeled time.
+func (s *Server) snapshot() (specpmt.Counters, uint64, int64) {
+	var agg specpmt.Counters
+	var keys uint64
+	var modelNs int64
+	for _, sh := range s.shards {
+		st, k, now := sh.published()
+		agg.Merge(&st)
+		keys += k
+		if now > modelNs {
+			modelNs = now
+		}
+	}
+	return agg, keys, modelNs
+}
+
+var errLineTooLong = errors.New("server: line too long")
+
+// readLine reads one newline-terminated line, rejecting lines longer than
+// MaxLineLen. The returned slice is valid until the next read.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, errLineTooLong
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Trim the newline and an optional carriage return.
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	if len(line) > MaxLineLen {
+		return nil, errLineTooLong
+	}
+	return line, nil
+}

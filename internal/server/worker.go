@@ -1,0 +1,370 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"specpmt"
+	"specpmt/pds/hashmap"
+)
+
+// shard is one worker's world: an engine thread of the pool, the hash-map
+// shard it owns, and the job queue connections route into. Everything
+// reachable from th and m is touched only by the worker goroutine — or,
+// during a cross-shard transaction, by the executor worker while this one
+// is parked at the barrier.
+type shard struct {
+	id   int
+	th   *specpmt.Thread
+	m    *hashmap.Map
+	jobs chan *job
+
+	// Published snapshot for STATS — written by the worker after each
+	// batch, read by connection goroutines under mu.
+	mu      sync.Mutex
+	stats   specpmt.Counters
+	keys    uint64
+	modelNs int64
+}
+
+func newShard(pool *specpmt.ThreadedPool, id, maxBatch int) (*shard, error) {
+	th := pool.Thread(id)
+	m, err := hashmap.New(th, id)
+	if err != nil {
+		return nil, err
+	}
+	queue := 4 * maxBatch
+	if queue < 64 {
+		queue = 64
+	}
+	return &shard{id: id, th: th, m: m, jobs: make(chan *job, queue)}, nil
+}
+
+// publish refreshes the shard's STATS snapshot (worker goroutine only).
+func (sh *shard) publish() {
+	st := sh.th.Counters()
+	keys := sh.m.Len()
+	now := sh.th.Now()
+	sh.mu.Lock()
+	sh.stats, sh.keys, sh.modelNs = st, keys, now
+	sh.mu.Unlock()
+}
+
+// published reads the last snapshot (any goroutine).
+func (sh *shard) published() (specpmt.Counters, uint64, int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stats, sh.keys, sh.modelNs
+}
+
+// job is one request's rendezvous between a connection goroutine and the
+// worker(s): ops in, results + modeled nanoseconds out, one token on done.
+// Connections reuse their job across requests.
+type job struct {
+	ops     []Op
+	results []Result
+	modelNs int64
+	startNs int64
+	multi   *multiJob // nil for single-shard jobs
+	done    chan struct{}
+}
+
+func newJob() *job { return &job{done: make(chan struct{}, 1)} }
+
+func (j *job) reset() {
+	j.ops = j.ops[:0]
+	j.results = j.results[:0]
+	j.modelNs = 0
+	j.multi = nil
+}
+
+func (j *job) finish() { j.done <- struct{}{} }
+
+// multiJob coordinates a cross-shard transaction: every involved worker
+// receives the job; the lowest involved shard executes it once the others
+// have parked, then releases them.
+type multiJob struct {
+	shards   []int // sorted; shards[0] executes
+	parked   sync.WaitGroup
+	released chan struct{}
+}
+
+// runWorker is a shard worker's main loop: take one job, opportunistically
+// coalesce more into a group commit, execute, reply.
+func (s *Server) runWorker(sh *shard) {
+	var batch []*job
+	for j := range sh.jobs {
+		if j.multi != nil {
+			s.runMulti(sh, j)
+			continue
+		}
+		batch = append(batch[:0], j)
+		var pendingMulti *job
+		batch, pendingMulti = s.collectBatch(sh, batch)
+		s.runBatch(sh, batch)
+		if pendingMulti != nil {
+			s.runMulti(sh, pendingMulti)
+		}
+	}
+}
+
+// collectBatch greedily drains the queue up to MaxBatch jobs, then — if a
+// batch window is configured — keeps listening for the window before
+// giving up. A cross-shard job ends collection (it needs the barrier
+// protocol) and is returned separately.
+func (s *Server) collectBatch(sh *shard, batch []*job) ([]*job, *job) {
+	max := s.cfg.MaxBatch
+	if max <= 1 {
+		return batch, nil
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for len(batch) < max {
+		select {
+		case j, ok := <-sh.jobs:
+			if !ok {
+				return batch, nil
+			}
+			if j.multi != nil {
+				return batch, j
+			}
+			batch = append(batch, j)
+		default:
+			if s.cfg.BatchWindow <= 0 {
+				return batch, nil
+			}
+			if timer == nil {
+				timer = time.NewTimer(s.cfg.BatchWindow)
+			}
+			select {
+			case j, ok := <-sh.jobs:
+				if !ok {
+					return batch, nil
+				}
+				if j.multi != nil {
+					return batch, j
+				}
+				batch = append(batch, j)
+			case <-timer.C:
+				return batch, nil
+			}
+		}
+	}
+	return batch, nil
+}
+
+// runBatch executes a batch of single-shard jobs. Reads-only batches skip
+// the transaction entirely; anything with a write becomes ONE transaction —
+// the group commit — so its single fence amortizes over every job.
+func (s *Server) runBatch(sh *shard, batch []*job) {
+	readOnly := true
+	for _, j := range batch {
+		for _, op := range j.ops {
+			if op.Kind != OpGet {
+				readOnly = false
+			}
+		}
+	}
+	if readOnly {
+		for _, j := range batch {
+			j.startNs = sh.th.Now()
+			j.results = j.results[:0]
+			for _, op := range j.ops {
+				v, ok := sh.m.Get(op.Key)
+				j.results = appendGet(j.results, v, ok)
+			}
+		}
+		end := sh.th.Now()
+		s.finishBatch(sh, batch, end)
+		return
+	}
+
+	// Grow outside the transaction so the batch's migration steps have a
+	// target table; an allocation failure surfaces as ErrFull below.
+	if err := sh.m.PrepareGrow(); err != nil {
+		s.logf("specpmt-server: shard %d grow: %v", sh.id, err)
+	}
+	tx := sh.th.Begin()
+	ok := true
+	for _, j := range batch {
+		j.startNs = sh.th.Now()
+		j.results = j.results[:0]
+		if !applyOps(tx, sh.m, j) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if err := tx.Commit(); err != nil {
+			s.logf("specpmt-server: shard %d commit: %v", sh.id, err)
+			ok = false
+		}
+	} else {
+		tx.Abort()
+	}
+	if !ok {
+		sh.m.DiscardRetired()
+		// Degrade: run each job in its own transaction so one oversized or
+		// unlucky request cannot fail its whole batch.
+		for _, j := range batch {
+			s.runSingle(sh, j)
+		}
+		sh.publish()
+		return
+	}
+	sh.m.ReleaseRetired()
+	end := sh.th.Now()
+	s.batches.Add(1)
+	s.batchedOps.Add(uint64(len(batch)))
+	s.finishBatch(sh, batch, end)
+}
+
+// finishBatch stamps modeled latencies, publishes counters, and releases
+// the waiting connections.
+func (s *Server) finishBatch(sh *shard, batch []*job, endNs int64) {
+	sh.publish()
+	for _, j := range batch {
+		j.modelNs = endNs - j.startNs
+		j.finish()
+	}
+}
+
+// runSingle executes one job in its own transaction (the no-batching path
+// and the batch-failure fallback).
+func (s *Server) runSingle(sh *shard, j *job) {
+	if err := sh.m.PrepareGrow(); err != nil {
+		s.logf("specpmt-server: shard %d grow: %v", sh.id, err)
+	}
+	j.startNs = sh.th.Now()
+	j.results = j.results[:0]
+	tx := sh.th.Begin()
+	if !applyOps(tx, sh.m, j) {
+		tx.Abort()
+		sh.m.DiscardRetired()
+		j.results = j.results[:0]
+		for range j.ops {
+			j.results = append(j.results, Result{Status: StatusErr})
+		}
+	} else if err := tx.Commit(); err != nil {
+		s.logf("specpmt-server: shard %d commit: %v", sh.id, err)
+		sh.m.DiscardRetired()
+		j.results = j.results[:0]
+		for range j.ops {
+			j.results = append(j.results, Result{Status: StatusErr})
+		}
+	} else {
+		sh.m.ReleaseRetired()
+	}
+	j.modelNs = sh.th.Now() - j.startNs
+	j.finish()
+}
+
+// runMulti coordinates a cross-shard transaction. Non-executors park at the
+// barrier, which hands their engine thread and map shard to the executor;
+// the executor applies every operation in ONE transaction on its own
+// engine and releases them after commit.
+func (s *Server) runMulti(sh *shard, j *job) {
+	m := j.multi
+	if sh.id != m.shards[0] {
+		m.parked.Done()
+		<-m.released
+		sh.publish()
+		return
+	}
+	m.parked.Wait()
+
+	j.startNs = sh.th.Now()
+	j.results = j.results[:0]
+	tx := sh.th.Begin()
+	ok := true
+	for _, op := range j.ops {
+		if !applyOp(tx, s.shards[s.shardOf(op.Key)].m, op, &j.results) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if err := tx.Commit(); err != nil {
+			s.logf("specpmt-server: multi commit: %v", err)
+			ok = false
+		}
+	} else {
+		tx.Abort()
+	}
+	for _, id := range m.shards {
+		if ok {
+			s.shards[id].m.ReleaseRetired()
+		} else {
+			s.shards[id].m.DiscardRetired()
+		}
+	}
+	if !ok {
+		j.results = j.results[:0]
+		for range j.ops {
+			j.results = append(j.results, Result{Status: StatusErr})
+		}
+	}
+	j.modelNs = sh.th.Now() - j.startNs
+	sh.publish()
+	close(m.released)
+	j.finish()
+}
+
+// applyOps applies every operation of j inside tx, appending results.
+// Returns false on ErrFull (caller aborts and falls back).
+func applyOps(tx specpmt.Tx, m *hashmap.Map, j *job) bool {
+	for _, op := range j.ops {
+		if !applyOp(tx, m, op, &j.results) {
+			return false
+		}
+	}
+	return true
+}
+
+func applyOp(tx specpmt.Tx, m *hashmap.Map, op Op, results *[]Result) bool {
+	switch op.Kind {
+	case OpGet:
+		v, ok := m.TxGet(tx, op.Key)
+		*results = appendGet(*results, v, ok)
+	case OpSet:
+		if err := m.TxPut(tx, op.Key, op.Arg1); err != nil {
+			return false
+		}
+		*results = append(*results, Result{Status: StatusOK})
+	case OpDel:
+		found, err := m.TxDelete(tx, op.Key)
+		if err != nil {
+			return false
+		}
+		if found {
+			*results = append(*results, Result{Status: StatusOK})
+		} else {
+			*results = append(*results, Result{Status: StatusNotFound})
+		}
+	case OpCAS:
+		cur, ok := m.TxGet(tx, op.Key)
+		switch {
+		case !ok:
+			*results = append(*results, Result{Status: StatusNotFound})
+		case cur != op.Arg1:
+			*results = append(*results, Result{Status: StatusConflict, Val: cur})
+		default:
+			if err := m.TxPut(tx, op.Key, op.Arg2); err != nil {
+				return false
+			}
+			*results = append(*results, Result{Status: StatusOK})
+		}
+	}
+	return true
+}
+
+func appendGet(results []Result, v uint64, ok bool) []Result {
+	if ok {
+		return append(results, Result{Status: StatusValue, Val: v})
+	}
+	return append(results, Result{Status: StatusNotFound})
+}

@@ -44,14 +44,41 @@ const (
 // ErrFull means allocation of a grown table failed.
 var ErrFull = errors.New("hashmap: allocation failed")
 
+// Pool is the slice of the specpmt pool API the map builds on. Both
+// *specpmt.Pool and *specpmt.Thread (one thread of a ThreadedPool) satisfy
+// it, so the same map can back a single-threaded application or one shard
+// of a sharded server.
+type Pool interface {
+	Begin() specpmt.Tx
+	Alloc(n int) (specpmt.Addr, error)
+	Free(a specpmt.Addr, n int)
+	ReadUint64(a specpmt.Addr) uint64
+	SetRoot(i int, v uint64) error
+	Root(i int) uint64
+}
+
+var (
+	_ Pool = (*specpmt.Pool)(nil)
+	_ Pool = (*specpmt.Thread)(nil)
+)
+
 // Map is a persistent hash map handle.
 type Map struct {
-	pool *specpmt.Pool
+	pool Pool
 	meta specpmt.Addr
+	// retired is the old table unlinked by the last migrateStep, awaiting
+	// ReleaseRetired (volatile — after a crash the region leaks, matching
+	// the libvmmalloc-style volatile allocator model).
+	retired retiredTable
+}
+
+type retiredTable struct {
+	addr  specpmt.Addr
+	bytes int
 }
 
 // New creates an empty map registered in the given pool root slot.
-func New(pool *specpmt.Pool, slot int) (*Map, error) {
+func New(pool Pool, slot int) (*Map, error) {
 	meta, err := pool.Alloc(metaSize)
 	if err != nil {
 		return nil, err
@@ -77,7 +104,7 @@ func New(pool *specpmt.Pool, slot int) (*Map, error) {
 }
 
 // Open reattaches to the map in the pool root slot (post-crash).
-func Open(pool *specpmt.Pool, slot int) (*Map, error) {
+func Open(pool Pool, slot int) (*Map, error) {
 	meta := specpmt.Addr(pool.Root(slot))
 	if meta == 0 {
 		return nil, fmt.Errorf("hashmap: root slot %d is empty", slot)
@@ -88,7 +115,7 @@ func Open(pool *specpmt.Pool, slot int) (*Map, error) {
 // allocZeroedTable allocates a table and zeroes its slot states in chunked
 // transactions. The table is unpublished until the caller links it, so a
 // crash mid-zeroing leaks nothing.
-func allocZeroedTable(pool *specpmt.Pool, capacity uint64) (specpmt.Addr, error) {
+func allocZeroedTable(pool Pool, capacity uint64) (specpmt.Addr, error) {
 	t, err := pool.Alloc(int(capacity * slotSize))
 	if err != nil {
 		return 0, ErrFull
@@ -245,9 +272,28 @@ func (m *Map) migrateStep(tx specpmt.Tx) bool {
 		tx.StoreUint64(m.meta+metaOld, 0)
 		tx.StoreUint64(m.meta+metaOldCap, 0)
 		tx.StoreUint64(m.meta+metaMigrate, 0)
+		// The old table is unreachable once this transaction commits; hand
+		// it to ReleaseRetired so its slots get reused instead of leaking.
+		m.retired = retiredTable{addr: old, bytes: int(oldCap * slotSize)}
 	}
 	return true
 }
+
+// ReleaseRetired returns the table unlinked by the last committed migration
+// step to the allocator. Put and Delete call it automatically; callers
+// driving TxPut/TxDelete inside their own transaction must call it after a
+// successful Commit — or DiscardRetired after an Abort, since the aborted
+// transaction rolled the unlink back.
+func (m *Map) ReleaseRetired() {
+	if m.retired.bytes != 0 {
+		m.pool.Free(m.retired.addr, m.retired.bytes)
+		m.retired = retiredTable{}
+	}
+}
+
+// DiscardRetired forgets a pending retired table without freeing it (the
+// unlinking transaction aborted, so the table is still live).
+func (m *Map) DiscardRetired() { m.retired = retiredTable{} }
 
 // grow swaps in a table of twice the current capacity (one transaction) and
 // begins incremental migration. Any previous migration must have finished.
@@ -266,17 +312,57 @@ func (m *Map) grow() error {
 	return tx.Commit()
 }
 
-// Put stores key=val crash-atomically, growing and migrating as needed.
-func (m *Map) Put(key, val uint64) error {
-	// Growth policy: start a resize at 3/4 load once no migration runs.
+// PrepareGrow starts an incremental resize when the load factor crosses 3/4
+// and no migration is running. Put calls it automatically; callers batching
+// several TxPuts into one transaction should call it once, outside that
+// transaction, before beginning.
+func (m *Map) PrepareGrow() error {
 	if !m.Migrating() && m.Len()*4 >= m.Cap()*3 {
-		if err := m.grow(); err != nil {
-			return err
+		return m.grow()
+	}
+	return nil
+}
+
+// TxGet reads key inside an open transaction, observing the transaction's
+// own uncommitted writes (a SET earlier in the same batch).
+func (m *Map) TxGet(tx specpmt.Tx, key uint64) (uint64, bool) {
+	cur := specpmt.Addr(tx.LoadUint64(m.meta + metaTable))
+	if v, ok := txLookupIn(tx, cur, tx.LoadUint64(m.meta+metaCap), key); ok {
+		return v, true
+	}
+	if old := specpmt.Addr(tx.LoadUint64(m.meta + metaOld)); old != 0 {
+		return txLookupIn(tx, old, tx.LoadUint64(m.meta+metaOldCap), key)
+	}
+	return 0, false
+}
+
+// txLookupIn finds key in one table using transactional loads.
+func txLookupIn(tx specpmt.Tx, table specpmt.Addr, capacity, key uint64) (uint64, bool) {
+	if table == 0 || capacity == 0 {
+		return 0, false
+	}
+	h := hash(key)
+	for probe := uint64(0); probe < capacity; probe++ {
+		at := slotAddr(table, capacity, h+probe)
+		switch tx.LoadUint64(at) {
+		case slotEmpty:
+			return 0, false
+		case slotUsed:
+			if tx.LoadUint64(at+8) == key {
+				return tx.LoadUint64(at + 16), true
+			}
 		}
 	}
-	tx := m.pool.Begin()
+	return 0, false
+}
+
+// TxPut stores key=val inside an open transaction (one migration step
+// included), without committing. The caller owns the transaction and must
+// call ReleaseRetired after a successful Commit or DiscardRetired after an
+// Abort. ErrFull means the table ran out of slots mid-transaction; the
+// caller should Abort, then retry via Put (which grows first).
+func (m *Map) TxPut(tx specpmt.Tx, key, val uint64) error {
 	if !m.migrateStep(tx) {
-		tx.Abort()
 		return ErrFull
 	}
 	cur := specpmt.Addr(tx.LoadUint64(m.meta + metaTable))
@@ -291,20 +377,20 @@ func (m *Map) Put(key, val uint64) error {
 	}
 	delta, ok := txPutIn(tx, cur, capacity, key, val)
 	if !ok {
-		tx.Abort()
 		return ErrFull
 	}
 	if d := delta + oldDelta; d != 0 {
 		tx.StoreUint64(m.meta+metaLen, tx.LoadUint64(m.meta+metaLen)+uint64(int64(d)))
 	}
-	return tx.Commit()
+	return nil
 }
 
-// Delete removes key crash-atomically, reporting whether it was present.
-func (m *Map) Delete(key uint64) (bool, error) {
-	tx := m.pool.Begin()
+// TxDelete tombstones key inside an open transaction (one migration step
+// included), reporting whether it was present. A missing key performs no
+// data writes beyond migration progress, so batch callers need not abort.
+// The same ReleaseRetired/DiscardRetired contract as TxPut applies.
+func (m *Map) TxDelete(tx specpmt.Tx, key uint64) (bool, error) {
 	if !m.migrateStep(tx) {
-		tx.Abort()
 		return false, ErrFull
 	}
 	cur := specpmt.Addr(tx.LoadUint64(m.meta + metaTable))
@@ -314,11 +400,52 @@ func (m *Map) Delete(key uint64) (bool, error) {
 			found = txDeleteIn(tx, old, tx.LoadUint64(m.meta+metaOldCap), key)
 		}
 	}
-	if !found {
-		return false, tx.Abort()
+	if found {
+		tx.StoreUint64(m.meta+metaLen, tx.LoadUint64(m.meta+metaLen)-1)
 	}
-	tx.StoreUint64(m.meta+metaLen, tx.LoadUint64(m.meta+metaLen)-1)
-	return true, tx.Commit()
+	return found, nil
+}
+
+// Put stores key=val crash-atomically, growing and migrating as needed.
+func (m *Map) Put(key, val uint64) error {
+	if err := m.PrepareGrow(); err != nil {
+		return err
+	}
+	tx := m.pool.Begin()
+	if err := m.TxPut(tx, key, val); err != nil {
+		tx.Abort()
+		m.DiscardRetired()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		m.DiscardRetired()
+		return err
+	}
+	m.ReleaseRetired()
+	return nil
+}
+
+// Delete removes key crash-atomically, reporting whether it was present.
+func (m *Map) Delete(key uint64) (bool, error) {
+	tx := m.pool.Begin()
+	found, err := m.TxDelete(tx, key)
+	if err != nil {
+		tx.Abort()
+		m.DiscardRetired()
+		return false, err
+	}
+	if !found {
+		// Nothing but migration progress to keep: roll the step back.
+		err := tx.Abort()
+		m.DiscardRetired()
+		return false, err
+	}
+	if err := tx.Commit(); err != nil {
+		m.DiscardRetired()
+		return false, err
+	}
+	m.ReleaseRetired()
+	return true, nil
 }
 
 // Range calls fn for every committed key/value (order unspecified); fn

@@ -211,3 +211,133 @@ func TestOpenEmptySlot(t *testing.T) {
 		t.Fatal("Open on empty slot should fail")
 	}
 }
+
+// TestTxBatchAtomicity drives the tx-scoped API the sharded server's group
+// commit uses: several TxPuts in ONE caller-owned transaction either all
+// land (commit) or all vanish (abort), and TxGet observes the transaction's
+// own uncommitted writes.
+func TestTxBatchAtomicity(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	if err := m.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed batch: SET 2, SET 3, DEL 1, and a read-own-write check.
+	if err := m.PrepareGrow(); err != nil {
+		t.Fatal(err)
+	}
+	tx := pool.Begin()
+	if err := m.TxPut(tx, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.TxGet(tx, 2); !ok || v != 20 {
+		t.Fatalf("TxGet mid-tx = %d,%v want 20,true", v, ok)
+	}
+	if err := m.TxPut(tx, 3, 30); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := m.TxDelete(tx, 1); err != nil || !found {
+		t.Fatalf("TxDelete(1) = %v,%v", found, err)
+	}
+	if found, err := m.TxDelete(tx, 99); err != nil || found {
+		t.Fatalf("TxDelete(99) = %v,%v want miss without abort", found, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseRetired()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("key 1 must be gone after committed batch")
+	}
+	if v, _ := m.Get(2); v != 20 {
+		t.Fatalf("Get(2)=%d", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d want 2", m.Len())
+	}
+
+	// Aborted batch: nothing sticks.
+	tx = pool.Begin()
+	if err := m.TxPut(tx, 4, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TxDelete(tx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	m.DiscardRetired()
+	if _, ok := m.Get(4); ok {
+		t.Fatal("aborted TxPut must not persist")
+	}
+	if v, _ := m.Get(2); v != 20 {
+		t.Fatalf("aborted TxDelete removed key 2 (v=%d)", v)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetiredTableReclaimed checks the delete-and-reuse path: once an
+// incremental migration finishes, the old table is released back to the
+// allocator rather than leaked.
+func TestRetiredTableReclaimed(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	// Force a grow and push the migration to completion.
+	for k := uint64(0); k < initialCap; k++ {
+		if err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Migrating() {
+		// Migration may already have finished inside the loop; grow again.
+		if err := m.PrepareGrow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); m.Migrating(); k++ {
+		if err := m.Put(k%8, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.retired.bytes != 0 {
+		t.Fatal("retired table must have been released after migration completed")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapOverThreadView runs the map over one thread of a ThreadedPool —
+// the configuration the network server shards on.
+func TestMapOverThreadView(t *testing.T) {
+	tp, err := specpmt.OpenThreaded(specpmt.Config{Size: 256 << 20}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	th := tp.Thread(1)
+	m, err := New(th, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k++ {
+		if err := m.Put(k, k^7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 300; k++ {
+		if v, ok := m.Get(k); !ok || v != k^7 {
+			t.Fatalf("Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+	if m.Len() != 300 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

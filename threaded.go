@@ -7,16 +7,23 @@ import (
 	"specpmt/internal/pmalloc"
 	"specpmt/internal/pmem"
 	"specpmt/internal/sim"
+	"specpmt/internal/stats"
 	"specpmt/internal/txn"
 	"specpmt/internal/txn/spec"
 )
 
-// ThreadedPool is a pool with one SpecPMT engine per thread: per-thread log
-// areas, a shared timestamp source ordering commits across threads, and
-// merged timestamp-ordered recovery (§3.1, §4.1). Supported engines:
-// "SpecSPMT" (software, spec.Pool underneath) and "SpecHPMT" (hardware,
-// hwsim.Cluster underneath, including the §5.2.2 multi-thread epoch
-// reclamation protocol).
+// ThreadedPool is a pool with one transaction engine per thread: per-thread
+// log areas, a shared timestamp source ordering commits across threads, and
+// per-engine recovery. "SpecSPMT" (software, spec.Pool underneath, with the
+// paper's merged timestamp-ordered recovery of §3.1, §4.1) and "SpecHPMT"
+// (hardware, hwsim.Cluster underneath, including the §5.2.2 multi-thread
+// epoch reclamation protocol) keep their pool-level coordination; every
+// other registered software engine (PMDK undo, SpecSPMT-Hash, Kamino-Tx,
+// SPHT, ...) runs as independent per-thread engine instances over the shared
+// device, each recovering its own log. Independent recovery is correct when
+// threads write disjoint data — the sharded-server usage this pool targets;
+// only SpecSPMT's merged recovery orders cross-thread writes to the same
+// address.
 //
 // Like every persistent transaction in the paper, isolation is the caller's
 // job (§4.3.3): coordinate access to shared locations with your own locks;
@@ -29,8 +36,23 @@ type ThreadedPool struct {
 	cfg     Config
 	threads int
 
+	envs []txn.Env // the envs behind the current attach, one per thread
+
 	swPool  *spec.Pool
 	hwClust *hwsim.Cluster
+	generic []txn.Engine
+
+	// accumulated across crashes (each crash resets cores)
+	accumNs    int64
+	accumStats stats.Counters
+}
+
+// unsharedEngines lists registered engines that cannot run as independent
+// per-thread instances: the single-engine hardware simulators ("SpecHPMT"
+// works — via the cluster) and Kamino-Tx, whose whole-region backup copy
+// assumes one engine observes every write to the data area.
+var unsharedEngines = map[string]bool{
+	"EDE": true, "HOOP": true, "SpecHPMT-DP": true, "Kamino-Tx": true,
 }
 
 // OpenThreaded creates a pool with n thread engines.
@@ -44,8 +66,8 @@ func OpenThreaded(cfg Config, n int) (*ThreadedPool, error) {
 	if cfg.Engine == "" {
 		cfg.Engine = "SpecSPMT"
 	}
-	if cfg.Engine != "SpecSPMT" && cfg.Engine != "SpecHPMT" {
-		return nil, fmt.Errorf("specpmt: threaded pools support SpecSPMT and SpecHPMT, not %q", cfg.Engine)
+	if unsharedEngines[cfg.Engine] {
+		return nil, fmt.Errorf("specpmt: threaded pools support the per-thread software engines and SpecHPMT, not %q", cfg.Engine)
 	}
 	prof, pl, err := resolveProfile(cfg)
 	if err != nil {
@@ -74,8 +96,8 @@ func OpenThreaded(cfg Config, n int) (*ThreadedPool, error) {
 	return p, p.attach()
 }
 
-// envs hands out one Env per thread: root slots follow the app root area.
-func (p *ThreadedPool) envs() []txn.Env {
+// newEnvs hands out one Env per thread: root slots follow the app root area.
+func (p *ThreadedPool) newEnvs() []txn.Env {
 	base := appRootsOff + pmem.Addr(RootSlots*8)
 	out := make([]txn.Env, p.threads)
 	for i := range out {
@@ -92,6 +114,8 @@ func (p *ThreadedPool) envs() []txn.Env {
 }
 
 func (p *ThreadedPool) attach() error {
+	p.envs = p.newEnvs()
+	p.swPool, p.hwClust, p.generic = nil, nil, nil
 	var err error
 	switch p.cfg.Engine {
 	case "SpecSPMT":
@@ -99,9 +123,20 @@ func (p *ThreadedPool) attach() error {
 		if p.cfg.SpecOptions != nil {
 			opt = *p.cfg.SpecOptions
 		}
-		p.swPool, err = spec.NewPool(p.envs(), opt)
+		p.swPool, err = spec.NewPool(p.envs, opt)
 	case "SpecHPMT":
-		p.hwClust, err = hwsim.NewCluster(p.envs(), hwsim.HWOptions{})
+		p.hwClust, err = hwsim.NewCluster(p.envs, hwsim.HWOptions{})
+	default:
+		// Independent per-thread engines over the shared device. Engines are
+		// driven one-goroutine-each, so the device must keep its lock on.
+		p.dev.ForceShared()
+		p.generic = make([]txn.Engine, p.threads)
+		for i, env := range p.envs {
+			p.generic[i], err = txn.New(p.cfg.Engine, env)
+			if err != nil {
+				return fmt.Errorf("specpmt: threaded engine %q thread %d: %w", p.cfg.Engine, i, err)
+			}
+		}
 	}
 	return err
 }
@@ -112,14 +147,22 @@ func (p *ThreadedPool) Threads() int { return p.threads }
 // Begin opens a transaction on thread i's engine. Each thread engine must
 // be used by one goroutine at a time.
 func (p *ThreadedPool) Begin(i int) Tx {
-	if p.swPool != nil {
+	switch {
+	case p.swPool != nil:
 		return p.swPool.Engine(i).Begin()
+	case p.hwClust != nil:
+		return p.hwClust.Engine(i).Begin()
+	default:
+		return p.generic[i].Begin()
 	}
-	return p.hwClust.Engine(i).Begin()
 }
 
 // Alloc returns a line-aligned persistent region (safe for concurrent use).
 func (p *ThreadedPool) Alloc(n int) (Addr, error) { return p.heap.Alloc(n) }
+
+// Free returns a region of n bytes to the allocator (safe for concurrent
+// use).
+func (p *ThreadedPool) Free(a Addr, n int) { p.heap.Free(a, n) }
 
 // ReadUint64 reads non-transactionally.
 func (p *ThreadedPool) ReadUint64(a Addr) uint64 {
@@ -127,27 +170,202 @@ func (p *ThreadedPool) ReadUint64(a Addr) uint64 {
 	return core.LoadUint64(a)
 }
 
+// SetRoot durably stores a pool root pointer in slot i — the well-known
+// location from which applications rediscover their data after a crash.
+// Call it from one goroutine at a time, inside no transaction.
+func (p *ThreadedPool) SetRoot(i int, v uint64) error {
+	if i < 0 || i >= RootSlots {
+		return fmt.Errorf("specpmt: root slot out of range")
+	}
+	core := p.dev.NewCore()
+	at := appRootsOff + pmem.Addr(i*8)
+	core.StoreUint64(at, v)
+	core.PersistBarrier(at, 8, pmem.KindData)
+	return nil
+}
+
+// Root reads pool root slot i.
+func (p *ThreadedPool) Root(i int) uint64 {
+	if i < 0 || i >= RootSlots {
+		return 0
+	}
+	return p.ReadUint64(appRootsOff + pmem.Addr(i*8))
+}
+
 // Crash simulates a power failure across every thread.
 func (p *ThreadedPool) Crash(seed uint64) error {
 	if err := p.Close(); err != nil {
 		return err
 	}
+	p.accumNs += p.maxEngineNow()
+	for _, st := range p.threadStats() {
+		p.accumStats.Merge(st)
+	}
 	p.dev.Crash(sim.NewRand(seed))
 	return p.attach()
 }
 
-// Recover performs the merged, timestamp-ordered multi-thread recovery.
+// Recover restores the committed history: the merged, timestamp-ordered
+// multi-thread recovery for SpecSPMT/SpecHPMT, per-engine recovery
+// otherwise.
 func (p *ThreadedPool) Recover() error {
-	if p.swPool != nil {
+	switch {
+	case p.swPool != nil:
 		return p.swPool.Recover()
+	case p.hwClust != nil:
+		return p.hwClust.Recover()
+	default:
+		for i, e := range p.generic {
+			if err := e.Recover(); err != nil {
+				return fmt.Errorf("specpmt: recovering thread %d: %w", i, err)
+			}
+		}
+		return nil
 	}
-	return p.hwClust.Recover()
 }
 
 // Close shuts every thread engine down.
 func (p *ThreadedPool) Close() error {
-	if p.swPool != nil {
+	switch {
+	case p.swPool != nil:
 		return p.swPool.Close()
+	case p.hwClust != nil:
+		return p.hwClust.Close()
+	default:
+		for _, e := range p.generic {
+			if err := e.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	return p.hwClust.Close()
 }
+
+// threadStats returns each thread's counter set for the current attach: the
+// engine's own CPU-core counters for the hardware cluster, the env core's
+// otherwise.
+func (p *ThreadedPool) threadStats() []*stats.Counters {
+	out := make([]*stats.Counters, 0, p.threads)
+	for i, env := range p.envs {
+		if p.hwClust != nil {
+			out = append(out, p.hwClust.Engine(i).CoreStats())
+			continue
+		}
+		out = append(out, env.Core.Stats)
+	}
+	return out
+}
+
+// maxEngineNow returns the most advanced thread clock — the pool's makespan
+// since the last crash.
+func (p *ThreadedPool) maxEngineNow() int64 {
+	var max int64
+	for i, env := range p.envs {
+		now := env.Core.Now()
+		if p.hwClust != nil {
+			now = p.hwClust.Engine(i).CoreNow()
+		}
+		if now > max {
+			max = now
+		}
+	}
+	return max
+}
+
+// ModeledTime returns the pool's cumulative virtual time in nanoseconds —
+// the makespan across thread clocks — including time before crashes. Call
+// it only while no thread is mid-transaction.
+func (p *ThreadedPool) ModeledTime() int64 { return p.accumNs + p.maxEngineNow() }
+
+// Counters returns a structured snapshot of the pool's counters summed
+// across every thread, including those accumulated before crashes. Call it
+// only from a quiesced pool or accept slightly stale per-thread counts: the
+// counters themselves are plain integers owned by each thread's core.
+func (p *ThreadedPool) Counters() Counters {
+	s := p.accumStats
+	for _, st := range p.threadStats() {
+		s.Merge(st)
+	}
+	return s
+}
+
+// Stats returns a formatted snapshot of the pool's cumulative counters.
+func (p *ThreadedPool) Stats() string {
+	s := p.Counters()
+	return s.String()
+}
+
+// Metrics returns a snapshot of the aggregate trace metrics (histograms and
+// time series). The zero Metrics is returned when no Tracer is configured.
+func (p *ThreadedPool) Metrics() Metrics {
+	if p.cfg.Tracer == nil {
+		return Metrics{}
+	}
+	return p.cfg.Tracer.Metrics()
+}
+
+// Thread returns a single-thread view of the pool: thread i's engine plus
+// the shared heap and root slots behind one façade, satisfying the same
+// pool interface persistent data structures (pds/...) build on. The view is
+// bound to the current attach — Crash invalidates it; call Thread again
+// after Recover. Each view must be driven by a single goroutine.
+func (p *ThreadedPool) Thread(i int) *Thread {
+	if i < 0 || i >= p.threads {
+		return nil
+	}
+	return &Thread{pool: p, idx: i, core: p.envs[i].Core}
+}
+
+// Thread is one thread's view of a ThreadedPool (see ThreadedPool.Thread).
+type Thread struct {
+	pool *ThreadedPool
+	idx  int
+	core *pmem.Core
+}
+
+// Index returns the thread number this view is bound to.
+func (t *Thread) Index() int { return t.idx }
+
+// Begin opens a transaction on this thread's engine.
+func (t *Thread) Begin() Tx { return t.pool.Begin(t.idx) }
+
+// Alloc returns a line-aligned persistent region from the shared heap.
+func (t *Thread) Alloc(n int) (Addr, error) { return t.pool.heap.Alloc(n) }
+
+// Free returns a region of n bytes to the shared heap.
+func (t *Thread) Free(a Addr, n int) { t.pool.heap.Free(a, n) }
+
+// ReadUint64 reads non-transactionally on this thread's core.
+func (t *Thread) ReadUint64(a Addr) uint64 { return t.core.LoadUint64(a) }
+
+// Read copies len(buf) bytes at a into buf, non-transactionally.
+func (t *Thread) Read(a Addr, buf []byte) { t.core.Load(a, buf) }
+
+// SetRoot durably stores a pool root pointer in slot i using this thread's
+// core.
+func (t *Thread) SetRoot(i int, v uint64) error {
+	if i < 0 || i >= RootSlots {
+		return fmt.Errorf("specpmt: root slot out of range")
+	}
+	at := appRootsOff + pmem.Addr(i*8)
+	t.core.StoreUint64(at, v)
+	t.core.PersistBarrier(at, 8, pmem.KindData)
+	return nil
+}
+
+// Root reads pool root slot i on this thread's core.
+func (t *Thread) Root(i int) uint64 {
+	if i < 0 || i >= RootSlots {
+		return 0
+	}
+	return t.core.LoadUint64(appRootsOff + pmem.Addr(i*8))
+}
+
+// Now returns this thread's virtual clock in nanoseconds — the modeled time
+// the thread has spent, the per-request latency metric servers report.
+func (t *Thread) Now() int64 { return t.core.Now() }
+
+// Counters returns a snapshot of this thread's core counters. (For the
+// SpecHPMT cluster this covers the thread's front-end core, not the
+// engine-internal hardware cores — use ThreadedPool.Counters for those.)
+func (t *Thread) Counters() Counters { return t.core.Stats.Snapshot() }

@@ -52,12 +52,118 @@ func TestThreadedPoolBothEngines(t *testing.T) {
 	}
 }
 
-func TestThreadedPoolRejectsOtherEngines(t *testing.T) {
-	if _, err := OpenThreaded(Config{Engine: "PMDK"}, 2); err == nil {
-		t.Fatal("threaded pools only support the SpecPMT engines")
+func TestThreadedPoolRejectsBadConfig(t *testing.T) {
+	if _, err := OpenThreaded(Config{Engine: "no-such-engine"}, 2); err == nil {
+		t.Fatal("unknown engines must be rejected")
+	}
+	if _, err := OpenThreaded(Config{Engine: "HOOP"}, 2); err == nil {
+		t.Fatal("hardware-only engines must be rejected")
 	}
 	if _, err := OpenThreaded(Config{}, 0); err == nil {
 		t.Fatal("zero threads must be rejected")
+	}
+}
+
+// TestThreadedPoolGenericEngines drives the per-thread independent-engine
+// path: every registered software baseline runs threads on disjoint data,
+// survives a crash, and recovers each engine's own log.
+func TestThreadedPoolGenericEngines(t *testing.T) {
+	for _, engine := range []string{"PMDK", "SpecSPMT-Hash", "SPHT"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			const threads, rounds = 3, 20
+			p, err := OpenThreaded(Config{Engine: engine}, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs := make([]Addr, threads)
+			for i := range addrs {
+				addrs[i], _ = p.Alloc(4096)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := uint64(1); r <= rounds; r++ {
+						tx := p.Begin(i)
+						tx.StoreUint64(addrs[i], uint64(i*1000)+r)
+						if err := tx.Commit(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if c := p.Counters(); c.TxCommitted < threads*rounds {
+				t.Fatalf("Counters().TxCommitted=%d want >= %d", c.TxCommitted, threads*rounds)
+			}
+			if err := p.Crash(7); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			for i := range addrs {
+				want := uint64(i*1000) + rounds
+				if got := p.ReadUint64(addrs[i]); got != want {
+					t.Fatalf("thread %d: got %d want %d", i, got, want)
+				}
+			}
+			// Counters survive the crash via accumulation.
+			if c := p.Counters(); c.TxCommitted < threads*rounds {
+				t.Fatalf("post-crash Counters().TxCommitted=%d want >= %d", c.TxCommitted, threads*rounds)
+			}
+			if p.ModeledTime() <= 0 {
+				t.Fatal("ModeledTime must advance")
+			}
+		})
+	}
+}
+
+// TestThreadView exercises the per-thread façade the sharded server builds
+// persistent data structures on: roots, alloc/free, and transactions all
+// through the view.
+func TestThreadView(t *testing.T) {
+	p, err := OpenThreaded(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	th := p.Thread(1)
+	if th.Index() != 1 {
+		t.Fatalf("Index()=%d", th.Index())
+	}
+	a, err := th.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := th.Begin()
+	tx.StoreUint64(a, 77)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.ReadUint64(a); got != 77 {
+		t.Fatalf("ReadUint64=%d", got)
+	}
+	if err := th.SetRoot(3, uint64(a)); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.Root(3); got != uint64(a) {
+		t.Fatalf("Root(3)=%d want %d", got, a)
+	}
+	if got := p.Root(3); got != uint64(a) {
+		t.Fatalf("pool Root(3)=%d want %d", got, a)
+	}
+	if th.Now() <= 0 {
+		t.Fatal("thread clock must advance")
+	}
+	th.Free(a, 64)
+	if p.Thread(5) != nil || p.Thread(-1) != nil {
+		t.Fatal("out-of-range Thread must return nil")
 	}
 }
 
