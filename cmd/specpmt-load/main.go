@@ -3,13 +3,23 @@
 // workload and records two latencies per request: wall time (host clock,
 // includes network and queueing) and the server-reported modeled PM time
 // (t=<ns> trailers). The run summary — per-op-type percentiles, throughput,
-// and the server's own STATS counters — prints as JSON on stdout.
+// and the server's own STATS counters — prints as JSON on stdout. The
+// report embeds the seed, engine, profile, and workload knobs, so a run is
+// reproducible from its report alone.
 //
 // Usage:
 //
 //	specpmt-load [-addr host:port] [-conns n] [-duration d] [-keys n]
 //	             [-dist uniform|zipf] [-reads pct] [-cas pct] [-multi pct]
 //	             [-multi-ops n] [-preload n] [-seed s]
+//	             [-replica host:port] [-probe-every d] [-verify-replica n]
+//
+// With -replica, GETs are served by the replica while writes go to the
+// primary (-addr), and a prober measures replication staleness: it bumps a
+// reserved key on the primary and immediately reads it back from the
+// replica, reporting how stale the observed value is in wall time. After
+// the run, -verify-replica N waits for the replica to drain its lag and
+// compares N sampled keys against the primary; mismatches count as errors.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,8 +38,12 @@ import (
 	"specpmt/internal/server"
 )
 
+// probeKey is the reserved staleness-probe key — far outside any sane
+// -keys range so the workload never collides with it.
+const probeKey = ^uint64(0) - 12345
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7077", "server address")
+	addr := flag.String("addr", "127.0.0.1:7077", "server address (the primary when -replica is set)")
 	conns := flag.Int("conns", 64, "concurrent connections (one goroutine each)")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	keys := flag.Uint64("keys", 100_000, "key-space size")
@@ -39,6 +54,9 @@ func main() {
 	multiOps := flag.Int("multi-ops", 4, "operations per MULTI transaction")
 	preload := flag.Uint64("preload", 10_000, "keys to SET before the timed run")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	replica := flag.String("replica", "", "serve GETs from this replica and probe replication staleness")
+	probeEvery := flag.Duration("probe-every", 2*time.Millisecond, "staleness probe interval (with -replica)")
+	verifyReplica := flag.Int("verify-replica", 0, "after the run, wait for the replica to catch up and compare this many sampled keys against the primary")
 	flag.Parse()
 
 	if *reads+*cas > 100 {
@@ -49,6 +67,9 @@ func main() {
 	}
 	if *conns <= 0 || *keys == 0 || *multiOps <= 0 {
 		fatalf("-conns, -keys, and -multi-ops must be positive")
+	}
+	if *verifyReplica > 0 && *replica == "" {
+		fatalf("-verify-replica needs -replica")
 	}
 
 	// Preload a prefix of the key space so GETs hit and CAS has a base.
@@ -81,7 +102,16 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.run(*addr)
+			w.run(*addr, *replica)
+		}()
+	}
+	var pr *prober
+	if *replica != "" {
+		pr = &prober{every: *probeEvery, stop: stop}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr.run(*addr, *replica)
 		}()
 	}
 	start := time.Now()
@@ -92,13 +122,20 @@ func main() {
 
 	rep := report{
 		Addr:     *addr,
+		Replica:  *replica,
 		Banner:   banner,
+		Engine:   bannerField(banner, "engine"),
+		Profile:  bannerField(banner, "profile"),
 		Conns:    *conns,
 		Duration: elapsed.Seconds(),
 		Keys:     *keys,
 		Dist:     *dist,
 		Seed:     *seed,
-		OpTypes:  map[string]opReport{},
+		Workload: workload{
+			Reads: *reads, CAS: *cas, Multi: *multi, MultiOps: *multiOps,
+			Preload: n, ProbeEveryUs: float64(probeEvery.Microseconds()),
+		},
+		OpTypes: map[string]opReport{},
 	}
 	var all lats
 	for _, kind := range []string{"get", "set", "cas", "multi"} {
@@ -124,13 +161,31 @@ func main() {
 	}
 	rep.TotalOps = len(all.wall)
 	rep.Throughput = float64(rep.TotalOps) / elapsed.Seconds()
+	if pr != nil {
+		rep.Staleness = &stalenessReport{
+			Probes:      pr.probes,
+			Misses:      pr.misses,
+			Errors:      pr.errors,
+			StaleUs:     percentiles(pr.staleNs, 1e-3),
+			StaleProbes: len(pr.staleNs),
+		}
+		rep.Errors += pr.errors
+	}
 
 	// The server's own view of the run.
-	if c, err := server.Dial(*addr, 5*time.Second); err == nil {
-		if nums, _, err := c.Stats(); err == nil {
-			rep.ServerStats = nums
+	rep.ServerStats = fetchStats(*addr)
+	if *replica != "" {
+		rep.ReplicaStats = fetchStats(*replica)
+	}
+
+	if *verifyReplica > 0 {
+		res, err := verify(*addr, *replica, *verifyReplica, *keys, *seed)
+		if err != nil {
+			fatalf("verify-replica: %v", err)
 		}
-		c.Close()
+		rep.Verify = res
+		rep.Errors += res.Mismatches
+		rep.ReplicaStats = fetchStats(*replica) // post-drain lag counters
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -146,6 +201,88 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "specpmt-load: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// bannerField extracts key=value from the server banner.
+func bannerField(banner, key string) string {
+	for _, f := range strings.Fields(banner) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+func fetchStats(addr string) map[string]uint64 {
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		return nil
+	}
+	defer c.Close()
+	nums, _, err := c.Stats()
+	if err != nil {
+		return nil
+	}
+	return nums
+}
+
+// verify waits for the replica's applied LSN to reach the primary's head,
+// then compares n sampled keys on both sides.
+func verify(primary, replica string, n int, keys, seed uint64) (*verifyReport, error) {
+	pc, err := server.Dial(primary, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer pc.Close()
+	rc, err := server.Dial(replica, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+
+	res := &verifyReport{SampledKeys: n}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		pstats, _, err := pc.Stats()
+		if err != nil {
+			return nil, err
+		}
+		rstats, _, err := rc.Stats()
+		if err != nil {
+			return nil, err
+		}
+		head := pstats["repl_head_lsn"]
+		applied := rstats["repl_applied_lsn"]
+		if applied >= head {
+			res.DrainedAtLSN = applied
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("replica stuck at lsn %d, primary head %d", applied, head)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x5eed))
+	for i := 0; i < n; i++ {
+		k := rng.Uint64() % keys
+		pv, err := pc.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := rc.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		if pv.Status != rv.Status || pv.Val != rv.Val {
+			res.Mismatches++
+			if len(res.Examples) < 5 {
+				res.Examples = append(res.Examples,
+					fmt.Sprintf("key %d: primary (%d,%d) replica (%d,%d)", k, pv.Status, pv.Val, rv.Status, rv.Val))
+			}
+		}
+	}
+	return res, nil
 }
 
 type cfg struct {
@@ -179,7 +316,7 @@ func (w *worker) key() uint64 {
 	return w.rng.Uint64() % w.cfg.keys
 }
 
-func (w *worker) run(addr string) {
+func (w *worker) run(addr, replica string) {
 	w.lat = map[string]*lats{"get": {}, "set": {}, "cas": {}, "multi": {}}
 	c, err := server.Dial(addr, 10*time.Second)
 	if err != nil {
@@ -187,13 +324,25 @@ func (w *worker) run(addr string) {
 		return
 	}
 	defer c.Close()
+	// In replica mode GETs go to the follower; writes (and CAS's
+	// read-modify-write, which needs read-your-writes) stay on the primary.
+	reader := c
+	if replica != "" {
+		rc, err := server.Dial(replica, 10*time.Second)
+		if err != nil {
+			w.errors++
+			return
+		}
+		defer rc.Close()
+		reader = rc
+	}
 	for {
 		select {
 		case <-w.stop:
 			return
 		default:
 		}
-		kind, wallNs, modelNs, err := w.request(c)
+		kind, wallNs, modelNs, err := w.request(c, reader)
 		if err != nil {
 			w.errors++
 			return
@@ -205,7 +354,7 @@ func (w *worker) run(addr string) {
 }
 
 // request issues one operation and returns its type and latencies.
-func (w *worker) request(c *server.Client) (kind string, wallNs, modelNs int64, err error) {
+func (w *worker) request(c, reader *server.Client) (kind string, wallNs, modelNs int64, err error) {
 	roll := w.rng.Intn(100)
 	start := time.Now()
 	switch {
@@ -221,7 +370,7 @@ func (w *worker) request(c *server.Client) (kind string, wallNs, modelNs int64, 
 		_, ns, e := c.Exec(ops)
 		return "multi", time.Since(start).Nanoseconds(), ns, e
 	case roll < w.cfg.multi+w.cfg.reads:
-		r, e := c.Get(w.key())
+		r, e := reader.Get(w.key())
 		return "get", time.Since(start).Nanoseconds(), r.ModelNs, e
 	case roll < w.cfg.multi+w.cfg.reads+w.cfg.cas:
 		k := w.key()
@@ -239,6 +388,61 @@ func (w *worker) request(c *server.Client) (kind string, wallNs, modelNs int64, 
 	default:
 		r, e := c.Set(w.key(), w.rng.Uint64())
 		return "set", time.Since(start).Nanoseconds(), r.ModelNs, e
+	}
+}
+
+// prober measures replication staleness: it bumps probeKey on the primary
+// with a sequence number, immediately reads it back from the replica, and
+// reports the age of the write whose value it observed.
+type prober struct {
+	every   time.Duration
+	stop    chan struct{}
+	probes  int
+	misses  int // probe value not yet visible on the replica at all
+	errors  int
+	staleNs []int64
+	times   []time.Time // times[i] = when sequence i+1 was written
+}
+
+func (p *prober) run(primary, replica string) {
+	pc, err := server.Dial(primary, 10*time.Second)
+	if err != nil {
+		p.errors++
+		return
+	}
+	defer pc.Close()
+	rc, err := server.Dial(replica, 10*time.Second)
+	if err != nil {
+		p.errors++
+		return
+	}
+	defer rc.Close()
+	tick := time.NewTicker(p.every)
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+		}
+		seq++
+		if _, err := pc.Set(probeKey, seq); err != nil {
+			p.errors++
+			return
+		}
+		p.times = append(p.times, time.Now())
+		r, err := rc.Get(probeKey)
+		if err != nil {
+			p.errors++
+			return
+		}
+		p.probes++
+		if r.Status != server.StatusValue || r.Val == 0 || r.Val > seq {
+			p.misses++
+			continue
+		}
+		p.staleNs = append(p.staleNs, time.Since(p.times[r.Val-1]).Nanoseconds())
 	}
 }
 
@@ -290,18 +494,49 @@ type opReport struct {
 	ModelNs pctl `json:"model_ns"`
 }
 
+type workload struct {
+	Reads        int     `json:"reads_pct"`
+	CAS          int     `json:"cas_pct"`
+	Multi        int     `json:"multi_pct"`
+	MultiOps     int     `json:"multi_ops"`
+	Preload      uint64  `json:"preload"`
+	ProbeEveryUs float64 `json:"probe_every_us,omitempty"`
+}
+
+type stalenessReport struct {
+	Probes      int  `json:"probes"`
+	Misses      int  `json:"misses"`
+	Errors      int  `json:"errors"`
+	StaleProbes int  `json:"stale_probes"`
+	StaleUs     pctl `json:"stale_us"`
+}
+
+type verifyReport struct {
+	SampledKeys  int      `json:"sampled_keys"`
+	Mismatches   int      `json:"mismatches"`
+	DrainedAtLSN uint64   `json:"drained_at_lsn"`
+	Examples     []string `json:"examples,omitempty"`
+}
+
 type report struct {
-	Addr        string              `json:"addr"`
-	Banner      string              `json:"banner"`
-	Conns       int                 `json:"conns"`
-	Duration    float64             `json:"duration_sec"`
-	Keys        uint64              `json:"keys"`
-	Dist        string              `json:"dist"`
-	Seed        uint64              `json:"seed"`
-	TotalOps    int                 `json:"total_ops"`
-	Throughput  float64             `json:"throughput_ops_sec"`
-	Errors      int                 `json:"errors"`
-	Conflicts   int                 `json:"cas_conflicts"`
-	OpTypes     map[string]opReport `json:"op_types"`
-	ServerStats map[string]uint64   `json:"server_stats,omitempty"`
+	Addr         string              `json:"addr"`
+	Replica      string              `json:"replica,omitempty"`
+	Banner       string              `json:"banner"`
+	Engine       string              `json:"engine"`
+	Profile      string              `json:"profile"`
+	Conns        int                 `json:"conns"`
+	Duration     float64             `json:"duration_sec"`
+	Keys         uint64              `json:"keys"`
+	Dist         string              `json:"dist"`
+	Seed         uint64              `json:"seed"`
+	Workload     workload            `json:"workload"`
+	TotalOps     int                 `json:"total_ops"`
+	Throughput   float64             `json:"throughput_ops_sec"`
+	Errors       int                 `json:"errors"`
+	Conflicts    int                 `json:"cas_conflicts"`
+	OpTypes      map[string]opReport `json:"op_types"`
+	Staleness    *stalenessReport    `json:"staleness,omitempty"`
+	Verify       *verifyReport       `json:"verify_replica,omitempty"`
+	ServerStats  map[string]uint64   `json:"server_stats,omitempty"`
+	ReplicaStats map[string]uint64   `json:"replica_stats,omitempty"`
 }

@@ -7,10 +7,20 @@
 //	               [-profile optane-adr|...] [-shards n] [-pool-size bytes]
 //	               [-max-batch n] [-batch-window d] [-max-conns n]
 //	               [-max-inflight n]
+//	               [-replicate-to host:port] [-repl-sync async|ack]
+//	               [-repl-batch-window d] [-repl-log-cap n]
+//	               [-replica-of host:port]
+//	specpmt-server -promote host:port
 //
 // Engine names accept both registry names ("SpecSPMT", "PMDK") and short
 // aliases ("spec", "undo"). SIGINT/SIGTERM drain in-flight requests and
 // exit 0.
+//
+// Replication (see internal/repl): -replicate-to makes this server a
+// primary publishing its commit log on the given address; -replica-of
+// makes it a read-only replica tailing the primary's log at that address.
+// -promote is an admin command: it connects to a running replica, sends
+// PROMOTE, and exits — the replica detaches and starts serving writes.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"specpmt/internal/repl"
 	"specpmt/internal/server"
 )
 
@@ -35,7 +46,37 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "how long a worker waits to fill a batch")
 	maxConns := flag.Int("max-conns", 256, "max concurrent connections")
 	maxInFlight := flag.Int("max-inflight", 1024, "max requests admitted to worker queues")
+	replicateTo := flag.String("replicate-to", "", "publish the commit log for replicas on this address (primary role)")
+	replSync := flag.String("repl-sync", "async", "replication sync mode: async | ack (wait for replica acks on commit)")
+	replBatchWindow := flag.Duration("repl-batch-window", 0, "how long the primary waits to coalesce records into one shipped batch")
+	replLogCap := flag.Int("repl-log-cap", 0, "records retained in the primary's replication log (0 = default)")
+	replicaOf := flag.String("replica-of", "", "tail the primary's commit log at this address (read-only replica role)")
+	promote := flag.String("promote", "", "admin: send PROMOTE to the replica serving at this address, then exit")
 	flag.Parse()
+
+	if *promote != "" {
+		c, err := server.Dial(*promote, 5*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		if err := c.Promote(); err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: promote: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("promoted")
+		return
+	}
+	if *replicateTo != "" && *replicaOf != "" {
+		fmt.Fprintln(os.Stderr, "specpmt-server: -replicate-to and -replica-of are mutually exclusive")
+		os.Exit(1)
+	}
+	syncMode, err := repl.ParseSyncMode(*replSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+		os.Exit(1)
+	}
 
 	logger := log.New(os.Stderr, "specpmt-server: ", log.LstdFlags)
 	s, err := server.New(server.Config{
@@ -55,20 +96,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	var primary *repl.Primary
+	var replica *repl.Replica
+	switch {
+	case *replicateTo != "":
+		primary = repl.NewPrimary(s, repl.PrimaryOptions{
+			LogCap:      *replLogCap,
+			BatchWindow: *replBatchWindow,
+			Sync:        syncMode,
+			Logf:        logger.Printf,
+		})
+		if err := primary.Start(*replicateTo); err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: replication listener: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Printf("primary: publishing commit log on %s (sync=%s)", primary.Addr(), syncMode)
+	case *replicaOf != "":
+		replica, err = repl.NewReplica(s, *replicaOf, repl.ReplicaOptions{Logf: logger.Printf})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+			os.Exit(1)
+		}
+		replica.Start()
+		logger.Printf("replica: tailing %s (read-only until PROMOTE)", *replicaOf)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- s.ListenAndServe() }()
 
+	shutdown := func() {
+		if replica != nil {
+			replica.Close()
+		}
+		if primary != nil {
+			primary.Close()
+		}
+	}
 	select {
 	case got := <-sig:
 		logger.Printf("caught %v, draining", got)
+		shutdown()
 		if err := s.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "specpmt-server: shutdown: %v\n", err)
 			os.Exit(1)
 		}
 		<-done // Serve returns nil once Close finishes draining
 	case err := <-done:
+		shutdown()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
 			os.Exit(1)

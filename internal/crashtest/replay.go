@@ -1,0 +1,314 @@
+package crashtest
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"specpmt/internal/repl"
+	"specpmt/internal/server"
+	"specpmt/internal/sim"
+)
+
+// ReplayConfig parameterises a replica-replay torture run: a primary server
+// under random client load, a replica tailing its commit log, and repeated
+// replica power failures injected while replay is in flight.
+type ReplayConfig struct {
+	// Engine is the crash-consistency scheme both servers run on.
+	Engine string
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Rounds is the number of crash/recover cycles (default 4).
+	Rounds int
+	// TxPerRound is the max client requests per round (default 120).
+	TxPerRound int
+	// Keys is the key-space size (default 64 — small, so DELs hit).
+	Keys uint64
+	// Shards is the worker count of both servers (default 4).
+	Shards int
+	// LogCap bounds the primary's replication log (default 64 — small, so
+	// some crashes push the replica off the log tail and force the
+	// re-snapshot path instead of a resume).
+	LogCap int
+	// PoolSize is each server's pool size in bytes (default 64 MiB).
+	PoolSize int
+	// Profile names the media profile (empty = default).
+	Profile string
+}
+
+func (c *ReplayConfig) setDefaults() {
+	if c.Engine == "" {
+		c.Engine = "SpecSPMT"
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	if c.TxPerRound == 0 {
+		c.TxPerRound = 120
+	}
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.LogCap == 0 {
+		c.LogCap = 64
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 64 << 20
+	}
+}
+
+// ReplayReport summarises a replica-replay torture run.
+type ReplayReport struct {
+	Engine     string
+	Seed       uint64
+	Rounds     int
+	Committed  int    // client transactions committed on the primary
+	Crashes    int    // replica power failures injected
+	Snapshots  uint64 // snapshot bootstraps across all incarnations
+	Resumes    uint64 // incarnations that tailed via cursor resume alone
+	Violations []string
+}
+
+// Ok reports whether the run observed no divergence.
+func (r ReplayReport) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r ReplayReport) String() string {
+	status := "OK"
+	if !r.Ok() {
+		status = fmt.Sprintf("FAILED (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("replay %-12s seed=%-4d rounds=%d committed=%d crashes=%d snaps=%d resumes=%d: %s",
+		r.Engine, r.Seed, r.Rounds, r.Committed, r.Crashes, r.Snapshots, r.Resumes, status)
+}
+
+// ReplicaReplay tortures the replication replay path: it drives a primary
+// with random SET/DEL/MULTI traffic (tracking a committed-state oracle),
+// crashes the replica's pool while it still lags the primary, recovers it,
+// restarts tailing from the durable cursor, and verifies — after every
+// crash — that the caught-up replica serves exactly the oracle state.
+func ReplicaReplay(cfg ReplayConfig) (ReplayReport, error) {
+	cfg.setDefaults()
+	rep := ReplayReport{Engine: cfg.Engine, Seed: cfg.Seed, Rounds: cfg.Rounds}
+	rng := sim.NewRand(cfg.Seed)
+
+	prim, err := server.New(server.Config{
+		Engine: cfg.Engine, Profile: cfg.Profile, Shards: cfg.Shards, PoolSize: cfg.PoolSize,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer prim.Close()
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	go prim.Serve(pln)
+	primary := repl.NewPrimary(prim, repl.PrimaryOptions{LogCap: cfg.LogCap})
+	defer primary.Close()
+	if err := primary.Start("127.0.0.1:0"); err != nil {
+		return rep, err
+	}
+
+	rsrv, err := server.New(server.Config{
+		Engine: cfg.Engine, Profile: cfg.Profile, Shards: cfg.Shards, PoolSize: cfg.PoolSize,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer rsrv.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	go rsrv.Serve(rln)
+
+	c, err := server.Dial(pln.Addr().String(), 5*time.Second)
+	if err != nil {
+		return rep, err
+	}
+	defer c.Close()
+
+	// Seed some state before the replica exists, so its first handshake
+	// exercises the snapshot bootstrap rather than an empty resume.
+	oracle := map[uint64]uint64{}
+	for i := 0; i < 20; i++ {
+		k, v := rng.Uint64()%cfg.Keys, rng.Uint64()
+		if _, err := c.Set(k, v); err != nil {
+			return rep, err
+		}
+		oracle[k] = v
+		rep.Committed++
+	}
+
+	newReplica := func() (*repl.Replica, error) {
+		r, err := repl.NewReplica(rsrv, primary.Addr().String(), repl.ReplicaOptions{
+			RetryEvery: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Start()
+		return r, nil
+	}
+	replica, err := newReplica()
+	if err != nil {
+		return rep, err
+	}
+	defer func() { replica.Close() }()
+
+	// harvest folds the current incarnation's handshake outcome into the
+	// report: bootstrap counts reset per incarnation, so read them while the
+	// incarnation is still the stats hook. An incarnation that bootstrapped
+	// zero times tailed purely by resuming from its durable cursor.
+	harvest := func() {
+		if s := statOf(rln.Addr().String(), "repl_snapshots"); s > 0 {
+			rep.Snapshots += s
+		} else {
+			rep.Resumes++
+		}
+	}
+
+	burst := func(round int) error {
+		nTx := rng.Intn(cfg.TxPerRound) + cfg.TxPerRound/2
+		for i := 0; i < nTx; i++ {
+			if err := randomTx(c, rng, cfg.Keys, oracle); err != nil {
+				return fmt.Errorf("crashtest: round %d tx %d: %w", round, i, err)
+			}
+			rep.Committed++
+		}
+		return nil
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Even rounds write while the replica tails live, then crash it —
+		// replay may be in flight, and the next incarnation resumes from the
+		// durable cursor. Odd rounds write while the replica is down: bursts
+		// larger than LogCap push its cursor off the bounded log's tail, so
+		// the next incarnation is refused a resume and must re-snapshot.
+		writeWhileDown := round%2 == 1
+		if !writeWhileDown {
+			if err := burst(round); err != nil {
+				return rep, err
+			}
+		}
+		harvest()
+		replica.Close()
+		if err := rsrv.Crash(rng.Uint64()); err != nil {
+			return rep, fmt.Errorf("crashtest: replica crash %d: %w", round, err)
+		}
+		rep.Crashes++
+		if writeWhileDown {
+			if err := burst(round); err != nil {
+				return rep, err
+			}
+		}
+		if replica, err = newReplica(); err != nil {
+			return rep, err
+		}
+		if err := waitCaughtUp(replica, primary, 30*time.Second); err != nil {
+			return rep, err
+		}
+		if replica.Applier().PrimaryID() == 0 {
+			return rep, fmt.Errorf("crashtest: round %d: caught up without adopting a primary id", round)
+		}
+
+		// Verify the caught-up replica serves exactly the oracle state.
+		rc, err := server.Dial(rln.Addr().String(), 5*time.Second)
+		if err != nil {
+			return rep, err
+		}
+		for k := uint64(0); k < cfg.Keys; k++ {
+			want, live := oracle[k]
+			got, err := rc.Get(k)
+			if err != nil {
+				rc.Close()
+				return rep, err
+			}
+			switch {
+			case live && (got.Status != server.StatusValue || got.Val != want):
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"round %d: key %d = (%d,%d), committed value %d", round, k, got.Status, got.Val, want))
+			case !live && got.Status != server.StatusNotFound:
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"round %d: key %d = (%d,%d), committed state is deleted", round, k, got.Status, got.Val))
+			}
+		}
+		rc.Close()
+	}
+	harvest()
+	return rep, nil
+}
+
+// randomTx issues one random client request against the primary and folds
+// its committed effect into the oracle.
+func randomTx(c *server.Client, rng *sim.Rand, keys uint64, oracle map[uint64]uint64) error {
+	switch rng.Intn(10) {
+	case 0, 1: // DEL
+		k := rng.Uint64() % keys
+		if _, err := c.Del(k); err != nil {
+			return err
+		}
+		delete(oracle, k)
+	case 2, 3: // cross-shard MULTI of SETs (and sometimes a DEL)
+		n := rng.Intn(4) + 2
+		ops := make([]server.Op, n)
+		for i := range ops {
+			k := rng.Uint64() % keys
+			if rng.Intn(4) == 0 {
+				ops[i] = server.Op{Kind: server.OpDel, Key: k}
+			} else {
+				ops[i] = server.Op{Kind: server.OpSet, Key: k, Arg1: rng.Uint64()}
+			}
+		}
+		results, _, err := c.Exec(ops)
+		if err != nil {
+			return err
+		}
+		for i, op := range ops {
+			switch {
+			case op.Kind == server.OpSet && results[i].Status == server.StatusOK:
+				oracle[op.Key] = op.Arg1
+			case op.Kind == server.OpDel && results[i].Status == server.StatusOK:
+				delete(oracle, op.Key)
+			}
+		}
+	default: // SET
+		k, v := rng.Uint64()%keys, rng.Uint64()
+		if _, err := c.Set(k, v); err != nil {
+			return err
+		}
+		oracle[k] = v
+	}
+	return nil
+}
+
+func waitCaughtUp(r *repl.Replica, p *repl.Primary, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if r.AppliedLSN() >= p.Log().Head() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("crashtest: replica stuck at lsn %d, primary head %d",
+				r.AppliedLSN(), p.Log().Head())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func statOf(addr, name string) uint64 {
+	c, err := server.Dial(addr, 2*time.Second)
+	if err != nil {
+		return 0
+	}
+	defer c.Close()
+	nums, _, err := c.Stats()
+	if err != nil {
+		return 0
+	}
+	return nums[name]
+}

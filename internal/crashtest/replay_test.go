@@ -1,0 +1,37 @@
+package crashtest
+
+import "testing"
+
+// TestReplicaReplay crash-tortures the replication replay path: the replica's
+// pool is power-failed mid-replay each round, recovered, and re-tailed from
+// its durable cursor; the caught-up state must match the committed oracle.
+func TestReplicaReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica-replay torture is slow")
+	}
+	for _, engine := range []string{"SpecSPMT", "PMDK"} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			t.Run(engine, func(t *testing.T) {
+				rep, err := ReplicaReplay(ReplayConfig{Engine: engine, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log(rep.String())
+				if !rep.Ok() {
+					for _, v := range rep.Violations {
+						t.Error(v)
+					}
+				}
+				if rep.Crashes != rep.Rounds {
+					t.Fatalf("injected %d crashes over %d rounds", rep.Crashes, rep.Rounds)
+				}
+				if rep.Snapshots < 2 {
+					t.Fatalf("snapshots = %d, want the initial bootstrap plus at least one eviction-forced re-snapshot", rep.Snapshots)
+				}
+				if rep.Resumes == 0 {
+					t.Fatal("no incarnation resumed from its durable cursor")
+				}
+			})
+		}
+	}
+}

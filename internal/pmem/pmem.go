@@ -125,7 +125,17 @@ type Device struct {
 	// advantage SpecPMT gets from never writing data on the critical path.
 	drainEnd  int64  // global time the last scheduled drain completes
 	drainLine uint64 // last line scheduled, for sequential detection
-	tracer    *trace.Tracer
+	// Per-line flush ordering. Stores to mem are serialised by the device
+	// lock, so the flush sequence is a total order; each WPQ entry carries
+	// the sequence of the snapshot it captured, and lineSeq records the
+	// newest sequence already applied to the persisted image. Without it,
+	// cores applying their accepted entries lazily (or the crash disposition
+	// iterating core by core) could clobber a line with a stale snapshot
+	// captured by another core earlier — resurrecting pre-commit data on
+	// lines written from multiple cores.
+	flushSeq uint64
+	lineSeq  []uint64
+	tracer   *trace.Tracer
 }
 
 // NewDevice creates a device of cfg.Size bytes, fully zeroed and persisted.
@@ -155,6 +165,7 @@ func NewDevice(cfg Config) *Device {
 		mem:       make([]byte, size),
 		persisted: make([]byte, size),
 		dirty:     newDirtyBitmap(size),
+		lineSeq:   make([]uint64, size/LineSize),
 		drainLine: ^uint64(0),
 	}
 	d.locking.Store(true)
@@ -338,7 +349,7 @@ func (d *Device) Crash(rng *sim.Rand) {
 			// Entries accepted into the ADR domain are persistent; a flush
 			// still in flight at the failure is a coin flip.
 			if e.acceptAt <= c.clock.Now() || rng.Float64() < 0.5 {
-				copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+				d.applySnapshotLocked(e)
 			}
 		}
 		c.resetWPQ()
@@ -366,7 +377,7 @@ func (d *Device) CrashClean() {
 		for i := 0; i < c.wpqLen; i++ {
 			e := c.wpqAt(i)
 			if e.acceptAt <= c.clock.Now() {
-				copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+				d.applySnapshotLocked(e)
 			}
 		}
 		c.resetWPQ()
@@ -399,10 +410,22 @@ func (d *Device) traceCrashLocked() {
 type wpqEntry struct {
 	line     uint64
 	data     [LineSize]byte
-	acceptAt int64 // accepted into the ADR persistence domain (WPQ)
-	drainAt  int64 // written back to media (frees the WPQ slot)
+	acceptAt int64  // accepted into the ADR persistence domain (WPQ)
+	drainAt  int64  // written back to media (frees the WPQ slot)
+	gseq     uint64 // device-wide flush order of the captured snapshot
 	kind     Kind
 	seq      bool // drained at the sequential (contiguous-line) rate
+}
+
+// applySnapshotLocked copies a WPQ snapshot into the persisted image unless a
+// globally newer snapshot of the same line has already been applied. Caller
+// holds d.mu.
+func (d *Device) applySnapshotLocked(e *wpqEntry) {
+	if e.gseq <= d.lineSeq[e.line] {
+		return
+	}
+	copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+	d.lineSeq[e.line] = e.gseq
 }
 
 // Core is one logical CPU core attached to a Device: a virtual clock, a
@@ -674,6 +697,8 @@ func (c *Core) enqueueLocked(l uint64, kind Kind) {
 	e.line = l
 	e.kind = kind
 	e.seq = false
+	d.flushSeq++
+	e.gseq = d.flushSeq
 	copy(e.data[:], d.mem[l*LineSize:(l+1)*LineSize])
 	cost := d.cfg.Lat.PMWriteRandom
 	if d.drainLine != ^uint64(0) && l == d.drainLine+1 {
@@ -720,7 +745,7 @@ func (c *Core) drainUntilLocked(now int64) {
 		if e.acceptAt > now {
 			break
 		}
-		copy(d.persisted[e.line*LineSize:(e.line+1)*LineSize], e.data[:])
+		d.applySnapshotLocked(e)
 		c.accountTraffic(e.kind)
 		if c.trc != nil {
 			c.trc.Drain(c.drainTrack, e.acceptAt, e.drainAt, e.line, e.seq, uint8(e.kind))

@@ -1,0 +1,208 @@
+// Package repl is the commit-log replication subsystem: a primary server
+// ships every committed transaction's effective write set, stamped with a
+// monotonically increasing LSN, over TCP to N replicas, which replay the
+// records transactionally into their own ThreadedPool + pds/hashmap shards
+// — so replica state is itself crash-consistent, and the replica's modeled
+// PM cost is measured the same way the primary's is.
+//
+// The design extends the paper's fence-amortization argument across the
+// network hop: the primary's group commit already coalesces many client
+// requests into one transaction, and replication ships that transaction as
+// ONE record, batches records into one TCP write, and (on the replica)
+// replays runs of contiguous same-shard records as one transaction — one
+// replica-side commit fence for many primary transactions.
+//
+// # Wire protocol
+//
+// Line-oriented, like the client protocol. The replica connects and sends:
+//
+//	HELLO <shards> <primaryID> <lastLSN>
+//
+// where primaryID/lastLSN identify the stream position it already holds
+// (0 0 for an empty replica). The primary answers one of:
+//
+//	ERR <message>                      (shard-count mismatch, ...)
+//	RESUME <id> <fromLSN> <headLSN>    (log still holds lastLSN+1...)
+//	SNAP <id> <snapLSN> <nkeys>        (full-state bootstrap)
+//	  then <nkeys> lines:  K <shard> <key> <val>
+//	  then:                SNAPEND
+//
+// followed in both cases by the record stream — one committed transaction
+// per line, shipped in batches:
+//
+//	T <lsn> <n> {s <shard> <key> <val> | d <shard> <key>} x n
+//
+// interleaved with idle heartbeats carrying the primary's log head:
+//
+//	HB <headLSN>
+//
+// The replica acknowledges applied records with `ACK <lsn>` lines; the
+// primary uses acks for lag accounting, for wait-for-ack commits in
+// synchronous mode, and as the resume point after a reconnect. A replica
+// whose resume point has fallen off the primary's bounded in-memory log is
+// disconnected and re-bootstraps through a fresh snapshot on reconnect —
+// the backpressure valve for laggards.
+package repl
+
+import (
+	"fmt"
+	"strconv"
+
+	"specpmt/internal/server"
+)
+
+// WOp is one replicated write — a SET (Del false) or DEL (Del true) routed
+// to a shard. It is the server's RepWrite, re-exported so the two layers
+// share one vocabulary.
+type WOp = server.RepWrite
+
+// Record is one committed transaction's logical redo record.
+type Record struct {
+	LSN uint64
+	Ops []WOp
+}
+
+// MaxRecordLine bounds an encoded record (or any protocol line); longer
+// lines are a protocol error. Sized for a full MULTI block (128 ops) with
+// worst-case decimal payloads.
+const MaxRecordLine = 1 << 14
+
+// MaxRecordOps bounds the operations one record may carry.
+const MaxRecordOps = 512
+
+// AppendRecord encodes rec as a `T` protocol line (with trailing newline)
+// onto dst.
+func AppendRecord(dst []byte, rec Record) []byte {
+	dst = append(dst, 'T', ' ')
+	dst = strconv.AppendUint(dst, rec.LSN, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(rec.Ops)), 10)
+	for _, op := range rec.Ops {
+		if op.Del {
+			dst = append(dst, " d "...)
+		} else {
+			dst = append(dst, " s "...)
+		}
+		dst = strconv.AppendInt(dst, int64(op.Shard), 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, op.Key, 10)
+		if !op.Del {
+			dst = append(dst, ' ')
+			dst = strconv.AppendUint(dst, op.Val, 10)
+		}
+	}
+	return append(dst, '\n')
+}
+
+// DecodeRecord parses a `T` line (without its trailing newline) produced by
+// AppendRecord. ops, when non-nil, is reused as the record's backing
+// storage.
+func DecodeRecord(line []byte, ops []WOp) (Record, error) {
+	var rec Record
+	if len(line) > MaxRecordLine {
+		return rec, fmt.Errorf("repl: record line too long (%d bytes)", len(line))
+	}
+	f := fields(line)
+	if len(f) < 3 || !tokIs(f[0], 'T') {
+		return rec, fmt.Errorf("repl: malformed record %q", clip(line))
+	}
+	lsn, err := parseUint(f[1])
+	if err != nil {
+		return rec, fmt.Errorf("repl: bad LSN in %q", clip(line))
+	}
+	n, err := parseUint(f[2])
+	if err != nil || n > MaxRecordOps {
+		return rec, fmt.Errorf("repl: bad op count in %q", clip(line))
+	}
+	rec.LSN = lsn
+	rec.Ops = ops[:0]
+	i := 3
+	for k := uint64(0); k < n; k++ {
+		if i >= len(f) {
+			return Record{}, fmt.Errorf("repl: truncated record %q", clip(line))
+		}
+		var op WOp
+		var width int
+		switch {
+		case tokIs(f[i], 's'):
+			width = 4
+		case tokIs(f[i], 'd'):
+			op.Del = true
+			width = 3
+		default:
+			return Record{}, fmt.Errorf("repl: bad op tag %q", clip(f[i]))
+		}
+		if i+width > len(f) {
+			return Record{}, fmt.Errorf("repl: truncated record %q", clip(line))
+		}
+		shard, err := parseUint(f[i+1])
+		if err != nil || shard > 1<<16 {
+			return Record{}, fmt.Errorf("repl: bad shard in %q", clip(line))
+		}
+		op.Shard = int(shard)
+		if op.Key, err = parseUint(f[i+2]); err != nil {
+			return Record{}, fmt.Errorf("repl: bad key in %q", clip(line))
+		}
+		if !op.Del {
+			if op.Val, err = parseUint(f[i+3]); err != nil {
+				return Record{}, fmt.Errorf("repl: bad value in %q", clip(line))
+			}
+		}
+		rec.Ops = append(rec.Ops, op)
+		i += width
+	}
+	if i != len(f) {
+		return Record{}, fmt.Errorf("repl: trailing fields in %q", clip(line))
+	}
+	return rec, nil
+}
+
+// fields splits on runs of spaces and tabs without allocating per field.
+func fields(line []byte) [][]byte {
+	var out [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		if j > i {
+			out = append(out, line[i:j])
+		}
+		i = j
+	}
+	return out
+}
+
+func tokIs(b []byte, c byte) bool { return len(b) == 1 && b[0] == c }
+
+// parseUint is strconv.ParseUint(s, 10, 64) over bytes without the string
+// allocation.
+func parseUint(b []byte) (uint64, error) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, strconv.ErrSyntax
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, strconv.ErrSyntax
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, strconv.ErrRange
+		}
+		n = n*10 + d
+	}
+	return n, nil
+}
+
+func clip(b []byte) string {
+	const max = 48
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}

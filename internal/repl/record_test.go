@@ -1,0 +1,124 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []Record{
+		{LSN: 1, Ops: nil},
+		{LSN: 7, Ops: []WOp{{Shard: 0, Key: 42, Val: 99}}},
+		{LSN: 8, Ops: []WOp{{Shard: 3, Del: true, Key: 42}}},
+		{LSN: ^uint64(0), Ops: []WOp{
+			{Shard: 1, Key: ^uint64(0), Val: 0},
+			{Shard: 2, Del: true, Key: 0},
+			{Shard: 0, Key: 5, Val: ^uint64(0)},
+		}},
+	}
+	var buf []byte
+	for _, want := range cases {
+		buf = AppendRecord(buf[:0], want)
+		if buf[len(buf)-1] != '\n' {
+			t.Fatalf("no trailing newline in %q", buf)
+		}
+		got, err := DecodeRecord(buf[:len(buf)-1], nil)
+		if err != nil {
+			t.Fatalf("DecodeRecord(%q): %v", buf, err)
+		}
+		if got.LSN != want.LSN || len(got.Ops) != len(want.Ops) {
+			t.Fatalf("round trip of %+v: got %+v", want, got)
+		}
+		for i := range want.Ops {
+			if got.Ops[i] != want.Ops[i] {
+				t.Fatalf("op %d: got %+v, want %+v", i, got.Ops[i], want.Ops[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRecordRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"T",
+		"T 1",
+		"T x 0",
+		"T 1 1",                    // truncated op
+		"T 1 1 s 0 1",              // set missing value
+		"T 1 1 q 0 1 2",            // bad tag
+		"T 1 2 s 0 1 2",            // op count says 2, one present
+		"T 1 0 s 0 1 2",            // trailing fields
+		"T 1 1 s 99999999 1 2",     // absurd shard
+		"T 1 1 s 0 1 2 d 0 1",      // trailing op beyond count
+		"T 18446744073709551616 0", // LSN overflow
+		"T 1 513",                  // over MaxRecordOps
+	}
+	for _, line := range bad {
+		if _, err := DecodeRecord([]byte(line), nil); err == nil {
+			t.Errorf("DecodeRecord(%q) accepted", line)
+		}
+	}
+}
+
+// FuzzDecodeRecord mirrors the server codec's FuzzParseCommand: any input
+// must decode without panicking, and anything that decodes must survive an
+// encode/decode round trip byte-for-byte.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte("T 1 2 s 0 42 99 d 3 7"))
+	f.Add([]byte("T 0 0"))
+	f.Add([]byte("T 18446744073709551615 1 s 65536 0 0"))
+	f.Add([]byte("HB 9"))
+	f.Add([]byte("K 0 1 2"))
+	f.Add([]byte("T 5 1 d 2 11"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := DecodeRecord(line, nil)
+		if err != nil {
+			return
+		}
+		enc := AppendRecord(nil, rec)
+		rec2, err := DecodeRecord(enc[:len(enc)-1], nil)
+		if err != nil {
+			t.Fatalf("re-decode of %q (from %q): %v", enc, line, err)
+		}
+		enc2 := AppendRecord(nil, rec2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable round trip: %q -> %q -> %q", line, enc, enc2)
+		}
+	})
+}
+
+func TestLogEvictionAndResume(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append([]WOp{{Key: uint64(i)}})
+	}
+	if head := l.Head(); head != 10 {
+		t.Fatalf("head = %d, want 10", head)
+	}
+	if tail := l.Tail(); tail != 7 {
+		t.Fatalf("tail = %d, want 7", tail)
+	}
+	if _, ok := l.ReadFrom(5, 100, nil); ok {
+		t.Fatal("ReadFrom below tail succeeded; want eviction signal")
+	}
+	recs, ok := l.ReadFrom(7, 100, nil)
+	if !ok || len(recs) != 4 {
+		t.Fatalf("ReadFrom(7) = %d records, ok=%v", len(recs), ok)
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(7+i) || rec.Ops[0].Key != uint64(6+i) {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+	}
+	// Caught-up reader: empty result, then woken by the next append.
+	if recs, ok := l.ReadFrom(11, 100, nil); !ok || len(recs) != 0 {
+		t.Fatalf("caught-up ReadFrom = %d records, ok=%v", len(recs), ok)
+	}
+	wake := l.Wake()
+	l.Append(nil)
+	select {
+	case <-wake:
+	default:
+		t.Fatal("Append did not wake waiters")
+	}
+}

@@ -1,0 +1,404 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specpmt"
+	"specpmt/internal/server"
+)
+
+// ReplicaOptions tunes the tailing side.
+type ReplicaOptions struct {
+	// RetryEvery is the reconnect backoff (default 300ms).
+	RetryEvery time.Duration
+	// MaxRun caps records coalesced into one replay transaction (default
+	// 64); MaxRunOps caps the total operations in one (default 512).
+	MaxRun    int
+	MaxRunOps int
+	// SnapBatch is the SETs applied per transaction during snapshot
+	// bootstrap (default 128).
+	SnapBatch int
+	// Tracer, when non-nil, receives apply events on a "repl-replica"
+	// track, stamped with wall-clock nanoseconds since the replica started.
+	Tracer *specpmt.Tracer
+	// Logf, when non-nil, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Replica turns a server into a read-only follower of a primary's commit
+// log: it dials the primary, bootstraps via snapshot (or resumes from its
+// durable cursor), replays the record stream transactionally through an
+// Applier, acknowledges applied LSNs, and reconnects with resume on any
+// connection failure. Promote (or the server's PROMOTE command) detaches it
+// and re-enables writes.
+type Replica struct {
+	srv   *server.Server
+	app   *Applier
+	addr  string
+	opts  ReplicaOptions
+	track int
+	start time.Time
+	quit  chan struct{}
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	wg     sync.WaitGroup
+
+	head       atomic.Uint64
+	applied    atomic.Uint64
+	reconnects atomic.Uint64
+	snapshots  atomic.Uint64
+	runs       atomic.Uint64
+	records    atomic.Uint64
+	opsApplied atomic.Uint64
+}
+
+// NewReplica binds srv to a primary at addr: the server becomes read-only
+// and its PROMOTE command is wired to Promote. Call Start to begin tailing.
+func NewReplica(srv *server.Server, addr string, opts ReplicaOptions) (*Replica, error) {
+	if opts.RetryEvery <= 0 {
+		opts.RetryEvery = 300 * time.Millisecond
+	}
+	if opts.MaxRun <= 0 {
+		opts.MaxRun = 64
+	}
+	if opts.MaxRunOps <= 0 {
+		opts.MaxRunOps = 512
+	}
+	if opts.SnapBatch <= 0 {
+		opts.SnapBatch = 128
+	}
+	app, err := NewApplier(srv)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		srv:   srv,
+		app:   app,
+		addr:  addr,
+		opts:  opts,
+		start: time.Now(),
+		quit:  make(chan struct{}),
+		track: -1,
+	}
+	r.applied.Store(app.AppliedLSN())
+	if opts.Tracer != nil {
+		r.track = opts.Tracer.RegisterTrack("repl-replica")
+	}
+	srv.SetReadOnly(true)
+	srv.OnPromote(r.Promote)
+	srv.SetStatsHook(r.emitStats)
+	return r, nil
+}
+
+// Applier exposes the replica's durable cursor (tests, tools).
+func (r *Replica) Applier() *Applier { return r.app }
+
+// AppliedLSN returns the last replayed LSN.
+func (r *Replica) AppliedLSN() uint64 { return r.applied.Load() }
+
+// Lag returns the last known head-minus-applied record gap.
+func (r *Replica) Lag() uint64 {
+	head, applied := r.head.Load(), r.applied.Load()
+	if head <= applied {
+		return 0
+	}
+	return head - applied
+}
+
+// Start begins tailing the primary in the background.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.run()
+	}()
+}
+
+// stop tears down the tailing loop. Idempotent.
+func (r *Replica) stop() bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.closed = true
+	conn := r.conn
+	r.mu.Unlock()
+	close(r.quit)
+	if conn != nil {
+		conn.Close()
+	}
+	r.wg.Wait()
+	return true
+}
+
+// Close stops tailing without changing the server's read-only state.
+func (r *Replica) Close() error {
+	r.stop()
+	return nil
+}
+
+// Promote detaches from the primary and makes the server writable — the
+// failover path, also reachable over the wire via PROMOTE.
+func (r *Replica) Promote() error {
+	if !r.stop() {
+		return errors.New("not a replica (already promoted or closed)")
+	}
+	r.srv.OnPromote(nil) // further PROMOTEs answer ERR not a replica
+	r.srv.SetReadOnly(false)
+	r.logf("repl: promoted at lsn %d (lag %d)", r.applied.Load(), r.Lag())
+	return nil
+}
+
+// DropConn severs the current connection to the primary, if any — a
+// network-fault injection hook for tests; the reconnect loop takes over and
+// resumes from the durable cursor.
+func (r *Replica) DropConn() {
+	r.mu.Lock()
+	c := r.conn
+	r.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+func (r *Replica) nowNs() int64 { return time.Since(r.start).Nanoseconds() }
+
+func (r *Replica) run() {
+	for {
+		select {
+		case <-r.quit:
+			return
+		default:
+		}
+		err := r.session()
+		select {
+		case <-r.quit:
+			return
+		default:
+		}
+		if err != nil {
+			r.logf("repl: session: %v (retrying)", err)
+		}
+		r.reconnects.Add(1)
+		select {
+		case <-time.After(r.opts.RetryEvery):
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// session runs one connection's lifetime: dial, handshake (resume or
+// bootstrap), then tail until the stream breaks.
+func (r *Replica) session() error {
+	c, err := net.DialTimeout("tcp", r.addr, handshakeTimeout)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	r.conn = c
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.conn = nil
+		r.mu.Unlock()
+		c.Close()
+	}()
+
+	br := bufio.NewReaderSize(c, 1<<16)
+	bw := bufio.NewWriterSize(c, 1<<12)
+	if !writeLine(c, bw, fmt.Sprintf("HELLO %d %d %d", r.srv.Shards(), r.app.PrimaryID(), r.app.AppliedLSN())) {
+		return fmt.Errorf("sending HELLO")
+	}
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	line, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("reading handshake: %w", err)
+	}
+	fs := fields(line)
+	switch {
+	case len(fs) == 4 && string(fs[0]) == "RESUME":
+		from, err1 := parseUint(fs[2])
+		head, err2 := parseUint(fs[3])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad RESUME %q", clip(line))
+		}
+		if from != r.app.AppliedLSN()+1 {
+			return fmt.Errorf("primary resumed at %d, want %d", from, r.app.AppliedLSN()+1)
+		}
+		r.observeHead(head)
+		r.logf("repl: resuming at lsn %d (head %d)", from, head)
+	case len(fs) == 4 && string(fs[0]) == "SNAP":
+		if err := r.bootstrap(c, br, fs); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("handshake refused: %q", clip(line))
+	}
+	return r.tail(c, br, bw)
+}
+
+// bootstrap applies a full-state snapshot: clear surviving state, stream
+// the pairs in batched transactions, then durably adopt the primary's id
+// and snapshot LSN. A crash anywhere in between leaves primary id 0, which
+// forces a fresh (idempotent) bootstrap on restart.
+func (r *Replica) bootstrap(c net.Conn, br *bufio.Reader, fs [][]byte) error {
+	id, err1 := parseUint(fs[1])
+	snapLSN, err2 := parseUint(fs[2])
+	nkeys, err3 := parseUint(fs[3])
+	if err1 != nil || err2 != nil || err3 != nil || id == 0 {
+		return fmt.Errorf("bad SNAP header")
+	}
+	r.snapshots.Add(1)
+	r.logf("repl: bootstrapping: %d keys at lsn %d", nkeys, snapLSN)
+	if err := r.app.BeginSnapshot(); err != nil {
+		return err
+	}
+	if err := r.app.ClearAll(); err != nil {
+		return err
+	}
+	batch := make([]WOp, 0, r.opts.SnapBatch)
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout + time.Duration(nkeys)*time.Millisecond/10))
+	for i := uint64(0); i < nkeys; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return fmt.Errorf("reading snapshot: %w", err)
+		}
+		kf := fields(line)
+		if len(kf) != 4 || string(kf[0]) != "K" {
+			return fmt.Errorf("bad snapshot line %q", clip(line))
+		}
+		shard, err1 := parseUint(kf[1])
+		key, err2 := parseUint(kf[2])
+		val, err3 := parseUint(kf[3])
+		if err1 != nil || err2 != nil || err3 != nil || shard >= uint64(r.srv.Shards()) {
+			return fmt.Errorf("bad snapshot line %q", clip(line))
+		}
+		batch = append(batch, WOp{Shard: int(shard), Key: key, Val: val})
+		if len(batch) >= r.opts.SnapBatch {
+			if err := r.app.ApplySnapshot(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := r.app.ApplySnapshot(batch); err != nil {
+		return err
+	}
+	line, err := readLine(br)
+	if err != nil || string(line) != "SNAPEND" {
+		return fmt.Errorf("missing SNAPEND")
+	}
+	if err := r.app.EndSnapshot(id, snapLSN); err != nil {
+		return err
+	}
+	r.applied.Store(snapLSN)
+	r.observeHead(snapLSN)
+	return nil
+}
+
+// tailTimeout bounds how long the stream may be silent; the primary
+// heartbeats every ~200ms, so a minute of silence means the link is dead.
+const tailTimeout = time.Minute
+
+// tail consumes the record stream, coalescing back-to-back records already
+// buffered on the connection into single replay transactions, and acks each
+// applied run.
+func (r *Replica) tail(c net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
+	run := make([]Record, 0, r.opts.MaxRun)
+	for {
+		c.SetReadDeadline(time.Now().Add(tailTimeout))
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		run = run[:0]
+		runOps := 0
+		for {
+			if len(line) > 1 && line[0] == 'H' { // HB <head>
+				hf := fields(line)
+				if len(hf) == 2 && string(hf[0]) == "HB" {
+					if head, err := parseUint(hf[1]); err == nil {
+						r.observeHead(head)
+					}
+				}
+				break
+			}
+			var rec Record
+			if len(run) < cap(run) {
+				rec.Ops = run[:len(run)+1][len(run)].Ops // recycle the slot's op buffer
+			}
+			rec, err = DecodeRecord(line, rec.Ops)
+			if err != nil {
+				return err
+			}
+			run = append(run, rec)
+			runOps += len(rec.Ops)
+			if len(run) >= r.opts.MaxRun || runOps >= r.opts.MaxRunOps || br.Buffered() == 0 {
+				break
+			}
+			if line, err = readLine(br); err != nil {
+				return err
+			}
+		}
+		if len(run) > 0 {
+			ops, err := r.app.ApplyRun(run)
+			if err != nil {
+				return err
+			}
+			applied := r.app.AppliedLSN()
+			r.applied.Store(applied)
+			r.observeHead(applied)
+			r.runs.Add(1)
+			r.records.Add(uint64(len(run)))
+			r.opsApplied.Add(uint64(ops))
+			if t := r.opts.Tracer; t != nil {
+				t.ReplApply(r.track, r.nowNs(), len(run), ops, applied)
+			}
+		}
+		if !writeLine(c, bw, fmt.Sprintf("ACK %d", r.app.AppliedLSN())) {
+			return fmt.Errorf("sending ACK")
+		}
+	}
+}
+
+func (r *Replica) observeHead(head uint64) {
+	for {
+		cur := r.head.Load()
+		if head <= cur || r.head.CompareAndSwap(cur, head) {
+			return
+		}
+	}
+}
+
+func (r *Replica) emitStats(emit func(name string, val uint64)) {
+	emit("repl_role_replica", 1)
+	emit("repl_applied_lsn", r.applied.Load())
+	emit("repl_head_lsn", r.head.Load())
+	emit("repl_lag", r.Lag())
+	emit("repl_reconnects", r.reconnects.Load())
+	emit("repl_snapshots", r.snapshots.Load())
+	emit("repl_runs_applied", r.runs.Load())
+	emit("repl_records_applied", r.records.Load())
+	emit("repl_ops_applied", r.opsApplied.Load())
+}

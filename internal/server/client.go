@@ -203,6 +203,15 @@ func (c *Client) Stats() (map[string]uint64, map[string]string, error) {
 	}
 }
 
+// Promote asks a read-only replica to become a writable primary.
+func (c *Client) Promote() error {
+	c.bw.WriteString("PROMOTE\n")
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.expect("OK")
+}
+
 // Ping round-trips a PING.
 func (c *Client) Ping() error {
 	c.bw.WriteString("PING\n")

@@ -24,8 +24,12 @@
 //	DISCARD          OK
 //	STATS            STAT <name> <value> lines, then END
 //	PING             PONG
+//	PROMOTE          OK (replica becomes writable) | ERR not a replica
 //	QUIT             BYE (server closes the connection)
 //	anything else    ERR <message>
+//
+// A read-only replica (see internal/repl) answers ERR read-only replica to
+// SET/DEL/CAS and to EXEC blocks containing one.
 //
 // A MULTI...EXEC block executes as ONE transaction — all its operations
 // commit atomically, even when the keys live on different shards.
@@ -78,6 +82,7 @@ const (
 	VerbStats
 	VerbPing
 	VerbQuit
+	VerbPromote
 )
 
 // Command is one parsed protocol line.
@@ -140,6 +145,8 @@ func ParseCommand(line []byte) (Command, error) {
 		return bareCommand(VerbPing, args)
 	case verbIs(verb, "QUIT"):
 		return bareCommand(VerbQuit, args)
+	case verbIs(verb, "PROMOTE"):
+		return bareCommand(VerbPromote, args)
 	}
 	return Command{}, fmt.Errorf("unknown command %q", clip(verb))
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"specpmt"
+	"specpmt/pds/hashmap"
 )
 
 // Config parameterises New. The zero value serves SpecSPMT over optane-adr
@@ -47,8 +48,36 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds one response write (default 10s).
 	WriteTimeout time.Duration
+	// ReadOnly starts the server rejecting writes (SET/DEL/CAS and any
+	// MULTI containing one) — the replica mode. SetReadOnly flips it at
+	// runtime (promotion).
+	ReadOnly bool
+	// Tracer, when non-nil, receives the pool's simulation events plus
+	// replication ship/ack/apply events (see internal/trace).
+	Tracer *specpmt.Tracer
 	// Logf, when non-nil, receives server lifecycle log lines.
 	Logf func(format string, args ...any)
+}
+
+// RepWrite is one effective write of a committed transaction, in commit
+// order — the unit a Replicator ships to replicas. A SET (or winning CAS)
+// has Del false and carries Val; a DEL has Del true.
+type RepWrite struct {
+	Shard    int
+	Del      bool
+	Key, Val uint64
+}
+
+// Replicator receives every committed transaction's effective write set
+// from the shard workers, in a valid serialization order (per-shard commit
+// order preserved; cross-shard transactions totally ordered by the MULTI
+// barrier). Publish returns a wait function for synchronous replication
+// modes — when non-nil the worker calls it before releasing the batch to
+// its clients, extending the commit past the network hop — or nil for
+// fire-and-forget shipping. Publish is called from multiple worker
+// goroutines and must be safe for concurrent use.
+type Replicator interface {
+	Publish(writes []RepWrite) (wait func())
 }
 
 func (cfg *Config) fillDefaults() error {
@@ -130,11 +159,26 @@ type Server struct {
 	inflight  chan struct{}
 	multiMu   sync.Mutex
 
+	// opMu/closing/opWG fence internal operations (Apply, Freeze) against
+	// Close: once closing is set no new internal op may start, and Close
+	// waits for the in-flight ones before shutting the worker queues.
+	opMu    sync.Mutex
+	closing bool
+	opWG    sync.WaitGroup
+
 	lnMu sync.Mutex
 	ln   net.Listener
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// hookMu guards the runtime-settable hooks below.
+	hookMu      sync.Mutex
+	repl        Replicator
+	promoteHook func() error
+	statsHook   StatsHook
+
+	readOnly atomic.Bool
 
 	start       time.Time
 	activeConns atomic.Int64
@@ -145,7 +189,13 @@ type Server struct {
 	batches     atomic.Uint64
 	batchedOps  atomic.Uint64
 	protoErrs   atomic.Uint64
+	roRejected  atomic.Uint64
 }
+
+// StatsHook extends the STATS block with subsystem-specific counters (the
+// replication layer reports head LSN and lag through one). It is called
+// from connection goroutines and must be safe for concurrent use.
+type StatsHook func(emit func(name string, val uint64))
 
 // ErrClosed is returned by serve loops after Close.
 var ErrClosed = errors.New("server: closed")
@@ -161,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 		Size:    cfg.PoolSize,
 		Engine:  cfg.Engine,
 		Profile: cfg.Profile,
+		Tracer:  cfg.Tracer,
 	}, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -173,6 +224,7 @@ func New(cfg Config) (*Server, error) {
 		conns:    map[net.Conn]struct{}{},
 		start:    time.Now(),
 	}
+	s.readOnly.Store(cfg.ReadOnly)
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(pool, i, cfg.MaxBatch)
 		if err != nil {
@@ -183,6 +235,51 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Pool exposes the threaded pool backing the store — replication layers use
+// it to allocate durable bookkeeping (applied-LSN cells) in the same
+// persistence domain as the data.
+func (s *Server) Pool() *specpmt.ThreadedPool { return s.pool }
+
+// Shards returns the worker-shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// SetReplicator installs the commit-stream subscriber. Set it before the
+// server begins committing (before Serve/ServeConn/Apply); replacing it
+// mid-traffic loses the records committed in between.
+func (s *Server) SetReplicator(r Replicator) {
+	s.hookMu.Lock()
+	s.repl = r
+	s.hookMu.Unlock()
+}
+
+func (s *Server) replicator() Replicator {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	return s.repl
+}
+
+// OnPromote installs the handler behind the PROMOTE admin command (a
+// replica's promotion-to-primary). Without one, PROMOTE answers ERR.
+func (s *Server) OnPromote(fn func() error) {
+	s.hookMu.Lock()
+	s.promoteHook = fn
+	s.hookMu.Unlock()
+}
+
+// SetStatsHook installs an extra STATS emitter (see StatsHook).
+func (s *Server) SetStatsHook(fn StatsHook) {
+	s.hookMu.Lock()
+	s.statsHook = fn
+	s.hookMu.Unlock()
+}
+
+// SetReadOnly flips write rejection at runtime; promotion calls it with
+// false. In-flight writes already admitted to a worker queue still commit.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether the server currently rejects writes.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 
 // Engine returns the resolved engine name the store runs on.
 func (s *Server) Engine() string { return s.cfg.Engine }
@@ -278,6 +375,9 @@ func (s *Server) startWorkers() {
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.opMu.Lock()
+		s.closing = true
+		s.opMu.Unlock()
 		close(s.quit)
 		s.lnMu.Lock()
 		if s.ln != nil {
@@ -292,6 +392,7 @@ func (s *Server) Close() error {
 		}
 		s.connMu.Unlock()
 		s.connWG.Wait()
+		s.opWG.Wait()
 		// No submitters remain: drain the workers.
 		s.startWorkers() // ensure worker goroutines exist before closing queues
 		for _, sh := range s.shards {
@@ -308,6 +409,122 @@ func (s *Server) Close() error {
 // in-flight requests done) — e.g. after Close, or from tests that know the
 // workers are idle.
 func (s *Server) Counters() specpmt.Counters { return s.pool.Counters() }
+
+// beginOp registers an internal operation (Apply, Freeze) so Close waits
+// for it; it fails once Close has begun.
+func (s *Server) beginOp() bool {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.opWG.Add(1)
+	return true
+}
+
+// ErrApply is returned by Apply when the transaction could not commit.
+var ErrApply = errors.New("server: apply failed")
+
+// Apply executes ops as ONE transaction through the owning shard workers —
+// the replication replay entry point. Cross-shard operation sets use the
+// same barrier protocol as MULTI, so a replayed transaction is exactly as
+// atomic as it was on the primary. extra, when non-nil, runs inside the
+// same transaction after the ops (replicas stamp their applied-LSN cells
+// with it, making replay exactly-once across crashes). Results are appended
+// to results and returned. Safe for concurrent use; applies admitted to the
+// same shard's queue may group-commit together.
+func (s *Server) Apply(ops []Op, extra func(specpmt.Tx), results []Result) ([]Result, error) {
+	if len(ops) == 0 {
+		return results, nil
+	}
+	if !s.beginOp() {
+		return results, ErrClosed
+	}
+	defer s.opWG.Done()
+	s.startWorkers()
+	if !s.acquire() {
+		return results, ErrClosed
+	}
+	j := newJob()
+	j.internal = true
+	j.extra = extra
+	j.ops = append(j.ops, ops...)
+	s.dispatch(j, s.shardSet(ops))
+	<-j.done
+	s.release()
+	results = append(results, j.results...)
+	for _, r := range j.results {
+		if r.Status == StatusErr {
+			return results, ErrApply
+		}
+	}
+	return results, nil
+}
+
+// Freeze parks every shard worker at a barrier and calls fn with the store
+// quiesced: no transaction is in flight, and fn may read any shard (e.g.
+// via RangeAll) as one consistent point-in-time cut. Commits stall for the
+// duration — snapshot transfers should copy out under Freeze and stream
+// after it returns. fn runs on a worker goroutine.
+func (s *Server) Freeze(fn func()) error {
+	if !s.beginOp() {
+		return ErrClosed
+	}
+	defer s.opWG.Done()
+	s.startWorkers()
+	j := newJob()
+	j.internal = true
+	j.frozen = fn
+	all := make([]int, len(s.shards))
+	for i := range all {
+		all[i] = i
+	}
+	s.dispatch(j, all)
+	<-j.done
+	return nil
+}
+
+// RangeAll iterates every shard's committed pairs. Only coherent from
+// inside a Freeze callback or on an otherwise quiesced server.
+func (s *Server) RangeAll(fn func(shard int, key, val uint64) bool) {
+	for i, sh := range s.shards {
+		stop := false
+		sh.m.Range(func(k, v uint64) bool {
+			if !fn(i, k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Crash simulates a power failure of the whole server and recovers from it:
+// the pool crashes (randomly evicting dirty lines per the media profile),
+// engine recovery replays the committed history, and every shard reattaches
+// to its persistent map. The caller must guarantee the server is quiesced —
+// no in-flight requests, applies, or freezes. Workers stay parked on their
+// queues throughout and observe the reattached state via the next job.
+func (s *Server) Crash(seed uint64) error {
+	if err := s.pool.Crash(seed); err != nil {
+		return err
+	}
+	if err := s.pool.Recover(); err != nil {
+		return err
+	}
+	for i, sh := range s.shards {
+		th := s.pool.Thread(i)
+		m, err := hashmap.Open(th, i)
+		if err != nil {
+			return fmt.Errorf("server: reopening shard %d: %w", i, err)
+		}
+		sh.th, sh.m = th, m
+	}
+	return nil
+}
 
 func (s *Server) trackConn(c net.Conn, add bool) {
 	s.connMu.Lock()
@@ -394,6 +611,26 @@ func (s *Server) handleConn(c net.Conn) {
 			if !s.writeLine(c, bw, "OK") {
 				return
 			}
+		case VerbPromote:
+			s.hookMu.Lock()
+			hook := s.promoteHook
+			s.hookMu.Unlock()
+			if hook == nil {
+				if !s.writeLine(c, bw, "ERR not a replica") {
+					return
+				}
+				continue
+			}
+			if err := hook(); err != nil {
+				if !s.writeLine(c, bw, "ERR promote: "+err.Error()) {
+					return
+				}
+				continue
+			}
+			s.logf("specpmt-server: promoted to primary")
+			if !s.writeLine(c, bw, "OK") {
+				return
+			}
 		case VerbExec:
 			if !inMulti {
 				s.protoErrs.Add(1)
@@ -403,12 +640,34 @@ func (s *Server) handleConn(c net.Conn) {
 				continue
 			}
 			inMulti = false
+			if s.readOnly.Load() && hasWrite(multiOps) {
+				s.roRejected.Add(1)
+				multiOps = multiOps[:0]
+				if !s.writeLine(c, bw, "ERR read-only replica") {
+					return
+				}
+				continue
+			}
 			ok := s.execMulti(c, bw, j, multiOps, &replyBuf)
 			multiOps = multiOps[:0]
 			if !ok {
 				return
 			}
 		case VerbOp:
+			if s.readOnly.Load() && cmd.Op.Kind != OpGet {
+				s.roRejected.Add(1)
+				if inMulti {
+					inMulti, multiOps = false, multiOps[:0]
+					if !s.writeLine(c, bw, "ERR read-only replica (discarded)") {
+						return
+					}
+					continue
+				}
+				if !s.writeLine(c, bw, "ERR read-only replica") {
+					return
+				}
+				continue
+			}
 			if inMulti {
 				if len(multiOps) >= MaxMultiOps {
 					s.protoErrs.Add(1)
@@ -492,7 +751,7 @@ func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, j *job, ops []Op, reply
 // mutex, which totally orders cross-shard transactions and rules out
 // circular waits between their barriers.
 func (s *Server) dispatch(j *job, shardIDs []int) {
-	if len(shardIDs) == 1 {
+	if len(shardIDs) == 1 && j.frozen == nil {
 		j.multi = nil
 		s.shards[shardIDs[0]].jobs <- j
 		return
@@ -564,6 +823,8 @@ func (s *Server) writeStats(c net.Conn, bw *bufio.Writer) bool {
 		{"batches", s.batches.Load()},
 		{"batched_ops", s.batchedOps.Load()},
 		{"protocol_errors", s.protoErrs.Load()},
+		{"readonly", boolStat(s.readOnly.Load())},
+		{"writes_rejected", s.roRejected.Load()},
 		{"model_ns", uint64(modelNs)},
 		{"fences", agg.Fences},
 		{"flushes", agg.Flushes},
@@ -581,8 +842,40 @@ func (s *Server) writeStats(c net.Conn, bw *bufio.Writer) bool {
 	for _, st := range stats {
 		fmt.Fprintf(bw, "STAT %s %d\n", st.name, st.val)
 	}
+	// Per-shard visibility: committed transactions and keys per worker, the
+	// denominators behind per-shard replication LSNs and skew diagnosis.
+	for i, sh := range s.shards {
+		st, k, _ := sh.published()
+		fmt.Fprintf(bw, "STAT shard%d_tx_committed %d\n", i, st.TxCommitted)
+		fmt.Fprintf(bw, "STAT shard%d_keys %d\n", i, k)
+	}
+	s.hookMu.Lock()
+	hook := s.statsHook
+	s.hookMu.Unlock()
+	if hook != nil {
+		hook(func(name string, val uint64) {
+			fmt.Fprintf(bw, "STAT %s %d\n", name, val)
+		})
+	}
 	bw.WriteString("END\n")
 	return bw.Flush() == nil
+}
+
+func boolStat(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// hasWrite reports whether ops contains anything but GETs.
+func hasWrite(ops []Op) bool {
+	for _, op := range ops {
+		if op.Kind != OpGet {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshot aggregates the per-shard published counter snapshots: summed

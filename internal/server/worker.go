@@ -18,6 +18,11 @@ type shard struct {
 	th   *specpmt.Thread
 	m    *hashmap.Map
 	jobs chan *job
+	// wbuf stages a batch's effective writes for the Replicator (worker
+	// goroutine only; reused across batches); one avoids a slice allocation
+	// when publishing a lone job.
+	wbuf []RepWrite
+	one  [1]*job
 
 	// Published snapshot for STATS — written by the worker after each
 	// batch, read by connection goroutines under mu.
@@ -67,6 +72,15 @@ type job struct {
 	startNs int64
 	multi   *multiJob // nil for single-shard jobs
 	done    chan struct{}
+	// extra, when non-nil, runs inside the job's transaction after its ops
+	// — replication replay stamps applied-LSN cells with it.
+	extra func(specpmt.Tx)
+	// frozen, when non-nil, marks a Freeze barrier: the executor runs it
+	// with every worker parked instead of applying ops.
+	frozen func()
+	// internal marks jobs originated by Apply/Freeze rather than a client
+	// connection; their effects are not re-published to the Replicator.
+	internal bool
 }
 
 func newJob() *job { return &job{done: make(chan struct{}, 1)} }
@@ -76,6 +90,9 @@ func (j *job) reset() {
 	j.results = j.results[:0]
 	j.modelNs = 0
 	j.multi = nil
+	j.extra = nil
+	j.frozen = nil
+	j.internal = false
 }
 
 func (j *job) finish() { j.done <- struct{}{} }
@@ -163,6 +180,9 @@ func (s *Server) collectBatch(sh *shard, batch []*job) ([]*job, *job) {
 func (s *Server) runBatch(sh *shard, batch []*job) {
 	readOnly := true
 	for _, j := range batch {
+		if j.extra != nil {
+			readOnly = false
+		}
 		for _, op := range j.ops {
 			if op.Kind != OpGet {
 				readOnly = false
@@ -197,6 +217,9 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 			ok = false
 			break
 		}
+		if j.extra != nil {
+			j.extra(tx)
+		}
 	}
 	if ok {
 		if err := tx.Commit(); err != nil {
@@ -220,7 +243,61 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 	end := sh.th.Now()
 	s.batches.Add(1)
 	s.batchedOps.Add(uint64(len(batch)))
+	// The whole batch committed as one transaction; ship it as one
+	// replication record, and in synchronous mode hold every client in the
+	// batch until the record is acked — one network round trip amortized
+	// the same way the commit fence was.
+	wait := s.publishBatch(sh, batch)
+	if wait != nil {
+		wait()
+	}
 	s.finishBatch(sh, batch, end)
+}
+
+// publishBatch hands the batch's effective writes to the Replicator as one
+// record, returning its sync-mode wait (nil when async or unreplicated).
+func (s *Server) publishBatch(sh *shard, batch []*job) func() {
+	r := s.replicator()
+	if r == nil {
+		return nil
+	}
+	sh.wbuf = sh.wbuf[:0]
+	for _, j := range batch {
+		if j.internal {
+			continue
+		}
+		sh.wbuf = s.appendWrites(sh.wbuf, j)
+	}
+	if len(sh.wbuf) == 0 {
+		return nil
+	}
+	return r.Publish(sh.wbuf)
+}
+
+// appendWrites appends j's effective writes — the state changes its
+// committed results imply — in op order.
+func (s *Server) appendWrites(dst []RepWrite, j *job) []RepWrite {
+	for i, op := range j.ops {
+		if i >= len(j.results) {
+			break
+		}
+		r := j.results[i]
+		switch op.Kind {
+		case OpSet:
+			if r.Status == StatusOK {
+				dst = append(dst, RepWrite{Shard: s.shardOf(op.Key), Key: op.Key, Val: op.Arg1})
+			}
+		case OpDel:
+			if r.Status == StatusOK {
+				dst = append(dst, RepWrite{Shard: s.shardOf(op.Key), Del: true, Key: op.Key})
+			}
+		case OpCAS:
+			if r.Status == StatusOK {
+				dst = append(dst, RepWrite{Shard: s.shardOf(op.Key), Key: op.Key, Val: op.Arg2})
+			}
+		}
+	}
+	return dst
 }
 
 // finishBatch stamps modeled latencies, publishes counters, and releases
@@ -242,6 +319,7 @@ func (s *Server) runSingle(sh *shard, j *job) {
 	j.startNs = sh.th.Now()
 	j.results = j.results[:0]
 	tx := sh.th.Begin()
+	committed := false
 	if !applyOps(tx, sh.m, j) {
 		tx.Abort()
 		sh.m.DiscardRetired()
@@ -249,15 +327,27 @@ func (s *Server) runSingle(sh *shard, j *job) {
 		for range j.ops {
 			j.results = append(j.results, Result{Status: StatusErr})
 		}
-	} else if err := tx.Commit(); err != nil {
-		s.logf("specpmt-server: shard %d commit: %v", sh.id, err)
-		sh.m.DiscardRetired()
-		j.results = j.results[:0]
-		for range j.ops {
-			j.results = append(j.results, Result{Status: StatusErr})
-		}
 	} else {
-		sh.m.ReleaseRetired()
+		if j.extra != nil {
+			j.extra(tx)
+		}
+		if err := tx.Commit(); err != nil {
+			s.logf("specpmt-server: shard %d commit: %v", sh.id, err)
+			sh.m.DiscardRetired()
+			j.results = j.results[:0]
+			for range j.ops {
+				j.results = append(j.results, Result{Status: StatusErr})
+			}
+		} else {
+			sh.m.ReleaseRetired()
+			committed = true
+		}
+	}
+	if committed {
+		sh.one[0] = j
+		if wait := s.publishBatch(sh, sh.one[:]); wait != nil {
+			wait()
+		}
 	}
 	j.modelNs = sh.th.Now() - j.startNs
 	j.finish()
@@ -277,6 +367,15 @@ func (s *Server) runMulti(sh *shard, j *job) {
 	}
 	m.parked.Wait()
 
+	if j.frozen != nil {
+		// Freeze barrier: every other worker is parked; run the callback
+		// over the quiesced store, then release.
+		j.frozen()
+		close(m.released)
+		j.finish()
+		return
+	}
+
 	j.startNs = sh.th.Now()
 	j.results = j.results[:0]
 	tx := sh.th.Begin()
@@ -288,6 +387,9 @@ func (s *Server) runMulti(sh *shard, j *job) {
 		}
 	}
 	if ok {
+		if j.extra != nil {
+			j.extra(tx)
+		}
 		if err := tx.Commit(); err != nil {
 			s.logf("specpmt-server: multi commit: %v", err)
 			ok = false
@@ -308,9 +410,19 @@ func (s *Server) runMulti(sh *shard, j *job) {
 			j.results = append(j.results, Result{Status: StatusErr})
 		}
 	}
+	var wait func()
+	if ok {
+		sh.one[0] = j
+		wait = s.publishBatch(sh, sh.one[:])
+	}
 	j.modelNs = sh.th.Now() - j.startNs
 	sh.publish()
+	// Release the parked workers before any synchronous-replication wait:
+	// the record's position in the log is already fixed.
 	close(m.released)
+	if wait != nil {
+		wait()
+	}
 	j.finish()
 }
 

@@ -90,6 +90,15 @@ func chromeOf(e Event, trackName func(int) string) (chromeEvent, bool) {
 	case EvHeapLive:
 		ce.Name, ce.Ph = "heap-live:"+trackName(e.Track), "C"
 		ce.Args = map[string]any{"bytes": e.A}
+	case EvReplShip:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "repl-ship", "repl", "i", "t"
+		ce.Args = map[string]any{"records": e.A, "bytes": e.B, "head_lsn": e.C}
+	case EvReplAck:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "repl-ack", "repl", "i", "t"
+		ce.Args = map[string]any{"acked_lsn": e.A, "lag_records": e.B}
+	case EvReplApply:
+		ce.Name, ce.Cat, ce.Ph, ce.Scope = "repl-apply", "repl", "i", "t"
+		ce.Args = map[string]any{"records": e.A, "ops": e.B, "applied_lsn": e.C}
 	default:
 		return ce, false
 	}

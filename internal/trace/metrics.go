@@ -185,6 +185,15 @@ type Metrics struct {
 	WPQDepth Sampler
 	// LogBytesLive samples the live-log gauge over virtual time.
 	LogBytesLive Sampler
+	// ReplShipRecords is the distribution of records per replication batch
+	// shipped by a primary — how well the network hop amortizes.
+	ReplShipRecords Histogram
+	// ReplLagRecords is the distribution of replica lag (records behind the
+	// primary's log head) observed at each acknowledgment.
+	ReplLagRecords Histogram
+	// ReplApplyRecords is the distribution of contiguous records a replica
+	// replays in one transaction — the replica-side group commit.
+	ReplApplyRecords Histogram
 }
 
 func (m *Metrics) snapshot() Metrics {
@@ -204,5 +213,14 @@ func (m *Metrics) Summary() string {
 	b.WriteString(m.LogRecBytes.row("log-record", "B"))
 	fmt.Fprintf(&b, "  %-16s peak=%d last=%d samples=%d\n", "wpq-depth", m.WPQDepth.Peak, m.WPQDepth.Last, m.WPQDepth.N)
 	fmt.Fprintf(&b, "  %-16s peak=%dB last=%dB samples=%d\n", "log-live", m.LogBytesLive.Peak, m.LogBytesLive.Last, m.LogBytesLive.N)
+	if m.ReplShipRecords.N > 0 {
+		b.WriteString(m.ReplShipRecords.row("repl-ship", "records"))
+	}
+	if m.ReplLagRecords.N > 0 {
+		b.WriteString(m.ReplLagRecords.row("repl-lag", "records"))
+	}
+	if m.ReplApplyRecords.N > 0 {
+		b.WriteString(m.ReplApplyRecords.row("repl-apply", "records"))
+	}
 	return b.String()
 }

@@ -70,6 +70,15 @@ const (
 	EvLogLive
 	// EvHeapLive is a counter sample of allocator live bytes. A=bytes.
 	EvHeapLive
+	// EvReplShip marks a replication batch leaving the primary (instant).
+	// A=records, B=bytes on the wire, C=head LSN after.
+	EvReplShip
+	// EvReplAck marks a replica acknowledgment arriving at the primary
+	// (instant). A=acked LSN, B=lag in records (head - acked).
+	EvReplAck
+	// EvReplApply marks a replica applying a run of contiguous records in
+	// one transaction (instant). A=records, B=operations, C=applied LSN.
+	EvReplApply
 )
 
 // Event is one trace record. TS and Dur are virtual nanoseconds, already
@@ -313,6 +322,37 @@ func (t *Tracer) Crash(maxNow int64) {
 	}
 	t.emitLocked(Event{Kind: EvCrash, Track: 0, TS: at})
 	t.base = at
+}
+
+// ReplShip records a replication batch of records (bytes on the wire)
+// leaving the primary at virtual time now, with headLSN the log head after
+// the batch.
+func (t *Tracer) ReplShip(track int, now int64, records, bytes int, headLSN uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m.ReplShipRecords.Observe(int64(records))
+	t.emitLocked(Event{Kind: EvReplShip, Track: track, TS: now + t.base,
+		A: int64(records), B: int64(bytes), C: int64(headLSN)})
+}
+
+// ReplAck records a replica acknowledgment at the primary: the acked LSN
+// and the replica's lag in records at that moment.
+func (t *Tracer) ReplAck(track int, now int64, ackedLSN uint64, lagRecords int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m.ReplLagRecords.Observe(lagRecords)
+	t.emitLocked(Event{Kind: EvReplAck, Track: track, TS: now + t.base,
+		A: int64(ackedLSN), B: lagRecords})
+}
+
+// ReplApply records a replica applying records contiguous records (ops
+// operations total) in one transaction, ending at appliedLSN.
+func (t *Tracer) ReplApply(track int, now int64, records, ops int, appliedLSN uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m.ReplApplyRecords.Observe(int64(records))
+	t.emitLocked(Event{Kind: EvReplApply, Track: track, TS: now + t.base,
+		A: int64(records), B: int64(ops), C: int64(appliedLSN)})
 }
 
 // kindName renders a pmem traffic kind without importing pmem (the device
