@@ -13,6 +13,7 @@
 //	             [-dist uniform|zipf] [-reads pct] [-cas pct] [-multi pct]
 //	             [-multi-ops n] [-preload n] [-seed s]
 //	             [-replica host:port] [-probe-every d] [-verify-replica n]
+//	             [-scrape host:port] [-scrape-every d]
 //
 // With -replica, GETs are served by the replica while writes go to the
 // primary (-addr), and a prober measures replication staleness: it bumps a
@@ -20,15 +21,25 @@
 // replica, reporting how stale the observed value is in wall time. After
 // the run, -verify-replica N waits for the replica to drain its lag and
 // compares N sampled keys against the primary; mismatches count as errors.
+//
+// With -scrape, the generator polls a server's admin /metrics endpoint (see
+// specpmt-server -admin) every -scrape-every and embeds the time series in
+// the JSON report: each point carries the unlabelled gauge/counter values
+// plus per-shard-aggregated histogram means (batch size, commit latency,
+// queue depth) — replication lag and batching behavior over the run's
+// lifetime, not just its endpoint.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -57,6 +68,8 @@ func main() {
 	replica := flag.String("replica", "", "serve GETs from this replica and probe replication staleness")
 	probeEvery := flag.Duration("probe-every", 2*time.Millisecond, "staleness probe interval (with -replica)")
 	verifyReplica := flag.Int("verify-replica", 0, "after the run, wait for the replica to catch up and compare this many sampled keys against the primary")
+	scrape := flag.String("scrape", "", "poll this admin /metrics endpoint during the run and embed the time series in the report")
+	scrapeEvery := flag.Duration("scrape-every", 500*time.Millisecond, "scrape interval (with -scrape)")
 	flag.Parse()
 
 	if *reads+*cas > 100 {
@@ -112,6 +125,15 @@ func main() {
 		go func() {
 			defer wg.Done()
 			pr.run(*addr, *replica)
+		}()
+	}
+	var sc *scraper
+	if *scrape != "" {
+		sc = &scraper{target: *scrape, every: *scrapeEvery, stop: stop}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc.run()
 		}()
 	}
 	start := time.Now()
@@ -170,6 +192,17 @@ func main() {
 			StaleProbes: len(pr.staleNs),
 		}
 		rep.Errors += pr.errors
+	}
+
+	if sc != nil {
+		rep.Scrape = &scrapeReport{
+			Target:   sc.target,
+			EverySec: sc.every.Seconds(),
+			Scrapes:  len(sc.points),
+			Errors:   sc.errors,
+			Points:   sc.points,
+		}
+		rep.Errors += sc.errors
 	}
 
 	// The server's own view of the run.
@@ -539,4 +572,117 @@ type report struct {
 	Verify       *verifyReport       `json:"verify_replica,omitempty"`
 	ServerStats  map[string]uint64   `json:"server_stats,omitempty"`
 	ReplicaStats map[string]uint64   `json:"replica_stats,omitempty"`
+	Scrape       *scrapeReport       `json:"scrape,omitempty"`
+}
+
+// scrapeReport embeds the admin-endpoint time series gathered during the run
+// (-scrape): one point per poll of /metrics, so a report carries how lag,
+// batching, and queue depth evolved rather than just their final values.
+type scrapeReport struct {
+	Target   string        `json:"target"`
+	EverySec float64       `json:"every_sec"`
+	Scrapes  int           `json:"scrapes"`
+	Errors   int           `json:"errors"`
+	Points   []scrapePoint `json:"points"`
+}
+
+// scrapePoint is one /metrics poll: TSec is seconds since the scraper
+// started; Metrics holds every unlabelled counter/gauge series plus derived
+// per-shard-aggregate histogram means (specpmt_batch_jobs_mean,
+// specpmt_commit_ns_mean, specpmt_queue_depth_mean).
+type scrapePoint struct {
+	TSec    float64            `json:"t_sec"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// scraper polls an admin /metrics endpoint on a fixed cadence until stopped.
+type scraper struct {
+	target string
+	every  time.Duration
+	stop   chan struct{}
+	points []scrapePoint
+	errors int
+}
+
+func (s *scraper) run() {
+	client := &http.Client{Timeout: 2 * time.Second}
+	url := "http://" + s.target + "/metrics"
+	start := time.Now()
+	tick := time.NewTicker(s.every)
+	defer tick.Stop()
+	for {
+		if m, err := scrapeOnce(client, url); err != nil {
+			s.errors++
+		} else {
+			s.points = append(s.points, scrapePoint{
+				TSec:    time.Since(start).Seconds(),
+				Metrics: m,
+			})
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// scrapeOnce fetches one Prometheus text exposition and reduces it to a flat
+// point: unlabelled series pass through; labelled histogram _sum/_count
+// series are aggregated across shards into a single mean per family.
+func scrapeOnce(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sums := make(map[string]float64)   // histogram family -> sum of _sum series
+	counts := make(map[string]float64) // histogram family -> sum of _count series
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		name := series
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			name = series[:br]
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			// Bucket series are too bulky for a per-point snapshot.
+		case strings.HasSuffix(name, "_sum"):
+			sums[strings.TrimSuffix(name, "_sum")] += val
+		case strings.HasSuffix(name, "_count"):
+			counts[strings.TrimSuffix(name, "_count")] += val
+		default:
+			// Scalar series. Labelled ones (per-op counters, per-shard
+			// gauges) sum into their family total; unlabelled ones appear
+			// once, so += is a plain assignment.
+			out[name] += val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, n := range counts {
+		if n > 0 {
+			out[fam+"_mean"] = sums[fam] / n
+		}
+	}
+	return out, nil
 }

@@ -7,6 +7,8 @@
 //	               [-profile optane-adr|...] [-shards n] [-pool-size bytes]
 //	               [-max-batch n] [-batch-window d] [-max-conns n]
 //	               [-max-inflight n]
+//	               [-admin host:port] [-log-format text|json] [-log-level l]
+//	               [-slow-op d] [-span-buf n]
 //	               [-replicate-to host:port] [-repl-sync async|ack]
 //	               [-repl-batch-window d] [-repl-log-cap n]
 //	               [-replica-of host:port]
@@ -15,6 +17,13 @@
 // Engine names accept both registry names ("SpecSPMT", "PMDK") and short
 // aliases ("spec", "undo"). SIGINT/SIGTERM drain in-flight requests and
 // exit 0.
+//
+// Observability (see internal/obs): -admin starts a separate HTTP listener
+// exposing Prometheus metrics at /metrics, liveness at /healthz, drain-aware
+// readiness at /readyz, a Chrome/Perfetto trace of recent request spans at
+// /debug/spans, and the Go profiler under /debug/pprof/. Logs go to stderr
+// as structured slog lines (-log-format json for machine ingestion), and
+// requests slower than -slow-op are logged with a phase breakdown.
 //
 // Replication (see internal/repl): -replicate-to makes this server a
 // primary publishing its commit log on the given address; -replica-of
@@ -26,12 +35,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"specpmt/internal/obs"
 	"specpmt/internal/repl"
 	"specpmt/internal/server"
 )
@@ -46,6 +56,11 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "how long a worker waits to fill a batch")
 	maxConns := flag.Int("max-conns", 256, "max concurrent connections")
 	maxInFlight := flag.Int("max-inflight", 1024, "max requests admitted to worker queues")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /debug/spans, /debug/pprof); empty disables")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	slowOp := flag.Duration("slow-op", 0, "log requests slower than this wall-clock duration with a phase breakdown (0 disables)")
+	spanBuf := flag.Int("span-buf", obs.DefaultSpanCap, "live request spans retained for /debug/spans")
 	replicateTo := flag.String("replicate-to", "", "publish the commit log for replicas on this address (primary role)")
 	replSync := flag.String("repl-sync", "async", "replication sync mode: async | ack (wait for replica acks on commit)")
 	replBatchWindow := flag.Duration("repl-batch-window", 0, "how long the primary waits to coalesce records into one shipped batch")
@@ -78,7 +93,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	logger := log.New(os.Stderr, "specpmt-server: ", log.LstdFlags)
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+		os.Exit(1)
+	}
+	logger, err := obs.NewLogger(*logFormat, os.Stderr, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+		os.Exit(1)
+	}
+
+	// One observability plane for every subsystem: the server, the
+	// replication role, and the admin endpoint all share its registry,
+	// span ring, and logger.
+	plane := obs.NewPlane(logger, *slowOp)
+	if *spanBuf > 0 {
+		plane.Spans = obs.NewSpanRecorder(*spanBuf)
+	} else {
+		plane.Spans = nil
+	}
+
 	s, err := server.New(server.Config{
 		Addr:        *addr,
 		Engine:      server.ResolveEngine(*engine),
@@ -89,7 +124,7 @@ func main() {
 		BatchWindow: *batchWindow,
 		MaxConns:    *maxConns,
 		MaxInFlight: *maxInFlight,
-		Logf:        logger.Printf,
+		Obs:         plane,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
@@ -104,21 +139,41 @@ func main() {
 			LogCap:      *replLogCap,
 			BatchWindow: *replBatchWindow,
 			Sync:        syncMode,
-			Logf:        logger.Printf,
+			Log:         logger.With("role", "primary"),
+			Spans:       plane.Spans,
 		})
 		if err := primary.Start(*replicateTo); err != nil {
 			fmt.Fprintf(os.Stderr, "specpmt-server: replication listener: %v\n", err)
 			os.Exit(1)
 		}
-		logger.Printf("primary: publishing commit log on %s (sync=%s)", primary.Addr(), syncMode)
+		logger.Info("primary: publishing commit log",
+			"addr", primary.Addr().String(), "sync", syncMode.String())
 	case *replicaOf != "":
-		replica, err = repl.NewReplica(s, *replicaOf, repl.ReplicaOptions{Logf: logger.Printf})
+		replica, err = repl.NewReplica(s, *replicaOf, repl.ReplicaOptions{
+			Log:   logger.With("role", "replica"),
+			Spans: plane.Spans,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
 			os.Exit(1)
 		}
 		replica.Start()
-		logger.Printf("replica: tailing %s (read-only until PROMOTE)", *replicaOf)
+		logger.Info("replica: tailing primary (read-only until PROMOTE)", "primary", *replicaOf)
+	}
+
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(obs.AdminOptions{
+			Registry: s.Registry(),
+			Spans:    plane.Spans,
+			Log:      logger,
+		})
+		if err := admin.Start(*adminAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: admin listener: %v\n", err)
+			os.Exit(1)
+		}
+		admin.SetReady(true)
+		logger.Info("admin endpoint serving", "addr", admin.Addr().String())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -127,6 +182,13 @@ func main() {
 	go func() { done <- s.ListenAndServe() }()
 
 	shutdown := func() {
+		// Drain ordering: readiness flips first so load balancers stop
+		// routing here, then the replication role detaches, then the data
+		// listener drains. The admin listener closes last — /metrics and
+		// /debug/spans stay scrapeable through the whole drain.
+		if admin != nil {
+			admin.BeginDrain()
+		}
 		if replica != nil {
 			replica.Close()
 		}
@@ -134,20 +196,42 @@ func main() {
 			primary.Close()
 		}
 	}
+	closeAdmin := func() {
+		if admin != nil {
+			admin.Close()
+		}
+	}
 	select {
 	case got := <-sig:
-		logger.Printf("caught %v, draining", got)
+		logger.Info("caught signal, draining", "signal", got.String())
 		shutdown()
 		if err := s.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "specpmt-server: shutdown: %v\n", err)
+			closeAdmin()
 			os.Exit(1)
 		}
 		<-done // Serve returns nil once Close finishes draining
+		closeAdmin()
 	case err := <-done:
 		shutdown()
+		closeAdmin()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
 }

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admin is the observability HTTP listener: /metrics (Prometheus text),
+// /healthz (liveness), /readyz (drain-aware readiness), /debug/spans
+// (Chrome trace JSON of the live span ring), and the net/http/pprof
+// handlers under /debug/pprof/. It runs beside the data listener on its
+// own port and — deliberately — outlives it during a drain: BeginDrain
+// flips /readyz to 503 immediately, while /metrics and /debug/spans keep
+// serving until Close so the final seconds of a drain stay observable.
+type Admin struct {
+	reg     *Registry
+	spans   *SpanRecorder
+	process string
+	log     *slog.Logger
+	srv     *http.Server
+	ready   atomic.Bool
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	done   chan struct{}
+}
+
+// AdminOptions configures NewAdmin. Registry is required; Spans may be nil
+// (then /debug/spans serves an empty trace).
+type AdminOptions struct {
+	Registry *Registry
+	Spans    *SpanRecorder
+	// Process names the exported trace process (default "specpmt-server").
+	Process string
+	// Log, when non-nil, receives listener lifecycle lines.
+	Log *slog.Logger
+}
+
+// NewAdmin builds the admin endpoint. It starts not-ready; call SetReady
+// once the data plane is serving.
+func NewAdmin(opts AdminOptions) *Admin {
+	if opts.Process == "" {
+		opts.Process = "specpmt-server"
+	}
+	a := &Admin{
+		reg:     opts.Registry,
+		spans:   opts.Spans,
+		process: opts.Process,
+		log:     opts.Log,
+		done:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/debug/spans", a.handleSpans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return a
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := a.reg.WritePrometheus(w); err != nil && a.log != nil {
+		a.log.Warn("metrics write failed", "err", err)
+	}
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (a *Admin) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !a.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+func (a *Admin) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if a.spans == nil {
+		w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ns"}` + "\n"))
+		return
+	}
+	if err := a.spans.WriteChrome(w, a.process); err != nil && a.log != nil {
+		a.log.Warn("spans write failed", "err", err)
+	}
+}
+
+// Start listens on addr and serves in the background.
+func (a *Admin) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		ln.Close()
+		return errors.New("obs: admin closed")
+	}
+	a.ln = ln
+	a.mu.Unlock()
+	go a.serve(ln)
+	return nil
+}
+
+func (a *Admin) serve(ln net.Listener) {
+	defer close(a.done)
+	err := a.srv.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) && a.log != nil {
+		a.log.Warn("admin listener exited", "err", err)
+	}
+}
+
+// Addr returns the bound address (nil before Start).
+func (a *Admin) Addr() net.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// SetReady marks the data plane as (not) ready for /readyz.
+func (a *Admin) SetReady(ready bool) { a.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (a *Admin) Ready() bool { return a.ready.Load() }
+
+// BeginDrain flips /readyz to 503. The listener itself keeps serving —
+// metrics and span dumps must remain reachable while the data listener
+// winds down; only Close stops them.
+func (a *Admin) BeginDrain() {
+	a.ready.Store(false)
+	if a.log != nil {
+		a.log.Info("admin: draining (readyz now 503)")
+	}
+}
+
+// Close shuts the listener down. Call it only after the data plane is
+// fully drained.
+func (a *Admin) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	started := a.ln != nil
+	a.mu.Unlock()
+	a.ready.Store(false)
+	err := a.srv.Close()
+	if started {
+		<-a.done
+	}
+	return err
+}

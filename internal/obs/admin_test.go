@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startAdmin(t *testing.T) (*Admin, string) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Collect(func(emit func(Sample)) {
+		emit(Sample{Family: "specpmt_up", Stat: "up", Value: 1})
+	})
+	rec := NewSpanRecorder(64)
+	track := rec.Track("shard-0")
+	rec.Record(Span{Kind: SpanBatch, Track: track, Start: 10, End: 500, A: 3, B: 9})
+	a := NewAdmin(AdminOptions{Registry: reg, Spans: rec})
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a, "http://" + a.Addr().String()
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	a, base := startAdmin(t)
+	a.SetReady(true)
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get(t, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz: %d %q", code, body)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "specpmt_up 1") {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	code, body := get(t, base+"/debug/spans")
+	if code != 200 {
+		t.Fatalf("spans: %d", code)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("spans output not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("spans trace empty")
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+}
+
+// TestDrainOrdering is the graceful-drain contract: BeginDrain must flip
+// /readyz to 503 immediately while /metrics and /debug/spans keep serving;
+// only Close stops them.
+func TestDrainOrdering(t *testing.T) {
+	a, base := startAdmin(t)
+	a.SetReady(true)
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+
+	a.BeginDrain()
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("readyz during drain: %d %q", code, body)
+	}
+	// The data plane is still winding down: metrics and spans must answer.
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "specpmt_up 1") {
+		t.Fatalf("metrics during drain: %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/debug/spans"); code != 200 {
+		t.Fatalf("spans during drain: %d", code)
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := &http.Client{Timeout: time.Second}
+	if _, err := c.Get(base + "/metrics"); err == nil {
+		t.Fatal("metrics still serving after Close")
+	}
+}
+
+func TestAdminCloseIdempotent(t *testing.T) {
+	a, _ := startAdmin(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdminSpansDisabled(t *testing.T) {
+	reg := NewRegistry()
+	a := NewAdmin(AdminOptions{Registry: reg})
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	code, body := get(t, fmt.Sprintf("http://%s/debug/spans", a.Addr()))
+	if code != 200 {
+		t.Fatalf("spans: %d", code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("empty spans not JSON: %v", err)
+	}
+}

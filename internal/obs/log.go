@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NewLogger builds the process logger: format is "text" or "json" (the
+// -log-format flag). Text keys every record with time/level/msg/attrs the
+// way slog's TextHandler renders; json is one JSON object per line.
+func NewLogger(format string, w io.Writer, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// Nop returns a logger that discards everything — the default when no log
+// sink is configured.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// LogfLogger adapts a printf-style callback (the pre-slog Logf hooks, and
+// testing.T.Logf in tests) into a structured logger: each record renders as
+// "msg key=value ..." through one callback invocation.
+func LogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	return slog.New(&logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	mu    sync.Mutex
+	attrs []slog.Attr
+	group string
+}
+
+func (h *logfHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= slog.LevelInfo
+}
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if r.Level != slog.LevelInfo {
+		b.WriteString(r.Level.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString(r.Message)
+	emit := func(a slog.Attr) {
+		b.WriteByte(' ')
+		if h.group != "" {
+			b.WriteString(h.group)
+			b.WriteByte('.')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		fmt.Fprintf(&b, "%v", resolveValue(a.Value))
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		emit(a)
+		return true
+	})
+	h.mu.Lock()
+	h.logf("%s", b.String())
+	h.mu.Unlock()
+	return nil
+}
+
+func resolveValue(v slog.Value) any {
+	v = v.Resolve()
+	if v.Kind() == slog.KindDuration {
+		return v.Duration().Round(time.Microsecond)
+	}
+	return v.Any()
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &logfHandler{logf: h.logf, group: h.group}
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return nh
+}
+
+func (h *logfHandler) WithGroup(name string) slog.Handler {
+	nh := &logfHandler{logf: h.logf, attrs: h.attrs}
+	if h.group != "" {
+		nh.group = h.group + "." + name
+	} else {
+		nh.group = name
+	}
+	return nh
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Plane bundles the observability surfaces one process shares: the metrics
+// registry every subsystem collects into, the live span ring, the slow-op
+// threshold, and the structured logger. A server wired with a Plane
+// records wall-clock request spans and emits slow-op breakdowns; without
+// one it still keeps a private registry (STATS needs it) but skips the
+// wall-clock instrumentation entirely.
+type Plane struct {
+	Reg   *Registry
+	Spans *SpanRecorder
+	// SlowOp, when > 0, is the wall-time threshold past which a request's
+	// full phase breakdown is logged (the slow-op log).
+	SlowOp time.Duration
+	Log    *slog.Logger
+}
+
+// NewPlane builds a plane with a fresh registry and a default-capacity
+// span ring. log may be nil (discard).
+func NewPlane(log *slog.Logger, slowOp time.Duration) *Plane {
+	if log == nil {
+		log = Nop()
+	}
+	return &Plane{
+		Reg:    NewRegistry(),
+		Spans:  NewSpanRecorder(0),
+		SlowOp: slowOp,
+		Log:    log,
+	}
+}

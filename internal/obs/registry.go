@@ -1,0 +1,377 @@
+// Package obs is the production observability plane: a metrics registry
+// rendered in Prometheus text exposition format, a ring-buffered wall-clock
+// span recorder exported as Chrome trace JSON, an admin HTTP listener
+// (/metrics, /healthz, /readyz, /debug/spans, /debug/pprof), and log/slog
+// constructors — the live counterpart of internal/trace's offline
+// virtual-clock tooling. The server, replication layer, and CLIs all report
+// through one Registry so the text STATS block, the /metrics endpoint, and
+// the load generator's scrape mode agree on a single source of truth.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"specpmt/internal/trace"
+)
+
+// Kind is a metric family's Prometheus type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Family declares one metric family: a Prometheus name, its HELP line, and
+// its type. Samples attach to families by name.
+type Family struct {
+	Name string
+	Help string
+	Kind Kind
+}
+
+// Sample is one collected value. Scalar families (counter, gauge) use
+// Value; histogram families carry a Hist snapshot instead. Stat, when
+// non-empty, is the field name the sample additionally publishes under in
+// the server's text STATS block — the parity contract between STATS and
+// /metrics.
+type Sample struct {
+	Family string
+	// Label is a rendered Prometheus label set without braces, e.g.
+	// `shard="3"` or `op="get"`; empty for unlabelled samples.
+	Label string
+	Stat  string
+	Value uint64
+	Hist  *HistSnapshot
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Counts [trace.HistBuckets]uint64
+	Count  uint64
+	Sum    uint64
+}
+
+// Registry holds metric families and the collectors that produce their
+// samples. Gather runs every collector in one pass under the registry lock,
+// so a single scrape (or STATS block) cannot interleave with another
+// gather's view — one publish epoch per snapshot.
+type Registry struct {
+	mu         sync.Mutex
+	families   []Family
+	byName     map[string]int
+	collectors []func(emit func(Sample))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// Family declares a metric family. Idempotent: re-declaring an existing
+// name keeps the first declaration.
+func (r *Registry) Family(name, help string, kind Kind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.declareLocked(name, help, kind)
+}
+
+func (r *Registry) declareLocked(name, help string, kind Kind) {
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	r.byName[name] = len(r.families)
+	r.families = append(r.families, Family{Name: name, Help: help, Kind: kind})
+}
+
+// Collect registers a collector: a function invoked on every Gather that
+// emits the samples it owns. Collectors run in registration order under the
+// registry lock; emitting a sample for an undeclared family lazily declares
+// it as a gauge (hook-adapted metrics use this path).
+func (r *Registry) Collect(fn func(emit func(Sample))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Gather runs every collector once and returns the samples in collector
+// order — the single-epoch snapshot both WritePrometheus and the server's
+// STATS block render from.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	emit := func(s Sample) {
+		if _, ok := r.byName[s.Family]; !ok {
+			kind := KindGauge
+			if s.Hist != nil {
+				kind = KindHistogram
+			}
+			r.declareLocked(s.Family, helpFor(s.Stat), kind)
+		}
+		out = append(out, s)
+	}
+	for _, fn := range r.collectors {
+		fn(emit)
+	}
+	return out
+}
+
+// WritePrometheus renders one gather in Prometheus text exposition format:
+// families in declaration order, each with its HELP and TYPE lines,
+// histograms as cumulative le buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+	r.mu.Lock()
+	families := append([]Family(nil), r.families...)
+	r.mu.Unlock()
+
+	byFamily := make(map[string][]Sample, len(families))
+	for _, s := range samples {
+		byFamily[s.Family] = append(byFamily[s.Family], s)
+	}
+	var buf []byte
+	// Families render in declaration order; samples within a family keep
+	// collector order.
+	for _, f := range families {
+		ss := byFamily[f.Name]
+		if len(ss) == 0 {
+			continue
+		}
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.Name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.Help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.Name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.Kind.String()...)
+		buf = append(buf, '\n')
+		for _, s := range ss {
+			if s.Hist != nil {
+				buf = appendHistogram(buf, f.Name, s.Label, s.Hist)
+				continue
+			}
+			buf = appendSeries(buf, f.Name, "", s.Label, "")
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, s.Value, 10)
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSeries renders name[suffix]{label,extra} without a value.
+func appendSeries(buf []byte, name, suffix, label, extra string) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if label != "" || extra != "" {
+		buf = append(buf, '{')
+		buf = append(buf, label...)
+		if label != "" && extra != "" {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, extra...)
+		buf = append(buf, '}')
+	}
+	return buf
+}
+
+// appendHistogram renders one histogram sample: cumulative buckets up to
+// the highest populated power-of-two bound, then +Inf, _sum, and _count.
+// Bucket i of the underlying trace histogram covers [2^(i-1), 2^i), so the
+// cumulative count through bucket i is reported with le = 2^i - 1 (the
+// largest integer value the bucket admits).
+func appendHistogram(buf []byte, name, label string, h *HistSnapshot) []byte {
+	top := 0
+	for i, c := range h.Counts {
+		if c != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Counts[i]
+		_, hi := trace.BucketBounds(i)
+		buf = appendSeries(buf, name, "_bucket", label, `le="`+strconv.FormatInt(hi-1, 10)+`"`)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = appendSeries(buf, name, "_bucket", label, `le="+Inf"`)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Count, 10)
+	buf = append(buf, '\n')
+	buf = appendSeries(buf, name, "_sum", label, "")
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Sum, 10)
+	buf = append(buf, '\n')
+	buf = appendSeries(buf, name, "_count", label, "")
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Count, 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is the live-server adaptation of trace.Histogram: the same
+// power-of-two buckets, but every field updated with atomic operations so
+// hot-path writers and scraping readers never block each other. Min/max
+// tracking is dropped — quantiles come from the buckets.
+type Histogram struct {
+	counts [trace.HistBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one value (clamped at 0, matching the trace histogram's
+// bucket 0 semantics).
+func (h *Histogram) Observe(v int64) {
+	h.counts[histBucketOf(v)].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+}
+
+// histBucketOf mirrors trace's bucketOf: bucket 0 holds v <= 0, bucket i
+// holds [2^(i-1), 2^i), the last bucket absorbs the rest.
+func histBucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for v > 1 && b < trace.HistBuckets-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Snapshot copies the histogram. Concurrent Observes may land between
+// field reads; each field is individually coherent.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile of a snapshot from its buckets (the
+// geometric bucket midpoint, like trace.Histogram.Quantile without the
+// exact min/max clamp).
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			lo, hi := trace.BucketBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0
+}
+
+// helpFor supplies HELP text for lazily declared (hook-adapted) families;
+// the replication layer's stats publish through this path.
+func helpFor(stat string) string {
+	if h, ok := hookHelp[stat]; ok {
+		return h
+	}
+	return "subsystem stat " + stat + " (hook-adapted)"
+}
+
+var hookHelp = map[string]string{
+	"repl_role_primary":    "1 when this server ships a replication log as primary",
+	"repl_role_replica":    "1 when this server tails a primary as replica",
+	"repl_head_lsn":        "newest LSN assigned to (primary) or observed from (replica) the commit log",
+	"repl_tail_lsn":        "oldest LSN retained in the primary's bounded replication log",
+	"repl_applied_lsn":     "last LSN the replica durably replayed",
+	"repl_lag":             "records between the known log head and the replica's applied LSN",
+	"repl_replicas":        "connected replica feeds",
+	"repl_streaming":       "replica feeds past handshake and streaming records",
+	"repl_min_acked_lsn":   "lowest LSN acknowledged across streaming replicas",
+	"repl_snapshots":       "snapshot bootstraps served (primary) or applied (replica)",
+	"repl_resnapshots":     "re-bootstraps of replicas that had a prior stream position",
+	"repl_evictions":       "replica feeds dropped because their position left the bounded log",
+	"repl_sync_timeouts":   "SyncAck commits released by timeout instead of replica ack",
+	"repl_reconnects":      "replica reconnect attempts",
+	"repl_runs_applied":    "replay transactions the replica committed",
+	"repl_records_applied": "replication records the replica replayed",
+	"repl_ops_applied":     "individual write operations the replica replayed",
+}
+
+// FormatStat renders one STATS line ("STAT <name> <value>\n") onto dst —
+// shared by the server's STATS block so its output and /metrics derive
+// from identical samples.
+func FormatStat(dst []byte, name string, val uint64) []byte {
+	dst = append(dst, "STAT "...)
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, val, 10)
+	return append(dst, '\n')
+}
+
+// ShardLabel returns the rendered label set for shard i.
+func ShardLabel(i int) string { return `shard="` + strconv.Itoa(i) + `"` }
+
+// ShardStat returns the STATS field name for a per-shard value, matching
+// the server's historical shard<N>_<name> convention.
+func ShardStat(i int, name string) string {
+	return fmt.Sprintf("shard%d_%s", i, name)
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte: family
+// ordering, HELP/TYPE lines, label rendering, and histogram bucket/sum/
+// count series. Scrapers and the parity test both depend on this shape.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Family("specpmt_ops_total", "data operations by type", KindCounter)
+	r.Family("specpmt_conns_active", "currently open client connections", KindGauge)
+	r.Family("specpmt_commit_ns", "wall-clock commit latency per shard", KindHistogram)
+
+	var gets, sets Counter
+	gets.Add(7)
+	sets.Add(3)
+	var conns Gauge
+	conns.Set(2)
+	var h Histogram
+	h.Observe(1) // bucket 1: [1,2)
+	h.Observe(3) // bucket 2: [2,4)
+	h.Observe(3)
+	h.Observe(900) // bucket 10: [512,1024)
+
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Family: "specpmt_ops_total", Label: `op="get"`, Stat: "ops_get", Value: gets.Load()})
+		emit(Sample{Family: "specpmt_ops_total", Label: `op="set"`, Stat: "ops_set", Value: sets.Load()})
+		emit(Sample{Family: "specpmt_conns_active", Stat: "conns_active", Value: uint64(conns.Load())})
+		emit(Sample{Family: "specpmt_commit_ns", Label: ShardLabel(0), Hist: h.Snapshot()})
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP specpmt_ops_total data operations by type
+# TYPE specpmt_ops_total counter
+specpmt_ops_total{op="get"} 7
+specpmt_ops_total{op="set"} 3
+# HELP specpmt_conns_active currently open client connections
+# TYPE specpmt_conns_active gauge
+specpmt_conns_active 2
+# HELP specpmt_commit_ns wall-clock commit latency per shard
+# TYPE specpmt_commit_ns histogram
+specpmt_commit_ns_bucket{shard="0",le="0"} 0
+specpmt_commit_ns_bucket{shard="0",le="1"} 1
+specpmt_commit_ns_bucket{shard="0",le="3"} 3
+specpmt_commit_ns_bucket{shard="0",le="7"} 3
+specpmt_commit_ns_bucket{shard="0",le="15"} 3
+specpmt_commit_ns_bucket{shard="0",le="31"} 3
+specpmt_commit_ns_bucket{shard="0",le="63"} 3
+specpmt_commit_ns_bucket{shard="0",le="127"} 3
+specpmt_commit_ns_bucket{shard="0",le="255"} 3
+specpmt_commit_ns_bucket{shard="0",le="511"} 3
+specpmt_commit_ns_bucket{shard="0",le="1023"} 4
+specpmt_commit_ns_bucket{shard="0",le="+Inf"} 4
+specpmt_commit_ns_sum{shard="0"} 907
+specpmt_commit_ns_count{shard="0"} 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLazyHookFamilies covers the StatsHook adapter path: samples emitted
+// for undeclared families declare them lazily as gauges with help text
+// from the hook table.
+func TestLazyHookFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Family: "specpmt_repl_lag", Stat: "repl_lag", Value: 9})
+		emit(Sample{Family: "specpmt_custom_thing", Stat: "custom_thing", Value: 1})
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP specpmt_repl_lag records between the known log head and the replica's applied LSN",
+		"# TYPE specpmt_repl_lag gauge",
+		"specpmt_repl_lag 9",
+		"# HELP specpmt_custom_thing subsystem stat custom_thing (hook-adapted)",
+		"specpmt_custom_thing 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGatherSingleEpoch asserts collectors run once per gather in
+// registration order — the property the STATS consistency fix rests on.
+func TestGatherSingleEpoch(t *testing.T) {
+	r := NewRegistry()
+	var calls []int
+	r.Collect(func(emit func(Sample)) {
+		calls = append(calls, 1)
+		emit(Sample{Family: "a", Stat: "a", Value: 1})
+	})
+	r.Collect(func(emit func(Sample)) {
+		calls = append(calls, 2)
+		emit(Sample{Family: "b", Stat: "b", Value: 2})
+	})
+	got := r.Gather()
+	if len(got) != 2 || got[0].Stat != "a" || got[1].Stat != "b" {
+		t.Fatalf("gather order wrong: %+v", got)
+	}
+	if len(calls) != 2 || calls[0] != 1 || calls[1] != 2 {
+		t.Fatalf("collector call order wrong: %v", calls)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // bucket [512,2048) midpoint region
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 100_000 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	q := s.Quantile(0.5)
+	if q < 512 || q > 1024 {
+		t.Fatalf("p50 = %d, want within [512,1024]", q)
+	}
+}

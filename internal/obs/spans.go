@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"specpmt/internal/trace"
+)
+
+// SpanKind enumerates the live request phases the recorder understands.
+type SpanKind uint8
+
+const (
+	// SpanRequest covers one client request end to end on the connection
+	// goroutine: parse complete -> reply ready. A = verb ordinal, B = ops.
+	SpanRequest SpanKind = iota
+	// SpanQueue covers dispatch -> worker pickup (queueing + batch wait).
+	SpanQueue
+	// SpanExec covers the worker executing the request's operations.
+	SpanExec
+	// SpanBatch covers one whole group commit on a shard worker. A = jobs,
+	// B = ops.
+	SpanBatch
+	// SpanCommit covers tx.Commit — log persist, fence, WPQ drain.
+	SpanCommit
+	// SpanReplWait covers a synchronous-replication ack stall after commit.
+	SpanReplWait
+	// SpanApply covers one replica replay transaction. A = records, B = ops.
+	SpanApply
+	// SpanSnapshot covers a replication snapshot (send or bootstrap).
+	// A = keys.
+	SpanSnapshot
+)
+
+var spanNames = [...]struct{ name, cat string }{
+	SpanRequest:  {"request", "server"},
+	SpanQueue:    {"queue", "server"},
+	SpanExec:     {"exec", "server"},
+	SpanBatch:    {"batch", "server"},
+	SpanCommit:   {"commit", "pmem"},
+	SpanReplWait: {"repl-wait", "repl"},
+	SpanApply:    {"repl-apply", "repl"},
+	SpanSnapshot: {"repl-snapshot", "repl"},
+}
+
+// Span is one recorded wall-clock interval, compact enough to copy into
+// the ring on the hot path without allocation.
+type Span struct {
+	Kind       SpanKind
+	Track      int32
+	Start, End int64 // ns since the recorder's epoch
+	A, B       uint64
+}
+
+// DefaultSpanCap is the default ring capacity — enough for a few seconds
+// of batched traffic, small enough to export in one HTTP response.
+const DefaultSpanCap = 1 << 14
+
+// SpanRecorder is a bounded ring of wall-clock spans. Writers overwrite
+// the oldest entries once the ring wraps, so an export always shows the
+// most recent window of activity. Safe for concurrent use; a nil recorder
+// is a valid no-op (Record does nothing, Now still reads the clock).
+type SpanRecorder struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	ring   []Span
+	next   uint64 // total spans ever recorded; next%cap is the write slot
+	tracks []string
+	byName map[string]int32
+}
+
+// NewSpanRecorder returns a recorder retaining up to cap spans
+// (DefaultSpanCap if cap <= 0).
+func NewSpanRecorder(cap int) *SpanRecorder {
+	if cap <= 0 {
+		cap = DefaultSpanCap
+	}
+	return &SpanRecorder{
+		epoch:  time.Now(),
+		ring:   make([]Span, 0, cap),
+		byName: map[string]int32{},
+	}
+}
+
+// Now returns wall nanoseconds since the recorder's epoch — the timestamp
+// base every recorded span must use.
+func (r *SpanRecorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch).Nanoseconds()
+}
+
+// Track interns a track name (a chrome "thread": shard-0, conns-3,
+// repl-apply, ...) and returns its id.
+func (r *SpanRecorder) Track(name string) int32 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byName[name]; ok {
+		return id
+	}
+	id := int32(len(r.tracks))
+	r.tracks = append(r.tracks, name)
+	r.byName[name] = id
+	return id
+}
+
+// Record appends spans to the ring under one lock acquisition — callers
+// batch a request's phases into a single call.
+func (r *SpanRecorder) Record(spans ...Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, s := range spans {
+		if len(r.ring) < cap(r.ring) {
+			r.ring = append(r.ring, s)
+		} else {
+			r.ring[r.next%uint64(cap(r.ring))] = s
+		}
+		r.next++
+	}
+	r.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including overwritten).
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot copies the retained spans (unordered) and the track table.
+func (r *SpanRecorder) Snapshot() ([]Span, []string) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.ring...), append([]string(nil), r.tracks...)
+}
+
+// WriteChrome exports the retained spans as Chrome trace-event JSON via
+// internal/trace's live exporter — the same shape the simulator emits, so
+// one Perfetto setup reads both.
+func (r *SpanRecorder) WriteChrome(w io.Writer, process string) error {
+	spans, tracks := r.Snapshot()
+	live := make([]trace.LiveSpan, 0, len(spans))
+	for _, s := range spans {
+		kind := int(s.Kind)
+		if kind >= len(spanNames) {
+			continue
+		}
+		ls := trace.LiveSpan{
+			Track:   int(s.Track),
+			Name:    spanNames[kind].name,
+			Cat:     spanNames[kind].cat,
+			StartNs: s.Start,
+			DurNs:   s.End - s.Start,
+		}
+		switch s.Kind {
+		case SpanRequest:
+			ls.Args = map[string]any{"verb": s.A, "ops": s.B}
+		case SpanBatch:
+			ls.Args = map[string]any{"jobs": s.A, "ops": s.B}
+		case SpanApply:
+			ls.Args = map[string]any{"records": s.A, "ops": s.B}
+		case SpanSnapshot:
+			ls.Args = map[string]any{"keys": s.A}
+		}
+		live = append(live, ls)
+	}
+	return trace.WriteChromeLive(w, process, tracks, live)
+}

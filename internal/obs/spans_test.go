@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanRecorderRing(t *testing.T) {
+	r := NewSpanRecorder(4)
+	tr := r.Track("t")
+	if again := r.Track("t"); again != tr {
+		t.Fatalf("track interning broken: %d vs %d", tr, again)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(Span{Kind: SpanRequest, Track: tr, Start: int64(i), End: int64(i) + 1})
+	}
+	spans, tracks := r.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	if len(tracks) != 1 || tracks[0] != "t" {
+		t.Fatalf("tracks = %v", tracks)
+	}
+	// The ring keeps the newest 4 (starts 6..9).
+	for _, s := range spans {
+		if s.Start < 6 {
+			t.Fatalf("old span %d survived the wrap", s.Start)
+		}
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var r *SpanRecorder
+	r.Record(Span{})
+	if r.Now() != 0 || r.Track("x") != 0 || r.Total() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	if s, tr := r.Snapshot(); s != nil || tr != nil {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+}
+
+func TestSpanChromeExport(t *testing.T) {
+	r := NewSpanRecorder(64)
+	shard := r.Track("shard-0")
+	conn := r.Track("conns-1")
+	r.Record(
+		Span{Kind: SpanRequest, Track: conn, Start: 100, End: 900, A: 1, B: 1},
+		Span{Kind: SpanQueue, Track: conn, Start: 120, End: 300},
+		Span{Kind: SpanBatch, Track: shard, Start: 300, End: 800, A: 4, B: 4},
+		Span{Kind: SpanCommit, Track: shard, Start: 600, End: 800},
+	)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf, "specpmt-test"); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid chrome JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, e := range out.TraceEvents {
+		names[e.Name]++
+	}
+	for _, want := range []string{"request", "queue", "batch", "commit", "thread_name", "process_name"} {
+		if names[want] == 0 {
+			t.Fatalf("missing %q events in %v", want, names)
+		}
+	}
+	if !strings.Contains(buf.String(), `"jobs"`) {
+		t.Fatal("batch span lost its args")
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := r.Track("t")
+			for i := 0; i < 500; i++ {
+				r.Record(Span{Kind: SpanExec, Track: tr, Start: int64(i), End: int64(i + 1)})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteChrome(&buf, "x"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", r.Total(), 8*500)
+	}
+}
+
+func TestLogfLogger(t *testing.T) {
+	var lines []string
+	log := LogfLogger(func(format string, args ...any) {
+		lines = append(lines, strings.TrimSpace(fmt.Sprintf(format, args...)))
+	})
+	log.Info("serving", "addr", "1.2.3.4:7077", "shards", 4)
+	log.Warn("slow op", "verb", "SET")
+	log = log.With("conn", 7)
+	log.Info("closed")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "serving addr=1.2.3.4:7077 shards=4" {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "WARN slow op verb=SET" {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if lines[2] != "closed conn=7" {
+		t.Fatalf("line 2 = %q", lines[2])
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger("json", &buf, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", 1)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("json log line invalid: %v (%q)", err, buf.String())
+	}
+	if obj["msg"] != "hello" {
+		t.Fatalf("msg = %v", obj["msg"])
+	}
+	if _, err := NewLogger("yaml", &buf, slog.LevelInfo); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

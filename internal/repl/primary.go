@@ -3,6 +3,7 @@ package repl
 import (
 	"bufio"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"specpmt"
+	"specpmt/internal/obs"
 	"specpmt/internal/server"
 )
 
@@ -65,7 +67,14 @@ type PrimaryOptions struct {
 	// track. Replication runs on real network time, so these instants are
 	// stamped with wall-clock nanoseconds since the primary started.
 	Tracer *specpmt.Tracer
-	// Logf, when non-nil, receives diagnostics.
+	// Log, when non-nil, receives structured diagnostics; falls back to a
+	// Logf adapter, then to discard.
+	Log *slog.Logger
+	// Spans, when non-nil, receives snapshot-transfer spans on a
+	// "repl-primary" track of the live span ring.
+	Spans *obs.SpanRecorder
+	// Logf, when non-nil, receives diagnostics printf-style (the pre-slog
+	// hook); ignored when Log is set.
 	Logf func(format string, args ...any)
 }
 
@@ -73,13 +82,16 @@ type PrimaryOptions struct {
 // Replicator (Publish assigns LSNs) and a TCP listener replicas connect to
 // for snapshot bootstrap and record tailing.
 type Primary struct {
-	srv   *server.Server
-	log   *Log
-	id    uint64
-	opts  PrimaryOptions
-	track int
-	start time.Time
-	quit  chan struct{}
+	srv    *server.Server
+	log    *Log
+	id     uint64
+	opts   PrimaryOptions
+	track  int
+	slog   *slog.Logger
+	rec    *obs.SpanRecorder
+	strack int32
+	start  time.Time
+	quit   chan struct{}
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -129,6 +141,18 @@ func NewPrimary(srv *server.Server, opts PrimaryOptions) *Primary {
 	}
 	if opts.Tracer != nil {
 		p.track = opts.Tracer.RegisterTrack("repl-primary")
+	}
+	switch {
+	case opts.Log != nil:
+		p.slog = opts.Log
+	case opts.Logf != nil:
+		p.slog = obs.LogfLogger(opts.Logf)
+	default:
+		p.slog = obs.Nop()
+	}
+	p.rec = opts.Spans
+	if p.rec != nil {
+		p.strack = p.rec.Track("repl-primary")
 	}
 	srv.SetReplicator(p)
 	srv.SetStatsHook(p.emitStats)
@@ -278,12 +302,6 @@ func (p *Primary) Close() error {
 	return nil
 }
 
-func (p *Primary) logf(format string, args ...any) {
-	if p.opts.Logf != nil {
-		p.opts.Logf(format, args...)
-	}
-}
-
 func (p *Primary) nowNs() int64 { return time.Since(p.start).Nanoseconds() }
 
 const handshakeTimeout = 10 * time.Second
@@ -358,6 +376,10 @@ func (p *Primary) sendSnapshot(c net.Conn, bw *bufio.Writer) (next uint64, ok bo
 		shard    int
 		key, val uint64
 	}
+	var span0 int64
+	if p.rec != nil {
+		span0 = p.rec.Now()
+	}
 	var pairs []kv
 	var snapLSN uint64
 	err := p.srv.Freeze(func() {
@@ -371,7 +393,8 @@ func (p *Primary) sendSnapshot(c net.Conn, bw *bufio.Writer) (next uint64, ok bo
 		writeLine(c, bw, "ERR primary closing")
 		return 0, false
 	}
-	p.logf("repl: snapshot to %s: %d keys at lsn %d", c.RemoteAddr(), len(pairs), snapLSN)
+	p.slog.Info("snapshot bootstrap",
+		"peer", c.RemoteAddr().String(), "keys", len(pairs), "lsn", snapLSN)
 	c.SetWriteDeadline(time.Now().Add(writeTimeout + time.Duration(len(pairs))*time.Microsecond))
 	fmt.Fprintf(bw, "SNAP %d %d %d\n", p.id, snapLSN, len(pairs))
 	var buf []byte
@@ -384,6 +407,10 @@ func (p *Primary) sendSnapshot(c net.Conn, bw *bufio.Writer) (next uint64, ok bo
 	bw.WriteString("SNAPEND\n")
 	if bw.Flush() != nil {
 		return 0, false
+	}
+	if p.rec != nil {
+		p.rec.Record(obs.Span{Kind: obs.SpanSnapshot, Track: p.strack,
+			Start: span0, End: p.rec.Now(), A: uint64(len(pairs)), B: snapLSN})
 	}
 	return snapLSN + 1, true
 }
@@ -401,7 +428,8 @@ func (p *Primary) ackLoop(f *feed, br *bufio.Reader) {
 		}
 		fs := fields(line)
 		if len(fs) != 2 || string(fs[0]) != "ACK" {
-			p.logf("repl: %s: unexpected line %q", f.c.RemoteAddr(), clip(line))
+			p.slog.Warn("unexpected replica line",
+				"peer", f.c.RemoteAddr().String(), "line", string(clip(line)))
 			return
 		}
 		lsn, err := parseUint(fs[1])
@@ -433,8 +461,8 @@ func (p *Primary) stream(f *feed, bw *bufio.Writer, next uint64) {
 		recs, ok = p.log.ReadFrom(next, p.opts.BatchRecords, recs)
 		if !ok {
 			p.evictions.Add(1)
-			p.logf("repl: %s: lsn %d evicted from log (tail %d), dropping for re-bootstrap",
-				f.c.RemoteAddr(), next, p.log.Tail())
+			p.slog.Warn("replica position evicted from log, dropping for re-bootstrap",
+				"peer", f.c.RemoteAddr().String(), "lsn", next, "tail", p.log.Tail())
 			return
 		}
 		if len(recs) == 0 {

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"specpmt"
+	"specpmt/internal/obs"
 	"specpmt/internal/server"
 )
 
@@ -27,7 +29,14 @@ type ReplicaOptions struct {
 	// Tracer, when non-nil, receives apply events on a "repl-replica"
 	// track, stamped with wall-clock nanoseconds since the replica started.
 	Tracer *specpmt.Tracer
-	// Logf, when non-nil, receives diagnostics.
+	// Log, when non-nil, receives structured diagnostics; falls back to a
+	// Logf adapter, then to discard.
+	Log *slog.Logger
+	// Spans, when non-nil, receives replay-run and bootstrap spans on a
+	// "repl-replica" track of the live span ring.
+	Spans *obs.SpanRecorder
+	// Logf, when non-nil, receives diagnostics printf-style (the pre-slog
+	// hook); ignored when Log is set.
 	Logf func(format string, args ...any)
 }
 
@@ -38,13 +47,16 @@ type ReplicaOptions struct {
 // connection failure. Promote (or the server's PROMOTE command) detaches it
 // and re-enables writes.
 type Replica struct {
-	srv   *server.Server
-	app   *Applier
-	addr  string
-	opts  ReplicaOptions
-	track int
-	start time.Time
-	quit  chan struct{}
+	srv    *server.Server
+	app    *Applier
+	addr   string
+	opts   ReplicaOptions
+	track  int
+	slog   *slog.Logger
+	rec    *obs.SpanRecorder
+	strack int32
+	start  time.Time
+	quit   chan struct{}
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -91,6 +103,18 @@ func NewReplica(srv *server.Server, addr string, opts ReplicaOptions) (*Replica,
 	r.applied.Store(app.AppliedLSN())
 	if opts.Tracer != nil {
 		r.track = opts.Tracer.RegisterTrack("repl-replica")
+	}
+	switch {
+	case opts.Log != nil:
+		r.slog = opts.Log
+	case opts.Logf != nil:
+		r.slog = obs.LogfLogger(opts.Logf)
+	default:
+		r.slog = obs.Nop()
+	}
+	r.rec = opts.Spans
+	if r.rec != nil {
+		r.strack = r.rec.Track("repl-replica")
 	}
 	srv.SetReadOnly(true)
 	srv.OnPromote(r.Promote)
@@ -154,7 +178,7 @@ func (r *Replica) Promote() error {
 	}
 	r.srv.OnPromote(nil) // further PROMOTEs answer ERR not a replica
 	r.srv.SetReadOnly(false)
-	r.logf("repl: promoted at lsn %d (lag %d)", r.applied.Load(), r.Lag())
+	r.slog.Info("promoted", "lsn", r.applied.Load(), "lag", r.Lag())
 	return nil
 }
 
@@ -167,12 +191,6 @@ func (r *Replica) DropConn() {
 	r.mu.Unlock()
 	if c != nil {
 		c.Close()
-	}
-}
-
-func (r *Replica) logf(format string, args ...any) {
-	if r.opts.Logf != nil {
-		r.opts.Logf(format, args...)
 	}
 }
 
@@ -192,7 +210,7 @@ func (r *Replica) run() {
 		default:
 		}
 		if err != nil {
-			r.logf("repl: session: %v (retrying)", err)
+			r.slog.Warn("session ended, retrying", "err", err)
 		}
 		r.reconnects.Add(1)
 		select {
@@ -247,7 +265,7 @@ func (r *Replica) session() error {
 			return fmt.Errorf("primary resumed at %d, want %d", from, r.app.AppliedLSN()+1)
 		}
 		r.observeHead(head)
-		r.logf("repl: resuming at lsn %d (head %d)", from, head)
+		r.slog.Info("resuming", "lsn", from, "head", head)
 	case len(fs) == 4 && string(fs[0]) == "SNAP":
 		if err := r.bootstrap(c, br, fs); err != nil {
 			return err
@@ -270,7 +288,11 @@ func (r *Replica) bootstrap(c net.Conn, br *bufio.Reader, fs [][]byte) error {
 		return fmt.Errorf("bad SNAP header")
 	}
 	r.snapshots.Add(1)
-	r.logf("repl: bootstrapping: %d keys at lsn %d", nkeys, snapLSN)
+	r.slog.Info("bootstrapping", "keys", nkeys, "lsn", snapLSN)
+	var span0 int64
+	if r.rec != nil {
+		span0 = r.rec.Now()
+	}
 	if err := r.app.BeginSnapshot(); err != nil {
 		return err
 	}
@@ -311,6 +333,10 @@ func (r *Replica) bootstrap(c net.Conn, br *bufio.Reader, fs [][]byte) error {
 	}
 	if err := r.app.EndSnapshot(id, snapLSN); err != nil {
 		return err
+	}
+	if r.rec != nil {
+		r.rec.Record(obs.Span{Kind: obs.SpanSnapshot, Track: r.strack,
+			Start: span0, End: r.rec.Now(), A: nkeys, B: snapLSN})
 	}
 	r.applied.Store(snapLSN)
 	r.observeHead(snapLSN)
@@ -362,9 +388,17 @@ func (r *Replica) tail(c net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
 			}
 		}
 		if len(run) > 0 {
+			var span0 int64
+			if r.rec != nil {
+				span0 = r.rec.Now()
+			}
 			ops, err := r.app.ApplyRun(run)
 			if err != nil {
 				return err
+			}
+			if r.rec != nil {
+				r.rec.Record(obs.Span{Kind: obs.SpanApply, Track: r.strack,
+					Start: span0, End: r.rec.Now(), A: uint64(len(run)), B: uint64(ops)})
 			}
 			applied := r.app.AppliedLSN()
 			r.applied.Store(applied)

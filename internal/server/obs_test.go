@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specpmt/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// TestStatsMetricsParity is the STATS <-> /metrics contract: on a quiesced
+// server every numeric STATS field must appear in the registry gather and in
+// the /metrics exposition with the exact same value — both render from one
+// single-epoch snapshot. Only uptime_ms is exempt (it moves with the wall
+// clock between the two reads).
+func TestStatsMetricsParity(t *testing.T) {
+	plane := obs.NewPlane(obs.Nop(), 0)
+	s, addr := startServer(t, Config{Shards: 2, Obs: plane})
+
+	c := dialT(t, addr)
+	defer c.Close()
+	for i := uint64(0); i < 50; i++ {
+		if _, err := c.Set(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CAS(3, 6, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Del(4); err != nil {
+		t.Fatal(err)
+	}
+	// A cross-shard transaction exercises the multi path and its counters.
+	if _, _, err := c.Exec([]Op{
+		{Kind: OpSet, Key: 1000, Arg1: 1},
+		{Kind: OpSet, Key: 2000, Arg1: 2},
+		{Kind: OpSet, Key: 3000, Arg1: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server is now quiesced: only this connection is open and nothing
+	// is in flight, so every stat except uptime_ms holds still.
+	nums, strs, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strs["engine"] == "" || strs["profile"] == "" {
+		t.Fatalf("STATS missing engine/profile: %v", strs)
+	}
+
+	samples := s.Registry().Gather()
+	byStat := map[string]uint64{}
+	var wantLines []string
+	for _, sm := range samples {
+		if sm.Stat == "" || sm.Hist != nil {
+			continue
+		}
+		if _, dup := byStat[sm.Stat]; dup {
+			t.Errorf("stat %s emitted twice", sm.Stat)
+		}
+		byStat[sm.Stat] = sm.Value
+		if sm.Stat == "uptime_ms" {
+			continue
+		}
+		name := sm.Family
+		if sm.Label != "" {
+			name += "{" + sm.Label + "}"
+		}
+		wantLines = append(wantLines, fmt.Sprintf("%s %d", name, sm.Value))
+	}
+
+	// Direction 1: every numeric STATS field has an equal-valued sample.
+	for stat, v := range nums {
+		if stat == "uptime_ms" {
+			continue
+		}
+		got, ok := byStat[stat]
+		if !ok {
+			t.Errorf("STATS field %s has no /metrics sample", stat)
+			continue
+		}
+		if got != v {
+			t.Errorf("stat %s: STATS=%d registry=%d", stat, v, got)
+		}
+	}
+	// Direction 2: every stat-carrying sample made it into the STATS block.
+	for stat, v := range byStat {
+		if stat == "uptime_ms" {
+			continue
+		}
+		if nums[stat] != v {
+			t.Errorf("sample %s=%d not in STATS (got %d)", stat, v, nums[stat])
+		}
+	}
+
+	// Direction 3: the admin /metrics endpoint serves those exact series.
+	a := obs.NewAdmin(obs.AdminOptions{Registry: s.Registry(), Spans: plane.Spans})
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	body := httpGet(t, fmt.Sprintf("http://%s/metrics", a.Addr()))
+	for _, line := range wantLines {
+		if !strings.Contains(body, "\n"+line+"\n") {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+	// Histogram series are there too: commits happened, so shard 0 or 1 has
+	// a populated commit histogram.
+	if !strings.Contains(body, "specpmt_commit_ns_count") ||
+		!strings.Contains(body, `specpmt_batch_jobs_bucket{shard="0",le=`) {
+		t.Error("/metrics missing per-shard histogram series")
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers the registry (the /metrics and STATS
+// backend) while 64 connections run a mixed workload — the race test for
+// collector vs. hot path.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	plane := obs.NewPlane(obs.Nop(), 0)
+	s, addr := startServer(t, Config{Shards: 4, Obs: plane})
+
+	const conns, rounds = 64, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for id := 0; id < conns; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			base := uint64(id * 100)
+			for i := uint64(0); i < rounds; i++ {
+				k := base + i
+				if _, err := c.Set(k, k); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Get(k); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.CAS(k, k, k+1); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(2)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := s.Registry().WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer scrapeWG.Done()
+		c, err := Dial(addr, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, _, err := c.Stats(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpansAndSlowOpLog drives traffic with a 1ns slow-op threshold (every
+// request is "slow") and live spans on: the slow-op log must carry the phase
+// breakdown, the slow_ops counter must advance, and /debug/spans must serve
+// a Chrome trace containing request and batch events.
+func TestSpansAndSlowOpLog(t *testing.T) {
+	var logBuf syncBuffer
+	logger, err := obs.NewLogger("text", &logBuf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := obs.NewPlane(logger, time.Nanosecond)
+	s, addr := startServer(t, Config{Shards: 2, Obs: plane})
+
+	c := dialT(t, addr)
+	defer c.Close()
+	for i := uint64(0); i < 20; i++ {
+		if _, err := c.Set(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get(1); err != nil {
+		t.Fatal(err)
+	}
+
+	nums, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nums["slow_ops"] == 0 {
+		t.Fatal("slow_ops = 0 with a 1ns threshold")
+	}
+	out := logBuf.String()
+	for _, want := range []string{"slow op", "verb=SET", "commit_us=", "queue_us=", "conn="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow-op log missing %q:\n%s", want, out)
+		}
+	}
+
+	a := obs.NewAdmin(obs.AdminOptions{Registry: s.Registry(), Spans: plane.Spans})
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	trace := httpGet(t, fmt.Sprintf("http://%s/debug/spans", a.Addr()))
+	for _, want := range []string{`"request"`, `"batch"`, `"commit"`, `"queue"`, "shard-0"} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("/debug/spans missing %s", want)
+		}
+	}
+}
+
+// TestObsOverheadBound compares loopback throughput with the full plane on
+// (spans + slow-op threshold) against a bare server. The bound is generous —
+// 1.5x on shared CI hardware — but the measured ratio is logged so regressions
+// show up in test output; locally the plane stays within a few percent.
+func TestObsOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	run := func(cfg Config) float64 {
+		_, addr := startServer(t, cfg)
+		const conns, rounds = 8, 400
+		start := time.Now()
+		var wg sync.WaitGroup
+		for id := 0; id < conns; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := Dial(addr, 5*time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer c.Close()
+				base := uint64(id * 10000)
+				for i := uint64(0); i < rounds; i++ {
+					if _, err := c.Set(base+i, i); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := c.Get(base + i); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return float64(conns*rounds*2) / time.Since(start).Seconds()
+	}
+
+	bare := run(Config{Shards: 4})
+	plane := obs.NewPlane(obs.Nop(), 5*time.Millisecond)
+	withObs := run(Config{Shards: 4, Obs: plane})
+	ratio := bare / withObs
+	t.Logf("throughput bare=%.0f ops/s obs=%.0f ops/s ratio=%.3f", bare, withObs, ratio)
+	if ratio > 1.5 {
+		t.Fatalf("observability overhead ratio %.3f exceeds 1.5x", ratio)
+	}
+}

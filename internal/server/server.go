@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"strconv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"specpmt"
+	"specpmt/internal/obs"
 	"specpmt/pds/hashmap"
 )
 
@@ -55,7 +57,18 @@ type Config struct {
 	// Tracer, when non-nil, receives the pool's simulation events plus
 	// replication ship/ack/apply events (see internal/trace).
 	Tracer *specpmt.Tracer
-	// Logf, when non-nil, receives server lifecycle log lines.
+	// Obs, when non-nil, is the observability plane: its registry backs
+	// STATS and /metrics, its span recorder receives live request spans,
+	// and its SlowOp threshold gates the slow-op log. Without one the
+	// server keeps a private registry (STATS still renders from it) but
+	// records no wall-clock spans.
+	Obs *obs.Plane
+	// Log, when non-nil, receives structured lifecycle and slow-op logs.
+	// Falls back to Obs.Log, then to a Logf adapter, then to discard.
+	Log *slog.Logger
+	// Logf, when non-nil, receives log lines printf-style — the pre-slog
+	// hook, kept for tests and embedders; ignored when Log or Obs.Log is
+	// set.
 	Logf func(format string, args ...any)
 }
 
@@ -180,6 +193,16 @@ type Server struct {
 
 	readOnly atomic.Bool
 
+	// Observability plane: the registry STATS and /metrics render from, the
+	// live span ring, and the slow-op threshold. log is never nil; rec may
+	// be. stamps is true when per-request wall-clock stamps are wanted
+	// (spans or slow-op log on).
+	log    *slog.Logger
+	reg    *obs.Registry
+	rec    *obs.SpanRecorder
+	slowNs int64
+	stamps bool
+
 	start       time.Time
 	activeConns atomic.Int64
 	totalConns  atomic.Uint64
@@ -190,6 +213,7 @@ type Server struct {
 	batchedOps  atomic.Uint64
 	protoErrs   atomic.Uint64
 	roRejected  atomic.Uint64
+	slowOps     atomic.Uint64
 }
 
 // StatsHook extends the STATS block with subsystem-specific counters (the
@@ -225,15 +249,52 @@ func New(cfg Config) (*Server, error) {
 		start:    time.Now(),
 	}
 	s.readOnly.Store(cfg.ReadOnly)
+	switch {
+	case cfg.Log != nil:
+		s.log = cfg.Log
+	case cfg.Obs != nil && cfg.Obs.Log != nil:
+		s.log = cfg.Obs.Log
+	case cfg.Logf != nil:
+		s.log = obs.LogfLogger(cfg.Logf)
+	default:
+		s.log = obs.Nop()
+	}
+	if cfg.Obs != nil {
+		s.reg = cfg.Obs.Reg
+		s.rec = cfg.Obs.Spans
+		s.slowNs = cfg.Obs.SlowOp.Nanoseconds()
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.stamps = s.rec != nil || s.slowNs > 0
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(pool, i, cfg.MaxBatch)
 		if err != nil {
 			pool.Close()
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
+		if s.rec != nil {
+			sh.track = s.rec.Track(fmt.Sprintf("shard-%d", i))
+		}
 		s.shards = append(s.shards, sh)
 	}
+	s.registerMetrics()
 	return s, nil
+}
+
+// Registry returns the metrics registry STATS and /metrics render from —
+// the plane's registry when one was configured, a private one otherwise.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// nowNs is the wall clock behind spans and slow-op accounting: the span
+// recorder's epoch when one is wired (span timestamps must share it), the
+// server's start otherwise (only durations are used then).
+func (s *Server) nowNs() int64 {
+	if s.rec != nil {
+		return s.rec.Now()
+	}
+	return time.Since(s.start).Nanoseconds()
 }
 
 // Pool exposes the threaded pool backing the store — replication layers use
@@ -297,12 +358,6 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
 // ListenAndServe listens on cfg.Addr and serves until Close. A clean Close
 // returns nil.
 func (s *Server) ListenAndServe() error {
@@ -319,8 +374,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.lnMu.Unlock()
 	s.startWorkers()
-	s.logf("specpmt-server: serving engine=%s profile=%s shards=%d on %s",
-		s.cfg.Engine, s.cfg.Profile, s.cfg.Shards, ln.Addr())
+	s.log.Info("serving",
+		"engine", s.cfg.Engine, "profile", s.cfg.Profile,
+		"shards", s.cfg.Shards, "addr", ln.Addr().String())
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -400,7 +456,7 @@ func (s *Server) Close() error {
 		}
 		s.workerWG.Wait()
 		err = s.pool.Close()
-		s.logf("specpmt-server: closed (%d connections served)", s.totalConns.Load())
+		s.log.Info("closed", "conns_served", s.totalConns.Load())
 	})
 	return err
 }
@@ -536,13 +592,30 @@ func (s *Server) trackConn(c net.Conn, add bool) {
 	}
 }
 
+// connObs is one connection's observability context: its span track and a
+// logger carrying the connection attrs every slow-op line should have.
+type connObs struct {
+	track int32
+	log   *slog.Logger
+}
+
 func (s *Server) handleConn(c net.Conn) {
 	defer c.Close()
 	s.trackConn(c, true)
 	defer s.trackConn(c, false)
 	s.activeConns.Add(1)
 	defer s.activeConns.Add(-1)
-	s.totalConns.Add(1)
+	id := s.totalConns.Add(1)
+
+	co := connObs{log: s.log}
+	if s.stamps {
+		co.log = s.log.With("conn", id, "peer", c.RemoteAddr().String())
+	}
+	if s.rec != nil {
+		// Connections share a small set of tracks so a long-lived server
+		// cannot grow the track table without bound.
+		co.track = s.rec.Track(fmt.Sprintf("conn-%d", id%8))
+	}
 
 	bw := bufio.NewWriter(c)
 	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -627,7 +700,7 @@ func (s *Server) handleConn(c net.Conn) {
 				}
 				continue
 			}
-			s.logf("specpmt-server: promoted to primary")
+			s.log.Info("promoted to primary")
 			if !s.writeLine(c, bw, "OK") {
 				return
 			}
@@ -648,7 +721,7 @@ func (s *Server) handleConn(c net.Conn) {
 				}
 				continue
 			}
-			ok := s.execMulti(c, bw, j, multiOps, &replyBuf)
+			ok := s.execMulti(c, bw, &co, j, multiOps, &replyBuf)
 			multiOps = multiOps[:0]
 			if !ok {
 				return
@@ -683,7 +756,7 @@ func (s *Server) handleConn(c net.Conn) {
 				}
 				continue
 			}
-			if !s.execSingle(c, bw, j, cmd.Op, &replyBuf) {
+			if !s.execSingle(c, bw, &co, j, cmd.Op, &replyBuf) {
 				return
 			}
 		}
@@ -702,23 +775,37 @@ func (s *Server) acquire() bool {
 
 func (s *Server) release() { <-s.inflight }
 
-func (s *Server) execSingle(c net.Conn, bw *bufio.Writer, j *job, op Op, replyBuf *[]byte) bool {
+func (s *Server) execSingle(c net.Conn, bw *bufio.Writer, co *connObs, j *job, op Op, replyBuf *[]byte) bool {
+	var t0 int64
+	if s.stamps {
+		t0 = s.nowNs()
+	}
 	if !s.acquire() {
 		return false
 	}
 	s.opCounts[op.Kind].Add(1)
 	j.reset()
 	j.ops = append(j.ops, op)
+	if s.stamps {
+		j.wallEnq = s.nowNs()
+	}
 	s.dispatch(j, []int{s.shardOf(op.Key)})
 	<-j.done
 	s.release()
+	if s.stamps {
+		s.observeRequest(co, j, op.Kind.String(), t0, 1)
+	}
 	*replyBuf = AppendResult((*replyBuf)[:0], j.results[0], j.modelNs)
 	return s.writeBytes(c, bw, *replyBuf)
 }
 
-func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, j *job, ops []Op, replyBuf *[]byte) bool {
+func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, co *connObs, j *job, ops []Op, replyBuf *[]byte) bool {
 	if len(ops) == 0 {
 		return s.writeLine(c, bw, "RESULTS 0") && s.writeLine(c, bw, "END t=0")
+	}
+	var t0 int64
+	if s.stamps {
+		t0 = s.nowNs()
 	}
 	if !s.acquire() {
 		return false
@@ -729,9 +816,16 @@ func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, j *job, ops []Op, reply
 	}
 	j.reset()
 	j.ops = append(j.ops, ops...)
-	s.dispatch(j, s.shardSet(ops))
+	shards := s.shardSet(ops)
+	if s.stamps {
+		j.wallEnq = s.nowNs()
+	}
+	s.dispatch(j, shards)
 	<-j.done
 	s.release()
+	if s.stamps {
+		s.observeRequest(co, j, "MULTI", t0, len(shards))
+	}
 	buf := (*replyBuf)[:0]
 	buf = append(buf, "RESULTS "...)
 	buf = strconv.AppendInt(buf, int64(len(j.results)), 10)
@@ -800,65 +894,176 @@ func (s *Server) writeBytes(c net.Conn, bw *bufio.Writer, b []byte) bool {
 	return bw.Flush() == nil
 }
 
-// writeStats renders the STATS block from the workers' published snapshots
-// — no worker-owned state is touched from this goroutine.
-func (s *Server) writeStats(c net.Conn, bw *bufio.Writer) bool {
-	agg, keys, modelNs := s.snapshot()
-	stats := []struct {
-		name string
-		val  uint64
-	}{
-		{"engine_ok", 1},
-		{"shards", uint64(s.cfg.Shards)},
-		{"uptime_ms", uint64(time.Since(s.start).Milliseconds())},
-		{"conns_active", uint64(s.activeConns.Load())},
-		{"conns_total", s.totalConns.Load()},
-		{"conns_refused", s.refused.Load()},
-		{"keys", keys},
-		{"ops_get", s.opCounts[OpGet].Load()},
-		{"ops_set", s.opCounts[OpSet].Load()},
-		{"ops_del", s.opCounts[OpDel].Load()},
-		{"ops_cas", s.opCounts[OpCAS].Load()},
-		{"multis", s.multis.Load()},
-		{"batches", s.batches.Load()},
-		{"batched_ops", s.batchedOps.Load()},
-		{"protocol_errors", s.protoErrs.Load()},
-		{"readonly", boolStat(s.readOnly.Load())},
-		{"writes_rejected", s.roRejected.Load()},
-		{"model_ns", uint64(modelNs)},
-		{"fences", agg.Fences},
-		{"flushes", agg.Flushes},
-		{"fence_ns", agg.FenceNs},
-		{"tx_begun", agg.TxBegun},
-		{"tx_committed", agg.TxCommitted},
-		{"tx_aborted", agg.TxAborted},
-		{"pm_write_bytes", agg.PMWriteBytes},
-		{"pm_log_bytes", agg.PMLogBytes},
-		{"pm_data_bytes", agg.PMDataBytes},
-		{"log_records", agg.LogRecords},
+// registerMetrics declares the server's metric families and its collectors.
+// One collector emits every server sample in a single pass — each shard's
+// published snapshot is read exactly once per gather, so a STATS block or a
+// /metrics scrape can never mix two publish epochs. The StatsHook rides the
+// same gather as a second collector.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.Family("specpmt_engine_ok", "1 while the engine is serving", obs.KindGauge)
+	r.Family("specpmt_shards", "worker shard count", obs.KindGauge)
+	r.Family("specpmt_uptime_ms", "wall-clock milliseconds since the server started", obs.KindGauge)
+	r.Family("specpmt_conns_active", "currently open client connections", obs.KindGauge)
+	r.Family("specpmt_conns_total", "client connections accepted since start", obs.KindCounter)
+	r.Family("specpmt_conns_refused", "connections refused at the MaxConns gate", obs.KindCounter)
+	r.Family("specpmt_inflight", "requests admitted to worker queues right now", obs.KindGauge)
+	r.Family("specpmt_keys", "live keys across all shards", obs.KindGauge)
+	r.Family("specpmt_ops_total", "data operations received, by type", obs.KindCounter)
+	r.Family("specpmt_multis", "MULTI/EXEC transactions executed", obs.KindCounter)
+	r.Family("specpmt_batches", "group commits executed", obs.KindCounter)
+	r.Family("specpmt_batched_ops", "jobs coalesced into group commits", obs.KindCounter)
+	r.Family("specpmt_protocol_errors", "malformed or out-of-order commands", obs.KindCounter)
+	r.Family("specpmt_readonly", "1 while the server rejects writes (replica mode)", obs.KindGauge)
+	r.Family("specpmt_writes_rejected", "writes rejected in read-only mode", obs.KindCounter)
+	r.Family("specpmt_slow_ops", "requests slower than the slow-op threshold", obs.KindCounter)
+	r.Family("specpmt_model_ns", "modeled nanoseconds elapsed (makespan across shards)", obs.KindGauge)
+	r.Family("specpmt_fences", "persist fences issued by the engines", obs.KindCounter)
+	r.Family("specpmt_flushes", "cache-line flushes issued by the engines", obs.KindCounter)
+	r.Family("specpmt_fence_ns", "modeled nanoseconds spent stalled in fences", obs.KindCounter)
+	r.Family("specpmt_tx_begun", "transactions begun", obs.KindCounter)
+	r.Family("specpmt_tx_committed", "transactions committed", obs.KindCounter)
+	r.Family("specpmt_tx_aborted", "transactions aborted", obs.KindCounter)
+	r.Family("specpmt_pm_write_bytes", "bytes written to persistent media", obs.KindCounter)
+	r.Family("specpmt_pm_log_bytes", "bytes of engine log writes", obs.KindCounter)
+	r.Family("specpmt_pm_data_bytes", "bytes of in-place data-structure writes", obs.KindCounter)
+	r.Family("specpmt_log_records", "engine log records appended", obs.KindCounter)
+	r.Family("specpmt_shard_tx_committed", "transactions committed, per shard", obs.KindCounter)
+	r.Family("specpmt_shard_keys", "live keys, per shard", obs.KindGauge)
+	r.Family("specpmt_commit_ns", "wall-clock group-commit latency in ns, per shard", obs.KindHistogram)
+	r.Family("specpmt_batch_jobs", "jobs per group commit, per shard", obs.KindHistogram)
+	r.Family("specpmt_queue_depth", "jobs still queued at batch start, per shard", obs.KindHistogram)
+
+	r.Collect(s.collectMetrics)
+	r.Collect(func(emit func(obs.Sample)) {
+		s.hookMu.Lock()
+		hook := s.statsHook
+		s.hookMu.Unlock()
+		if hook == nil {
+			return
+		}
+		hook(func(name string, val uint64) {
+			emit(obs.Sample{Family: "specpmt_" + name, Stat: name, Value: val})
+		})
+	})
+}
+
+// collectMetrics emits every server-owned sample from one consistent cut of
+// the shard snapshots.
+func (s *Server) collectMetrics(emit func(obs.Sample)) {
+	cuts := make([]struct {
+		st   specpmt.Counters
+		keys uint64
+	}, len(s.shards))
+	var agg specpmt.Counters
+	var keys uint64
+	var modelNs int64
+	for i, sh := range s.shards {
+		st, k, now := sh.published()
+		cuts[i].st, cuts[i].keys = st, k
+		agg.Merge(&st)
+		keys += k
+		if now > modelNs {
+			modelNs = now
+		}
 	}
-	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	fmt.Fprintf(bw, "STAT engine %s\nSTAT profile %s\n", s.cfg.Engine, s.cfg.Profile)
-	for _, st := range stats {
-		fmt.Fprintf(bw, "STAT %s %d\n", st.name, st.val)
+	scalar := func(family, stat string, val uint64) {
+		emit(obs.Sample{Family: family, Stat: stat, Value: val})
 	}
+	scalar("specpmt_engine_ok", "engine_ok", 1)
+	scalar("specpmt_shards", "shards", uint64(s.cfg.Shards))
+	scalar("specpmt_uptime_ms", "uptime_ms", uint64(time.Since(s.start).Milliseconds()))
+	scalar("specpmt_conns_active", "conns_active", uint64(s.activeConns.Load()))
+	scalar("specpmt_conns_total", "conns_total", s.totalConns.Load())
+	scalar("specpmt_conns_refused", "conns_refused", s.refused.Load())
+	scalar("specpmt_inflight", "inflight", uint64(len(s.inflight)))
+	scalar("specpmt_keys", "keys", keys)
+	for kind, stat := range [...]string{OpGet: "ops_get", OpSet: "ops_set", OpDel: "ops_del", OpCAS: "ops_cas"} {
+		emit(obs.Sample{
+			Family: "specpmt_ops_total",
+			Label:  `op="` + OpKind(kind).String() + `"`,
+			Stat:   stat,
+			Value:  s.opCounts[kind].Load(),
+		})
+	}
+	scalar("specpmt_multis", "multis", s.multis.Load())
+	scalar("specpmt_batches", "batches", s.batches.Load())
+	scalar("specpmt_batched_ops", "batched_ops", s.batchedOps.Load())
+	scalar("specpmt_protocol_errors", "protocol_errors", s.protoErrs.Load())
+	scalar("specpmt_readonly", "readonly", boolStat(s.readOnly.Load()))
+	scalar("specpmt_writes_rejected", "writes_rejected", s.roRejected.Load())
+	scalar("specpmt_slow_ops", "slow_ops", s.slowOps.Load())
+	scalar("specpmt_model_ns", "model_ns", uint64(modelNs))
+	scalar("specpmt_fences", "fences", agg.Fences)
+	scalar("specpmt_flushes", "flushes", agg.Flushes)
+	scalar("specpmt_fence_ns", "fence_ns", agg.FenceNs)
+	scalar("specpmt_tx_begun", "tx_begun", agg.TxBegun)
+	scalar("specpmt_tx_committed", "tx_committed", agg.TxCommitted)
+	scalar("specpmt_tx_aborted", "tx_aborted", agg.TxAborted)
+	scalar("specpmt_pm_write_bytes", "pm_write_bytes", agg.PMWriteBytes)
+	scalar("specpmt_pm_log_bytes", "pm_log_bytes", agg.PMLogBytes)
+	scalar("specpmt_pm_data_bytes", "pm_data_bytes", agg.PMDataBytes)
+	scalar("specpmt_log_records", "log_records", agg.LogRecords)
 	// Per-shard visibility: committed transactions and keys per worker, the
 	// denominators behind per-shard replication LSNs and skew diagnosis.
-	for i, sh := range s.shards {
-		st, k, _ := sh.published()
-		fmt.Fprintf(bw, "STAT shard%d_tx_committed %d\n", i, st.TxCommitted)
-		fmt.Fprintf(bw, "STAT shard%d_keys %d\n", i, k)
+	for i := range cuts {
+		emit(obs.Sample{Family: "specpmt_shard_tx_committed", Label: obs.ShardLabel(i),
+			Stat: obs.ShardStat(i, "tx_committed"), Value: cuts[i].st.TxCommitted})
+		emit(obs.Sample{Family: "specpmt_shard_keys", Label: obs.ShardLabel(i),
+			Stat: obs.ShardStat(i, "keys"), Value: cuts[i].keys})
 	}
-	s.hookMu.Lock()
-	hook := s.statsHook
-	s.hookMu.Unlock()
-	if hook != nil {
-		hook(func(name string, val uint64) {
-			fmt.Fprintf(bw, "STAT %s %d\n", name, val)
-		})
+	for i, sh := range s.shards {
+		emit(obs.Sample{Family: "specpmt_commit_ns", Label: obs.ShardLabel(i), Hist: sh.commitNs.Snapshot()})
+		emit(obs.Sample{Family: "specpmt_batch_jobs", Label: obs.ShardLabel(i), Hist: sh.batchJobs.Snapshot()})
+		emit(obs.Sample{Family: "specpmt_queue_depth", Label: obs.ShardLabel(i), Hist: sh.queueDepth.Snapshot()})
+	}
+}
+
+// writeStats renders the STATS block from one registry gather — the same
+// single-epoch snapshot /metrics scrapes, so every numeric STATS field has
+// an equal-valued series there and no two fields can straddle a worker's
+// publish.
+func (s *Server) writeStats(c net.Conn, bw *bufio.Writer) bool {
+	samples := s.reg.Gather()
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	fmt.Fprintf(bw, "STAT engine %s\nSTAT profile %s\n", s.cfg.Engine, s.cfg.Profile)
+	var buf []byte
+	for _, sm := range samples {
+		if sm.Stat == "" || sm.Hist != nil {
+			continue
+		}
+		buf = obs.FormatStat(buf[:0], sm.Stat, sm.Value)
+		bw.Write(buf)
 	}
 	bw.WriteString("END\n")
 	return bw.Flush() == nil
+}
+
+// observeRequest records the finished job's wall-clock spans (whole request,
+// queue wait, execution) and emits the slow-op log line when the request
+// crossed the threshold. Called with stamps on.
+func (s *Server) observeRequest(co *connObs, j *job, verb string, t0 int64, nshards int) {
+	now := s.nowNs()
+	if s.rec != nil {
+		s.rec.Record(
+			obs.Span{Kind: obs.SpanRequest, Track: co.track, Start: t0, End: now,
+				A: uint64(nshards), B: uint64(len(j.ops))},
+			obs.Span{Kind: obs.SpanQueue, Track: co.track, Start: j.wallEnq, End: j.wallExec},
+			obs.Span{Kind: obs.SpanExec, Track: co.track, Start: j.wallExec, End: j.wallCommit1},
+		)
+	}
+	if s.slowNs > 0 && now-t0 >= s.slowNs {
+		s.slowOps.Add(1)
+		co.log.Warn("slow op",
+			"verb", verb,
+			"ops", len(j.ops),
+			"shards", nshards,
+			"total_us", (now-t0)/1000,
+			"queue_us", (j.wallExec-j.wallEnq)/1000,
+			"exec_us", (j.wallCommit0-j.wallExec)/1000,
+			"commit_us", (j.wallCommit1-j.wallCommit0)/1000,
+		)
+	}
 }
 
 func boolStat(b bool) uint64 {

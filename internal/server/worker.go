@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"specpmt"
+	"specpmt/internal/obs"
 	"specpmt/pds/hashmap"
 )
 
@@ -30,6 +31,14 @@ type shard struct {
 	stats   specpmt.Counters
 	keys    uint64
 	modelNs int64
+
+	// Wall-clock instruments, scraped by the metrics collector: commit
+	// latency, batch size, and queue depth at batch start. track is the
+	// shard's span-recorder track (0 when spans are off).
+	commitNs   obs.Histogram
+	batchJobs  obs.Histogram
+	queueDepth obs.Histogram
+	track      int32
 }
 
 func newShard(pool *specpmt.ThreadedPool, id, maxBatch int) (*shard, error) {
@@ -70,8 +79,12 @@ type job struct {
 	results []Result
 	modelNs int64
 	startNs int64
-	multi   *multiJob // nil for single-shard jobs
-	done    chan struct{}
+	// Wall-clock stamps on the span recorder's clock — enqueue, execution
+	// start, and the commit window — populated only when the server takes
+	// per-request stamps (spans or slow-op log on).
+	wallEnq, wallExec, wallCommit0, wallCommit1 int64
+	multi                                       *multiJob // nil for single-shard jobs
+	done                                        chan struct{}
 	// extra, when non-nil, runs inside the job's transaction after its ops
 	// — replication replay stamps applied-LSN cells with it.
 	extra func(specpmt.Tx)
@@ -89,6 +102,7 @@ func (j *job) reset() {
 	j.ops = j.ops[:0]
 	j.results = j.results[:0]
 	j.modelNs = 0
+	j.wallEnq, j.wallExec, j.wallCommit0, j.wallCommit1 = 0, 0, 0, 0
 	j.multi = nil
 	j.extra = nil
 	j.frozen = nil
@@ -178,6 +192,12 @@ func (s *Server) collectBatch(sh *shard, batch []*job) ([]*job, *job) {
 // the transaction entirely; anything with a write becomes ONE transaction —
 // the group commit — so its single fence amortizes over every job.
 func (s *Server) runBatch(sh *shard, batch []*job) {
+	var wall0 int64
+	if s.stamps {
+		wall0 = s.nowNs()
+	}
+	sh.queueDepth.Observe(int64(len(sh.jobs)))
+	sh.batchJobs.Observe(int64(len(batch)))
 	readOnly := true
 	for _, j := range batch {
 		if j.extra != nil {
@@ -191,6 +211,9 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 	}
 	if readOnly {
 		for _, j := range batch {
+			if s.stamps {
+				j.wallExec = s.nowNs()
+			}
 			j.startNs = sh.th.Now()
 			j.results = j.results[:0]
 			for _, op := range j.ops {
@@ -199,6 +222,16 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 			}
 		}
 		end := sh.th.Now()
+		if s.stamps {
+			wallEnd := s.nowNs()
+			for _, j := range batch {
+				j.wallCommit0, j.wallCommit1 = wallEnd, wallEnd
+			}
+			if s.rec != nil {
+				s.rec.Record(obs.Span{Kind: obs.SpanBatch, Track: sh.track,
+					Start: wall0, End: wallEnd, A: uint64(len(batch)), B: opsIn(batch)})
+			}
+		}
 		s.finishBatch(sh, batch, end)
 		return
 	}
@@ -206,11 +239,14 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 	// Grow outside the transaction so the batch's migration steps have a
 	// target table; an allocation failure surfaces as ErrFull below.
 	if err := sh.m.PrepareGrow(); err != nil {
-		s.logf("specpmt-server: shard %d grow: %v", sh.id, err)
+		s.log.Warn("shard grow failed", "shard", sh.id, "err", err)
 	}
 	tx := sh.th.Begin()
 	ok := true
 	for _, j := range batch {
+		if s.stamps {
+			j.wallExec = s.nowNs()
+		}
 		j.startNs = sh.th.Now()
 		j.results = j.results[:0]
 		if !applyOps(tx, sh.m, j) {
@@ -221,11 +257,14 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 			j.extra(tx)
 		}
 	}
+	var commit0, commit1 int64
 	if ok {
+		commit0 = s.nowNs()
 		if err := tx.Commit(); err != nil {
-			s.logf("specpmt-server: shard %d commit: %v", sh.id, err)
+			s.log.Warn("shard commit failed", "shard", sh.id, "err", err)
 			ok = false
 		}
+		commit1 = s.nowNs()
 	} else {
 		tx.Abort()
 	}
@@ -239,6 +278,7 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 		sh.publish()
 		return
 	}
+	sh.commitNs.Observe(commit1 - commit0)
 	sh.m.ReleaseRetired()
 	end := sh.th.Now()
 	s.batches.Add(1)
@@ -250,8 +290,33 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 	wait := s.publishBatch(sh, batch)
 	if wait != nil {
 		wait()
+		if s.rec != nil {
+			s.rec.Record(obs.Span{Kind: obs.SpanReplWait, Track: sh.track,
+				Start: commit1, End: s.nowNs()})
+		}
+	}
+	if s.stamps {
+		for _, j := range batch {
+			j.wallCommit0, j.wallCommit1 = commit0, commit1
+		}
+		if s.rec != nil {
+			s.rec.Record(
+				obs.Span{Kind: obs.SpanBatch, Track: sh.track, Start: wall0,
+					End: s.nowNs(), A: uint64(len(batch)), B: opsIn(batch)},
+				obs.Span{Kind: obs.SpanCommit, Track: sh.track, Start: commit0, End: commit1},
+			)
+		}
 	}
 	s.finishBatch(sh, batch, end)
+}
+
+// opsIn counts the operations across a batch's jobs.
+func opsIn(batch []*job) uint64 {
+	var n uint64
+	for _, j := range batch {
+		n += uint64(len(j.ops))
+	}
+	return n
 }
 
 // publishBatch hands the batch's effective writes to the Replicator as one
@@ -314,7 +379,10 @@ func (s *Server) finishBatch(sh *shard, batch []*job, endNs int64) {
 // and the batch-failure fallback).
 func (s *Server) runSingle(sh *shard, j *job) {
 	if err := sh.m.PrepareGrow(); err != nil {
-		s.logf("specpmt-server: shard %d grow: %v", sh.id, err)
+		s.log.Warn("shard grow failed", "shard", sh.id, "err", err)
+	}
+	if s.stamps {
+		j.wallExec = s.nowNs()
 	}
 	j.startNs = sh.th.Now()
 	j.results = j.results[:0]
@@ -331,17 +399,29 @@ func (s *Server) runSingle(sh *shard, j *job) {
 		if j.extra != nil {
 			j.extra(tx)
 		}
+		commit0 := s.nowNs()
 		if err := tx.Commit(); err != nil {
-			s.logf("specpmt-server: shard %d commit: %v", sh.id, err)
+			s.log.Warn("shard commit failed", "shard", sh.id, "err", err)
 			sh.m.DiscardRetired()
 			j.results = j.results[:0]
 			for range j.ops {
 				j.results = append(j.results, Result{Status: StatusErr})
 			}
 		} else {
+			commit1 := s.nowNs()
+			sh.commitNs.Observe(commit1 - commit0)
+			if s.stamps {
+				j.wallCommit0, j.wallCommit1 = commit0, commit1
+			}
 			sh.m.ReleaseRetired()
 			committed = true
 		}
+	}
+	if s.stamps && j.wallCommit1 == 0 {
+		// Failed paths still need a coherent phase breakdown for the
+		// slow-op log: close the commit window at "now".
+		now := s.nowNs()
+		j.wallCommit0, j.wallCommit1 = now, now
 	}
 	if committed {
 		sh.one[0] = j
@@ -376,6 +456,9 @@ func (s *Server) runMulti(sh *shard, j *job) {
 		return
 	}
 
+	if s.stamps {
+		j.wallExec = s.nowNs()
+	}
 	j.startNs = sh.th.Now()
 	j.results = j.results[:0]
 	tx := sh.th.Begin()
@@ -386,14 +469,17 @@ func (s *Server) runMulti(sh *shard, j *job) {
 			break
 		}
 	}
+	var commit0, commit1 int64
 	if ok {
 		if j.extra != nil {
 			j.extra(tx)
 		}
+		commit0 = s.nowNs()
 		if err := tx.Commit(); err != nil {
-			s.logf("specpmt-server: multi commit: %v", err)
+			s.log.Warn("multi commit failed", "err", err)
 			ok = false
 		}
+		commit1 = s.nowNs()
 	} else {
 		tx.Abort()
 	}
@@ -412,8 +498,20 @@ func (s *Server) runMulti(sh *shard, j *job) {
 	}
 	var wait func()
 	if ok {
+		sh.commitNs.Observe(commit1 - commit0)
 		sh.one[0] = j
 		wait = s.publishBatch(sh, sh.one[:])
+	}
+	if s.stamps {
+		if commit1 == 0 {
+			commit0 = s.nowNs()
+			commit1 = commit0
+		}
+		j.wallCommit0, j.wallCommit1 = commit0, commit1
+		if s.rec != nil {
+			s.rec.Record(obs.Span{Kind: obs.SpanCommit, Track: sh.track,
+				Start: commit0, End: commit1})
+		}
 	}
 	j.modelNs = sh.th.Now() - j.startNs
 	sh.publish()

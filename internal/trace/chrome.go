@@ -145,6 +145,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			out.TraceEvents = append(out.TraceEvents, ce)
 		}
 	}
+	return writeChromeJSON(w, out)
+}
+
+// writeChromeJSON encodes one chromeTrace — shared by the simulator export
+// and the live-span export.
+func writeChromeJSON(w io.Writer, out chromeTrace) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"io"
+	"sort"
+)
+
+// LiveSpan is one wall-clock interval from a live server — the unit the
+// observability plane's ring recorder exports. Unlike Event, timestamps are
+// real (host-clock) nanoseconds since an arbitrary epoch, not virtual time;
+// the chrome shape is shared so one trace viewer serves both the simulator
+// and the running server.
+type LiveSpan struct {
+	// Track indexes into the tracks slice passed to WriteChromeLive.
+	Track int
+	// Name and Cat are the chrome event name and category.
+	Name, Cat string
+	// StartNs and DurNs are wall nanoseconds since the recorder's epoch.
+	StartNs, DurNs int64
+	// Args, when non-nil, becomes the event's args object.
+	Args map[string]any
+}
+
+// WriteChromeLive exports wall-clock spans as Chrome trace-event JSON, the
+// same format WriteChrome emits for the simulator: one named thread per
+// track under one named process. Output opens directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeLive(w io.Writer, process string, tracks []string, spans []LiveSpan) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": process},
+	})
+	for id, tn := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: id,
+			Args: map[string]any{"name": tn},
+		})
+	}
+	ordered := append([]LiveSpan(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].StartNs != ordered[j].StartNs {
+			return ordered[i].StartNs < ordered[j].StartNs
+		}
+		return ordered[i].Track < ordered[j].Track
+	})
+	for _, s := range ordered {
+		ce := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X", PID: chromePID,
+			TID: s.Track, TS: us(s.StartNs), Dur: durPtr(s.DurNs),
+			Args: s.Args,
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	return writeChromeJSON(w, out)
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeLive(t *testing.T) {
+	spans := []LiveSpan{
+		{Track: 1, Name: "batch", Cat: "server", StartNs: 2500, DurNs: 1200,
+			Args: map[string]any{"jobs": 3}},
+		{Track: 0, Name: "request", Cat: "server", StartNs: 2000, DurNs: 4000},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeLive(&buf, "specpmt-live", []string{"conns-0", "shard-0"}, spans); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", out.DisplayTimeUnit)
+	}
+	var threadNames, durSpans int
+	for _, e := range out.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames++
+		case e.Ph == "X":
+			durSpans++
+			if e.Dur == nil {
+				t.Fatalf("span %q has no dur", e.Name)
+			}
+		}
+	}
+	if threadNames != 2 {
+		t.Fatalf("thread_name metadata events = %d, want 2", threadNames)
+	}
+	if durSpans != 2 {
+		t.Fatalf("duration spans = %d, want 2", durSpans)
+	}
+	// Spans are ordered by start time: the request (2000ns) precedes the
+	// batch (2500ns) despite input order.
+	var firstX string
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" {
+			firstX = e.Name
+			break
+		}
+	}
+	if firstX != "request" {
+		t.Fatalf("first span = %q, want request (time-ordered)", firstX)
+	}
+}
