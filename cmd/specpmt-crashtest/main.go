@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	specpmt-crashtest [-engine name|all] [-seeds n] [-rounds n] [-profile name] [-v]
+//	specpmt-crashtest [-engine name|all] [-seeds n] [-rounds n] [-profile name] [-pipeline] [-v]
+//
+// -pipeline switches to the speculative group-commit torture: SpecSPMT
+// transactions committed with CommitNoFence in windows retired by one
+// coalescing fence — the pattern the server's pipelined group commit relies
+// on — with the prefix-at-or-past-the-fence-floor oracle.
 //
 // Exit status is non-zero if any run observes a consistency violation.
 package main
@@ -24,6 +29,7 @@ func main() {
 	seeds := flag.Int("seeds", 10, "number of random seeds per engine")
 	rounds := flag.Int("rounds", 5, "crash/recover rounds per run")
 	profile := flag.String("profile", "", "media profile to torture on (default optane-adr; \"list\" enumerates the built-ins)")
+	pipeline := flag.Bool("pipeline", false, "torture pipelined speculative commit windows (SpecSPMT only)")
 	verbose := flag.Bool("v", false, "print every run")
 	flag.Parse()
 
@@ -31,14 +37,18 @@ func main() {
 		fmt.Print(sim.ProfileTable())
 		return
 	}
+	run := crashtest.Run
 	engines := crashtest.Engines()
-	if *engine != "all" {
+	if *pipeline {
+		run = func(cfg crashtest.Config) (crashtest.Report, error) { return crashtest.RunSpecPipeline(cfg) }
+		engines = []string{crashtest.SpecPipelineEngine}
+	} else if *engine != "all" {
 		engines = []string{*engine}
 	}
 	failed := 0
 	for _, eng := range engines {
 		for seed := uint64(1); seed <= uint64(*seeds); seed++ {
-			rep, err := crashtest.Run(crashtest.Config{Engine: eng, Seed: seed, Rounds: *rounds, Profile: *profile})
+			rep, err := run(crashtest.Config{Engine: eng, Seed: seed, Rounds: *rounds, Profile: *profile})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "specpmt-crashtest: %s seed %d: %v\n", eng, seed, err)
 				failed++

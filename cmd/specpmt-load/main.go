@@ -12,8 +12,16 @@
 //	specpmt-load [-addr host:port] [-conns n] [-duration d] [-keys n]
 //	             [-dist uniform|zipf] [-reads pct] [-cas pct] [-multi pct]
 //	             [-multi-ops n] [-preload n] [-seed s]
+//	             [-proto text|binary] [-pipeline-depth n]
 //	             [-replica host:port] [-probe-every d] [-verify-replica n]
 //	             [-scrape host:port] [-scrape-every d]
+//
+// -proto selects the wire protocol (the framed binary protocol skips all
+// text tokenization on both sides). -pipeline-depth N > 1 keeps a sliding
+// window of N GET/SET requests in flight per connection instead of running
+// closed-loop; sync points (MULTI, CAS's read-modify-write, stop) drain the
+// window first. Wall latencies then include the client-side queueing of the
+// window. Pipelining is incompatible with -replica's split read path.
 //
 // With -replica, GETs are served by the replica while writes go to the
 // primary (-addr), and a prober measures replication staleness: it bumps a
@@ -65,6 +73,8 @@ func main() {
 	multiOps := flag.Int("multi-ops", 4, "operations per MULTI transaction")
 	preload := flag.Uint64("preload", 10_000, "keys to SET before the timed run")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	proto := flag.String("proto", "text", "wire protocol: text or binary")
+	pipeDepth := flag.Int("pipeline-depth", 1, "GET/SET requests kept in flight per connection (1 = closed loop)")
 	replica := flag.String("replica", "", "serve GETs from this replica and probe replication staleness")
 	probeEvery := flag.Duration("probe-every", 2*time.Millisecond, "staleness probe interval (with -replica)")
 	verifyReplica := flag.Int("verify-replica", 0, "after the run, wait for the replica to catch up and compare this many sampled keys against the primary")
@@ -84,9 +94,18 @@ func main() {
 	if *verifyReplica > 0 && *replica == "" {
 		fatalf("-verify-replica needs -replica")
 	}
+	if *proto != "text" && *proto != "binary" {
+		fatalf("-proto must be text or binary")
+	}
+	if *pipeDepth < 1 || *pipeDepth > 64 {
+		fatalf("-pipeline-depth must be in 1..64")
+	}
+	if *pipeDepth > 1 && *replica != "" {
+		fatalf("-pipeline-depth > 1 is incompatible with -replica (GETs and writes use different connections)")
+	}
 
 	// Preload a prefix of the key space so GETs hit and CAS has a base.
-	pre, err := server.Dial(*addr, 10*time.Second)
+	pre, err := server.DialProto(*addr, 10*time.Second, *proto)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -107,7 +126,11 @@ func main() {
 	stop := make(chan struct{})
 	for i := range workers {
 		w := &worker{
-			cfg:  cfg{keys: *keys, dist: *dist, reads: *reads, cas: *cas, multi: *multi, multiOps: *multiOps},
+			cfg: cfg{
+				keys: *keys, dist: *dist, reads: *reads, cas: *cas,
+				multi: *multi, multiOps: *multiOps,
+				proto: *proto, depth: *pipeDepth,
+			},
 			rng:  rand.New(rand.NewSource(int64(*seed) + int64(i)*1_000_003)),
 			stop: stop,
 		}
@@ -153,6 +176,8 @@ func main() {
 		Keys:     *keys,
 		Dist:     *dist,
 		Seed:     *seed,
+		Proto:    *proto,
+		Depth:    *pipeDepth,
 		Workload: workload{
 			Reads: *reads, CAS: *cas, Multi: *multi, MultiOps: *multiOps,
 			Preload: n, ProbeEveryUs: float64(probeEvery.Microseconds()),
@@ -322,6 +347,8 @@ type cfg struct {
 	keys                        uint64
 	dist                        string
 	reads, cas, multi, multiOps int
+	proto                       string
+	depth                       int // in-flight GET/SET window per connection
 }
 
 // lats collects per-request latencies: wall nanoseconds (host clock) and
@@ -351,17 +378,21 @@ func (w *worker) key() uint64 {
 
 func (w *worker) run(addr, replica string) {
 	w.lat = map[string]*lats{"get": {}, "set": {}, "cas": {}, "multi": {}}
-	c, err := server.Dial(addr, 10*time.Second)
+	c, err := server.DialProto(addr, 10*time.Second, w.cfg.proto)
 	if err != nil {
 		w.errors++
 		return
 	}
 	defer c.Close()
+	if w.cfg.depth > 1 {
+		w.runPipelined(c) // -replica is rejected up front, so reader == c
+		return
+	}
 	// In replica mode GETs go to the follower; writes (and CAS's
 	// read-modify-write, which needs read-your-writes) stay on the primary.
 	reader := c
 	if replica != "" {
-		rc, err := server.Dial(replica, 10*time.Second)
+		rc, err := server.DialProto(replica, 10*time.Second, w.cfg.proto)
 		if err != nil {
 			w.errors++
 			return
@@ -388,7 +419,10 @@ func (w *worker) run(addr, replica string) {
 
 // request issues one operation and returns its type and latencies.
 func (w *worker) request(c, reader *server.Client) (kind string, wallNs, modelNs int64, err error) {
-	roll := w.rng.Intn(100)
+	return w.requestRoll(c, reader, w.rng.Intn(100))
+}
+
+func (w *worker) requestRoll(c, reader *server.Client, roll int) (kind string, wallNs, modelNs int64, err error) {
 	start := time.Now()
 	switch {
 	case roll < w.cfg.multi:
@@ -421,6 +455,88 @@ func (w *worker) request(c, reader *server.Client) (kind string, wallNs, modelNs
 	default:
 		r, e := c.Set(w.key(), w.rng.Uint64())
 		return "set", time.Since(start).Nanoseconds(), r.ModelNs, e
+	}
+}
+
+// runPipelined drives one connection with a sliding window of cfg.depth
+// GET/SET requests in flight: each new request is queued with SendOp, and
+// once the window is full every send is paired with one RecvResult for the
+// oldest outstanding request. Wall latency spans send-to-reply, so it
+// includes the window's queueing. MULTI and CAS are synchronization points
+// (CAS needs read-your-writes; Exec uses its own reply framing), so the
+// window drains before them.
+func (w *worker) runPipelined(c *server.Client) {
+	type inflight struct {
+		kind  string
+		start time.Time
+	}
+	window := make([]inflight, 0, w.cfg.depth)
+	recvOne := func() error {
+		r, err := c.RecvResult()
+		if err != nil {
+			return err
+		}
+		f := window[0]
+		copy(window, window[1:])
+		window = window[:len(window)-1]
+		l := w.lat[f.kind]
+		l.wall = append(l.wall, time.Since(f.start).Nanoseconds())
+		l.model = append(l.model, r.ModelNs)
+		return nil
+	}
+	drain := func() error {
+		for len(window) > 0 {
+			if err := recvOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fail := func() { w.errors++ }
+	for {
+		select {
+		case <-w.stop:
+			if drain() != nil {
+				fail()
+			}
+			return
+		default:
+		}
+		roll := w.rng.Intn(100)
+		switch {
+		case roll < w.cfg.multi || roll < w.cfg.multi+w.cfg.reads+w.cfg.cas && roll >= w.cfg.multi+w.cfg.reads:
+			// Sync op: drain, then reuse the closed-loop path.
+			if drain() != nil {
+				fail()
+				return
+			}
+			kind, wallNs, modelNs, err := w.requestRoll(c, c, roll)
+			if err != nil {
+				fail()
+				return
+			}
+			l := w.lat[kind]
+			l.wall = append(l.wall, wallNs)
+			l.model = append(l.model, modelNs)
+		case roll < w.cfg.multi+w.cfg.reads:
+			window = append(window, inflight{kind: "get", start: time.Now()})
+			if err := c.SendOp(server.Op{Kind: server.OpGet, Key: w.key()}); err != nil {
+				fail()
+				return
+			}
+		default:
+			window = append(window, inflight{kind: "set", start: time.Now()})
+			if err := c.SendOp(server.Op{Kind: server.OpSet, Key: w.key(), Arg1: w.rng.Uint64()}); err != nil {
+				fail()
+				return
+			}
+		}
+		if len(window) >= w.cfg.depth {
+			if err := recvOne(); err != nil {
+				fail()
+				return
+			}
+		}
 	}
 }
 
@@ -562,6 +678,8 @@ type report struct {
 	Keys         uint64              `json:"keys"`
 	Dist         string              `json:"dist"`
 	Seed         uint64              `json:"seed"`
+	Proto        string              `json:"proto"`
+	Depth        int                 `json:"pipeline_depth"`
 	Workload     workload            `json:"workload"`
 	TotalOps     int                 `json:"total_ops"`
 	Throughput   float64             `json:"throughput_ops_sec"`

@@ -6,7 +6,8 @@
 //	specpmt-server [-addr host:port] [-engine spec|undo|hashlog|...]
 //	               [-profile optane-adr|...] [-shards n] [-pool-size bytes]
 //	               [-max-batch n] [-batch-window d] [-max-conns n]
-//	               [-max-inflight n]
+//	               [-max-inflight n] [-pipeline-depth n]
+//	               [-proto auto|text|binary]
 //	               [-admin host:port] [-log-format text|json] [-log-level l]
 //	               [-slow-op d] [-span-buf n]
 //	               [-replicate-to host:port] [-repl-sync async|ack]
@@ -56,6 +57,8 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 200*time.Microsecond, "how long a worker waits to fill a batch")
 	maxConns := flag.Int("max-conns", 256, "max concurrent connections")
 	maxInFlight := flag.Int("max-inflight", 1024, "max requests admitted to worker queues")
+	pipelineDepth := flag.Int("pipeline-depth", 1, "speculative group-commit pipeline depth: batches a shard may execute past an unretired commit fence (1 disables pipelining)")
+	proto := flag.String("proto", "auto", "accepted wire protocols: auto (both), text, binary")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /debug/spans, /debug/pprof); empty disables")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
@@ -125,6 +128,9 @@ func main() {
 		MaxConns:    *maxConns,
 		MaxInFlight: *maxInFlight,
 		Obs:         plane,
+
+		PipelineDepth: *pipelineDepth,
+		Proto:         *proto,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchCell is one cell of the protocol × pipeline-depth matrix; the JSON
+// shape is what BENCH_pr7.json (and the CI artifact) carries.
+type benchCell struct {
+	Proto       string  `json:"proto"`
+	Depth       int     `json:"pipeline_depth"`
+	Ops         uint64  `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50WallUs   float64 `json:"p50_wall_us"`
+	P99WallUs   float64 `json:"p99_wall_us"`
+	FencesPerOp float64 `json:"fences_per_op"`
+}
+
+// runProtoCell drives one server shape with 8 loopback connections of the
+// given protocol — closed-loop for text (the text protocol is strictly
+// request/reply), a 16-frame pipeline window for binary — and returns the
+// cell's throughput, latency percentiles, and fence rate.
+func runProtoCell(t *testing.T, proto string, depth, conns, opsPerConn int) benchCell {
+	t.Helper()
+	s, addr := startServer(t, Config{
+		Engine:        "SpecSPMT",
+		Shards:        4,
+		MaxBatch:      8,
+		BatchWindow:   100 * time.Microsecond,
+		PipelineDepth: depth,
+	})
+	before := s.Counters()
+	lats := make([][]int64, conns) // wall ns per op, per conn
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	start := time.Now()
+	for id := 0; id < conns; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialProto(addr, 5*time.Second, proto)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			lat := make([]int64, 0, opsPerConn)
+			if proto == "text" {
+				for i := 0; i < opsPerConn; i++ {
+					k := uint64(id*1_000_000 + i%256)
+					t0 := time.Now()
+					var err error
+					if i%2 == 0 {
+						_, err = c.Set(k, uint64(i))
+					} else {
+						_, err = c.Get(k)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					lat = append(lat, time.Since(t0).Nanoseconds())
+				}
+			} else {
+				const window = 16
+				sendT := make([]time.Time, 0, window)
+				recvOne := func() error {
+					if _, err := c.RecvResult(); err != nil {
+						return err
+					}
+					lat = append(lat, time.Since(sendT[0]).Nanoseconds())
+					sendT = sendT[1:]
+					return nil
+				}
+				for i := 0; i < opsPerConn; i++ {
+					k := uint64(id*1_000_000 + i%256)
+					op := Op{Kind: OpSet, Key: k, Arg1: uint64(i)}
+					if i%2 == 1 {
+						op = Op{Kind: OpGet, Key: k}
+					}
+					if err := c.SendOp(op); err != nil {
+						errs <- err
+						return
+					}
+					sendT = append(sendT, time.Now())
+					for len(sendT) >= window {
+						if err := recvOne(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				for len(sendT) > 0 {
+					if err := recvOne(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			lats[id] = lat
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("proto=%s depth=%d: %v", proto, depth, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Counters()
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / 1e3
+	}
+	ops := uint64(len(all))
+	return benchCell{
+		Proto:       proto,
+		Depth:       depth,
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		P50WallUs:   pct(0.50),
+		P99WallUs:   pct(0.99),
+		FencesPerOp: float64(after.Fences-before.Fences) / float64(ops),
+	}
+}
+
+// TestProtoThroughputMatrix is the PR's headline perf gate: it sweeps
+// protocol × pipeline depth on a loopback socket and asserts the zero-copy
+// binary protocol with a depth-4 speculative pipeline clears 2× the ops/sec
+// of the text closed-loop baseline, with a lower fence rate. Set BENCH_PR7
+// to a path to also write the matrix as JSON (BENCH_pr7.json in CI).
+func TestProtoThroughputMatrix(t *testing.T) {
+	const conns, opsPerConn = 8, 600
+	var cells []benchCell
+	for _, proto := range []string{"text", "binary"} {
+		for _, depth := range []int{1, 2, 4} {
+			cells = append(cells, runProtoCell(t, proto, depth, conns, opsPerConn))
+		}
+	}
+	var textBase, binPipe benchCell
+	for _, c := range cells {
+		t.Logf("proto=%-6s depth=%d  %8.0f ops/s  p50=%6.1fus p99=%7.1fus  fences/op=%.3f",
+			c.Proto, c.Depth, c.OpsPerSec, c.P50WallUs, c.P99WallUs, c.FencesPerOp)
+		if c.Proto == "text" && c.Depth == 1 {
+			textBase = c
+		}
+		if c.Proto == "binary" && c.Depth == 4 {
+			binPipe = c
+		}
+	}
+	speedup := binPipe.OpsPerSec / textBase.OpsPerSec
+	t.Logf("binary+pipelined vs text baseline: %.2fx", speedup)
+	if speedup < 2.0 {
+		t.Fatalf("binary depth-4 = %.0f ops/s is %.2fx text depth-1 = %.0f ops/s, want >= 2x",
+			binPipe.OpsPerSec, speedup, textBase.OpsPerSec)
+	}
+	if binPipe.FencesPerOp >= textBase.FencesPerOp {
+		t.Fatalf("pipelined fence rate %.3f not below baseline %.3f",
+			binPipe.FencesPerOp, textBase.FencesPerOp)
+	}
+	if path := os.Getenv("BENCH_PR7"); path != "" {
+		out := struct {
+			Bench      string      `json:"bench"`
+			Conns      int         `json:"conns"`
+			OpsPerConn int         `json:"ops_per_conn"`
+			Cells      []benchCell `json:"cells"`
+			Speedup    float64     `json:"speedup_binary_d4_vs_text_d1"`
+		}{"pr7_proto_pipeline_matrix", conns, opsPerConn, cells, speedup}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

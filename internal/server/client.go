@@ -10,14 +10,27 @@ import (
 	"time"
 )
 
-// Client is the reference codec for the server's wire protocol — used by
-// the load generator, the examples, and tests. Not safe for concurrent
-// use: one goroutine per client, like one connection per client.
+// Client is the reference codec for the server's wire protocols — used by
+// the load generator, the examples, and tests. It speaks either the text
+// protocol or, when dialed with DialProto(..., "binary"), the framed binary
+// protocol (see protocol_bin.go). Not safe for concurrent use: one
+// goroutine per client, like one connection per client.
+//
+// Beyond the one-call-one-reply methods, SendOp / Flush / RecvResult expose
+// explicit pipelining: queue a window of requests, flush once, then collect
+// the replies in send order. Both protocols support it; the binary server
+// additionally dispatches a buffered window to the shard workers before
+// writing any reply, so pipelined binary clients see the largest gain.
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	buf  []byte
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	buf     []byte
+	lineBuf []byte // overflow accumulator for readLine (reused)
+	fbuf    []byte // binary frame read buffer (reused)
+	rbuf    []Result
+	ops1    [1]Op
+	binary  bool
 	// Banner is the server's greeting line (engine, profile, shards).
 	Banner string
 }
@@ -34,11 +47,16 @@ type OpResult struct {
 // Dial connects to a server, retrying for up to timeout (covers the race
 // against a server still binding its socket), and reads the banner.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialProto(addr, timeout, "text")
+}
+
+// DialProto dials with an explicit protocol: "text" (default) or "binary".
+func DialProto(addr string, timeout time.Duration, proto string) (*Client, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err == nil {
-			return NewClient(conn)
+			return NewClientProto(conn, proto)
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
@@ -50,7 +68,20 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // NewClient wraps an established connection (e.g. one end of a net.Pipe)
 // and reads the banner.
 func NewClient(conn net.Conn) (*Client, error) {
+	return NewClientProto(conn, "text")
+}
+
+// NewClientProto wraps an established connection with an explicit protocol.
+func NewClientProto(conn net.Conn, proto string) (*Client, error) {
 	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	switch proto {
+	case "", "text":
+	case "binary":
+		c.binary = true
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("server: unknown protocol %q (want text or binary)", proto)
+	}
 	line, err := c.readLine()
 	if err != nil {
 		conn.Close()
@@ -61,11 +92,23 @@ func NewClient(conn net.Conn) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("server: unexpected banner %q", c.Banner)
 	}
+	if c.binary {
+		// The version byte rides the first request's flush.
+		c.bw.WriteByte(BinVersion)
+	}
 	return c, nil
 }
 
 // Close sends QUIT (best effort) and closes the connection.
 func (c *Client) Close() error {
+	if c.binary {
+		c.buf = appendSimpleFrame(c.buf[:0], binFQuit)
+		c.bw.Write(c.buf)
+		c.bw.Flush()
+		c.conn.SetReadDeadline(time.Now().Add(time.Second))
+		readFrame(c.br, &c.fbuf) // BYE
+		return c.conn.Close()
+	}
 	c.bw.WriteString("QUIT\n")
 	c.bw.Flush()
 	c.conn.SetReadDeadline(time.Now().Add(time.Second))
@@ -73,8 +116,20 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// readLine reads one newline-terminated line without allocating per call:
+// the fast path returns a slice of the reader's buffer, and lines longer
+// than the buffer accumulate into a reusable overflow buffer. The returned
+// slice is valid until the next read.
 func (c *Client) readLine() ([]byte, error) {
-	line, err := c.br.ReadBytes('\n')
+	line, err := c.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		c.lineBuf = append(c.lineBuf[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = c.br.ReadSlice('\n')
+			c.lineBuf = append(c.lineBuf, line...)
+		}
+		line = c.lineBuf
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -86,18 +141,67 @@ func (c *Client) readLine() ([]byte, error) {
 }
 
 func (c *Client) do(op Op) (OpResult, error) {
-	c.buf = AppendCommand(c.buf[:0], op)
-	if _, err := c.bw.Write(c.buf); err != nil {
+	if err := c.SendOp(op); err != nil {
 		return OpResult{}, err
 	}
+	return c.RecvResult()
+}
+
+// SendOp queues one single-op request without reading its reply — the
+// pipelining half of the codec. Replies must be collected with RecvResult
+// in send order; do not interleave with Exec/Stats/Ping while replies are
+// outstanding.
+func (c *Client) SendOp(op Op) error {
+	if c.binary {
+		c.ops1[0] = op
+		b, err := AppendOpsFrame(c.buf[:0], c.ops1[:])
+		if err != nil {
+			return err
+		}
+		c.buf = b
+	} else {
+		c.buf = AppendCommand(c.buf[:0], op)
+	}
+	_, err := c.bw.Write(c.buf)
+	return err
+}
+
+// Flush pushes queued requests to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// RecvResult reads the next single-op reply (flushing queued requests
+// first).
+func (c *Client) RecvResult() (OpResult, error) {
 	if err := c.bw.Flush(); err != nil {
 		return OpResult{}, err
+	}
+	if c.binary {
+		return c.recvBinResult()
 	}
 	line, err := c.readLine()
 	if err != nil {
 		return OpResult{}, err
 	}
 	return parseOpResult(line)
+}
+
+func (c *Client) recvBinResult() (OpResult, error) {
+	payload, err := readFrame(c.br, &c.fbuf)
+	if err != nil {
+		return OpResult{}, err
+	}
+	if len(payload) > 0 && payload[0] == binFErr {
+		return OpResult{}, fmt.Errorf("server error: %s", payload[1:])
+	}
+	var modelNs int64
+	c.rbuf, modelNs, err = DecodeReplyFrame(payload, c.rbuf[:0])
+	if err != nil {
+		return OpResult{}, err
+	}
+	if len(c.rbuf) != 1 {
+		return OpResult{}, fmt.Errorf("server: %d results for one op", len(c.rbuf))
+	}
+	return OpResult{Status: c.rbuf[0].Status, Val: c.rbuf[0].Val, ModelNs: modelNs}, nil
 }
 
 // Get fetches key. Status is StatusValue or StatusNotFound.
@@ -122,9 +226,40 @@ func (c *Client) CAS(key, old, new uint64) (OpResult, error) {
 	return c.do(Op{Kind: OpCAS, Key: key, Arg1: old, Arg2: new})
 }
 
-// Exec runs ops as ONE transaction via MULTI...EXEC, returning one result
-// per op and the transaction's modeled time.
+// Exec runs ops as ONE transaction — a single multi-op frame on the binary
+// protocol, MULTI...EXEC on text — returning one result per op and the
+// transaction's modeled time.
 func (c *Client) Exec(ops []Op) ([]OpResult, int64, error) {
+	if c.binary {
+		b, err := AppendOpsFrame(c.buf[:0], ops)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.buf = b
+		if _, err := c.bw.Write(c.buf); err != nil {
+			return nil, 0, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return nil, 0, err
+		}
+		payload, err := readFrame(c.br, &c.fbuf)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(payload) > 0 && payload[0] == binFErr {
+			return nil, 0, fmt.Errorf("server error: %s", payload[1:])
+		}
+		var modelNs int64
+		c.rbuf, modelNs, err = DecodeReplyFrame(payload, c.rbuf[:0])
+		if err != nil {
+			return nil, 0, err
+		}
+		results := make([]OpResult, len(c.rbuf))
+		for i, r := range c.rbuf {
+			results[i] = OpResult{Status: r.Status, Val: r.Val, ModelNs: -1}
+		}
+		return results, modelNs, nil
+	}
 	c.bw.WriteString("MULTI\n")
 	for _, op := range ops {
 		c.buf = AppendCommand(c.buf[:0], op)
@@ -177,12 +312,37 @@ func (c *Client) Exec(ops []Op) ([]OpResult, int64, error) {
 // values; engine and profile come back in the "engine"/"profile" keys of
 // the second map).
 func (c *Client) Stats() (map[string]uint64, map[string]string, error) {
+	nums := map[string]uint64{}
+	strs := map[string]string{}
+	if c.binary {
+		c.buf = appendSimpleFrame(c.buf[:0], binFStats)
+		if _, err := c.bw.Write(c.buf); err != nil {
+			return nil, nil, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return nil, nil, err
+		}
+		payload, err := readFrame(c.br, &c.fbuf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(payload) == 0 || payload[0] != binFStatsReply {
+			return nil, nil, fmt.Errorf("server: unexpected STATS frame")
+		}
+		for _, line := range bytes.Split(payload[1:], []byte("\n")) {
+			if len(line) == 0 || string(line) == "END" {
+				continue
+			}
+			if err := parseStatsLine(line, nums, strs); err != nil {
+				return nil, nil, err
+			}
+		}
+		return nums, strs, nil
+	}
 	c.bw.WriteString("STATS\n")
 	if err := c.bw.Flush(); err != nil {
 		return nil, nil, err
 	}
-	nums := map[string]uint64{}
-	strs := map[string]string{}
 	for {
 		line, err := c.readLine()
 		if err != nil {
@@ -191,20 +351,31 @@ func (c *Client) Stats() (map[string]uint64, map[string]string, error) {
 		if string(line) == "END" {
 			return nums, strs, nil
 		}
-		fields := strings.Fields(string(line))
-		if len(fields) != 3 || fields[0] != "STAT" {
-			return nil, nil, fmt.Errorf("server: unexpected STATS line %q", line)
-		}
-		if n, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
-			nums[fields[1]] = n
-		} else {
-			strs[fields[1]] = fields[2]
+		if err := parseStatsLine(line, nums, strs); err != nil {
+			return nil, nil, err
 		}
 	}
 }
 
-// Promote asks a read-only replica to become a writable primary.
+func parseStatsLine(line []byte, nums map[string]uint64, strs map[string]string) error {
+	fields := strings.Fields(string(line))
+	if len(fields) != 3 || fields[0] != "STAT" {
+		return fmt.Errorf("server: unexpected STATS line %q", line)
+	}
+	if n, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+		nums[fields[1]] = n
+	} else {
+		strs[fields[1]] = fields[2]
+	}
+	return nil
+}
+
+// Promote asks a read-only replica to become a writable primary. Admin
+// command; text protocol only.
 func (c *Client) Promote() error {
+	if c.binary {
+		return fmt.Errorf("server: PROMOTE requires the text protocol")
+	}
 	c.bw.WriteString("PROMOTE\n")
 	if err := c.bw.Flush(); err != nil {
 		return err
@@ -214,6 +385,23 @@ func (c *Client) Promote() error {
 
 // Ping round-trips a PING.
 func (c *Client) Ping() error {
+	if c.binary {
+		c.buf = appendSimpleFrame(c.buf[:0], binFPing)
+		if _, err := c.bw.Write(c.buf); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		payload, err := readFrame(c.br, &c.fbuf)
+		if err != nil {
+			return err
+		}
+		if len(payload) != 1 || payload[0] != binFPong {
+			return fmt.Errorf("server: unexpected PING reply frame")
+		}
+		return nil
+	}
 	c.bw.WriteString("PING\n")
 	if err := c.bw.Flush(); err != nil {
 		return err

@@ -1,0 +1,210 @@
+// Package fenceadvisor is a static analysis pass over a simulation's trace
+// events that flags persist-barrier waste — the overhead class SpecPMT's
+// speculative logging exists to remove.
+//
+// Fences are the expensive half of a flush/fence pair: a fence stalls the
+// core until the write-pending queue drains, so the cheapest fence is one
+// you never issue. The advisor classifies every EvFence on every track:
+//
+//   - A fence is REDUNDANT when no flush was issued on its track since the
+//     track's previous fence. Nothing new sat in the persistence domain, so
+//     the barrier ordered nothing; it is pure stall. A correct engine hot
+//     path should have zero of these.
+//
+//   - A fence is COALESCABLE when it is an extra fence inside one commit's
+//     critical path (second and later fences within an EvCommit span).
+//     Undo-style engines pay these by construction — persist the log, fence,
+//     persist the commit marker, fence — and they are exactly what
+//     speculative logging folds into one barrier (SpecPMT §3: the single
+//     commit fence), or what the server's pipelined group commit hoists out
+//     of the path entirely via txn.DeferredCommitTx.
+//
+// The advisor consumes trace.Event values (internal/trace) from any source:
+// a harness run, a pool opened with a Tracer, or the server's engine
+// threads. It never perturbs a run — it is a pure function of the recorded
+// stream.
+package fenceadvisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specpmt/internal/trace"
+)
+
+// TrackReport is the fence accounting for one trace track (one simulated
+// core or engine thread).
+type TrackReport struct {
+	Track int
+	Name  string
+
+	Commits int
+	Fences  int
+	Flushes int
+
+	// RedundantFences counts fences with zero flushes on this track since
+	// the track's previous fence (the first fence of a track is never
+	// counted — there is no prior barrier to make it redundant against).
+	RedundantFences int
+	// CoalescableFences counts fences in excess of one inside a single
+	// commit critical path (EvCommit span). They are candidates for
+	// deferral into a single commit fence.
+	CoalescableFences int
+
+	// FenceStallNs totals the virtual time this track spent stalled in
+	// fences; RedundantStallNs is the share attributable to redundant ones.
+	FenceStallNs     int64
+	RedundantStallNs int64
+}
+
+// FencesPerCommit is the track's barrier rate; 0 when the track committed
+// nothing.
+func (t *TrackReport) FencesPerCommit() float64 {
+	if t.Commits == 0 {
+		return 0
+	}
+	return float64(t.Fences) / float64(t.Commits)
+}
+
+// Report is the whole-run analysis: per-track accounting plus totals.
+type Report struct {
+	Tracks []TrackReport
+
+	Commits           int
+	Fences            int
+	Flushes           int
+	RedundantFences   int
+	CoalescableFences int
+	FenceStallNs      int64
+	RedundantStallNs  int64
+}
+
+// FencesPerCommit is the run-wide barrier rate; 0 with no commits.
+func (r *Report) FencesPerCommit() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Fences) / float64(r.Commits)
+}
+
+// Clean reports whether the run shows no fence waste at all.
+func (r *Report) Clean() bool {
+	return r.RedundantFences == 0 && r.CoalescableFences == 0
+}
+
+// Analyze runs the pass over an event stream. names are the tracer's track
+// names (trace.Tracer.Tracks()); missing names render as "track N". Events
+// may interleave across tracks; per-track order follows stream order, which
+// is emission order.
+func Analyze(events []trace.Event, names []string) *Report {
+	type state struct {
+		rep              TrackReport
+		flushesSinceFent int
+		sawFence         bool
+		fenceTS          []int64 // fence start times, in order
+		commits          []trace.Event
+	}
+	byTrack := map[int]*state{}
+	get := func(id int) *state {
+		s := byTrack[id]
+		if s == nil {
+			s = &state{rep: TrackReport{Track: id}}
+			if id >= 0 && id < len(names) {
+				s.rep.Name = names[id]
+			} else {
+				s.rep.Name = fmt.Sprintf("track %d", id)
+			}
+			byTrack[id] = s
+		}
+		return s
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvFlush:
+			s := get(e.Track)
+			s.rep.Flushes++
+			s.flushesSinceFent++
+		case trace.EvFence:
+			s := get(e.Track)
+			s.rep.Fences++
+			s.rep.FenceStallNs += e.Dur
+			s.fenceTS = append(s.fenceTS, e.TS)
+			if s.sawFence && s.flushesSinceFent == 0 {
+				s.rep.RedundantFences++
+				s.rep.RedundantStallNs += e.Dur
+			}
+			s.sawFence = true
+			s.flushesSinceFent = 0
+		case trace.EvCommit:
+			s := get(e.Track)
+			s.rep.Commits++
+			s.commits = append(s.commits, e)
+		}
+	}
+
+	var r Report
+	ids := make([]int, 0, len(byTrack))
+	for id := range byTrack {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := byTrack[id]
+		// Fences are appended in time order per track, so each commit span's
+		// fence count is one binary search per endpoint.
+		for _, c := range s.commits {
+			lo := sort.Search(len(s.fenceTS), func(i int) bool { return s.fenceTS[i] >= c.TS })
+			hi := sort.Search(len(s.fenceTS), func(i int) bool { return s.fenceTS[i] > c.TS+c.Dur })
+			if n := hi - lo; n > 1 {
+				s.rep.CoalescableFences += n - 1
+			}
+		}
+		r.Tracks = append(r.Tracks, s.rep)
+		r.Commits += s.rep.Commits
+		r.Fences += s.rep.Fences
+		r.Flushes += s.rep.Flushes
+		r.RedundantFences += s.rep.RedundantFences
+		r.CoalescableFences += s.rep.CoalescableFences
+		r.FenceStallNs += s.rep.FenceStallNs
+		r.RedundantStallNs += s.rep.RedundantStallNs
+	}
+	return &r
+}
+
+// AnalyzeTracer is Analyze over a live tracer's buffered events and names.
+func AnalyzeTracer(tr *trace.Tracer) *Report {
+	return Analyze(tr.Events(), tr.Tracks())
+}
+
+// Advice renders human-readable findings, one line per flagged track, empty
+// when the run is clean.
+func (r *Report) Advice() []string {
+	var out []string
+	for i := range r.Tracks {
+		t := &r.Tracks[i]
+		if t.RedundantFences > 0 {
+			out = append(out, fmt.Sprintf(
+				"%s: %d redundant fence(s) ordering nothing (%d ns pure stall) — drop them",
+				t.Name, t.RedundantFences, t.RedundantStallNs))
+		}
+		if t.CoalescableFences > 0 {
+			out = append(out, fmt.Sprintf(
+				"%s: %d extra fence(s) inside commit critical paths (%.2f fences/commit) — defer into one commit fence (CommitNoFence + coalesced Thread.Fence)",
+				t.Name, t.CoalescableFences, t.FencesPerCommit()))
+		}
+	}
+	return out
+}
+
+// String renders a compact summary of the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fenceadvisor: %d commits, %d fences (%.2f/commit), %d flushes, %d redundant, %d coalescable\n",
+		r.Commits, r.Fences, r.FencesPerCommit(), r.Flushes, r.RedundantFences, r.CoalescableFences)
+	for _, line := range r.Advice() {
+		b.WriteString("  " + line + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package fenceadvisor
+
+import (
+	"testing"
+
+	"specpmt"
+	"specpmt/internal/harness"
+	"specpmt/internal/stamp"
+	"specpmt/internal/trace"
+)
+
+// TestSyntheticClassification pins the classifier's definitions on a
+// hand-built stream: redundant = fence with no flush since the previous
+// fence; coalescable = fences beyond the first inside one commit span.
+func TestSyntheticClassification(t *testing.T) {
+	ev := []trace.Event{
+		// tx 1: flush, fence, commit-marker flush, fence — undo-style, two
+		// fences inside the commit span [100, 160): one coalescable.
+		{Kind: trace.EvFlush, Track: 0, TS: 105},
+		{Kind: trace.EvFence, Track: 0, TS: 110, Dur: 10},
+		{Kind: trace.EvFlush, Track: 0, TS: 125},
+		{Kind: trace.EvFence, Track: 0, TS: 130, Dur: 10},
+		{Kind: trace.EvCommit, Track: 0, TS: 100, Dur: 60},
+		// tx 2: a fence ordering nothing (no flush since the last fence):
+		// redundant, and a second coalescable fence in span [200, 260).
+		{Kind: trace.EvFlush, Track: 0, TS: 205},
+		{Kind: trace.EvFence, Track: 0, TS: 210, Dur: 10},
+		{Kind: trace.EvFence, Track: 0, TS: 220, Dur: 5},
+		{Kind: trace.EvCommit, Track: 0, TS: 200, Dur: 60},
+		// Another track stays clean: its own first fence is never redundant.
+		{Kind: trace.EvFlush, Track: 1, TS: 300},
+		{Kind: trace.EvFence, Track: 1, TS: 310, Dur: 10},
+		{Kind: trace.EvCommit, Track: 1, TS: 295, Dur: 30},
+	}
+	r := Analyze(ev, []string{"app", "other"})
+	if r.Commits != 3 || r.Fences != 5 || r.Flushes != 4 {
+		t.Fatalf("totals: commits=%d fences=%d flushes=%d", r.Commits, r.Fences, r.Flushes)
+	}
+	if r.RedundantFences != 1 {
+		t.Errorf("redundant = %d, want 1", r.RedundantFences)
+	}
+	if r.CoalescableFences != 2 {
+		t.Errorf("coalescable = %d, want 2", r.CoalescableFences)
+	}
+	if r.RedundantStallNs != 5 {
+		t.Errorf("redundant stall = %d, want 5", r.RedundantStallNs)
+	}
+	if len(r.Tracks) != 2 || r.Tracks[0].Name != "app" || r.Tracks[1].RedundantFences != 0 {
+		t.Errorf("per-track split wrong: %+v", r.Tracks)
+	}
+	if got := len(r.Advice()); got != 2 {
+		t.Errorf("advice lines = %d, want 2 (%v)", got, r.Advice())
+	}
+}
+
+// TestSpecHotPathClean runs the SpecSPMT engine under the harness and
+// asserts the advisor finds no fence waste: speculative logging's hot path
+// is exactly one fence per commit, ordering real flushes.
+func TestSpecHotPathClean(t *testing.T) {
+	tr := trace.New()
+	if _, err := harness.RunSoftwareOpt("SpecSPMT", stamp.Profiles()[0], 300, 7, harness.ScenarioConfig{Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeTracer(tr)
+	if r.Commits == 0 || r.Fences == 0 {
+		t.Fatalf("trace too empty to judge: %s", r)
+	}
+	if !r.Clean() {
+		t.Errorf("spec hot path flagged:\n%s", r)
+	}
+}
+
+// TestUndoPathCoalescable runs the PMDK undo engine and asserts the advisor
+// flags its multi-fence commit path — the overhead Figure 2 measures and
+// speculative logging removes.
+func TestUndoPathCoalescable(t *testing.T) {
+	tr := trace.New()
+	if _, err := harness.RunSoftwareOpt("PMDK", stamp.Profiles()[0], 300, 7, harness.ScenarioConfig{Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeTracer(tr)
+	if r.CoalescableFences == 0 {
+		t.Errorf("undo commit path shows no coalescable fences:\n%s", r)
+	}
+	if r.FencesPerCommit() <= 1.0 {
+		t.Errorf("undo fences/commit = %.2f, want > 1", r.FencesPerCommit())
+	}
+}
+
+// TestDeferredCommitFencesBelowCommits drives the engine the way the
+// pipelined server does — CommitNoFence per transaction, one coalescing
+// Thread.Fence per window — and asserts the advisor sees fewer fences than
+// commits, with nothing redundant.
+func TestDeferredCommitFencesBelowCommits(t *testing.T) {
+	tr := specpmt.NewTracer()
+	p, err := specpmt.OpenThreaded(specpmt.Config{Engine: "SpecSPMT", Tracer: tr}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	th := p.Thread(0)
+
+	// Warm up (allocation + first commit), then cut the stream so the
+	// analysis covers only the pipelined window pattern.
+	r, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := th.Begin()
+	warm.StoreUint64(r, 0)
+	if err := warm.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(tr.Events())
+
+	const txs, window = 32, 4
+	for i := 0; i < txs; i++ {
+		tx := th.Begin()
+		dtx, ok := tx.(specpmt.DeferredCommitTx)
+		if !ok {
+			t.Fatal("spec tx does not implement DeferredCommitTx")
+		}
+		dtx.StoreUint64(r, uint64(i))
+		if err := dtx.CommitNoFence(); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%window == 0 {
+			th.Fence()
+		}
+	}
+	rep := Analyze(tr.Events()[cut:], tr.Tracks())
+	if rep.Commits != txs {
+		t.Fatalf("commits = %d, want %d", rep.Commits, txs)
+	}
+	if rep.Fences >= rep.Commits {
+		t.Errorf("fences = %d not below commits = %d", rep.Fences, rep.Commits)
+	}
+	if rep.Fences != txs/window {
+		t.Errorf("fences = %d, want %d (one per window)", rep.Fences, txs/window)
+	}
+	if rep.RedundantFences != 0 {
+		t.Errorf("coalesced window fences flagged redundant:\n%s", rep)
+	}
+}

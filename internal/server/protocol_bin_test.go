@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the binary frame reader and the
+// OPS/REPLY payload decoders: they must never panic, never hand back a
+// payload larger than MaxFrameLen, and every OPS payload they accept must
+// re-encode byte-for-byte through AppendOpsFrame (the wire format is
+// canonical — fixed-width fields, no padding choices).
+func FuzzDecodeFrame(f *testing.F) {
+	ops, _ := AppendOpsFrame(nil, []Op{{Kind: OpSet, Key: 7, Arg1: 9}})
+	multi, _ := AppendOpsFrame(nil, []Op{
+		{Kind: OpGet, Key: 1}, {Kind: OpCAS, Key: 2, Arg1: 3, Arg2: 4}, {Kind: OpDel, Key: 5},
+	})
+	reply := AppendReplyFrame(nil, []Result{{Status: StatusValue, Val: 42}}, 1234)
+	f.Add(ops)
+	f.Add(multi)
+	f.Add(reply)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                   // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})    // absurd length prefix
+	f.Add([]byte("GET 7\n"))                    // text command as a frame
+	f.Add(append(ops[:len(ops)-3], multi...))   // truncated + concatenated
+	f.Add([]byte{5, 0, 0, 0, binFOps, 2, 1, 1}) // op count lies
+	f.Add([]byte{2, 0, 0, 0, binFReply, 9})     // reply count lies
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		br := bufio.NewReaderSize(bytes.NewReader(stream), binReadBuf)
+		var buf []byte
+		for {
+			payload, err := readFrame(br, &buf)
+			if err != nil {
+				return // any error cleanly ends the stream
+			}
+			if len(payload) == 0 || len(payload) > MaxFrameLen {
+				t.Fatalf("readFrame returned %d-byte payload", len(payload))
+			}
+			if decoded, err := DecodeOpsFrame(payload, nil); err == nil {
+				if int(payload[1]) != len(decoded) {
+					t.Fatalf("decoded %d ops from a frame declaring %d", len(decoded), payload[1])
+				}
+				again, err := AppendOpsFrame(nil, decoded)
+				if err != nil {
+					t.Fatalf("re-encode of accepted ops failed: %v", err)
+				}
+				if !bytes.Equal(again[frameHdrLen:], payload) {
+					t.Fatalf("decode/encode not canonical:\n in %x\nout %x", payload, again[frameHdrLen:])
+				}
+			}
+			if results, modelNs, err := DecodeReplyFrame(payload, nil); err == nil {
+				again := AppendReplyFrame(nil, results, modelNs)
+				if !bytes.Equal(again[frameHdrLen:], payload) {
+					t.Fatalf("reply decode/encode not canonical:\n in %x\nout %x", payload, again[frameHdrLen:])
+				}
+			}
+		}
+	})
+}
+
+// rawDial opens a plain TCP connection and consumes the text banner.
+func rawDial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	br := bufio.NewReader(conn)
+	banner, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(banner, "SPECPMT") {
+		t.Fatalf("banner = %q, %v", banner, err)
+	}
+	return conn, br
+}
+
+// TestBinaryRejectsTextLine: once a connection selected the binary protocol,
+// a text command is an unframeable byte soup — the server must answer with
+// one ERR frame and hang up, not wedge or misparse.
+func TestBinaryRejectsTextLine(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 1})
+	conn, br := rawDial(t, addr)
+	if _, err := conn.Write(append([]byte{BinVersion}, "GET 7\n"...)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	payload, err := readFrame(br, &buf)
+	if err != nil {
+		t.Fatalf("expected an ERR frame before close, got %v", err)
+	}
+	if payload[0] != binFErr {
+		t.Fatalf("frame type = %#x, want ERR", payload[0])
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection not closed after framing error: %v", err)
+	}
+}
+
+// TestTextRejectsBinaryFrame: a 0xB1 byte after text commands leaves the
+// rest of the stream unframeable — the server answers a text ERR and closes.
+func TestTextRejectsBinaryFrame(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 1})
+	conn, br := rawDial(t, addr)
+	if _, err := conn.Write([]byte("PING\n")); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := br.ReadString('\n'); err != nil || line != "PONG\n" {
+		t.Fatalf("PING -> %q, %v", line, err)
+	}
+	if _, err := conn.Write(append([]byte{BinVersion}, 1, 0, 0, 0, binFPing, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERR binary frame") {
+		t.Fatalf("mid-stream 0xB1 -> %q, %v", line, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection not closed after protocol violation: %v", err)
+	}
+}

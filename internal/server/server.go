@@ -40,6 +40,21 @@ type Config struct {
 	// queue runs dry before committing a non-full batch. 0 commits whatever
 	// is already queued without waiting. Default 200µs.
 	BatchWindow time.Duration
+	// PipelineDepth enables pipelined speculative group commit when > 1: a
+	// shard worker commits up to PipelineDepth batches with their commit
+	// fence deferred (txn.DeferredCommitTx), parks their replies, then
+	// issues ONE coalescing retire fence for the whole window and hands it
+	// to a per-shard retirer goroutine that publishes replication writes
+	// and releases replies in commit order. Execution of batch N+1 overlaps
+	// the fence/replication drain of batch N, and fences-per-op drops by up
+	// to another factor of PipelineDepth on top of group commit. 0 or 1
+	// keeps the synchronous commit path. Default 1.
+	PipelineDepth int
+	// Proto selects which wire protocols the listener accepts: "auto"
+	// (default) serves text and, after the 0xB1 version byte, binary;
+	// "text" rejects the binary version byte; "binary" requires it as the
+	// first byte after the banner.
+	Proto string
 	// MaxConns bounds concurrent connections; over-limit dials are refused
 	// with an ERR line. Default 256.
 	MaxConns int
@@ -118,6 +133,20 @@ func (cfg *Config) fillDefaults() error {
 	if cfg.BatchWindow == 0 {
 		cfg.BatchWindow = 200 * time.Microsecond
 	}
+	if cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = 1
+	}
+	if cfg.PipelineDepth < 1 || cfg.PipelineDepth > 64 {
+		return fmt.Errorf("server: pipeline depth must be 1..64")
+	}
+	if cfg.Proto == "" {
+		cfg.Proto = "auto"
+	}
+	switch cfg.Proto {
+	case "auto", "text", "binary":
+	default:
+		return fmt.Errorf("server: proto must be auto, text, or binary")
+	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 256
 	}
@@ -193,6 +222,10 @@ type Server struct {
 
 	readOnly atomic.Bool
 
+	// pipelined is PipelineDepth > 1 (immutable after New): the workers
+	// park speculative batches and per-shard retirers publish them.
+	pipelined bool
+
 	// Observability plane: the registry STATS and /metrics render from, the
 	// live span ring, and the slow-op threshold. log is never nil; rec may
 	// be. stamps is true when per-request wall-clock stamps are wanted
@@ -214,6 +247,9 @@ type Server struct {
 	protoErrs   atomic.Uint64
 	roRejected  atomic.Uint64
 	slowOps     atomic.Uint64
+	specAborts  atomic.Uint64
+	binConns    atomic.Uint64
+	binFrames   atomic.Uint64
 }
 
 // StatsHook extends the STATS block with subsystem-specific counters (the
@@ -268,8 +304,9 @@ func New(cfg Config) (*Server, error) {
 		s.reg = obs.NewRegistry()
 	}
 	s.stamps = s.rec != nil || s.slowNs > 0
+	s.pipelined = cfg.PipelineDepth > 1
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(pool, i, cfg.MaxBatch)
+		sh, err := newShard(pool, i, cfg.MaxBatch, cfg.PipelineDepth)
 		if err != nil {
 			pool.Close()
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
@@ -421,6 +458,13 @@ func (s *Server) startWorkers() {
 				defer s.workerWG.Done()
 				s.runWorker(sh)
 			}(sh)
+			if sh.retireq != nil {
+				s.workerWG.Add(1)
+				go func(sh *shard) {
+					defer s.workerWG.Done()
+					s.runRetirer(sh)
+				}(sh)
+			}
 		}
 	})
 }
@@ -625,7 +669,32 @@ func (s *Server) handleConn(c net.Conn) {
 		return
 	}
 
-	br := bufio.NewReaderSize(c, MaxLineLen+2)
+	br := bufio.NewReaderSize(c, binReadBuf)
+	// Protocol selection: the banner is always text; a client that wants
+	// the binary protocol answers with the 0xB1 version byte as its very
+	// first byte, anything else speaks the text protocol for the
+	// connection's lifetime. Mixing after that is a protocol error.
+	c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == BinVersion {
+		if s.cfg.Proto == "text" {
+			s.protoErrs.Add(1)
+			s.writeLine(c, bw, "ERR binary protocol disabled (-proto=text)")
+			return
+		}
+		br.Discard(1)
+		s.binConns.Add(1)
+		s.handleBinary(c, br, bw, &co)
+		return
+	}
+	if s.cfg.Proto == "binary" {
+		s.protoErrs.Add(1)
+		s.writeLine(c, bw, "ERR binary protocol required (-proto=binary)")
+		return
+	}
 	var (
 		multiOps []Op
 		inMulti  bool
@@ -645,6 +714,13 @@ func (s *Server) handleConn(c net.Conn) {
 				s.protoErrs.Add(1)
 				s.writeLine(c, bw, "ERR line too long")
 			}
+			return
+		}
+		if len(line) > 0 && line[0] == BinVersion {
+			// A binary version byte after text commands: the framing of the
+			// rest of the stream is unknowable, so answer and hang up.
+			s.protoErrs.Add(1)
+			s.writeLine(c, bw, "ERR binary frame on a text connection")
 			return
 		}
 		cmd, perr := ParseCommand(line)
@@ -928,11 +1004,17 @@ func (s *Server) registerMetrics() {
 	r.Family("specpmt_pm_log_bytes", "bytes of engine log writes", obs.KindCounter)
 	r.Family("specpmt_pm_data_bytes", "bytes of in-place data-structure writes", obs.KindCounter)
 	r.Family("specpmt_log_records", "engine log records appended", obs.KindCounter)
+	r.Family("specpmt_pipeline_depth", "configured speculative commit pipeline depth (1 = off)", obs.KindGauge)
+	r.Family("specpmt_parked_now", "replies currently parked behind an unretired fence", obs.KindGauge)
+	r.Family("specpmt_spec_aborts", "speculative batch commits aborted and replayed", obs.KindCounter)
+	r.Family("specpmt_bin_conns", "connections that negotiated the binary protocol", obs.KindCounter)
+	r.Family("specpmt_bin_frames", "binary request frames decoded", obs.KindCounter)
 	r.Family("specpmt_shard_tx_committed", "transactions committed, per shard", obs.KindCounter)
 	r.Family("specpmt_shard_keys", "live keys, per shard", obs.KindGauge)
 	r.Family("specpmt_commit_ns", "wall-clock group-commit latency in ns, per shard", obs.KindHistogram)
 	r.Family("specpmt_batch_jobs", "jobs per group commit, per shard", obs.KindHistogram)
 	r.Family("specpmt_queue_depth", "jobs still queued at batch start, per shard", obs.KindHistogram)
+	r.Family("specpmt_parked_replies", "replies released per retire fence, per shard", obs.KindHistogram)
 
 	r.Collect(s.collectMetrics)
 	r.Collect(func(emit func(obs.Sample)) {
@@ -993,6 +1075,15 @@ func (s *Server) collectMetrics(emit func(obs.Sample)) {
 	scalar("specpmt_readonly", "readonly", boolStat(s.readOnly.Load()))
 	scalar("specpmt_writes_rejected", "writes_rejected", s.roRejected.Load())
 	scalar("specpmt_slow_ops", "slow_ops", s.slowOps.Load())
+	var parkedNow int64
+	for _, sh := range s.shards {
+		parkedNow += sh.parked.Load()
+	}
+	scalar("specpmt_pipeline_depth", "pipeline_depth", uint64(s.cfg.PipelineDepth))
+	scalar("specpmt_parked_now", "parked_now", uint64(parkedNow))
+	scalar("specpmt_spec_aborts", "spec_aborts", s.specAborts.Load())
+	scalar("specpmt_bin_conns", "bin_conns", s.binConns.Load())
+	scalar("specpmt_bin_frames", "bin_frames", s.binFrames.Load())
 	scalar("specpmt_model_ns", "model_ns", uint64(modelNs))
 	scalar("specpmt_fences", "fences", agg.Fences)
 	scalar("specpmt_flushes", "flushes", agg.Flushes)
@@ -1016,6 +1107,7 @@ func (s *Server) collectMetrics(emit func(obs.Sample)) {
 		emit(obs.Sample{Family: "specpmt_commit_ns", Label: obs.ShardLabel(i), Hist: sh.commitNs.Snapshot()})
 		emit(obs.Sample{Family: "specpmt_batch_jobs", Label: obs.ShardLabel(i), Hist: sh.batchJobs.Snapshot()})
 		emit(obs.Sample{Family: "specpmt_queue_depth", Label: obs.ShardLabel(i), Hist: sh.queueDepth.Snapshot()})
+		emit(obs.Sample{Family: "specpmt_parked_replies", Label: obs.ShardLabel(i), Hist: sh.parkedHist.Snapshot()})
 	}
 }
 
@@ -1024,19 +1116,27 @@ func (s *Server) collectMetrics(emit func(obs.Sample)) {
 // an equal-valued series there and no two fields can straddle a worker's
 // publish.
 func (s *Server) writeStats(c net.Conn, bw *bufio.Writer) bool {
-	samples := s.reg.Gather()
 	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	fmt.Fprintf(bw, "STAT engine %s\nSTAT profile %s\n", s.cfg.Engine, s.cfg.Profile)
-	var buf []byte
+	bw.Write(s.appendStats(nil))
+	return bw.Flush() == nil
+}
+
+// appendStats renders the STATS block (shared by the text STATS command and
+// the binary STATSREPLY frame) from one registry gather.
+func (s *Server) appendStats(dst []byte) []byte {
+	samples := s.reg.Gather()
+	dst = append(dst, "STAT engine "...)
+	dst = append(dst, s.cfg.Engine...)
+	dst = append(dst, "\nSTAT profile "...)
+	dst = append(dst, s.cfg.Profile...)
+	dst = append(dst, '\n')
 	for _, sm := range samples {
 		if sm.Stat == "" || sm.Hist != nil {
 			continue
 		}
-		buf = obs.FormatStat(buf[:0], sm.Stat, sm.Value)
-		bw.Write(buf)
+		dst = obs.FormatStat(dst, sm.Stat, sm.Value)
 	}
-	bw.WriteString("END\n")
-	return bw.Flush() == nil
+	return append(dst, "END\n"...)
 }
 
 // observeRequest records the finished job's wall-clock spans (whole request,

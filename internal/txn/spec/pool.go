@@ -59,9 +59,21 @@ func (p *Pool) Close() error {
 // Recover performs merged multi-thread recovery (§4.1, §5.2.2): every
 // thread's committed records are collected, globally sorted by commit
 // timestamp, and replayed in that order; the restored data is persisted.
-// Afterwards all chains are truncated — with the data durable, the log
-// records have served their purpose (the same argument as the §4.3.1
-// mechanism switch) — and every engine is ready for new transactions.
+// Afterwards the old chains are retired, but NOT to empty ones: the first
+// engine's fresh chain is seeded with compact records holding the final
+// recovered value of every live cell (§4.2-style compaction).
+//
+// That seeding upholds the invariant replay-undo correctness rests on:
+// every cell a transaction may speculatively dirty in place has a committed
+// value somewhere in the live logs. Replay redoes the last committed value
+// over whatever a crash let leak from the caches — which "thereby undoes
+// interrupted ones" (§3.1), and equally undoes CommitNoFence records whose
+// deferred fence never retired. Were the chains truncated bare, a cell
+// whose next writers all die unfenced at the following crash would have no
+// committed record left to undo its leaked speculative bytes, and a torn
+// transaction could surface. (The same contract puts fresh allocations on
+// the caller: initialize new memory inside a committed transaction before
+// speculating on it.)
 func (p *Pool) Recover() error {
 	if len(p.engines) == 0 {
 		return nil
@@ -77,26 +89,90 @@ func (p *Pool) Recover() error {
 	}
 	sortRecordsByTS(recs)
 	touched := txn.NewWriteSet()
+	// final tracks the winning (newest-timestamp) value per cell during
+	// replay; order is first-touch replay order, so the pass is
+	// deterministic for a given log state.
+	type coverEnt struct {
+		val []byte
+		ts  uint64
+	}
+	final := map[pmem.Addr]coverEnt{}
+	var order []pmem.Addr
 	for _, r := range recs {
 		for _, en := range r.ents {
 			c.Store(en.Addr, en.Val)
 			touched.Add(en.Addr, len(en.Val))
+			if _, ok := final[en.Addr]; !ok {
+				order = append(order, en.Addr)
+			}
+			final[en.Addr] = coverEnt{val: en.Val, ts: r.ts}
 		}
 	}
 	for _, l := range touched.Lines() {
 		c.Flush(pmem.Addr(l*pmem.LineSize), pmem.LineSize, pmem.KindData)
 	}
 	c.Fence()
-	// Retire every chain: the data is durable, so no record is needed. Each
-	// engine gets a fresh chain (fresh block incarnations — reusing the old
-	// head block would let its residual records alias new ones at equal
-	// offsets), the head pointer is switched durably, and only then are the
-	// old blocks freed.
-	for _, e := range p.engines {
+	// Retire every chain. Each engine gets a fresh chain (fresh block
+	// incarnations — reusing the old head block would let its residual
+	// records alias new ones at equal offsets); the first engine's carries
+	// the coverage records. Only once the new chain is durable is the head
+	// pointer switched and the old blocks freed, so a crash inside recovery
+	// re-runs it from the old chains.
+	for ei, e := range p.engines {
 		ec := e.env.Core
 		nc, err := newChain(ec, e.env.LogHeap, e.env.TS, e.opt.BlockSize)
 		if err != nil {
 			return fmt.Errorf("spec: pool recovery: %w", err)
+		}
+		e.index = map[pmem.Addr]indexEnt{}
+		e.liveBytes, e.staleBytes = 0, 0
+		if ei == 0 {
+			// Pack the recovered cells into committed records, each stamped
+			// with the newest timestamp among its members (§4.2), and index
+			// them so reclamation sees the coverage entries as live.
+			for start := 0; start < len(order); {
+				size := recHeader + recFooter
+				end := start
+				for end < len(order) {
+					s := size + entHeader + len(final[order[end]].val)
+					if s > nc.payload() {
+						break
+					}
+					size = s
+					end++
+				}
+				if end == start {
+					return fmt.Errorf("spec: recovered entry larger than log block payload")
+				}
+				rec := make([]byte, size)
+				putU32(rec, 0, uint32(size))
+				putU32(rec, 4, uint32(end-start))
+				maxTS := uint64(0)
+				off := recHeader
+				for i := start; i < end; i++ {
+					f := final[order[i]]
+					if f.ts > maxTS {
+						maxTS = f.ts
+					}
+					putU64(rec, off, uint64(order[i]))
+					putU32(rec, off+8, uint32(len(f.val)))
+					copy(rec[off+entHeader:], f.val)
+					off += entHeader + len(f.val)
+				}
+				putU64(rec, 8, maxTS)
+				loc, err := nc.appendRecord(rec)
+				if err != nil {
+					return fmt.Errorf("spec: pool recovery: %w", err)
+				}
+				off = recHeader
+				for i := start; i < end; i++ {
+					f := final[order[i]]
+					e.index[order[i]] = indexEnt{ts: f.ts, rec: loc, valOff: off + entHeader, size: len(f.val)}
+					off += entHeader + len(f.val)
+				}
+				e.liveBytes += int64(size)
+				start = end
+			}
 		}
 		nc.flushPending(pmem.KindLog)
 		ec.Fence()
@@ -107,8 +183,6 @@ func (p *Pool) Recover() error {
 		for _, b := range old.blocks {
 			old.heap.Free(b, old.bsize)
 		}
-		e.index = map[pmem.Addr]indexEnt{}
-		e.liveBytes, e.staleBytes = 0, 0
 		e.needsScan = false
 	}
 	return nil

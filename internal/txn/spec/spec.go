@@ -101,6 +101,14 @@ type Engine struct {
 	open       bool
 	needsScan  bool // attached post-crash: Recover must run before Begin
 
+	// unfenced is true while at least one CommitNoFence record sits in the
+	// write pending queue without an ordering fence behind it. Reclamation
+	// copies per-entry fresh values into compact records, which would tear
+	// transaction atomicity if a source record could still be lost to a
+	// crash — so every reclaim entry point fences first when this is set.
+	// Owned by the engine's single application thread.
+	unfenced bool
+
 	// bgmu serialises chain/index access between the transaction path and
 	// the background reclaimer; uncontended (and effectively free) when
 	// BackgroundReclaim is off.
@@ -288,7 +296,30 @@ func (t *tx) Store(addr pmem.Addr, data []byte) {
 
 // Commit implements txn.Tx: encode one log record, flush it (plus data, for
 // the DP variant), and issue the single commit fence.
-func (t *tx) Commit() error {
+func (t *tx) Commit() error { return t.commit(true) }
+
+// CommitNoFence implements txn.DeferredCommitTx: the commit record is
+// encoded and its flushes issued exactly as Commit does, but the trailing
+// ordering fence is deferred to a later pmem.Core.Fence on the same core
+// (specpmt.Thread.Fence). Until that fence retires, a crash may lose this
+// transaction — but only together with every later one on the thread: log
+// recovery stops at the first torn record, so the recovered state is always
+// a prefix of the speculative commit order. The volatile index is published
+// immediately, so later transactions on the thread observe the speculative
+// state, mirroring the paper's speculative-persistence model at record
+// granularity.
+//
+// Engines running a background reclaimer (or the dedicated-commit-flag
+// ablation, whose flag barrier is itself a fence) gain nothing from
+// deferral and fall back to a full Commit.
+func (t *tx) CommitNoFence() error {
+	if t.e.daemon != nil || t.e.opt.DedicatedCommitFlag {
+		return t.commit(true)
+	}
+	return t.commit(false)
+}
+
+func (t *tx) commit(fence bool) error {
 	if t.done {
 		return errors.New("spec: transaction already finished")
 	}
@@ -341,7 +372,12 @@ func (t *tx) Commit() error {
 		}
 	}
 	e.ch.flushPending(pmem.KindLog)
-	c.Fence() // the one and only commit fence
+	if fence {
+		c.Fence() // the one and only commit fence
+		e.unfenced = false
+	} else {
+		e.unfenced = true
+	}
 	if e.opt.DedicatedCommitFlag {
 		// Ablation: the commit-status flag plus barrier the checksum-as-
 		// commit-marker design eliminates.
@@ -439,10 +475,24 @@ func (e *Engine) Recover() error {
 // prefix. Freshness comes from the volatile index; a log entry is fresh iff
 // the index still points at it.
 func (e *Engine) ReclaimNow() error {
+	// Retire any deferred commit fences first: reclamation must only ever
+	// copy records that can no longer be torn by a crash (see Engine.
+	// unfenced). CommitNoFence falls back to a fenced commit whenever a
+	// background daemon exists, so this path is only taken on the engine's
+	// own application thread and the fence is core-safe.
+	if e.unfenced {
+		e.env.Core.Fence()
+		e.unfenced = false
+	}
 	e.bgmu.Lock()
 	defer e.bgmu.Unlock()
 	return e.reclaimLocked()
 }
+
+// NoteFence records that the caller issued an ordering fence on the
+// engine's application core (e.g. specpmt.Thread.Fence), retiring every
+// deferred CommitNoFence record. Must run on the application thread.
+func (e *Engine) NoteFence() { e.unfenced = false }
 
 // reclaimLocked performs the cycle; callers hold e.bgmu.
 func (e *Engine) reclaimLocked() error {

@@ -39,6 +39,23 @@ type Tx interface {
 	Abort() error
 }
 
+// DeferredCommitTx is implemented by transactions that can commit
+// speculatively: CommitNoFence persists the commit record's flushes into
+// the core's write pending queue but defers the trailing ordering fence to
+// a later pmem.Core.Fence on the same core. Until that fence retires, a
+// crash may lose the transaction — but only together with every later
+// transaction on the same core (recovery yields a prefix of the commit
+// order), which makes the deferral safe as long as no externally visible
+// acknowledgement is released before the fence. This is the server-level
+// analogue of SpecPMT's speculative persistence: execution runs past an
+// outstanding persist, and publication waits for the fence.
+type DeferredCommitTx interface {
+	Tx
+	// CommitNoFence commits without the trailing ordering fence. On error
+	// the transaction is rolled back exactly as a failed Commit would be.
+	CommitNoFence() error
+}
+
 // Engine is a crash-consistency scheme bound to one device region.
 type Engine interface {
 	// Name identifies the engine in reports ("PMDK", "SpecSPMT", ...).

@@ -53,6 +53,11 @@ import (
 // Commit (crash-atomic, durable) or Abort.
 type Tx = txn.Tx
 
+// DeferredCommitTx is a transaction that can commit speculatively with
+// CommitNoFence, deferring the ordering fence to a later Thread.Fence on
+// the same thread. Type-assert a Tx to probe support.
+type DeferredCommitTx = txn.DeferredCommitTx
+
 // Addr is a byte offset in the persistent pool.
 type Addr = pmem.Addr
 

@@ -157,6 +157,19 @@ func (p *ThreadedPool) Begin(i int) Tx {
 	}
 }
 
+// engineAt returns thread i's engine for optional-interface probes
+// (e.g. the deferred-fence NoteFence hook on the spec engine).
+func (p *ThreadedPool) engineAt(i int) any {
+	switch {
+	case p.swPool != nil:
+		return p.swPool.Engine(i)
+	case p.hwClust != nil:
+		return p.hwClust.Engine(i)
+	default:
+		return p.generic[i]
+	}
+}
+
 // Alloc returns a line-aligned persistent region (safe for concurrent use).
 func (p *ThreadedPool) Alloc(n int) (Addr, error) { return p.heap.Alloc(n) }
 
@@ -328,6 +341,18 @@ func (t *Thread) Index() int { return t.idx }
 
 // Begin opens a transaction on this thread's engine.
 func (t *Thread) Begin() Tx { return t.pool.Begin(t.idx) }
+
+// Fence issues an ordering fence on this thread's core, retiring every
+// transaction the thread committed with CommitNoFence (see
+// txn.DeferredCommitTx) since the previous fence. This is the coalescing
+// retire step of pipelined group commit: many speculative commits, one
+// fence. Must run on the goroutine driving this thread.
+func (t *Thread) Fence() {
+	t.core.Fence()
+	if n, ok := t.pool.engineAt(t.idx).(interface{ NoteFence() }); ok {
+		n.NoteFence()
+	}
+}
 
 // Alloc returns a line-aligned persistent region from the shared heap.
 func (t *Thread) Alloc(n int) (Addr, error) { return t.pool.heap.Alloc(n) }

@@ -222,3 +222,98 @@ func TestThreadedPoolWithSpecOptions(t *testing.T) {
 		t.Fatalf("a=%d", got)
 	}
 }
+
+// TestDeferredCommitPrefixRecovery pins the crash contract CommitNoFence
+// rests on: transactions committed without their fence may be lost, but
+// only as a suffix — recovery always yields a prefix of the speculative
+// commit order, never a gap, and never a torn transaction. Pipelined group
+// commit in internal/server is safe exactly because of this: replies are
+// parked until Thread.Fence retires, so anything a crash can lose was
+// never acknowledged.
+func TestDeferredCommitPrefixRecovery(t *testing.T) {
+	const total, fenced = 40, 15
+	for seed := uint64(1); seed <= 20; seed++ {
+		p, err := OpenThreaded(Config{Engine: "SpecSPMT"}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := p.Thread(0)
+		a, _ := p.Alloc(64)
+		b, _ := p.Alloc(64)
+		for v := uint64(1); v <= total; v++ {
+			tx := th.Begin()
+			dtx, ok := tx.(DeferredCommitTx)
+			if !ok {
+				t.Fatal("spec engine must support CommitNoFence")
+			}
+			// Two cells in one transaction: tearing would leave a != b.
+			dtx.StoreUint64(a, v)
+			dtx.StoreUint64(b, v)
+			if err := dtx.CommitNoFence(); err != nil {
+				t.Fatal(err)
+			}
+			if v == fenced {
+				th.Fence() // retire the first `fenced` commits
+			}
+		}
+		if err := p.Crash(seed); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		got, gotB := p.ReadUint64(a), p.ReadUint64(b)
+		if got != gotB {
+			p.Close()
+			t.Fatalf("seed %d: torn transaction survived: a=%d b=%d", seed, got, gotB)
+		}
+		if got < fenced || got > total {
+			p.Close()
+			t.Fatalf("seed %d: recovered %d, want a prefix in [%d, %d]", seed, got, fenced, total)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDeferredCommitFenceCoalescing asserts the whole point: K speculative
+// commits plus one retire fence issue exactly one fence, not K.
+func TestDeferredCommitFenceCoalescing(t *testing.T) {
+	p, err := OpenThreaded(Config{Engine: "SpecSPMT"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	th := p.Thread(0)
+	a, _ := p.Alloc(64)
+	warm := th.Begin()
+	warm.StoreUint64(a, 1)
+	if err := warm.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	before := th.Counters().Fences
+	for v := uint64(0); v < k; v++ {
+		tx := th.Begin().(DeferredCommitTx)
+		tx.StoreUint64(a, v)
+		if err := tx.CommitNoFence(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th.Fence()
+	if got := th.Counters().Fences - before; got != 1 {
+		t.Fatalf("%d commits + retire issued %d fences, want exactly 1", k, got)
+	}
+	fencedOnly := th.Counters().Fences
+	for v := uint64(0); v < k; v++ {
+		tx := th.Begin()
+		tx.StoreUint64(a, v)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := th.Counters().Fences - fencedOnly; got != k {
+		t.Fatalf("fenced commits issued %d fences, want %d", got, k)
+	}
+}
