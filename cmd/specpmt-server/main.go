@@ -136,6 +136,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
 		os.Exit(1)
 	}
+	// Refuse to serve from a pool whose recovered state violates a
+	// recovery invariant: better to fail loudly at startup than to serve
+	// (and replicate) corrupt data. The run also feeds the
+	// specpmt_recovery_checks metrics family.
+	if err := s.SelfCheck(); err != nil {
+		fmt.Fprintf(os.Stderr, "specpmt-server: startup recovery self-check: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("startup recovery self-check passed", "engine", server.ResolveEngine(*engine), "shards", *shards)
 
 	var primary *repl.Primary
 	var replica *repl.Replica

@@ -2,9 +2,15 @@
 // engine with a pseudo-random transaction stream, injects power failures at
 // random points — between transactions and mid-transaction, with random
 // partial eviction of dirty cache lines — runs recovery, and verifies the
-// persistent state against an oracle of the committed history. Multiple
-// crash/recover/continue rounds per run exercise log-area reuse, reclamation
-// across restarts, and recovery idempotence.
+// persistent state after EVERY power-fail point with the registered
+// recovery-invariant checkers (internal/recovery): committed-data oracles,
+// the logged allocator's metadata contract, and engine-level structural
+// invariants. Multiple crash/recover/continue rounds per run exercise
+// log-area reuse, reclamation across restarts, and recovery idempotence.
+//
+// A checker violation stops the run at that power-fail point: Report.FailedAt
+// carries its zero-based index so the exact failure is reproducible from
+// (seed, FailedAt), and the CLI exits non-zero with it.
 package crashtest
 
 import (
@@ -12,7 +18,9 @@ import (
 
 	"specpmt"
 	"specpmt/internal/pmem"
+	"specpmt/internal/recovery"
 	"specpmt/internal/sim"
+	"specpmt/internal/txn/spec"
 )
 
 // Config parameterises a torture run.
@@ -61,13 +69,19 @@ func (c *Config) setDefaults() {
 
 // Report summarises a run.
 type Report struct {
-	Engine     string
-	Seed       uint64
-	Rounds     int
-	Committed  int
-	Crashes    int
-	MidTx      int // crashes that interrupted an open transaction
+	Engine    string
+	Seed      uint64
+	Rounds    int
+	Committed int
+	Crashes   int
+	MidTx     int // crashes that interrupted an open transaction
+	// FailedAt is the zero-based power-fail point index at which a
+	// recovery checker first failed, -1 when the run was clean. The run
+	// stops at the first failing point.
+	FailedAt   int
 	Violations []string
+	// Checks is the recovery-checker summary for the run.
+	Checks recovery.Summary
 }
 
 // Ok reports whether the run observed no consistency violations.
@@ -77,16 +91,34 @@ func (r Report) Ok() bool { return len(r.Violations) == 0 }
 func (r Report) String() string {
 	status := "OK"
 	if !r.Ok() {
-		status = fmt.Sprintf("FAILED (%d violations)", len(r.Violations))
+		status = fmt.Sprintf("FAILED at power-fail point %d (%d violations)", r.FailedAt, len(r.Violations))
 	}
-	return fmt.Sprintf("%-12s seed=%-4d rounds=%d committed=%d crashes=%d midTx=%d: %s",
-		r.Engine, r.Seed, r.Rounds, r.Committed, r.Crashes, r.MidTx, status)
+	return fmt.Sprintf("%-12s seed=%-4d rounds=%d committed=%d crashes=%d midTx=%d checks=%d: %s",
+		r.Engine, r.Seed, r.Rounds, r.Committed, r.Crashes, r.MidTx, r.Checks.Checks, status)
+}
+
+// registerPoolCheckers wires the pool-generic checkers: both logged
+// allocators, and — when the pool runs a SpecSPMT-family engine — the
+// engine's chain/index/coverage verifier. The engine object is re-created
+// on every crash, so the checker resolves it through the pool at check
+// time.
+func registerPoolCheckers(reg *recovery.Registry, pool *specpmt.Pool) {
+	reg.Register(
+		recovery.Heap("pmalloc.data", pool.DataHeap()),
+		recovery.Heap("pmalloc.log", pool.LogHeap()),
+		recovery.Func("spec.log", nil, func() error {
+			if e, ok := pool.Engine().(*spec.Engine); ok {
+				return e.VerifyRecovered(pool.LogHeap().Allocated)
+			}
+			return nil
+		}),
+	)
 }
 
 // Run executes one torture run.
 func Run(cfg Config) (Report, error) {
 	cfg.setDefaults()
-	rep := Report{Engine: cfg.Engine, Seed: cfg.Seed, Rounds: cfg.Rounds}
+	rep := Report{Engine: cfg.Engine, Seed: cfg.Seed, Rounds: cfg.Rounds, FailedAt: -1}
 	rng := sim.NewRand(cfg.Seed)
 	pool, err := specpmt.Open(specpmt.Config{Engine: cfg.Engine, Size: cfg.PoolSize, Profile: cfg.Profile})
 	if err != nil {
@@ -100,7 +132,11 @@ func Run(cfg Config) (Report, error) {
 			return rep, err
 		}
 	}
-	oracle := map[pmem.Addr]uint64{}
+	cells := recovery.Cells("cells", pool.ReadUint64)
+	reg := recovery.NewRegistry("basic/" + cfg.Engine)
+	reg.Register(cells)
+	registerPoolCheckers(reg, pool)
+
 	for round := 0; round < cfg.Rounds; round++ {
 		nTx := rng.Intn(cfg.TxPerRound) + 1
 		midTx := rng.Float64() < 0.5
@@ -121,10 +157,9 @@ func Run(cfg Config) (Report, error) {
 				return rep, fmt.Errorf("crashtest: commit: %w", err)
 			}
 			rep.Committed++
-			for a, v := range writes {
-				oracle[a] = v
-			}
+			cells.Commit(writes)
 		}
+		reg.Snapshot()
 		if err := pool.Crash(rng.Uint64()); err != nil {
 			return rep, err
 		}
@@ -132,13 +167,14 @@ func Run(cfg Config) (Report, error) {
 		if err := pool.Recover(); err != nil {
 			return rep, fmt.Errorf("crashtest: recovery after crash %d: %w", rep.Crashes, err)
 		}
-		for a, want := range oracle {
-			if got := pool.ReadUint64(a); got != want {
-				rep.Violations = append(rep.Violations, fmt.Sprintf(
-					"round %d: addr %d = %#x, committed value %#x", round, a, got, want))
-			}
+		if err := reg.Check(); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: %v", round, err))
+			rep.FailedAt = reg.Points() - 1
+			rep.Checks = reg.Summary()
+			return rep, nil
 		}
 	}
+	rep.Checks = reg.Summary()
 	return rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"specpmt"
 	"specpmt/internal/pmem"
+	"specpmt/internal/recovery"
 	"specpmt/internal/sim"
 )
 
@@ -17,9 +18,9 @@ const SpecPipelineEngine = "SpecSPMT/pipeline"
 // with a power failure injected at a random point — possibly with a window
 // of unretired speculative commits outstanding, possibly mid-transaction.
 //
-// The oracle is the acknowledgment rule the server enforces (a reply is
-// published only after its window's fence retires): after recovery the
-// surviving state must be
+// The data oracle is the acknowledgment rule the server enforces (a reply
+// is published only after its window's fence retires), expressed as a
+// recovery.Prefix checker: after recovery the surviving state must be
 //
 //   - a PREFIX of the speculative commit history — some cut C where every
 //     cell holds exactly its value as of commit C (no torn transactions, no
@@ -29,10 +30,12 @@ const SpecPipelineEngine = "SpecSPMT/pipeline"
 //     acknowledged) must have survived.
 //
 // Commits past the fence floor are allowed to vanish: they were
-// speculative, and nobody was told they happened.
+// speculative, and nobody was told they happened. Alongside the prefix
+// oracle every power-fail point also runs the allocator and spec-log
+// structural checkers, and the run stops at the first violation.
 func RunSpecPipeline(cfg Config) (Report, error) {
 	cfg.setDefaults()
-	rep := Report{Engine: SpecPipelineEngine, Seed: cfg.Seed, Rounds: cfg.Rounds}
+	rep := Report{Engine: SpecPipelineEngine, Seed: cfg.Seed, Rounds: cfg.Rounds, FailedAt: -1}
 	rng := sim.NewRand(cfg.Seed)
 	p, err := specpmt.OpenThreaded(specpmt.Config{Engine: "SpecSPMT", Size: cfg.PoolSize, Profile: cfg.Profile}, 1)
 	if err != nil {
@@ -46,6 +49,17 @@ func RunSpecPipeline(cfg Config) (Report, error) {
 			return rep, err
 		}
 	}
+
+	pre := recovery.Prefix("cells.prefix", addrs, p.ReadUint64)
+	reg := recovery.NewRegistry("pipeline/SpecSPMT")
+	reg.Register(
+		pre,
+		recovery.Heap("pmalloc.data", p.DataHeap()),
+		recovery.Heap("pmalloc.log", p.LogHeap()),
+		recovery.Func("spec.log", nil, func() error {
+			return p.SpecPool().VerifyRecovered(p.LogHeap().Allocated)
+		}),
+	)
 
 	state := map[pmem.Addr]uint64{} // oracle state after the last applied commit
 
@@ -64,20 +78,13 @@ func RunSpecPipeline(cfg Config) (Report, error) {
 	if err := init.Commit(); err != nil {
 		return rep, fmt.Errorf("crashtest: init commit: %w", err)
 	}
-	snap := func() map[pmem.Addr]uint64 {
-		c := make(map[pmem.Addr]uint64, len(state))
-		for a, v := range state {
-			c[a] = v
-		}
-		return c
-	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		th := p.Thread(0)
-		// snapshots[i] is the state after i commits this round; the crash
-		// must recover to exactly one of them, at or past the fence floor.
-		snapshots := []map[pmem.Addr]uint64{snap()}
-		fenced := 0
+		// The prefix checker records the state after each speculative commit
+		// this round; the crash must recover to exactly one of them, at or
+		// past the fence floor.
+		pre.Init(state)
 		window := rng.Intn(6) + 2 // commits per retire fence
 		nTx := rng.Intn(cfg.TxPerRound) + 1
 		midTx := rng.Float64() < 0.5
@@ -105,12 +112,13 @@ func RunSpecPipeline(cfg Config) (Report, error) {
 			for a, v := range writes {
 				state[a] = v
 			}
-			snapshots = append(snapshots, snap())
+			pre.Commit(state)
 			if i%window == 0 {
 				th.Fence() // retire the window: commits 1..i are now acknowledged
-				fenced = i
+				pre.Fence()
 			}
 		}
+		reg.Snapshot()
 		if err := p.Crash(rng.Uint64()); err != nil {
 			return rep, err
 		}
@@ -118,36 +126,15 @@ func RunSpecPipeline(cfg Config) (Report, error) {
 		if err := p.Recover(); err != nil {
 			return rep, fmt.Errorf("crashtest: recovery after crash %d: %w", rep.Crashes, err)
 		}
-
-		recovered := map[pmem.Addr]uint64{}
-		for _, a := range addrs {
-			recovered[a] = p.ReadUint64(a)
-		}
-		cut := -1
-		for c := fenced; c < len(snapshots); c++ {
-			match := true
-			for _, a := range addrs {
-				if snapshots[c][a] != recovered[a] {
-					match = false
-					break
-				}
-			}
-			if match {
-				cut = c
-				break
-			}
-		}
-		if cut < 0 {
-			rep.Violations = append(rep.Violations, fmt.Sprintf(
-				"round %d: recovered state matches no speculative prefix at or past the fence floor (floor=%d commits=%d window=%d)",
-				round, fenced, len(snapshots)-1, window))
-			// Resync the oracle to reality so later rounds report their own
-			// violations instead of cascading this one.
-			state = recovered
-			continue
+		if err := reg.Check(); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: %v", round, err))
+			rep.FailedAt = reg.Points() - 1
+			rep.Checks = reg.Summary()
+			return rep, nil
 		}
 		// Continue the run from the surviving prefix, like a restarted server.
-		state = snapshots[cut]
+		state = pre.Cut()
 	}
+	rep.Checks = reg.Summary()
 	return rep, nil
 }

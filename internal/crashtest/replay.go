@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"specpmt/internal/recovery"
 	"specpmt/internal/repl"
 	"specpmt/internal/server"
 	"specpmt/internal/sim"
@@ -57,19 +58,44 @@ func (c *ReplayConfig) setDefaults() {
 	}
 	if c.PoolSize == 0 {
 		c.PoolSize = 64 << 20
+		if c.Engine == "SpecHPMT" {
+			// The hardware engine reserves per-thread spec+undo rings
+			// (~32 MiB each at the §5.2.1 defaults); four shards need a
+			// log area no smaller pool provides.
+			c.PoolSize = 256 << 20
+		}
 	}
+}
+
+// ReplayEngines returns the engines the replica-replay torture runs on: the
+// threaded-pool-capable schemes whose multi-thread recovery is sound under
+// the server's cross-shard MULTIs, which commit other shards' cells on the
+// executing shard's thread. SpecSPMT/SpecSPMT-DP (merged timestamp-ordered
+// recovery, §4.1) and SpecHPMT (the §5.2.2 cluster protocol) order such
+// writes across threads; PMDK's undo recovery never replays committed data,
+// so independent per-thread recovery of a quiesced pool is write-free. SPHT
+// is excluded: its per-thread redo replay carries no cross-thread ordering,
+// so one thread's unreplayed older record can regress another thread's
+// newer committed write.
+func ReplayEngines() []string {
+	return []string{"SpecSPMT", "SpecSPMT-DP", "SpecHPMT", "PMDK"}
 }
 
 // ReplayReport summarises a replica-replay torture run.
 type ReplayReport struct {
-	Engine     string
-	Seed       uint64
-	Rounds     int
-	Committed  int    // client transactions committed on the primary
-	Crashes    int    // replica power failures injected
-	Snapshots  uint64 // snapshot bootstraps across all incarnations
-	Resumes    uint64 // incarnations that tailed via cursor resume alone
+	Engine    string
+	Seed      uint64
+	Rounds    int
+	Committed int    // client transactions committed on the primary
+	Crashes   int    // replica power failures injected
+	Snapshots uint64 // snapshot bootstraps across all incarnations
+	Resumes   uint64 // incarnations that tailed via cursor resume alone
+	// FailedAt is the zero-based power-fail point index at which a
+	// recovery checker first failed, -1 when the run was clean.
+	FailedAt   int
 	Violations []string
+	// Checks is the recovery-checker summary for the run.
+	Checks recovery.Summary
 }
 
 // Ok reports whether the run observed no divergence.
@@ -79,7 +105,7 @@ func (r ReplayReport) Ok() bool { return len(r.Violations) == 0 }
 func (r ReplayReport) String() string {
 	status := "OK"
 	if !r.Ok() {
-		status = fmt.Sprintf("FAILED (%d violations)", len(r.Violations))
+		status = fmt.Sprintf("FAILED at power-fail point %d (%d violations)", r.FailedAt, len(r.Violations))
 	}
 	return fmt.Sprintf("replay %-12s seed=%-4d rounds=%d committed=%d crashes=%d snaps=%d resumes=%d: %s",
 		r.Engine, r.Seed, r.Rounds, r.Committed, r.Crashes, r.Snapshots, r.Resumes, status)
@@ -92,7 +118,7 @@ func (r ReplayReport) String() string {
 // crash — that the caught-up replica serves exactly the oracle state.
 func ReplicaReplay(cfg ReplayConfig) (ReplayReport, error) {
 	cfg.setDefaults()
-	rep := ReplayReport{Engine: cfg.Engine, Seed: cfg.Seed, Rounds: cfg.Rounds}
+	rep := ReplayReport{Engine: cfg.Engine, Seed: cfg.Seed, Rounds: cfg.Rounds, FailedAt: -1}
 	rng := sim.NewRand(cfg.Seed)
 
 	prim, err := server.New(server.Config{
@@ -132,9 +158,17 @@ func ReplicaReplay(cfg ReplayConfig) (ReplayReport, error) {
 	}
 	defer c.Close()
 
+	// The committed-state oracle lives inside a recovery.KV checker: its
+	// Check hands the snapshot to the replica server, which freezes all
+	// shards and compares every hash map against it (exact values, no lost
+	// or resurrected keys) on top of structural validation.
+	kv := recovery.KV("hashmap", func(expect map[uint64]uint64) error {
+		return rsrv.CheckRecovered(expect)
+	})
+	oracle := kv.Live()
+
 	// Seed some state before the replica exists, so its first handshake
 	// exercises the snapshot bootstrap rather than an empty resume.
-	oracle := map[uint64]uint64{}
 	for i := 0; i < 20; i++ {
 		k, v := rng.Uint64()%cfg.Keys, rng.Uint64()
 		if _, err := c.Set(k, v); err != nil {
@@ -159,6 +193,27 @@ func ReplicaReplay(cfg ReplayConfig) (ReplayReport, error) {
 		return rep, err
 	}
 	defer func() { replica.Close() }()
+
+	// Checker registry for the replica's pool. The cursor checker closes
+	// over the replica variable because each crash round builds a fresh
+	// incarnation; the heap and spec-log checkers go through the server's
+	// pool, which persists across crashes.
+	rpool := rsrv.Pool()
+	reg := recovery.NewRegistry("replay/" + cfg.Engine)
+	reg.Register(
+		kv,
+		recovery.Func("repl.cursor", nil, func() error {
+			return replica.Applier().CheckRecovered(primary.Log().Head())
+		}),
+		recovery.Heap("pmalloc.data", rpool.DataHeap()),
+		recovery.Heap("pmalloc.log", rpool.LogHeap()),
+		recovery.Func("spec.log", nil, func() error {
+			if sp := rpool.SpecPool(); sp != nil {
+				return sp.VerifyRecovered(rpool.LogHeap().Allocated)
+			}
+			return nil
+		}),
+	)
 
 	// harvest folds the current incarnation's handshake outcome into the
 	// report: bootstrap counts reset per incarnation, so read them while the
@@ -216,30 +271,22 @@ func ReplicaReplay(cfg ReplayConfig) (ReplayReport, error) {
 			return rep, fmt.Errorf("crashtest: round %d: caught up without adopting a primary id", round)
 		}
 
-		// Verify the caught-up replica serves exactly the oracle state.
-		rc, err := server.Dial(rln.Addr().String(), 5*time.Second)
-		if err != nil {
-			return rep, err
+		// The caught-up replica must pass every registered checker: it
+		// serves exactly the oracle state, the durable cursor decodes
+		// sanely, and the allocator and spec-log metadata verify. The
+		// snapshot is taken here, not before the crash, because the oracle
+		// keeps moving while the replica is down — the contract is over the
+		// caught-up state.
+		reg.Snapshot()
+		if err := reg.Check(); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("round %d: %v", round, err))
+			rep.FailedAt = reg.Points() - 1
+			rep.Checks = reg.Summary()
+			return rep, nil
 		}
-		for k := uint64(0); k < cfg.Keys; k++ {
-			want, live := oracle[k]
-			got, err := rc.Get(k)
-			if err != nil {
-				rc.Close()
-				return rep, err
-			}
-			switch {
-			case live && (got.Status != server.StatusValue || got.Val != want):
-				rep.Violations = append(rep.Violations, fmt.Sprintf(
-					"round %d: key %d = (%d,%d), committed value %d", round, k, got.Status, got.Val, want))
-			case !live && got.Status != server.StatusNotFound:
-				rep.Violations = append(rep.Violations, fmt.Sprintf(
-					"round %d: key %d = (%d,%d), committed state is deleted", round, k, got.Status, got.Val))
-			}
-		}
-		rc.Close()
 	}
 	harvest()
+	rep.Checks = reg.Summary()
 	return rep, nil
 }
 

@@ -1,0 +1,198 @@
+package pmalloc
+
+import (
+	"math/bits"
+	"sort"
+
+	"specpmt/internal/pmem"
+)
+
+// Compact migrates live blocks out of sparse spans into fuller spans of the
+// same class so emptied spans return to the free pool (where any class — or
+// a multi-span run — can reuse them). It is the online defragmenter: the
+// heap stays fully usable while it runs.
+//
+// move relocates one block's contents: it must copy [old, old+n) to
+// [new, new+n), repoint every reference, and return true — all crash
+// consistently (typically inside a committed transaction). Returning false
+// aborts compaction; the destination block is freed and nothing is lost. A
+// crash between the move committing and the source free landing leaks the
+// source block (allocated, unreachable), which is safe: recovery checkers
+// require reachable ⊆ allocated, not equality.
+//
+// The mover is called without the heap lock held and may itself allocate
+// and free on this heap, but must not free the block being moved.
+//
+// Returns the number of blocks migrated.
+func (h *Heap) Compact(move func(old, new pmem.Addr, n int) bool) int {
+	h.mu.Lock()
+	if h.lg == nil || h.compactingLocked() {
+		h.mu.Unlock()
+		return 0
+	}
+	h.lg.compacting = true
+	h.lg.stats.Compactions++
+	moved := 0
+	defer func() {
+		h.lg.compacting = false
+		h.mu.Unlock()
+	}()
+
+	for {
+		victim, class := h.lg.pickVictim()
+		if victim < 0 {
+			return moved
+		}
+		// migrate every live block of the victim span, re-choosing the
+		// destination each time: the mover may have churned the heap while
+		// the lock was released.
+		progress := false
+		for {
+			block := h.lg.firstLive(victim)
+			if block < 0 {
+				break // victim emptied and retired by the last free
+			}
+			old := h.lg.blockAddr(victim, block, class)
+			dst := h.lg.pickDest(class, victim)
+			if dst < 0 {
+				break // no room elsewhere; victim stays as the class's open span
+			}
+			newAddr, err := h.lg.allocInSpan(dst, class)
+			if err != nil {
+				break
+			}
+			h.account(int64(class))
+			h.mu.Unlock()
+			ok := move(old, newAddr, int(class))
+			h.mu.Lock()
+			if !ok {
+				h.freeQuietLocked(newAddr, class)
+				return moved
+			}
+			h.freeQuietLocked(old, class)
+			moved++
+			progress = true
+			h.lg.stats.MovedBlocks++
+		}
+		if !progress {
+			return moved
+		}
+	}
+}
+
+func (h *Heap) compactingLocked() bool { return h.lg.compacting }
+
+// freeQuietLocked frees a block updating Heap accounting, for use inside
+// compaction where h.mu is already held.
+func (h *Heap) freeQuietLocked(addr pmem.Addr, class int64) {
+	if err := h.lg.freeBlock(addr, int(class)); err != nil {
+		panic("pmalloc: compact: " + err.Error())
+	}
+	h.live -= class
+	h.sampleLocked()
+}
+
+// pickVictim chooses the sparsest small span of any class whose live blocks
+// fit in the spare capacity of that class's other partial spans — i.e. a
+// span that compaction can actually empty. Returns (-1, 0) when the heap is
+// already compact.
+func (l *logged) pickVictim() (int32, int64) {
+	type cand struct {
+		span  int32
+		alloc int32
+	}
+	perClass := map[int64][]cand{}
+	for i := range l.spans {
+		in := &l.spans[i]
+		if in.state == sSmall && in.alloc > 0 && in.alloc < l.blocksPer(in.class) {
+			perClass[in.class] = append(perClass[in.class], cand{int32(i), in.alloc})
+		}
+	}
+	var bestSpan int32 = -1
+	var bestClass int64
+	bestFill := int64(1 << 30)
+	for class, cands := range perClass {
+		if len(cands) < 2 {
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].alloc < cands[b].alloc })
+		victim := cands[0]
+		spare := int32(0)
+		for _, c := range cands[1:] {
+			spare += l.blocksPer(class) - c.alloc
+		}
+		if spare < victim.alloc {
+			continue
+		}
+		// prefer the emptiest victim relative to its span capacity
+		fill := int64(victim.alloc) * int64(l.spanSize) / int64(l.blocksPer(class))
+		if fill < bestFill {
+			bestFill = fill
+			bestSpan = victim.span
+			bestClass = class
+		}
+	}
+	return bestSpan, bestClass
+}
+
+// firstLive returns the lowest allocated block in a span, or -1. Also
+// returns -1 if the span is no longer a small span of any class (the mover
+// raced it away).
+func (l *logged) firstLive(s int32) int32 {
+	in := &l.spans[s]
+	if in.state != sSmall {
+		return -1
+	}
+	for w := 0; w < bitmapWords; w++ {
+		if in.bitmap[w] != 0 {
+			return int32(w*64 + bits.TrailingZeros64(in.bitmap[w]))
+		}
+	}
+	return -1
+}
+
+// pickDest returns the fullest partial span of the class other than the
+// victim, or -1.
+func (l *logged) pickDest(class int64, victim int32) int32 {
+	var best int32 = -1
+	var bestAlloc int32 = -1
+	per := l.blocksPer(class)
+	for i := range l.spans {
+		in := &l.spans[i]
+		if int32(i) == victim || in.state != sSmall || in.class != class {
+			continue
+		}
+		if in.alloc < per && in.alloc > bestAlloc {
+			best = int32(i)
+			bestAlloc = in.alloc
+		}
+	}
+	return best
+}
+
+// allocInSpan allocates one block in a specific span (compaction
+// destination), logging it like any allocation.
+func (l *logged) allocInSpan(s int32, class int64) (pmem.Addr, error) {
+	in := &l.spans[s]
+	per := l.blocksPer(class)
+	var block int32 = -1
+	for w := 0; w < bitmapWords && block < 0; w++ {
+		if inv := ^in.bitmap[w]; inv != 0 {
+			b := int32(w*64 + bits.TrailingZeros64(inv))
+			if b < per {
+				block = b
+			}
+		}
+	}
+	if block < 0 {
+		return 0, ErrOutOfMemory
+	}
+	l.ensureLogSpace(1)
+	l.appendRec(opAlloc, s, uint32(block), class)
+	l.core.Fence()
+	in.bitmap[block/64] |= 1 << uint(block%64)
+	in.alloc++
+	l.markDirty(s)
+	l.stats.Allocs++
+	return l.blockAddr(s, block, class), nil
+}

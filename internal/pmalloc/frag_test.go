@@ -1,0 +1,103 @@
+package pmalloc
+
+import (
+	"testing"
+
+	"specpmt/internal/pmem"
+)
+
+// churnPhases drives one heap through phase-shifting mixed-class churn: each
+// phase frees most of the previous phase's blocks (keeping every fifth as a
+// straggler, the way long-lived objects pin partially-used memory in real
+// workloads) and then allocates a fresh live set in a DIFFERENT size class.
+// When compact is true the logged allocator's online compaction runs after
+// every phase, with a mover that repoints the straggler bookkeeping.
+// Returns the final footprint and the peak live bytes.
+func churnPhases(t *testing.T, h *Heap, compact bool) (footprint, peakLive int64) {
+	t.Helper()
+	classes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	const liveBytes = 1 << 20 // fresh allocation per phase
+
+	type blk struct {
+		a pmem.Addr
+		n int
+	}
+	var live []blk
+	for cycle := 0; cycle < 2; cycle++ {
+		for _, n := range classes {
+			keep := live[:0]
+			for i, b := range live {
+				if i%5 == 0 {
+					keep = append(keep, b) // straggler survives the phase
+				} else {
+					h.Free(b.a, b.n)
+				}
+			}
+			live = keep
+			for total := 0; total < liveBytes; total += n {
+				a, err := h.Alloc(n)
+				if err != nil {
+					t.Fatalf("alloc %d in class-%d phase: %v", n, n, err)
+				}
+				live = append(live, blk{a, n})
+			}
+			if compact {
+				h.Compact(func(old, new pmem.Addr, sz int) bool {
+					for i := range live {
+						if live[i].a == old {
+							live[i].a = new
+							return true
+						}
+					}
+					return true
+				})
+			}
+			if l := h.Live(); l > peakLive {
+				peakLive = l
+			}
+		}
+	}
+	return h.Footprint(), peakLive
+}
+
+// TestFragmentationBoundedUnderChurn is the allocator-fragmentation
+// regression gate: the same phase-shifting churn runs against both heap
+// modes. The legacy volatile allocator keeps one free list per size class,
+// so memory freed in one phase can never serve the next phase's class — its
+// footprint grows with every class the workload moves through (≈ classes ×
+// live set). The span-based logged allocator recycles emptied spans across
+// classes and consolidates straggler-pinned spans with online compaction,
+// so its footprint stays a small multiple of the peak live set.
+func TestFragmentationBoundedUnderChurn(t *testing.T) {
+	const region = 256 << 20
+
+	vol := NewHeap(pmem.PageSize, region)
+	volFoot, volPeak := churnPhases(t, vol, false)
+
+	dev := pmem.NewDevice(pmem.Config{Size: region})
+	lg, err := OpenLogged(dev.NewCore(), pmem.PageSize, pmem.Addr(region))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgFoot, lgPeak := churnPhases(t, lg, true)
+	if err := lg.Verify(); err != nil {
+		t.Fatalf("logged heap fails Verify after churn: %v", err)
+	}
+
+	t.Logf("volatile: footprint=%d (%.1fx peak live %d)", volFoot, float64(volFoot)/float64(volPeak), volPeak)
+	t.Logf("logged:   footprint=%d (%.1fx peak live %d)", lgFoot, float64(lgFoot)/float64(lgPeak), lgPeak)
+
+	// The volatile footprint must exhibit the per-class growth (≥ 6 of the
+	// 8 phase classes' live sets, leaving slack for class rounding), and
+	// the logged footprint must stay bounded by a small multiple of what
+	// is actually live.
+	if volFoot < 6*(1<<20) {
+		t.Errorf("volatile footprint %d unexpectedly small — churn no longer exhibits per-class growth", volFoot)
+	}
+	if lgFoot > 4*lgPeak {
+		t.Errorf("logged footprint %d exceeds 4x peak live %d: span recycling/compaction regressed", lgFoot, lgPeak)
+	}
+	if lgFoot*2 > volFoot {
+		t.Errorf("logged footprint %d is not clearly below volatile %d", lgFoot, volFoot)
+	}
+}

@@ -1,13 +1,24 @@
 // Package pmalloc is the persistent-memory allocator used by workloads and
-// log managers, standing in for libvmmalloc in the paper's methodology
-// (§7.1.1: "we port the transactional applications to persistent memory with
-// libvmmalloc, which overrides dynamic memory allocation to persistent
-// memory allocation").
+// log managers. It has two modes:
 //
-// Like libvmmalloc, allocator metadata is volatile: crash-recoverable
-// allocation is out of the paper's scope. Structures that must be found
-// again after a crash (log block chains, data-region roots) embed persistent
-// next pointers of their own and are re-walked by each engine's recovery.
+//   - NewHeap builds the original libvmmalloc-style volatile allocator (the
+//     paper's §7.1.1 methodology): metadata lives in Go memory, nothing is
+//     written to the device, and crash-recoverable allocation is out of
+//     scope. The experiment harness uses this mode so modeled timings stay
+//     bit-identical with the published figures.
+//
+//   - OpenLogged builds the span-based logged allocator (go-pmem style):
+//     per-size-class spans with persistent block bitmaps, a redo log of
+//     alloc/free records stamped with monotonically increasing sequence
+//     numbers, a checkpointed span table, and a header whose magic value
+//     distinguishes a first run from a restart. Metadata survives power
+//     failures: Reattach replays the log over the last checkpoint and the
+//     recovered state must match the pre-crash allocation map exactly.
+//     Pools (specpmt.Pool, specpmt.ThreadedPool) run in this mode.
+//
+// Both modes share the size-class scheme: power-of-two classes up to one
+// page, then page multiples, everything line-aligned so that flushes of one
+// object never drag a neighbour's bytes along.
 package pmalloc
 
 import (
@@ -26,23 +37,32 @@ var ErrOutOfMemory = errors.New("pmalloc: out of memory")
 // that flushes of one object never drag a neighbour's bytes along.
 const minClass = pmem.LineSize
 
-// Heap hands out address ranges inside a fixed region of a Device. It never
-// touches memory contents; callers write through their own Core.
+// Heap hands out address ranges inside a fixed region of a Device. In
+// volatile mode it never touches memory contents; in logged mode it owns a
+// metadata prefix of its region (header, redo log, span table) and keeps it
+// crash consistent. Callers write block contents through their own Core
+// either way.
 type Heap struct {
 	mu    sync.Mutex
 	start pmem.Addr
 	end   pmem.Addr
-	bump  pmem.Addr
-	free  map[int][]pmem.Addr
 	live  int64
 	peak  int64
+
+	// volatile (libvmmalloc) mode
+	bump pmem.Addr
+	free map[int][]pmem.Addr
+
+	// logged span mode (nil in volatile mode)
+	lg *logged
 
 	trc   *trace.Tracer // nil = tracing off
 	track int
 	now   func() int64 // virtual-clock source for heap samples
 }
 
-// NewHeap creates a heap over [start, end). Bounds are line-aligned inward.
+// NewHeap creates a volatile-metadata heap over [start, end). Bounds are
+// line-aligned inward.
 func NewHeap(start, end pmem.Addr) *Heap {
 	start = (start + minClass - 1) / minClass * minClass
 	end = end / minClass * minClass
@@ -51,6 +71,9 @@ func NewHeap(start, end pmem.Addr) *Heap {
 	}
 	return &Heap{start: start, end: end, bump: start, free: make(map[int][]pmem.Addr)}
 }
+
+// Logged reports whether the heap runs the crash-consistent span allocator.
+func (h *Heap) Logged() bool { return h.lg != nil }
 
 // classOf rounds a request to its allocation class: next power of two up to
 // 4 KiB, then 4-KiB multiples.
@@ -69,6 +92,9 @@ func classOf(n int) int {
 }
 
 // Alloc returns the address of a line-aligned region of at least n bytes.
+// In logged mode the allocation is durable (redo record fenced) before the
+// address is returned, so a committed pointer can never outlive its block's
+// metadata.
 func (h *Heap) Alloc(n int) (pmem.Addr, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("pmalloc: bad size %d", n)
@@ -76,6 +102,14 @@ func (h *Heap) Alloc(n int) (pmem.Addr, error) {
 	c := classOf(n)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.lg != nil {
+		a, err := h.lg.alloc(c)
+		if err != nil {
+			return 0, err
+		}
+		h.account(int64(c))
+		return a, nil
+	}
 	if list := h.free[c]; len(list) > 0 {
 		a := list[len(list)-1]
 		h.free[c] = list[:len(list)-1]
@@ -102,7 +136,8 @@ func (h *Heap) account(delta int64) {
 // SetTracer attaches an event tracer: every Alloc and Free samples the live
 // byte count on a heap-named counter track. now supplies the virtual
 // timestamp, typically the owning core's clock; the heap itself costs no
-// modeled time, so samples only mark when the owning thread allocated.
+// modeled time on application cores, so samples only mark when the owning
+// thread allocated.
 func (h *Heap) SetTracer(tr *trace.Tracer, name string, now func() int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -118,7 +153,10 @@ func (h *Heap) sampleLocked() {
 	}
 }
 
-// Free returns a region allocated with size n to the heap.
+// Free returns a region allocated with size n to the heap. Logged mode
+// verifies the block is currently allocated with that class and panics on a
+// double free or size mismatch — both are caller bugs that would corrupt
+// the persistent metadata if ignored.
 func (h *Heap) Free(addr pmem.Addr, n int) {
 	c := classOf(n)
 	h.mu.Lock()
@@ -126,7 +164,13 @@ func (h *Heap) Free(addr pmem.Addr, n int) {
 	if addr < h.start || addr+pmem.Addr(c) > h.end {
 		panic(fmt.Sprintf("pmalloc: Free outside heap: addr=%d size=%d", addr, n))
 	}
-	h.free[c] = append(h.free[c], addr)
+	if h.lg != nil {
+		if err := h.lg.freeBlock(addr, c); err != nil {
+			panic("pmalloc: " + err.Error())
+		}
+	} else {
+		h.free[c] = append(h.free[c], addr)
+	}
 	h.live -= int64(c)
 	h.sampleLocked()
 }
@@ -145,24 +189,60 @@ func (h *Heap) Peak() int64 {
 	return h.peak
 }
 
-// Remaining returns the bytes still available from the bump region (free
-// lists excluded); a lower bound on what can still be allocated.
+// Remaining returns a lower bound on the bytes still allocatable: the
+// virgin bump region in volatile mode, never-opened plus retired spans in
+// logged mode.
 func (h *Heap) Remaining() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.lg != nil {
+		return h.lg.remaining()
+	}
 	return int64(h.end - h.bump)
 }
 
-// Bounds returns the heap's region.
-func (h *Heap) Bounds() (start, end pmem.Addr) { return h.start, h.end }
+// Footprint returns the bytes of the region ever consumed from the
+// wilderness: bump-start in volatile mode, spans-in-use times span size in
+// logged mode. The fragmentation regression tests gate on this: under
+// mixed-class churn the logged allocator's footprint stays bounded because
+// emptied spans are recycled across classes, while the volatile free-list
+// can only grow.
+func (h *Heap) Footprint() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg != nil {
+		return h.lg.footprint()
+	}
+	return int64(h.bump - h.start)
+}
+
+// Bounds returns the region from which allocations are handed out. For a
+// logged heap this is the span area — the metadata prefix (header, redo
+// log, span table) is excluded, so whole-region consumers (Kamino's backup
+// copy) never clone or clobber allocator metadata.
+func (h *Heap) Bounds() (start, end pmem.Addr) {
+	if h.lg != nil {
+		return h.lg.spansStart, h.end
+	}
+	return h.start, h.end
+}
+
+// Region returns the full device region the heap owns, including the logged
+// metadata prefix.
+func (h *Heap) Region() (start, end pmem.Addr) { return h.start, h.end }
 
 // Reset forgets all allocations. Used between experiment runs; never during
-// a run.
+// a run. A logged heap reformats its metadata under a fresh incarnation so
+// stale records can never replay.
 func (h *Heap) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.bump = h.start
-	h.free = make(map[int][]pmem.Addr)
+	if h.lg != nil {
+		h.lg.format(h.lg.incarn + 1)
+	} else {
+		h.bump = h.start
+		h.free = make(map[int][]pmem.Addr)
+	}
 	h.live = 0
 	h.peak = 0
 }

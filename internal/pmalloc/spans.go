@@ -1,0 +1,991 @@
+package pmalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"specpmt/internal/pmem"
+)
+
+// Logged span allocator (go-pmem style). The heap region is carved into:
+//
+//	[ header: 1 line ][ redo log: logSlots × 32 B ][ span table: nspans × 192 B ][ span area ]
+//
+// Small classes (≤ spanSize/2) are served as fixed-size blocks out of a span
+// whose persistent descriptor carries the class and a block bitmap. Larger
+// classes take a run of contiguous spans. Every metadata mutation appends a
+// checksummed, sequence-numbered record to the redo log and fences before
+// the operation returns, so the persistent image always knows exactly which
+// blocks are allocated. When the log half-fills, a checkpoint writes the
+// dirty span descriptors, fences, and only then advances the header's
+// logStart (second fence) — a crash anywhere leaves either the old
+// (table + full log window) or new (table + shorter window) view, and
+// replay over either converges to the same state because records are
+// idempotent: open/free-run set absolute span state, alloc/free set or
+// clear single bitmap bits.
+//
+// Recovery (Reattach) rebuilds state from table + log replay and diffs it
+// against the pre-crash in-memory mirror — the mirror is ground truth
+// (every op was fenced before returning), so any divergence is an allocator
+// crash-consistency bug and is reported via RecoveryError / Verify.
+
+const (
+	hdrMagic   = 0x5350414e6c6f6731 // "SPANlog1"
+	hdrVersion = 1
+
+	recSize     = 32
+	descSize    = 192 // one state line + two bitmap lines
+	descBitmap  = 64
+	bitmapWords = 16 // 1024 blocks = 64 KiB span / 64 B min class
+
+	defaultSpanSize = 64 << 10
+	defaultLogSlots = 1024
+
+	// span states, both persistent (descriptor word 0) and volatile
+	sFree    = 0
+	sSmall   = 1
+	sRunHead = 2
+	sRunBody = 3
+)
+
+// redo-log operations
+const (
+	opOpen    = 1 // span becomes a small-class span, empty bitmap
+	opAlloc   = 2 // set one block bit
+	opFree    = 3 // clear one block bit (span retires implicitly at zero)
+	opRun     = 4 // allocate a contiguous span run
+	opFreeRun = 5 // free a contiguous span run
+)
+
+// spanInfo is the volatile mirror of one span descriptor. The zero value is
+// the canonical free span.
+type spanInfo struct {
+	state  uint8
+	inList bool  // hint: present in classFree[class]; stale entries tolerated
+	class  int64 // sSmall: class bytes; sRunHead: class bytes of the run allocation
+	aux    int64 // sRunHead: run length in spans
+	alloc  int32 // sSmall: allocated blocks; sRunHead: 1
+	bitmap [bitmapWords]uint64
+}
+
+func (s *spanInfo) reset() { *s = spanInfo{} }
+
+// AllocStats reports logged-allocator internals for metrics and tests.
+type AllocStats struct {
+	Allocs, Frees         uint64
+	SpanOpens, SpanFrees  uint64
+	Checkpoints           uint64
+	LogRecords            uint64
+	Replayed              uint64 // records replayed at last recovery
+	Compactions           uint64
+	MovedBlocks           uint64
+	SpansInUse, SpansFree int
+	SpansTotal            int
+}
+
+type logged struct {
+	core *pmem.Core
+
+	// geometry, derived deterministically from the region bounds
+	start      pmem.Addr
+	logOff     pmem.Addr
+	tableOff   pmem.Addr
+	spansStart pmem.Addr
+	spanSize   int
+	nspans     int
+	logSlots   int
+
+	incarn   uint64
+	seq      uint64 // last record sequence written (0 = none)
+	logStart uint64 // first record not yet reflected in the span table
+
+	spans     []spanInfo
+	freeSpans []int32 // LIFO of retired/never-used spans
+	classFree map[int64][]int32
+
+	dirty     []bool // spans mutated since the last completed checkpoint
+	dirtyList []int32
+
+	stats        AllocStats
+	lastRecovery error
+	compacting   bool
+
+	scratchRec  [recSize]byte
+	scratchDesc [descSize]byte
+	scratchHdr  [pmem.LineSize]byte
+}
+
+// fnv64 is FNV-1a with a zero-guard, matching txn.Checksum64 (copied here:
+// txn imports pmalloc, so pmalloc cannot import txn).
+func fnv64(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// geometry derives the layout for a region. Deterministic, so a restart
+// recomputes the same layout it then cross-checks against the header.
+func geometry(start, end pmem.Addr) (spanSize, nspans, logSlots int, err error) {
+	avail := int64(end - start)
+	logSlots = defaultLogSlots
+	spanSize = defaultSpanSize
+	for {
+		meta := int64(pmem.LineSize + logSlots*recSize)
+		nspans = int((avail - meta) / int64(spanSize+descSize))
+		if nspans >= 8 || spanSize == pmem.PageSize {
+			break
+		}
+		spanSize >>= 1
+	}
+	if nspans < 2 {
+		return 0, 0, 0, fmt.Errorf("pmalloc: region too small for logged heap (%d bytes)", avail)
+	}
+	return spanSize, nspans, logSlots, nil
+}
+
+// OpenLogged creates or reopens a crash-consistent logged heap over
+// [start, end) of core's device. A valid header (magic + checksum +
+// matching geometry) selects the restart path — state is rebuilt from the
+// span table plus log replay; anything else formats a fresh heap. The core
+// becomes the heap's dedicated metadata core: all allocator persistence
+// (and its modeled time) lands there, not on application cores.
+func OpenLogged(core *pmem.Core, start, end pmem.Addr) (*Heap, error) {
+	start = (start + minClass - 1) / minClass * minClass
+	end = end / minClass * minClass
+	spanSize, nspans, logSlots, err := geometry(start, end)
+	if err != nil {
+		return nil, err
+	}
+	l := &logged{
+		core:     core,
+		start:    start,
+		logOff:   start + pmem.LineSize,
+		spanSize: spanSize,
+		nspans:   nspans,
+		logSlots: logSlots,
+	}
+	l.tableOff = l.logOff + pmem.Addr(logSlots*recSize)
+	l.spansStart = l.tableOff + pmem.Addr(nspans*descSize)
+	h := &Heap{start: start, end: end, lg: l}
+
+	var hdr [pmem.LineSize]byte
+	core.Load(start, hdr[:])
+	if binary.LittleEndian.Uint64(hdr[0:]) == hdrMagic &&
+		fnv64(hdr[:56]) == binary.LittleEndian.Uint64(hdr[56:]) &&
+		binary.LittleEndian.Uint64(hdr[8:]) == hdrVersion &&
+		binary.LittleEndian.Uint64(hdr[16:]) == uint64(spanSize) &&
+		binary.LittleEndian.Uint64(hdr[24:]) == uint64(nspans) &&
+		binary.LittleEndian.Uint64(hdr[32:]) == uint64(logSlots) {
+		rs, err := l.recoverState()
+		if err != nil {
+			return nil, err
+		}
+		l.adopt(rs)
+		h.live = l.liveBytes()
+		h.peak = h.live
+		return h, nil
+	}
+	l.format(1)
+	return h, nil
+}
+
+// Reattach rebuilds allocator state from the device after a crash, on a
+// fresh core. The recovered state is diffed against the pre-crash mirror;
+// a divergence means the allocator lost or invented an allocation across
+// the power failure and is reported by RecoveryError (and re-derivable via
+// Verify). The persistent truth is adopted either way.
+func (h *Heap) Reattach(core *pmem.Core) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l := h.lg
+	if l == nil {
+		return nil
+	}
+	l.core = core
+	rs, err := l.recoverState()
+	if err != nil {
+		l.lastRecovery = err
+		return err
+	}
+	l.lastRecovery = l.diff(rs)
+	l.adopt(rs)
+	h.live = l.liveBytes()
+	if h.live > h.peak {
+		h.peak = h.live
+	}
+	return nil
+}
+
+// RecoveryError returns the divergence (if any) detected by the last
+// Reattach: nil means the recovered allocation map matched the pre-crash
+// mirror exactly.
+func (h *Heap) RecoveryError() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg == nil {
+		return nil
+	}
+	return h.lg.lastRecovery
+}
+
+// Verify re-runs recovery from the persistent image and checks it against
+// the live in-memory state plus structural invariants (bitmap popcounts
+// match allocation counts, classes are valid, runs are well formed, no
+// span is both free and allocated). It is the allocator's recovery
+// checker: cheap enough to run at every crashtest power-fail point.
+func (h *Heap) Verify() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg == nil {
+		return nil
+	}
+	l := h.lg
+	rs, err := l.recoverState()
+	if err != nil {
+		return err
+	}
+	if err := l.diff(rs); err != nil {
+		return err
+	}
+	return l.structural(rs)
+}
+
+// Checkpoint forces the span table to absorb the log window now. Exported
+// for tests that want a quiescent table to corrupt.
+func (h *Heap) Checkpoint() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg != nil {
+		h.lg.checkpoint()
+	}
+}
+
+// SpanTable describes the persistent span-descriptor table for inspection
+// and corruption-injection tests: base address, descriptor count, the
+// descriptor stride, and the offset of the block bitmap inside each
+// descriptor. Zeros for a volatile heap.
+func (h *Heap) SpanTable() (base pmem.Addr, n, stride, bitmapOff int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg == nil {
+		return 0, 0, 0, 0
+	}
+	return h.lg.tableOff, h.lg.nspans, descSize, descBitmap
+}
+
+// Allocated reports whether the exact block [addr, addr+classOf(n)) is
+// currently allocated. On a volatile heap this is a conservative bump-line
+// check; on a logged heap it is exact.
+func (h *Heap) Allocated(addr pmem.Addr, n int) bool {
+	c := classOf(n)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg == nil {
+		return addr >= h.start && addr+pmem.Addr(c) <= h.bump
+	}
+	return h.lg.allocated(addr, c)
+}
+
+// Stats returns a snapshot of the logged allocator's counters. Zero value
+// for volatile heaps.
+func (h *Heap) Stats() AllocStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lg == nil {
+		return AllocStats{}
+	}
+	s := h.lg.stats
+	s.SpansTotal = h.lg.nspans
+	inUse := 0
+	for i := range h.lg.spans {
+		if h.lg.spans[i].state != sFree {
+			inUse++
+		}
+	}
+	s.SpansInUse = inUse
+	s.SpansFree = h.lg.nspans - inUse
+	return s
+}
+
+// ---- formatting ----
+
+func (l *logged) format(incarn uint64) {
+	var zero [pmem.LineSize]byte
+	for i := 0; i < l.nspans; i++ {
+		a := l.tableOff + pmem.Addr(i*descSize)
+		l.core.Store(a, zero[:])
+		l.core.Flush(a, pmem.LineSize, pmem.KindLog)
+	}
+	l.core.Fence()
+	l.incarn = incarn
+	l.seq = 0
+	l.logStart = 1
+	l.writeHeader()
+	l.spans = make([]spanInfo, l.nspans)
+	l.freeSpans = l.freeSpans[:0]
+	for i := l.nspans - 1; i >= 0; i-- {
+		l.freeSpans = append(l.freeSpans, int32(i))
+	}
+	l.classFree = make(map[int64][]int32)
+	l.dirty = make([]bool, l.nspans)
+	l.dirtyList = l.dirtyList[:0]
+	l.stats = AllocStats{}
+	l.lastRecovery = nil
+}
+
+func (l *logged) writeHeader() {
+	b := l.scratchHdr[:]
+	for i := range b {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint64(b[0:], hdrMagic)
+	binary.LittleEndian.PutUint64(b[8:], hdrVersion)
+	binary.LittleEndian.PutUint64(b[16:], uint64(l.spanSize))
+	binary.LittleEndian.PutUint64(b[24:], uint64(l.nspans))
+	binary.LittleEndian.PutUint64(b[32:], uint64(l.logSlots))
+	binary.LittleEndian.PutUint64(b[40:], l.logStart)
+	binary.LittleEndian.PutUint64(b[48:], l.incarn)
+	binary.LittleEndian.PutUint64(b[56:], fnv64(b[:56]))
+	l.core.Store(l.start, b)
+	l.core.PersistBarrier(l.start, pmem.LineSize, pmem.KindLog)
+}
+
+// ---- redo log ----
+
+func (l *logged) recSalt(seq uint64) uint64 {
+	var s [16]byte
+	binary.LittleEndian.PutUint64(s[0:], l.incarn)
+	binary.LittleEndian.PutUint64(s[8:], seq)
+	return fnv64(s[:])
+}
+
+// appendRec writes one record (store + flush, no fence — callers fence once
+// per operation after all its records are staged).
+func (l *logged) appendRec(op uint32, span int32, arg uint32, class int64) {
+	l.seq++
+	b := l.scratchRec[:]
+	binary.LittleEndian.PutUint64(b[0:], l.seq)
+	binary.LittleEndian.PutUint32(b[8:], op)
+	binary.LittleEndian.PutUint32(b[12:], uint32(span))
+	binary.LittleEndian.PutUint32(b[16:], arg)
+	binary.LittleEndian.PutUint32(b[20:], uint32(class))
+	binary.LittleEndian.PutUint64(b[24:], fnv64(b[:24])^l.recSalt(l.seq))
+	a := l.logOff + pmem.Addr(int((l.seq-1)%uint64(l.logSlots))*recSize)
+	l.core.Store(a, b)
+	l.core.Flush(a, recSize, pmem.KindLog)
+	l.stats.LogRecords++
+}
+
+func (l *logged) markDirty(s int32) {
+	if !l.dirty[s] {
+		l.dirty[s] = true
+		l.dirtyList = append(l.dirtyList, s)
+	}
+}
+
+// ensureLogSpace checkpoints when the window is half full (amortised) or
+// lacks room for the next operation's records (hard bound: never overwrite
+// an unapplied slot).
+func (l *logged) ensureLogSpace(need int) {
+	pending := l.seq + 1 - l.logStart
+	if pending+uint64(need) > uint64(l.logSlots) || pending >= uint64(l.logSlots)/2 {
+		l.checkpoint()
+	}
+}
+
+// checkpoint persists every dirty span descriptor, fences, then advances
+// the header's logStart past the current tail (second fence). Descriptor
+// writes are idempotent against replay, so a crash between the two fences
+// is safe: replay from the old logStart over the new table converges.
+func (l *logged) checkpoint() {
+	if l.seq+1 == l.logStart {
+		return
+	}
+	for _, s := range l.dirtyList {
+		l.writeDesc(s)
+		l.dirty[s] = false
+	}
+	l.dirtyList = l.dirtyList[:0]
+	l.core.Fence()
+	l.logStart = l.seq + 1
+	l.writeHeader()
+	l.stats.Checkpoints++
+}
+
+func (l *logged) writeDesc(s int32) {
+	in := &l.spans[s]
+	b := l.scratchDesc[:]
+	for i := range b {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint64(b[0:], uint64(in.state))
+	binary.LittleEndian.PutUint64(b[8:], uint64(in.class))
+	binary.LittleEndian.PutUint64(b[16:], uint64(in.aux))
+	binary.LittleEndian.PutUint64(b[24:], uint64(in.alloc))
+	for w := 0; w < bitmapWords; w++ {
+		binary.LittleEndian.PutUint64(b[descBitmap+8*w:], in.bitmap[w])
+	}
+	a := l.tableOff + pmem.Addr(int(s)*descSize)
+	l.core.Store(a, b)
+	l.core.Flush(a, descSize, pmem.KindLog)
+}
+
+// ---- allocation ----
+
+func (l *logged) blocksPer(class int64) int32 { return int32(int64(l.spanSize) / class) }
+
+func (l *logged) blockAddr(span int32, block int32, class int64) pmem.Addr {
+	return l.spansStart + pmem.Addr(int64(span)*int64(l.spanSize)+int64(block)*class)
+}
+
+func (l *logged) alloc(c int) (pmem.Addr, error) {
+	if c <= l.spanSize/2 {
+		return l.allocSmall(int64(c))
+	}
+	runLen := (c + l.spanSize - 1) / l.spanSize
+	return l.allocRun(runLen, int64(c))
+}
+
+// popFree returns a free span index, or -1.
+func (l *logged) popFree() int32 {
+	for len(l.freeSpans) > 0 {
+		s := l.freeSpans[len(l.freeSpans)-1]
+		l.freeSpans = l.freeSpans[:len(l.freeSpans)-1]
+		if l.spans[s].state == sFree {
+			return s
+		}
+	}
+	return -1
+}
+
+// pickSmallSpan returns a span of class c with at least one free block,
+// opening a fresh span if every existing one is full.
+func (l *logged) pickSmallSpan(c int64) (int32, bool, error) {
+	list := l.classFree[c]
+	for len(list) > 0 {
+		s := list[len(list)-1]
+		list = list[:len(list)-1]
+		in := &l.spans[s]
+		if in.state == sSmall && in.class == c && in.alloc < l.blocksPer(c) {
+			l.classFree[c] = list
+			in.inList = false // popped; the alloc path re-pushes if still partial
+			return s, false, nil
+		}
+		l.spans[s].inList = false
+	}
+	l.classFree[c] = list
+	s := l.popFree()
+	if s < 0 {
+		return 0, false, ErrOutOfMemory
+	}
+	return s, true, nil
+}
+
+func (l *logged) allocSmall(c int64) (pmem.Addr, error) {
+	l.ensureLogSpace(2)
+	s, fresh, err := l.pickSmallSpan(c)
+	if err != nil {
+		return 0, err
+	}
+	in := &l.spans[s]
+	if fresh {
+		in.reset()
+		in.state = sSmall
+		in.class = c
+		l.stats.SpanOpens++
+		l.appendRec(opOpen, s, 0, c)
+	}
+	// lowest free block
+	var block int32 = -1
+	per := l.blocksPer(c)
+	for w := 0; w < bitmapWords && block < 0; w++ {
+		if inv := ^in.bitmap[w]; inv != 0 {
+			b := int32(w*64 + bits.TrailingZeros64(inv))
+			if b < per {
+				block = b
+			}
+		}
+	}
+	if block < 0 {
+		return 0, fmt.Errorf("pmalloc: span %d class %d full but listed free", s, c)
+	}
+	l.appendRec(opAlloc, s, uint32(block), c)
+	l.core.Fence()
+	in.bitmap[block/64] |= 1 << uint(block%64)
+	in.alloc++
+	l.markDirty(s)
+	if in.alloc < per && !in.inList {
+		l.classFree[c] = append(l.classFree[c], s)
+		in.inList = true
+	}
+	l.stats.Allocs++
+	return l.blockAddr(s, block, c), nil
+}
+
+func (l *logged) allocRun(runLen int, c int64) (pmem.Addr, error) {
+	l.ensureLogSpace(1)
+	// first-fit scan for runLen contiguous free spans
+	start := -1
+	run := 0
+	for i := 0; i < l.nspans; i++ {
+		if l.spans[i].state == sFree {
+			if run == 0 {
+				start = i
+			}
+			run++
+			if run == runLen {
+				break
+			}
+		} else {
+			run = 0
+		}
+	}
+	if run < runLen {
+		return 0, ErrOutOfMemory
+	}
+	l.appendRec(opRun, int32(start), uint32(runLen), c)
+	l.core.Fence()
+	head := &l.spans[start]
+	head.reset()
+	head.state = sRunHead
+	head.class = c
+	head.aux = int64(runLen)
+	head.alloc = 1
+	l.markDirty(int32(start))
+	for i := 1; i < runLen; i++ {
+		b := &l.spans[start+i]
+		b.reset()
+		b.state = sRunBody
+		l.markDirty(int32(start + i))
+	}
+	l.stats.Allocs++
+	l.stats.SpanOpens++
+	return l.blockAddr(int32(start), 0, c), nil
+}
+
+func (l *logged) freeBlock(addr pmem.Addr, c int) error {
+	off := int64(addr - l.spansStart)
+	if off < 0 || off >= int64(l.nspans)*int64(l.spanSize) {
+		return fmt.Errorf("free of addr %d outside span area", addr)
+	}
+	s := int32(off / int64(l.spanSize))
+	in := &l.spans[s]
+	if c > l.spanSize/2 {
+		runLen := (c + l.spanSize - 1) / l.spanSize
+		if in.state != sRunHead || in.class != int64(c) || in.aux != int64(runLen) || off%int64(l.spanSize) != 0 {
+			return fmt.Errorf("free of addr %d size %d: not an allocated run head", addr, c)
+		}
+		l.ensureLogSpace(1)
+		l.appendRec(opFreeRun, s, uint32(runLen), int64(c))
+		l.core.Fence()
+		for i := 0; i < runLen; i++ {
+			l.spans[int(s)+i].reset()
+			l.markDirty(s + int32(i))
+			l.freeSpans = append(l.freeSpans, s+int32(i))
+		}
+		l.stats.Frees++
+		l.stats.SpanFrees++
+		return nil
+	}
+	if in.state != sSmall || in.class != int64(c) {
+		return fmt.Errorf("free of addr %d size %d: span %d holds class %d state %d", addr, c, s, in.class, in.state)
+	}
+	rem := off % int64(l.spanSize)
+	if rem%int64(c) != 0 {
+		return fmt.Errorf("free of addr %d: misaligned for class %d", addr, c)
+	}
+	block := int32(rem / int64(c))
+	if in.bitmap[block/64]&(1<<uint(block%64)) == 0 {
+		return fmt.Errorf("double free of addr %d (span %d block %d class %d)", addr, s, block, c)
+	}
+	l.ensureLogSpace(1)
+	l.appendRec(opFree, s, uint32(block), int64(c))
+	l.core.Fence()
+	in.bitmap[block/64] &^= 1 << uint(block%64)
+	in.alloc--
+	l.markDirty(s)
+	if in.alloc == 0 {
+		// implicit retirement: a small span with zero blocks is canonically
+		// free, so no extra log record is needed and any class can reuse it.
+		in.reset()
+		l.freeSpans = append(l.freeSpans, s)
+		l.stats.SpanFrees++
+	} else if !in.inList {
+		l.classFree[int64(c)] = append(l.classFree[int64(c)], s)
+		in.inList = true
+	}
+	l.stats.Frees++
+	return nil
+}
+
+func (l *logged) allocated(addr pmem.Addr, c int) bool {
+	off := int64(addr - l.spansStart)
+	if off < 0 || off >= int64(l.nspans)*int64(l.spanSize) {
+		return false
+	}
+	s := off / int64(l.spanSize)
+	in := &l.spans[s]
+	if c > l.spanSize/2 {
+		return in.state == sRunHead && in.class == int64(c) && off%int64(l.spanSize) == 0
+	}
+	if in.state != sSmall || in.class != int64(c) {
+		return false
+	}
+	rem := off % int64(l.spanSize)
+	if rem%int64(c) != 0 {
+		return false
+	}
+	block := rem / int64(c)
+	return in.bitmap[block/64]&(1<<uint(block%64)) != 0
+}
+
+func (l *logged) liveBytes() int64 {
+	var live int64
+	for i := range l.spans {
+		in := &l.spans[i]
+		switch in.state {
+		case sSmall:
+			live += int64(in.alloc) * in.class
+		case sRunHead:
+			live += in.class
+		}
+	}
+	return live
+}
+
+func (l *logged) remaining() int64 {
+	var free int64
+	for i := range l.spans {
+		if l.spans[i].state == sFree {
+			free += int64(l.spanSize)
+		}
+	}
+	return free
+}
+
+func (l *logged) footprint() int64 {
+	var used int64
+	for i := range l.spans {
+		if l.spans[i].state != sFree {
+			used += int64(l.spanSize)
+		}
+	}
+	return used
+}
+
+// ---- recovery ----
+
+type recState struct {
+	spans    []spanInfo
+	seq      uint64
+	logStart uint64
+	incarn   uint64
+	replayed uint64
+	// suspects are spans whose loaded descriptor was internally inconsistent
+	// (popcount vs stored count, bad state). Legitimate only when a crash
+	// tore a mid-checkpoint descriptor write — in which case the span has
+	// records in the replay window. Untouched suspects are corruption.
+	suspects []int32
+	touched  map[int32]bool
+}
+
+// recoverState rebuilds allocator state purely from the persistent image:
+// header → span table → strict-prefix log replay. It never mutates l.
+func (l *logged) recoverState() (*recState, error) {
+	var hdr [pmem.LineSize]byte
+	l.core.Load(l.start, hdr[:])
+	if binary.LittleEndian.Uint64(hdr[0:]) != hdrMagic {
+		return nil, fmt.Errorf("pmalloc: recovery: bad header magic %#x", binary.LittleEndian.Uint64(hdr[0:]))
+	}
+	if got, want := binary.LittleEndian.Uint64(hdr[56:]), fnv64(hdr[:56]); got != want {
+		return nil, fmt.Errorf("pmalloc: recovery: header checksum %#x != %#x", got, want)
+	}
+	if binary.LittleEndian.Uint64(hdr[16:]) != uint64(l.spanSize) ||
+		binary.LittleEndian.Uint64(hdr[24:]) != uint64(l.nspans) ||
+		binary.LittleEndian.Uint64(hdr[32:]) != uint64(l.logSlots) {
+		return nil, fmt.Errorf("pmalloc: recovery: header geometry mismatch")
+	}
+	rs := &recState{
+		spans:    make([]spanInfo, l.nspans),
+		logStart: binary.LittleEndian.Uint64(hdr[40:]),
+		incarn:   binary.LittleEndian.Uint64(hdr[48:]),
+		touched:  map[int32]bool{},
+	}
+	rs.seq = rs.logStart - 1
+	var desc [descSize]byte
+	for i := 0; i < l.nspans; i++ {
+		l.core.Load(l.tableOff+pmem.Addr(i*descSize), desc[:])
+		in := &rs.spans[i]
+		state := binary.LittleEndian.Uint64(desc[0:])
+		if state > sRunBody {
+			rs.suspects = append(rs.suspects, int32(i))
+			continue
+		}
+		in.state = uint8(state)
+		if in.state == sFree || in.state == sRunBody {
+			continue // canonical: no class/bitmap payload
+		}
+		in.class = int64(binary.LittleEndian.Uint64(desc[8:]))
+		in.aux = int64(binary.LittleEndian.Uint64(desc[16:]))
+		stored := int32(binary.LittleEndian.Uint64(desc[24:]))
+		if in.state == sRunHead {
+			in.alloc = 1
+			continue
+		}
+		pop := int32(0)
+		for w := 0; w < bitmapWords; w++ {
+			in.bitmap[w] = binary.LittleEndian.Uint64(desc[descBitmap+8*w:])
+			pop += int32(bits.OnesCount64(in.bitmap[w]))
+		}
+		in.alloc = pop
+		if pop != stored {
+			rs.suspects = append(rs.suspects, int32(i))
+		}
+		if in.alloc == 0 {
+			in.reset() // small span at zero is canonically free
+		}
+	}
+	// strict-prefix replay: stop at the first sequence gap or checksum
+	// mismatch — that is the durable tail (all records were fenced before
+	// their operation returned, so a mid-log mismatch is corruption, which
+	// the diff against the pre-crash mirror then surfaces).
+	var rec [recSize]byte
+	for seq := rs.logStart; ; seq++ {
+		if seq-rs.logStart >= uint64(l.logSlots) {
+			break
+		}
+		a := l.logOff + pmem.Addr(int((seq-1)%uint64(l.logSlots))*recSize)
+		l.core.Load(a, rec[:])
+		if binary.LittleEndian.Uint64(rec[0:]) != seq {
+			break
+		}
+		if binary.LittleEndian.Uint64(rec[24:]) != fnv64(rec[:24])^l.saltFor(rs.incarn, seq) {
+			break
+		}
+		op := binary.LittleEndian.Uint32(rec[8:])
+		span := int32(binary.LittleEndian.Uint32(rec[12:]))
+		arg := binary.LittleEndian.Uint32(rec[16:])
+		class := int64(binary.LittleEndian.Uint32(rec[20:]))
+		if span < 0 || int(span) >= l.nspans {
+			break
+		}
+		if err := applyRec(rs, l, op, span, arg, class); err != nil {
+			return nil, err
+		}
+		rs.seq = seq
+		rs.replayed++
+	}
+	return rs, nil
+}
+
+func (l *logged) saltFor(incarn, seq uint64) uint64 {
+	var s [16]byte
+	binary.LittleEndian.PutUint64(s[0:], incarn)
+	binary.LittleEndian.PutUint64(s[8:], seq)
+	return fnv64(s[:])
+}
+
+// applyRec applies one log record to a recovering state. Records are
+// idempotent — absolute resets (open, run, free-run) or single-bit edits —
+// so replaying a stale prefix over a newer table (the mid-checkpoint crash
+// case) converges back to the same final state.
+func applyRec(rs *recState, l *logged, op uint32, span int32, arg uint32, class int64) error {
+	rs.touched[span] = true
+	in := &rs.spans[span]
+	switch op {
+	case opOpen:
+		in.reset()
+		in.state = sSmall
+		in.class = class
+	case opAlloc:
+		if in.state != sSmall {
+			// stale replay over a table that already saw this span retire:
+			// adopt the record's class; later records re-free these bits.
+			in.reset()
+			in.state = sSmall
+			in.class = class
+		}
+		if in.bitmap[arg/64]&(1<<uint(arg%64)) == 0 {
+			in.bitmap[arg/64] |= 1 << uint(arg%64)
+			in.alloc++
+		}
+	case opFree:
+		if in.state == sSmall && in.bitmap[arg/64]&(1<<uint(arg%64)) != 0 {
+			in.bitmap[arg/64] &^= 1 << uint(arg%64)
+			in.alloc--
+		}
+		if in.state == sSmall && in.alloc == 0 {
+			in.reset()
+		}
+	case opRun:
+		runLen := int(arg)
+		if int(span)+runLen > l.nspans {
+			return fmt.Errorf("pmalloc: recovery: run record overflows span table")
+		}
+		in.reset()
+		in.state = sRunHead
+		in.class = class
+		in.aux = int64(runLen)
+		in.alloc = 1
+		for i := 1; i < runLen; i++ {
+			b := &rs.spans[int(span)+i]
+			b.reset()
+			b.state = sRunBody
+			rs.touched[span+int32(i)] = true
+		}
+	case opFreeRun:
+		runLen := int(arg)
+		if int(span)+runLen > l.nspans {
+			return fmt.Errorf("pmalloc: recovery: free-run record overflows span table")
+		}
+		for i := 0; i < runLen; i++ {
+			rs.spans[int(span)+i].reset()
+			rs.touched[span+int32(i)] = true
+		}
+	default:
+		return fmt.Errorf("pmalloc: recovery: unknown log op %d", op)
+	}
+	return nil
+}
+
+// diff compares the recovered state against the live mirror. Every
+// operation fences before returning, so the two must agree exactly; a
+// mismatch is a crash-consistency hole (or deliberate corruption in the
+// checker tests).
+func (l *logged) diff(rs *recState) error {
+	if rs.incarn != l.incarn {
+		return fmt.Errorf("pmalloc: recovered incarnation %d, mirror has %d", rs.incarn, l.incarn)
+	}
+	if rs.seq != l.seq {
+		return fmt.Errorf("pmalloc: recovered through seq %d, mirror fenced seq %d (lost %d records)", rs.seq, l.seq, l.seq-rs.seq)
+	}
+	var bad []string
+	for i := range l.spans {
+		m, r := &l.spans[i], &rs.spans[i]
+		if m.state != r.state || m.class != r.class || m.alloc != r.alloc ||
+			(m.state == sRunHead && m.aux != r.aux) || m.bitmap != r.bitmap {
+			bad = append(bad, fmt.Sprintf(
+				"span %d: mirror{state %d class %d alloc %d} vs recovered{state %d class %d alloc %d}",
+				i, m.state, m.class, m.alloc, r.state, r.class, r.alloc))
+			if len(bad) == 3 {
+				break
+			}
+		}
+	}
+	if bad != nil {
+		return fmt.Errorf("pmalloc: recovered state diverges from pre-crash mirror: %s", joinStrings(bad, "; "))
+	}
+	return nil
+}
+
+// structural checks invariants that must hold of any recovered state:
+// suspect descriptors must have been overwritten by replay, classes must be
+// canonical, bitmaps must stay within the class's block count, and runs
+// must be shaped head-then-bodies.
+func (l *logged) structural(rs *recState) error {
+	for _, s := range rs.suspects {
+		if !rs.touched[s] {
+			return fmt.Errorf("pmalloc: span %d descriptor is internally inconsistent (bitmap popcount vs stored count) with no replay records covering it: corruption", s)
+		}
+	}
+	for i := 0; i < l.nspans; i++ {
+		in := &rs.spans[i]
+		switch in.state {
+		case sFree, sRunBody:
+		case sSmall:
+			if in.class < minClass || in.class > int64(l.spanSize)/2 || classOf(int(in.class)) != int(in.class) {
+				return fmt.Errorf("pmalloc: span %d has invalid class %d", i, in.class)
+			}
+			per := l.blocksPer(in.class)
+			pop := int32(0)
+			for w := 0; w < bitmapWords; w++ {
+				word := in.bitmap[w]
+				pop += int32(bits.OnesCount64(word))
+				lo := int32(w) * 64
+				switch {
+				case lo >= per:
+					if word != 0 {
+						return fmt.Errorf("pmalloc: span %d class %d has blocks beyond capacity %d", i, in.class, per)
+					}
+				case lo+64 > per:
+					if word>>uint(per-lo) != 0 {
+						return fmt.Errorf("pmalloc: span %d class %d has blocks beyond capacity %d", i, in.class, per)
+					}
+				}
+			}
+			if pop != in.alloc || pop == 0 {
+				return fmt.Errorf("pmalloc: span %d alloc count %d != bitmap popcount %d", i, in.alloc, pop)
+			}
+		case sRunHead:
+			runLen := int(in.aux)
+			if runLen < 1 || i+runLen > l.nspans {
+				return fmt.Errorf("pmalloc: span %d run length %d out of range", i, runLen)
+			}
+			if in.class <= int64(l.spanSize)/2 || in.class > int64(runLen)*int64(l.spanSize) {
+				return fmt.Errorf("pmalloc: span %d run class %d inconsistent with length %d", i, in.class, runLen)
+			}
+			for j := 1; j < runLen; j++ {
+				if rs.spans[i+j].state != sRunBody {
+					return fmt.Errorf("pmalloc: span %d inside run at %d has state %d, want run body", i+j, i, rs.spans[i+j].state)
+				}
+			}
+		}
+	}
+	// every run body must belong to a run
+	for i := 0; i < l.nspans; i++ {
+		if rs.spans[i].state == sRunBody {
+			if i == 0 || (rs.spans[i-1].state != sRunHead && rs.spans[i-1].state != sRunBody) {
+				return fmt.Errorf("pmalloc: span %d is a run body with no run head", i)
+			}
+		}
+	}
+	return nil
+}
+
+func (l *logged) adopt(rs *recState) {
+	l.spans = rs.spans
+	l.seq = rs.seq
+	l.logStart = rs.logStart
+	l.incarn = rs.incarn
+	l.stats.Replayed = rs.replayed
+	l.freeSpans = l.freeSpans[:0]
+	l.classFree = make(map[int64][]int32)
+	l.dirty = make([]bool, l.nspans)
+	l.dirtyList = l.dirtyList[:0]
+	for i := l.nspans - 1; i >= 0; i-- {
+		in := &l.spans[i]
+		in.inList = false
+		switch in.state {
+		case sFree:
+			l.freeSpans = append(l.freeSpans, int32(i))
+		case sSmall:
+			if in.alloc < l.blocksPer(in.class) {
+				l.classFree[in.class] = append(l.classFree[in.class], int32(i))
+				in.inList = true
+			}
+		}
+	}
+	// replay-touched spans may be ahead of the persistent table; keep them
+	// dirty so the next checkpoint persists them.
+	for s := range rs.touched {
+		l.markDirty(s)
+	}
+}
+
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package pmalloc
+
+import (
+	"fmt"
+	"testing"
+
+	"specpmt/internal/pmem"
+	"specpmt/internal/sim"
+)
+
+func newLogged(t *testing.T, size int) (*pmem.Device, *Heap) {
+	t.Helper()
+	dev := pmem.NewDevice(pmem.Config{Size: size})
+	h, err := OpenLogged(dev.NewCore(), pmem.PageSize, pmem.Addr(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, h
+}
+
+func TestLoggedAllocFreeRoundTrip(t *testing.T) {
+	_, h := newLogged(t, 8<<20)
+	if !h.Logged() {
+		t.Fatal("heap not in logged mode")
+	}
+	sizes := []int{1, 64, 100, 512, 4096, 5000, 40 << 10, 200 << 10}
+	type blk struct {
+		a pmem.Addr
+		n int
+	}
+	var blocks []blk
+	for round := 0; round < 3; round++ {
+		for _, n := range sizes {
+			a, err := h.Alloc(n)
+			if err != nil {
+				t.Fatalf("alloc %d: %v", n, err)
+			}
+			if a%minClass != 0 {
+				t.Fatalf("alloc %d returned unaligned addr %d", n, a)
+			}
+			if !h.Allocated(a, n) {
+				t.Fatalf("alloc %d at %d not reported Allocated", n, a)
+			}
+			blocks = append(blocks, blk{a, n})
+		}
+	}
+	// no overlaps
+	for i, b := range blocks {
+		for j, o := range blocks {
+			if i == j {
+				continue
+			}
+			bi, bj := int64(b.a), int64(o.a)
+			if bi < bj+int64(classOf(o.n)) && bj < bi+int64(classOf(b.n)) {
+				t.Fatalf("blocks overlap: %d+%d and %d+%d", b.a, b.n, o.a, o.n)
+			}
+		}
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify after allocs: %v", err)
+	}
+	for _, b := range blocks {
+		h.Free(b.a, b.n)
+		if h.Allocated(b.a, b.n) {
+			t.Fatalf("freed block %d still Allocated", b.a)
+		}
+	}
+	if h.Live() != 0 {
+		t.Fatalf("live %d after freeing everything", h.Live())
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify after frees: %v", err)
+	}
+	st := h.Stats()
+	if st.SpansInUse != 0 {
+		t.Fatalf("%d spans still in use after freeing everything", st.SpansInUse)
+	}
+}
+
+func TestLoggedSurvivesCrashes(t *testing.T) {
+	dev, h := newLogged(t, 8<<20)
+	rng := sim.NewRand(7)
+	type blk struct {
+		a pmem.Addr
+		n int
+	}
+	live := map[pmem.Addr]blk{}
+	sizes := []int{64, 128, 1000, 4096, 48 << 10, 130 << 10}
+	for round := 0; round < 25; round++ {
+		for i := 0; i < 40; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				for a, b := range live {
+					h.Free(b.a, b.n)
+					delete(live, a)
+					break
+				}
+			} else {
+				n := sizes[rng.Intn(len(sizes))]
+				a, err := h.Alloc(n)
+				if err != nil {
+					t.Fatalf("round %d: alloc %d: %v", round, n, err)
+				}
+				live[a] = blk{a, n}
+			}
+		}
+		dev.Crash(rng)
+		if err := h.Reattach(dev.NewCore()); err != nil {
+			t.Fatalf("round %d: Reattach: %v", round, err)
+		}
+		if err := h.RecoveryError(); err != nil {
+			t.Fatalf("round %d: recovered state diverged: %v", round, err)
+		}
+		if err := h.Verify(); err != nil {
+			t.Fatalf("round %d: Verify: %v", round, err)
+		}
+		for _, b := range live {
+			if !h.Allocated(b.a, b.n) {
+				t.Fatalf("round %d: block %d+%d lost across crash", round, b.a, b.n)
+			}
+		}
+	}
+	if h.Stats().Checkpoints == 0 {
+		t.Fatal("torture never exercised a checkpoint")
+	}
+}
+
+func TestLoggedRestartFromHeader(t *testing.T) {
+	dev, h := newLogged(t, 4<<20)
+	a1, _ := h.Alloc(64)
+	a2, _ := h.Alloc(8192)
+	h.Checkpoint()
+	a3, _ := h.Alloc(256) // past the checkpoint: must come back via replay
+
+	// reopen the same region cold: header magic selects the restart path
+	h2, err := OpenLogged(dev.NewCore(), pmem.PageSize, pmem.Addr(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		a pmem.Addr
+		n int
+	}{{a1, 64}, {a2, 8192}, {a3, 256}} {
+		if !h2.Allocated(c.a, c.n) {
+			t.Fatalf("restart lost block %d+%d", c.a, c.n)
+		}
+	}
+	if h2.Live() != h.Live() {
+		t.Fatalf("restart live %d != original %d", h2.Live(), h.Live())
+	}
+	// a fresh region (no magic) must format, not inherit garbage
+	dev2 := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+	h3, err := OpenLogged(dev2.NewCore(), pmem.PageSize, pmem.Addr(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.Live() != 0 {
+		t.Fatalf("fresh heap has live bytes %d", h3.Live())
+	}
+}
+
+func TestLoggedFreeValidation(t *testing.T) {
+	_, h := newLogged(t, 2<<20)
+	a, _ := h.Alloc(128)
+	h.Free(a, 128)
+	for _, bad := range []func(){
+		func() { h.Free(a, 128) },     // double free
+		func() { h.Free(a+64, 4096) }, // wrong class / misaligned
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad free did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCompactEmptiesSparseSpans(t *testing.T) {
+	dev, h := newLogged(t, 8<<20)
+	core := dev.NewCore()
+	const class = 512
+	// fill many spans of one class, then free most blocks to leave every
+	// span sparse
+	var addrs []pmem.Addr
+	for i := 0; i < 1000; i++ {
+		a, err := h.Alloc(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.StoreUint64(a, uint64(i))
+		core.Flush(a, 8, pmem.KindData)
+		core.Fence()
+		addrs = append(addrs, a)
+	}
+	spansBefore := h.Stats().SpansInUse
+	kept := map[pmem.Addr]uint64{}
+	for i, a := range addrs {
+		if i%16 == 0 {
+			kept[a] = uint64(i)
+		} else {
+			h.Free(a, class)
+		}
+	}
+	moved := h.Compact(func(old, new pmem.Addr, n int) bool {
+		var buf [class]byte
+		core.Load(old, buf[:])
+		core.Store(new, buf[:])
+		core.Flush(new, n, pmem.KindData)
+		core.Fence()
+		v, ok := kept[old]
+		if !ok {
+			t.Fatalf("compaction moved unknown block %d", old)
+		}
+		delete(kept, old)
+		kept[new] = v
+		return true
+	})
+	if moved == 0 {
+		t.Fatal("compaction moved nothing over a maximally sparse heap")
+	}
+	spansAfter := h.Stats().SpansInUse
+	if spansAfter >= spansBefore {
+		t.Fatalf("compaction did not shrink span usage: %d -> %d", spansBefore, spansAfter)
+	}
+	for a, v := range kept {
+		if !h.Allocated(a, class) {
+			t.Fatalf("surviving block %d not allocated after compaction", a)
+		}
+		if got := core.LoadUint64(a); got != v {
+			t.Fatalf("block %d holds %d after compaction, want %d", a, got, v)
+		}
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify after compaction: %v", err)
+	}
+	// compaction survives a crash too
+	dev.Crash(sim.NewRand(3))
+	if err := h.Reattach(dev.NewCore()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecoveryError(); err != nil {
+		t.Fatalf("post-compaction recovery diverged: %v", err)
+	}
+}
+
+func TestSpanRecyclingAcrossClasses(t *testing.T) {
+	_, h := newLogged(t, 2<<20)
+	foot := func() int64 { return h.Footprint() }
+	// churn one class, free everything, churn a different class: the
+	// footprint must not double because emptied spans are recycled.
+	var as []pmem.Addr
+	for i := 0; i < 200; i++ {
+		a, err := h.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as = append(as, a)
+	}
+	f1 := foot()
+	for _, a := range as {
+		h.Free(a, 256)
+	}
+	as = as[:0]
+	for i := 0; i < 200; i++ {
+		a, err := h.Alloc(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as = append(as, a)
+	}
+	if f2 := foot(); f2 > f1*4+int64(4*h.Stats().SpansTotal) && f2 > f1+4*(64<<10) {
+		t.Fatalf("spans not recycled across classes: footprint %d -> %d", f1, f2)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoggedHotPathAllocFree(t *testing.T) {
+	// steady-state alloc/free of a warm class must not allocate Go memory
+	// (the redo log writes reuse scratch buffers)
+	_, h := newLogged(t, 4<<20)
+	a, _ := h.Alloc(256)
+	h.Free(a, 256)
+	n := testing.AllocsPerRun(200, func() {
+		a, err := h.Alloc(256)
+		if err != nil {
+			panic(err)
+		}
+		h.Free(a, 256)
+	})
+	if n > 1.0 {
+		t.Fatalf("logged alloc/free allocates %.1f Go objects per round, want <= 1", n)
+	}
+}
+
+func TestGeometrySmallRegions(t *testing.T) {
+	for _, size := range []int{1 << 20, 4 << 20, 64 << 20} {
+		span, nspans, _, err := geometry(pmem.PageSize, pmem.Addr(size))
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if nspans < 2 || span < pmem.PageSize {
+			t.Fatalf("size %d: degenerate geometry span=%d n=%d", size, span, nspans)
+		}
+	}
+	if _, _, _, err := geometry(0, 8<<10); err == nil {
+		t.Fatal("tiny region accepted")
+	}
+}
+
+func TestVerifyFlagsDivergence(t *testing.T) {
+	// sanity-check that Verify actually detects a divergence between the
+	// persistent image and the mirror (the corrupt-byte checker tests in
+	// internal/recovery build on this)
+	dev, h := newLogged(t, 2<<20)
+	a, _ := h.Alloc(64)
+	h.Checkpoint()
+	_ = a
+	// flip one byte of the first span's bitmap in the persistent table
+	addr := h.lg.tableOff + descBitmap
+	var b [1]byte
+	dev.ReadPersisted(addr, b[:])
+	dev.PokePersisted(addr, []byte{b[0] ^ 0x10})
+	err := h.Verify()
+	if err == nil {
+		t.Fatal("Verify missed a corrupted span bitmap")
+	}
+	if want := "span 0"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not identify the span", err)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLoggedReset(t *testing.T) {
+	dev, h := newLogged(t, 2<<20)
+	for i := 0; i < 50; i++ {
+		if _, err := h.Alloc(512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Reset()
+	if h.Live() != 0 || h.Stats().SpansInUse != 0 {
+		t.Fatalf("Reset left live=%d spans=%d", h.Live(), h.Stats().SpansInUse)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify after Reset: %v", err)
+	}
+	// old-incarnation log records must not replay after a crash
+	dev.Crash(sim.NewRand(1))
+	if err := h.Reattach(dev.NewCore()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecoveryError(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Live() != 0 {
+		t.Fatalf("stale records resurrected %d live bytes", h.Live())
+	}
+}
+
+func ExampleHeap_logged() {
+	dev := pmem.NewDevice(pmem.Config{Size: 1 << 20})
+	h, _ := OpenLogged(dev.NewCore(), pmem.PageSize, 1<<20)
+	a, _ := h.Alloc(128)
+	fmt.Println(h.Allocated(a, 128), h.Live())
+	// Output: true 128
+}

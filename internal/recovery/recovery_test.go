@@ -1,0 +1,201 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"specpmt/internal/pmalloc"
+	"specpmt/internal/pmem"
+	"specpmt/internal/repl"
+	"specpmt/internal/server"
+	"specpmt/internal/txn"
+	"specpmt/internal/txn/spec"
+)
+
+// TestRegistryReportsFailures exercises the registry mechanics: every
+// checker runs even after one fails, the combined error names each failing
+// checker and the power-fail point index, and the summary carries the
+// failure records the CLI turns into its artifact.
+func TestRegistryReportsFailures(t *testing.T) {
+	var order []string
+	reg := NewRegistry("unit")
+	reg.Register(
+		Func("ok", nil, func() error { order = append(order, "ok"); return nil }),
+		Func("bad", nil, func() error { order = append(order, "bad"); return errors.New("boom") }),
+		Func("also-bad", nil, func() error { order = append(order, "also-bad"); return errors.New("bang") }),
+	)
+	if err := reg.Check(); err == nil {
+		t.Fatal("Check did not report the failing checkers")
+	} else {
+		for _, want := range []string{"power-fail point 0", "bad: boom", "also-bad: bang"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q missing %q", err, want)
+			}
+		}
+	}
+	if len(order) != 3 {
+		t.Fatalf("a failure short-circuited the registry: ran %v", order)
+	}
+	if err := reg.Check(); err == nil || !strings.Contains(err.Error(), "power-fail point 1") {
+		t.Errorf("second Check did not advance the point index: %v", err)
+	}
+	sum := reg.Summary()
+	if sum.Points != 2 || sum.Checks != 6 || sum.Failed != 4 || len(sum.Failures) != 4 {
+		t.Errorf("summary = %+v, want 2 points, 6 checks, 4 failed", sum)
+	}
+	if f := sum.Failures[0]; f.Point != 0 || f.Checker != "bad" || f.Error != "boom" {
+		t.Errorf("failure record = %+v", f)
+	}
+}
+
+// TestHeapCheckerCorruptSpanBitmap flips one byte of a span's persistent
+// block bitmap and asserts the allocator checker pinpoints the span.
+func TestHeapCheckerCorruptSpanBitmap(t *testing.T) {
+	dev := pmem.NewDevice(pmem.Config{Size: 8 << 20})
+	h, err := pmalloc.OpenLogged(dev.NewCore(), pmem.PageSize, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	h.Checkpoint()
+	chk := Heap("pmalloc.data", h)
+	if err := chk.Check(); err != nil {
+		t.Fatalf("checker fails on a healthy heap: %v", err)
+	}
+
+	base, _, _, bitmapOff := h.SpanTable()
+	at := base + pmem.Addr(bitmapOff)
+	var b [1]byte
+	dev.ReadPersisted(at, b[:])
+	dev.PokePersisted(at, []byte{b[0] ^ 0x10})
+
+	err = chk.Check()
+	if err == nil {
+		t.Fatal("checker missed a corrupted span bitmap")
+	}
+	if !strings.Contains(err.Error(), "span 0") {
+		t.Fatalf("error %q does not pinpoint the corrupted span", err)
+	}
+}
+
+// TestSpecCheckerCorruptChainRecord flips one byte inside a committed log
+// record's payload and asserts the engine checker reports the record as no
+// longer committed (the salted checksum catches it), naming the orphaned
+// address.
+func TestSpecCheckerCorruptChainRecord(t *testing.T) {
+	const size = 16 << 20
+	dev := pmem.NewDevice(pmem.Config{Size: size})
+	dataHeap, err := pmalloc.OpenLogged(dev.NewCore(), 16*pmem.PageSize, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logHeap, err := pmalloc.OpenLogged(dev.NewCore(), 1<<20, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := txn.Env{
+		Dev:     dev,
+		Core:    dev.NewCore(),
+		Heap:    dataHeap,
+		LogHeap: logHeap,
+		Root:    pmem.Addr(pmem.PageSize),
+		TS:      &txn.Timestamp{},
+	}
+	e, err := spec.New(env, spec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sentinel = 0xfeedfacecafebeef
+	cell, err := dataHeap.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := func(a pmem.Addr, v uint64) {
+		tx := e.Begin()
+		tx.StoreUint64(a, v)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sentinel commits LAST: a corrupted record severs the chain from
+	// that point on, so corrupting the tail record orphans exactly one cell
+	// and the checker's report is deterministic.
+	for i := 0; i < 3; i++ {
+		a, err := dataHeap.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commit(a, uint64(i))
+	}
+	commit(cell, sentinel)
+	chk := Func("spec.log", nil, func() error { return e.VerifyRecovered(logHeap.Allocated) })
+	if err := chk.Check(); err != nil {
+		t.Fatalf("checker fails on a healthy engine: %v", err)
+	}
+
+	// Find the sentinel's bytes inside the committed record and flip one.
+	var pat [8]byte
+	binary.LittleEndian.PutUint64(pat[:], sentinel)
+	buf := make([]byte, size-1<<20)
+	dev.ReadPersisted(1<<20, buf)
+	off := -1
+	for i := 0; i+8 <= len(buf); i++ {
+		if string(buf[i:i+8]) == string(pat[:]) {
+			off = i
+			break
+		}
+	}
+	if off < 0 {
+		t.Fatal("sentinel value not found in the log area")
+	}
+	dev.PokePersisted(pmem.Addr(1<<20+off), []byte{pat[0] ^ 0x01})
+
+	err = chk.Check()
+	if err == nil {
+		t.Fatal("checker missed a corrupted chain record")
+	}
+	if want := fmt.Sprintf("addr %d", cell); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the orphaned address (%s)", err, want)
+	}
+}
+
+// TestCursorCheckerTornStamp drives the replication cursor past the
+// primary's shipped LSN and asserts the checker flags the cell as a torn
+// stamp.
+func TestCursorCheckerTornStamp(t *testing.T) {
+	srv, err := server.New(server.Config{Engine: "SpecSPMT", Shards: 2, PoolSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	a, err := repl.NewApplier(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EndSnapshot(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	chk := Func("repl.cursor", nil, func() error { return a.CheckRecovered(7) })
+	if err := chk.Check(); err != nil {
+		t.Fatalf("checker fails on a healthy cursor: %v", err)
+	}
+	// A cell holding LSN 7 when the primary only ever shipped 6 can only be
+	// a torn stamp: the stamp commits with the replayed writes.
+	bad := Func("repl.cursor", nil, func() error { return a.CheckRecovered(6) })
+	err = bad.Check()
+	if err == nil {
+		t.Fatal("checker missed a cursor cell beyond the shipped LSN")
+	}
+	if !strings.Contains(err.Error(), "torn stamp") {
+		t.Fatalf("error %q does not identify the torn stamp", err)
+	}
+}

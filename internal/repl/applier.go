@@ -76,6 +76,44 @@ func (a *Applier) Reload() {
 	a.applied.Store(applied)
 }
 
+// CheckRecovered is the cursor's recovery-invariant checker
+// (internal/recovery): after a replica crash and pool recovery, the durable
+// cursor block must decode sanely. maxLSN is the highest LSN the primary
+// ever shipped; any cell beyond it can only be a torn stamp (the stamp
+// commits in the same transaction as the replayed writes, so a crash must
+// never expose a half-written one). The volatile mirror, when reloaded
+// from this cursor block, must sit exactly at the max cell — the resume
+// position the exactly-once argument rests on.
+func (a *Applier) CheckRecovered(maxLSN uint64) error {
+	pool := a.srv.Pool()
+	addr := specpmt.Addr(pool.Root(CursorRoot))
+	if addr == 0 {
+		// Never bootstrapped: nothing durable to check, and the mirror must
+		// agree that nothing was applied.
+		if got := a.applied.Load(); got != 0 {
+			return fmt.Errorf("repl: no durable cursor but volatile applied LSN is %d", got)
+		}
+		return nil
+	}
+	var durable uint64
+	for i := 0; i < a.shards; i++ {
+		lsn := pool.ReadUint64(addr + 8 + specpmt.Addr(i)*8)
+		if lsn > maxLSN {
+			return fmt.Errorf("repl: cursor cell %d holds LSN %d beyond the primary's shipped LSN %d (torn stamp)",
+				i, lsn, maxLSN)
+		}
+		if lsn > durable {
+			durable = lsn
+		}
+	}
+	if a.addr == addr {
+		if got := a.applied.Load(); got != durable {
+			return fmt.Errorf("repl: volatile applied LSN %d does not match durable cursor %d", got, durable)
+		}
+	}
+	return nil
+}
+
 // PrimaryID returns the stream identity the cursor belongs to (0 = none:
 // never bootstrapped, or a snapshot was cut short by a crash).
 func (a *Applier) PrimaryID() uint64 { return a.primaryID.Load() }

@@ -13,6 +13,7 @@ import (
 
 	"specpmt"
 	"specpmt/internal/obs"
+	"specpmt/internal/pmalloc"
 	"specpmt/pds/hashmap"
 )
 
@@ -250,6 +251,11 @@ type Server struct {
 	specAborts  atomic.Uint64
 	binConns    atomic.Uint64
 	binFrames   atomic.Uint64
+
+	// recovery-checker accounting (SelfCheck / CheckRecovered)
+	recChecks     atomic.Uint64
+	recCheckFails atomic.Uint64
+	recCheckNs    atomic.Uint64
 }
 
 // StatsHook extends the STATS block with subsystem-specific counters (the
@@ -608,6 +614,8 @@ func (s *Server) RangeAll(fn func(shard int, key, val uint64) bool) {
 // to its persistent map. The caller must guarantee the server is quiesced —
 // no in-flight requests, applies, or freezes. Workers stay parked on their
 // queues throughout and observe the reattached state via the next job.
+// Recovery ends with SelfCheck, so a server can never silently resume over
+// a state that violates its recovery invariants.
 func (s *Server) Crash(seed uint64) error {
 	if err := s.pool.Crash(seed); err != nil {
 		return err
@@ -623,7 +631,91 @@ func (s *Server) Crash(seed uint64) error {
 		}
 		sh.th, sh.m = th, m
 	}
+	return s.SelfCheck()
+}
+
+// noteCheck folds one recovery-checker run into the observability counters
+// (specpmt_recovery_checks / _check_failures / _check_duration_ns).
+func (s *Server) noteCheck(t0 time.Time, err error) error {
+	s.recChecks.Add(1)
+	s.recCheckNs.Add(uint64(time.Since(t0).Nanoseconds()))
+	if err != nil {
+		s.recCheckFails.Add(1)
+	}
+	return err
+}
+
+// SelfCheck runs the store's structural recovery invariants over a
+// quiesced cut: every shard hash map validates, the logged allocators'
+// persistent metadata matches their in-memory mirrors (and recovery, when
+// one just ran, reproduced the pre-crash allocation map), and — on the
+// SpecSPMT engine — every thread's log chain is well formed with
+// index/record/memory agreement. Run at startup and after every Crash; a
+// failure means persistent state the server must not serve from.
+func (s *Server) SelfCheck() error {
+	t0 := time.Now()
+	var err error
+	ferr := s.Freeze(func() {
+		err = s.selfCheckQuiesced()
+	})
+	if ferr != nil {
+		return s.noteCheck(t0, ferr)
+	}
+	return s.noteCheck(t0, err)
+}
+
+func (s *Server) selfCheckQuiesced() error {
+	for i, sh := range s.shards {
+		if err := sh.m.Validate(); err != nil {
+			return fmt.Errorf("server: shard %d: %w", i, err)
+		}
+	}
+	for _, h := range []struct {
+		name string
+		heap *pmalloc.Heap
+	}{{"data", s.pool.DataHeap()}, {"log", s.pool.LogHeap()}} {
+		if err := h.heap.RecoveryError(); err != nil {
+			return fmt.Errorf("server: %s heap recovery diverged: %w", h.name, err)
+		}
+		if err := h.heap.Verify(); err != nil {
+			return fmt.Errorf("server: %s heap: %w", h.name, err)
+		}
+	}
+	if sp := s.pool.SpecPool(); sp != nil {
+		if err := sp.VerifyRecovered(s.pool.LogHeap().Allocated); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
 	return nil
+}
+
+// CheckRecovered verifies the recovered store against a committed oracle:
+// the union of every shard map's key/value set must equal expect exactly,
+// with each shard's map also passing its structural recovery checks
+// (hashmap.Map.CheckRecovered). The crash harness's replica-replay
+// scenario drives this after every replica power failure.
+func (s *Server) CheckRecovered(expect map[uint64]uint64) error {
+	t0 := time.Now()
+	perShard := make([]map[uint64]uint64, len(s.shards))
+	for i := range perShard {
+		perShard[i] = map[uint64]uint64{}
+	}
+	for k, v := range expect {
+		perShard[s.shardOf(k)][k] = v
+	}
+	var err error
+	ferr := s.Freeze(func() {
+		for i, sh := range s.shards {
+			if cerr := sh.m.CheckRecovered(perShard[i]); cerr != nil {
+				err = fmt.Errorf("server: shard %d: %w", i, cerr)
+				return
+			}
+		}
+	})
+	if ferr != nil {
+		return s.noteCheck(t0, ferr)
+	}
+	return s.noteCheck(t0, err)
 }
 
 func (s *Server) trackConn(c net.Conn, add bool) {
@@ -1009,6 +1101,9 @@ func (s *Server) registerMetrics() {
 	r.Family("specpmt_spec_aborts", "speculative batch commits aborted and replayed", obs.KindCounter)
 	r.Family("specpmt_bin_conns", "connections that negotiated the binary protocol", obs.KindCounter)
 	r.Family("specpmt_bin_frames", "binary request frames decoded", obs.KindCounter)
+	r.Family("specpmt_recovery_checks", "recovery-invariant checker runs (startup self-check, post-crash, oracle checks)", obs.KindCounter)
+	r.Family("specpmt_recovery_check_failures", "recovery-invariant checker runs that found a violation", obs.KindCounter)
+	r.Family("specpmt_recovery_check_duration_ns", "wall-clock nanoseconds spent in recovery-invariant checkers", obs.KindCounter)
 	r.Family("specpmt_shard_tx_committed", "transactions committed, per shard", obs.KindCounter)
 	r.Family("specpmt_shard_keys", "live keys, per shard", obs.KindGauge)
 	r.Family("specpmt_commit_ns", "wall-clock group-commit latency in ns, per shard", obs.KindHistogram)
@@ -1084,6 +1179,9 @@ func (s *Server) collectMetrics(emit func(obs.Sample)) {
 	scalar("specpmt_spec_aborts", "spec_aborts", s.specAborts.Load())
 	scalar("specpmt_bin_conns", "bin_conns", s.binConns.Load())
 	scalar("specpmt_bin_frames", "bin_frames", s.binFrames.Load())
+	scalar("specpmt_recovery_checks", "recovery_checks", s.recChecks.Load())
+	scalar("specpmt_recovery_check_failures", "recovery_check_failures", s.recCheckFails.Load())
+	scalar("specpmt_recovery_check_duration_ns", "recovery_check_duration_ns", s.recCheckNs.Load())
 	scalar("specpmt_model_ns", "model_ns", uint64(modelNs))
 	scalar("specpmt_fences", "fences", agg.Fences)
 	scalar("specpmt_flushes", "flushes", agg.Flushes)

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"bytes"
 	"fmt"
 
 	"specpmt/internal/pmem"
@@ -51,6 +52,69 @@ func (p *Pool) Close() error {
 	for _, e := range p.engines {
 		if err := e.Close(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// VerifyRecovered is the pool's recovery-invariant checker: every thread
+// engine's structure must verify (chain well-formedness, allocator
+// liveness, index/record agreement — see Engine.VerifyRecovered), every
+// address with a committed record anywhere in the pool must be covered by
+// some engine's index (PR 7's coverage invariant at pool scope), and memory
+// must agree with the pool-wide newest committed value per address —
+// per-engine entries may legitimately be superseded by another thread's
+// later write. Call only from a quiesced pool.
+func (p *Pool) VerifyRecovered(allocated func(addr pmem.Addr, n int) bool) error {
+	type winner struct {
+		eng int
+		ie  indexEnt
+		rec []byte
+	}
+	winners := map[pmem.Addr]winner{}
+	type entryRef struct {
+		eng int
+		loc recLoc
+	}
+	committedAddrs := map[pmem.Addr]entryRef{}
+	for i, e := range p.engines {
+		e.bgmu.Lock()
+		committed, err := e.verifyLocked(allocated)
+		if err != nil {
+			e.bgmu.Unlock()
+			return fmt.Errorf("thread %d: %w", i, err)
+		}
+		for addr, ie := range e.index {
+			if w, ok := winners[addr]; !ok || ie.ts > w.ie.ts {
+				winners[addr] = winner{eng: i, ie: ie, rec: committed[ie.rec]}
+			}
+		}
+		for loc, rec := range committed {
+			_, ents := decodeEntries(rec)
+			for _, en := range ents {
+				committedAddrs[en.Addr] = entryRef{eng: i, loc: loc}
+			}
+		}
+		e.bgmu.Unlock()
+	}
+	for addr, ref := range committedAddrs {
+		if _, ok := winners[addr]; !ok {
+			return fmt.Errorf("spec: committed entry for addr %d (thread %d, block %d off %d) is not covered by any index",
+				addr, ref.eng, ref.loc.block, ref.loc.off)
+		}
+	}
+	c := p.engines[0].env.Core
+	var buf []byte
+	for addr, w := range winners {
+		want := w.rec[w.ie.valOff : w.ie.valOff+w.ie.size]
+		if cap(buf) < w.ie.size {
+			buf = make([]byte, w.ie.size)
+		}
+		buf = buf[:w.ie.size]
+		c.Load(addr, buf)
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("spec: memory at addr %d diverges from its newest committed record (thread %d, ts %d): got %x, committed %x",
+				addr, w.eng, w.ie.ts, buf, want)
 		}
 	}
 	return nil

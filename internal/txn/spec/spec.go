@@ -551,11 +551,21 @@ func (e *Engine) reclaimLocked() error {
 		if err != nil {
 			return err
 		}
-		// Pack entries into records, respecting the block payload.
+		// Pack entries into records, respecting the block payload — and
+		// never across a timestamp boundary. §4.2 stamps the compact record
+		// with its newest member's timestamp, which is exact here because
+		// every member shares one timestamp: multi-thread recovery (§4.1)
+		// merges records ACROSS chains ordered by the record stamp, so
+		// letting an old entry ride in a record stamped with a newer
+		// member's timestamp would replay it over another thread's
+		// genuinely newer write to the same address. Entries from one
+		// source record share its timestamp, and chains are
+		// timestamp-ordered, so grouping costs one record header per
+		// surviving source record.
 		for start := 0; start < len(fresh); {
 			size := recHeader + recFooter
 			end := start
-			for end < len(fresh) {
+			for end < len(fresh) && fresh[end].ts == fresh[start].ts {
 				s := size + entHeader + len(fresh[end].val)
 				if s > compact.payload() {
 					break
@@ -569,22 +579,15 @@ func (e *Engine) reclaimLocked() error {
 			rec := make([]byte, size)
 			putU32(rec, 0, uint32(size))
 			putU32(rec, 4, uint32(end-start))
-			// The compact record carries the timestamp of its newest member
-			// (§4.2: "forming new compact log records in which the
-			// timestamp is set to the newest log entry").
-			maxTS := uint64(0)
 			p := recHeader
 			for i := start; i < end; i++ {
 				f := fresh[i]
-				if f.ts > maxTS {
-					maxTS = f.ts
-				}
 				putU64(rec, p, uint64(f.addr))
 				putU32(rec, p+8, uint32(len(f.val)))
 				copy(rec[p+entHeader:], f.val)
 				p += entHeader + len(f.val)
 			}
-			putU64(rec, 8, maxTS)
+			putU64(rec, 8, fresh[start].ts)
 			loc, err := compact.appendRecord(rec)
 			if err != nil {
 				return err

@@ -67,8 +67,10 @@ type Map struct {
 	pool Pool
 	meta specpmt.Addr
 	// retired is the old table unlinked by the last migrateStep, awaiting
-	// ReleaseRetired (volatile — after a crash the region leaks, matching
-	// the libvmmalloc-style volatile allocator model).
+	// ReleaseRetired (volatile — a crash in the window between unlink and
+	// release leaks the region: it stays allocated in the logged heap but
+	// unreachable, which the recovery checkers explicitly allow —
+	// reachable ⊆ allocated, not equality).
 	retired retiredTable
 }
 
@@ -497,6 +499,62 @@ func (m *Map) Validate() error {
 	for k := range seen {
 		if _, ok := m.Get(k); !ok {
 			return fmt.Errorf("hashmap: key %d unreachable by probing", k)
+		}
+	}
+	return nil
+}
+
+// CheckRecovered is the map's recovery-invariant checker
+// (internal/recovery): after a crash and pool recovery, the committed
+// key/value set must equal expect exactly — no lost updates, no
+// resurrected deletes, no torn values — the map must validate
+// structurally, and any in-progress migration must be whole: every slot of
+// both the current and the linked old table holds a canonical state, and
+// the migration cursor is in bounds. (A retired table unlinked before the
+// crash is invisible here by design: it leaks in the allocator, which
+// tolerates unreachable-but-allocated blocks.)
+func (m *Map) CheckRecovered(expect map[uint64]uint64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	got := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	for k, want := range expect {
+		v, ok := got[k]
+		if !ok {
+			return fmt.Errorf("hashmap: committed key %d lost across recovery (want %d)", k, want)
+		}
+		if v != want {
+			return fmt.Errorf("hashmap: key %d = %d, committed value %d", k, v, want)
+		}
+	}
+	for k, v := range got {
+		if _, ok := expect[k]; !ok {
+			return fmt.Errorf("hashmap: key %d = %d survives recovery but its committed state is deleted or never set", k, v)
+		}
+	}
+	checkTable := func(label string, table specpmt.Addr, capacity uint64) error {
+		for i := uint64(0); i < capacity; i++ {
+			if st := m.pool.ReadUint64(slotAddr(table, capacity, i)); st > slotDead {
+				return fmt.Errorf("hashmap: %s table slot %d holds torn state %#x", label, i, st)
+			}
+		}
+		return nil
+	}
+	cur := specpmt.Addr(m.pool.ReadUint64(m.meta + metaTable))
+	if err := checkTable("current", cur, m.pool.ReadUint64(m.meta+metaCap)); err != nil {
+		return err
+	}
+	if old := specpmt.Addr(m.pool.ReadUint64(m.meta + metaOld)); old != 0 {
+		oldCap := m.pool.ReadUint64(m.meta + metaOldCap)
+		if err := checkTable("old", old, oldCap); err != nil {
+			return err
+		}
+		if mig := m.pool.ReadUint64(m.meta + metaMigrate); mig > oldCap {
+			return fmt.Errorf("hashmap: migration cursor %d beyond old capacity %d", mig, oldCap)
 		}
 	}
 	return nil

@@ -177,14 +177,35 @@ func (p *Pool) attach() error {
 	p.core.SetTrackName("app")
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := pmem.Addr(p.cfg.Size / 4)
+	// Allocator metadata persists on dedicated cores so its barriers never
+	// stall application or engine cores.
+	heapCore := p.dev.NewCore()
+	heapCore.SetTrackName("alloc.data")
+	logCore := p.dev.NewCore()
+	logCore.SetTrackName("alloc.log")
 	if p.heap == nil {
-		p.heap = pmalloc.NewHeap(dataStart, dataEnd)
-		p.logs = pmalloc.NewHeap(dataEnd, pmem.Addr(p.cfg.Size))
+		var err error
+		if p.heap, err = pmalloc.OpenLogged(heapCore, dataStart, dataEnd); err != nil {
+			return fmt.Errorf("specpmt: data heap: %w", err)
+		}
+		if p.logs, err = pmalloc.OpenLogged(logCore, dataEnd, pmem.Addr(p.cfg.Size)); err != nil {
+			return fmt.Errorf("specpmt: log heap: %w", err)
+		}
 		if p.cfg.Tracer != nil {
 			// Closure, not a bound method value: p.core is replaced on Crash.
 			now := func() int64 { return p.core.Now() }
 			p.heap.SetTracer(p.cfg.Tracer, "heap.data", now)
 			p.logs.SetTracer(p.cfg.Tracer, "heap.log", now)
+		}
+	} else {
+		// Post-crash: replay the allocator redo logs over the last
+		// checkpoints. Divergence from the pre-crash allocation map is
+		// latched in RecoveryError for the recovery checkers.
+		if err := p.heap.Reattach(heapCore); err != nil {
+			return fmt.Errorf("specpmt: data heap recovery: %w", err)
+		}
+		if err := p.logs.Reattach(logCore); err != nil {
+			return fmt.Errorf("specpmt: log heap recovery: %w", err)
 		}
 	}
 	p.env = txn.Env{
@@ -217,12 +238,21 @@ func (p *Pool) Engine() txn.Engine { return p.engine }
 func (p *Pool) Begin() Tx { return p.engine.Begin() }
 
 // Alloc returns a line-aligned persistent region of n bytes. Allocator
-// metadata is volatile (libvmmalloc-style); persistent structures must be
-// reachable from a root slot.
+// metadata is crash consistent (span-based logged allocation): the block is
+// durably recorded before Alloc returns, and survives Crash+Recover. Data
+// reachability is still the application's job — persistent structures must
+// be reachable from a root slot.
 func (p *Pool) Alloc(n int) (Addr, error) { return p.heap.Alloc(n) }
 
 // Free returns a region of n bytes to the allocator.
 func (p *Pool) Free(a Addr, n int) { p.heap.Free(a, n) }
+
+// DataHeap returns the pool's data-area allocator (for recovery checkers
+// and fragmentation inspection).
+func (p *Pool) DataHeap() *pmalloc.Heap { return p.heap }
+
+// LogHeap returns the pool's log-area allocator.
+func (p *Pool) LogHeap() *pmalloc.Heap { return p.logs }
 
 // SetRoot durably stores a pool root pointer in slot i — the well-known
 // location from which applications rediscover their data after a crash.

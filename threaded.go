@@ -84,8 +84,16 @@ func OpenThreaded(cfg Config, n int) (*ThreadedPool, error) {
 	}
 	dataStart := pmem.Addr(pmem.PageSize)
 	dataEnd := pmem.Addr(cfg.Size / 4)
-	p.heap = pmalloc.NewHeap(dataStart, dataEnd)
-	p.logs = pmalloc.NewHeap(dataEnd, pmem.Addr(cfg.Size))
+	heapCore := p.dev.NewCore()
+	heapCore.SetTrackName("alloc.data")
+	logCore := p.dev.NewCore()
+	logCore.SetTrackName("alloc.log")
+	if p.heap, err = pmalloc.OpenLogged(heapCore, dataStart, dataEnd); err != nil {
+		return nil, fmt.Errorf("specpmt: data heap: %w", err)
+	}
+	if p.logs, err = pmalloc.OpenLogged(logCore, dataEnd, pmem.Addr(cfg.Size)); err != nil {
+		return nil, fmt.Errorf("specpmt: log heap: %w", err)
+	}
 	if cfg.Tracer != nil {
 		clock := p.dev.NewCore()
 		clock.SetTrackName("clock")
@@ -118,11 +126,17 @@ func (p *ThreadedPool) attach() error {
 	p.swPool, p.hwClust, p.generic = nil, nil, nil
 	var err error
 	switch p.cfg.Engine {
-	case "SpecSPMT":
+	case "SpecSPMT", "SpecSPMT-DP":
+		// Both variants need the pool's merged timestamp-ordered recovery:
+		// replaying each thread's chain independently would let one
+		// thread's older record regress another thread's newer write to
+		// the same address (e.g. the server's cross-shard MULTIs, which
+		// commit other shards' cells on the executing thread).
 		opt := spec.Options{}
 		if p.cfg.SpecOptions != nil {
 			opt = *p.cfg.SpecOptions
 		}
+		opt.DataPersist = opt.DataPersist || p.cfg.Engine == "SpecSPMT-DP"
 		p.swPool, err = spec.NewPool(p.envs, opt)
 	case "SpecHPMT":
 		p.hwClust, err = hwsim.NewCluster(p.envs, hwsim.HWOptions{})
@@ -143,6 +157,11 @@ func (p *ThreadedPool) attach() error {
 
 // Threads returns the thread count.
 func (p *ThreadedPool) Threads() int { return p.threads }
+
+// SpecPool returns the spec.Pool coordinating the thread engines when the
+// pool runs the "SpecSPMT" engine, nil otherwise. It is the engine-level
+// recovery-checker surface (spec.Pool.VerifyRecovered).
+func (p *ThreadedPool) SpecPool() *spec.Pool { return p.swPool }
 
 // Begin opens a transaction on thread i's engine. Each thread engine must
 // be used by one goroutine at a time.
@@ -172,6 +191,13 @@ func (p *ThreadedPool) engineAt(i int) any {
 
 // Alloc returns a line-aligned persistent region (safe for concurrent use).
 func (p *ThreadedPool) Alloc(n int) (Addr, error) { return p.heap.Alloc(n) }
+
+// DataHeap returns the pool's data-area allocator (for recovery checkers
+// and fragmentation inspection).
+func (p *ThreadedPool) DataHeap() *pmalloc.Heap { return p.heap }
+
+// LogHeap returns the pool's log-area allocator.
+func (p *ThreadedPool) LogHeap() *pmalloc.Heap { return p.logs }
 
 // Free returns a region of n bytes to the allocator (safe for concurrent
 // use).
@@ -215,6 +241,16 @@ func (p *ThreadedPool) Crash(seed uint64) error {
 		p.accumStats.Merge(st)
 	}
 	p.dev.Crash(sim.NewRand(seed))
+	heapCore := p.dev.NewCore()
+	heapCore.SetTrackName("alloc.data")
+	logCore := p.dev.NewCore()
+	logCore.SetTrackName("alloc.log")
+	if err := p.heap.Reattach(heapCore); err != nil {
+		return fmt.Errorf("specpmt: data heap recovery: %w", err)
+	}
+	if err := p.logs.Reattach(logCore); err != nil {
+		return fmt.Errorf("specpmt: log heap recovery: %w", err)
+	}
 	return p.attach()
 }
 
