@@ -7,7 +7,8 @@
 // Usage:
 //
 //	specpmt-crashtest [-engine name|all] [-seeds n] [-rounds n] [-profile name]
-//	                  [-check] [-pipeline] [-churn] [-replay] [-summary file] [-v]
+//	                  [-check] [-pipeline] [-churn] [-replay] [-migrate]
+//	                  [-summary file] [-v]
 //
 // Scenarios:
 //
@@ -20,6 +21,11 @@
 //     online compaction, stamps committed transactionally, crash every round.
 //   - -replay: replication torture — a primary under client load, replica
 //     power failures during replay, full checker pass once caught up.
+//   - -migrate: cluster migration-cutover torture — a two-node cluster
+//     under routed load with one shard migrating between the nodes, power
+//     failures injected mid-pull, post-freeze, at the cutover verify, and
+//     after a committed cutover (on both the new owner and the purging old
+//     owner), full checker pass after every power-fail point.
 //   - -check: the checker matrix — basic AND churn for the selected
 //     engine(s), plus a per-scenario checker summary line.
 //
@@ -50,6 +56,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "torture pipelined speculative commit windows (SpecSPMT only)")
 	churn := flag.Bool("churn", false, "torture the logged allocator: mixed-class alloc/free/compaction churn")
 	replay := flag.Bool("replay", false, "torture replication replay: replica power failures while tailing a live primary")
+	migrate := flag.Bool("migrate", false, "torture cluster migration cutover: node power failures at every phase of a live shard move")
 	summaryPath := flag.String("summary", "", "write the merged recovery-checker summary JSON to this file")
 	verbose := flag.Bool("v", false, "print every run")
 	flag.Parse()
@@ -83,8 +90,8 @@ func main() {
 		matrix = []runner{{name: "pipeline", run: crashtest.RunSpecPipeline}}
 	case *churn:
 		matrix = []runner{{name: "churn", perEng: true, run: crashtest.RunAllocChurn}}
-	case *replay:
-		matrix = nil // replay has its own report type; handled below
+	case *replay, *migrate:
+		matrix = nil // replay and migrate have their own report types; handled below
 	case *check:
 		matrix = []runner{
 			{name: "basic", perEng: true, run: crashtest.Run},
@@ -159,6 +166,38 @@ func main() {
 			}
 		}
 		fmt.Printf("%-9s %d power-fail points, %d checks, %d failed\n", "replay:", sum.Points, sum.Checks, sum.Failed)
+		total.Merge(sum)
+	}
+
+	if *migrate {
+		sum := recovery.Summary{Scenario: "migrate"}
+		mengines := crashtest.MigrateEngines()
+		if *engine != "all" {
+			mengines = []string{*engine}
+		}
+		for _, eng := range mengines {
+			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+				rep, err := crashtest.MigrationCutover(crashtest.MigrateConfig{Engine: eng, Seed: seed, Rounds: *rounds, Profile: *profile})
+				sum.Merge(rep.Checks)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "specpmt-crashtest: migrate %s seed %d: %v\n", eng, seed, err)
+					failed++
+					continue
+				}
+				if !rep.Ok() {
+					failed++
+					fmt.Println(rep)
+					for _, v := range rep.Violations {
+						fmt.Println("  ", v)
+					}
+					fmt.Fprintf(os.Stderr, "specpmt-crashtest: migrate %s seed %d: checker failure at power-fail point %d\n",
+						eng, seed, rep.FailedAt)
+				} else if *verbose {
+					fmt.Println(rep)
+				}
+			}
+		}
+		fmt.Printf("%-9s %d power-fail points, %d checks, %d failed\n", "migrate:", sum.Points, sum.Checks, sum.Failed)
 		total.Merge(sum)
 	}
 

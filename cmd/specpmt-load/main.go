@@ -15,6 +15,7 @@
 //	             [-proto text|binary] [-pipeline-depth n]
 //	             [-replica host:port] [-probe-every d] [-verify-replica n]
 //	             [-scrape host:port] [-scrape-every d]
+//	             [-cluster host:port,host:port,...]
 //
 // -proto selects the wire protocol (the framed binary protocol skips all
 // text tokenization on both sides). -pipeline-depth N > 1 keeps a sliding
@@ -36,11 +37,21 @@
 // plus per-shard-aggregated histogram means (batch size, commit latency,
 // queue depth) — replication lag and batching behavior over the run's
 // lifetime, not just its endpoint.
+//
+// With -cluster, ops route through the cluster map instead of one server:
+// the listed seeds bootstrap a shared map view, each connection owns a
+// cluster router that follows MOVED redirects and rides out mid-run
+// migrations and failovers, and MULTI keys are redrawn until they land on
+// one node (cross-node transactions are unsupported). The report then
+// embeds a "cluster" section — the final map epoch, per-node op counts,
+// redirect/refresh tallies — so a migration run is attributable from the
+// JSON artifact alone. Incompatible with -replica and -pipeline-depth > 1.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,6 +65,7 @@ import (
 
 	"flag"
 
+	"specpmt/internal/cluster"
 	"specpmt/internal/server"
 )
 
@@ -80,6 +92,7 @@ func main() {
 	verifyReplica := flag.Int("verify-replica", 0, "after the run, wait for the replica to catch up and compare this many sampled keys against the primary")
 	scrape := flag.String("scrape", "", "poll this admin /metrics endpoint during the run and embed the time series in the report")
 	scrapeEvery := flag.Duration("scrape-every", 500*time.Millisecond, "scrape interval (with -scrape)")
+	clusterSeeds := flag.String("cluster", "", "comma-separated data addresses of cluster nodes; route ops via the cluster map instead of -addr")
 	flag.Parse()
 
 	if *reads+*cas > 100 {
@@ -103,23 +116,57 @@ func main() {
 	if *pipeDepth > 1 && *replica != "" {
 		fatalf("-pipeline-depth > 1 is incompatible with -replica (GETs and writes use different connections)")
 	}
-
-	// Preload a prefix of the key space so GETs hit and CAS has a base.
-	pre, err := server.DialProto(*addr, 10*time.Second, *proto)
-	if err != nil {
-		fatalf("%v", err)
+	if *clusterSeeds != "" && *replica != "" {
+		fatalf("-cluster is incompatible with -replica (the router already splits traffic by owner)")
 	}
+	if *clusterSeeds != "" && *pipeDepth > 1 {
+		fatalf("-cluster is incompatible with -pipeline-depth > 1 (the router runs closed-loop)")
+	}
+
+	var view *cluster.View
+	if *clusterSeeds != "" {
+		v, err := cluster.NewView(strings.Split(*clusterSeeds, ","))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		view = v
+	}
+
+	// Preload a prefix of the key space so GETs hit and CAS has a base. In
+	// cluster mode each key routes to its owner; the banner (engine/profile
+	// provenance) comes from shard 0's owner.
 	n := *preload
 	if n > *keys {
 		n = *keys
 	}
-	for k := uint64(0); k < n; k++ {
-		if _, err := pre.Set(k, k); err != nil {
-			fatalf("preload: %v", err)
+	var banner string
+	if view != nil {
+		bc, err := server.DialProto(view.Map().Owners[0].Data, 10*time.Second, *proto)
+		if err != nil {
+			fatalf("%v", err)
 		}
+		banner = bc.Banner
+		bc.Close()
+		r := cluster.NewRouter(view, *proto)
+		for k := uint64(0); k < n; k++ {
+			if _, err := r.Do(server.Op{Kind: server.OpSet, Key: k, Arg1: k}); err != nil {
+				fatalf("preload: %v", err)
+			}
+		}
+		r.Close()
+	} else {
+		pre, err := server.DialProto(*addr, 10*time.Second, *proto)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for k := uint64(0); k < n; k++ {
+			if _, err := pre.Set(k, k); err != nil {
+				fatalf("preload: %v", err)
+			}
+		}
+		banner = pre.Banner
+		pre.Close()
 	}
-	banner := pre.Banner
-	pre.Close()
 
 	var wg sync.WaitGroup
 	workers := make([]*worker, *conns)
@@ -133,6 +180,9 @@ func main() {
 			},
 			rng:  rand.New(rand.NewSource(int64(*seed) + int64(i)*1_000_003)),
 			stop: stop,
+		}
+		if view != nil {
+			w.router = cluster.NewRouter(view, *proto)
 		}
 		workers[i] = w
 		wg.Add(1)
@@ -208,6 +258,46 @@ func main() {
 	}
 	rep.TotalOps = len(all.wall)
 	rep.Throughput = float64(rep.TotalOps) / elapsed.Seconds()
+	if view != nil {
+		m := view.Map()
+		cr := &clusterReport{
+			Seeds:     strings.Split(*clusterSeeds, ","),
+			Epoch:     m.Epoch,
+			Shards:    m.Shards,
+			Refreshes: view.Refreshes(),
+		}
+		byNode := map[string]uint64{}
+		for _, w := range workers {
+			if w.router == nil {
+				continue
+			}
+			cr.Moved += w.router.Moved
+			cr.Retries += w.router.Retries
+			cr.CrossNode += w.crossNode
+			for a, ops := range w.router.OpsByNode {
+				byNode[a] += ops
+			}
+		}
+		for _, nd := range m.Nodes() {
+			cr.Nodes = append(cr.Nodes, nodeOps{
+				Addr:   nd.Data,
+				Shards: len(m.NodeShards(nd.Data)),
+				Ops:    byNode[nd.Data],
+			})
+			delete(byNode, nd.Data)
+		}
+		// Nodes that served ops but left the final map (a failed-over
+		// primary) still appear, attributed with zero owned shards.
+		extra := make([]string, 0, len(byNode))
+		for a := range byNode {
+			extra = append(extra, a)
+		}
+		sort.Strings(extra)
+		for _, a := range extra {
+			cr.Nodes = append(cr.Nodes, nodeOps{Addr: a, Ops: byNode[a]})
+		}
+		rep.Cluster = cr
+	}
 	if pr != nil {
 		rep.Staleness = &stalenessReport{
 			Probes:      pr.probes,
@@ -230,8 +320,16 @@ func main() {
 		rep.Errors += sc.errors
 	}
 
-	// The server's own view of the run.
-	rep.ServerStats = fetchStats(*addr)
+	// The server's own view of the run. In cluster mode -addr is unused;
+	// each node's counters land under its address instead.
+	if view != nil {
+		rep.NodeStats = map[string]map[string]uint64{}
+		for _, nd := range view.Map().Nodes() {
+			rep.NodeStats[nd.Data] = fetchStats(nd.Data)
+		}
+	} else {
+		rep.ServerStats = fetchStats(*addr)
+	}
 	if *replica != "" {
 		rep.ReplicaStats = fetchStats(*replica)
 	}
@@ -365,6 +463,12 @@ type worker struct {
 	lat       map[string]*lats
 	errors    int
 	conflicts int
+
+	// Cluster mode: the worker's private router over the shared map view.
+	// crossNode counts MULTI draws discarded because the map moved between
+	// the same-node check and the send.
+	router    *cluster.Router
+	crossNode int
 }
 
 func (w *worker) key() uint64 {
@@ -378,6 +482,10 @@ func (w *worker) key() uint64 {
 
 func (w *worker) run(addr, replica string) {
 	w.lat = map[string]*lats{"get": {}, "set": {}, "cas": {}, "multi": {}}
+	if w.router != nil {
+		w.runCluster()
+		return
+	}
 	c, err := server.DialProto(addr, 10*time.Second, w.cfg.proto)
 	if err != nil {
 		w.errors++
@@ -454,6 +562,83 @@ func (w *worker) requestRoll(c, reader *server.Client, roll int) (kind string, w
 		return "cas", time.Since(start).Nanoseconds(), r.ModelNs, e
 	default:
 		r, e := c.Set(w.key(), w.rng.Uint64())
+		return "set", time.Since(start).Nanoseconds(), r.ModelNs, e
+	}
+}
+
+// runCluster is the closed-loop body for cluster mode: every op goes
+// through the worker's router, which owns redirect-following and failover
+// retries. Connection errors don't kill the worker here — the router only
+// surfaces an error once its whole retry budget is spent, and that counts.
+func (w *worker) runCluster() {
+	defer w.router.Close()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		kind, wallNs, modelNs, err := w.requestCluster()
+		if err != nil {
+			w.errors++
+			return
+		}
+		l := w.lat[kind]
+		l.wall = append(l.wall, wallNs)
+		l.model = append(l.model, modelNs)
+	}
+}
+
+// requestCluster issues one routed operation. MULTI keys are redrawn until
+// every key maps to one node — cross-node transactions are unsupported —
+// and a draw invalidated by a concurrent map change (ErrCrossNode from the
+// router's re-check) is discarded and redrawn, not counted as an error.
+func (w *worker) requestCluster() (kind string, wallNs, modelNs int64, err error) {
+	roll := w.rng.Intn(100)
+	start := time.Now()
+	switch {
+	case roll < w.cfg.multi:
+		keys := make([]uint64, w.cfg.multiOps)
+		ops := make([]server.Op, w.cfg.multiOps)
+		for {
+			for i := range keys {
+				keys[i] = w.key()
+			}
+			if !w.router.SameNode(keys) {
+				continue
+			}
+			for i, k := range keys {
+				if i%2 == 0 {
+					ops[i] = server.Op{Kind: server.OpSet, Key: k, Arg1: w.rng.Uint64()}
+				} else {
+					ops[i] = server.Op{Kind: server.OpGet, Key: k}
+				}
+			}
+			_, ns, e := w.router.Exec(ops)
+			if errors.Is(e, cluster.ErrCrossNode) {
+				w.crossNode++
+				continue
+			}
+			return "multi", time.Since(start).Nanoseconds(), ns, e
+		}
+	case roll < w.cfg.multi+w.cfg.reads:
+		r, e := w.router.Do(server.Op{Kind: server.OpGet, Key: w.key()})
+		return "get", time.Since(start).Nanoseconds(), r.ModelNs, e
+	case roll < w.cfg.multi+w.cfg.reads+w.cfg.cas:
+		k := w.key()
+		cur, e := w.router.Do(server.Op{Kind: server.OpGet, Key: k})
+		if e != nil {
+			return "cas", 0, 0, e
+		}
+		old := cur.Val // NOTFOUND leaves 0, matching the single-node path
+		start = time.Now()
+		r, e := w.router.Do(server.Op{Kind: server.OpCAS, Key: k, Arg1: old, Arg2: old + 1})
+		if e == nil && r.Status == server.StatusConflict {
+			w.conflicts++
+		}
+		return "cas", time.Since(start).Nanoseconds(), r.ModelNs, e
+	default:
+		r, e := w.router.Do(server.Op{Kind: server.OpSet, Key: w.key(), Arg1: w.rng.Uint64()})
 		return "set", time.Since(start).Nanoseconds(), r.ModelNs, e
 	}
 }
@@ -691,6 +876,33 @@ type report struct {
 	ServerStats  map[string]uint64   `json:"server_stats,omitempty"`
 	ReplicaStats map[string]uint64   `json:"replica_stats,omitempty"`
 	Scrape       *scrapeReport       `json:"scrape,omitempty"`
+	Cluster      *clusterReport      `json:"cluster,omitempty"`
+	// NodeStats holds each cluster node's STATS counters keyed by data
+	// address (cluster mode's replacement for server_stats).
+	NodeStats map[string]map[string]uint64 `json:"node_stats,omitempty"`
+}
+
+// clusterReport attributes a cluster-mode run: the final map epoch (a
+// mid-run migration or failover shows as an epoch the run didn't start
+// with), per-node op counts, and the router fleet's redirect tallies.
+type clusterReport struct {
+	Seeds     []string  `json:"seeds"`
+	Epoch     uint64    `json:"epoch"`
+	Shards    int       `json:"shards"`
+	Moved     uint64    `json:"moved_redirects"`
+	Retries   uint64    `json:"retries"`
+	Refreshes uint64    `json:"map_refreshes"`
+	CrossNode int       `json:"cross_node_redraws"`
+	Nodes     []nodeOps `json:"nodes"`
+}
+
+// nodeOps is one node's share of the run: ops the client fleet completed
+// against it and the shards it owns in the final map (0 = it left the map,
+// e.g. a failed-over primary that served ops before dying).
+type nodeOps struct {
+	Addr   string `json:"addr"`
+	Shards int    `json:"owned_shards"`
+	Ops    uint64 `json:"ops"`
 }
 
 // scrapeReport embeds the admin-endpoint time series gathered during the run

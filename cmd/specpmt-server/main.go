@@ -13,7 +13,11 @@
 //	               [-replicate-to host:port] [-repl-sync async|ack]
 //	               [-repl-batch-window d] [-repl-log-cap n]
 //	               [-replica-of host:port]
+//	               [-compact-every d] [-compact-frag-pct n]
+//	               [-cluster | -join host:port] [-advertise host:port]
 //	specpmt-server -promote host:port
+//	specpmt-server -migrate shard -to host:port -seed host:port
+//	specpmt-server -failover host:port -to host:port -seed host:port
 //
 // Engine names accept both registry names ("SpecSPMT", "PMDK") and short
 // aliases ("spec", "undo"). SIGINT/SIGTERM drain in-flight requests and
@@ -31,6 +35,23 @@
 // makes it a read-only replica tailing the primary's log at that address.
 // -promote is an admin command: it connects to a running replica, sends
 // PROMOTE, and exits — the replica detaches and starts serving writes.
+//
+// Clustering (see internal/cluster): -cluster bootstraps a fresh
+// single-node cluster map owning every shard; -join fetches the map from an
+// existing node instead. -advertise is the data address other nodes and
+// clients should dial for this node (defaults to -addr; set it when -addr
+// binds a wildcard). A node that should serve as a migration source or host
+// promotable replicas also needs -replicate-to, which becomes its
+// advertised replication address. -migrate and -failover are coordinator
+// admin commands: -migrate moves one shard to the node at -to, -failover
+// retires a dead node in favor of its promoted replica at -to; both read
+// the current map via -seed, drive the cutover, push the bumped map to
+// every node, and exit.
+//
+// -compact-every enables the background heap compactor: every tick, if the
+// data heap's footprint exceeds -compact-frag-pct percent of its live
+// bytes and no request is in flight, the server compacts under a freeze
+// (see specpmt_compactions_total / specpmt_compact_freed_bytes_total).
 package main
 
 import (
@@ -42,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"specpmt/internal/cluster"
 	"specpmt/internal/obs"
 	"specpmt/internal/repl"
 	"specpmt/internal/server"
@@ -70,6 +92,15 @@ func main() {
 	replLogCap := flag.Int("repl-log-cap", 0, "records retained in the primary's replication log (0 = default)")
 	replicaOf := flag.String("replica-of", "", "tail the primary's commit log at this address (read-only replica role)")
 	promote := flag.String("promote", "", "admin: send PROMOTE to the replica serving at this address, then exit")
+	compactEvery := flag.Duration("compact-every", 0, "background heap-compactor tick; compacts when idle and fragmented past -compact-frag-pct (0 disables)")
+	compactFragPct := flag.Int("compact-frag-pct", 0, "compaction fragmentation threshold: compact when footprint exceeds this percent of live bytes (0 = default 150)")
+	clusterMode := flag.Bool("cluster", false, "bootstrap a single-node cluster map owning every shard (grow it with -migrate)")
+	join := flag.String("join", "", "join the cluster by fetching the map from this node's data address")
+	advertise := flag.String("advertise", "", "data address other nodes and clients dial for this node (default -addr)")
+	migrateShard := flag.Int("migrate", -1, "admin: migrate this shard to the node at -to, via the map at -seed, then exit")
+	failoverAddr := flag.String("failover", "", "admin: fail over the dead node at this data address to its replica at -to, via the map at -seed, then exit")
+	to := flag.String("to", "", "destination data address for -migrate / -failover")
+	seed := flag.String("seed", "", "data address of a live cluster node to read the map from (-migrate / -failover)")
 	flag.Parse()
 
 	if *promote != "" {
@@ -107,6 +138,31 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Coordinator admin commands: drive the cutover against running nodes,
+	// print the resulting map epoch, and exit without serving anything.
+	if *migrateShard >= 0 || *failoverAddr != "" {
+		if *to == "" || *seed == "" {
+			fmt.Fprintln(os.Stderr, "specpmt-server: -migrate / -failover need -to and -seed")
+			os.Exit(1)
+		}
+		var m *cluster.Map
+		if *migrateShard >= 0 {
+			m, err = cluster.Migrate(*migrateShard, *to, *seed, logger.With("role", "coordinator"))
+		} else {
+			m, err = cluster.Failover(*failoverAddr, *to, *seed, logger.With("role", "coordinator"))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("epoch %d\n", m.Epoch)
+		return
+	}
+	if *clusterMode && *join != "" {
+		fmt.Fprintln(os.Stderr, "specpmt-server: -cluster and -join are mutually exclusive")
+		os.Exit(1)
+	}
+
 	// One observability plane for every subsystem: the server, the
 	// replication role, and the admin endpoint all share its registry,
 	// span ring, and logger.
@@ -129,8 +185,10 @@ func main() {
 		MaxInFlight: *maxInFlight,
 		Obs:         plane,
 
-		PipelineDepth: *pipelineDepth,
-		Proto:         *proto,
+		PipelineDepth:  *pipelineDepth,
+		Proto:          *proto,
+		CompactEvery:   *compactEvery,
+		CompactFragPct: *compactFragPct,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
@@ -176,6 +234,33 @@ func main() {
 		logger.Info("replica: tailing primary (read-only until PROMOTE)", "primary", *replicaOf)
 	}
 
+	// Cluster role: install the cluster extension verbs and either mint a
+	// fresh single-node map (-cluster) or adopt an existing one (-join).
+	// The node's advertised replication address is -replicate-to — a node
+	// without one can still own shards but cannot serve as a migration
+	// source or host promotable replicas.
+	var node *cluster.Node
+	if *clusterMode || *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = *addr
+		}
+		node = cluster.NewNode(s, primary, cluster.Addr{Data: adv, Repl: *replicateTo}, cluster.NodeOptions{
+			Log: logger.With("role", "cluster"),
+			Rec: plane.Spans,
+		})
+		if *join != "" {
+			if err := node.Join(*join); err != nil {
+				fmt.Fprintf(os.Stderr, "specpmt-server: %v\n", err)
+				os.Exit(1)
+			}
+			logger.Info("cluster: joined", "seed", *join, "advertise", adv)
+		} else {
+			node.Bootstrap()
+			logger.Info("cluster: bootstrapped single-node map", "shards", *shards, "advertise", adv)
+		}
+	}
+
 	var admin *obs.Admin
 	if *adminAddr != "" {
 		admin = obs.NewAdmin(obs.AdminOptions{
@@ -203,6 +288,9 @@ func main() {
 		// /debug/spans stay scrapeable through the whole drain.
 		if admin != nil {
 			admin.BeginDrain()
+		}
+		if node != nil {
+			node.Close() // stop migration pullers before the roles detach
 		}
 		if replica != nil {
 			replica.Close()

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specpmt/internal/repl"
+	"specpmt/internal/server"
+)
+
+// testNode is one in-process cluster node: server + optional replication
+// primary + the cluster wrapper.
+type testNode struct {
+	srv  *server.Server
+	prim *repl.Primary
+	node *Node
+	addr Addr
+}
+
+func startNode(t *testing.T, shards int, withPrim bool) *testNode {
+	t.Helper()
+	s, err := server.New(server.Config{Engine: "SpecSPMT", Shards: shards, PoolSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	tn := &testNode{srv: s, addr: Addr{Data: ln.Addr().String()}}
+	if withPrim {
+		tn.prim = repl.NewPrimary(s, repl.PrimaryOptions{Logf: t.Logf})
+		if err := tn.prim.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tn.prim.Close() })
+		tn.addr.Repl = tn.prim.Addr().String()
+	}
+	tn.node = NewNode(s, tn.prim, tn.addr, NodeOptions{})
+	t.Cleanup(tn.node.Close)
+	return tn
+}
+
+func dialData(t *testing.T, addr string) *server.Client {
+	t.Helper()
+	c, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// keysOfShard returns the first n keys that hash to shard.
+func keysOfShard(shard, shards int, n int) []uint64 {
+	var out []uint64
+	for k := uint64(0); len(out) < n; k++ {
+		if server.ShardOf(k, shards) == shard {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestMapWire(t *testing.T) {
+	m := &Map{Epoch: 7, Shards: 4, Owners: []Addr{
+		{Data: "a:1", Repl: "a:2"},
+		{Data: "b:1", Repl: ""},
+		{Data: "a:1", Repl: "a:2"},
+		{Data: "b:1", Repl: ""},
+	}}
+	line := strings.TrimRight(string(AppendMap(nil, m)), "\n")
+	fs := strings.Fields(line)
+	if fs[0] != "MAP" {
+		t.Fatalf("bad verb in %q", line)
+	}
+	got, err := ParseMapFields(fs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Shards != m.Shards {
+		t.Fatalf("roundtrip header mismatch: %+v", got)
+	}
+	for i := range m.Owners {
+		if got.Owners[i] != m.Owners[i] {
+			t.Fatalf("owner %d: got %+v want %+v", i, got.Owners[i], m.Owners[i])
+		}
+	}
+	if nodes := m.Nodes(); len(nodes) != 2 || nodes[0].Data != "a:1" || nodes[1].Data != "b:1" {
+		t.Fatalf("Nodes() = %+v", nodes)
+	}
+	if sh := m.NodeShards("b:1"); len(sh) != 2 || sh[0] != 1 || sh[1] != 3 {
+		t.Fatalf("NodeShards = %v", sh)
+	}
+
+	for _, bad := range [][]string{
+		{},                                // truncated
+		{"1", "2", "0=a:1/"},              // missing owner token
+		{"1", "2", "0=a:1/", "0=b:1/"},    // duplicate shard
+		{"1", "2", "0=a:1/", "9=b:1/"},    // shard id out of range
+		{"1", "2", "0=a:1/", "1=noslash"}, // malformed address
+	} {
+		if _, err := ParseMapFields(bad); err == nil {
+			t.Fatalf("ParseMapFields(%v) accepted", bad)
+		}
+	}
+}
+
+// TestMigrateLive is the tentpole acceptance test: writes keep flowing
+// through map-aware routers while one shard migrates between two live
+// nodes, and no committed write is lost or duplicated.
+func TestMigrateLive(t *testing.T) {
+	const (
+		shards   = 4
+		migShard = 1
+		workers  = 4
+		keysPerW = 400
+	)
+	a := startNode(t, shards, true)
+	b := startNode(t, shards, false)
+	a.node.Bootstrap()
+	if err := b.node.Join(a.addr.Data); err != nil {
+		t.Fatal(err)
+	}
+
+	view, err := NewView([]string{a.addr.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each worker owns a disjoint key range and records its last written
+	// value — the oracle for the post-migration verify.
+	type oracle struct {
+		mu   sync.Mutex
+		vals map[uint64]uint64
+	}
+	oracles := make([]*oracle, workers)
+	stop := make(chan struct{})
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		oracles[w] = &oracle{vals: map[uint64]uint64{}}
+		wg.Add(1)
+		go func(w int, o *oracle) {
+			defer wg.Done()
+			r := NewRouter(view, "text")
+			defer r.Close()
+			base := uint64(w * keysPerW)
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := base + i%keysPerW
+				v := k*1000 + i
+				if _, err := r.Do(server.Op{Kind: server.OpSet, Key: k, Arg1: v}); err != nil {
+					errs <- fmt.Errorf("worker %d SET %d: %w", w, k, err)
+					return
+				}
+				o.mu.Lock()
+				o.vals[k] = v
+				o.mu.Unlock()
+				if i%16 == 0 {
+					res, err := r.Do(server.Op{Kind: server.OpGet, Key: k})
+					if err != nil {
+						errs <- fmt.Errorf("worker %d GET %d: %w", w, k, err)
+						return
+					}
+					if res.Val != v {
+						errs <- fmt.Errorf("worker %d read %d=%d, wrote %d", w, k, res.Val, v)
+						return
+					}
+				}
+			}
+		}(w, oracles[w])
+	}
+
+	time.Sleep(100 * time.Millisecond) // let writes accumulate pre-migration
+	next, err := Migrate(migShard, b.addr.Data, a.addr.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Owners[migShard].Data != b.addr.Data {
+		t.Fatalf("shard %d owned by %s after migration", migShard, next.Owners[migShard].Data)
+	}
+	time.Sleep(100 * time.Millisecond) // keep writing post-cutover
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// A stale client pinned to the old owner is redirected, carrying the
+	// new owner's address.
+	sk := keysOfShard(migShard, shards, 1)[0]
+	staleC := dialData(t, a.addr.Data)
+	_, err = staleC.Set(sk, 1)
+	mv := server.AsMoved(err)
+	if mv == nil {
+		t.Fatalf("stale write to old owner: got %v, want MOVED", err)
+	}
+	if mv.Shard != migShard || mv.Addr != b.addr.Data || mv.Epoch != next.Epoch {
+		t.Fatalf("MOVED = %+v, want shard %d -> %s @%d", mv, migShard, b.addr.Data, next.Epoch)
+	}
+
+	// Every committed write is readable through the router at its oracle
+	// value — nothing lost, nothing stale.
+	r := NewRouter(view, "text")
+	defer r.Close()
+	for w, o := range oracles {
+		o.mu.Lock()
+		for k, v := range o.vals {
+			res, err := r.Do(server.Op{Kind: server.OpGet, Key: k})
+			if err != nil {
+				t.Fatalf("verify worker %d key %d: %v", w, k, err)
+			}
+			if res.Status != server.StatusValue || res.Val != v {
+				t.Fatalf("key %d: got (%d,%d), oracle %d", k, res.Status, res.Val, v)
+			}
+		}
+		o.mu.Unlock()
+	}
+
+	// The source eventually purges the migrated shard's local copy.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cc, err := dialCtl(a.addr.Data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := fetchDigest(cc, migShard)
+		cc.close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Count == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("source still holds %d keys of migrated shard", d.Count)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if view.Map().Epoch != next.Epoch {
+		t.Fatalf("routers ended on epoch %d, cluster at %d", view.Map().Epoch, next.Epoch)
+	}
+}
+
+// TestRouterExec covers single-node transactions through the router and
+// the cross-node rejection.
+func TestRouterExec(t *testing.T) {
+	const shards = 4
+	a := startNode(t, shards, true)
+	b := startNode(t, shards, false)
+	a.node.Bootstrap()
+	if err := b.node.Join(a.addr.Data); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Migrate(0, b.addr.Data, a.addr.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Owners[0].Data != b.addr.Data {
+		t.Fatal("migration did not move shard 0")
+	}
+	view, err := NewView([]string{a.addr.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(view, "text")
+	defer r.Close()
+
+	sameShard := keysOfShard(1, shards, 2)
+	if !r.SameNode(sameShard) {
+		t.Fatal("same-shard keys must be same-node")
+	}
+	results, _, err := r.Exec([]server.Op{
+		{Kind: server.OpSet, Key: sameShard[0], Arg1: 10},
+		{Kind: server.OpSet, Key: sameShard[1], Arg1: 20},
+	})
+	if err != nil || len(results) != 2 {
+		t.Fatalf("Exec: %v (%d results)", err, len(results))
+	}
+
+	k0 := keysOfShard(0, shards, 1)[0] // owned by b
+	k1 := keysOfShard(1, shards, 1)[0] // owned by a
+	if r.SameNode([]uint64{k0, k1}) {
+		t.Fatal("cross-node keys reported same-node")
+	}
+	if _, _, err := r.Exec([]server.Op{
+		{Kind: server.OpSet, Key: k0, Arg1: 1},
+		{Kind: server.OpSet, Key: k1, Arg1: 2},
+	}); err != ErrCrossNode {
+		t.Fatalf("cross-node Exec: %v, want ErrCrossNode", err)
+	}
+}
+
+// TestFailover kills the primary node and promotes its replica: the
+// replica's Node adopts the failover map, turns writable, and serves every
+// committed key.
+func TestFailover(t *testing.T) {
+	const shards = 4
+	const keys = 300
+	a := startNode(t, shards, true)
+	a.node.Bootstrap()
+
+	// Successor: a full replica of a, wrapped as a cluster node that owns
+	// nothing until failover reassigns a's shards.
+	s, err := server.New(server.Config{Engine: "SpecSPMT", Shards: shards, PoolSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	rep, err := repl.NewReplica(s, a.addr.Repl, repl.ReplicaOptions{
+		RetryEvery: 20 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	t.Cleanup(func() { rep.Close() })
+	s.OnPromote(rep.Promote)
+	succAddr := Addr{Data: ln.Addr().String()}
+	succ := NewNode(s, nil, succAddr, NodeOptions{})
+	t.Cleanup(succ.Close)
+	if err := succ.Join(a.addr.Data); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dialData(t, a.addr.Data)
+	for k := uint64(0); k < keys; k++ {
+		if _, err := c.Set(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for rep.AppliedLSN() < a.prim.Log().Head() {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at %d, head %d", rep.AppliedLSN(), a.prim.Log().Head())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Node death.
+	a.prim.Close()
+	a.srv.Close()
+
+	next, err := Failover(a.addr.Data, succAddr.Data, succAddr.Data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range next.Owners {
+		if o.Data != succAddr.Data {
+			t.Fatalf("shard %d still owned by %s after failover", i, o.Data)
+		}
+	}
+
+	// A router seeded with both nodes rides the failover: the dead seed is
+	// skipped, the new map adopted, every key served by the successor.
+	view, err := NewView([]string{a.addr.Data, succAddr.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(view, "text")
+	defer r.Close()
+	for k := uint64(0); k < keys; k++ {
+		res, err := r.Do(server.Op{Kind: server.OpGet, Key: k})
+		if err != nil {
+			t.Fatalf("GET %d after failover: %v", k, err)
+		}
+		if res.Status != server.StatusValue || res.Val != k+7 {
+			t.Fatalf("key %d: got (%d,%d), want %d", k, res.Status, res.Val, k+7)
+		}
+	}
+	// And it is writable.
+	if _, err := r.Do(server.Op{Kind: server.OpSet, Key: 1, Arg1: 99}); err != nil {
+		t.Fatalf("post-failover write: %v", err)
+	}
+}

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"time"
+)
+
+// Migration/cutover pacing. The catch-up wait after freezing the source is
+// generous because the destination may still be draining a large snapshot;
+// the poll interval is short because the tail is typically a handful of
+// records.
+const (
+	migPollEvery    = 20 * time.Millisecond
+	migTailDeadline = 60 * time.Second
+	migCutDeadline  = 30 * time.Second
+)
+
+// MigrateHooks lets a harness interpose on the cutover sequence at its
+// decision points. Each hook runs synchronously on the coordinator's
+// thread; a non-nil error aborts the migration exactly as an internal
+// failure at that point would — the puller is cancelled (and waited for)
+// and the source unfrozen, so ownership is unchanged and both nodes are
+// quiescent when MigrateWith returns the wrapped error. The crash harness
+// uses this to inject power failures mid-pull, post-freeze, and at the
+// cutover verify.
+type MigrateHooks struct {
+	// PullStarted runs once the destination's puller has drained the
+	// snapshot and entered the tail phase, before the source freezes.
+	PullStarted func() error
+	// Frozen runs after the source shard froze at head, before the
+	// coordinator waits for the destination to catch up to it.
+	Frozen func(head uint64) error
+	// Verified runs after the two digests matched — the last instant the
+	// migration can still roll back without any node changing ownership.
+	Verified func() error
+}
+
+// Migrate moves one shard from its current owner to the node at dstData
+// (a data address), live: the destination pulls a filtered snapshot and
+// record tail while writes continue, then the source freezes the shard,
+// the destination catches up to the frozen shard head, both sides' digests
+// are compared, and a new map epoch republishes ownership. seed is any
+// live node to fetch the current map from. Returns the new map.
+//
+// The cutover order is load-bearing:
+//
+//  1. freeze source admission + drain (ShardHead final, no new records)
+//  2. destination applied == head, digests equal (byte-for-byte state)
+//  3. push new map to the DESTINATION (it starts accepting the shard)
+//  4. cancel the puller and wait for it to stop
+//  5. push new map to the SOURCE — only now may it purge, because a purge
+//     publishes DELs into the feed a still-running puller would replay
+//     onto the destination's live data
+//  6. unfreeze the source's (now unowned) shard so parked requests wake
+//     into MOVED redirects, then push the map to the remaining nodes
+func Migrate(shard int, dstData, seed string, log *slog.Logger) (*Map, error) {
+	return MigrateWith(shard, dstData, seed, log, MigrateHooks{})
+}
+
+// MigrateWith is Migrate with harness hooks at the cutover decision points.
+func MigrateWith(shard int, dstData, seed string, log *slog.Logger, hooks MigrateHooks) (*Map, error) {
+	if log == nil {
+		log = slog.Default()
+	}
+	m, err := FetchMap(seed, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching map from %s: %w", seed, err)
+	}
+	if shard < 0 || shard >= m.Shards {
+		return nil, fmt.Errorf("cluster: no shard %d in a %d-shard map", shard, m.Shards)
+	}
+	src := m.Owners[shard]
+	dstInfo, err := FetchNodeInfo(dstData, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: destination %s: %w", dstData, err)
+	}
+	if src.Data == dstInfo.Addr.Data {
+		return m, nil // already there
+	}
+	if src.Repl == "" {
+		return nil, fmt.Errorf("cluster: source %s has no replication listener", src.Data)
+	}
+	if dstInfo.Shards != m.Shards {
+		return nil, fmt.Errorf("cluster: destination runs %d shards, map has %d", dstInfo.Shards, m.Shards)
+	}
+	// Make sure the destination knows the cluster (idempotent when it
+	// already joined), then start the pull.
+	if err := PushMap(dstData, m, 0); err != nil && !strings.Contains(err.Error(), "stale epoch") {
+		return nil, err
+	}
+	dst, err := dialCtl(dstData, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer dst.close()
+	if err := dst.expectOK(fmt.Sprintf("MIGPULL %d %s", shard, src.Repl)); err != nil {
+		return nil, err
+	}
+	log.Info("migration pull started", "shard", shard, "src", src.Data, "dst", dstData)
+	if _, err := waitMigStat(dst, shard, migTailDeadline, func(st MigStat) bool {
+		return st.Phase == "tail"
+	}); err != nil {
+		dst.cmd(fmt.Sprintf("MIGCANCEL %d", shard))
+		return nil, fmt.Errorf("cluster: waiting for snapshot: %w", err)
+	}
+	if hooks.PullStarted != nil {
+		if err := hooks.PullStarted(); err != nil {
+			dst.cmd(fmt.Sprintf("MIGCANCEL %d", shard))
+			return nil, fmt.Errorf("cluster: migration aborted mid-pull: %w", err)
+		}
+	}
+
+	// Cutover: freeze the shard on the source. Any failure from here rolls
+	// back — unfreeze the source, cancel the pull — leaving ownership
+	// unchanged.
+	srcCtl, err := dialCtl(src.Data, 0)
+	if err != nil {
+		dst.cmd(fmt.Sprintf("MIGCANCEL %d", shard))
+		return nil, err
+	}
+	defer srcCtl.close()
+	reply, err := srcCtl.cmd(fmt.Sprintf("MIGFREEZE %d", shard))
+	if err != nil {
+		dst.cmd(fmt.Sprintf("MIGCANCEL %d", shard))
+		return nil, err
+	}
+	var frozenShard int
+	var head uint64
+	if _, err := fmt.Sscanf(reply, "FROZEN %d %d", &frozenShard, &head); err != nil || frozenShard != shard {
+		dst.cmd(fmt.Sprintf("MIGCANCEL %d", shard))
+		return nil, fmt.Errorf("cluster: bad MIGFREEZE reply %q", reply)
+	}
+	abort := func(cause error) (*Map, error) {
+		srcCtl.cmd(fmt.Sprintf("MIGUNFREEZE %d", shard))
+		dst.cmd(fmt.Sprintf("MIGCANCEL %d", shard))
+		return nil, cause
+	}
+	if hooks.Frozen != nil {
+		if err := hooks.Frozen(head); err != nil {
+			return abort(fmt.Errorf("cluster: migration aborted post-freeze: %w", err))
+		}
+	}
+	st, err := waitMigStat(dst, shard, migCutDeadline, func(st MigStat) bool {
+		return st.Phase == "tail" && st.Applied >= head
+	})
+	if err != nil {
+		return abort(fmt.Errorf("cluster: destination did not reach head %d: %w", head, err))
+	}
+	srcDig, err := fetchDigest(srcCtl, shard)
+	if err != nil {
+		return abort(err)
+	}
+	dstDig, err := fetchDigest(dst, shard)
+	if err != nil {
+		return abort(err)
+	}
+	if srcDig != dstDig {
+		return abort(fmt.Errorf("cluster: shard %d digest mismatch at cutover: src %s dst %s",
+			shard, srcDig, dstDig))
+	}
+	log.Info("cutover verified", "shard", shard, "head", head,
+		"applied", st.Applied, "digest", srcDig.String())
+	if hooks.Verified != nil {
+		if err := hooks.Verified(); err != nil {
+			return abort(fmt.Errorf("cluster: migration aborted at cutover: %w", err))
+		}
+	}
+
+	// Refetch for the freshest epoch (the map can't have changed ownership
+	// of this shard — it's frozen — but be safe), mint the new epoch, and
+	// publish in the safe order.
+	if m2, err := FetchMap(src.Data, 0); err == nil {
+		m = m2
+	}
+	next, err := Reassign(m, shard, dstInfo.Addr)
+	if err != nil {
+		return abort(err)
+	}
+	if err := PushMap(dstData, next, 0); err != nil {
+		return abort(fmt.Errorf("cluster: pushing map to destination: %w", err))
+	}
+	// The destination owns the shard now; past this point we never roll
+	// back — errors only mean some nodes learn the map late.
+	if err := dst.expectOK(fmt.Sprintf("MIGCANCEL %d", shard)); err != nil {
+		log.Warn("MIGCANCEL failed", "shard", shard, "err", err)
+	}
+	if err := PushMap(src.Data, next, 0); err != nil {
+		log.Warn("pushing map to source failed", "shard", shard, "err", err)
+	}
+	srcCtl.cmd(fmt.Sprintf("MIGUNFREEZE %d", shard))
+	for _, nd := range next.Nodes() {
+		if nd.Data == dstData || nd.Data == src.Data {
+			continue
+		}
+		if err := PushMap(nd.Data, next, 0); err != nil {
+			log.Warn("pushing map failed", "node", nd.Data, "err", err)
+		}
+	}
+	log.Info("migration complete", "shard", shard, "epoch", next.Epoch,
+		"src", src.Data, "dst", dstData)
+	return next, nil
+}
+
+func waitMigStat(cc *ctl, shard int, deadline time.Duration, ok func(MigStat) bool) (MigStat, error) {
+	end := time.Now().Add(deadline)
+	var last MigStat
+	for {
+		st, err := fetchMigStat(cc, shard)
+		if err != nil {
+			return st, err
+		}
+		if ok(st) {
+			return st, nil
+		}
+		last = st
+		if time.Now().After(end) {
+			return last, fmt.Errorf("timed out in phase %q at lsn %d", last.Phase, last.Applied)
+		}
+		time.Sleep(migPollEvery)
+	}
+}
+
+// Failover reassigns every shard owned by the dead node (deadData) to its
+// promoted replica at succData: the successor — a full replica of the dead
+// node, holding exactly its shards' data — is promoted to writable, and a
+// new map epoch moves ownership. seed is any live node other than the dead
+// one. No data is lost: the replica's state is crash-consistent by
+// construction, bounded by the replication lag at the moment of death (zero
+// in synchronous modes).
+func Failover(deadData, succData, seed string, log *slog.Logger) (*Map, error) {
+	if log == nil {
+		log = slog.Default()
+	}
+	m, err := FetchMap(seed, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching map from %s: %w", seed, err)
+	}
+	lost := m.NodeShards(deadData)
+	if len(lost) == 0 {
+		return nil, fmt.Errorf("cluster: %s owns no shards in epoch %d", deadData, m.Epoch)
+	}
+	succ, err := dialCtl(succData, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: successor %s: %w", succData, err)
+	}
+	defer succ.close()
+	if _, err := succ.cmd("PROMOTE"); err != nil {
+		// An already-promoted successor answers "ERR not a replica" —
+		// tolerate it so a crashed-and-rerun failover converges.
+		if !strings.Contains(err.Error(), "not a replica") {
+			return nil, fmt.Errorf("cluster: promoting %s: %w", succData, err)
+		}
+	}
+	succInfo, err := FetchNodeInfo(succData, 0)
+	if err != nil {
+		return nil, err
+	}
+	if succInfo.Shards != m.Shards {
+		return nil, fmt.Errorf("cluster: successor runs %d shards, map has %d", succInfo.Shards, m.Shards)
+	}
+	next := ReassignNode(m, deadData, succInfo.Addr)
+	if err := PushMap(succData, next, 0); err != nil {
+		return nil, fmt.Errorf("cluster: pushing map to successor: %w", err)
+	}
+	for _, nd := range next.Nodes() {
+		if nd.Data == succData {
+			continue
+		}
+		if err := PushMap(nd.Data, next, 0); err != nil {
+			log.Warn("pushing map failed", "node", nd.Data, "err", err)
+		}
+	}
+	log.Info("failover complete", "dead", deadData, "successor", succData,
+		"shards", lost, "epoch", next.Epoch)
+	return next, nil
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ctlTimeout is the default per-command deadline for control-plane calls
+// (map fetch/push, migration verbs). Control commands are tiny
+// single-line exchanges; anything slower means the peer is wedged.
+const ctlTimeout = 5 * time.Second
+
+// ctl is a one-shot control-plane connection to a node's data port,
+// speaking the text protocol's extension verbs. Unlike server.Client it
+// never pipelines — every call is one line out, one line back — which
+// keeps the coordinator logic trivially sequential.
+type ctl struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// dialCtl connects and consumes the server banner.
+func dialCtl(addr string, timeout time.Duration) (*ctl, error) {
+	if timeout <= 0 {
+		timeout = ctlTimeout
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &ctl{c: c, br: bufio.NewReaderSize(c, 1<<14), bw: bufio.NewWriterSize(c, 1<<12)}
+	c.SetReadDeadline(time.Now().Add(timeout))
+	if _, err := cc.br.ReadString('\n'); err != nil { // banner
+		c.Close()
+		return nil, fmt.Errorf("cluster: reading banner from %s: %w", addr, err)
+	}
+	return cc, nil
+}
+
+func (cc *ctl) close() { cc.c.Close() }
+
+// cmd sends one command line and returns the one reply line (trimmed, no
+// newline). An ERR reply becomes an error.
+func (cc *ctl) cmd(line string) (string, error) {
+	cc.c.SetWriteDeadline(time.Now().Add(ctlTimeout))
+	if _, err := cc.bw.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return "", err
+	}
+	cc.c.SetReadDeadline(time.Now().Add(ctlTimeout))
+	reply, err := cc.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	reply = strings.TrimRight(reply, "\r\n")
+	if strings.HasPrefix(reply, "ERR ") {
+		return "", fmt.Errorf("cluster: %s: %s", strings.Fields(line)[0], reply[4:])
+	}
+	return reply, nil
+}
+
+// expectOK runs cmd and requires an OK reply.
+func (cc *ctl) expectOK(line string) error {
+	reply, err := cc.cmd(line)
+	if err != nil {
+		return err
+	}
+	if reply != "OK" {
+		return fmt.Errorf("cluster: %s: unexpected reply %q", strings.Fields(line)[0], reply)
+	}
+	return nil
+}
+
+// FetchMap asks one node for its current cluster map (CLUSTER verb).
+func FetchMap(addr string, timeout time.Duration) (*Map, error) {
+	cc, err := dialCtl(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer cc.close()
+	reply, err := cc.cmd("CLUSTER")
+	if err != nil {
+		return nil, err
+	}
+	fs := strings.Fields(reply)
+	if len(fs) < 1 || fs[0] != "MAP" {
+		return nil, fmt.Errorf("cluster: bad CLUSTER reply %q from %s", reply, addr)
+	}
+	return ParseMapFields(fs[1:])
+}
+
+// PushMap pushes a map to one node (CLUSTERSET). The node adopts it when
+// the epoch is newer and replies OK either way (idempotent); a lower epoch
+// than the node's current map is an error.
+func PushMap(addr string, m *Map, timeout time.Duration) error {
+	cc, err := dialCtl(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer cc.close()
+	line := string(AppendMap(nil, m))
+	return cc.expectOK("CLUSTERSET" + strings.TrimRight(line, "\n")[3:]) // swap MAP verb for CLUSTERSET
+}
+
+// NodeInfo is one node's self-description (NODEINFO verb).
+type NodeInfo struct {
+	Addr   Addr
+	Shards int
+	Epoch  uint64
+}
+
+// FetchNodeInfo asks one node for its advertised addresses and map epoch.
+func FetchNodeInfo(addr string, timeout time.Duration) (NodeInfo, error) {
+	cc, err := dialCtl(addr, timeout)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	defer cc.close()
+	reply, err := cc.cmd("NODEINFO")
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	fs := strings.Fields(reply)
+	if len(fs) != 5 || fs[0] != "NODE" {
+		return NodeInfo{}, fmt.Errorf("cluster: bad NODEINFO reply %q from %s", reply, addr)
+	}
+	shards, err1 := strconv.Atoi(fs[3])
+	epoch, err2 := strconv.ParseUint(fs[4], 10, 64)
+	if err1 != nil || err2 != nil {
+		return NodeInfo{}, fmt.Errorf("cluster: bad NODEINFO reply %q from %s", reply, addr)
+	}
+	repl := fs[2]
+	if repl == "-" {
+		repl = ""
+	}
+	return NodeInfo{Addr: Addr{Data: fs[1], Repl: repl}, Shards: shards, Epoch: epoch}, nil
+}
+
+// MigStat is a migration puller's progress snapshot (MIGSTAT verb).
+type MigStat struct {
+	Shard    int
+	Phase    string // none | connect | snap | tail | failed | stopped
+	Applied  uint64 // LSN of the last record applied for the shard
+	SnapKeys uint64
+}
+
+func fetchMigStat(cc *ctl, shard int) (MigStat, error) {
+	reply, err := cc.cmd(fmt.Sprintf("MIGSTAT %d", shard))
+	if err != nil {
+		return MigStat{}, err
+	}
+	fs := strings.Fields(reply)
+	if len(fs) != 5 || fs[0] != "MIG" {
+		return MigStat{}, fmt.Errorf("cluster: bad MIGSTAT reply %q", reply)
+	}
+	sh, err1 := strconv.Atoi(fs[1])
+	applied, err2 := strconv.ParseUint(fs[3], 10, 64)
+	keys, err3 := strconv.ParseUint(fs[4], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return MigStat{}, fmt.Errorf("cluster: bad MIGSTAT reply %q", reply)
+	}
+	return MigStat{Shard: sh, Phase: fs[2], Applied: applied, SnapKeys: keys}, nil
+}
+
+// Digest is the order-independent shard content summary both sides of a
+// migration compute under Freeze; equal digests mean byte-for-byte equal
+// shard state (count + xor + sum of a mixed key/value hash).
+type Digest struct {
+	Count uint64
+	Xor   uint64
+	Sum   uint64
+}
+
+func (d Digest) String() string { return fmt.Sprintf("%d/%016x/%016x", d.Count, d.Xor, d.Sum) }
+
+// mix64 is splitmix64's finalizer — the same avalanche the shard placement
+// hash uses, applied to a key/value pair for digesting.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (d *Digest) add(key, val uint64) {
+	h := mix64(key ^ mix64(val+0x9e3779b97f4a7c15))
+	d.Count++
+	d.Xor ^= h
+	d.Sum += h
+}
+
+func fetchDigest(cc *ctl, shard int) (Digest, error) {
+	reply, err := cc.cmd(fmt.Sprintf("DIGEST %d", shard))
+	if err != nil {
+		return Digest{}, err
+	}
+	fs := strings.Fields(reply)
+	if len(fs) != 5 || fs[0] != "DIGEST" {
+		return Digest{}, fmt.Errorf("cluster: bad DIGEST reply %q", reply)
+	}
+	count, err1 := strconv.ParseUint(fs[2], 10, 64)
+	xor, err2 := strconv.ParseUint(fs[3], 16, 64)
+	sum, err3 := strconv.ParseUint(fs[4], 16, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Digest{}, fmt.Errorf("cluster: bad DIGEST reply %q", reply)
+	}
+	return Digest{Count: count, Xor: xor, Sum: sum}, nil
+}

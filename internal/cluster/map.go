@@ -1,0 +1,202 @@
+// Package cluster turns standalone specpmt-servers into a sharded cluster:
+// a versioned cluster map assigns each global shard to one node, a routing
+// layer redirects misdirected requests with MOVED replies (and follows them
+// client-side), live shard migration moves a shard between nodes without
+// stopping writes, and per-shard failover promotes a dead node's replica
+// and reassigns its shards.
+//
+// The design keeps the paper's per-shard transaction engines fully
+// independent — every node runs the same global shard count, so the
+// key→shard placement function (server.ShardOf) is cluster-wide and only
+// the shard→node assignment moves. Coordination is deliberately thin: the
+// map is a single epoch-numbered line, pushed over the existing text
+// protocol as extension verbs (server.OnExtCommand) and gossiped between
+// nodes; there is no consensus layer — the highest epoch wins, and epochs
+// are only minted by one coordinator action at a time (migration cutover,
+// failover).
+//
+// Live migration reuses internal/repl's machinery end to end: the
+// destination pulls a single-shard feed (HELLO with a shard filter → SNAP
+// of just that shard's pairs → filtered record tail), the source freezes
+// the shard at admission and drains its group-commit pipelines (one
+// server.Freeze), both sides compare an order-independent digest, and the
+// epoch bump republishes ownership. No committed transaction is lost or
+// duplicated: ownership only transfers after the destination has applied
+// exactly the source's published history for the shard (digest-verified).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Addr is one node's advertised addresses: the data port clients speak the
+// wire protocols to, and the replication listener other nodes pull shard
+// feeds from ("" when the node has none).
+type Addr struct {
+	Data string
+	Repl string
+}
+
+// Map is one epoch of the cluster map: Owners[shard] is the node owning
+// that shard. Maps are immutable once published; every change mints a new
+// epoch.
+type Map struct {
+	Epoch  uint64
+	Shards int
+	Owners []Addr
+}
+
+// Clone returns a deep copy (for minting the next epoch).
+func (m *Map) Clone() *Map {
+	return &Map{Epoch: m.Epoch, Shards: m.Shards, Owners: append([]Addr(nil), m.Owners...)}
+}
+
+// OwnerStrings projects the map onto the server's route table form: the
+// owning data address per shard.
+func (m *Map) OwnerStrings() []string {
+	out := make([]string, len(m.Owners))
+	for i, a := range m.Owners {
+		out[i] = a.Data
+	}
+	return out
+}
+
+// NodeShards returns the shards owned by the node with the given data
+// address, ascending.
+func (m *Map) NodeShards(data string) []int {
+	var out []int
+	for i, a := range m.Owners {
+		if a.Data == data {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Nodes returns the distinct node addresses in the map, sorted by data
+// address for deterministic iteration.
+func (m *Map) Nodes() []Addr {
+	seen := map[string]Addr{}
+	for _, a := range m.Owners {
+		if a.Data != "" {
+			seen[a.Data] = a
+		}
+	}
+	out := make([]Addr, 0, len(seen))
+	for _, a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Data < out[j].Data })
+	return out
+}
+
+// addrToken renders one owner as the wire token <data>/<repl>.
+func addrToken(a Addr) string { return a.Data + "/" + a.Repl }
+
+func parseAddrToken(tok string) (Addr, error) {
+	i := strings.LastIndexByte(tok, '/')
+	if i < 0 {
+		return Addr{}, fmt.Errorf("cluster: malformed address token %q", tok)
+	}
+	return Addr{Data: tok[:i], Repl: tok[i+1:]}, nil
+}
+
+// AppendMap renders the map as the one-line wire form
+//
+//	MAP <epoch> <shards> <id>=<data>/<repl> ...
+//
+// (newline-terminated). CLUSTERSET pushes carry the same fields after the
+// verb.
+func AppendMap(dst []byte, m *Map) []byte {
+	dst = append(dst, "MAP "...)
+	dst = strconv.AppendUint(dst, m.Epoch, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(m.Shards), 10)
+	for i, a := range m.Owners {
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(i), 10)
+		dst = append(dst, '=')
+		dst = append(dst, addrToken(a)...)
+	}
+	return append(dst, '\n')
+}
+
+// ParseMapFields decodes the fields of a MAP line or a CLUSTERSET command
+// after the verb: <epoch> <shards> <id>=<data>/<repl> ...
+func ParseMapFields(fields []string) (*Map, error) {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("cluster: truncated map")
+	}
+	epoch, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad epoch %q", fields[0])
+	}
+	shards, err := strconv.Atoi(fields[1])
+	if err != nil || shards < 1 || shards > 64 {
+		return nil, fmt.Errorf("cluster: bad shard count %q", fields[1])
+	}
+	if len(fields) != 2+shards {
+		return nil, fmt.Errorf("cluster: map has %d owner tokens, want %d", len(fields)-2, shards)
+	}
+	m := &Map{Epoch: epoch, Shards: shards, Owners: make([]Addr, shards)}
+	for _, tok := range fields[2:] {
+		eq := strings.IndexByte(tok, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("cluster: malformed owner token %q", tok)
+		}
+		id, err := strconv.Atoi(tok[:eq])
+		if err != nil || id < 0 || id >= shards {
+			return nil, fmt.Errorf("cluster: bad shard id in %q", tok)
+		}
+		a, err := parseAddrToken(tok[eq+1:])
+		if err != nil {
+			return nil, err
+		}
+		if m.Owners[id].Data != "" {
+			return nil, fmt.Errorf("cluster: duplicate owner for shard %d", id)
+		}
+		m.Owners[id] = a
+	}
+	for i, a := range m.Owners {
+		if a.Data == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no owner", i)
+		}
+	}
+	return m, nil
+}
+
+// Uniform builds the bootstrap map: every shard owned by self, epoch 1.
+func Uniform(shards int, self Addr) *Map {
+	m := &Map{Epoch: 1, Shards: shards, Owners: make([]Addr, shards)}
+	for i := range m.Owners {
+		m.Owners[i] = self
+	}
+	return m
+}
+
+// Reassign mints the next epoch with the given shard moved to owner.
+func Reassign(m *Map, shard int, owner Addr) (*Map, error) {
+	if shard < 0 || shard >= m.Shards {
+		return nil, fmt.Errorf("cluster: no shard %d", shard)
+	}
+	next := m.Clone()
+	next.Epoch++
+	next.Owners[shard] = owner
+	return next, nil
+}
+
+// ReassignNode mints the next epoch with every shard owned by `from` (data
+// address) moved to `to` — the failover map change.
+func ReassignNode(m *Map, from string, to Addr) *Map {
+	next := m.Clone()
+	next.Epoch++
+	for i, a := range next.Owners {
+		if a.Data == from {
+			next.Owners[i] = to
+		}
+	}
+	return next
+}

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specpmt/internal/obs"
+	"specpmt/internal/repl"
+	"specpmt/internal/server"
+)
+
+// Puller phases, reported by MIGSTAT.
+const (
+	pullConnect int32 = iota
+	pullSnap
+	pullTail
+	pullFailed
+	pullStopped
+)
+
+var pullPhaseNames = [...]string{"connect", "snap", "tail", "failed", "stopped"}
+
+const (
+	pullDialTimeout = 3 * time.Second
+	pullRetryEvery  = 300 * time.Millisecond
+	pullTailTimeout = time.Minute
+	pullApplyBatch  = 128
+)
+
+// puller is the destination side of a live shard migration: it dials the
+// source's replication listener, requests a single-shard feed (HELLO with
+// a shard filter), applies the shard snapshot and then the filtered record
+// tail through the server's normal transactional Apply path — so the
+// migrated-in data is exactly as crash-consistent as native writes.
+//
+// Migration progress is deliberately volatile (no durable cursor): if the
+// destination crashes or the stream breaks mid-pull, the puller starts
+// over with a fresh snapshot. Until cutover the shard is invisible to
+// clients on this node, so restarting from scratch is always safe; the
+// cutover itself only happens once the coordinator has verified the
+// destination's applied LSN reached the source's frozen shard head and
+// both digests match.
+type puller struct {
+	n     *Node
+	shard int
+	src   string
+
+	phase    atomic.Int32
+	applied  atomic.Uint64
+	snapKeys atomic.Uint64
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// startPull launches (or keeps) a puller for shard from the given source
+// replication address. A running puller for the same shard and source is
+// left alone (idempotent retry); a different source replaces it.
+func (n *Node) startPull(shard int, src string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("node closed")
+	}
+	if old := n.pullers[shard]; old != nil {
+		if old.src == src && !old.stopped() {
+			n.mu.Unlock()
+			return nil
+		}
+		delete(n.pullers, shard)
+		n.mu.Unlock()
+		old.stop()
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return fmt.Errorf("node closed")
+		}
+		if n.pullers[shard] != nil { // lost a race with a concurrent MIGPULL
+			n.mu.Unlock()
+			return nil
+		}
+	}
+	pl := &puller{
+		n:     n,
+		shard: shard,
+		src:   src,
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	n.pullers[shard] = pl
+	n.migPulls.Add(1)
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go pl.run()
+	return nil
+}
+
+// stopPull cancels the shard's puller, if any, and waits for it to exit —
+// after stopPull returns, nothing will apply further feed records to the
+// shard (the coordinator relies on this before letting the source purge).
+func (n *Node) stopPull(shard int) {
+	n.mu.Lock()
+	pl := n.pullers[shard]
+	delete(n.pullers, shard)
+	n.mu.Unlock()
+	if pl != nil {
+		pl.stop()
+		n.migDone.Add(1)
+	}
+}
+
+// pullStat reports the shard's migration progress ("none" when no puller
+// exists or ever existed for it).
+func (n *Node) pullStat(shard int) MigStat {
+	n.mu.Lock()
+	pl := n.pullers[shard]
+	n.mu.Unlock()
+	if pl == nil {
+		return MigStat{Shard: shard, Phase: "none"}
+	}
+	return MigStat{
+		Shard:    shard,
+		Phase:    pullPhaseNames[pl.phase.Load()],
+		Applied:  pl.applied.Load(),
+		SnapKeys: pl.snapKeys.Load(),
+	}
+}
+
+func (pl *puller) stop() {
+	select {
+	case <-pl.quit:
+	default:
+		close(pl.quit)
+	}
+	pl.mu.Lock()
+	if pl.conn != nil {
+		pl.conn.Close()
+	}
+	pl.mu.Unlock()
+	<-pl.done
+}
+
+func (pl *puller) stopped() bool {
+	select {
+	case <-pl.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (pl *puller) run() {
+	defer pl.n.wg.Done()
+	defer close(pl.done)
+	for {
+		err := pl.session()
+		select {
+		case <-pl.quit:
+			pl.phase.Store(pullStopped)
+			return
+		default:
+		}
+		if err != nil {
+			pl.phase.Store(pullFailed)
+			pl.n.log.Warn("migration pull session ended, retrying",
+				"shard", pl.shard, "src", pl.src, "err", err)
+		}
+		select {
+		case <-pl.quit:
+			pl.phase.Store(pullStopped)
+			return
+		case <-time.After(pullRetryEvery):
+		}
+	}
+}
+
+// session runs one connection's lifetime: handshake (always a fresh
+// filtered snapshot — the puller advertises position 0/0), then tail.
+func (pl *puller) session() error {
+	pl.phase.Store(pullConnect)
+	c, err := net.DialTimeout("tcp", pl.src, pullDialTimeout)
+	if err != nil {
+		return err
+	}
+	pl.mu.Lock()
+	pl.conn = c
+	pl.mu.Unlock()
+	defer func() {
+		pl.mu.Lock()
+		pl.conn = nil
+		pl.mu.Unlock()
+		c.Close()
+	}()
+	var span0 int64
+	if pl.n.rec != nil {
+		span0 = pl.n.rec.Now()
+		defer func() {
+			pl.n.rec.Record(obs.Span{Kind: obs.SpanMigrate,
+				Track: pl.n.rec.Track(fmt.Sprintf("migrate-%d", pl.shard)),
+				Start: span0, End: pl.n.rec.Now(),
+				A: uint64(pl.shard), B: pl.applied.Load()})
+		}()
+	}
+
+	br := bufio.NewReaderSize(c, 1<<16)
+	bw := bufio.NewWriterSize(c, 1<<12)
+	hello := fmt.Sprintf("HELLO %d 0 0 %d\n", pl.n.srv.Shards(), pl.shard)
+	c.SetWriteDeadline(time.Now().Add(pullDialTimeout))
+	if _, err := bw.WriteString(hello); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	c.SetReadDeadline(time.Now().Add(pullDialTimeout))
+	line, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("reading handshake: %w", err)
+	}
+	fs := bytes.Fields(line)
+	if len(fs) != 4 || string(fs[0]) != "SNAP" {
+		return fmt.Errorf("handshake refused: %q", string(line))
+	}
+	snapLSN, err1 := strconv.ParseUint(string(fs[2]), 10, 64)
+	nkeys, err2 := strconv.ParseUint(string(fs[3]), 10, 64)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("bad SNAP header %q", string(line))
+	}
+	if err := pl.applySnapshot(c, br, snapLSN, nkeys); err != nil {
+		return err
+	}
+	pl.phase.Store(pullTail)
+	return pl.tail(c, br, bw)
+}
+
+// applyChunked applies ops through the server, splitting the batch in half
+// and retrying on ErrApply: a transaction dense in fresh same-shard inserts
+// can outgrow the hashmap's one-grow-per-transaction rule (every client
+// MULTI faces the same bound, but migration batches are the densest case in
+// the system). Halving converges — each retry boundary prepares a grow and
+// advances the incremental rehash, and a single-op transaction is exactly
+// the always-succeeding Put path. Splitting is safe here and only here:
+// until cutover the shard is invisible to clients on this node, and a
+// crashed migration restarts from a fresh snapshot, so no reader can ever
+// observe a half-applied chunk.
+func (pl *puller) applyChunked(ops []server.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	_, err := pl.n.srv.Apply(ops, nil, nil)
+	if err == nil || !errors.Is(err, server.ErrApply) || len(ops) == 1 {
+		return err
+	}
+	mid := len(ops) / 2
+	if err := pl.applyChunked(ops[:mid]); err != nil {
+		return err
+	}
+	return pl.applyChunked(ops[mid:])
+}
+
+// applySnapshot clears the local shard (a retried pull may have left a
+// partial copy) and applies the filtered snapshot in batched transactions.
+func (pl *puller) applySnapshot(c net.Conn, br *bufio.Reader, snapLSN, nkeys uint64) error {
+	pl.phase.Store(pullSnap)
+	pl.applied.Store(0)
+	pl.snapKeys.Store(0)
+	if err := pl.clearShard(); err != nil {
+		return err
+	}
+	ops := make([]server.Op, 0, pullApplyBatch)
+	flush := func() error {
+		if err := pl.applyChunked(ops); err != nil {
+			return err
+		}
+		ops = ops[:0]
+		return nil
+	}
+	c.SetReadDeadline(time.Now().Add(pullDialTimeout + time.Duration(nkeys)*time.Millisecond/10))
+	for i := uint64(0); i < nkeys; i++ {
+		line, err := readLine(br)
+		if err != nil {
+			return fmt.Errorf("reading snapshot: %w", err)
+		}
+		kf := bytes.Fields(line)
+		if len(kf) != 4 || string(kf[0]) != "K" {
+			return fmt.Errorf("bad snapshot line %q", string(line))
+		}
+		shard, err1 := strconv.ParseUint(string(kf[1]), 10, 64)
+		key, err2 := strconv.ParseUint(string(kf[2]), 10, 64)
+		val, err3 := strconv.ParseUint(string(kf[3]), 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || shard != uint64(pl.shard) {
+			return fmt.Errorf("bad snapshot line %q", string(line))
+		}
+		ops = append(ops, server.Op{Kind: server.OpSet, Key: key, Arg1: val})
+		if len(ops) >= pullApplyBatch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	line, err := readLine(br)
+	if err != nil || string(line) != "SNAPEND" {
+		return fmt.Errorf("missing SNAPEND")
+	}
+	pl.snapKeys.Store(nkeys)
+	pl.applied.Store(snapLSN)
+	pl.n.log.Info("migration snapshot applied", "shard", pl.shard, "keys", nkeys, "lsn", snapLSN)
+	return nil
+}
+
+// clearShard deletes every committed pair the local shard currently holds.
+func (pl *puller) clearShard() error {
+	var keys []uint64
+	pl.n.srv.Freeze(func() {
+		pl.n.srv.RangeAll(func(sh int, k, _ uint64) bool {
+			if sh == pl.shard {
+				keys = append(keys, k)
+			}
+			return true
+		})
+	})
+	ops := make([]server.Op, 0, pullApplyBatch)
+	for i, k := range keys {
+		ops = append(ops, server.Op{Kind: server.OpDel, Key: k})
+		if len(ops) >= pullApplyBatch || i == len(keys)-1 {
+			if err := pl.applyChunked(ops); err != nil {
+				return err
+			}
+			ops = ops[:0]
+		}
+	}
+	return nil
+}
+
+// tail consumes the filtered record stream, applying each record as one
+// transaction and acking applied positions. LSNs arrive with gaps (the
+// stream skips records with no op for this shard); applied tracks the last
+// record actually shipped, which at cutover equals the source's frozen
+// ShardHead.
+func (pl *puller) tail(c net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
+	var ops []server.Op
+	var recOps []repl.WOp
+	for {
+		c.SetReadDeadline(time.Now().Add(pullTailTimeout))
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if len(line) > 1 && line[0] == 'H' { // HB <head>
+			continue
+		}
+		rec, err := repl.DecodeRecord(line, recOps)
+		if err != nil {
+			return err
+		}
+		recOps = rec.Ops
+		ops = ops[:0]
+		for _, w := range rec.Ops {
+			if w.Shard != pl.shard {
+				return fmt.Errorf("feed leaked shard %d record into shard %d pull", w.Shard, pl.shard)
+			}
+			if w.Del {
+				ops = append(ops, server.Op{Kind: server.OpDel, Key: w.Key})
+			} else {
+				ops = append(ops, server.Op{Kind: server.OpSet, Key: w.Key, Arg1: w.Val})
+			}
+		}
+		if err := pl.applyChunked(ops); err != nil {
+			return err
+		}
+		pl.applied.Store(rec.LSN)
+		if br.Buffered() == 0 {
+			c.SetWriteDeadline(time.Now().Add(pullDialTimeout))
+			if _, err := fmt.Fprintf(bw, "ACK %d\n", rec.LSN); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// readLine reads one newline-terminated protocol line, bounded by the repl
+// record limit, without the trailing newline.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) > repl.MaxRecordLine {
+		return nil, fmt.Errorf("line too long (%d bytes)", len(line))
+	}
+	line = line[:len(line)-1]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}

@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"specpmt/internal/obs"
+	"specpmt/internal/repl"
+	"specpmt/internal/server"
+)
+
+// NodeOptions configures a cluster node wrapper.
+type NodeOptions struct {
+	Log *slog.Logger
+	// Rec, when non-nil, records SpanMigrate spans for migration pull
+	// sessions on this node.
+	Rec *obs.SpanRecorder
+}
+
+// Node makes one specpmt-server cluster-aware: it installs the extension
+// verbs (CLUSTER/CLUSTERSET/NODEINFO/MIG*/DIGEST) on the server's text
+// protocol, keeps the node's copy of the cluster map in sync with the
+// server's route table, runs migration pullers on the destination side,
+// and purges shard data the node has migrated away.
+//
+// The cluster map is deliberately volatile: it lives in memory and in the
+// coordinator's pushes, not in PM. A node that restarts comes up
+// standalone (no route table — it serves everything) until the operator
+// or coordinator re-pushes a map; committed shard data, by contrast, is
+// always crash-persistent. Keeping membership out of the durability story
+// means the paper's recovery invariants stay exactly as they were — the
+// crashtest registry needs no notion of epochs.
+type Node struct {
+	srv  *server.Server
+	prim *repl.Primary
+	self Addr
+	log  *slog.Logger
+	rec  *obs.SpanRecorder
+
+	mu      sync.Mutex
+	cur     *Map
+	pullers map[int]*puller
+	closed  bool
+	wg      sync.WaitGroup
+
+	migPulls atomic.Uint64
+	migDone  atomic.Uint64
+	purged   atomic.Uint64
+	adopts   atomic.Uint64
+	staleSet atomic.Uint64
+}
+
+// NewNode wraps srv (and its replication primary, when it has one) as a
+// cluster node advertising self. It registers the extension-verb handler
+// and a STATS hook on srv; the node starts with no map (standalone
+// behaviour) until Bootstrap, Join, or a CLUSTERSET push installs one.
+func NewNode(srv *server.Server, prim *repl.Primary, self Addr, opts NodeOptions) *Node {
+	n := &Node{
+		srv:     srv,
+		prim:    prim,
+		self:    self,
+		log:     opts.Log,
+		rec:     opts.Rec,
+		pullers: map[int]*puller{},
+	}
+	if n.log == nil {
+		n.log = slog.Default()
+	}
+	n.log = n.log.With("self", self.Data)
+	srv.OnExtCommand(n.handleCommand)
+	srv.SetStatsHook(n.emitStats)
+	return n
+}
+
+// Self returns the node's advertised addresses.
+func (n *Node) Self() Addr { return n.self }
+
+// Map returns the node's current cluster map (nil before one is installed).
+func (n *Node) Map() *Map {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cur
+}
+
+// Bootstrap installs the single-node map: every shard owned by self,
+// epoch 1. The first node of a cluster calls this; the rest Join.
+func (n *Node) Bootstrap() {
+	n.adopt(Uniform(n.srv.Shards(), n.self))
+}
+
+// Join fetches the cluster map from a seed node and adopts it.
+func (n *Node) Join(seed string) error {
+	m, err := FetchMap(seed, 0)
+	if err != nil {
+		return err
+	}
+	if ok, err := n.adopt(m); !ok {
+		return fmt.Errorf("cluster: joining via %s: %w", seed, err)
+	}
+	return nil
+}
+
+// adopt installs m when it is strictly newer than the current map,
+// updating the server's route table, unfreezing and purging shards the
+// node no longer owns. Returns (false, reason) when the map is stale or
+// incompatible; an equal epoch is not an error (idempotent re-push) but
+// adopts nothing.
+func (n *Node) adopt(m *Map) (bool, error) {
+	if m.Shards != n.srv.Shards() {
+		return false, fmt.Errorf("cluster: map has %d shards, node runs %d", m.Shards, n.srv.Shards())
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false, fmt.Errorf("cluster: node closed")
+	}
+	if n.cur != nil && m.Epoch <= n.cur.Epoch {
+		if m.Epoch == n.cur.Epoch {
+			return false, nil
+		}
+		n.staleSet.Add(1)
+		return false, fmt.Errorf("cluster: stale epoch %d, have %d", m.Epoch, n.cur.Epoch)
+	}
+	prev := n.cur
+	n.cur = m
+	n.adopts.Add(1)
+	n.srv.SetRoute(m.Epoch, m.OwnerStrings(), n.self.Data)
+	// Shards that just moved away: release any admission freeze (parked
+	// requests wake and get MOVED) and drop the local copy of their data.
+	var lost []int
+	if prev != nil {
+		for _, s := range prev.NodeShards(n.self.Data) {
+			if m.Owners[s].Data != n.self.Data {
+				lost = append(lost, s)
+			}
+		}
+	}
+	for _, s := range lost {
+		n.srv.UnfreezeShard(s)
+	}
+	if len(lost) > 0 {
+		n.wg.Add(1)
+		go n.purgeShards(lost)
+	}
+	n.log.Info("adopted cluster map", "epoch", m.Epoch,
+		"owned", len(m.NodeShards(n.self.Data)), "lost", lost)
+	return true, nil
+}
+
+// purgeShards deletes the local data of shards that migrated away, in
+// batched transactions. Committed DELs ship to this node's own replicas
+// like any write, so a full replica of this node converges to the same
+// post-migration state.
+func (n *Node) purgeShards(shards []int) {
+	defer n.wg.Done()
+	want := map[int]bool{}
+	for _, s := range shards {
+		want[s] = true
+	}
+	var keys []uint64
+	var kshard []int
+	n.srv.Freeze(func() {
+		n.srv.RangeAll(func(sh int, k, _ uint64) bool {
+			if want[sh] {
+				keys = append(keys, k)
+				kshard = append(kshard, sh)
+			}
+			return true
+		})
+	})
+	const batch = 128
+	ops := make([]server.Op, 0, batch)
+	flush := func() bool {
+		if len(ops) == 0 {
+			return true
+		}
+		if _, err := n.srv.Apply(ops, nil, nil); err != nil {
+			n.log.Warn("purge failed", "err", err)
+			return false
+		}
+		n.purged.Add(uint64(len(ops)))
+		ops = ops[:0]
+		return true
+	}
+	// One Apply per shard batch keeps each purge transaction single-shard.
+	for _, s := range shards {
+		for i, k := range keys {
+			if kshard[i] != s {
+				continue
+			}
+			ops = append(ops, server.Op{Kind: server.OpDel, Key: k})
+			if len(ops) >= batch && !flush() {
+				return
+			}
+		}
+		if !flush() {
+			return
+		}
+	}
+	n.log.Info("purged migrated shards", "shards", shards, "keys", len(keys))
+}
+
+// digestShard folds the shard's committed pairs into an order-independent
+// digest under a full freeze — a consistent cut with no transaction in
+// flight, which is exactly the state the migration cutover compares.
+func (n *Node) digestShard(shard int) (Digest, error) {
+	var d Digest
+	err := n.srv.Freeze(func() {
+		n.srv.RangeAll(func(sh int, k, v uint64) bool {
+			if sh == shard {
+				d.add(k, v)
+			}
+			return true
+		})
+	})
+	return d, err
+}
+
+// Close stops the node's pullers and waits for background work. The
+// wrapped server is not closed.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	pls := make([]*puller, 0, len(n.pullers))
+	for _, pl := range n.pullers {
+		pls = append(pls, pl)
+	}
+	n.mu.Unlock()
+	for _, pl := range pls {
+		pl.stop()
+	}
+	n.wg.Wait()
+}
+
+func (n *Node) emitStats(emit func(name string, val uint64)) {
+	n.mu.Lock()
+	var epoch, owned uint64
+	if n.cur != nil {
+		epoch = n.cur.Epoch
+		owned = uint64(len(n.cur.NodeShards(n.self.Data)))
+	}
+	pulls := uint64(len(n.pullers))
+	n.mu.Unlock()
+	emit("cluster_epoch", epoch)
+	emit("cluster_owned_shards", owned)
+	emit("cluster_active_pulls", pulls)
+	emit("cluster_migrations_started", n.migPulls.Load())
+	emit("cluster_migrations_done", n.migDone.Load())
+	emit("cluster_purged_keys", n.purged.Load())
+	emit("cluster_map_adopts", n.adopts.Load())
+	emit("cluster_stale_map_pushes", n.staleSet.Load())
+}
+
+// handleCommand is the server.ExtCommand hook: the cluster control verbs.
+// Verbs are uppercase; args are only valid for the duration of the call
+// and are copied where retained. Every reply is a single line.
+func (n *Node) handleCommand(verb string, args [][]byte) ([]byte, bool) {
+	switch verb {
+	case "CLUSTER":
+		m := n.Map()
+		if m == nil {
+			return []byte("ERR no cluster map\n"), true
+		}
+		return AppendMap(nil, m), true
+
+	case "CLUSTERSET":
+		fs := make([]string, len(args))
+		for i, a := range args {
+			fs[i] = string(a)
+		}
+		m, err := ParseMapFields(fs)
+		if err != nil {
+			return []byte("ERR " + err.Error() + "\n"), true
+		}
+		if _, err := n.adopt(m); err != nil {
+			return []byte("ERR " + err.Error() + "\n"), true
+		}
+		return []byte("OK\n"), true
+
+	case "NODEINFO":
+		repl := n.self.Repl
+		if repl == "" {
+			repl = "-"
+		}
+		var epoch uint64
+		if m := n.Map(); m != nil {
+			epoch = m.Epoch
+		}
+		return []byte(fmt.Sprintf("NODE %s %s %d %d\n", n.self.Data, repl, n.srv.Shards(), epoch)), true
+
+	case "MIGPULL":
+		if len(args) != 2 {
+			return []byte("ERR usage: MIGPULL <shard> <source-repl-addr>\n"), true
+		}
+		shard, ok := n.parseShard(args[0])
+		if !ok {
+			return []byte("ERR bad shard\n"), true
+		}
+		if err := n.startPull(shard, string(args[1])); err != nil {
+			return []byte("ERR " + err.Error() + "\n"), true
+		}
+		return []byte("OK\n"), true
+
+	case "MIGSTAT":
+		if len(args) != 1 {
+			return []byte("ERR usage: MIGSTAT <shard>\n"), true
+		}
+		shard, ok := n.parseShard(args[0])
+		if !ok {
+			return []byte("ERR bad shard\n"), true
+		}
+		st := n.pullStat(shard)
+		return []byte(fmt.Sprintf("MIG %d %s %d %d\n", shard, st.Phase, st.Applied, st.SnapKeys)), true
+
+	case "MIGCANCEL":
+		if len(args) != 1 {
+			return []byte("ERR usage: MIGCANCEL <shard>\n"), true
+		}
+		shard, ok := n.parseShard(args[0])
+		if !ok {
+			return []byte("ERR bad shard\n"), true
+		}
+		n.stopPull(shard)
+		return []byte("OK\n"), true
+
+	case "MIGFREEZE":
+		if len(args) != 1 {
+			return []byte("ERR usage: MIGFREEZE <shard>\n"), true
+		}
+		shard, ok := n.parseShard(args[0])
+		if !ok {
+			return []byte("ERR bad shard\n"), true
+		}
+		if n.prim == nil {
+			return []byte("ERR no replication primary\n"), true
+		}
+		// Freeze admission first, then drain everything already admitted:
+		// when Freeze returns, every committed transaction touching the
+		// shard has been published to the log, so ShardHead is final.
+		n.srv.FreezeShard(shard)
+		var head uint64
+		if err := n.srv.Freeze(func() { head = n.prim.ShardHead(shard) }); err != nil {
+			n.srv.UnfreezeShard(shard)
+			return []byte("ERR " + err.Error() + "\n"), true
+		}
+		n.log.Info("froze shard for cutover", "shard", shard, "head", head)
+		return []byte(fmt.Sprintf("FROZEN %d %d\n", shard, head)), true
+
+	case "MIGUNFREEZE":
+		if len(args) != 1 {
+			return []byte("ERR usage: MIGUNFREEZE <shard>\n"), true
+		}
+		shard, ok := n.parseShard(args[0])
+		if !ok {
+			return []byte("ERR bad shard\n"), true
+		}
+		n.srv.UnfreezeShard(shard)
+		return []byte("OK\n"), true
+
+	case "DIGEST":
+		if len(args) != 1 {
+			return []byte("ERR usage: DIGEST <shard>\n"), true
+		}
+		shard, ok := n.parseShard(args[0])
+		if !ok {
+			return []byte("ERR bad shard\n"), true
+		}
+		d, err := n.digestShard(shard)
+		if err != nil {
+			return []byte("ERR " + err.Error() + "\n"), true
+		}
+		return []byte(fmt.Sprintf("DIGEST %d %d %016x %016x\n", shard, d.Count, d.Xor, d.Sum)), true
+	}
+	return nil, false
+}
+
+func (n *Node) parseShard(b []byte) (int, bool) {
+	v, err := strconv.Atoi(string(b))
+	if err != nil || v < 0 || v >= n.srv.Shards() {
+		return 0, false
+	}
+	return v, true
+}

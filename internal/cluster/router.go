@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specpmt/internal/server"
+)
+
+// View is a shared, refreshable copy of the cluster map for clients. Many
+// Routers (one per load-generator goroutine) share one View, so a single
+// MOVED redirect refreshes the map for the whole fleet.
+type View struct {
+	mu    sync.RWMutex
+	m     *Map
+	seeds []string
+
+	refreshes atomic.Uint64
+}
+
+// NewView fetches the initial map from the first reachable seed.
+func NewView(seeds []string) (*View, error) {
+	v := &View{seeds: seeds}
+	var lastErr error
+	for _, s := range seeds {
+		m, err := FetchMap(s, 0)
+		if err == nil {
+			v.m = m
+			return v, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: no reachable seed: %w", lastErr)
+}
+
+// Map returns the current map.
+func (v *View) Map() *Map {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.m
+}
+
+// Refreshes reports how many refreshes actually advanced the epoch.
+func (v *View) Refreshes() uint64 { return v.refreshes.Load() }
+
+// adopt installs m if it is newer than the current map.
+func (v *View) adopt(m *Map) {
+	v.mu.Lock()
+	if m.Epoch > v.m.Epoch {
+		v.m = m
+		v.refreshes.Add(1)
+	}
+	v.mu.Unlock()
+}
+
+// RefreshFrom re-fetches the map from one address (typically the new owner
+// named by a MOVED redirect — the one node guaranteed to have the fresh
+// epoch).
+func (v *View) RefreshFrom(addr string) error {
+	m, err := FetchMap(addr, 0)
+	if err != nil {
+		return err
+	}
+	v.adopt(m)
+	return nil
+}
+
+// Refresh re-fetches the map from any reachable node of the current map,
+// falling back to the seeds — the path a client takes when its target node
+// died.
+func (v *View) Refresh() error {
+	tried := map[string]bool{}
+	var lastErr error
+	for _, nd := range v.Map().Nodes() {
+		tried[nd.Data] = true
+		if err := v.RefreshFrom(nd.Data); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	for _, s := range v.seeds {
+		if tried[s] {
+			continue
+		}
+		if err := v.RefreshFrom(s); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("cluster: refresh found no reachable node: %w", lastErr)
+}
+
+// ErrCrossNode is returned by Router.Exec when a transaction's keys map to
+// more than one node — cross-node transactions are not supported; the
+// caller should redraw its keys (Router.SameNode).
+var ErrCrossNode = errors.New("cluster: transaction keys span nodes")
+
+// routerBackoff paces retries after a transport error or redirect storm.
+const routerBackoff = 25 * time.Millisecond
+
+// Router routes single operations and single-node transactions to the
+// owning node, following MOVED redirects and riding out failovers by
+// refreshing its View and retrying until RetryFor elapses. NOT safe for
+// concurrent use — each client goroutine owns one Router; the View is the
+// shared part.
+type Router struct {
+	view  *View
+	proto string
+	// RetryFor bounds how long one operation retries through redirects,
+	// dead connections, and map refreshes before giving up (default 15s —
+	// enough to ride out a coordinator-driven failover).
+	RetryFor time.Duration
+
+	conns map[string]*server.Client
+
+	// Per-router tallies, merged by the caller into its report.
+	Moved     uint64
+	Retries   uint64
+	OpsByNode map[string]uint64
+}
+
+// NewRouter builds a router over a shared view speaking proto ("text" or
+// "bin") to every node.
+func NewRouter(view *View, proto string) *Router {
+	return &Router{
+		view:      view,
+		proto:     proto,
+		RetryFor:  15 * time.Second,
+		conns:     map[string]*server.Client{},
+		OpsByNode: map[string]uint64{},
+	}
+}
+
+// Close drops every connection.
+func (r *Router) Close() {
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.conns = map[string]*server.Client{}
+}
+
+func (r *Router) conn(addr string) (*server.Client, error) {
+	if c := r.conns[addr]; c != nil {
+		return c, nil
+	}
+	c, err := server.DialProto(addr, 2*time.Second, r.proto)
+	if err != nil {
+		return nil, err
+	}
+	r.conns[addr] = c
+	return c, nil
+}
+
+func (r *Router) dropConn(addr string) {
+	if c := r.conns[addr]; c != nil {
+		c.Close()
+		delete(r.conns, addr)
+	}
+}
+
+// AddrFor returns the data address currently owning the key's shard.
+func (r *Router) AddrFor(key uint64) string {
+	m := r.view.Map()
+	return m.Owners[server.ShardOf(key, m.Shards)].Data
+}
+
+// SameNode reports whether all keys currently route to one node — the
+// precondition for Exec.
+func (r *Router) SameNode(keys []uint64) bool {
+	if len(keys) < 2 {
+		return true
+	}
+	first := r.AddrFor(keys[0])
+	for _, k := range keys[1:] {
+		if r.AddrFor(k) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Do executes one operation against the owning node, following redirects.
+func (r *Router) Do(op server.Op) (server.OpResult, error) {
+	var res server.OpResult
+	err := r.retryLoop(func() error {
+		addr := r.AddrFor(op.Key)
+		c, err := r.conn(addr)
+		if err != nil {
+			return err
+		}
+		switch op.Kind {
+		case server.OpGet:
+			res, err = c.Get(op.Key)
+		case server.OpSet:
+			res, err = c.Set(op.Key, op.Arg1)
+		case server.OpDel:
+			res, err = c.Del(op.Key)
+		case server.OpCAS:
+			res, err = c.CAS(op.Key, op.Arg1, op.Arg2)
+		default:
+			return fmt.Errorf("cluster: unroutable op kind %d", op.Kind)
+		}
+		if err != nil {
+			return r.noteFailure(addr, err)
+		}
+		r.OpsByNode[addr]++
+		return nil
+	})
+	return res, err
+}
+
+// Exec executes ops as one transaction on the node owning all their keys.
+func (r *Router) Exec(ops []server.Op) ([]server.OpResult, int64, error) {
+	var results []server.OpResult
+	var modelNs int64
+	err := r.retryLoop(func() error {
+		addr := r.AddrFor(ops[0].Key)
+		for _, op := range ops[1:] {
+			if r.AddrFor(op.Key) != addr {
+				return ErrCrossNode
+			}
+		}
+		c, err := r.conn(addr)
+		if err != nil {
+			return err
+		}
+		results, modelNs, err = c.Exec(ops)
+		if err != nil {
+			return r.noteFailure(addr, err)
+		}
+		r.OpsByNode[addr] += uint64(len(ops))
+		return nil
+	})
+	return results, modelNs, err
+}
+
+// noteFailure classifies one failed attempt: a MOVED redirect refreshes
+// the view from the new owner (connection stays healthy); anything else —
+// a dead node, a poisoned stream, a frozen-shard admission timeout —
+// drops the connection so the retry re-dials.
+func (r *Router) noteFailure(addr string, err error) error {
+	if mv := server.AsMoved(err); mv != nil {
+		r.Moved++
+		if mv.Addr != "" {
+			r.view.RefreshFrom(mv.Addr)
+		} else {
+			r.view.Refresh()
+		}
+		return err
+	}
+	r.dropConn(addr)
+	return err
+}
+
+// retryLoop drives attempt until success, ErrCrossNode (surfaced to the
+// caller), or the retry budget runs out. Redirects retry immediately;
+// transport errors refresh the map and back off — the sequence that rides
+// out a mid-run failover.
+func (r *Router) retryLoop(attempt func() error) error {
+	deadline := time.Now().Add(r.RetryFor)
+	var err error
+	for try := 0; ; try++ {
+		err = attempt()
+		if err == nil || errors.Is(err, ErrCrossNode) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: giving up after %s: %w", r.RetryFor, err)
+		}
+		r.Retries++
+		if server.AsMoved(err) == nil {
+			// Not a redirect: the node may be gone; learn the new map
+			// before retrying.
+			r.view.Refresh()
+			time.Sleep(routerBackoff)
+		}
+	}
+}

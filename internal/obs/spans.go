@@ -31,6 +31,10 @@ const (
 	// SpanSnapshot covers a replication snapshot (send or bootstrap).
 	// A = keys.
 	SpanSnapshot
+	// SpanMigrate covers one shard-migration pull session on the
+	// destination node (filtered snapshot + tail, until the stream breaks
+	// or the cutover cancels it). A = shard, B = last applied LSN.
+	SpanMigrate
 )
 
 var spanNames = [...]struct{ name, cat string }{
@@ -42,6 +46,7 @@ var spanNames = [...]struct{ name, cat string }{
 	SpanReplWait: {"repl-wait", "repl"},
 	SpanApply:    {"repl-apply", "repl"},
 	SpanSnapshot: {"repl-snapshot", "repl"},
+	SpanMigrate:  {"migrate", "cluster"},
 }
 
 // Span is one recorded wall-clock interval, compact enough to copy into
@@ -175,6 +180,8 @@ func (r *SpanRecorder) WriteChrome(w io.Writer, process string) error {
 			ls.Args = map[string]any{"records": s.A, "ops": s.B}
 		case SpanSnapshot:
 			ls.Args = map[string]any{"keys": s.A}
+		case SpanMigrate:
+			ls.Args = map[string]any{"shard": s.A, "lsn": s.B}
 		}
 		live = append(live, ls)
 	}

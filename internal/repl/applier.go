@@ -34,7 +34,11 @@ const CursorRoot = specpmt.RootSlots - 1
 type Applier struct {
 	srv    *server.Server
 	shards int
-	addr   specpmt.Addr // cursor block; 0 until initialised
+	// addr is the cursor block (0 until initialised) — atomic because the
+	// heap compactor's relocation hook may move the block (and repoint this
+	// mirror) from a frozen worker while the applier goroutine is between
+	// applies.
+	addr atomic.Uint64
 
 	// volatile mirrors of the durable cursor — atomic so stats hooks and
 	// test harnesses may read them while the applier goroutine advances
@@ -53,20 +57,47 @@ func NewApplier(srv *server.Server) (*Applier, error) {
 	}
 	a := &Applier{srv: srv, shards: srv.Shards()}
 	a.Reload()
+	srv.OnRelocate(a.relocate)
 	return a, nil
+}
+
+// relocate is the applier's server.RelocateHook: when heap compaction picks
+// the durable cursor block, copy its cells into the staged destination in
+// one transaction and repoint the root slot — the same publish order
+// BeginSnapshot uses, so a crash between the two leaves the root on the
+// still-allocated old block. A cursor block allocated but not yet published
+// (a crash window inside BeginSnapshot) is not claimed; the compaction pass
+// aborts harmlessly.
+func (a *Applier) relocate(old, new specpmt.Addr, n int) (bool, error) {
+	pool := a.srv.Pool()
+	if old == 0 || pool.Root(CursorRoot) != uint64(old) {
+		return false, nil
+	}
+	tx := pool.Thread(0).Begin()
+	for off := specpmt.Addr(0); off < specpmt.Addr((1+a.shards)*8); off += 8 {
+		tx.StoreUint64(new+off, tx.LoadUint64(old+off))
+	}
+	if err := tx.Commit(); err != nil {
+		return true, err
+	}
+	if err := pool.SetRoot(CursorRoot, uint64(new)); err != nil {
+		return true, err
+	}
+	a.addr.Store(uint64(new))
+	return true, nil
 }
 
 // Reload re-reads the durable cursor into the volatile mirrors — after
 // construction and after a crash/recover of the underlying pool.
 func (a *Applier) Reload() {
 	pool := a.srv.Pool()
-	a.addr = specpmt.Addr(pool.Root(CursorRoot))
+	a.addr.Store(pool.Root(CursorRoot))
 	a.primaryID.Store(0)
 	a.applied.Store(0)
-	if a.addr == 0 {
+	if a.addr.Load() == 0 {
 		return
 	}
-	a.primaryID.Store(pool.ReadUint64(a.addr))
+	a.primaryID.Store(pool.ReadUint64(specpmt.Addr(a.addr.Load())))
 	var applied uint64
 	for i := 0; i < a.shards; i++ {
 		if lsn := pool.ReadUint64(a.cell(i)); lsn > applied {
@@ -106,7 +137,7 @@ func (a *Applier) CheckRecovered(maxLSN uint64) error {
 			durable = lsn
 		}
 	}
-	if a.addr == addr {
+	if specpmt.Addr(a.addr.Load()) == addr {
 		if got := a.applied.Load(); got != durable {
 			return fmt.Errorf("repl: volatile applied LSN %d does not match durable cursor %d", got, durable)
 		}
@@ -123,7 +154,7 @@ func (a *Applier) PrimaryID() uint64 { return a.primaryID.Load() }
 func (a *Applier) AppliedLSN() uint64 { return a.applied.Load() }
 
 func (a *Applier) cell(shard int) specpmt.Addr {
-	return a.addr + 8 + specpmt.Addr(shard)*8
+	return specpmt.Addr(a.addr.Load()) + 8 + specpmt.Addr(shard)*8
 }
 
 // stamp runs extra as its own transaction through the server's apply path,
@@ -140,13 +171,13 @@ func (a *Applier) stamp(extra func(specpmt.Tx)) error {
 // id, so a crash mid-snapshot reports id 0 and forces a fresh bootstrap
 // instead of resuming from a half-applied state.
 func (a *Applier) BeginSnapshot() error {
-	if a.addr == 0 {
+	if a.addr.Load() == 0 {
 		pool := a.srv.Pool()
 		addr, err := pool.Alloc((1 + a.shards) * 8)
 		if err != nil {
 			return fmt.Errorf("repl: allocating cursor: %w", err)
 		}
-		a.addr = addr
+		a.addr.Store(uint64(addr))
 		// Zero the whole block transactionally BEFORE publishing it via the
 		// root slot: a crash in between leaks the block (harmless) but can
 		// never expose garbage cells as a resume position.
@@ -156,14 +187,14 @@ func (a *Applier) BeginSnapshot() error {
 			}
 		})
 		if err != nil {
-			a.addr = 0
+			a.addr.Store(0)
 			return err
 		}
 		if err := pool.SetRoot(CursorRoot, uint64(addr)); err != nil {
-			a.addr = 0
+			a.addr.Store(0)
 			return err
 		}
-	} else if err := a.stamp(func(tx specpmt.Tx) { tx.StoreUint64(a.addr, 0) }); err != nil {
+	} else if err := a.stamp(func(tx specpmt.Tx) { tx.StoreUint64(specpmt.Addr(a.addr.Load()), 0) }); err != nil {
 		return err
 	}
 	a.primaryID.Store(0)
@@ -220,7 +251,7 @@ func (a *Applier) ApplySnapshot(pairs []WOp) error {
 // resumable from snapLSN+1.
 func (a *Applier) EndSnapshot(primaryID, snapLSN uint64) error {
 	err := a.stamp(func(tx specpmt.Tx) {
-		tx.StoreUint64(a.addr, primaryID)
+		tx.StoreUint64(specpmt.Addr(a.addr.Load()), primaryID)
 		for i := 0; i < a.shards; i++ {
 			tx.StoreUint64(a.cell(i), snapLSN)
 		}

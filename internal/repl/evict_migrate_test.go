@@ -1,0 +1,189 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specpmt/internal/server"
+)
+
+// TestMigrationFeedEvictionForcesFilteredResnapshot is the deterministic
+// unit test for log eviction racing a migrating shard's RESUME. A filtered
+// (single-shard) feed resumes in-window, then a write burst pushes the
+// bounded log's tail past the feed's cursor; the primary must drop the feed
+// (evictions counter) and, on reconnect at the now-stale position, refuse
+// the resume and force a fresh FILTERED snapshot (resnapshots counter)
+// carrying exactly the shard's pairs — the re-snapshot path a migration
+// puller takes when it falls behind.
+//
+// Determinism: the replica side is a scripted net.Pipe peer. Pipe writes are
+// unbuffered, so the feed can never run ahead of this test's reads, and with
+// BatchRecords=1 it holds at most one record beyond its durable cursor —
+// every interleaving the burst can produce is enumerated below.
+func TestMigrationFeedEvictionForcesFilteredResnapshot(t *testing.T) {
+	srv, addr := startServer(t, 2)
+	p := NewPrimary(srv, PrimaryOptions{
+		LogCap:       8,
+		BatchRecords: 1,
+		Heartbeat:    time.Hour, // keep HB lines out of the scripted stream
+		Logf:         t.Logf,
+	})
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer p.Close()
+	cl := dial(t, addr) // Apply-originated jobs are internal (not republished)
+
+	oracle := map[uint64]uint64{} // shard 0's expected pairs
+	set := func(key, val uint64) {
+		t.Helper()
+		if _, err := cl.Set(key, val); err != nil {
+			t.Fatal(err)
+		}
+		if server.ShardOf(key, 2) == 0 {
+			oracle[key] = val
+		}
+	}
+	// shard0Keys[i] is the i-th key hashing onto shard 0 (ShardOf mixes, so
+	// enumerate rather than assume a pattern); every record below must carry
+	// a shard-0 op or the filtered feed would silently skip it.
+	var shard0Keys []uint64
+	for k := uint64(0); len(shard0Keys) < 32; k++ {
+		if server.ShardOf(k, 2) == 0 {
+			shard0Keys = append(shard0Keys, k)
+		}
+	}
+	// LSN 1..6, all on shard 0.
+	for i := 0; i < 6; i++ {
+		set(shard0Keys[i], uint64(i)+100)
+	}
+	if h := p.Log().Head(); h != 6 {
+		t.Fatalf("head %d after 6 single-op applies; publishes not synchronous?", h)
+	}
+
+	serve := func() (net.Conn, *bufio.Reader) {
+		a, b := net.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.handle(a)
+		}()
+		t.Cleanup(func() { b.Close() })
+		return b, bufio.NewReader(b)
+	}
+	readLn := func(br *bufio.Reader) string {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return strings.TrimSuffix(line, "\n")
+	}
+	decode := func(line string) Record {
+		t.Helper()
+		rec, err := DecodeRecord([]byte(line), nil)
+		if err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		for _, op := range rec.Ops {
+			if op.Shard != 0 {
+				t.Fatalf("filtered feed shipped shard %d op in %q", op.Shard, line)
+			}
+		}
+		return rec
+	}
+
+	// A migration feed (filter=0) resumes from an in-window position and
+	// receives the two retained records past it.
+	c1, br1 := serve()
+	fmt.Fprintf(c1, "HELLO 2 %d 4 0\n", p.id)
+	if got, want := readLn(br1), fmt.Sprintf("RESUME %d 5 6", p.id); got != want {
+		t.Fatalf("handshake: %q, want %q", got, want)
+	}
+	for _, want := range []uint64{5, 6} {
+		if rec := decode(readLn(br1)); rec.LSN != want {
+			t.Fatalf("resumed stream: LSN %d, want %d", rec.LSN, want)
+		}
+	}
+
+	// The eviction race: 10 more records (LSN 7..16) move the tail to 9
+	// while the feed's cursor sits at 7. Whatever the feed's goroutine was
+	// doing, its next log read from a position < 9 must evict it. The pipe
+	// allows exactly two outcomes: the feed read record 7 while it was still
+	// retained and is blocked writing it to us (we drain it, then its read
+	// of LSN 8 evicts), or its first read already found the tail moved and
+	// it dropped us without shipping anything.
+	for i := 0; i < 10; i++ {
+		set(shard0Keys[i], uint64(i)+200)
+	}
+	if tail := p.Log().Tail(); tail != 9 {
+		t.Fatalf("tail %d after burst, want 9", tail)
+	}
+	for {
+		line, err := br1.ReadString('\n')
+		if err != nil {
+			break // the primary dropped the evicted feed
+		}
+		if rec := decode(strings.TrimSuffix(line, "\n")); rec.LSN != 7 {
+			t.Fatalf("evicted feed shipped LSN %d; only 7 could still be in flight", rec.LSN)
+		}
+	}
+	if got := p.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := p.snapshots.Load(); got != 0 {
+		t.Fatalf("premature snapshot: snapshots = %d", got)
+	}
+
+	// Reconnecting at the stale cursor must NOT resume: the primary forces a
+	// filtered re-snapshot of shard 0 only.
+	c2, br2 := serve()
+	fmt.Fprintf(c2, "HELLO 2 %d 7 0\n", p.id)
+	var gotID, snapLSN uint64
+	var n int
+	if _, err := fmt.Sscanf(readLn(br2), "SNAP %d %d %d", &gotID, &snapLSN, &n); err != nil {
+		t.Fatalf("want SNAP header: %v", err)
+	}
+	if gotID != p.id || snapLSN != 16 {
+		t.Fatalf("SNAP %d %d, want id %d lsn 16", gotID, snapLSN, p.id)
+	}
+	snap := map[uint64]uint64{}
+	for i := 0; i < n; i++ {
+		var shard int
+		var key, val uint64
+		if _, err := fmt.Sscanf(readLn(br2), "K %d %d %d", &shard, &key, &val); err != nil {
+			t.Fatalf("snapshot pair %d: %v", i, err)
+		}
+		if shard != 0 {
+			t.Fatalf("filtered snapshot leaked shard %d (key %d)", shard, key)
+		}
+		snap[key] = val
+	}
+	if got := readLn(br2); got != "SNAPEND" {
+		t.Fatalf("want SNAPEND, got %q", got)
+	}
+	if len(snap) != len(oracle) {
+		t.Fatalf("snapshot has %d pairs, shard 0 holds %d", len(snap), len(oracle))
+	}
+	for k, want := range oracle {
+		if snap[k] != want {
+			t.Fatalf("snapshot key %d = %d, want %d", k, snap[k], want)
+		}
+	}
+	if s, rs := p.snapshots.Load(), p.resnapshots.Load(); s != 1 || rs != 1 {
+		t.Fatalf("snapshots=%d resnapshots=%d, want 1/1 (forced re-snapshot)", s, rs)
+	}
+
+	// The re-snapshotted feed tails live writes from snapLSN+1.
+	liveKey := shard0Keys[20]
+	set(liveKey, 777)
+	rec := decode(readLn(br2))
+	if rec.LSN != 17 || len(rec.Ops) != 1 || rec.Ops[0].Key != liveKey || rec.Ops[0].Val != 777 {
+		t.Fatalf("post-snapshot tail: %+v", rec)
+	}
+	fmt.Fprintf(c2, "ACK %d\n", rec.LSN)
+}

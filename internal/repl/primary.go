@@ -104,13 +104,20 @@ type Primary struct {
 	resnapshots  atomic.Uint64
 	evictions    atomic.Uint64
 	syncTimeouts atomic.Uint64
+
+	// shardHeads[s] is the LSN of the last published record containing an
+	// op for shard s — the catch-up target for a migration feed of s.
+	shardHeads []atomic.Uint64
 }
 
-// feed is one connected replica's send state.
+// feed is one connected replica's send state. filter is -1 for a full feed;
+// >= 0 for a single-shard migration feed (which never gates SyncAck commits:
+// its acked LSN legitimately trails the global head).
 type feed struct {
 	c         net.Conn
 	acked     atomic.Uint64
 	streaming atomic.Bool
+	filter    int
 }
 
 // NewPrimary wraps srv as a replication primary and installs itself as the
@@ -127,14 +134,15 @@ func NewPrimary(srv *server.Server, opts PrimaryOptions) *Primary {
 		opts.AckTimeout = 2 * time.Second
 	}
 	p := &Primary{
-		srv:     srv,
-		log:     NewLog(opts.LogCap),
-		opts:    opts,
-		start:   time.Now(),
-		quit:    make(chan struct{}),
-		feeds:   make(map[*feed]struct{}),
-		ackWake: make(chan struct{}),
-		track:   -1,
+		srv:        srv,
+		log:        NewLog(opts.LogCap),
+		opts:       opts,
+		start:      time.Now(),
+		quit:       make(chan struct{}),
+		feeds:      make(map[*feed]struct{}),
+		ackWake:    make(chan struct{}),
+		track:      -1,
+		shardHeads: make([]atomic.Uint64, srv.Shards()),
 	}
 	for p.id == 0 {
 		p.id = rand.Uint64() // nonzero: 0 means "no stream position" in HELLO
@@ -173,10 +181,28 @@ func (p *Primary) Log() *Log { return p.log }
 // record (or AckTimeout).
 func (p *Primary) Publish(writes []server.RepWrite) func() {
 	lsn := p.log.Append(writes)
+	for i := range writes {
+		if s := writes[i].Shard; s >= 0 && s < len(p.shardHeads) {
+			// Per-shard publishes are ordered (worker, retirer, or the MULTI
+			// barrier), so a plain Store never moves a head backwards.
+			p.shardHeads[s].Store(lsn)
+		}
+	}
 	if p.opts.Sync != SyncAck {
 		return nil
 	}
 	return func() { p.waitAcked(lsn) }
+}
+
+// ShardHead returns the LSN of the last published record that touched shard
+// s (0 if none). During a migration cutover the source freezes the shard,
+// drains in-flight batches, and hands this LSN to the coordinator as the
+// exact point the destination must reach before the epoch bump.
+func (p *Primary) ShardHead(s int) uint64 {
+	if s < 0 || s >= len(p.shardHeads) {
+		return 0
+	}
+	return p.shardHeads[s].Load()
 }
 
 func (p *Primary) waitAcked(lsn uint64) {
@@ -187,7 +213,9 @@ func (p *Primary) waitAcked(lsn uint64) {
 		wake := p.ackWake
 		waiting := false
 		for f := range p.feeds {
-			if f.streaming.Load() && f.acked.Load() < lsn {
+			// streaming.Load() first: the handshake writes f.filter before
+			// its streaming.Store(true), so the load orders the read.
+			if f.streaming.Load() && f.filter < 0 && f.acked.Load() < lsn {
 				waiting = true
 			}
 		}
@@ -307,7 +335,7 @@ func (p *Primary) nowNs() int64 { return time.Since(p.start).Nanoseconds() }
 const handshakeTimeout = 10 * time.Second
 
 func (p *Primary) handle(c net.Conn) {
-	f := &feed{c: c}
+	f := &feed{c: c, filter: -1}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -331,11 +359,12 @@ func (p *Primary) handle(c net.Conn) {
 	if err != nil {
 		return
 	}
-	shards, helloID, lastLSN, err := parseHello(line)
+	shards, helloID, lastLSN, filter, err := parseHello(line)
 	if err != nil {
 		writeLine(c, bw, err.Error())
 		return
 	}
+	f.filter = filter
 	if shards != p.srv.Shards() {
 		writeLine(c, bw, fmt.Sprintf("ERR shard count mismatch: primary %d, replica %d", p.srv.Shards(), shards))
 		return
@@ -353,7 +382,7 @@ func (p *Primary) handle(c net.Conn) {
 			p.resnapshots.Add(1)
 		}
 		var ok bool
-		if next, ok = p.sendSnapshot(c, bw); !ok {
+		if next, ok = p.sendSnapshot(c, bw, filter); !ok {
 			return
 		}
 	}
@@ -365,13 +394,14 @@ func (p *Primary) handle(c net.Conn) {
 		defer p.wg.Done()
 		p.ackLoop(f, br)
 	}()
-	p.stream(f, bw, next)
+	p.stream(f, bw, next, filter)
 }
 
 // sendSnapshot streams a full-state bootstrap: the cut is collected into
 // memory under Freeze (commits stall only for the copy-out, not for the
-// network transfer) and then written out. Returns the LSN to tail from.
-func (p *Primary) sendSnapshot(c net.Conn, bw *bufio.Writer) (next uint64, ok bool) {
+// network transfer) and then written out. filter >= 0 restricts the snapshot
+// to that shard's pairs (migration feeds). Returns the LSN to tail from.
+func (p *Primary) sendSnapshot(c net.Conn, bw *bufio.Writer, filter int) (next uint64, ok bool) {
 	type kv struct {
 		shard    int
 		key, val uint64
@@ -385,7 +415,9 @@ func (p *Primary) sendSnapshot(c net.Conn, bw *bufio.Writer) (next uint64, ok bo
 	err := p.srv.Freeze(func() {
 		snapLSN = p.log.Head() // stable: every worker is parked past its publish
 		p.srv.RangeAll(func(shard int, key, val uint64) bool {
-			pairs = append(pairs, kv{shard, key, val})
+			if filter < 0 || shard == filter {
+				pairs = append(pairs, kv{shard, key, val})
+			}
 			return true
 		})
 	})
@@ -447,14 +479,18 @@ func (p *Primary) ackLoop(f *feed, br *bufio.Reader) {
 	}
 }
 
-// stream ships records from next onward, heartbeating when idle. Returns on
-// connection error, eviction (the replica fell behind the bounded log and
-// must re-bootstrap), or Close.
-func (p *Primary) stream(f *feed, bw *bufio.Writer, next uint64) {
+// stream ships records from next onward, heartbeating when idle. filter >= 0
+// narrows the feed to one shard: records are shipped only when they contain
+// at least one op for that shard, with other shards' ops stripped (LSNs are
+// preserved, so a filtered consumer sees the shard's total order with gaps).
+// Returns on connection error, eviction (the replica fell behind the bounded
+// log and must re-bootstrap), or Close.
+func (p *Primary) stream(f *feed, bw *bufio.Writer, next uint64, filter int) {
 	defer f.c.Close()
 	hb := time.NewTicker(p.opts.Heartbeat)
 	defer hb.Stop()
 	var recs []Record
+	var fops []WOp
 	buf := make([]byte, 0, 1<<16)
 	for {
 		var ok bool
@@ -488,27 +524,50 @@ func (p *Primary) stream(f *feed, bw *bufio.Writer, next uint64) {
 			continue
 		}
 		buf = buf[:0]
+		shipped := 0
 		for _, rec := range recs {
+			if filter >= 0 {
+				fops = fops[:0]
+				for _, op := range rec.Ops {
+					if op.Shard == filter {
+						fops = append(fops, op)
+					}
+				}
+				if len(fops) == 0 {
+					continue
+				}
+				rec = Record{LSN: rec.LSN, Ops: fops}
+			}
 			buf = AppendRecord(buf, rec)
+			shipped++
+		}
+		next = recs[len(recs)-1].LSN + 1
+		if shipped == 0 {
+			// Every record in the batch was filtered out; nothing on the
+			// wire, but the cursor still advances past them.
+			continue
 		}
 		if !writeBytes(f.c, bw, buf) {
 			return
 		}
-		next = recs[len(recs)-1].LSN + 1
 		if t := p.opts.Tracer; t != nil {
-			t.ReplShip(p.track, p.nowNs(), len(recs), len(buf), p.log.Head())
+			t.ReplShip(p.track, p.nowNs(), shipped, len(buf), p.log.Head())
 		}
 	}
 }
 
 func (p *Primary) emitStats(emit func(name string, val uint64)) {
 	head, tail := p.log.Head(), p.log.Tail()
-	var replicas, streaming uint64
+	var replicas, streaming, migFeeds uint64
 	minAcked := ^uint64(0)
 	p.mu.Lock()
 	for f := range p.feeds {
 		replicas++
 		if f.streaming.Load() {
+			if f.filter >= 0 {
+				migFeeds++ // single-shard migration feed: lag not comparable
+				continue
+			}
 			streaming++
 			if a := f.acked.Load(); a < minAcked {
 				minAcked = a
@@ -520,6 +579,7 @@ func (p *Primary) emitStats(emit func(name string, val uint64)) {
 		minAcked = 0
 	}
 	emit("repl_role_primary", 1)
+	emit("repl_migration_feeds", migFeeds)
 	emit("repl_head_lsn", head)
 	emit("repl_tail_lsn", tail)
 	emit("repl_replicas", replicas)
@@ -531,24 +591,35 @@ func (p *Primary) emitStats(emit func(name string, val uint64)) {
 	emit("repl_sync_timeouts", p.syncTimeouts.Load())
 }
 
-// parseHello parses "HELLO <shards> <primaryID> <lastLSN>". The returned
-// error's message is a protocol ERR line.
-func parseHello(line []byte) (shards int, id, lastLSN uint64, err error) {
+// parseHello parses "HELLO <shards> <primaryID> <lastLSN>" with an optional
+// trailing shard filter: "HELLO <shards> <primaryID> <lastLSN> <shard>". A
+// filtered feed (used by cluster shard migration) receives only records and
+// snapshot pairs touching that one shard. filter is -1 when absent (full
+// feed). The returned error's message is a protocol ERR line.
+func parseHello(line []byte) (shards int, id, lastLSN uint64, filter int, err error) {
 	fs := fields(line)
-	if len(fs) != 4 || string(fs[0]) != "HELLO" {
-		return 0, 0, 0, fmt.Errorf("ERR expected HELLO, got %q", clip(line))
+	if (len(fs) != 4 && len(fs) != 5) || string(fs[0]) != "HELLO" {
+		return 0, 0, 0, -1, fmt.Errorf("ERR expected HELLO, got %q", clip(line))
 	}
 	n, err := parseUint(fs[1])
 	if err != nil || n == 0 || n > 1<<16 {
-		return 0, 0, 0, fmt.Errorf("ERR bad shard count")
+		return 0, 0, 0, -1, fmt.Errorf("ERR bad shard count")
 	}
 	if id, err = parseUint(fs[2]); err != nil {
-		return 0, 0, 0, fmt.Errorf("ERR bad primary id")
+		return 0, 0, 0, -1, fmt.Errorf("ERR bad primary id")
 	}
 	if lastLSN, err = parseUint(fs[3]); err != nil {
-		return 0, 0, 0, fmt.Errorf("ERR bad lsn")
+		return 0, 0, 0, -1, fmt.Errorf("ERR bad lsn")
 	}
-	return int(n), id, lastLSN, nil
+	filter = -1
+	if len(fs) == 5 {
+		f, err := parseUint(fs[4])
+		if err != nil || f >= n {
+			return 0, 0, 0, -1, fmt.Errorf("ERR bad shard filter")
+		}
+		filter = int(f)
+	}
+	return int(n), id, lastLSN, filter, nil
 }
 
 const writeTimeout = 10 * time.Second

@@ -16,10 +16,15 @@
 //
 // Line-oriented, like the client protocol. The replica connects and sends:
 //
-//	HELLO <shards> <primaryID> <lastLSN>
+//	HELLO <shards> <primaryID> <lastLSN> [<shard>]
 //
 // where primaryID/lastLSN identify the stream position it already holds
-// (0 0 for an empty replica). The primary answers one of:
+// (0 0 for an empty replica). The optional trailing <shard> narrows the
+// feed to one shard — cluster migration pulls a single shard this way: the
+// snapshot carries only that shard's pairs and the record stream ships only
+// records containing at least one op for it (other shards' ops stripped,
+// LSNs preserved, so the consumer sees the shard's total order with gaps).
+// The primary answers one of:
 //
 //	ERR <message>                      (shard-count mismatch, ...)
 //	RESUME <id> <fromLSN> <headLSN>    (log still holds lastLSN+1...)

@@ -1,0 +1,46 @@
+package server
+
+import "testing"
+
+// TestPipelineDepthAutoTune checks that the live pipeline window converges
+// from the retire-fence stall the media model actually charges: on
+// eADR-class media (dram-adr, ~60ns fences) parking batches buys nothing
+// and the window must collapse to 1, while on slow media (slow-nvm, ~800ns
+// fences) the window must stay open past 1 to amortize the fence. The load
+// is sequential single-op applies: each apply retires its own batch (the
+// worker queue drains between applies), so every batch contributes one
+// stall sample and the EWMA converges deterministically on modeled time.
+func TestPipelineDepthAutoTune(t *testing.T) {
+	const cap = 8
+	run := func(profile string) int64 {
+		t.Helper()
+		s, err := New(Config{
+			Shards:        1,
+			PipelineDepth: cap,
+			Profile:       profile,
+			PoolSize:      64 << 20,
+			Logf:          t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var res []Result
+		for k := uint64(0); k < 300; k++ {
+			if _, err := s.Apply([]Op{{Kind: OpSet, Key: k, Arg1: k}}, nil, res[:0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.shards[0].depth.Load()
+	}
+
+	if d := run("dram-adr"); d != 1 {
+		t.Errorf("dram-adr: cheap fences must shrink the window to 1, got depth %d", d)
+	}
+	if d := run("slow-nvm"); d <= 1 {
+		t.Errorf("slow-nvm: expensive fences must keep the window open, got depth %d", d)
+	}
+	if d := run("slow-nvm"); d > cap {
+		t.Errorf("depth %d exceeds configured cap %d", d, cap)
+	}
+}

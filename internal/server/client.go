@@ -193,6 +193,13 @@ func (c *Client) recvBinResult() (OpResult, error) {
 	if len(payload) > 0 && payload[0] == binFErr {
 		return OpResult{}, fmt.Errorf("server error: %s", payload[1:])
 	}
+	if len(payload) > 0 && payload[0] == binFMoved {
+		mv, merr := decodeMovedFrame(payload)
+		if merr != nil {
+			return OpResult{}, merr
+		}
+		return OpResult{}, mv
+	}
 	var modelNs int64
 	c.rbuf, modelNs, err = DecodeReplyFrame(payload, c.rbuf[:0])
 	if err != nil {
@@ -249,6 +256,13 @@ func (c *Client) Exec(ops []Op) ([]OpResult, int64, error) {
 		if len(payload) > 0 && payload[0] == binFErr {
 			return nil, 0, fmt.Errorf("server error: %s", payload[1:])
 		}
+		if len(payload) > 0 && payload[0] == binFMoved {
+			mv, merr := decodeMovedFrame(payload)
+			if merr != nil {
+				return nil, 0, merr
+			}
+			return nil, 0, mv
+		}
 		var modelNs int64
 		c.rbuf, modelNs, err = DecodeReplyFrame(payload, c.rbuf[:0])
 		if err != nil {
@@ -280,6 +294,13 @@ func (c *Client) Exec(ops []Op) ([]OpResult, int64, error) {
 	head, err := c.readLine()
 	if err != nil {
 		return nil, 0, err
+	}
+	if bytes.HasPrefix(head, []byte("MOVED ")) {
+		mv, merr := parseMovedLine(bytes.Fields(head))
+		if merr != nil {
+			return nil, 0, merr
+		}
+		return nil, 0, mv
 	}
 	var n int
 	if _, err := fmt.Sscanf(string(head), "RESULTS %d", &n); err != nil {
@@ -465,6 +486,26 @@ func parseOpResult(line []byte) (OpResult, error) {
 		return r, nil
 	case "ERR":
 		return r, fmt.Errorf("server error: %s", bytes.TrimSpace(rest))
+	case "MOVED":
+		mv, err := parseMovedLine(fields)
+		if err != nil {
+			return r, err
+		}
+		return r, mv
 	}
 	return r, fmt.Errorf("server: unexpected reply %q", line)
+}
+
+// parseMovedLine decodes the fields of "MOVED <shard> <epoch> <addr>" into
+// the typed redirect error.
+func parseMovedLine(fields [][]byte) (*MovedError, error) {
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("server: malformed MOVED reply")
+	}
+	shard, err1 := strconv.ParseInt(string(fields[1]), 10, 32)
+	epoch, err2 := strconv.ParseUint(string(fields[2]), 10, 64)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("server: malformed MOVED reply")
+	}
+	return &MovedError{Shard: int(shard), Epoch: epoch, Addr: string(fields[3])}, nil
 }

@@ -31,6 +31,16 @@
 // A read-only replica (see internal/repl) answers ERR read-only replica to
 // SET/DEL/CAS and to EXEC blocks containing one.
 //
+// A clustered server (see internal/cluster) answers
+//
+//	MOVED <shard> <epoch> <addr>
+//
+// to any data command (or EXEC block) touching a shard it does not own —
+// the client should refresh its cluster map and retry against <addr> — and
+// registers extension admin verbs (CLUSTER, CLUSTERSET, MIGPULL, ...)
+// through Server.OnExtCommand; unknown verbs are offered to that hook
+// before becoming ERR.
+//
 // A MULTI...EXEC block executes as ONE transaction — all its operations
 // commit atomically, even when the keys live on different shards.
 package server
@@ -92,8 +102,9 @@ type Command struct {
 }
 
 // MaxLineLen bounds a protocol line; longer lines are a protocol error and
-// close the connection.
-const MaxLineLen = 256
+// close the connection. Sized for one-line cluster-map pushes (CLUSTERSET
+// with 16 shard=addr/addr tokens), with headroom.
+const MaxLineLen = 4096
 
 // MaxMultiOps bounds the operations queueable in one MULTI block.
 const MaxMultiOps = 128

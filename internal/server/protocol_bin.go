@@ -32,6 +32,9 @@ import (
 //	0x82 PONG         (empty)
 //	0x83 STATSREPLY   the STATS text block verbatim
 //	0x84 BYE          (empty)
+//	0x85 MOVED        u32le shard | u64le map epoch | owner address bytes —
+//	                  the OPS it answers touched a shard owned by another
+//	                  cluster node; refresh the map and retry there
 //	0xFF ERR          human-readable message (the request it answers
 //	                  failed; the connection stays usable)
 //
@@ -63,6 +66,7 @@ const (
 	binFPong       = 0x82
 	binFStatsReply = 0x83
 	binFBye        = 0x84
+	binFMoved      = 0x85
 	binFErr        = 0xFF
 )
 
@@ -244,4 +248,26 @@ func appendMsgFrame(dst []byte, typ byte, msg []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(msg)))
 	dst = append(dst, typ)
 	return append(dst, msg...)
+}
+
+// appendMovedFrame appends a framed MOVED redirect.
+func appendMovedFrame(dst []byte, mv *Moved) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+4+8+len(mv.Addr)))
+	dst = append(dst, binFMoved)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(mv.Shard))
+	dst = binary.LittleEndian.AppendUint64(dst, mv.Epoch)
+	return append(dst, mv.Addr...)
+}
+
+// decodeMovedFrame decodes a MOVED payload (type byte included) into the
+// client-side error form.
+func decodeMovedFrame(payload []byte) (*MovedError, error) {
+	if len(payload) < 1+4+8 || payload[0] != binFMoved {
+		return nil, errBadFrame
+	}
+	return &MovedError{
+		Shard: int(binary.LittleEndian.Uint32(payload[1:])),
+		Epoch: binary.LittleEndian.Uint64(payload[5:]),
+		Addr:  string(payload[13:]),
+	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"net"
 	"strconv"
 	"sync"
@@ -62,6 +63,14 @@ type Config struct {
 	// MaxInFlight bounds requests admitted to worker queues across all
 	// connections — the backpressure valve. Default 1024.
 	MaxInFlight int
+	// CompactEvery, when > 0, runs the background heap compactor: every
+	// interval an idle server whose data-heap footprint exceeds
+	// CompactFragPct% of its live bytes is compacted under a Freeze
+	// (pmalloc.Compact with the shard maps' Relocate mover). 0 disables.
+	CompactEvery time.Duration
+	// CompactFragPct is the fragmentation threshold, in percent: compaction
+	// triggers when footprint*100 > live*CompactFragPct. Default 150.
+	CompactFragPct int
 	// IdleTimeout closes connections idle for this long (default 60s).
 	IdleTimeout time.Duration
 	// WriteTimeout bounds one response write (default 10s).
@@ -148,6 +157,12 @@ func (cfg *Config) fillDefaults() error {
 	default:
 		return fmt.Errorf("server: proto must be auto, text, or binary")
 	}
+	if cfg.CompactFragPct == 0 {
+		cfg.CompactFragPct = 150
+	}
+	if cfg.CompactFragPct < 100 {
+		return fmt.Errorf("server: compact fragmentation threshold must be >= 100%%")
+	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 256
 	}
@@ -219,7 +234,17 @@ type Server struct {
 	hookMu      sync.Mutex
 	repl        Replicator
 	promoteHook func() error
-	statsHook   StatsHook
+	statsHooks  []StatsHook
+	extCmd      ExtCommand
+	relocHooks  []RelocateHook
+
+	// Cluster routing (route.go): the installed ownership view, the frozen
+	// shard mask for migration cutovers, and the wake channel parked
+	// admissions wait on (replaced and closed on every change).
+	route      atomic.Pointer[Route]
+	routeMu    sync.Mutex
+	routeWake  chan struct{}
+	frozenMask atomic.Uint64
 
 	readOnly atomic.Bool
 
@@ -247,10 +272,18 @@ type Server struct {
 	batchedOps  atomic.Uint64
 	protoErrs   atomic.Uint64
 	roRejected  atomic.Uint64
+	movedOps    atomic.Uint64
+	frozenWaits atomic.Uint64
 	slowOps     atomic.Uint64
 	specAborts  atomic.Uint64
 	binConns    atomic.Uint64
 	binFrames   atomic.Uint64
+
+	// background heap-compactor accounting (compact.go)
+	compactions     atomic.Uint64
+	compactMoved    atomic.Uint64
+	compactFreed    atomic.Uint64
+	compactSkipBusy atomic.Uint64
 
 	// recovery-checker accounting (SelfCheck / CheckRecovered)
 	recChecks     atomic.Uint64
@@ -283,12 +316,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		pool:     pool,
-		quit:     make(chan struct{}),
-		inflight: make(chan struct{}, cfg.MaxInFlight),
-		conns:    map[net.Conn]struct{}{},
-		start:    time.Now(),
+		cfg:       cfg,
+		pool:      pool,
+		quit:      make(chan struct{}),
+		inflight:  make(chan struct{}, cfg.MaxInFlight),
+		conns:     map[net.Conn]struct{}{},
+		start:     time.Now(),
+		routeWake: make(chan struct{}),
 	}
 	s.readOnly.Store(cfg.ReadOnly)
 	switch {
@@ -371,11 +405,34 @@ func (s *Server) OnPromote(fn func() error) {
 	s.hookMu.Unlock()
 }
 
-// SetStatsHook installs an extra STATS emitter (see StatsHook).
+// SetStatsHook registers an extra STATS emitter (see StatsHook). Hooks
+// accumulate: the replication role and the cluster node each register one
+// and both ride every gather.
 func (s *Server) SetStatsHook(fn StatsHook) {
 	s.hookMu.Lock()
-	s.statsHook = fn
+	s.statsHooks = append(s.statsHooks, fn)
 	s.hookMu.Unlock()
+}
+
+// ExtCommand extends the text protocol with admin verbs the core server
+// does not know (the cluster node registers CLUSTER/CLUSTERSET/MIG* this
+// way). It is consulted when a line fails to parse as a built-in command;
+// handled replies are written verbatim (they must be newline-terminated —
+// multi-line blocks are fine). Called from connection goroutines; must be
+// safe for concurrent use.
+type ExtCommand func(verb string, args [][]byte) (reply []byte, handled bool)
+
+// OnExtCommand installs the extension-verb handler (nil removes it).
+func (s *Server) OnExtCommand(fn ExtCommand) {
+	s.hookMu.Lock()
+	s.extCmd = fn
+	s.hookMu.Unlock()
+}
+
+func (s *Server) extCommand() ExtCommand {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	return s.extCmd
 }
 
 // SetReadOnly flips write rejection at runtime; promotion calls it with
@@ -471,6 +528,13 @@ func (s *Server) startWorkers() {
 					s.runRetirer(sh)
 				}(sh)
 			}
+		}
+		if s.cfg.CompactEvery > 0 {
+			s.workerWG.Add(1)
+			go func() {
+				defer s.workerWG.Done()
+				s.runCompactor()
+			}()
 		}
 	})
 }
@@ -695,18 +759,36 @@ func (s *Server) selfCheckQuiesced() error {
 // (hashmap.Map.CheckRecovered). The crash harness's replica-replay
 // scenario drives this after every replica power failure.
 func (s *Server) CheckRecovered(expect map[uint64]uint64) error {
+	all := make([]int, len(s.shards))
+	for i := range all {
+		all[i] = i
+	}
+	return s.CheckRecoveredShards(expect, all)
+}
+
+// CheckRecoveredShards is CheckRecovered restricted to the listed shards —
+// the per-shard generalization cluster migration verifies with: after a
+// cutover each node is checked against the oracle projected onto the shards
+// it owns (oracle keys hashing to other shards are ignored). The crashtest
+// migration scenario drives this on both nodes at every power-fail point.
+func (s *Server) CheckRecoveredShards(expect map[uint64]uint64, shards []int) error {
 	t0 := time.Now()
-	perShard := make([]map[uint64]uint64, len(s.shards))
-	for i := range perShard {
+	perShard := make(map[int]map[uint64]uint64, len(shards))
+	for _, i := range shards {
+		if i < 0 || i >= len(s.shards) {
+			return s.noteCheck(t0, fmt.Errorf("server: no shard %d", i))
+		}
 		perShard[i] = map[uint64]uint64{}
 	}
 	for k, v := range expect {
-		perShard[s.shardOf(k)][k] = v
+		if m, ok := perShard[s.shardOf(k)]; ok {
+			m[k] = v
+		}
 	}
 	var err error
 	ferr := s.Freeze(func() {
-		for i, sh := range s.shards {
-			if cerr := sh.m.CheckRecovered(perShard[i]); cerr != nil {
+		for _, i := range shards {
+			if cerr := s.shards[i].m.CheckRecovered(perShard[i]); cerr != nil {
 				err = fmt.Errorf("server: shard %d: %w", i, cerr)
 				return
 			}
@@ -817,6 +899,18 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		cmd, perr := ParseCommand(line)
 		if perr != nil {
+			// Unknown or malformed: offer the line to the extension-verb
+			// hook (cluster admin commands) before answering ERR.
+			if ext := s.extCommand(); ext != nil {
+				if fields := splitFields(line); len(fields) > 0 {
+					if reply, handled := ext(string(fields[0]), fields[1:]); handled {
+						if !s.writeBytes(c, bw, reply) {
+							return
+						}
+						continue
+					}
+				}
+			}
 			s.protoErrs.Add(1)
 			if !s.writeLine(c, bw, "ERR "+perr.Error()) {
 				return
@@ -948,6 +1042,17 @@ func (s *Server) execSingle(c net.Conn, bw *bufio.Writer, co *connObs, j *job, o
 	if s.stamps {
 		t0 = s.nowNs()
 	}
+	shards := []int{s.shardOf(op.Key)}
+	if mv, err := s.admitShards(shards); mv != nil || err != nil {
+		if err == ErrClosed {
+			return false
+		}
+		if err != nil {
+			return s.writeLine(c, bw, "ERR "+err.Error())
+		}
+		*replyBuf = appendMovedLine((*replyBuf)[:0], mv)
+		return s.writeBytes(c, bw, *replyBuf)
+	}
 	if !s.acquire() {
 		return false
 	}
@@ -957,7 +1062,7 @@ func (s *Server) execSingle(c net.Conn, bw *bufio.Writer, co *connObs, j *job, o
 	if s.stamps {
 		j.wallEnq = s.nowNs()
 	}
-	s.dispatch(j, []int{s.shardOf(op.Key)})
+	s.dispatch(j, shards)
 	<-j.done
 	s.release()
 	if s.stamps {
@@ -975,6 +1080,17 @@ func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, co *connObs, j *job, op
 	if s.stamps {
 		t0 = s.nowNs()
 	}
+	shards := s.shardSet(ops)
+	if mv, err := s.admitShards(shards); mv != nil || err != nil {
+		if err == ErrClosed {
+			return false
+		}
+		if err != nil {
+			return s.writeLine(c, bw, "ERR "+err.Error())
+		}
+		*replyBuf = appendMovedLine((*replyBuf)[:0], mv)
+		return s.writeBytes(c, bw, *replyBuf)
+	}
 	if !s.acquire() {
 		return false
 	}
@@ -984,7 +1100,6 @@ func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, co *connObs, j *job, op
 	}
 	j.reset()
 	j.ops = append(j.ops, ops...)
-	shards := s.shardSet(ops)
 	if s.stamps {
 		j.wallEnq = s.nowNs()
 	}
@@ -1020,6 +1135,7 @@ func (s *Server) dispatch(j *job, shardIDs []int) {
 	}
 	j.multi = &multiJob{shards: shardIDs, released: make(chan struct{})}
 	j.multi.parked.Add(len(shardIDs) - 1)
+	j.multi.published.Add(len(shardIDs) - 1)
 	s.multiMu.Lock()
 	for _, id := range shardIDs {
 		s.shards[id].jobs <- j
@@ -1027,11 +1143,17 @@ func (s *Server) dispatch(j *job, shardIDs []int) {
 	s.multiMu.Unlock()
 }
 
-func (s *Server) shardOf(key uint64) int {
+func (s *Server) shardOf(key uint64) int { return ShardOf(key, len(s.shards)) }
+
+// ShardOf maps a key onto one of `shards` worker shards — the placement
+// function shared by every node of a cluster (all nodes run the same global
+// shard count, so a key's shard id is cluster-wide; the cluster map then
+// maps shard id to owning node).
+func ShardOf(key uint64, shards int) int {
 	key ^= key >> 33
 	key *= 0x9e3779b97f4a7c15
 	key ^= key >> 29
-	return int(key % uint64(len(s.shards)))
+	return int(key % uint64(shards))
 }
 
 // shardSet returns the sorted distinct shards ops touch.
@@ -1084,6 +1206,10 @@ func (s *Server) registerMetrics() {
 	r.Family("specpmt_protocol_errors", "malformed or out-of-order commands", obs.KindCounter)
 	r.Family("specpmt_readonly", "1 while the server rejects writes (replica mode)", obs.KindGauge)
 	r.Family("specpmt_writes_rejected", "writes rejected in read-only mode", obs.KindCounter)
+	r.Family("specpmt_moved_ops", "requests redirected with MOVED (shard owned elsewhere)", obs.KindCounter)
+	r.Family("specpmt_route_epoch", "installed cluster-map epoch (0 = standalone)", obs.KindGauge)
+	r.Family("specpmt_frozen_shards", "shards currently frozen at admission (migration cutover)", obs.KindGauge)
+	r.Family("specpmt_frozen_waits", "requests that parked on a frozen shard", obs.KindCounter)
 	r.Family("specpmt_slow_ops", "requests slower than the slow-op threshold", obs.KindCounter)
 	r.Family("specpmt_model_ns", "modeled nanoseconds elapsed (makespan across shards)", obs.KindGauge)
 	r.Family("specpmt_fences", "persist fences issued by the engines", obs.KindCounter)
@@ -1096,11 +1222,18 @@ func (s *Server) registerMetrics() {
 	r.Family("specpmt_pm_log_bytes", "bytes of engine log writes", obs.KindCounter)
 	r.Family("specpmt_pm_data_bytes", "bytes of in-place data-structure writes", obs.KindCounter)
 	r.Family("specpmt_log_records", "engine log records appended", obs.KindCounter)
-	r.Family("specpmt_pipeline_depth", "configured speculative commit pipeline depth (1 = off)", obs.KindGauge)
+	r.Family("specpmt_pipeline_depth", "live auto-tuned pipeline window depth, mean across shards (1 = off)", obs.KindGauge)
+	r.Family("specpmt_pipeline_depth_cap", "configured speculative commit pipeline depth ceiling", obs.KindGauge)
 	r.Family("specpmt_parked_now", "replies currently parked behind an unretired fence", obs.KindGauge)
 	r.Family("specpmt_spec_aborts", "speculative batch commits aborted and replayed", obs.KindCounter)
 	r.Family("specpmt_bin_conns", "connections that negotiated the binary protocol", obs.KindCounter)
 	r.Family("specpmt_bin_frames", "binary request frames decoded", obs.KindCounter)
+	r.Family("specpmt_compactions_total", "background heap-compaction passes completed", obs.KindCounter)
+	r.Family("specpmt_compact_moved_blocks", "heap blocks relocated by compaction", obs.KindCounter)
+	r.Family("specpmt_compact_freed_bytes", "span footprint returned to the free pool by compaction", obs.KindCounter)
+	r.Family("specpmt_compact_skipped_busy", "compactor ticks skipped because requests were in flight", obs.KindCounter)
+	r.Family("specpmt_heap_live_bytes", "data-heap live bytes (by allocation class)", obs.KindGauge)
+	r.Family("specpmt_heap_footprint_bytes", "data-heap span footprint in bytes", obs.KindGauge)
 	r.Family("specpmt_recovery_checks", "recovery-invariant checker runs (startup self-check, post-crash, oracle checks)", obs.KindCounter)
 	r.Family("specpmt_recovery_check_failures", "recovery-invariant checker runs that found a violation", obs.KindCounter)
 	r.Family("specpmt_recovery_check_duration_ns", "wall-clock nanoseconds spent in recovery-invariant checkers", obs.KindCounter)
@@ -1114,14 +1247,13 @@ func (s *Server) registerMetrics() {
 	r.Collect(s.collectMetrics)
 	r.Collect(func(emit func(obs.Sample)) {
 		s.hookMu.Lock()
-		hook := s.statsHook
+		hooks := append([]StatsHook(nil), s.statsHooks...)
 		s.hookMu.Unlock()
-		if hook == nil {
-			return
+		for _, hook := range hooks {
+			hook(func(name string, val uint64) {
+				emit(obs.Sample{Family: "specpmt_" + name, Stat: name, Value: val})
+			})
 		}
-		hook(func(name string, val uint64) {
-			emit(obs.Sample{Family: "specpmt_" + name, Stat: name, Value: val})
-		})
 	})
 }
 
@@ -1169,16 +1301,36 @@ func (s *Server) collectMetrics(emit func(obs.Sample)) {
 	scalar("specpmt_protocol_errors", "protocol_errors", s.protoErrs.Load())
 	scalar("specpmt_readonly", "readonly", boolStat(s.readOnly.Load()))
 	scalar("specpmt_writes_rejected", "writes_rejected", s.roRejected.Load())
+	scalar("specpmt_moved_ops", "moved_ops", s.movedOps.Load())
+	var routeEpoch uint64
+	if rt := s.route.Load(); rt != nil {
+		routeEpoch = rt.Epoch
+	}
+	scalar("specpmt_route_epoch", "route_epoch", routeEpoch)
+	scalar("specpmt_frozen_shards", "frozen_shards", uint64(bits.OnesCount64(s.frozenMask.Load())))
+	scalar("specpmt_frozen_waits", "frozen_waits", s.frozenWaits.Load())
 	scalar("specpmt_slow_ops", "slow_ops", s.slowOps.Load())
-	var parkedNow int64
+	var parkedNow, depthSum int64
 	for _, sh := range s.shards {
 		parkedNow += sh.parked.Load()
+		depthSum += sh.depth.Load()
 	}
-	scalar("specpmt_pipeline_depth", "pipeline_depth", uint64(s.cfg.PipelineDepth))
+	liveDepth := uint64(1)
+	if n := int64(len(s.shards)); n > 0 {
+		liveDepth = uint64((depthSum + n/2) / n)
+	}
+	scalar("specpmt_pipeline_depth", "pipeline_depth", liveDepth)
+	scalar("specpmt_pipeline_depth_cap", "pipeline_depth_cap", uint64(s.cfg.PipelineDepth))
 	scalar("specpmt_parked_now", "parked_now", uint64(parkedNow))
 	scalar("specpmt_spec_aborts", "spec_aborts", s.specAborts.Load())
 	scalar("specpmt_bin_conns", "bin_conns", s.binConns.Load())
 	scalar("specpmt_bin_frames", "bin_frames", s.binFrames.Load())
+	scalar("specpmt_compactions_total", "compactions", s.compactions.Load())
+	scalar("specpmt_compact_moved_blocks", "compact_moved_blocks", s.compactMoved.Load())
+	scalar("specpmt_compact_freed_bytes", "compact_freed_bytes", s.compactFreed.Load())
+	scalar("specpmt_compact_skipped_busy", "compact_skipped_busy", s.compactSkipBusy.Load())
+	scalar("specpmt_heap_live_bytes", "heap_live_bytes", uint64(s.pool.DataHeap().Live()))
+	scalar("specpmt_heap_footprint_bytes", "heap_footprint_bytes", uint64(s.pool.DataHeap().Footprint()))
 	scalar("specpmt_recovery_checks", "recovery_checks", s.recChecks.Load())
 	scalar("specpmt_recovery_check_failures", "recovery_check_failures", s.recCheckFails.Load())
 	scalar("specpmt_recovery_check_duration_ns", "recovery_check_duration_ns", s.recCheckNs.Load())

@@ -154,6 +154,25 @@ func (s *Server) binDispatch(payload []byte, pend *[]binPending, jobs *[]*job, n
 			p.reply = appendMsgFrame(p.reply, binFErr, []byte("read-only replica"))
 			return nil
 		}
+		var shards []int
+		if len(j.ops) == 1 {
+			p.verb = j.ops[0].Kind.String()
+			shards = []int{s.shardOf(j.ops[0].Key)}
+		} else {
+			p.verb = "MULTI"
+			shards = s.shardSet(j.ops)
+		}
+		if mv, err := s.admitShards(shards); mv != nil || err != nil {
+			if err == ErrClosed {
+				return ErrClosed
+			}
+			if err != nil {
+				p.reply = appendMsgFrame(p.reply, binFErr, []byte(err.Error()))
+				return nil
+			}
+			p.reply = appendMovedFrame(p.reply, mv)
+			return nil
+		}
 		if s.stamps {
 			p.t0 = s.nowNs()
 		}
@@ -164,14 +183,8 @@ func (s *Server) binDispatch(payload []byte, pend *[]binPending, jobs *[]*job, n
 		for _, op := range j.ops {
 			s.opCounts[op.Kind].Add(1)
 		}
-		var shards []int
-		if len(j.ops) == 1 {
-			p.verb = j.ops[0].Kind.String()
-			shards = []int{s.shardOf(j.ops[0].Key)}
-		} else {
-			p.verb = "MULTI"
+		if len(j.ops) > 1 {
 			s.multis.Add(1)
-			shards = s.shardSet(j.ops)
 		}
 		p.nsh = len(shards)
 		if s.stamps {

@@ -25,6 +25,10 @@ func startServer(t *testing.T, cfg Config) (*Server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Start the workers here, not on the Serve goroutine: tests read
+	// model-clock-advancing state (s.Counters) right after this returns,
+	// which must not race the workers' initial stats publish.
+	s.startWorkers()
 	go s.Serve(ln)
 	t.Cleanup(func() { s.Close() })
 	return s, ln.Addr().String()

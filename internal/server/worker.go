@@ -41,6 +41,14 @@ type shard struct {
 	rwbuf        []RepWrite
 	parked       atomic.Int64
 
+	// Pipeline-depth auto-tuning (pipelined mode): depth is the live window
+	// size the worker retires at, tuned between 1 and cfg.PipelineDepth from
+	// the retire fence's observed stall (atomic only so the metrics
+	// collector may read it); fenceEwmaNs is the stall EWMA, worker/retire
+	// path only.
+	depth       atomic.Int64
+	fenceEwmaNs int64
+
 	// Published snapshot for STATS — written by the worker (or, pipelined,
 	// by the retirer at each fence boundary), read by connection goroutines
 	// under mu.
@@ -71,6 +79,7 @@ func newShard(pool *specpmt.ThreadedPool, id, maxBatch, pipelineDepth int) (*sha
 		queue = 64
 	}
 	sh := &shard{id: id, th: th, m: m, jobs: make(chan *job, queue)}
+	sh.depth.Store(int64(pipelineDepth))
 	if pipelineDepth > 1 {
 		// The retire queue bounds how far publication may trail the fence:
 		// one window of speculative batches plus slack for the retirer to
@@ -187,6 +196,11 @@ type multiJob struct {
 	shards   []int // sorted; shards[0] executes
 	parked   sync.WaitGroup
 	released chan struct{}
+	// published counts the non-executors' post-release counter republish:
+	// the executor waits for it before finishing the job, so when the
+	// caller's Apply/Freeze returns, no involved worker is still touching
+	// its engine thread — the quiesce contract Crash relies on.
+	published sync.WaitGroup
 }
 
 // runWorker is a shard worker's main loop: take one job, opportunistically
@@ -294,7 +308,9 @@ func (s *Server) retirePending(sh *shard) {
 		return
 	}
 	if sh.specUnfenced {
+		t0 := sh.th.Now()
 		sh.th.Fence()
+		s.tunePipeline(sh, sh.th.Now()-t0)
 		sh.specUnfenced = false
 	}
 	var parked int
@@ -309,6 +325,32 @@ func (s *Server) retirePending(sh *shard) {
 		sh.retireq <- r
 	}
 	sh.pending = sh.pending[:0]
+}
+
+// fenceStallBudgetNs is the per-batch fence stall the auto-tuner is willing
+// to pay before it widens the pipeline window: one extra batch of depth for
+// every multiple of the budget the retire fence stalls. On media where a
+// fence drains in well under the budget (eADR-class), the window shrinks to
+// 1 and replies stop parking for nothing; on slow media it opens back up
+// toward the configured cap.
+const fenceStallBudgetNs = 200
+
+// tunePipeline folds one observed retire-fence stall into the shard's EWMA
+// and steps the live window depth one unit toward the stall-derived target,
+// clamped to [1, cfg.PipelineDepth]. Worker goroutine only (the atomic on
+// sh.depth is for the metrics reader, not for concurrent tuners).
+func (s *Server) tunePipeline(sh *shard, stallNs int64) {
+	sh.fenceEwmaNs = (7*sh.fenceEwmaNs + stallNs) / 8
+	want := 1 + int(sh.fenceEwmaNs/fenceStallBudgetNs)
+	if want > s.cfg.PipelineDepth {
+		want = s.cfg.PipelineDepth
+	}
+	cur := int(sh.depth.Load())
+	if want > cur {
+		sh.depth.Store(int64(cur + 1))
+	} else if want < cur {
+		sh.depth.Store(int64(cur - 1))
+	}
 }
 
 // retireAndDrain retires the window and then blocks until the retirer has
@@ -432,9 +474,15 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 		return
 	}
 
-	// Grow outside the transaction so the batch's migration steps have a
-	// target table; an allocation failure surfaces as ErrFull below.
-	if err := sh.m.PrepareGrow(); err != nil {
+	// Grow outside the transaction so the batch's inserts and migration
+	// steps have room: the whole batch commits as ONE transaction, so the
+	// table needs headroom for every insert in it, not just the next one.
+	// An allocation failure surfaces as ErrFull below.
+	var puts uint64
+	for _, j := range batch {
+		puts += putCount(j.ops)
+	}
+	if err := sh.m.EnsureHeadroom(puts); err != nil {
 		s.log.Warn("shard grow failed", "shard", sh.id, "err", err)
 	}
 	tx := sh.th.Begin()
@@ -512,7 +560,7 @@ func (s *Server) runBatch(sh *shard, batch []*job) {
 	}
 	if s.pipelined {
 		s.parkBatch(sh, batch, end, speculative)
-		if len(sh.pending) >= s.cfg.PipelineDepth {
+		if len(sh.pending) >= int(sh.depth.Load()) {
 			s.retirePending(sh)
 		}
 		return
@@ -602,7 +650,7 @@ func (s *Server) finishBatch(sh *shard, batch []*job, endNs int64) {
 // drained the retire queue first: runSingle publishes inline, which is only
 // LSN-ordered when the retirer owes nothing.
 func (s *Server) runSingle(sh *shard, j *job) {
-	if err := sh.m.PrepareGrow(); err != nil {
+	if err := sh.m.EnsureHeadroom(putCount(j.ops)); err != nil {
 		s.log.Warn("shard grow failed", "shard", sh.id, "err", err)
 	}
 	if s.stamps {
@@ -669,6 +717,7 @@ func (s *Server) runMulti(sh *shard, j *job) {
 		m.parked.Done()
 		<-m.released
 		sh.publish()
+		m.published.Done()
 		return
 	}
 	m.parked.Wait()
@@ -678,12 +727,29 @@ func (s *Server) runMulti(sh *shard, j *job) {
 		// over the quiesced store, then release.
 		j.frozen()
 		close(m.released)
+		m.published.Wait()
 		j.finish()
 		return
 	}
 
 	if s.stamps {
 		j.wallExec = s.nowNs()
+	}
+	// Grow every involved shard to fit its share of the transaction's
+	// inserts — the cross-shard analogue of runBatch's headroom pass (a
+	// large MULTI or replicated snapshot batch commits as one transaction).
+	// Every involved worker is parked at the barrier, so driving their
+	// pools here is safe.
+	for _, id := range m.shards {
+		var puts uint64
+		for _, op := range j.ops {
+			if (op.Kind == OpSet || op.Kind == OpCAS) && s.shardOf(op.Key) == id {
+				puts++
+			}
+		}
+		if err := s.shards[id].m.EnsureHeadroom(puts); err != nil {
+			s.log.Warn("shard grow failed", "shard", id, "err", err)
+		}
 	}
 	j.startNs = sh.th.Now()
 	j.results = j.results[:0]
@@ -747,11 +813,24 @@ func (s *Server) runMulti(sh *shard, j *job) {
 	if wait != nil {
 		wait()
 	}
+	m.published.Wait()
 	j.finish()
 }
 
 // applyOps applies every operation of j inside tx, appending results.
 // Returns false on ErrFull (caller aborts and falls back).
+// putCount returns how many ops may insert a key: every SET, and every CAS
+// (which puts on a value match — counted unconditionally as headroom).
+func putCount(ops []Op) uint64 {
+	var n uint64
+	for _, op := range ops {
+		if op.Kind == OpSet || op.Kind == OpCAS {
+			n++
+		}
+	}
+	return n
+}
+
 func applyOps(tx specpmt.Tx, m *hashmap.Map, j *job) bool {
 	for _, op := range j.ops {
 		if !applyOp(tx, m, op, &j.results) {

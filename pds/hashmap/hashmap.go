@@ -65,6 +65,7 @@ var (
 // Map is a persistent hash map handle.
 type Map struct {
 	pool Pool
+	slot int // pool root slot publishing the meta block
 	meta specpmt.Addr
 	// retired is the old table unlinked by the last migrateStep, awaiting
 	// ReleaseRetired (volatile — a crash in the window between unlink and
@@ -102,7 +103,7 @@ func New(pool Pool, slot int) (*Map, error) {
 	if err := pool.SetRoot(slot, uint64(meta)); err != nil {
 		return nil, err
 	}
-	return &Map{pool: pool, meta: meta}, nil
+	return &Map{pool: pool, slot: slot, meta: meta}, nil
 }
 
 // Open reattaches to the map in the pool root slot (post-crash).
@@ -111,7 +112,7 @@ func Open(pool Pool, slot int) (*Map, error) {
 	if meta == 0 {
 		return nil, fmt.Errorf("hashmap: root slot %d is empty", slot)
 	}
-	return &Map{pool: pool, meta: meta}, nil
+	return &Map{pool: pool, slot: slot, meta: meta}, nil
 }
 
 // allocZeroedTable allocates a table and zeroes its slot states in chunked
@@ -321,6 +322,58 @@ func (m *Map) grow() error {
 func (m *Map) PrepareGrow() error {
 	if !m.Migrating() && m.Len()*4 >= m.Cap()*3 {
 		return m.grow()
+	}
+	return nil
+}
+
+// batchDrainThreshold: a batch of this many TxPuts must not also carry
+// incremental rehash steps — each TxPut migrates up to migrateBatch old
+// buckets inside the SAME transaction, and the combined write set can
+// overrun the engine's per-transaction log block. EnsureHeadroom drains the
+// rehash first (in small transactions of its own) for batches this large;
+// smaller batches keep the cheap incremental behavior.
+const batchDrainThreshold = 16
+
+// EnsureHeadroom prepares the map to absorb n more inserts inside ONE
+// transaction. PrepareGrow's 3/4 load-factor trigger assumes inserts land
+// one committed transaction at a time; a batch of n TxPuts can overrun the
+// table between triggers and fail with ErrFull mid-transaction. Batch
+// callers call this once, outside the transaction: it grows the table until
+// the n inserts keep the load factor at or under 3/4, and for large batches
+// leaves no rehash in flight (see batchDrainThreshold).
+func (m *Map) EnsureHeadroom(n uint64) error {
+	for {
+		if m.Migrating() && (n >= batchDrainThreshold || (m.Len()+n)*4 > m.Cap()*3) {
+			// grow needs the previous rehash finished before it can double
+			// again, and a large batch must not inherit its steps.
+			if err := m.drainMigration(); err != nil {
+				return err
+			}
+		}
+		if (m.Len()+n)*4 <= m.Cap()*3 {
+			return nil
+		}
+		if err := m.grow(); err != nil {
+			return err
+		}
+	}
+}
+
+// drainMigration completes an in-flight incremental rehash, one bounded
+// transaction per step, leaving a single live table.
+func (m *Map) drainMigration() error {
+	for m.Migrating() {
+		tx := m.pool.Begin()
+		if !m.migrateStep(tx) {
+			tx.Abort()
+			m.DiscardRetired()
+			return ErrFull
+		}
+		if err := tx.Commit(); err != nil {
+			m.DiscardRetired()
+			return err
+		}
+		m.ReleaseRetired()
 	}
 	return nil
 }

@@ -341,3 +341,61 @@ func TestMapOverThreadView(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEnsureHeadroomBatchInsert reproduces the batch-overrun failure:
+// hundreds of TxPuts in ONE transaction overrun PrepareGrow's single
+// doubling (TxPut fails with ErrFull mid-batch). EnsureHeadroom must size
+// the table for the whole batch up front — including when a prior
+// incremental rehash is still in flight — and the committed batch must
+// leave the map valid.
+func TestEnsureHeadroomBatchInsert(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+
+	batch := func(base, n uint64) {
+		t.Helper()
+		if err := m.EnsureHeadroom(n); err != nil {
+			t.Fatal(err)
+		}
+		tx := pool.Begin()
+		for k := base; k < base+n; k++ {
+			if err := m.TxPut(tx, k, k^0xbeef); err != nil {
+				tx.Abort()
+				m.DiscardRetired()
+				t.Fatalf("TxPut(%d) after EnsureHeadroom(%d): %v", k, n, err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseRetired()
+	}
+
+	// 120 inserts into a cap-64 table: several doublings in one call. (One
+	// transaction's write set is also bounded by the engine's log block —
+	// batch sizes here mirror the server's, which stay well under it.)
+	batch(0, 120)
+	// Start an incremental rehash, then demand headroom mid-migration: the
+	// drain-then-grow path.
+	if err := m.Put(120, 120^0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	for !m.Migrating() {
+		if err := m.grow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch(121, 280)
+
+	if m.Len() != 401 {
+		t.Fatalf("Len=%d, want 401", m.Len())
+	}
+	for k := uint64(0); k < 401; k++ {
+		if v, ok := m.Get(k); !ok || v != k^0xbeef {
+			t.Fatalf("Get(%d)=%d,%v", k, v, ok)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package hashmap
+
+import "specpmt"
+
+// Relocate is the map's contribution to a pmalloc.Compact mover: if old is
+// one of the map's heap blocks it copies the live contents into the
+// already-allocated destination, repoints the single reference that made the
+// block reachable, and reports owned=true — all crash-consistently. The map
+// owns exactly three kinds of block:
+//
+//   - the meta block, published through the pool root slot: the six meta
+//     words are copied in one transaction, then the root slot is repointed
+//     (an 8-byte durable store). A crash between the two leaves the root on
+//     the still-allocated old block and leaks the new one — safe, since the
+//     recovery checkers require reachable ⊆ allocated, not equality.
+//   - either hash table, referenced by one meta word: the slots are copied
+//     into the unpublished destination in chunked transactions (a crash
+//     mid-copy leaks only the unreachable destination), and a final
+//     transaction swings the meta pointer.
+//   - a just-retired old table awaiting ReleaseRetired: its contents are
+//     dead, so nothing is copied — only the volatile handle moves.
+//
+// Relocate must run quiesced (no transaction touching the map in flight),
+// which pmalloc.Compact callers provide by freezing mutators first. err is
+// non-nil only for a failed copy, in which case the caller should abort the
+// compaction (return false from the mover).
+func (m *Map) Relocate(old, new specpmt.Addr) (owned bool, err error) {
+	switch {
+	case old == m.meta:
+		tx := m.pool.Begin()
+		for off := specpmt.Addr(0); off < metaSize; off += 8 {
+			tx.StoreUint64(new+off, tx.LoadUint64(old+off))
+		}
+		if err := tx.Commit(); err != nil {
+			return true, err
+		}
+		if err := m.pool.SetRoot(m.slot, uint64(new)); err != nil {
+			return true, err
+		}
+		m.meta = new
+		return true, nil
+	case old == specpmt.Addr(m.pool.ReadUint64(m.meta+metaTable)):
+		return true, m.moveTable(old, new, m.pool.ReadUint64(m.meta+metaCap), metaTable)
+	case old != 0 && old == specpmt.Addr(m.pool.ReadUint64(m.meta+metaOld)):
+		return true, m.moveTable(old, new, m.pool.ReadUint64(m.meta+metaOldCap), metaOld)
+	case m.retired.bytes != 0 && old == m.retired.addr:
+		m.retired.addr = new
+		return true, nil
+	}
+	return false, nil
+}
+
+// moveTable copies a table's slots into the unpublished destination in
+// chunked transactions, then repoints the referencing meta word in a final
+// one. The destination is unreachable until that last commit, so a crash at
+// any earlier point changes nothing the map can observe.
+func (m *Map) moveTable(old, new specpmt.Addr, capacity uint64, ptrOff specpmt.Addr) error {
+	words := capacity * slotSize / 8
+	const chunk = 256
+	for i := uint64(0); i < words; i += chunk {
+		tx := m.pool.Begin()
+		for j := i; j < i+chunk && j < words; j++ {
+			at := specpmt.Addr(j * 8)
+			tx.StoreUint64(new+at, tx.LoadUint64(old+at))
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	tx := m.pool.Begin()
+	tx.StoreUint64(m.meta+ptrOff, uint64(new))
+	return tx.Commit()
+}

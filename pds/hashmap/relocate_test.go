@@ -1,0 +1,201 @@
+package hashmap
+
+import (
+	"testing"
+
+	"specpmt"
+)
+
+// TestRelocateBlocks drives the three relocation cases directly — meta
+// block, current table, and (mid-migration) old table — the way
+// pmalloc.Compact would: allocate a destination, Relocate, free the source.
+func TestRelocateBlocks(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	oracle := map[uint64]uint64{}
+	// 49 keys crosses the 3/4 load factor of the initial 64-slot table, so
+	// the next mutation starts an incremental migration we can relocate
+	// under.
+	for k := uint64(0); k < 49; k++ {
+		if err := m.Put(k, k*7+1); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = k*7 + 1
+	}
+
+	relocate := func(label string, old specpmt.Addr, size int) {
+		t.Helper()
+		dst, err := pool.Alloc(size)
+		if err != nil {
+			t.Fatalf("%s: alloc: %v", label, err)
+		}
+		owned, err := m.Relocate(old, dst)
+		if !owned || err != nil {
+			t.Fatalf("%s: Relocate=%v,%v", label, owned, err)
+		}
+		pool.Free(old, size)
+	}
+
+	relocate("meta", m.meta, metaSize)
+	if got := specpmt.Addr(pool.Root(0)); got != m.meta {
+		t.Fatalf("root slot not repointed: %d != %d", got, m.meta)
+	}
+
+	cur := specpmt.Addr(pool.ReadUint64(m.meta + metaTable))
+	capacity := pool.ReadUint64(m.meta + metaCap)
+	relocate("table", cur, int(capacity*slotSize))
+
+	if !m.Migrating() {
+		t.Fatal("expected an in-flight migration")
+	}
+	old := specpmt.Addr(pool.ReadUint64(m.meta + metaOld))
+	oldCap := pool.ReadUint64(m.meta + metaOldCap)
+	relocate("old table", old, int(oldCap*slotSize))
+
+	// A block the map does not own must not be claimed.
+	stray, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owned, _ := m.Relocate(stray, stray); owned {
+		t.Fatal("claimed a foreign block")
+	}
+	pool.Free(stray, 64)
+
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		if v, ok := m.Get(k); !ok || v != want {
+			t.Fatalf("Get(%d)=%d,%v want %d", k, v, ok, want)
+		}
+	}
+	// The map stays fully mutable after its blocks moved.
+	for k := uint64(100); k < 160; k++ {
+		if err := m.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = k
+	}
+	if _, err := m.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	delete(oracle, 3)
+
+	// Everything above must hold across a power failure: the relocations
+	// were committed transactions plus atomic root/meta repoints.
+	if err := pool.Crash(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.CheckRecovered(oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactWithMap runs a real pmalloc.Compact pass over a fragmented heap
+// holding both the map's blocks and test-owned filler blocks, with a mover
+// that dispatches to Map.Relocate first.
+func TestCompactWithMap(t *testing.T) {
+	pool, m := newMap(t)
+	defer pool.Close()
+	oracle := map[uint64]uint64{}
+	for k := uint64(0); k < 300; k++ {
+		if err := m.Put(k, k^0xbeef); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = k ^ 0xbeef
+	}
+
+	// Fragment: fill several spans of one class with stamped filler blocks,
+	// then free alternate blocks so every span is half empty — compaction
+	// can consolidate them and retire spans.
+	const fillerSize = 2048
+	fillers := map[specpmt.Addr]uint64{}
+	var addrs []specpmt.Addr
+	for i := 0; i < 256; i++ {
+		a, err := pool.Alloc(fillerSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamp := 0xf00d0000 + uint64(i)
+		tx := pool.Begin()
+		tx.StoreUint64(a, stamp)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		fillers[a] = stamp
+		addrs = append(addrs, a)
+	}
+	for i, a := range addrs {
+		if i%2 == 0 {
+			pool.Free(a, fillerSize)
+			delete(fillers, a)
+		}
+	}
+
+	h := pool.DataHeap()
+	before := h.Footprint()
+	moved := h.Compact(func(old, new specpmt.Addr, n int) bool {
+		if owned, err := m.Relocate(old, new); owned {
+			if err != nil {
+				t.Errorf("map relocate: %v", err)
+				return false
+			}
+			return true
+		}
+		stamp, ok := fillers[old]
+		if !ok {
+			t.Errorf("mover saw unknown block %d", old)
+			return false
+		}
+		tx := pool.Begin()
+		tx.StoreUint64(new, tx.LoadUint64(old))
+		if err := tx.Commit(); err != nil {
+			t.Errorf("filler copy: %v", err)
+			return false
+		}
+		delete(fillers, old)
+		fillers[new] = stamp
+		return true
+	})
+	if moved == 0 {
+		t.Fatal("compaction moved nothing on a half-empty heap")
+	}
+	if after := h.Footprint(); after >= before {
+		t.Fatalf("footprint did not shrink: %d -> %d", before, after)
+	}
+
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		if v, ok := m.Get(k); !ok || v != want {
+			t.Fatalf("Get(%d)=%d,%v want %d", k, v, ok, want)
+		}
+	}
+	for a, stamp := range fillers {
+		if got := pool.ReadUint64(a); got != stamp {
+			t.Fatalf("filler at %d lost its stamp: %#x != %#x", a, got, stamp)
+		}
+	}
+	if err := pool.Crash(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.CheckRecovered(oracle); err != nil {
+		t.Fatal(err)
+	}
+}
