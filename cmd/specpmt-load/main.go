@@ -30,6 +30,14 @@
 // replica, reporting how stale the observed value is in wall time. After
 // the run, -verify-replica N waits for the replica to drain its lag and
 // compares N sampled keys against the primary; mismatches count as errors.
+// Adding -replica-reads turns the replica GETs into LSN-token session reads
+// (GETAT): each connection refreshes its token after every write, so the
+// replica either serves read-your-writes or parks the read until it caught
+// up, and the prober becomes a bounded-staleness read probe.
+//
+// Every GET also lands in one of the op_types entries get_snapshot /
+// get_queued / get_replica, splitting read latency by serving path (MVCC
+// snapshot fast path vs shard worker queue vs replica).
 //
 // With -scrape, the generator polls a server's admin /metrics endpoint (see
 // specpmt-server -admin) every -scrape-every and embeds the time series in
@@ -88,6 +96,7 @@ func main() {
 	proto := flag.String("proto", "text", "wire protocol: text or binary")
 	pipeDepth := flag.Int("pipeline-depth", 1, "GET/SET requests kept in flight per connection (1 = closed loop)")
 	replica := flag.String("replica", "", "serve GETs from this replica and probe replication staleness")
+	replicaReads := flag.Bool("replica-reads", false, "with -replica: GETs carry the session's last-seen LSN token (GETAT) so the replica serves read-your-writes or redirects; the staleness prober becomes a bounded-staleness read probe (text protocol only)")
 	probeEvery := flag.Duration("probe-every", 2*time.Millisecond, "staleness probe interval (with -replica)")
 	verifyReplica := flag.Int("verify-replica", 0, "after the run, wait for the replica to catch up and compare this many sampled keys against the primary")
 	scrape := flag.String("scrape", "", "poll this admin /metrics endpoint during the run and embed the time series in the report")
@@ -116,6 +125,12 @@ func main() {
 	if *pipeDepth > 1 && *replica != "" {
 		fatalf("-pipeline-depth > 1 is incompatible with -replica (GETs and writes use different connections)")
 	}
+	if *replicaReads && *replica == "" {
+		fatalf("-replica-reads needs -replica")
+	}
+	if *replicaReads && *proto != "text" {
+		fatalf("-replica-reads needs -proto text (GETAT and LSN are text verbs)")
+	}
 	if *clusterSeeds != "" && *replica != "" {
 		fatalf("-cluster is incompatible with -replica (the router already splits traffic by owner)")
 	}
@@ -139,13 +154,14 @@ func main() {
 	if n > *keys {
 		n = *keys
 	}
-	var banner string
+	var banner, negotiated string
 	if view != nil {
 		bc, err := server.DialProto(view.Map().Owners[0].Data, 10*time.Second, *proto)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		banner = bc.Banner
+		negotiated = bc.Proto()
 		bc.Close()
 		r := cluster.NewRouter(view, *proto)
 		for k := uint64(0); k < n; k++ {
@@ -165,6 +181,7 @@ func main() {
 			}
 		}
 		banner = pre.Banner
+		negotiated = pre.Proto()
 		pre.Close()
 	}
 
@@ -177,6 +194,7 @@ func main() {
 				keys: *keys, dist: *dist, reads: *reads, cas: *cas,
 				multi: *multi, multiOps: *multiOps,
 				proto: *proto, depth: *pipeDepth,
+				replicaReads: *replicaReads,
 			},
 			rng:  rand.New(rand.NewSource(int64(*seed) + int64(i)*1_000_003)),
 			stop: stop,
@@ -193,7 +211,7 @@ func main() {
 	}
 	var pr *prober
 	if *replica != "" {
-		pr = &prober{every: *probeEvery, stop: stop}
+		pr = &prober{every: *probeEvery, stop: stop, tokens: *replicaReads}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -216,18 +234,19 @@ func main() {
 	elapsed := time.Since(start)
 
 	rep := report{
-		Addr:     *addr,
-		Replica:  *replica,
-		Banner:   banner,
-		Engine:   bannerField(banner, "engine"),
-		Profile:  bannerField(banner, "profile"),
-		Conns:    *conns,
-		Duration: elapsed.Seconds(),
-		Keys:     *keys,
-		Dist:     *dist,
-		Seed:     *seed,
-		Proto:    *proto,
-		Depth:    *pipeDepth,
+		Addr:         *addr,
+		Replica:      *replica,
+		ReplicaReads: *replicaReads,
+		Banner:       banner,
+		Engine:       bannerField(banner, "engine"),
+		Profile:      bannerField(banner, "profile"),
+		Conns:        *conns,
+		Duration:     elapsed.Seconds(),
+		Keys:         *keys,
+		Dist:         *dist,
+		Seed:         *seed,
+		Proto:        negotiated,
+		Depth:        *pipeDepth,
 		Workload: workload{
 			Reads: *reads, CAS: *cas, Multi: *multi, MultiOps: *multiOps,
 			Preload: n, ProbeEveryUs: float64(probeEvery.Microseconds()),
@@ -235,7 +254,7 @@ func main() {
 		OpTypes: map[string]opReport{},
 	}
 	var all lats
-	for _, kind := range []string{"get", "set", "cas", "multi"} {
+	for _, kind := range []string{"get", "set", "cas", "multi", getSnapPath, getQueuedPath, getReplicaPath} {
 		merged := lats{}
 		for _, w := range workers {
 			merged.wall = append(merged.wall, w.lat[kind].wall...)
@@ -249,8 +268,12 @@ func main() {
 			WallUs:  percentiles(merged.wall, 1e-3),
 			ModelNs: percentiles(merged.model, 1),
 		}
-		all.wall = append(all.wall, merged.wall...)
-		all.model = append(all.model, merged.model...)
+		// The get_* entries split "get" by serving path; only the primary
+		// kinds count toward the run totals.
+		if !strings.HasPrefix(kind, "get_") {
+			all.wall = append(all.wall, merged.wall...)
+			all.model = append(all.model, merged.model...)
+		}
 	}
 	for _, w := range workers {
 		rep.Errors += w.errors
@@ -446,7 +469,27 @@ type cfg struct {
 	dist                        string
 	reads, cas, multi, multiOps int
 	proto                       string
-	depth                       int // in-flight GET/SET window per connection
+	depth                       int  // in-flight GET/SET window per connection
+	replicaReads                bool // GETs carry LSN tokens to the replica (GETAT)
+}
+
+// Read-path split keys for the op_types report: every GET lands in "get"
+// AND one of these, by how the server served it.
+const (
+	getSnapPath    = "get_snapshot" // MVCC snapshot fast path (s=1 / SNAPREPLY)
+	getQueuedPath  = "get_queued"   // shard worker queue
+	getReplicaPath = "get_replica"  // served by the -replica follower
+)
+
+// getPath classifies one GET reply for the per-path latency split.
+func getPath(onReplica, snap bool) string {
+	if onReplica {
+		return getReplicaPath
+	}
+	if snap {
+		return getSnapPath
+	}
+	return getQueuedPath
 }
 
 // lats collects per-request latencies: wall nanoseconds (host clock) and
@@ -463,6 +506,11 @@ type worker struct {
 	lat       map[string]*lats
 	errors    int
 	conflicts int
+
+	// token is the connection's read-your-writes session token (-replica-
+	// reads): the primary's published LSN observed after this worker's last
+	// write, refreshed from every GETAT reply.
+	token uint64
 
 	// Cluster mode: the worker's private router over the shared map view.
 	// crossNode counts MULTI draws discarded because the map moved between
@@ -481,7 +529,10 @@ func (w *worker) key() uint64 {
 }
 
 func (w *worker) run(addr, replica string) {
-	w.lat = map[string]*lats{"get": {}, "set": {}, "cas": {}, "multi": {}}
+	w.lat = map[string]*lats{
+		"get": {}, "set": {}, "cas": {}, "multi": {},
+		getSnapPath: {}, getQueuedPath: {}, getReplicaPath: {},
+	}
 	if w.router != nil {
 		w.runCluster()
 		return
@@ -545,8 +596,27 @@ func (w *worker) requestRoll(c, reader *server.Client, roll int) (kind string, w
 		_, ns, e := c.Exec(ops)
 		return "multi", time.Since(start).Nanoseconds(), ns, e
 	case roll < w.cfg.multi+w.cfg.reads:
-		r, e := reader.Get(w.key())
-		return "get", time.Since(start).Nanoseconds(), r.ModelNs, e
+		k := w.key()
+		var r server.OpResult
+		var e error
+		if w.cfg.replicaReads && reader != c {
+			// LSN-token session read: the replica holds the GET until its
+			// applied LSN reaches the token, so this worker's own writes
+			// are always visible. The reply refreshes the token.
+			r, e = reader.GetAt(k, w.token)
+			if e == nil && r.LSN > w.token {
+				w.token = r.LSN
+			}
+		} else {
+			r, e = reader.Get(k)
+		}
+		wallNs = time.Since(start).Nanoseconds()
+		if e == nil {
+			l := w.lat[getPath(reader != c, r.Snap)]
+			l.wall = append(l.wall, wallNs)
+			l.model = append(l.model, r.ModelNs)
+		}
+		return "get", wallNs, r.ModelNs, e
 	case roll < w.cfg.multi+w.cfg.reads+w.cfg.cas:
 		k := w.key()
 		cur, e := c.Get(k)
@@ -559,10 +629,26 @@ func (w *worker) requestRoll(c, reader *server.Client, roll int) (kind string, w
 		if e == nil && r.Status == server.StatusConflict {
 			w.conflicts++
 		}
-		return "cas", time.Since(start).Nanoseconds(), r.ModelNs, e
+		wallNs = time.Since(start).Nanoseconds()
+		w.refreshToken(c, e)
+		return "cas", wallNs, r.ModelNs, e
 	default:
 		r, e := c.Set(w.key(), w.rng.Uint64())
-		return "set", time.Since(start).Nanoseconds(), r.ModelNs, e
+		wallNs = time.Since(start).Nanoseconds()
+		w.refreshToken(c, e)
+		return "set", wallNs, r.ModelNs, e
+	}
+}
+
+// refreshToken advances the session's read-your-writes token past the write
+// just acknowledged (-replica-reads only; one extra LSN round trip to the
+// primary, outside the write's measured latency).
+func (w *worker) refreshToken(c *server.Client, writeErr error) {
+	if !w.cfg.replicaReads || writeErr != nil {
+		return
+	}
+	if t, err := c.LSN(); err == nil && t > w.token {
+		w.token = t
 	}
 }
 
@@ -623,7 +709,13 @@ func (w *worker) requestCluster() (kind string, wallNs, modelNs int64, err error
 		}
 	case roll < w.cfg.multi+w.cfg.reads:
 		r, e := w.router.Do(server.Op{Kind: server.OpGet, Key: w.key()})
-		return "get", time.Since(start).Nanoseconds(), r.ModelNs, e
+		wallNs = time.Since(start).Nanoseconds()
+		if e == nil {
+			l := w.lat[getPath(false, r.Snap)]
+			l.wall = append(l.wall, wallNs)
+			l.model = append(l.model, r.ModelNs)
+		}
+		return "get", wallNs, r.ModelNs, e
 	case roll < w.cfg.multi+w.cfg.reads+w.cfg.cas:
 		k := w.key()
 		cur, e := w.router.Do(server.Op{Kind: server.OpGet, Key: k})
@@ -664,9 +756,15 @@ func (w *worker) runPipelined(c *server.Client) {
 		f := window[0]
 		copy(window, window[1:])
 		window = window[:len(window)-1]
+		wallNs := time.Since(f.start).Nanoseconds()
 		l := w.lat[f.kind]
-		l.wall = append(l.wall, time.Since(f.start).Nanoseconds())
+		l.wall = append(l.wall, wallNs)
 		l.model = append(l.model, r.ModelNs)
+		if f.kind == "get" {
+			p := w.lat[getPath(false, r.Snap)]
+			p.wall = append(p.wall, wallNs)
+			p.model = append(p.model, r.ModelNs)
+		}
 		return nil
 	}
 	drain := func() error {
@@ -731,6 +829,7 @@ func (w *worker) runPipelined(c *server.Client) {
 type prober struct {
 	every   time.Duration
 	stop    chan struct{}
+	tokens  bool // bounded-staleness mode: read back via GETAT with a fresh LSN token
 	probes  int
 	misses  int // probe value not yet visible on the replica at all
 	errors  int
@@ -766,8 +865,26 @@ func (p *prober) run(primary, replica string) {
 			return
 		}
 		p.times = append(p.times, time.Now())
-		r, err := rc.Get(probeKey)
-		if err != nil {
+		var r server.OpResult
+		var err error
+		if p.tokens {
+			// Bounded-staleness probe: fetch the primary's published LSN
+			// (which covers the Set just acked) and read back with it as
+			// the token — the replica parks the read until it caught up,
+			// so the probe measures the wait, not a miss rate.
+			token, terr := pc.LSN()
+			if terr != nil {
+				p.errors++
+				return
+			}
+			if r, err = rc.GetAt(probeKey, token); err != nil {
+				// A replica still behind after the GETAT timeout answers
+				// ERR; count it against the probe and move on.
+				p.probes++
+				p.misses++
+				continue
+			}
+		} else if r, err = rc.Get(probeKey); err != nil {
 			p.errors++
 			return
 		}
@@ -855,6 +972,7 @@ type verifyReport struct {
 type report struct {
 	Addr         string              `json:"addr"`
 	Replica      string              `json:"replica,omitempty"`
+	ReplicaReads bool                `json:"replica_reads,omitempty"`
 	Banner       string              `json:"banner"`
 	Engine       string              `json:"engine"`
 	Profile      string              `json:"profile"`

@@ -80,6 +80,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 256, "max concurrent connections")
 	maxInFlight := flag.Int("max-inflight", 1024, "max requests admitted to worker queues")
 	pipelineDepth := flag.Int("pipeline-depth", 1, "speculative group-commit pipeline depth: batches a shard may execute past an unretired commit fence (1 disables pipelining)")
+	mvccOn := flag.Bool("mvcc", true, "serve GETs and read-only MULTIs lock-free from MVCC snapshots instead of the worker queues")
 	proto := flag.String("proto", "auto", "accepted wire protocols: auto (both), text, binary")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /debug/spans, /debug/pprof); empty disables")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
@@ -186,6 +187,7 @@ func main() {
 		Obs:         plane,
 
 		PipelineDepth:  *pipelineDepth,
+		NoMVCC:         !*mvccOn,
 		Proto:          *proto,
 		CompactEvery:   *compactEvery,
 		CompactFragPct: *compactFragPct,

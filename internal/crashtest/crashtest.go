@@ -21,7 +21,11 @@ import (
 	"specpmt/internal/recovery"
 	"specpmt/internal/sim"
 	"specpmt/internal/txn/spec"
+	"specpmt/pds/btree"
 )
+
+// btreeSlot is the pool root slot the basic scenario's B+tree registers in.
+const btreeSlot = 15
 
 // Config parameterises a torture run.
 type Config struct {
@@ -133,11 +137,42 @@ func Run(cfg Config) (Report, error) {
 		}
 	}
 	cells := recovery.Cells("cells", pool.ReadUint64)
+	// An ordered index rides along with the cell workload: its multi-node
+	// splits exercise crash atomicity across structure changes, and the
+	// checker re-opens it from the root slot after every crash exactly as a
+	// recovering application would.
+	bt, err := btree.New(pool, btreeSlot)
+	if err != nil {
+		return rep, fmt.Errorf("crashtest: btree: %w", err)
+	}
+	btc := recovery.BTree("pds.btree", func() (*btree.Tree, error) {
+		return btree.Open(pool, btreeSlot)
+	})
 	reg := recovery.NewRegistry("basic/" + cfg.Engine)
-	reg.Register(cells)
+	reg.Register(cells, btc)
 	registerPoolCheckers(reg, pool)
 
 	for round := 0; round < cfg.Rounds; round++ {
+		// Btree churn first: each Insert/Delete is its own committed
+		// transaction (splits included), so the oracle advances in
+		// lockstep. It runs before the cell stream so a mid-transaction
+		// crash still interrupts the very last transaction of the round.
+		for j := 0; j < 4; j++ {
+			k := rng.Uint64() % 128
+			if rng.Float64() < 0.3 {
+				if _, err := bt.Delete(k); err != nil {
+					return rep, fmt.Errorf("crashtest: btree delete: %w", err)
+				}
+				delete(btc.Live(), k)
+			} else {
+				v := rng.Uint64()
+				if err := bt.Insert(k, v); err != nil {
+					return rep, fmt.Errorf("crashtest: btree insert: %w", err)
+				}
+				btc.Live()[k] = v
+			}
+			rep.Committed++
+		}
 		nTx := rng.Intn(cfg.TxPerRound) + 1
 		midTx := rng.Float64() < 0.5
 		for i := 0; i < nTx; i++ {

@@ -1,0 +1,78 @@
+package recovery
+
+import (
+	"fmt"
+
+	"specpmt/pds/btree"
+)
+
+// BTreeChecker is the recovery contract of a pds/btree ordered index: after
+// recovery the tree must validate structurally (ordering, bounds, uniform
+// leaf depth, count agreement) and a full-range scan must reproduce exactly
+// the committed oracle — no lost, phantom, or corrupted entries.
+//
+// The tree's volatile handle dies with the crash, so the checker holds an
+// open closure (typically btree.Open over the recovered pool) instead of a
+// *btree.Tree; Check re-opens from the root slot the same way a recovering
+// application would.
+type BTreeChecker struct {
+	name string
+	open func() (*btree.Tree, error)
+	live map[uint64]uint64
+	snap map[uint64]uint64
+}
+
+// BTree returns a checker for the tree reachable through open. Mutate the
+// oracle through Live() as committed inserts/deletes are applied, exactly
+// like KVChecker.
+func BTree(name string, open func() (*btree.Tree, error)) *BTreeChecker {
+	return &BTreeChecker{name: name, open: open, live: make(map[uint64]uint64)}
+}
+
+// Live returns the mutable committed oracle: key -> value of every entry
+// whose insert (or delete: remove the key) has committed.
+func (c *BTreeChecker) Live() map[uint64]uint64 { return c.live }
+
+// Name implements Checker.
+func (c *BTreeChecker) Name() string { return c.name }
+
+// Snapshot implements Checker: freezes the oracle at a quiesced point.
+func (c *BTreeChecker) Snapshot() {
+	c.snap = make(map[uint64]uint64, len(c.live))
+	for k, v := range c.live {
+		c.snap[k] = v
+	}
+}
+
+// Check implements Checker: re-opens the tree from persistent memory,
+// validates its structural invariants, and diffs a full-range scan against
+// the snapshot in both directions.
+func (c *BTreeChecker) Check() error {
+	t, err := c.open()
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	got := make(map[uint64]uint64, len(c.snap))
+	t.Scan(0, ^uint64(0), func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	for k, want := range c.snap {
+		have, ok := got[k]
+		if !ok {
+			return fmt.Errorf("committed key %d lost (want value %d)", k, want)
+		}
+		if have != want {
+			return fmt.Errorf("key %d: recovered value %d, committed %d", k, have, want)
+		}
+	}
+	for k, v := range got {
+		if _, ok := c.snap[k]; !ok {
+			return fmt.Errorf("phantom key %d=%d not in committed oracle", k, v)
+		}
+	}
+	return nil
+}

@@ -105,6 +105,9 @@ func (a *Applier) Reload() {
 		}
 	}
 	a.applied.Store(applied)
+	// Everything at or below the cursor is durably applied and readable, so
+	// the published watermark (the GETAT gate) may resume there.
+	a.srv.AdvancePublished(applied)
 }
 
 // CheckRecovered is the cursor's recovery-invariant checker
@@ -261,7 +264,10 @@ func (a *Applier) EndSnapshot(primaryID, snapLSN uint64) error {
 	}
 	a.primaryID.Store(primaryID)
 	a.applied.Store(snapLSN)
-	return nil
+	// The bootstrap batches reached the store without LSNs (marking the
+	// MVCC stores stale); the whole store now IS the state at snapLSN, so
+	// rebuild the version stores with that LSN as the visibility floor.
+	return a.srv.ResetMVCC(snapLSN)
 }
 
 // ApplyRun replays a coalesced run of records as ONE transaction — the
@@ -301,19 +307,21 @@ func (a *Applier) ApplyRun(recs []Record) (int, error) {
 	if len(a.ops) == 0 {
 		// A run of empty records (e.g. all-GET MULTIs produce no effective
 		// writes... the primary does not ship those, but be safe): just
-		// stamp the cursor forward.
+		// stamp the cursor forward (GET vehicle, as in stamp), still at
+		// LSN last so the published watermark advances.
 		extraAll := func(tx specpmt.Tx) {
 			for i := range a.shards {
 				tx.StoreUint64(a.cell(i), last)
 			}
 		}
-		if err := a.stamp(extraAll); err != nil {
+		a.ops = append(a.ops[:0], server.Op{Kind: server.OpGet})
+		if _, err := a.srv.ApplyAt(last, a.ops, extraAll, a.results[:0]); err != nil {
 			return 0, err
 		}
 		a.applied.Store(last)
 		return 0, nil
 	}
-	if _, err := a.srv.Apply(a.ops, extra, a.results[:0]); err != nil {
+	if _, err := a.srv.ApplyAt(last, a.ops, extra, a.results[:0]); err != nil {
 		return 0, err
 	}
 	a.applied.Store(last)

@@ -176,10 +176,11 @@ func (p *Primary) ID() uint64 { return p.id }
 func (p *Primary) Log() *Log { return p.log }
 
 // Publish implements server.Replicator: it assigns the next LSN to a
-// committed transaction's effective writes. In SyncAck mode the returned
-// wait stalls the calling worker until every streaming replica acked the
-// record (or AckTimeout).
-func (p *Primary) Publish(writes []server.RepWrite) func() {
+// committed transaction's effective writes and returns it (the server stamps
+// the writes' MVCC versions and LSN tokens with it). In SyncAck mode the
+// returned wait stalls the calling worker until every streaming replica
+// acked the record (or AckTimeout).
+func (p *Primary) Publish(writes []server.RepWrite) (uint64, func()) {
 	lsn := p.log.Append(writes)
 	for i := range writes {
 		if s := writes[i].Shard; s >= 0 && s < len(p.shardHeads) {
@@ -189,9 +190,9 @@ func (p *Primary) Publish(writes []server.RepWrite) func() {
 		}
 	}
 	if p.opts.Sync != SyncAck {
-		return nil
+		return lsn, nil
 	}
-	return func() { p.waitAcked(lsn) }
+	return lsn, func() { p.waitAcked(lsn) }
 }
 
 // ShardHead returns the LSN of the last published record that touched shard

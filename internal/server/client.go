@@ -42,6 +42,12 @@ type OpResult struct {
 	// ModelNs is the request's modeled PM time reported by the server
 	// (t=<ns>); -1 when the reply carried none.
 	ModelNs int64
+	// Snap reports that the server answered from an MVCC snapshot (the
+	// text protocol's s=1 marker, or a binary SNAPREPLY frame).
+	Snap bool
+	// LSN is the published LSN a GETAT reply carried (lsn=<n>); 0 when the
+	// reply carried none.
+	LSN uint64
 }
 
 // Dial connects to a server, retrying for up to timeout (covers the race
@@ -97,6 +103,15 @@ func NewClientProto(conn net.Conn, proto string) (*Client, error) {
 		c.bw.WriteByte(BinVersion)
 	}
 	return c, nil
+}
+
+// Proto returns the wire protocol this client negotiated with the server:
+// "text" or "binary".
+func (c *Client) Proto() string {
+	if c.binary {
+		return "binary"
+	}
+	return "text"
 }
 
 // Close sends QUIT (best effort) and closes the connection.
@@ -201,14 +216,15 @@ func (c *Client) recvBinResult() (OpResult, error) {
 		return OpResult{}, mv
 	}
 	var modelNs int64
-	c.rbuf, modelNs, err = DecodeReplyFrame(payload, c.rbuf[:0])
+	var snap bool
+	c.rbuf, modelNs, snap, err = DecodeReplyFrame(payload, c.rbuf[:0])
 	if err != nil {
 		return OpResult{}, err
 	}
 	if len(c.rbuf) != 1 {
 		return OpResult{}, fmt.Errorf("server: %d results for one op", len(c.rbuf))
 	}
-	return OpResult{Status: c.rbuf[0].Status, Val: c.rbuf[0].Val, ModelNs: modelNs}, nil
+	return OpResult{Status: c.rbuf[0].Status, Val: c.rbuf[0].Val, ModelNs: modelNs, Snap: snap}, nil
 }
 
 // Get fetches key. Status is StatusValue or StatusNotFound.
@@ -231,6 +247,47 @@ func (c *Client) Del(key uint64) (OpResult, error) {
 // StatusNotFound.
 func (c *Client) CAS(key, old, new uint64) (OpResult, error) {
 	return c.do(Op{Kind: OpCAS, Key: key, Arg1: old, Arg2: new})
+}
+
+// GetAt fetches key with a read-your-writes LSN token (text protocol only):
+// the server parks the read until its published LSN reaches token, then
+// serves it from a snapshot at least that fresh. The reply's LSN field
+// carries the published LSN observed — the refreshed session token.
+func (c *Client) GetAt(key, token uint64) (OpResult, error) {
+	if c.binary {
+		return OpResult{}, fmt.Errorf("server: GETAT requires the text protocol")
+	}
+	c.buf = append(c.buf[:0], "GETAT "...)
+	c.buf = strconv.AppendUint(c.buf, key, 10)
+	c.buf = append(c.buf, ' ')
+	c.buf = strconv.AppendUint(c.buf, token, 10)
+	c.buf = append(c.buf, '\n')
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return OpResult{}, err
+	}
+	return c.RecvResult()
+}
+
+// LSN fetches the server's published-LSN watermark — the session token a
+// client carries to GETAT on a replica for read-your-writes (text protocol
+// only).
+func (c *Client) LSN() (uint64, error) {
+	if c.binary {
+		return 0, fmt.Errorf("server: LSN requires the text protocol")
+	}
+	c.bw.WriteString("LSN\n")
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) != 2 || string(fields[0]) != "LSN" {
+		return 0, fmt.Errorf("server: unexpected LSN reply %q", line)
+	}
+	return strconv.ParseUint(string(fields[1]), 10, 64)
 }
 
 // Exec runs ops as ONE transaction — a single multi-op frame on the binary
@@ -264,13 +321,14 @@ func (c *Client) Exec(ops []Op) ([]OpResult, int64, error) {
 			return nil, 0, mv
 		}
 		var modelNs int64
-		c.rbuf, modelNs, err = DecodeReplyFrame(payload, c.rbuf[:0])
+		var snap bool
+		c.rbuf, modelNs, snap, err = DecodeReplyFrame(payload, c.rbuf[:0])
 		if err != nil {
 			return nil, 0, err
 		}
 		results := make([]OpResult, len(c.rbuf))
 		for i, r := range c.rbuf {
-			results[i] = OpResult{Status: r.Status, Val: r.Val, ModelNs: -1}
+			results[i] = OpResult{Status: r.Status, Val: r.Val, ModelNs: -1, Snap: snap}
 		}
 		return results, modelNs, nil
 	}
@@ -442,16 +500,28 @@ func (c *Client) expect(want string) error {
 }
 
 // parseOpResult decodes a single-op reply line: OK / VALUE v / NOTFOUND /
-// CONFLICT cur, each optionally followed by t=<ns>.
+// CONFLICT cur, each optionally followed by the trailers s=1 (snapshot
+// read), lsn=<n> (GETAT published LSN), and t=<ns>, in that order.
 func parseOpResult(line []byte) (OpResult, error) {
 	r := OpResult{ModelNs: -1}
 	rest := line
-	if i := bytes.LastIndex(line, []byte(" t=")); i >= 0 {
-		ns, err := strconv.ParseInt(string(line[i+3:]), 10, 64)
+	if i := bytes.LastIndex(rest, []byte(" t=")); i >= 0 {
+		ns, err := strconv.ParseInt(string(rest[i+3:]), 10, 64)
 		if err == nil {
 			r.ModelNs = ns
-			rest = line[:i]
+			rest = rest[:i]
 		}
+	}
+	if i := bytes.LastIndex(rest, []byte(" lsn=")); i >= 0 {
+		lsn, err := strconv.ParseUint(string(rest[i+5:]), 10, 64)
+		if err == nil {
+			r.LSN = lsn
+			rest = rest[:i]
+		}
+	}
+	if bytes.HasSuffix(rest, []byte(" s=1")) {
+		r.Snap = true
+		rest = rest[:len(rest)-4]
 	}
 	fields := bytes.Fields(rest)
 	if len(fields) == 0 {

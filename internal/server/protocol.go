@@ -22,11 +22,18 @@
 //	MULTI            OK            (then queue GET/SET/DEL/CAS -> QUEUED)
 //	EXEC             RESULTS <n>, n result lines, END t=<ns>
 //	DISCARD          OK
+//	LSN              LSN <published-lsn>   (read-your-writes session token)
+//	GETAT k token    as GET, plus lsn=<published> — waits until the
+//	                 published LSN reaches token (ERR on timeout)
 //	STATS            STAT <name> <value> lines, then END
 //	PING             PONG
 //	PROMOTE          OK (replica becomes writable) | ERR not a replica
 //	QUIT             BYE (server closes the connection)
 //	anything else    ERR <message>
+//
+// Replies served from an MVCC snapshot (never from the worker queue) carry
+// an s=1 marker before the t= trailer; their modeled PM time is 0 because
+// the read touched no persistent structure.
 //
 // A read-only replica (see internal/repl) answers ERR read-only replica to
 // SET/DEL/CAS and to EXEC blocks containing one.
@@ -93,6 +100,8 @@ const (
 	VerbPing
 	VerbQuit
 	VerbPromote
+	VerbGetAt // GET at-or-after an LSN token — see Command.Op (Arg1 = token)
+	VerbLSN
 )
 
 // Command is one parsed protocol line.
@@ -158,6 +167,15 @@ func ParseCommand(line []byte) (Command, error) {
 		return bareCommand(VerbQuit, args)
 	case verbIs(verb, "PROMOTE"):
 		return bareCommand(VerbPromote, args)
+	case verbIs(verb, "GETAT"):
+		c, err := opCommand(OpGet, args, 2)
+		if err != nil {
+			return c, err
+		}
+		c.Verb = VerbGetAt
+		return c, nil
+	case verbIs(verb, "LSN"):
+		return bareCommand(VerbLSN, args)
 	}
 	return Command{}, fmt.Errorf("unknown command %q", clip(verb))
 }
@@ -291,4 +309,25 @@ func AppendResult(dst []byte, r Result, modelNs int64) []byte {
 		dst = strconv.AppendInt(dst, modelNs, 10)
 	}
 	return append(dst, '\n')
+}
+
+// AppendResultExt is AppendResult plus the snapshot-read trailers: snap adds
+// an " s=1" marker (the reply was served from an MVCC snapshot), and a
+// non-zero lsn adds " lsn=<n>" (the published LSN observed by a GETAT).
+// Trailer order is s=1, lsn=, t=.
+func AppendResultExt(dst []byte, r Result, modelNs int64, snap bool, lsn uint64) []byte {
+	out := AppendResult(dst, r, -1)
+	out = out[:len(out)-1] // strip the newline to splice trailers in
+	if snap {
+		out = append(out, " s=1"...)
+	}
+	if lsn != 0 {
+		out = append(out, " lsn="...)
+		out = strconv.AppendUint(out, lsn, 10)
+	}
+	if modelNs >= 0 {
+		out = append(out, " t="...)
+		out = strconv.AppendInt(out, modelNs, 10)
+	}
+	return append(out, '\n')
 }

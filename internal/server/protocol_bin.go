@@ -35,6 +35,9 @@ import (
 //	0x85 MOVED        u32le shard | u64le map epoch | owner address bytes —
 //	                  the OPS it answers touched a shard owned by another
 //	                  cluster node; refresh the map and retry there
+//	0x86 SNAPREPLY    same payload as 0x81 REPLY; the frame type itself
+//	                  marks every result as served from an MVCC snapshot
+//	                  (modeled-ns is 0: no persistent structure was touched)
 //	0xFF ERR          human-readable message (the request it answers
 //	                  failed; the connection stays usable)
 //
@@ -67,6 +70,7 @@ const (
 	binFStatsReply = 0x83
 	binFBye        = 0x84
 	binFMoved      = 0x85
+	binFSnapReply  = 0x86
 	binFErr        = 0xFF
 )
 
@@ -202,8 +206,18 @@ func DecodeOpsFrame(payload []byte, ops []Op) ([]Op, error) {
 
 // AppendReplyFrame appends one framed REPLY (header included) to dst.
 func AppendReplyFrame(dst []byte, results []Result, modelNs int64) []byte {
+	return appendReplyFrameTyped(dst, binFReply, results, modelNs)
+}
+
+// AppendSnapReplyFrame appends one framed SNAPREPLY — a REPLY whose frame
+// type marks the results as served from an MVCC snapshot.
+func AppendSnapReplyFrame(dst []byte, results []Result) []byte {
+	return appendReplyFrameTyped(dst, binFSnapReply, results, 0)
+}
+
+func appendReplyFrameTyped(dst []byte, typ byte, results []Result, modelNs int64) []byte {
 	start := len(dst)
-	dst = append(dst, 0, 0, 0, 0, binFReply, byte(len(results)))
+	dst = append(dst, 0, 0, 0, 0, typ, byte(len(results)))
 	for _, r := range results {
 		dst = append(dst, byte(r.Status))
 		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
@@ -213,16 +227,18 @@ func AppendReplyFrame(dst []byte, results []Result, modelNs int64) []byte {
 	return dst
 }
 
-// DecodeReplyFrame decodes a REPLY payload, appending to results.
-func DecodeReplyFrame(payload []byte, results []Result) ([]Result, int64, error) {
-	if len(payload) < 2 || payload[0] != binFReply {
-		return results, 0, errBadFrame
+// DecodeReplyFrame decodes a REPLY or SNAPREPLY payload, appending to
+// results. snap reports which of the two it was.
+func DecodeReplyFrame(payload []byte, results []Result) (_ []Result, modelNs int64, snap bool, _ error) {
+	if len(payload) < 2 || (payload[0] != binFReply && payload[0] != binFSnapReply) {
+		return results, 0, false, errBadFrame
 	}
+	snap = payload[0] == binFSnapReply
 	n := int(payload[1])
 	p := 2
 	for i := 0; i < n; i++ {
 		if len(payload)-p < 9 {
-			return results, 0, errTruncFrame
+			return results, 0, snap, errTruncFrame
 		}
 		results = append(results, Result{
 			Status: Status(payload[p]),
@@ -231,10 +247,10 @@ func DecodeReplyFrame(payload []byte, results []Result) ([]Result, int64, error)
 		p += 9
 	}
 	if len(payload)-p != 8 {
-		return results, 0, errBadFrame
+		return results, 0, snap, errBadFrame
 	}
-	modelNs := int64(binary.LittleEndian.Uint64(payload[p:]))
-	return results, modelNs, nil
+	modelNs = int64(binary.LittleEndian.Uint64(payload[p:]))
+	return results, modelNs, snap, nil
 }
 
 // appendSimpleFrame appends a framed empty-body reply of the given type.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"specpmt"
+	"specpmt/internal/mvcc"
 	"specpmt/internal/obs"
 	"specpmt/internal/pmalloc"
 	"specpmt/pds/hashmap"
@@ -79,6 +80,12 @@ type Config struct {
 	// MULTI containing one) — the replica mode. SetReadOnly flips it at
 	// runtime (promotion).
 	ReadOnly bool
+	// NoMVCC disables the MVCC snapshot-read subsystem: GETs and read-only
+	// MULTIs queue behind the shard workers like writes do. The zero value
+	// keeps MVCC on — committed writes install versioned values stamped
+	// with their publication LSN, and reads serve lock-free from a
+	// consistent snapshot without entering the worker queue.
+	NoMVCC bool
 	// Tracer, when non-nil, receives the pool's simulation events plus
 	// replication ship/ack/apply events (see internal/trace).
 	Tracer *specpmt.Tracer
@@ -109,13 +116,14 @@ type RepWrite struct {
 // Replicator receives every committed transaction's effective write set
 // from the shard workers, in a valid serialization order (per-shard commit
 // order preserved; cross-shard transactions totally ordered by the MULTI
-// barrier). Publish returns a wait function for synchronous replication
-// modes — when non-nil the worker calls it before releasing the batch to
-// its clients, extending the commit past the network hop — or nil for
-// fire-and-forget shipping. Publish is called from multiple worker
-// goroutines and must be safe for concurrent use.
+// barrier). Publish returns the record's LSN — the publication stamp the
+// MVCC version stores install the writes at — and a wait function for
+// synchronous replication modes: when non-nil the worker calls it before
+// releasing the batch to its clients, extending the commit past the
+// network hop (nil for fire-and-forget shipping). Publish is called from
+// multiple worker goroutines and must be safe for concurrent use.
 type Replicator interface {
-	Publish(writes []RepWrite) (wait func())
+	Publish(writes []RepWrite) (lsn uint64, wait func())
 }
 
 func (cfg *Config) fillDefaults() error {
@@ -252,6 +260,13 @@ type Server struct {
 	// park speculative batches and per-shard retirers publish them.
 	pipelined bool
 
+	// MVCC snapshot reads (mvcc.go). mvccOn is !cfg.NoMVCC (immutable
+	// after New); pub is the published-LSN watermark GETAT tokens wait on;
+	// lsnClock mints LSNs for unreplicated batches.
+	mvccOn   bool
+	pub      *mvcc.Watermark
+	lsnClock atomic.Uint64
+
 	// Observability plane: the registry STATS and /metrics render from, the
 	// live span ring, and the slow-op threshold. log is never nil; rec may
 	// be. stamps is true when per-request wall-clock stamps are wanted
@@ -278,6 +293,12 @@ type Server struct {
 	specAborts  atomic.Uint64
 	binConns    atomic.Uint64
 	binFrames   atomic.Uint64
+
+	// snapshot-read accounting (mvcc.go)
+	snapReads     atomic.Uint64
+	snapMultis    atomic.Uint64
+	snapFallbacks atomic.Uint64
+	snapStale     obs.Histogram
 
 	// background heap-compactor accounting (compact.go)
 	compactions     atomic.Uint64
@@ -345,6 +366,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.stamps = s.rec != nil || s.slowNs > 0
 	s.pipelined = cfg.PipelineDepth > 1
+	s.mvccOn = !cfg.NoMVCC
+	s.pub = mvcc.NewWatermark()
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(pool, i, cfg.MaxBatch, cfg.PipelineDepth)
 		if err != nil {
@@ -516,6 +539,10 @@ func (s *Server) startWorkers() {
 	s.workersUp.Do(func() {
 		for _, sh := range s.shards {
 			sh.publish()
+			// Seed the version store from the (possibly recovered) map
+			// before the worker goroutine exists — every surviving key is a
+			// base version visible at any snapshot.
+			s.rebuildStore(sh)
 			s.workerWG.Add(1)
 			go func(sh *shard) {
 				defer s.workerWG.Done()
@@ -604,6 +631,18 @@ var ErrApply = errors.New("server: apply failed")
 // to results and returned. Safe for concurrent use; applies admitted to the
 // same shard's queue may group-commit together.
 func (s *Server) Apply(ops []Op, extra func(specpmt.Tx), results []Result) ([]Result, error) {
+	return s.ApplyAt(0, ops, extra, results)
+}
+
+// ApplyAt is Apply with a publication LSN: the transaction's effective
+// writes install into the MVCC version stores stamped at lsn, and the
+// published-LSN watermark advances to it once the transaction commits —
+// the replica replay entry point (the run's last LSN is the stamp; the run
+// applies atomically, so visibility jumping to its end is consistent).
+// lsn 0 (plain Apply) installs nothing: writes without a publication LSN
+// mark their stores stale and the fast path falls back to the queued path
+// until the worker rebuilds the store.
+func (s *Server) ApplyAt(lsn uint64, ops []Op, extra func(specpmt.Tx), results []Result) ([]Result, error) {
 	if len(ops) == 0 {
 		return results, nil
 	}
@@ -615,8 +654,10 @@ func (s *Server) Apply(ops []Op, extra func(specpmt.Tx), results []Result) ([]Re
 	if !s.acquire() {
 		return results, ErrClosed
 	}
+	s.maxLSNClock(lsn)
 	j := newJob()
 	j.internal = true
+	j.pubLSN = lsn
 	j.extra = extra
 	j.ops = append(j.ops, ops...)
 	s.dispatch(j, s.shardSet(ops))
@@ -694,6 +735,9 @@ func (s *Server) Crash(seed uint64) error {
 			return fmt.Errorf("server: reopening shard %d: %w", i, err)
 		}
 		sh.th, sh.m = th, m
+		// Version chains are volatile: rebuild them empty over the
+		// recovered map (base versions at LSN 0, watermark preserved).
+		s.rebuildStore(sh)
 	}
 	return s.SelfCheck()
 }
@@ -922,6 +966,21 @@ func (s *Server) handleConn(c net.Conn) {
 			if !s.writeLine(c, bw, "PONG") {
 				return
 			}
+		case VerbLSN:
+			if !s.writeLine(c, bw, "LSN "+strconv.FormatUint(s.pub.Load(), 10)) {
+				return
+			}
+		case VerbGetAt:
+			if inMulti {
+				s.protoErrs.Add(1)
+				if !s.writeLine(c, bw, "ERR GETAT inside MULTI") {
+					return
+				}
+				continue
+			}
+			if !s.execGetAt(c, bw, &co, j, cmd.Op, &replyBuf) {
+				return
+			}
 		case VerbQuit:
 			s.writeLine(c, bw, "BYE")
 			return
@@ -1053,6 +1112,19 @@ func (s *Server) execSingle(c net.Conn, bw *bufio.Writer, co *connObs, j *job, o
 		*replyBuf = appendMovedLine((*replyBuf)[:0], mv)
 		return s.writeBytes(c, bw, *replyBuf)
 	}
+	if op.Kind == OpGet {
+		// Snapshot fast path: serve the read lock-free from the shard's
+		// published version store, bypassing the worker queue entirely.
+		j.reset()
+		j.ops = append(j.ops, op)
+		if results, _, ok := s.serveSnapshot(shards[0], j.ops, j.results[:0]); ok {
+			s.opCounts[OpGet].Add(1)
+			j.results = results
+			*replyBuf = AppendResultExt((*replyBuf)[:0], j.results[0], 0, true, 0)
+			return s.writeBytes(c, bw, *replyBuf)
+		}
+		j.reset()
+	}
 	if !s.acquire() {
 		return false
 	}
@@ -1091,6 +1163,29 @@ func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, co *connObs, j *job, op
 		*replyBuf = appendMovedLine((*replyBuf)[:0], mv)
 		return s.writeBytes(c, bw, *replyBuf)
 	}
+	if len(shards) == 1 && !hasWrite(ops) {
+		// Single-shard read-only MULTI: one snapshot serves the whole block
+		// atomically. Cross-shard read-only MULTIs stay on the queued path —
+		// per-shard snapshots cannot cut a cross-shard write atomically.
+		j.reset()
+		if results, _, ok := s.serveSnapshot(shards[0], ops, j.results[:0]); ok {
+			s.multis.Add(1)
+			s.snapMultis.Add(1)
+			s.opCounts[OpGet].Add(uint64(len(ops)))
+			j.results = results
+			buf := (*replyBuf)[:0]
+			buf = append(buf, "RESULTS "...)
+			buf = strconv.AppendInt(buf, int64(len(j.results)), 10)
+			buf = append(buf, '\n')
+			for _, r := range j.results {
+				buf = AppendResult(buf, r, -1)
+			}
+			buf = append(buf, "END t=0\n"...)
+			*replyBuf = buf
+			return s.writeBytes(c, bw, buf)
+		}
+		j.reset()
+	}
 	if !s.acquire() {
 		return false
 	}
@@ -1121,6 +1216,54 @@ func (s *Server) execMulti(c net.Conn, bw *bufio.Writer, co *connObs, j *job, op
 	buf = append(buf, '\n')
 	*replyBuf = buf
 	return s.writeBytes(c, bw, buf)
+}
+
+// execGetAt serves one GETAT: wait until the published LSN reaches the
+// token (op.Arg1), then read op.Key — from the shard's snapshot store when
+// the fast path is available, through the worker queue otherwise. The reply
+// carries lsn=<published> so the client can refresh its session token.
+func (s *Server) execGetAt(c net.Conn, bw *bufio.Writer, co *connObs, j *job, op Op, replyBuf *[]byte) bool {
+	pub, reached := s.waitPublished(op.Arg1)
+	if !reached {
+		select {
+		case <-s.quit:
+			return false
+		default:
+		}
+		return s.writeLine(c, bw, "ERR published LSN "+strconv.FormatUint(pub, 10)+
+			" below token (timeout)")
+	}
+	get := Op{Kind: OpGet, Key: op.Key}
+	shards := []int{s.shardOf(op.Key)}
+	if mv, err := s.admitShards(shards); mv != nil || err != nil {
+		if err == ErrClosed {
+			return false
+		}
+		if err != nil {
+			return s.writeLine(c, bw, "ERR "+err.Error())
+		}
+		*replyBuf = appendMovedLine((*replyBuf)[:0], mv)
+		return s.writeBytes(c, bw, *replyBuf)
+	}
+	j.reset()
+	j.ops = append(j.ops, get)
+	if results, _, ok := s.serveSnapshot(shards[0], j.ops, j.results[:0]); ok {
+		s.opCounts[OpGet].Add(1)
+		j.results = results
+		*replyBuf = AppendResultExt((*replyBuf)[:0], j.results[0], 0, true, pub)
+		return s.writeBytes(c, bw, *replyBuf)
+	}
+	j.reset()
+	if !s.acquire() {
+		return false
+	}
+	s.opCounts[OpGet].Add(1)
+	j.ops = append(j.ops, get)
+	s.dispatch(j, shards)
+	<-j.done
+	s.release()
+	*replyBuf = AppendResultExt((*replyBuf)[:0], j.results[0], j.modelNs, false, pub)
+	return s.writeBytes(c, bw, *replyBuf)
 }
 
 // dispatch routes a job to its shard worker — or, when the operations span
@@ -1228,6 +1371,14 @@ func (s *Server) registerMetrics() {
 	r.Family("specpmt_spec_aborts", "speculative batch commits aborted and replayed", obs.KindCounter)
 	r.Family("specpmt_bin_conns", "connections that negotiated the binary protocol", obs.KindCounter)
 	r.Family("specpmt_bin_frames", "binary request frames decoded", obs.KindCounter)
+	r.Family("specpmt_mvcc_enabled", "1 while the MVCC snapshot-read subsystem is on", obs.KindGauge)
+	r.Family("specpmt_snapshot_reads", "GET operations served lock-free from an MVCC snapshot", obs.KindCounter)
+	r.Family("specpmt_snapshot_multis", "read-only MULTI blocks served from one MVCC snapshot", obs.KindCounter)
+	r.Family("specpmt_snapshot_fallbacks", "snapshot-path reads that fell back to the worker queue", obs.KindCounter)
+	r.Family("specpmt_versions_live", "MVCC versions currently reachable across all shards", obs.KindGauge)
+	r.Family("specpmt_version_reclaims", "MVCC versions reclaimed as unreachable by any snapshot", obs.KindCounter)
+	r.Family("specpmt_published_lsn", "published-LSN watermark (the GETAT read-your-writes token)", obs.KindGauge)
+	r.Family("specpmt_snapshot_staleness", "published LSN minus snapshot LSN at each snapshot read", obs.KindHistogram)
 	r.Family("specpmt_compactions_total", "background heap-compaction passes completed", obs.KindCounter)
 	r.Family("specpmt_compact_moved_blocks", "heap blocks relocated by compaction", obs.KindCounter)
 	r.Family("specpmt_compact_freed_bytes", "span footprint returned to the free pool by compaction", obs.KindCounter)
@@ -1325,6 +1476,25 @@ func (s *Server) collectMetrics(emit func(obs.Sample)) {
 	scalar("specpmt_spec_aborts", "spec_aborts", s.specAborts.Load())
 	scalar("specpmt_bin_conns", "bin_conns", s.binConns.Load())
 	scalar("specpmt_bin_frames", "bin_frames", s.binFrames.Load())
+	scalar("specpmt_mvcc_enabled", "mvcc_enabled", boolStat(s.mvccOn))
+	scalar("specpmt_snapshot_reads", "snapshot_reads", s.snapReads.Load())
+	scalar("specpmt_snapshot_multis", "snapshot_multis", s.snapMultis.Load())
+	scalar("specpmt_snapshot_fallbacks", "snapshot_fallbacks", s.snapFallbacks.Load())
+	var vLive int64
+	var vReclaims uint64
+	for _, sh := range s.shards {
+		if st := sh.ver.Load(); st != nil {
+			vLive += st.Live()
+			vReclaims += st.Reclaims()
+		}
+	}
+	if vLive < 0 {
+		vLive = 0
+	}
+	scalar("specpmt_versions_live", "versions_live", uint64(vLive))
+	scalar("specpmt_version_reclaims", "version_reclaims", vReclaims)
+	scalar("specpmt_published_lsn", "published_lsn", s.pub.Load())
+	emit(obs.Sample{Family: "specpmt_snapshot_staleness", Hist: s.snapStale.Snapshot()})
 	scalar("specpmt_compactions_total", "compactions", s.compactions.Load())
 	scalar("specpmt_compact_moved_blocks", "compact_moved_blocks", s.compactMoved.Load())
 	scalar("specpmt_compact_freed_bytes", "compact_freed_bytes", s.compactFreed.Load())

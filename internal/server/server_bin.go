@@ -45,6 +45,24 @@ func (s *Server) handleBinary(c net.Conn, br *bufio.Reader, bw *bufio.Writer, co
 		jobs []*job // freelist, one per job-backed window slot
 		outs net.Buffers
 	)
+	// Deadline re-arming is amortized: a timer modification costs more than
+	// the clock read guarding it, and on the snapshot fast path it would be
+	// a per-window cost. Deadlines are re-armed once a quarter of their
+	// budget has elapsed, so the effective timeout stays within [3/4, 1] of
+	// the configured one.
+	var lastRArm, lastWArm time.Time
+	armR := func() {
+		if now := time.Now(); now.Sub(lastRArm) > s.cfg.IdleTimeout/4 {
+			lastRArm = now
+			c.SetReadDeadline(now.Add(s.cfg.IdleTimeout))
+		}
+	}
+	armW := func() {
+		if now := time.Now(); now.Sub(lastWArm) > s.cfg.WriteTimeout/4 {
+			lastWArm = now
+			c.SetWriteDeadline(now.Add(s.cfg.WriteTimeout))
+		}
+	}
 	fail := func(msg string) {
 		// Framing is poisoned: answer with an ERR frame and hang up.
 		s.protoErrs.Add(1)
@@ -57,7 +75,7 @@ func (s *Server) handleBinary(c net.Conn, br *bufio.Reader, bw *bufio.Writer, co
 			return
 		default:
 		}
-		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		armR()
 		payload, err := readFrame(br, fbp)
 		if err != nil {
 			switch err {
@@ -97,7 +115,7 @@ func (s *Server) handleBinary(c net.Conn, br *bufio.Reader, bw *bufio.Writer, co
 			quit = quit || p.quit
 		}
 		if len(outs) > 0 {
-			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			armW()
 			if _, err := outs.WriteTo(c); err != nil {
 				return
 			}
@@ -172,6 +190,36 @@ func (s *Server) binDispatch(payload []byte, pend *[]binPending, jobs *[]*job, n
 			}
 			p.reply = appendMovedFrame(p.reply, mv)
 			return nil
+		}
+		queuedAhead := false
+		for i := 0; i < len(*pend)-1; i++ {
+			if (*pend)[i].j != nil {
+				queuedAhead = true
+				break
+			}
+		}
+		if !queuedAhead && len(shards) == 1 && !hasWrite(j.ops) {
+			// Snapshot fast path: single-shard all-GET frames are served
+			// lock-free from the shard's MVCC store, never entering the
+			// worker queue. Only when nothing earlier in this window was
+			// dispatched to a worker: a queued write ahead of us must be
+			// visible (read-your-writes), and even a queued read may park
+			// behind speculative state newer than the snapshot — serving
+			// out of order would let this connection read backwards in
+			// time. j stays in the freelist (*nj is not advanced); its
+			// results slice is only scratch for the encode below.
+			if results, _, ok := s.serveSnapshot(shards[0], j.ops, j.results[:0]); ok {
+				j.results = results
+				for _, op := range j.ops {
+					s.opCounts[op.Kind].Add(1)
+				}
+				if len(j.ops) > 1 {
+					s.multis.Add(1)
+					s.snapMultis.Add(1)
+				}
+				p.reply = AppendSnapReplyFrame(p.reply, j.results)
+				return nil
+			}
 		}
 		if s.stamps {
 			p.t0 = s.nowNs()

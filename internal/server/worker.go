@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"specpmt"
+	"specpmt/internal/mvcc"
 	"specpmt/internal/obs"
 	"specpmt/pds/hashmap"
 )
@@ -40,6 +41,17 @@ type shard struct {
 	retireq      chan *retired
 	rwbuf        []RepWrite
 	parked       atomic.Int64
+
+	// MVCC snapshot reads (mvcc.go). ver is the shard's version store, read
+	// lock-free by the fast path and swapped whole on rebuilds; verStale
+	// marks it behind the map (an unstamped internal write landed) — the
+	// fast path falls back and the worker rebuilds at the next idle moment.
+	// installMax is the highest LSN installed so far, touched only by the
+	// shard's single publishing goroutine (retirer, or worker when not
+	// pipelined — never both concurrently, by the retire-drain protocol).
+	ver        atomic.Pointer[mvcc.Store]
+	verStale   atomic.Bool
+	installMax uint64
 
 	// Pipeline-depth auto-tuning (pipelined mode): depth is the live window
 	// size the worker retires at, tuned between 1 and cfg.PipelineDepth from
@@ -172,6 +184,10 @@ type job struct {
 	// internal marks jobs originated by Apply/Freeze rather than a client
 	// connection; their effects are not re-published to the Replicator.
 	internal bool
+	// pubLSN is an internal job's publication LSN (ApplyAt): its effective
+	// writes install into the MVCC version stores at this stamp. 0 on an
+	// internal job with writes marks the touched stores stale instead.
+	pubLSN uint64
 }
 
 func newJob() *job { return &job{done: make(chan struct{}, 1)} }
@@ -185,6 +201,7 @@ func (j *job) reset() {
 	j.extra = nil
 	j.frozen = nil
 	j.internal = false
+	j.pubLSN = 0
 }
 
 func (j *job) finish() { j.done <- struct{}{} }
@@ -229,6 +246,13 @@ func (s *Server) runWorker(sh *shard) {
 			// replies never wait on future traffic.
 			s.retirePending(sh)
 		}
+		if s.mvccOn && sh.verStale.Load() && len(sh.jobs) == 0 {
+			// An unstamped write (migration apply, bootstrap batch) left the
+			// version store behind the map: rebuild it while the queue is
+			// quiet so the snapshot fast path comes back.
+			s.retireAndDrain(sh)
+			s.rebuildStore(sh)
+		}
 	}
 	s.retirePending(sh)
 	if sh.retireq != nil {
@@ -249,18 +273,7 @@ func (s *Server) runRetirer(sh *shard) {
 			close(r.sync)
 			continue
 		}
-		var wait func()
-		if rep := s.replicator(); rep != nil {
-			sh.rwbuf = sh.rwbuf[:0]
-			for _, j := range r.jobs {
-				if !j.internal {
-					sh.rwbuf = s.appendWrites(sh.rwbuf, j)
-				}
-			}
-			if len(sh.rwbuf) > 0 {
-				wait = rep.Publish(sh.rwbuf)
-			}
-		}
+		wait := s.publishJobs(r.jobs, &sh.rwbuf)
 		if wait != nil {
 			var w0 int64
 			if s.stamps {
@@ -590,23 +603,38 @@ func opsIn(batch []*job) uint64 {
 }
 
 // publishBatch hands the batch's effective writes to the Replicator as one
-// record, returning its sync-mode wait (nil when async or unreplicated).
+// record, installs every job's writes into the MVCC version stores at their
+// publication LSN, and returns the sync-mode wait (nil when async or
+// unreplicated).
 func (s *Server) publishBatch(sh *shard, batch []*job) func() {
-	r := s.replicator()
-	if r == nil {
-		return nil
-	}
-	sh.wbuf = sh.wbuf[:0]
-	for _, j := range batch {
-		if j.internal {
-			continue
+	return s.publishJobs(batch, &sh.wbuf)
+}
+
+// publishJobs is the shared publish point behind the retirer and the
+// worker's inline paths: external (client) writes ship to the Replicator as
+// one record whose LSN stamps them — or take one from the standalone LSN
+// clock when unreplicated — and then every job's effective writes
+// (internal ones included, at their own pubLSN) install into the version
+// stores before any reply is released.
+func (s *Server) publishJobs(jobs []*job, buf *[]RepWrite) func() {
+	*buf = (*buf)[:0]
+	for _, j := range jobs {
+		if !j.internal {
+			*buf = s.appendWrites(*buf, j)
 		}
-		sh.wbuf = s.appendWrites(sh.wbuf, j)
 	}
-	if len(sh.wbuf) == 0 {
-		return nil
+	var wait func()
+	var extLSN uint64
+	if len(*buf) > 0 {
+		if rep := s.replicator(); rep != nil {
+			extLSN, wait = rep.Publish(*buf)
+			s.maxLSNClock(extLSN)
+		} else {
+			extLSN = s.lsnClock.Add(1)
+		}
 	}
-	return r.Publish(sh.wbuf)
+	s.installBatch(jobs, extLSN)
+	return wait
 }
 
 // appendWrites appends j's effective writes — the state changes its

@@ -254,6 +254,11 @@ func (p *Pool) DataHeap() *pmalloc.Heap { return p.heap }
 // LogHeap returns the pool's log-area allocator.
 func (p *Pool) LogHeap() *pmalloc.Heap { return p.logs }
 
+// Device returns the pool's simulated device, for fault-injection tests
+// that corrupt persisted bytes directly (PokePersisted) and for recovery
+// checkers that read the persistence-domain image.
+func (p *Pool) Device() *pmem.Device { return p.dev }
+
 // SetRoot durably stores a pool root pointer in slot i — the well-known
 // location from which applications rediscover their data after a crash.
 // Call it inside no transaction; the write is persisted immediately.
